@@ -1,0 +1,54 @@
+//! Raw engine throughput: how many simulated MPI ops per second the DES
+//! core sustains. Regression guard for the scheduler's O(log n) heap path.
+
+use cloudsim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn synthetic_job(np: usize, iters: usize) -> JobSpec {
+    let programs = (0..np)
+        .map(|r| {
+            let mut ops = Vec::with_capacity(iters * 3);
+            for i in 0..iters {
+                ops.push(Op::Compute { flops: 1e6, bytes: 0.0 });
+                let partner = (r as u32) ^ 1;
+                if (partner as usize) < np {
+                    ops.push(Op::Exchange {
+                        partner,
+                        send_bytes: 1024,
+                        recv_bytes: 1024,
+                        tag: (i % 4) as u32,
+                    });
+                }
+                ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+            }
+            ops
+        })
+        .collect();
+    JobSpec {
+        name: "engine-throughput".into(),
+        programs,
+        section_names: vec![],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    for np in [8usize, 64] {
+        let iters = 200;
+        let job = synthetic_job(np, iters);
+        let total_ops = job.total_ops() as u64;
+        g.throughput(Throughput::Elements(total_ops));
+        g.bench_function(format!("np{np}"), |b| {
+            let cluster = presets::vayu();
+            b.iter(|| {
+                run_job(&job, &cluster, &SimConfig::default(), &mut NullSink)
+                    .unwrap()
+                    .ops_executed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench the Figure 1 pipeline: OSU windowed-bandwidth simulation per
+//! platform at the paper's peak-relevant message size.
+
+use cloudsim::presets;
+use cloudsim::workloads::osu::run_bandwidth;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_osu_bandwidth_256k");
+    for cluster in [presets::dcc(), presets::ec2(), presets::vayu()] {
+        g.bench_function(cluster.name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_bandwidth(&cluster, 256 * 1024, seed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench the Figure 2 pipeline: OSU ping-pong latency simulation per
+//! platform at the small-message size the paper highlights.
+
+use cloudsim::presets;
+use cloudsim::workloads::osu::run_latency;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_osu_latency_8b");
+    for cluster in [presets::dcc(), presets::ec2(), presets::vayu()] {
+        g.bench_function(cluster.name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_latency(&cluster, 8, seed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench the Figure 3 pipeline: single-process NPB kernel simulations
+//! (class S so one Criterion sample is a full run of all eight kernels).
+
+use cloudsim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_npb_serial_classS");
+    for cluster in [presets::dcc(), presets::vayu()] {
+        g.bench_function(cluster.name, |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for k in Kernel::all() {
+                    let w = Npb::new(k, Class::S);
+                    let (res, _) = cloudsim::Experiment::new(&w, &cluster, 1)
+                        .repeats(1)
+                        .run_once()
+                        .unwrap();
+                    total += res.elapsed_secs();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

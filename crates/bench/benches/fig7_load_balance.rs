@@ -1,0 +1,30 @@
+//! Bench the Figure 7 pipeline: extracting the per-rank compute/comm
+//! breakdown of the ATM_STEP section.
+
+use cloudsim::prelude::*;
+use cloudsim::workloads::metum::SEC_ATM_STEP;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_rank_breakdown_np32");
+    g.sample_size(10);
+    let w = MetUm { timesteps: 4 };
+    for cluster in [presets::vayu(), presets::dcc()] {
+        g.bench_function(cluster.name, |b| {
+            b.iter(|| {
+                let (_, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
+                    .repeats(1)
+                    .run_once()
+                    .unwrap();
+                rep.section_rank_breakdown[SEC_ATM_STEP as usize]
+                    .iter()
+                    .map(|(comp, comm)| comp + comm)
+                    .sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

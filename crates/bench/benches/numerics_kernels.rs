@@ -1,0 +1,101 @@
+//! Throughput of the real numerical kernels backing the workload models.
+
+use cloudsim::numerics::{
+    adi_heat_step, cg_solve, counting_sort, fft, generate_keys, penta_solve, thomas_solve,
+    v_cycle, Csr, Grid3, C64,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics_cg");
+    let a = Csr::poisson_2d(64, 64);
+    let b = vec![1.0; a.n];
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("poisson64x64", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; a.n];
+            cg_solve(&a, &b, &mut x, 1e-8, 400).iterations
+        })
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics_fft");
+    for log_n in [10u32, 14] {
+        let n = 1usize << log_n;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n{n}"), |bch| {
+            let data: Vec<C64> = (0..n).map(|i| C64::new((i as f64 * 0.01).sin(), 0.0)).collect();
+            bch.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d, false);
+                d[0].re
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics_multigrid");
+    g.sample_size(10);
+    let n = 33;
+    let mut f = Grid3::zeros(n);
+    for v in f.data.iter_mut() {
+        *v = 1.0;
+    }
+    g.bench_function("vcycle33", |bch| {
+        bch.iter(|| {
+            let mut u = Grid3::zeros(n);
+            v_cycle(&mut u, &f, 2, 2)
+        })
+    });
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics_line_solvers");
+    let n = 4096;
+    let a = vec![-1.0; n];
+    let b = vec![4.0; n];
+    let cc = vec![-1.0; n];
+    let e = vec![0.25; n];
+    let f = vec![0.25; n];
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("thomas4096", |bch| {
+        bch.iter(|| {
+            let mut d = vec![1.0; n];
+            thomas_solve(&a, &b, &cc, &mut d);
+            d[0]
+        })
+    });
+    g.bench_function("penta4096", |bch| {
+        bch.iter(|| {
+            let mut d = vec![1.0; n];
+            penta_solve(&e, &a, &b, &cc, &f, &mut d);
+            d[0]
+        })
+    });
+    g.bench_function("adi64", |bch| {
+        bch.iter(|| {
+            let mut u = vec![1.0; 64 * 64];
+            adi_heat_step(&mut u, 64, 1e-4);
+            u[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics_is_sort");
+    let keys = generate_keys(1 << 16, 1 << 14, 271828183);
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("counting_sort_64k", |bch| {
+        bch.iter(|| counting_sort(&keys, 1 << 14).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cg, bench_fft, bench_mg, bench_solvers, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench the Table II pipeline: IPM-instrumented %comm measurement for the
+//! three communication-bound kernels at 32 ranks, class S.
+
+use cloudsim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab2_comm_pct_np32_classS");
+    for k in [Kernel::Cg, Kernel::Ft, Kernel::Is] {
+        let w = Npb::new(k, Class::S);
+        g.bench_function(w.name(), |b| {
+            let cluster = presets::dcc();
+            b.iter(|| {
+                cloudsim::Experiment::new(&w, &cluster, 32)
+                    .repeats(1)
+                    .run_once()
+                    .unwrap()
+                    .0
+                    .comm_pct()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench the Table III pipeline: a fully-profiled MetUM run at 32 cores
+//! with all per-section IPM statistics extracted.
+
+use cloudsim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab3_metum_ipm_np32");
+    g.sample_size(10);
+    let w = MetUm { timesteps: 4 };
+    for cluster in [presets::vayu(), presets::dcc()] {
+        g.bench_function(cluster.name, |b| {
+            b.iter(|| {
+                let (res, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
+                    .repeats(1)
+                    .run_once()
+                    .unwrap();
+                (
+                    res.comm_pct(),
+                    rep.global.imbalance_pct(),
+                    res.io_secs_max(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Regenerate every figure and table of the paper.
+//!
+//! ```text
+//! figures [--quick] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 ablations arrivef | all]
+//! ```
+//!
+//! With no experiment arguments, everything runs (the paper configuration
+//! unless `--quick` is given). `--csv DIR` additionally writes one CSV per
+//! table into `DIR`.
+
+use cloudsim::{figures, AsciiChart, ReproConfig, Table};
+use std::io::Write as _;
+
+/// Build a chart from a table whose first column is the x value and whose
+/// remaining columns are numeric series (the OSU and speedup tables).
+fn chart_of(t: &Table) -> Option<AsciiChart> {
+    if t.rows.len() < 2 || t.headers.len() < 2 {
+        return None;
+    }
+    let parse = |s: &str| s.parse::<f64>().ok();
+    // Every cell in the first column and at least the next 2 columns must
+    // be numeric.
+    let xs: Option<Vec<f64>> = t.rows.iter().map(|r| parse(&r[0])).collect();
+    let xs = xs?;
+    let log = t.title.contains("OSU");
+    let mut chart = AsciiChart::new(t.title.clone());
+    if log {
+        chart = chart.log_log();
+    }
+    let ncol = t.headers.len().min(5);
+    for col in 1..ncol {
+        let ys: Option<Vec<f64>> = t.rows.iter().map(|r| parse(&r[col])).collect();
+        let ys = ys?;
+        chart = chart.series(
+            t.headers[col].clone(),
+            xs.iter().cloned().zip(ys).collect(),
+        );
+    }
+    Some(chart)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut plot = false;
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--plot" => plot = true,
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--quick] [--plot] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 ablations arrivef | all]"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let cfg = if quick {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::paper()
+    };
+    eprintln!(
+        "# running with class {}, {} repeat(s), MetUM {} steps, Chaste {} steps",
+        cfg.npb_class.letter(),
+        cfg.repeats,
+        cfg.metum_steps,
+        cfg.chaste_steps
+    );
+
+    let mut tables: Vec<Table> = Vec::new();
+    for what in &wanted {
+        match what.as_str() {
+            "all" => {
+                tables.extend(figures::all_figures(&cfg));
+                tables.extend(cloudsim::all_ablations(&cfg));
+                tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42));
+            }
+            "fig1" => tables.push(figures::fig1_osu_bandwidth(&cfg)),
+            "fig2" => tables.push(figures::fig2_osu_latency(&cfg)),
+            "fig3" => tables.push(figures::fig3_npb_serial(&cfg)),
+            "fig4" => tables.extend(figures::fig4_npb_speedups(&cfg)),
+            "tab2" => tables.push(figures::tab2_npb_comm(&cfg)),
+            "fig5" => tables.push(figures::fig5_chaste(&cfg)),
+            "fig6" => tables.push(figures::fig6_metum(&cfg)),
+            "tab3" => tables.push(figures::tab3_metum(&cfg)),
+            "fig7" => tables.push(figures::fig7_load_balance(&cfg)),
+            "ablations" => tables.extend(cloudsim::all_ablations(&cfg)),
+            "arrivef" => tables.push(cloudsim::arrive_f_table(
+                if quick { 30 } else { 80 },
+                42,
+            )),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for t in &tables {
+        println!("{}", t.to_text());
+        if plot {
+            if let Some(chart) = chart_of(t) {
+                println!("{}", chart.render());
+            }
+        }
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for t in &tables {
+            let slug: String = t
+                .title
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = format!("{dir}/{}.csv", &slug[..slug.len().min(60)]);
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            eprintln!("# wrote {path}");
+        }
+    }
+}

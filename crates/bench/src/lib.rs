@@ -1,0 +1,15 @@
+//! `cloudsim-bench` — benchmark harness for the reproduction study.
+//!
+//! * The `figures` binary (`cargo run -p cloudsim-bench --bin figures
+//!   --release`) regenerates every figure and table of the paper as text
+//!   and CSV.
+//! * The Criterion benches (`cargo bench`) time the simulation pipelines
+//!   behind each figure at reduced scale, plus ablation studies of the
+//!   design choices (NUMA masking, HyperThreading, collective algorithms,
+//!   eager thresholds) and raw engine throughput.
+
+/// Shared helper: the reduced configuration the Criterion benches use so a
+/// full `cargo bench` completes in minutes.
+pub fn bench_config() -> cloudsim::ReproConfig {
+    cloudsim::ReproConfig::quick()
+}

@@ -1,0 +1,265 @@
+//! The cloud-bursting advisor.
+//!
+//! The paper's motivation section describes using ARRIVE-F-style online
+//! profiles "to classify candidate workloads that could be run on a cloud
+//! resource, rather than tying up resources at a peak HPC facility".
+//! This module implements that classifier on top of the simulator: profile
+//! a workload once, extract the communication/memory signature, then rank
+//! the platforms by predicted time and by predicted cost.
+
+use crate::experiment::Experiment;
+use crate::pricing::PriceModel;
+use crate::table::{fmt_pct, fmt_ratio, fmt_secs, Table};
+use sim_ipm::IpmReport;
+use sim_mpi::SimResult;
+use sim_platform::{presets, ClusterSpec, Strategy};
+use workloads::Workload;
+
+/// The communication/memory signature the classifier keys on — the same
+/// quantities IPM (and ARRIVE-F) extract from a live run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Fraction of walltime in MPI, 0..1.
+    pub comm_frac: f64,
+    /// Of the MPI time, the fraction in collectives, 0..1.
+    pub collective_frac: f64,
+    /// Fraction of walltime in file I/O, 0..1.
+    pub io_frac: f64,
+    /// Compute-time load imbalance, 0..1.
+    pub imbalance: f64,
+}
+
+impl WorkloadProfile {
+    /// Extract a profile from an instrumented run.
+    pub fn from_run(result: &SimResult, report: &IpmReport) -> WorkloadProfile {
+        WorkloadProfile {
+            comm_frac: result.comm_pct() / 100.0,
+            collective_frac: report.global.collective_frac(),
+            io_frac: result.io_pct() / 100.0,
+            imbalance: report.global.imbalance_pct() / 100.0,
+        }
+    }
+
+    /// Cloud-friendliness score in 0..1 (1 = perfect cloud candidate).
+    /// Communication — especially collective/small-message communication —
+    /// and I/O are what commodity clouds punish (paper §V, related work
+    /// "scientific applications with minimal communications and I/O make
+    /// the best fit for cloud deployment").
+    pub fn cloud_friendliness(&self) -> f64 {
+        let comm_penalty = self.comm_frac * (1.0 + self.collective_frac);
+        let io_penalty = 2.0 * self.io_frac;
+        (1.0 - comm_penalty - io_penalty).clamp(0.0, 1.0)
+    }
+
+    /// Human-readable class, mirroring the paper's qualitative buckets.
+    pub fn class(&self) -> &'static str {
+        let s = self.cloud_friendliness();
+        if s > 0.8 {
+            "cloud-friendly"
+        } else if s > 0.5 {
+            "cloud-capable (private cloud or placement-tuned public cloud)"
+        } else {
+            "keep on the supercomputer"
+        }
+    }
+}
+
+/// One platform's predicted outcome for a job.
+#[derive(Debug, Clone)]
+pub struct PlatformForecast {
+    pub platform: &'static str,
+    pub elapsed_secs: f64,
+    pub nodes: usize,
+    pub on_demand_cost: f64,
+    pub spot_cost: f64,
+    pub comm_pct: f64,
+}
+
+/// A full recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub profile: WorkloadProfile,
+    /// Forecasts sorted fastest-first.
+    pub by_time: Vec<PlatformForecast>,
+    /// Index into `by_time` of the cheapest on-demand option.
+    pub cheapest: usize,
+    /// Index into `by_time` of the fastest option (always 0).
+    pub fastest: usize,
+}
+
+impl Recommendation {
+    /// The fastest platform meeting `deadline_secs`, preferring the
+    /// cheapest among those that do; `None` if nothing meets it.
+    pub fn best_within_deadline(&self, deadline_secs: f64) -> Option<&PlatformForecast> {
+        self.by_time
+            .iter()
+            .filter(|f| f.elapsed_secs <= deadline_secs)
+            .min_by(|a, b| {
+                a.on_demand_cost
+                    .partial_cmp(&b.on_demand_cost)
+                    .expect("finite costs")
+            })
+    }
+
+    /// Render as a table.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            vec!["platform", "elapsed_s", "nodes", "cost_$", "spot_$", "%comm"],
+        );
+        for f in &self.by_time {
+            t.row(vec![
+                f.platform.to_string(),
+                fmt_secs(f.elapsed_secs),
+                f.nodes.to_string(),
+                fmt_ratio(f.on_demand_cost),
+                fmt_ratio(f.spot_cost),
+                fmt_pct(f.comm_pct),
+            ]);
+        }
+        t.note(format!(
+            "profile: comm {:.0}%, collectives {:.0}% of MPI, io {:.0}%, imbalance {:.0}% -> {}",
+            100.0 * self.profile.comm_frac,
+            100.0 * self.profile.collective_frac,
+            100.0 * self.profile.io_frac,
+            100.0 * self.profile.imbalance,
+            self.profile.class()
+        ));
+        t
+    }
+}
+
+/// Strategy the advisor uses per platform: memory-aware packing on EC2 if
+/// the workload declares a footprint, plain block otherwise.
+fn strategy_for(w: &dyn Workload, cluster: &ClusterSpec, np: usize) -> Strategy {
+    let mem = w.memory_per_rank_bytes(np);
+    if mem > 0 && cluster.name == "ec2" {
+        Strategy::BlockMemoryAware {
+            per_rank_bytes: mem,
+        }
+    } else {
+        Strategy::Block
+    }
+}
+
+/// Profile `workload` at `np` ranks and forecast all three platforms.
+pub fn advise(workload: &dyn Workload, np: usize) -> Recommendation {
+    let clusters = [presets::vayu(), presets::dcc(), presets::ec2()];
+    let mut forecasts = Vec::new();
+    let mut profile: Option<WorkloadProfile> = None;
+    for c in &clusters {
+        let (res, rep) = Experiment::new(workload, c, np)
+            .strategy(strategy_for(workload, c, np))
+            .repeats(1)
+            .run_once()
+            .expect("advisor run");
+        if c.name == "vayu" {
+            profile = Some(WorkloadProfile::from_run(&res, &rep));
+        }
+        let price = PriceModel::for_platform(c);
+        let nodes = res.placement.nodes_used();
+        forecasts.push(PlatformForecast {
+            platform: c.name,
+            elapsed_secs: res.elapsed_secs(),
+            nodes,
+            on_demand_cost: price.cost(nodes, res.elapsed_secs()),
+            spot_cost: price.spot_cost(nodes, res.elapsed_secs()),
+            comm_pct: res.comm_pct(),
+        });
+    }
+    forecasts.sort_by(|a, b| {
+        a.elapsed_secs
+            .partial_cmp(&b.elapsed_secs)
+            .expect("finite times")
+    });
+    let cheapest = forecasts
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.on_demand_cost
+                .partial_cmp(&b.on_demand_cost)
+                .expect("finite costs")
+        })
+        .map(|(i, _)| i)
+        .expect("three forecasts");
+    Recommendation {
+        profile: profile.expect("vayu profiled"),
+        by_time: forecasts,
+        cheapest,
+        fastest: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Class, Kernel, Npb};
+
+    #[test]
+    fn ep_classified_cloud_friendly() {
+        let rec = advise(&Npb::new(Kernel::Ep, Class::W), 16);
+        assert!(
+            rec.profile.cloud_friendliness() > 0.9,
+            "{:?}",
+            rec.profile
+        );
+        assert_eq!(rec.profile.class(), "cloud-friendly");
+    }
+
+    #[test]
+    fn is_classified_hpc_bound_at_scale() {
+        let rec = advise(&Npb::new(Kernel::Is, Class::W), 64);
+        // IS at 64 ranks has significant collective comm even on Vayu.
+        assert!(rec.profile.comm_frac > 0.2, "{:?}", rec.profile);
+        assert!(rec.profile.cloud_friendliness() < 0.6);
+    }
+
+    #[test]
+    fn fastest_is_vayu_for_comm_bound() {
+        let rec = advise(&Npb::new(Kernel::Cg, Class::W), 32);
+        assert_eq!(rec.by_time[rec.fastest].platform, "vayu");
+        // And the time ordering is strict: vayu < ec2/dcc.
+        assert!(rec.by_time[0].elapsed_secs < rec.by_time[1].elapsed_secs);
+    }
+
+    #[test]
+    fn deadline_logic() {
+        let rec = advise(&Npb::new(Kernel::Ep, Class::W), 16);
+        // A generous deadline admits everything; the pick is the cheapest.
+        let lax = rec.best_within_deadline(f64::INFINITY).unwrap();
+        let min_cost = rec
+            .by_time
+            .iter()
+            .map(|f| f.on_demand_cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!((lax.on_demand_cost - min_cost).abs() < 1e-12);
+        // An impossible deadline admits nothing.
+        assert!(rec.best_within_deadline(1e-9).is_none());
+    }
+
+    #[test]
+    fn recommendation_table_renders() {
+        let rec = advise(&Npb::new(Kernel::Mg, Class::S), 8);
+        let t = rec.to_table("advice: mg.S @ 8");
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.to_text().contains("profile:"));
+    }
+
+    #[test]
+    fn friendliness_bounds() {
+        let p = WorkloadProfile {
+            comm_frac: 0.0,
+            collective_frac: 0.0,
+            io_frac: 0.0,
+            imbalance: 0.0,
+        };
+        assert_eq!(p.cloud_friendliness(), 1.0);
+        let q = WorkloadProfile {
+            comm_frac: 0.9,
+            collective_frac: 1.0,
+            io_frac: 0.5,
+            imbalance: 0.0,
+        };
+        assert_eq!(q.cloud_friendliness(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The experiment runner: repeats, min-of-N, and parallel sweeps.
+//!
+//! The paper's methodology: "Each run was repeated 5 times, with the minimum
+//! time being used for the results." [`Experiment`] reproduces that —
+//! repeats differ only in the noise-model seed — and [`parallel_map`] fans a
+//! sweep out over OS threads (the simulator itself is single-threaded and
+//! deterministic per run).
+
+use sim_ipm::{profile_run, IpmReport};
+use sim_mpi::{SimConfig, SimError, SimResult};
+use sim_platform::{ClusterSpec, Strategy};
+use workloads::Workload;
+
+/// Number of repeats the paper uses.
+pub const PAPER_REPEATS: usize = 5;
+
+/// One experiment: a workload on a platform at a rank count.
+pub struct Experiment<'a> {
+    pub workload: &'a dyn Workload,
+    pub cluster: &'a ClusterSpec,
+    pub np: usize,
+    pub strategy: Strategy,
+    pub repeats: usize,
+    pub base_seed: u64,
+}
+
+impl<'a> Experiment<'a> {
+    pub fn new(workload: &'a dyn Workload, cluster: &'a ClusterSpec, np: usize) -> Self {
+        Experiment {
+            workload,
+            cluster,
+            np,
+            strategy: Strategy::Block,
+            repeats: PAPER_REPEATS,
+            base_seed: 0x5EED_0000,
+        }
+    }
+
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    pub fn repeats(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.repeats = n;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.base_seed = s;
+        self
+    }
+
+    /// Run all repeats and return the minimum-walltime run (result +
+    /// profile), per the paper's methodology.
+    pub fn run_min(&self) -> Result<(SimResult, IpmReport), SimError> {
+        let job = self.workload.build(self.np);
+        let mut best: Option<(SimResult, IpmReport)> = None;
+        for rep in 0..self.repeats {
+            let cfg = SimConfig {
+                seed: self.base_seed.wrapping_add(rep as u64),
+                strategy: self.strategy,
+                validate: rep == 0, // structure is identical across repeats
+            };
+            let (result, report) = profile_run(&job, self.cluster, &cfg)?;
+            let better = best
+                .as_ref()
+                .is_none_or(|(b, _)| result.elapsed < b.elapsed);
+            if better {
+                best = Some((result, report));
+            }
+        }
+        Ok(best.expect("at least one repeat"))
+    }
+
+    /// Run once with the base seed (cheaper; used for %comm-style metrics
+    /// that the paper reports from an instrumented run, not a minimum).
+    pub fn run_once(&self) -> Result<(SimResult, IpmReport), SimError> {
+        let job = self.workload.build(self.np);
+        let cfg = SimConfig {
+            seed: self.base_seed,
+            strategy: self.strategy,
+            validate: true,
+        };
+        profile_run(&job, self.cluster, &cfg)
+    }
+}
+
+/// Map `f` over `items` on a pool of worker threads, preserving order.
+/// Sweeps in the figure drivers are embarrassingly parallel; each item is
+/// itself a full deterministic simulation.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((idx, item)) = item else { break };
+                let out = f(item);
+                results.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_platform::presets;
+    use workloads::{Class, Kernel, Npb};
+
+    #[test]
+    fn run_min_is_no_worse_than_single_runs() {
+        let w = Npb::new(Kernel::Cg, Class::S);
+        let c = presets::dcc();
+        let exp = Experiment::new(&w, &c, 16).repeats(4);
+        let (best, _) = exp.run_min().unwrap();
+        for rep in 0..4u64 {
+            let one = Experiment::new(&w, &c, 16)
+                .repeats(1)
+                .seed(0x5EED_0000 + rep);
+            let (r, _) = one.run_min().unwrap();
+            assert!(best.elapsed <= r.elapsed, "rep {rep}");
+        }
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let w = Npb::new(Kernel::Ft, Class::S);
+        let c = presets::ec2();
+        let a = Experiment::new(&w, &c, 8).run_once().unwrap().0.elapsed;
+        let b = Experiment::new(&w, &c, 8).run_once().unwrap().0.elapsed;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_simulation() {
+        let w = Npb::new(Kernel::Is, Class::S);
+        let c = presets::vayu();
+        let nps = vec![2usize, 4, 8];
+        let par = parallel_map(nps.clone(), |np| {
+            Experiment::new(&w, &c, np).run_once().unwrap().0.elapsed
+        });
+        for (np, p) in nps.into_iter().zip(par) {
+            let s = Experiment::new(&w, &c, np).run_once().unwrap().0.elapsed;
+            assert_eq!(p, s, "np={np}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Terminal line charts for the figure reproductions.
+//!
+//! The paper's figures are log-log bandwidth/latency curves and speedup
+//! plots; `AsciiChart` renders the same series in a terminal so
+//! `figures --plot` can show the *shape* directly, without leaving the
+//! shell. Pure string output, no dependencies.
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// A 2-D line chart rendered to text.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    pub title: String,
+    pub width: usize,
+    pub height: usize,
+    pub x_log: bool,
+    pub y_log: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    pub fn new(title: impl Into<String>) -> AsciiChart {
+        AsciiChart {
+            title: title.into(),
+            width: 64,
+            height: 20,
+            x_log: false,
+            y_log: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use log-scale axes (both), like the paper's Figs 1-2.
+    pub fn log_log(mut self) -> Self {
+        self.x_log = true;
+        self.y_log = true;
+        self
+    }
+
+    /// Add one named series. Non-positive values are dropped on log axes.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    fn tx(&self, v: f64) -> f64 {
+        if self.x_log {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    fn ty(&self, v: f64) -> f64 {
+        if self.y_log {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64, usize)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, pts))| {
+                pts.iter()
+                    .filter(|(x, y)| {
+                        (!self.x_log || *x > 0.0) && (!self.y_log || *y > 0.0)
+                    })
+                    .map(move |(x, y)| (self.tx(*x), self.ty(*y), si))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for (x, y, _) in &pts {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        if (x1 - x0).abs() < f64::MIN_POSITIVE {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::MIN_POSITIVE {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (x, y, si) in &pts {
+            let cx = (((x - x0) / (x1 - x0)) * (self.width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            grid[row][cx] = MARKERS[si % MARKERS.len()];
+        }
+        let untx = |v: f64| if self.x_log { 10f64.powf(v) } else { v };
+        let unty = |v: f64| if self.y_log { 10f64.powf(v) } else { v };
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        for (i, row) in grid.iter().enumerate() {
+            // Left axis label on the top, middle and bottom rows.
+            let label = if i == 0 {
+                format!("{:>9.3}", unty(y1))
+            } else if i == self.height - 1 {
+                format!("{:>9.3}", unty(y0))
+            } else if i == self.height / 2 {
+                format!("{:>9.3}", unty(y0 + (y1 - y0) / 2.0))
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(9));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>10}{:<w$}{:>8.4}\n",
+            format!("{:.4} ", untx(x0)),
+            "",
+            untx(x1),
+            w = self.width.saturating_sub(12)
+        ));
+        // Legend.
+        out.push_str(&" ".repeat(10));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("{} {}   ", MARKERS[si % MARKERS.len()], name));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_linear_series() {
+        let c = AsciiChart::new("speedup")
+            .series("vayu", vec![(1.0, 1.0), (2.0, 2.0), (4.0, 4.0)])
+            .series("dcc", vec![(1.0, 1.0), (2.0, 1.5), (4.0, 1.8)]);
+        let out = c.render();
+        assert!(out.contains("speedup"));
+        assert!(out.contains("* vayu"));
+        assert!(out.contains("o dcc"));
+        // The top-right cell region should contain vayu's marker (highest y
+        // at highest x).
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].trim_end().ends_with('*'), "{out}");
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive() {
+        let c = AsciiChart::new("lat")
+            .log_log()
+            .series("a", vec![(0.0, 5.0), (10.0, 100.0), (100.0, 1000.0)]);
+        let out = c.render();
+        // Two valid points survive; render doesn't panic and shows markers.
+        assert!(out.matches('*').count() >= 2);
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let out = AsciiChart::new("nothing").render();
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let out = AsciiChart::new("p").series("s", vec![(3.0, 7.0)]).render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_reflect_data_range() {
+        let out = AsciiChart::new("r")
+            .series("s", vec![(1.0, 10.0), (5.0, 50.0)])
+            .render();
+        assert!(out.contains("50.000"), "{out}");
+        assert!(out.contains("10.000"), "{out}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Cost models for the three platforms.
+//!
+//! The paper's conclusion plans to "integrate Amazon EC2 spot-pricing into
+//! our local ANUPBS scheduler, to avail of price competitive compute
+//! resources". This module supplies the missing piece: per-platform price
+//! models (2012-era rates) and cost-to-solution arithmetic, including a
+//! simple spot-price discount.
+
+use sim_platform::ClusterSpec;
+
+/// Pricing for one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceModel {
+    /// Dollars per node-hour at on-demand rates.
+    pub on_demand_per_node_hour: f64,
+    /// Spot/opportunistic discount factor in `(0, 1]` (1 = no spot market).
+    pub spot_factor: f64,
+    /// Fixed per-job overhead hours billed (cloud VMs bill whole hours;
+    /// HPC queues don't).
+    pub billing_granularity_hours: f64,
+}
+
+impl PriceModel {
+    /// Amazon cc1.4xlarge, us-east-1, 2012: $1.30/hr on demand; spot
+    /// instances historically cleared near ~35% of on-demand.
+    pub fn ec2_2012() -> PriceModel {
+        PriceModel {
+            on_demand_per_node_hour: 1.30,
+            spot_factor: 0.35,
+            billing_granularity_hours: 1.0,
+        }
+    }
+
+    /// A private cloud's amortized cost: hardware + power + admin spread
+    /// over the fleet, no billing granularity.
+    pub fn private_cloud() -> PriceModel {
+        PriceModel {
+            on_demand_per_node_hour: 0.45,
+            spot_factor: 1.0,
+            billing_granularity_hours: 0.0,
+        }
+    }
+
+    /// Supercomputer service-unit charge converted to node-hours (8 cores
+    /// per Vayu node at a typical ~$0.10/core-hour academic rate).
+    pub fn hpc_service_units() -> PriceModel {
+        PriceModel {
+            on_demand_per_node_hour: 0.80,
+            spot_factor: 1.0,
+            billing_granularity_hours: 0.0,
+        }
+    }
+
+    /// The default model for a named platform preset.
+    pub fn for_platform(cluster: &ClusterSpec) -> PriceModel {
+        match cluster.name {
+            "ec2" => PriceModel::ec2_2012(),
+            "dcc" => PriceModel::private_cloud(),
+            _ => PriceModel::hpc_service_units(),
+        }
+    }
+
+    /// Dollars to run `nodes` nodes for `elapsed_secs`, at on-demand rates.
+    pub fn cost(&self, nodes: usize, elapsed_secs: f64) -> f64 {
+        let hours = elapsed_secs / 3600.0;
+        let billed = if self.billing_granularity_hours > 0.0 {
+            (hours / self.billing_granularity_hours).ceil() * self.billing_granularity_hours
+        } else {
+            hours
+        };
+        billed * nodes as f64 * self.on_demand_per_node_hour
+    }
+
+    /// Same, at spot rates.
+    pub fn spot_cost(&self, nodes: usize, elapsed_secs: f64) -> f64 {
+        self.cost(nodes, elapsed_secs) * self.spot_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_platform::presets;
+
+    #[test]
+    fn platform_lookup() {
+        assert_eq!(
+            PriceModel::for_platform(&presets::ec2()),
+            PriceModel::ec2_2012()
+        );
+        assert_eq!(
+            PriceModel::for_platform(&presets::dcc()),
+            PriceModel::private_cloud()
+        );
+        assert_eq!(
+            PriceModel::for_platform(&presets::vayu()),
+            PriceModel::hpc_service_units()
+        );
+    }
+
+    #[test]
+    fn ec2_bills_whole_hours() {
+        let p = PriceModel::ec2_2012();
+        // A 10-minute run on 4 nodes bills a full hour each.
+        assert!((p.cost(4, 600.0) - 4.0 * 1.30).abs() < 1e-9);
+        // 61 minutes bills two hours.
+        assert!((p.cost(1, 3660.0) - 2.0 * 1.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpc_bills_linearly() {
+        let p = PriceModel::hpc_service_units();
+        assert!((p.cost(2, 1800.0) - 2.0 * 0.5 * 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_discount_applies() {
+        let p = PriceModel::ec2_2012();
+        let full = p.cost(4, 7200.0);
+        assert!((p.spot_cost(4, 7200.0) - full * 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_zero_cost_on_linear_models() {
+        assert_eq!(PriceModel::private_cloud().cost(8, 0.0), 0.0);
+        // Granular billing still charges the first hour once started.
+        assert!(PriceModel::ec2_2012().cost(1, 1.0) > 1.0);
+    }
+}

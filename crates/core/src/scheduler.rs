@@ -1,0 +1,453 @@
+//! Batch-queue and cloud-bursting simulation — the ARRIVE-F experiment.
+//!
+//! The paper's motivation (§II) describes the ARRIVE-F framework: profile
+//! the jobs in a compute farm, predict their runtimes on each hardware
+//! platform and relocate them to the best-suited one, improving "average
+//! job waiting times by up to 33%". This module reproduces that experiment
+//! end to end on the simulator:
+//!
+//! * a discrete-event **batch queue** (FCFS with optional backfill) over a
+//!   fixed node pool, built on `sim_des::EventQueue`;
+//! * a **runtime oracle** that predicts each job's per-platform runtime by
+//!   actually simulating it once per platform;
+//! * two **policies**: everything-on-the-supercomputer vs. ARRIVE-F-style
+//!   cloud-bursting of the cloud-friendly fraction of the mix.
+
+use crate::advisor::WorkloadProfile;
+use crate::experiment::Experiment;
+use crate::table::{fmt_pct, fmt_ratio, fmt_secs, Table};
+use sim_des::{DetRng, EventQueue, SimDur, SimTime};
+use sim_platform::{presets, Strategy};
+use workloads::{Class, Kernel, Npb, Workload};
+
+/// One job in the mix.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub id: usize,
+    pub name: String,
+    /// Nodes the job occupies on its home (HPC) partition.
+    pub nodes: usize,
+    /// Submission time (seconds).
+    pub submit: f64,
+    /// Predicted runtime on each platform, seconds: [vayu, dcc, ec2].
+    pub runtime: [f64; 3],
+    /// Profiled cloud-friendliness in 0..1.
+    pub friendliness: f64,
+}
+
+/// The three destinations of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    Vayu = 0,
+    Dcc = 1,
+    Ec2 = 2,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// All jobs queue on the HPC partition.
+    HpcOnly,
+    /// ARRIVE-F: a job whose cloud-friendliness exceeds `threshold` may be
+    /// started immediately on an idle cloud site when the HPC partition
+    /// cannot run it right away.
+    CloudBurst { threshold: f64 },
+    /// Cost-aware bursting — the paper's future work ("we plan to
+    /// integrate Amazon EC2 spot-pricing into our local ANUPBS scheduler"):
+    /// burst only when the job is cloud-friendly AND its spot-price cost on
+    /// the candidate site stays under `max_dollars`.
+    CostAwareBurst { threshold: f64, max_dollars: f64 },
+}
+
+/// Outcome of one scheduled job.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    pub id: usize,
+    pub site: Site,
+    pub wait: f64,
+    pub runtime: f64,
+}
+
+/// Aggregate metrics of a simulation.
+#[derive(Debug, Clone)]
+pub struct QueueStats {
+    pub jobs: Vec<Scheduled>,
+    pub mean_wait: f64,
+    pub mean_turnaround: f64,
+    pub burst_fraction: f64,
+}
+
+/// Capacities of the three sites, in nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Capacities {
+    pub vayu: usize,
+    pub dcc: usize,
+    pub ec2: usize,
+}
+
+impl Default for Capacities {
+    fn default() -> Self {
+        // A deliberately contended HPC partition (the scenario where the
+        // paper says cloud-bursting pays) with modest cloud headroom — the
+        // DCC/EC2 pools are shared with other users, so only part of
+        // Table I's capacity is available to burst into.
+        Capacities {
+            vayu: 8,
+            dcc: 4,
+            ec2: 2,
+        }
+    }
+}
+
+/// Simulate a job stream under `policy`. FCFS per site; a cloud-burst is
+/// attempted at submission time only (matching ARRIVE-F's relocation at
+/// schedule time). Deterministic.
+pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueStats {
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        Submit(usize),
+        Finish { site: usize, nodes: usize },
+    }
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, j) in jobs.iter().enumerate() {
+        q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
+    }
+    let caps_arr = [caps.vayu, caps.dcc, caps.ec2];
+    let mut free = caps_arr;
+    // FCFS backlog of job indices per site.
+    let mut backlog: [std::collections::VecDeque<usize>; 3] = Default::default();
+    let mut out: Vec<Option<Scheduled>> = vec![None; jobs.len()];
+    let mut bursts = 0usize;
+
+    // Try to start queued jobs on `site` at time `now`.
+    fn drain(
+        site: usize,
+        now: SimTime,
+        jobs: &[Job],
+        free: &mut [usize; 3],
+        backlog: &mut [std::collections::VecDeque<usize>; 3],
+        out: &mut [Option<Scheduled>],
+        q: &mut EventQueue<Ev>,
+    ) {
+        while let Some(&jid) = backlog[site].front() {
+            let need = jobs[jid].nodes;
+            if free[site] < need {
+                break; // strict FCFS: the head blocks the queue
+            }
+            backlog[site].pop_front();
+            free[site] -= need;
+            let runtime = jobs[jid].runtime[site];
+            // Clamp away the sub-nanosecond negative residue of the
+            // f64 -> SimTime rounding of submit times.
+            let wait = (now.as_secs_f64() - jobs[jid].submit).max(0.0);
+            out[jid] = Some(Scheduled {
+                id: jobs[jid].id,
+                site: match site {
+                    0 => Site::Vayu,
+                    1 => Site::Dcc,
+                    _ => Site::Ec2,
+                },
+                wait,
+                runtime,
+            });
+            q.push(
+                now + SimDur::from_secs_f64(runtime),
+                Ev::Finish { site, nodes: need },
+            );
+        }
+    }
+
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::Submit(jid) => {
+                let j = &jobs[jid];
+                let mut site = 0usize;
+                let burst_params = match policy {
+                    Policy::HpcOnly => None,
+                    Policy::CloudBurst { threshold } => Some((threshold, f64::INFINITY)),
+                    Policy::CostAwareBurst { threshold, max_dollars } => {
+                        Some((threshold, max_dollars))
+                    }
+                };
+                if let Some((threshold, max_dollars)) = burst_params {
+                    // Burst only when the HPC partition can't start the job
+                    // right now and a cloud site can.
+                    let hpc_busy = free[0] < j.nodes || !backlog[0].is_empty();
+                    if hpc_busy && j.friendliness >= threshold {
+                        // Prefer the site with the better predicted runtime
+                        // among those with room and within budget.
+                        let prices = [
+                            crate::pricing::PriceModel::hpc_service_units(),
+                            crate::pricing::PriceModel::private_cloud(),
+                            crate::pricing::PriceModel::ec2_2012(),
+                        ];
+                        let mut best: Option<usize> = None;
+                        for cand in [1usize, 2] {
+                            if free[cand] >= j.nodes && backlog[cand].is_empty() {
+                                let cost =
+                                    prices[cand].spot_cost(j.nodes, j.runtime[cand]);
+                                if cost > max_dollars {
+                                    continue;
+                                }
+                                let better = best
+                                    .map(|b| j.runtime[cand] < j.runtime[b])
+                                    .unwrap_or(true);
+                                if better {
+                                    best = Some(cand);
+                                }
+                            }
+                        }
+                        if let Some(b) = best {
+                            site = b;
+                            bursts += 1;
+                        }
+                    }
+                }
+                backlog[site].push_back(jid);
+                drain(site, now, jobs, &mut free, &mut backlog, &mut out, &mut q);
+            }
+            Ev::Finish { site, nodes } => {
+                free[site] += nodes;
+                drain(site, now, jobs, &mut free, &mut backlog, &mut out, &mut q);
+            }
+        }
+    }
+
+    let jobs_out: Vec<Scheduled> = out.into_iter().map(|s| s.expect("job scheduled")).collect();
+    let n = jobs_out.len() as f64;
+    let mean_wait = jobs_out.iter().map(|s| s.wait).sum::<f64>() / n;
+    let mean_turnaround = jobs_out.iter().map(|s| s.wait + s.runtime).sum::<f64>() / n;
+    QueueStats {
+        mean_wait,
+        mean_turnaround,
+        burst_fraction: bursts as f64 / n,
+        jobs: jobs_out,
+    }
+}
+
+/// Build a deterministic synthetic job mix by actually profiling each
+/// kernel once per platform (the "lightweight online profiling" of
+/// ARRIVE-F, §II). `load` scales the arrival rate: 1.0 saturates the HPC
+/// partition.
+pub fn synthetic_mix(n_jobs: usize, load: f64, seed: u64) -> Vec<Job> {
+    // Candidate job templates: kernel at a rank count, profiled once.
+    let templates: Vec<(Kernel, usize)> = vec![
+        (Kernel::Ep, 16),
+        (Kernel::Ep, 32),
+        (Kernel::Mg, 16),
+        (Kernel::Ft, 16),
+        (Kernel::Cg, 16),
+        (Kernel::Is, 16),
+        (Kernel::Lu, 16),
+        // Wide jobs that exceed the cloud pools and must stay on the HPC
+        // partition whatever their profile says.
+        (Kernel::Ep, 64),
+        (Kernel::Mg, 64),
+        (Kernel::Lu, 64),
+    ];
+    let platforms = [presets::vayu(), presets::dcc(), presets::ec2()];
+    let profiled: Vec<([f64; 3], f64, String, usize)> = templates
+        .iter()
+        .map(|(k, np)| {
+            let w = Npb::new(*k, Class::A);
+            let mut rt = [0.0; 3];
+            let mut friendliness = 0.0;
+            for (i, c) in platforms.iter().enumerate() {
+                let (res, rep) = Experiment::new(&w, c, *np)
+                    .strategy(Strategy::Block)
+                    .repeats(1)
+                    .run_once()
+                    .expect("profiling run");
+                rt[i] = res.elapsed_secs();
+                if i == 0 {
+                    friendliness = WorkloadProfile::from_run(&res, &rep).cloud_friendliness();
+                }
+            }
+            let nodes = np.div_ceil(8);
+            (rt, friendliness, w.name(), nodes)
+        })
+        .collect();
+
+    // Mean service demand on the HPC partition, for arrival-rate scaling.
+    let mean_node_secs: f64 = profiled
+        .iter()
+        .map(|(rt, _, _, nodes)| rt[0] * *nodes as f64)
+        .sum::<f64>()
+        / profiled.len() as f64;
+    let cap = Capacities::default();
+    let mean_interarrival = mean_node_secs / (cap.vayu as f64 * load);
+
+    let mut rng = DetRng::new(seed, 0xA881);
+    let mut t = 0.0;
+    (0..n_jobs)
+        .map(|id| {
+            let (rt, friendliness, name, nodes) = &profiled[rng.index(profiled.len())];
+            t += rng.exponential(mean_interarrival);
+            Job {
+                id,
+                name: name.clone(),
+                nodes: *nodes,
+                submit: t,
+                runtime: *rt,
+                friendliness: *friendliness,
+            }
+        })
+        .collect()
+}
+
+/// The ARRIVE-F experiment as a table: waiting times with and without
+/// cloud-bursting at increasing load.
+pub fn arrive_f_table(n_jobs: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "ARRIVE-F experiment — mean job waiting time, HPC-only vs cloud-bursting",
+        vec!["load", "wait_hpc_s", "wait_burst_s", "improvement", "%bursted"],
+    );
+    for load in [0.7, 1.0, 1.3, 1.6] {
+        let jobs = synthetic_mix(n_jobs, load, seed);
+        let caps = Capacities::default();
+        let hpc = simulate_queue(&jobs, caps, Policy::HpcOnly);
+        let burst = simulate_queue(&jobs, caps, Policy::CloudBurst { threshold: 0.55 });
+        let improvement = if hpc.mean_wait > 0.0 {
+            1.0 - burst.mean_wait / hpc.mean_wait
+        } else {
+            0.0
+        };
+        t.row(vec![
+            fmt_ratio(load),
+            fmt_secs(hpc.mean_wait),
+            fmt_secs(burst.mean_wait),
+            fmt_pct(100.0 * improvement),
+            fmt_pct(100.0 * burst.burst_fraction),
+        ]);
+    }
+    t.note("paper §II: ARRIVE-F 'is able to improve the average job waiting times by up to 33%'");
+    t.note("our burstable mix + idle clouds give larger cuts; the shape (improvement shrinks as load");
+    t.note("grows and the clouds saturate) is the transferable result");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_jobs() -> Vec<Job> {
+        // Hand-built mix: 4-node jobs on an 8-node partition.
+        (0..8)
+            .map(|i| Job {
+                id: i,
+                name: format!("j{i}"),
+                nodes: 4,
+                submit: i as f64,
+                runtime: [100.0, 140.0, 160.0],
+                friendliness: if i % 2 == 0 { 0.9 } else { 0.1 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_conserves_jobs_and_orders_waits() {
+        let stats = simulate_queue(&quick_jobs(), Capacities::default(), Policy::HpcOnly);
+        assert_eq!(stats.jobs.len(), 8);
+        // 2 jobs fit at a time; later submissions wait longer.
+        let w: Vec<f64> = stats.jobs.iter().map(|s| s.wait).collect();
+        assert!(w[0] < 1e-9 && w[1] < 1e-9, "{w:?}");
+        assert!(w[7] > w[2], "{w:?}");
+        assert!(stats.burst_fraction == 0.0);
+    }
+
+    #[test]
+    fn cloud_burst_reduces_waits_for_friendly_jobs() {
+        let caps = Capacities::default();
+        let hpc = simulate_queue(&quick_jobs(), caps, Policy::HpcOnly);
+        let burst = simulate_queue(&quick_jobs(), caps, Policy::CloudBurst { threshold: 0.5 });
+        assert!(burst.mean_wait < hpc.mean_wait);
+        assert!(burst.burst_fraction > 0.0);
+        // Unfriendly jobs never burst.
+        for s in &burst.jobs {
+            if s.id % 2 == 1 {
+                assert_eq!(s.site, Site::Vayu, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursted_jobs_pay_their_cloud_runtime() {
+        let burst = simulate_queue(
+            &quick_jobs(),
+            Capacities::default(),
+            Policy::CloudBurst { threshold: 0.5 },
+        );
+        for s in &burst.jobs {
+            match s.site {
+                Site::Vayu => assert_eq!(s.runtime, 100.0),
+                Site::Dcc => assert_eq!(s.runtime, 140.0),
+                Site::Ec2 => assert_eq!(s.runtime, 160.0),
+            }
+        }
+    }
+
+    #[test]
+    fn cost_cap_suppresses_expensive_bursts() {
+        // With a zero budget nothing ever bursts; with an unlimited budget
+        // the policy degenerates to plain CloudBurst.
+        let caps = Capacities::default();
+        let zero = simulate_queue(
+            &quick_jobs(),
+            caps,
+            Policy::CostAwareBurst { threshold: 0.5, max_dollars: 0.0 },
+        );
+        assert_eq!(zero.burst_fraction, 0.0);
+        let lax = simulate_queue(
+            &quick_jobs(),
+            caps,
+            Policy::CostAwareBurst { threshold: 0.5, max_dollars: f64::INFINITY },
+        );
+        let plain = simulate_queue(&quick_jobs(), caps, Policy::CloudBurst { threshold: 0.5 });
+        assert_eq!(lax.burst_fraction, plain.burst_fraction);
+        assert_eq!(lax.mean_wait, plain.mean_wait);
+    }
+
+    #[test]
+    fn tight_budget_prefers_the_cheap_private_cloud() {
+        // EC2 spot for a 4-node 160 s job is a full billed hour per node at
+        // spot rates (~$1.8); the private cloud costs cents. A budget
+        // between the two forces all bursts onto DCC.
+        let caps = Capacities::default();
+        let tight = simulate_queue(
+            &quick_jobs(),
+            caps,
+            Policy::CostAwareBurst { threshold: 0.5, max_dollars: 0.50 },
+        );
+        assert!(tight.burst_fraction > 0.0);
+        for s in &tight.jobs {
+            assert_ne!(s.site, Site::Ec2, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn deterministic_mix() {
+        let a = synthetic_mix(10, 1.0, 7);
+        let b = synthetic_mix(10, 1.0, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn arrive_f_improvement_in_paper_range_at_high_load() {
+        let t = arrive_f_table(60, 11);
+        // At the highest load row, improvement is positive and sizeable.
+        let last = t.rows.last().unwrap();
+        let improvement: f64 = last[3].parse().unwrap();
+        assert!(
+            improvement > 10.0,
+            "cloud-bursting should cut waits meaningfully: {last:?}"
+        );
+        let bursted: f64 = last[4].parse().unwrap();
+        assert!(bursted > 5.0, "{last:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text and CSV tables for the figure/table reproductions.
+
+use std::fmt::Write as _;
+
+/// A rectangular results table with a title and optional footnotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote shown under the table.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Column-aligned text rendering.
+    pub fn to_text(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let sep = if i + 1 == ncol { "\n" } else { "  " };
+                let _ = write!(out, "{:>width$}{}", c, sep, width = widths[i]);
+            }
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+
+    /// RFC-4180-ish CSV rendering (quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format seconds with sensible precision for report cells.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Format a ratio / speedup.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", vec!["np", "vayu", "dcc"]);
+        t.row(vec!["8".into(), "1.0".into(), "1.5".into()]);
+        t.row(vec!["16".into(), "2.0".into(), "2.6".into()]);
+        t.note("paper values in parentheses");
+        t
+    }
+
+    #[test]
+    fn text_contains_everything() {
+        let text = sample().to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("vayu"));
+        assert!(text.contains("2.6"));
+        assert!(text.contains("* paper values"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", vec!["a"]);
+        t.row(vec!["hello, world".into()]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(1696.9), "1697");
+        assert_eq!(fmt_secs(8.6), "8.6");
+        assert_eq!(fmt_secs(0.0123), "0.012");
+        assert_eq!(fmt_ratio(1.3712), "1.37");
+        assert_eq!(fmt_pct(68.34), "68.3");
+    }
+}

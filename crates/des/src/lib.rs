@@ -1,0 +1,85 @@
+//! `sim-des` — deterministic discrete-event simulation primitives.
+//!
+//! This is the foundation layer of the cloudsim study: a nanosecond-grid
+//! simulated clock ([`SimTime`], [`SimDur`]), a FIFO-tie-broken event queue
+//! ([`EventQueue`]), seeded noise generators ([`DetRng`]) and the summary
+//! statistics ([`stats`]) used by every report.
+//!
+//! Higher layers (the network models in `sim-net`, the cluster models in
+//! `sim-platform` and the MPI runtime in `sim-mpi`) build their own
+//! schedulers on these primitives; nothing in this crate knows about ranks,
+//! messages or nodes.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{splitmix64, DetRng};
+pub use stats::{geo_mean, quantile, Summary};
+pub use time::{SimDur, SimTime};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always pop in non-decreasing time order, regardless of
+        /// insertion order.
+        #[test]
+        fn queue_pops_monotonic(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Same-timestamp events preserve insertion order (FIFO).
+        #[test]
+        fn queue_fifo_at_equal_times(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(SimTime(7), i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop(), Some((SimTime(7), i)));
+            }
+        }
+
+        /// Time round-trips through f64 seconds to nanosecond precision for
+        /// realistic magnitudes (up to ~10^5 s runs).
+        #[test]
+        fn time_roundtrip(ns in 0u64..100_000_000_000_000) {
+            let t = SimTime(ns);
+            let back = SimTime::from_secs_f64(t.as_secs_f64());
+            // f64 has 52 mantissa bits; below 2^52 ns (~52 days) exact.
+            prop_assert!((back.0 as i128 - ns as i128).abs() <= 16);
+        }
+
+        /// DetRng streams are reproducible.
+        #[test]
+        fn rng_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+            let mut a = DetRng::new(seed, stream);
+            let mut b = DetRng::new(seed, stream);
+            for _ in 0..16 {
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        /// Summary invariants: min <= mean <= max, imbalance in [0, 100].
+        #[test]
+        fn summary_invariants(values in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!((0.0..=100.0).contains(&s.imbalance_pct()));
+        }
+    }
+}

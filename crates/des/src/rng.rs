@@ -1,0 +1,183 @@
+//! Deterministic random number generation for noise models.
+//!
+//! Every stochastic model component (hypervisor jitter, vSwitch scheduling
+//! delays, OS noise) draws from a [`DetRng`] seeded from the experiment seed
+//! plus a stable stream identifier, so runs are reproducible and independent
+//! noise sources do not share a stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG with the distribution helpers the noise models need.
+///
+/// `rand_distr` is not part of the approved dependency set, so the normal /
+/// log-normal / Pareto samplers are implemented here directly (Box–Muller and
+/// inverse-CDF respectively).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl DetRng {
+    /// Create a generator from an experiment seed and a stream id. Different
+    /// `stream` values yield statistically independent sequences for the same
+    /// seed (SplitMix64 scrambling of the pair).
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mixed = splitmix64(seed ^ splitmix64(stream.wrapping_add(0x9E3779B97F4A7C15)));
+        DetRng {
+            inner: SmallRng::seed_from_u64(mixed),
+            spare_normal: None,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Reject u1 == 0 so ln() is finite.
+        let mut u1 = self.uniform();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.uniform();
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal variate parameterised by the underlying normal's `mu` and
+    /// `sigma`. Heavy-tailed; used for hypervisor scheduling stalls.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let mut u = self.uniform();
+        while u <= f64::MIN_POSITIVE {
+            u = self.uniform();
+        }
+        -mean * u.ln()
+    }
+
+    /// Pareto variate with minimum `x_min` and shape `alpha` (> 0). Models the
+    /// rare, large scheduling delays of oversubscribed hypervisors.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && x_min > 0.0);
+        let mut u = self.uniform();
+        while u <= f64::MIN_POSITIVE {
+            u = self.uniform();
+        }
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// A raw 64-bit draw, for deriving child seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality scrambler for seed derivation.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed_and_stream() {
+        let mut a = DetRng::new(7, 3);
+        let mut b = DetRng::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut a = DetRng::new(7, 0);
+        let mut b = DetRng::new(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = DetRng::new(1, 0);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut r = DetRng::new(2, 0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = DetRng::new(3, 0);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = DetRng::new(4, 0);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(5, 0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

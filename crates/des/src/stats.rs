@@ -1,0 +1,136 @@
+//! Small summary-statistics helpers used across the study.
+//!
+//! These back the IPM-style reports (min / max / mean / imbalance over ranks)
+//! and the min-of-N-repeats methodology the paper uses.
+
+/// Summary of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Some(Summary {
+            n,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// Load-imbalance percentage as IPM reports it: `(max - mean) / max`,
+    /// i.e. the fraction of the critical path the average rank spends waiting.
+    /// Zero when perfectly balanced or when `max` is zero.
+    pub fn imbalance_pct(&self) -> f64 {
+        if self.max <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.max - self.mean) / self.max
+        }
+    }
+
+    /// Coefficient of variation in percent.
+    pub fn cv_pct(&self) -> f64 {
+        if self.mean.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            100.0 * self.std_dev / self.mean
+        }
+    }
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of an unsorted slice.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Geometric mean; ignores non-positive entries (returns `None` if none are
+/// positive). Used to aggregate normalized benchmark ratios.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn imbalance_balanced_is_zero() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.imbalance_pct(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_matches_definition() {
+        // max = 4, mean = 2 -> 50%
+        let s = Summary::of(&[0.0, 2.0, 4.0]).unwrap();
+        assert!((s.imbalance_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn geo_mean_of_ratios() {
+        let g = geo_mean(&[2.0, 0.5]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+        assert!(geo_mean(&[0.0, -1.0]).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulated time.
+//!
+//! All simulation arithmetic happens on [`SimTime`] (an absolute instant) and
+//! [`SimDur`] (a span), both integer nanosecond counts. Using integers keeps
+//! the simulation deterministic across platforms and immune to floating-point
+//! accumulation drift over the millions of events a long run produces; model
+//! code converts to `f64` seconds only at the cost-model boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative inputs clamp to zero (model costs are never negative).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_to_ns(s))
+    }
+
+    /// The instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The instant as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span since an earlier instant; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDur {
+    /// A zero-length span.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDur(secs_to_ns(s))
+    }
+
+    /// Construct from fractional microseconds.
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDur(secs_to_ns(us / 1e6))
+    }
+
+    /// Construct from whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDur(ns)
+    }
+
+    /// The span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale the span by a non-negative factor.
+    pub fn scale(self, factor: f64) -> SimDur {
+        debug_assert!(factor >= 0.0, "negative scale factor {factor}");
+        SimDur((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+fn secs_to_ns(s: f64) -> u64 {
+    if s <= 0.0 || !s.is_finite() {
+        0
+    } else {
+        // Round to nearest; costs are tiny fractions of a second so the f64
+        // mantissa comfortably covers the nanosecond grid.
+        (s * 1e9).round() as u64
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    fn sub(self, rhs: SimTime) -> SimDur {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDur {
+    fn sum<I: Iterator<Item = SimDur>>(iter: I) -> SimDur {
+        SimDur(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}us", self.as_micros_f64())
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimDur::from_secs_f64(-1.0), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs_f64(f64::NAN), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs_f64(f64::NEG_INFINITY), SimDur::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.since(b), SimDur::ZERO);
+        assert_eq!(b.since(a), SimDur::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDur::from_micros_f64(2.0);
+        assert_eq!(t.0, 1_000_002_000);
+        let d = t - SimTime::from_secs(1);
+        assert_eq!(d.as_micros_f64(), 2.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDur(500)), "500ns");
+        assert_eq!(format!("{}", SimDur(2_500)), "2.50us");
+        assert_eq!(format!("{}", SimDur(3_000_000)), "3.000ms");
+        assert_eq!(format!("{}", SimDur(4_000_000_000)), "4.000s");
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let d = SimDur::from_nanos(100);
+        assert_eq!(d.scale(2.5), SimDur::from_nanos(250));
+        assert_eq!(d.scale(0.0), SimDur::ZERO);
+    }
+}

@@ -1,0 +1,288 @@
+//! The profiler: an implementation of [`ProfSink`] that builds per-rank,
+//! per-section, per-call ledgers, mirroring what the IPM monitoring
+//! framework collects on real runs (hash of MPI calls by size bucket,
+//! per-region wallclock, communication and compute split).
+
+use sim_des::SimTime;
+use sim_mpi::{JobSpec, MpiKind, ProfEvent, ProfSink, SectionId};
+use std::collections::HashMap;
+
+/// Aggregate for one (MPI call, size bucket) cell — IPM's call hash.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CallAgg {
+    pub count: u64,
+    pub time: f64,
+    pub bytes: u64,
+}
+
+/// Accumulated time ledger for one rank within one region.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Region wallclock (sum of enter→exit intervals).
+    pub wall: f64,
+    pub comp: f64,
+    pub comm: f64,
+    pub io: f64,
+    /// MPI call hash: (call, log2-size bucket) → aggregate.
+    pub calls: HashMap<(MpiKind, u8), CallAgg>,
+}
+
+impl Ledger {
+    fn add_mpi(&mut self, kind: MpiKind, bytes: u64, secs: f64) {
+        self.comm += secs;
+        let bucket = size_bucket(bytes);
+        let agg = self.calls.entry((kind, bucket)).or_default();
+        agg.count += 1;
+        agg.time += secs;
+        agg.bytes += bytes;
+    }
+}
+
+/// log2 size bucket of a payload (0 for empty, else floor(log2(bytes)) + 1).
+pub fn size_bucket(bytes: u64) -> u8 {
+    if bytes == 0 {
+        0
+    } else {
+        (64 - bytes.leading_zeros()) as u8
+    }
+}
+
+/// Lower bound in bytes of a bucket returned by [`size_bucket`].
+pub fn bucket_floor(bucket: u8) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RankProf {
+    stack: Vec<(SectionId, SimTime)>,
+    global: Ledger,
+    sections: Vec<Ledger>,
+    last_event: SimTime,
+}
+
+/// IPM-style profiler; feed it to [`sim_mpi::run_job`], then call
+/// [`crate::report::IpmReport::from_profiler`].
+#[derive(Debug, Clone)]
+pub struct IpmProfiler {
+    pub(crate) section_names: Vec<&'static str>,
+    pub(crate) ranks: Vec<RankProfPublic>,
+}
+
+/// Public view of one rank's profile.
+#[derive(Debug, Clone)]
+pub struct RankProfPublic {
+    pub global: Ledger,
+    pub sections: Vec<Ledger>,
+    pub last_event: SimTime,
+}
+
+/// Builder state while the simulation runs.
+#[derive(Debug)]
+pub struct IpmCollector {
+    section_names: Vec<&'static str>,
+    ranks: Vec<RankProf>,
+}
+
+impl IpmCollector {
+    /// Prepare a collector for `job`.
+    pub fn new(job: &JobSpec) -> Self {
+        let nsec = job.section_names.len();
+        IpmCollector {
+            section_names: job.section_names.clone(),
+            ranks: (0..job.np())
+                .map(|_| RankProf {
+                    stack: Vec::new(),
+                    global: Ledger::default(),
+                    sections: vec![Ledger::default(); nsec],
+                    last_event: SimTime::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// Consume the collector once the run finishes.
+    pub fn finish(self) -> IpmProfiler {
+        IpmProfiler {
+            section_names: self.section_names,
+            ranks: self
+                .ranks
+                .into_iter()
+                .map(|r| {
+                    assert!(
+                        r.stack.is_empty(),
+                        "unbalanced sections left open at end of run"
+                    );
+                    RankProfPublic {
+                        global: r.global,
+                        sections: r.sections,
+                        last_event: r.last_event,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn attribute(&mut self, rank: usize, f: impl Fn(&mut Ledger)) {
+        let rp = &mut self.ranks[rank];
+        f(&mut rp.global);
+        if let Some((sec, _)) = rp.stack.last() {
+            f(&mut rp.sections[*sec as usize]);
+        }
+    }
+}
+
+impl ProfSink for IpmCollector {
+    fn on_event(&mut self, rank: usize, ev: ProfEvent) {
+        match ev {
+            ProfEvent::SectionEnter { id, t } => {
+                self.ranks[rank].stack.push((id, t));
+                self.ranks[rank].last_event = t;
+            }
+            ProfEvent::SectionExit { id, t } => {
+                let (open_id, entered) = self.ranks[rank]
+                    .stack
+                    .pop()
+                    .expect("section exit without enter");
+                assert_eq!(open_id, id, "mismatched section nesting");
+                self.ranks[rank].sections[id as usize].wall +=
+                    t.since(entered).as_secs_f64();
+                self.ranks[rank].last_event = t;
+            }
+            ProfEvent::Compute { start, end } => {
+                let d = end.since(start).as_secs_f64();
+                self.attribute(rank, |l| l.comp += d);
+                let rp = &mut self.ranks[rank];
+                rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
+                rp.last_event = end;
+            }
+            ProfEvent::Mpi {
+                kind,
+                bytes,
+                start,
+                end,
+            } => {
+                let d = end.since(start).as_secs_f64();
+                self.attribute(rank, |l| l.add_mpi(kind, bytes, d));
+                let rp = &mut self.ranks[rank];
+                rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
+                rp.last_event = end;
+            }
+            ProfEvent::Io {
+                bytes: _,
+                kind: _,
+                start,
+                end,
+            } => {
+                let d = end.since(start).as_secs_f64();
+                self.attribute(rank, |l| l.io += d);
+                let rp = &mut self.ranks[rank];
+                rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
+                rp.last_event = end;
+            }
+        }
+    }
+}
+
+impl IpmProfiler {
+    pub fn np(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn section_names(&self) -> &[&'static str] {
+        &self.section_names
+    }
+
+    /// Per-rank global ledgers.
+    pub fn rank_globals(&self) -> impl Iterator<Item = &Ledger> {
+        self.ranks.iter().map(|r| &r.global)
+    }
+
+    /// Per-rank ledger of one section.
+    pub fn rank_sections(&self, sec: SectionId) -> impl Iterator<Item = &Ledger> {
+        self.ranks.iter().map(move |r| &r.sections[sec as usize])
+    }
+
+    /// Find a section id by name.
+    pub fn section_id(&self, name: &str) -> Option<SectionId> {
+        self.section_names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| i as SectionId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_buckets() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(1), 1);
+        assert_eq!(size_bucket(2), 2);
+        assert_eq!(size_bucket(3), 2);
+        assert_eq!(size_bucket(4), 3);
+        assert_eq!(size_bucket(1024), 11);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(11), 1024);
+        // floor(bucket(x)) <= x for a spread of sizes.
+        for x in [1u64, 5, 100, 4096, 1 << 20] {
+            assert!(bucket_floor(size_bucket(x)) <= x);
+            assert!(x < bucket_floor(size_bucket(x)) * 2);
+        }
+    }
+
+    #[test]
+    fn events_attribute_to_open_section() {
+        let job = sim_mpi::JobSpec {
+            name: "t".into(),
+            programs: vec![vec![]],
+            section_names: vec!["a", "b"],
+        };
+        let mut c = IpmCollector::new(&job);
+        c.on_event(0, ProfEvent::SectionEnter { id: 0, t: SimTime(0) });
+        c.on_event(
+            0,
+            ProfEvent::Compute {
+                start: SimTime(0),
+                end: SimTime(1_000_000_000),
+            },
+        );
+        c.on_event(0, ProfEvent::SectionExit { id: 0, t: SimTime(1_000_000_000) });
+        c.on_event(
+            0,
+            ProfEvent::Mpi {
+                kind: MpiKind::Allreduce,
+                bytes: 4,
+                start: SimTime(1_000_000_000),
+                end: SimTime(2_000_000_000),
+            },
+        );
+        let p = c.finish();
+        let sec_a = &p.ranks[0].sections[0];
+        assert!((sec_a.comp - 1.0).abs() < 1e-9);
+        assert!((sec_a.wall - 1.0).abs() < 1e-9);
+        assert_eq!(sec_a.comm, 0.0);
+        // The allreduce happened outside any section: global only.
+        assert!((p.ranks[0].global.comm - 1.0).abs() < 1e-9);
+        let agg = p.ranks[0].global.calls[&(MpiKind::Allreduce, size_bucket(4))];
+        assert_eq!(agg.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced sections")]
+    fn unbalanced_sections_panic_at_finish() {
+        let job = sim_mpi::JobSpec {
+            name: "t".into(),
+            programs: vec![vec![]],
+            section_names: vec!["a"],
+        };
+        let mut c = IpmCollector::new(&job);
+        c.on_event(0, ProfEvent::SectionEnter { id: 0, t: SimTime(0) });
+        let _ = c.finish();
+    }
+}

@@ -1,0 +1,968 @@
+//! The rank scheduler: executes a [`JobSpec`] against a platform model.
+//!
+//! Each rank is a program counter over its op list plus a clock. The driver
+//! repeatedly picks the minimum-clock *ready* rank and executes one op.
+//! Interactions (messages, collectives, exchanges) only ever move other
+//! ranks' clocks forward, and point-to-point matching is FIFO per
+//! `(source, dest, tag)` channel, so this greedy order is causally correct
+//! and deterministic.
+//!
+//! Time accounting follows IPM's semantics: a rank's wait inside a blocking
+//! call counts as communication time — IPM cannot tell wire time from wait
+//! time either, and the paper's %comm numbers include both.
+
+use crate::collectives::CollTopo;
+use crate::op::{CollOp, Group, JobSpec, Op, Rank, ReqId, SectionId, Tag};
+use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
+use crate::result::{RankTotals, SimResult};
+use sim_des::{DetRng, EventQueue, SimDur, SimTime};
+use sim_net::{cost, SerialResource};
+use sim_platform::{ClusterSpec, Placement, PlacementError, RankRates, Strategy};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Errors a simulation can produce.
+#[derive(Debug)]
+pub enum SimError {
+    /// The ranks could not be placed on the cluster.
+    Placement(PlacementError),
+    /// The job failed structural validation.
+    Validation(String),
+    /// All live ranks are blocked and nothing can make progress.
+    Deadlock(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Placement(e) => write!(f, "placement failed: {e}"),
+            SimError::Validation(e) => write!(f, "job validation failed: {e}"),
+            SimError::Deadlock(e) => write!(f, "simulation deadlocked: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PlacementError> for SimError {
+    fn from(e: PlacementError) -> Self {
+        SimError::Placement(e)
+    }
+}
+
+/// Simulation configuration: where and how to run a job.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed for all noise models (jitter); two runs with the same seed
+    /// are bit-identical.
+    pub seed: u64,
+    /// Placement strategy.
+    pub strategy: Strategy,
+    /// Validate the job's structure before running (cheap; on by default).
+    pub validate: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC10D_51B1,
+            strategy: Strategy::Block,
+            validate: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Ready,
+    BlockedRecv {
+        from: Rank,
+        tag: Tag,
+        bytes: usize,
+        posted: SimTime,
+    },
+    BlockedExchange {
+        posted: SimTime,
+    },
+    BlockedWait {
+        req: ReqId,
+        posted: SimTime,
+    },
+    BlockedColl {
+        posted: SimTime,
+    },
+    Done,
+}
+
+struct RankState {
+    clock: SimTime,
+    pc: usize,
+    status: Status,
+    /// Outstanding non-blocking requests.
+    requests: HashMap<ReqId, ReqState>,
+    comp: SimDur,
+    comm: SimDur,
+    io: SimDur,
+    /// Per-communicator collective sequence counters.
+    coll_count: HashMap<Group, u64>,
+    /// Monotone generation for lazy heap invalidation.
+    gen: u64,
+    rng: DetRng,
+    /// End of this rank's most recent file operation (I/O concurrency).
+    io_until: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EagerMsg {
+    arrival: SimTime,
+    bytes: usize,
+    /// Receive-side occupancy (seconds) computed from the route's fabric at
+    /// send time.
+    recv_occ: f64,
+}
+
+/// State of a non-blocking request on its owning rank.
+#[derive(Debug, Clone, Copy)]
+enum ReqState {
+    /// Operation finished (or will finish) at `complete_at`.
+    Done {
+        complete_at: SimTime,
+        bytes: u64,
+        kind: MpiKind,
+    },
+    /// An `Irecv` still waiting for its message.
+    RecvPending,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExchangeArrival {
+    rank: Rank,
+    entry: SimTime,
+    send_bytes: usize,
+}
+
+struct CollState {
+    op: CollOp,
+    arrived: Vec<(Rank, SimTime)>,
+}
+
+type ChannelKey = (Rank, Rank, Tag);
+
+/// Run `job` on `cluster`. Profile events stream into `sink`.
+pub fn run_job(
+    job: &JobSpec,
+    cluster: &ClusterSpec,
+    cfg: &SimConfig,
+    sink: &mut dyn ProfSink,
+) -> Result<SimResult, SimError> {
+    if cfg.validate {
+        job.validate().map_err(SimError::Validation)?;
+    }
+    let np = job.np();
+    assert!(np > 0, "empty job");
+    let placement = cluster.place(np, cfg.strategy)?;
+    let rates = cluster.rank_rates(&placement);
+    Engine::new(job, cluster, placement, rates, cfg).run(sink)
+}
+
+struct Engine<'a> {
+    job: &'a JobSpec,
+    cluster: &'a ClusterSpec,
+    placement: Placement,
+    rates: Vec<RankRates>,
+    /// Per-rank CPU slowdown for the software side of messaging (>= 1).
+    cpu_factor: Vec<f64>,
+    ranks: Vec<RankState>,
+    ready: EventQueue<(usize, u64)>,
+    /// In-flight messages, FIFO per channel.
+    eager: HashMap<ChannelKey, VecDeque<EagerMsg>>,
+    /// Posted-but-unmatched non-blocking receives, FIFO per channel.
+    irecvs: HashMap<ChannelKey, VecDeque<(usize, ReqId, SimTime)>>,
+    /// First-arrived halves of exchanges, FIFO per unordered pair + tag.
+    exchanges: HashMap<(Rank, Rank, Tag), VecDeque<ExchangeArrival>>,
+    /// Open collectives keyed by (communicator, per-communicator sequence).
+    colls: HashMap<(Group, u64), CollState>,
+    /// Per-node NIC egress resources.
+    nics: Vec<SerialResource>,
+    /// RNG for collective-level jitter.
+    coll_rng: DetRng,
+    done: usize,
+    ops_executed: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        job: &'a JobSpec,
+        cluster: &'a ClusterSpec,
+        placement: Placement,
+        rates: Vec<RankRates>,
+        cfg: &SimConfig,
+    ) -> Self {
+        let np = job.np();
+        let solo_rate = cluster.node.flops_rate(1);
+        let cpu_factor = rates
+            .iter()
+            .map(|r| (solo_rate / r.flops_rate).max(1.0))
+            .collect();
+        let mut ready = EventQueue::new();
+        let ranks = (0..np)
+            .map(|r| {
+                ready.push(SimTime::ZERO, (r, 0));
+                RankState {
+                    clock: SimTime::ZERO,
+                    pc: 0,
+                    status: Status::Ready,
+                    requests: HashMap::new(),
+                    comp: SimDur::ZERO,
+                    comm: SimDur::ZERO,
+                    io: SimDur::ZERO,
+                    coll_count: HashMap::new(),
+                    gen: 0,
+                    rng: DetRng::new(cfg.seed, r as u64),
+                    io_until: SimTime::ZERO,
+                }
+            })
+            .collect();
+        Engine {
+            job,
+            cluster,
+            nics: vec![SerialResource::new(); placement.ranks_per_node.len()],
+            placement,
+            rates,
+            cpu_factor,
+            ranks,
+            ready,
+            eager: HashMap::new(),
+            irecvs: HashMap::new(),
+            exchanges: HashMap::new(),
+            colls: HashMap::new(),
+            coll_rng: DetRng::new(cfg.seed, np as u64 + 0x1000),
+            done: 0,
+            ops_executed: 0,
+        }
+    }
+
+    fn run(mut self, sink: &mut dyn ProfSink) -> Result<SimResult, SimError> {
+        let np = self.job.np();
+        loop {
+            let Some((_, (r, gen))) = self.ready.pop() else {
+                if self.done == np {
+                    break;
+                }
+                return Err(SimError::Deadlock(self.deadlock_report()));
+            };
+            if self.ranks[r].gen != gen || self.ranks[r].status != Status::Ready {
+                continue; // stale heap entry
+            }
+            self.step(r, sink);
+        }
+        let elapsed = self
+            .ranks
+            .iter()
+            .map(|r| r.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        debug_assert!(
+            self.eager.values().all(|q| q.is_empty()),
+            "eager messages left unreceived"
+        );
+        let ranks = self
+            .ranks
+            .iter()
+            .map(|r| RankTotals {
+                wall: r.clock.since(SimTime::ZERO),
+                comp: r.comp,
+                comm: r.comm,
+                io: r.io,
+            })
+            .collect();
+        Ok(SimResult {
+            job: self.job.name.clone(),
+            cluster: self.cluster.name,
+            elapsed: elapsed.since(SimTime::ZERO),
+            ranks,
+            placement: self.placement,
+            ops_executed: self.ops_executed,
+        })
+    }
+
+    fn deadlock_report(&self) -> String {
+        let mut blocked: Vec<String> = Vec::new();
+        for (r, st) in self.ranks.iter().enumerate() {
+            if st.status != Status::Done {
+                blocked.push(format!("rank {r} at op {} in {:?}", st.pc, st.status));
+                if blocked.len() >= 4 {
+                    break;
+                }
+            }
+        }
+        blocked.join("; ")
+    }
+
+    /// Mark a rank ready at its (possibly new) clock.
+    fn make_ready(&mut self, r: usize) {
+        let st = &mut self.ranks[r];
+        st.status = Status::Ready;
+        st.gen += 1;
+        self.ready.push(st.clock, (r, st.gen));
+    }
+
+    fn step(&mut self, r: usize, sink: &mut dyn ProfSink) {
+        self.ops_executed += 1;
+        let pc = self.ranks[r].pc;
+        if pc >= self.job.programs[r].len() {
+            self.ranks[r].status = Status::Done;
+            self.done += 1;
+            return;
+        }
+        self.ranks[r].pc += 1;
+        // Clone the op (ops are small); avoids borrowing the job.
+        let op = self.job.programs[r][pc].clone();
+        match op {
+            Op::Compute { flops, bytes } => self.do_compute(r, flops, bytes, sink),
+            Op::Send { to, bytes, tag } => self.do_send(r, to as usize, bytes, tag, sink),
+            Op::Recv { from, bytes, tag } => self.do_recv(r, from as usize, bytes, tag, sink),
+            Op::Isend { to, bytes, tag, req } => self.do_isend(r, to as usize, bytes, tag, req, sink),
+            Op::Irecv { from, bytes, tag, req } => self.do_irecv(r, from as usize, bytes, tag, req),
+            Op::Wait { req } => self.do_wait(r, req, sink),
+            Op::Exchange {
+                partner,
+                send_bytes,
+                recv_bytes,
+                tag,
+            } => self.do_exchange(r, partner as usize, send_bytes, recv_bytes, tag, sink),
+            Op::Coll(c) => self.do_coll(r, Group::World, c, sink),
+            Op::GroupColl { group, op } => self.do_coll(r, group, op, sink),
+            Op::FileRead { bytes } => self.do_io(r, IoKind::Read, bytes, sink),
+            Op::FileWrite { bytes } => self.do_io(r, IoKind::Write, bytes, sink),
+            Op::SectionEnter(id) => self.do_section(r, id, true, sink),
+            Op::SectionExit(id) => self.do_section(r, id, false, sink),
+        }
+    }
+
+    fn do_compute(&mut self, r: usize, flops: f64, bytes: f64, sink: &mut dyn ProfSink) {
+        let start = self.ranks[r].clock;
+        let base = self.rates[r].compute_time(flops, bytes);
+        let jitter = {
+            let jp = self.rates[r].jitter;
+            jp.sample(&mut self.ranks[r].rng)
+        };
+        let dur = SimDur::from_secs_f64(base + jitter);
+        let st = &mut self.ranks[r];
+        st.clock += dur;
+        st.comp += dur;
+        sink.on_event(
+            r,
+            ProfEvent::Compute {
+                start,
+                end: st.clock,
+            },
+        );
+        self.make_ready(r);
+    }
+
+    fn do_section(&mut self, r: usize, id: SectionId, enter: bool, sink: &mut dyn ProfSink) {
+        let t = self.ranks[r].clock;
+        sink.on_event(
+            r,
+            if enter {
+                ProfEvent::SectionEnter { id, t }
+            } else {
+                ProfEvent::SectionExit { id, t }
+            },
+        );
+        self.make_ready(r);
+    }
+
+    fn do_io(&mut self, r: usize, kind: IoKind, bytes: u64, sink: &mut dyn ProfSink) {
+        let start = self.ranks[r].clock;
+        // Concurrency: ranks whose last I/O interval is still open at `start`
+        // are sharing the filesystem servers with us.
+        let concurrent = 1 + self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(i, st)| *i != r && st.io_until > start)
+            .count();
+        let secs = match kind {
+            IoKind::Read => self.cluster.fs.read_time(bytes, concurrent),
+            IoKind::Write => self.cluster.fs.write_time(bytes, concurrent),
+        };
+        let dur = SimDur::from_secs_f64(secs);
+        let st = &mut self.ranks[r];
+        st.clock += dur;
+        st.io += dur;
+        st.io_until = st.clock;
+        sink.on_event(
+            r,
+            ProfEvent::Io {
+                kind,
+                bytes,
+                start,
+                end: st.clock,
+            },
+        );
+        self.make_ready(r);
+    }
+
+    fn do_send(&mut self, s: usize, d: usize, bytes: usize, tag: Tag, sink: &mut dyn ProfSink) {
+        let route = self
+            .cluster
+            .topology
+            .route(self.rates[s].node, self.rates[d].node);
+        let fabric = route.fabric;
+        let start = self.ranks[s].clock;
+        // All sends are non-blocking: the sender pays its CPU occupancy and
+        // proceeds while the NIC drains the payload. Payloads over the eager
+        // threshold pay the rendezvous handshake as extra delivery latency —
+        // real MPI overlaps rendezvous transfers the same way once receive
+        // buffers are pre-posted, which every workload in the study does.
+        let occ = SimDur::from_secs_f64(cost::send_occupancy(fabric, bytes) * self.cpu_factor[s]);
+        let depart = start + occ;
+        let wire_end = if route.inter_node {
+            let wire = SimDur::from_secs_f64(cost::wire_time(fabric, bytes));
+            let (_, end) = self.nics[self.rates[s].node].acquire(depart, wire);
+            end
+        } else {
+            depart + SimDur::from_secs_f64(cost::wire_time(fabric, bytes))
+        };
+        let rndv_extra = if bytes > fabric.eager_threshold {
+            fabric.rendezvous_overhead
+        } else {
+            0.0
+        };
+        let jitter = fabric.jitter.sample(&mut self.ranks[s].rng);
+        let arrival = wire_end
+            + SimDur::from_secs_f64(fabric.latency + route.extra_latency + rndv_extra + jitter);
+        let recv_occ = cost::recv_occupancy(fabric, bytes) * self.cpu_factor[d];
+        let st = &mut self.ranks[s];
+        st.clock = depart;
+        st.comm += occ;
+        sink.on_event(
+            s,
+            ProfEvent::Mpi {
+                kind: MpiKind::Send,
+                bytes: bytes as u64,
+                start,
+                end: depart,
+            },
+        );
+        self.make_ready(s);
+        self.deliver(
+            s as Rank,
+            d as Rank,
+            tag,
+            EagerMsg {
+                arrival,
+                bytes,
+                recv_occ,
+            },
+            sink,
+        );
+    }
+
+    fn deliver(&mut self, s: Rank, d: Rank, tag: Tag, msg: EagerMsg, sink: &mut dyn ProfSink) {
+        let dr = d as usize;
+        // Pre-posted non-blocking receives match first (they were posted
+        // before the receiver could have blocked on the same channel).
+        if let Some(q) = self.irecvs.get_mut(&(s, d, tag)) {
+            if let Some((rank, req, posted)) = q.pop_front() {
+                debug_assert_eq!(rank, dr);
+                let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
+                self.fulfil_request(rank, req, complete_at, msg.bytes as u64, MpiKind::Recv, sink);
+                return;
+            }
+        }
+        if let Status::BlockedRecv {
+            from,
+            tag: rtag,
+            posted,
+            ..
+        } = self.ranks[dr].status
+        {
+            if from == s && rtag == tag {
+                // Channel FIFO: the blocked recv must take the oldest queued
+                // message; only complete directly if the queue is empty.
+                let empty = self
+                    .eager
+                    .get(&(s, d, tag))
+                    .is_none_or(|q| q.is_empty());
+                if empty {
+                    self.complete_recv(dr, posted, msg, sink);
+                    return;
+                }
+            }
+        }
+        self.eager.entry((s, d, tag)).or_default().push_back(msg);
+    }
+
+    fn complete_recv(&mut self, d: usize, posted: SimTime, msg: EagerMsg, sink: &mut dyn ProfSink) {
+        let occ = msg.recv_occ;
+        let end = posted.max(msg.arrival) + SimDur::from_secs_f64(occ);
+        let st = &mut self.ranks[d];
+        let wait = end.since(posted);
+        st.clock = end;
+        st.comm += wait;
+        sink.on_event(
+            d,
+            ProfEvent::Mpi {
+                kind: MpiKind::Recv,
+                bytes: msg.bytes as u64,
+                start: posted,
+                end,
+            },
+        );
+        self.make_ready(d);
+    }
+
+    fn do_recv(&mut self, d: usize, s: usize, bytes: usize, tag: Tag, sink: &mut dyn ProfSink) {
+        let posted = self.ranks[d].clock;
+        let key = (s as Rank, d as Rank, tag);
+        if let Some(q) = self.eager.get_mut(&key) {
+            if let Some(msg) = q.pop_front() {
+                self.complete_recv(d, posted, msg, sink);
+                return;
+            }
+        }
+        self.ranks[d].status = Status::BlockedRecv {
+            from: s as Rank,
+            tag,
+            bytes,
+            posted,
+        };
+    }
+
+    fn do_isend(
+        &mut self,
+        s: usize,
+        d: usize,
+        bytes: usize,
+        tag: Tag,
+        req: ReqId,
+        sink: &mut dyn ProfSink,
+    ) {
+        // Wire behaviour is identical to a blocking send (sends are already
+        // asynchronous); the request completes as soon as the sender's
+        // buffer is reusable, i.e. immediately after the CPU occupancy.
+        self.do_send(s, d, bytes, tag, sink);
+        let complete_at = self.ranks[s].clock;
+        let prev = self.ranks[s].requests.insert(
+            req,
+            ReqState::Done {
+                complete_at,
+                bytes: bytes as u64,
+                kind: MpiKind::Send,
+            },
+        );
+        debug_assert!(prev.is_none(), "request {req} reused before wait");
+    }
+
+    fn do_irecv(&mut self, d: usize, s: usize, _bytes: usize, tag: Tag, req: ReqId) {
+        let posted = self.ranks[d].clock;
+        let key = (s as Rank, d as Rank, tag);
+        // A message may already be buffered.
+        if let Some(msg) = self.eager.get_mut(&key).and_then(|q| q.pop_front()) {
+            let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
+            let prev = self.ranks[d].requests.insert(
+                req,
+                ReqState::Done {
+                    complete_at,
+                    bytes: msg.bytes as u64,
+                    kind: MpiKind::Recv,
+                },
+            );
+            debug_assert!(prev.is_none(), "request {req} reused before wait");
+        } else {
+            self.irecvs
+                .entry(key)
+                .or_default()
+                .push_back((d, req, posted));
+            let prev = self.ranks[d].requests.insert(req, ReqState::RecvPending);
+            debug_assert!(prev.is_none(), "request {req} reused before wait");
+        }
+        self.make_ready(d);
+    }
+
+    /// Mark a pending request complete; if its owner is blocked waiting on
+    /// it, finish the wait.
+    fn fulfil_request(
+        &mut self,
+        rank: usize,
+        req: ReqId,
+        complete_at: SimTime,
+        bytes: u64,
+        kind: MpiKind,
+        sink: &mut dyn ProfSink,
+    ) {
+        if let Status::BlockedWait { req: waiting, posted } = self.ranks[rank].status {
+            if waiting == req {
+                self.ranks[rank].requests.remove(&req);
+                let end = posted.max(complete_at);
+                let st = &mut self.ranks[rank];
+                st.clock = end;
+                st.comm += end.since(posted);
+                sink.on_event(
+                    rank,
+                    ProfEvent::Mpi {
+                        kind,
+                        bytes,
+                        start: posted,
+                        end,
+                    },
+                );
+                self.make_ready(rank);
+                return;
+            }
+        }
+        self.ranks[rank].requests.insert(
+            req,
+            ReqState::Done {
+                complete_at,
+                bytes,
+                kind,
+            },
+        );
+    }
+
+    fn do_wait(&mut self, r: usize, req: ReqId, sink: &mut dyn ProfSink) {
+        let now = self.ranks[r].clock;
+        match self.ranks[r].requests.get(&req) {
+            Some(ReqState::Done {
+                complete_at,
+                bytes,
+                kind,
+            }) => {
+                let (complete_at, bytes, kind) = (*complete_at, *bytes, *kind);
+                self.ranks[r].requests.remove(&req);
+                let end = now.max(complete_at);
+                let st = &mut self.ranks[r];
+                st.clock = end;
+                st.comm += end.since(now);
+                sink.on_event(
+                    r,
+                    ProfEvent::Mpi {
+                        kind,
+                        bytes,
+                        start: now,
+                        end,
+                    },
+                );
+                self.make_ready(r);
+            }
+            Some(ReqState::RecvPending) => {
+                self.ranks[r].status = Status::BlockedWait { req, posted: now };
+            }
+            None => panic!("rank {r}: wait on unknown request {req}"),
+        }
+    }
+
+    fn do_exchange(
+        &mut self,
+        r: usize,
+        partner: usize,
+        send_bytes: usize,
+        recv_bytes: usize,
+        tag: Tag,
+        sink: &mut dyn ProfSink,
+    ) {
+        let entry = self.ranks[r].clock;
+        let lo = (r.min(partner)) as Rank;
+        let hi = (r.max(partner)) as Rank;
+        let key = (lo, hi, tag);
+        if let Some(other) = self.exchanges.get_mut(&key).and_then(|q| q.pop_front()) {
+            // Both halves present: complete the exchange.
+            let o = other.rank as usize;
+            debug_assert_eq!(o, partner, "exchange partner mismatch");
+            let route = self
+                .cluster
+                .topology
+                .route(self.rates[r].node, self.rates[o].node);
+            let fabric = route.fabric;
+            let start = entry.max(other.entry);
+            let occ_r = cost::send_occupancy(fabric, send_bytes) * self.cpu_factor[r];
+            let occ_o = cost::send_occupancy(fabric, other.send_bytes) * self.cpu_factor[o];
+            let (end_r_wire, end_o_wire) = if route.inter_node {
+                let wr = SimDur::from_secs_f64(cost::wire_time(fabric, send_bytes));
+                let wo = SimDur::from_secs_f64(cost::wire_time(fabric, other.send_bytes));
+                let (_, er) = self.nics[self.rates[r].node]
+                    .acquire(start + SimDur::from_secs_f64(occ_r), wr);
+                let (_, eo) = self.nics[self.rates[o].node]
+                    .acquire(start + SimDur::from_secs_f64(occ_o), wo);
+                (er, eo)
+            } else {
+                (
+                    start + SimDur::from_secs_f64(occ_r + cost::wire_time(fabric, send_bytes)),
+                    start + SimDur::from_secs_f64(occ_o + cost::wire_time(fabric, other.send_bytes)),
+                )
+            };
+            let jitter = fabric.jitter.sample(&mut self.ranks[lo as usize].rng);
+            let rndv = if send_bytes.max(other.send_bytes) > fabric.eager_threshold {
+                fabric.rendezvous_overhead
+            } else {
+                0.0
+            };
+            let tail = SimDur::from_secs_f64(
+                fabric.latency
+                    + route.extra_latency
+                    + jitter
+                    + rndv
+                    + cost::recv_occupancy(fabric, recv_bytes.max(other.send_bytes))
+                        * self.cpu_factor[r].max(self.cpu_factor[o]),
+            );
+            let end = end_r_wire.max(end_o_wire) + tail;
+            for (who, t_entry, b) in [
+                (r, entry, send_bytes as u64),
+                (o, other.entry, other.send_bytes as u64),
+            ] {
+                let st = &mut self.ranks[who];
+                st.clock = end;
+                st.comm += end.since(t_entry);
+                sink.on_event(
+                    who,
+                    ProfEvent::Mpi {
+                        kind: MpiKind::Sendrecv,
+                        bytes: b,
+                        start: t_entry,
+                        end,
+                    },
+                );
+                self.make_ready(who);
+            }
+        } else {
+            self.exchanges
+                .entry(key)
+                .or_default()
+                .push_back(ExchangeArrival {
+                    rank: r as Rank,
+                    entry,
+                    send_bytes,
+                });
+            self.ranks[r].status = Status::BlockedExchange { posted: entry };
+        }
+    }
+
+    fn do_coll(&mut self, r: usize, group: Group, op: CollOp, sink: &mut dyn ProfSink) {
+        let np = self.job.np();
+        let members = group.size(np);
+        if members <= 1 {
+            // Degenerate single-rank collective: free.
+            self.make_ready(r);
+            return;
+        }
+        let entry = self.ranks[r].clock;
+        let counter = self.ranks[r].coll_count.entry(group).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let state = self.colls.entry((group, seq)).or_insert_with(|| CollState {
+            op,
+            arrived: Vec::with_capacity(members),
+        });
+        debug_assert_eq!(state.op, op, "collective sequence mismatch at #{seq}");
+        state.arrived.push((r as Rank, entry));
+        if state.arrived.len() < members {
+            self.ranks[r].status = Status::BlockedColl { posted: entry };
+            return;
+        }
+        // Last arrival: cost the collective and release everybody.
+        let state = self.colls.remove(&(group, seq)).expect("collective state");
+        let max_entry = state
+            .arrived
+            .iter()
+            .map(|(_, t)| *t)
+            .max()
+            .unwrap_or(entry);
+        // Layout of the group's members: NIC sharers and node span.
+        let mut per_node: HashMap<usize, usize> = HashMap::new();
+        let mut cpu_factor = 1.0_f64;
+        for m in group.members(np) {
+            *per_node.entry(self.rates[m as usize].node).or_insert(0) += 1;
+            cpu_factor = cpu_factor.max(self.cpu_factor[m as usize]);
+        }
+        let ppn = per_node.values().copied().max().unwrap_or(1);
+        let topo = CollTopo {
+            inter: &self.cluster.topology.inter,
+            intra: &self.cluster.topology.intra,
+            np: members,
+            ppn,
+            nodes_used: per_node.len(),
+            cpu_factor,
+        };
+        let mut secs = topo.cost(op);
+        for _ in 0..topo.inter_rounds(op) {
+            secs += self.cluster.topology.inter.jitter.sample(&mut self.coll_rng);
+        }
+        let end = max_entry + SimDur::from_secs_f64(secs);
+        let kind = match op {
+            CollOp::Barrier => MpiKind::Barrier,
+            CollOp::Bcast { .. } => MpiKind::Bcast,
+            CollOp::Reduce { .. } => MpiKind::Reduce,
+            CollOp::Allreduce { .. } => MpiKind::Allreduce,
+            CollOp::Allgather { .. } => MpiKind::Allgather,
+            CollOp::Alltoall { .. } => MpiKind::Alltoall,
+            CollOp::Gather { .. } => MpiKind::Gather,
+            CollOp::Scatter { .. } => MpiKind::Scatter,
+        };
+        let bytes = op.bytes_per_rank(members);
+        for (who, t_entry) in state.arrived {
+            let w = who as usize;
+            let st = &mut self.ranks[w];
+            st.clock = end;
+            st.comm += end.since(t_entry);
+            sink.on_event(
+                w,
+                ProfEvent::Mpi {
+                    kind,
+                    bytes,
+                    start: t_entry,
+                    end,
+                },
+            );
+            self.make_ready(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    //! White-box tests of engine mechanics not reachable from the public
+    //! workload suites.
+
+    use super::*;
+    use crate::op::{CollOp, JobSpec, Op};
+    use crate::prof::NullSink;
+    use sim_platform::presets;
+
+    fn job(programs: Vec<Vec<Op>>) -> JobSpec {
+        JobSpec {
+            name: "t".into(),
+            programs,
+            section_names: vec![],
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_share_the_nfs_server() {
+        // Two DCC ranks read 1 GB "at the same time": the shared NFS server
+        // serves them at half rate each, so both take ~2x the solo time.
+        let d = presets::dcc();
+        let solo = run_job(
+            &job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
+            &d,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap()
+        .elapsed_secs();
+        let both = run_job(
+            &job(vec![
+                vec![Op::FileRead { bytes: 1 << 30 }],
+                vec![Op::FileRead { bytes: 1 << 30 }],
+            ]),
+            &d,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap()
+        .elapsed_secs();
+        assert!(
+            (1.8..2.2).contains(&(both / solo)),
+            "solo {solo} both {both}"
+        );
+    }
+
+    #[test]
+    fn lustre_absorbs_concurrent_readers() {
+        let v = presets::vayu();
+        let solo = run_job(
+            &job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
+            &v,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap()
+        .elapsed_secs();
+        let both = run_job(
+            &job(vec![
+                vec![Op::FileRead { bytes: 1 << 30 }],
+                vec![Op::FileRead { bytes: 1 << 30 }],
+            ]),
+            &v,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap()
+        .elapsed_secs();
+        assert!(both / solo < 1.2, "striped fs must absorb 2 readers: {both} vs {solo}");
+    }
+
+    #[test]
+    fn fat_tree_extra_hop_observable() {
+        // Vayu leaf radix is 16: ranks on nodes 0 and 15 share a leaf;
+        // nodes 0 and 16 cross the spine and pay two extra hops.
+        let v = presets::vayu();
+        let mk = |peer_node: usize| {
+            let np = peer_node * 8 + 1;
+            let mut progs = vec![vec![]; np];
+            progs[0] = vec![Op::Send { to: (np - 1) as u32, bytes: 8, tag: 0 }];
+            progs[np - 1] = vec![Op::Recv { from: 0, bytes: 8, tag: 0 }];
+            job(progs)
+        };
+        let same_leaf = run_job(&mk(15), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let cross_leaf = run_job(&mk(16), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let delta = cross_leaf - same_leaf;
+        assert!(
+            (0.5e-6..0.8e-6).contains(&delta),
+            "spine hops should add ~0.6us: {delta}"
+        );
+    }
+
+    #[test]
+    fn single_rank_jobs_run_all_op_kinds() {
+        let v = presets::vayu();
+        let r = run_job(
+            &job(vec![vec![
+                Op::Compute { flops: 1e6, bytes: 1e6 },
+                Op::Coll(CollOp::Allreduce { bytes: 8 }),
+                Op::Coll(CollOp::Alltoall { bytes_per_pair: 64 }),
+                Op::FileRead { bytes: 1000 },
+                Op::FileWrite { bytes: 1000 },
+            ]]),
+            &v,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap();
+        // Single-rank collectives are free.
+        assert_eq!(r.ranks[0].comm, sim_des::SimDur::ZERO);
+        assert!(r.ranks[0].io.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn zero_byte_messages_cost_only_overheads() {
+        let v = presets::vayu();
+        let mut progs = vec![vec![]; 9];
+        progs[0] = vec![Op::Send { to: 8, bytes: 0, tag: 0 }];
+        progs[8] = vec![Op::Recv { from: 0, bytes: 0, tag: 0 }];
+        let r = run_job(&job(progs), &v, &SimConfig::default(), &mut NullSink).unwrap();
+        let t = r.elapsed_secs();
+        assert!(t > 0.0 && t < 10e-6, "zero-byte send took {t}");
+    }
+
+    #[test]
+    fn empty_program_rank_finishes_at_time_zero() {
+        let v = presets::vayu();
+        let r = run_job(
+            &job(vec![vec![Op::Compute { flops: 1e6, bytes: 0.0 }], vec![]]),
+            &v,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(r.ranks[1].wall, sim_des::SimDur::ZERO);
+        assert!(r.ranks[0].wall.0 > 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The operation vocabulary of simulated MPI programs.
+//!
+//! A workload compiles, per rank, to a sequence of [`Op`]s — compute chunks,
+//! point-to-point messages, collectives, file I/O and section markers. The
+//! engine in [`crate::engine`] executes one `Vec<Op>` per rank against a
+//! platform model.
+
+/// Rank index within the job.
+pub type Rank = u32;
+
+/// Message tag (matching is FIFO per `(source, dest, tag)`).
+pub type Tag = u32;
+
+/// Index into the job's section-name table.
+pub type SectionId = u16;
+
+/// Rank-local non-blocking request handle (see [`Op::Isend`], [`Op::Irecv`],
+/// [`Op::Wait`]). A handle may be reused after it has been waited on.
+pub type ReqId = u32;
+
+/// A communicator: the set of ranks participating in a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// All ranks of the job (`MPI_COMM_WORLD`).
+    World,
+    /// `count` ranks starting at `first`, `stride` apart — covers row and
+    /// column communicators of the 2-D decompositions the workloads use.
+    Strided { first: Rank, count: u32, stride: u32 },
+}
+
+impl Group {
+    /// Number of member ranks (`np` = world size).
+    pub fn size(&self, np: usize) -> usize {
+        match self {
+            Group::World => np,
+            Group::Strided { count, .. } => *count as usize,
+        }
+    }
+
+    /// Whether `rank` belongs to the group.
+    pub fn contains(&self, rank: Rank, np: usize) -> bool {
+        match self {
+            Group::World => (rank as usize) < np,
+            Group::Strided { first, count, stride } => {
+                let stride = (*stride).max(1);
+                rank >= *first
+                    && (rank - first) % stride == 0
+                    && (rank - first) / stride < *count
+            }
+        }
+    }
+
+    /// Iterate the member ranks.
+    pub fn members(&self, np: usize) -> Vec<Rank> {
+        match self {
+            Group::World => (0..np as Rank).collect(),
+            Group::Strided { first, count, stride } => {
+                let stride = (*stride).max(1);
+                (0..*count).map(|i| first + i * stride).collect()
+            }
+        }
+    }
+}
+
+/// One operation of a rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Local work: a roofline chunk of `flops` floating-point operations
+    /// touching `bytes` of memory traffic.
+    Compute { flops: f64, bytes: f64 },
+    /// Eager/rendezvous point-to-point send.
+    Send { to: Rank, bytes: usize, tag: Tag },
+    /// Blocking receive matching `(from, tag)` in FIFO order.
+    Recv { from: Rank, bytes: usize, tag: Tag },
+    /// Non-blocking send: identical wire behaviour to [`Op::Send`] (sends
+    /// are already asynchronous), but completion is observed via
+    /// [`Op::Wait`] on `req`, like `MPI_Isend`.
+    Isend {
+        to: Rank,
+        bytes: usize,
+        tag: Tag,
+        req: ReqId,
+    },
+    /// Non-blocking receive: posts the match immediately and returns;
+    /// [`Op::Wait`] on `req` blocks until the message has arrived. This is
+    /// what lets codes overlap halo exchange with interior compute.
+    Irecv {
+        from: Rank,
+        bytes: usize,
+        tag: Tag,
+        req: ReqId,
+    },
+    /// Complete a previously issued non-blocking operation.
+    Wait { req: ReqId },
+    /// Paired sendrecv with a partner (halo exchanges): both ranks
+    /// synchronize, exchange `send_bytes`/`recv_bytes`, and proceed.
+    /// Deadlock-free by construction, which is why the workloads use it for
+    /// neighbour exchanges, exactly like real codes use `MPI_Sendrecv`.
+    Exchange {
+        partner: Rank,
+        send_bytes: usize,
+        recv_bytes: usize,
+        tag: Tag,
+    },
+    /// A collective over the whole job (see `CollOp`).
+    Coll(CollOp),
+    /// A collective over a sub-communicator — e.g. the row/column
+    /// communicators of a 2-D processor grid. Every member must issue the
+    /// same group collectives in the same order.
+    GroupColl { group: Group, op: CollOp },
+    /// Read `bytes` from the shared filesystem.
+    FileRead { bytes: u64 },
+    /// Write `bytes` to the shared filesystem.
+    FileWrite { bytes: u64 },
+    /// Enter a named profiling section (IPM-style region).
+    SectionEnter(SectionId),
+    /// Leave a named profiling section.
+    SectionExit(SectionId),
+}
+
+/// Collective operations with their per-rank payload sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollOp {
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast of `bytes` from `root`.
+    Bcast { root: Rank, bytes: usize },
+    /// Binomial-tree reduction of `bytes` to `root`.
+    Reduce { root: Rank, bytes: usize },
+    /// Recursive-doubling allreduce of `bytes` (the 4-byte flavour of this
+    /// is what dominates the Chaste KSp section).
+    Allreduce { bytes: usize },
+    /// Recursive-doubling allgather; every rank contributes `bytes_per_rank`.
+    Allgather { bytes_per_rank: usize },
+    /// Pairwise-exchange all-to-all; every rank sends `bytes_per_pair` to
+    /// every other rank (FT's transpose, IS's key shuffle).
+    Alltoall { bytes_per_pair: usize },
+    /// Binomial gather of `bytes_per_rank` from every rank to `root`.
+    Gather { root: Rank, bytes_per_rank: usize },
+    /// Binomial scatter of `bytes_per_rank` from `root` to every rank.
+    Scatter { root: Rank, bytes_per_rank: usize },
+}
+
+impl CollOp {
+    /// Short MPI-style name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollOp::Barrier => "MPI_Barrier",
+            CollOp::Bcast { .. } => "MPI_Bcast",
+            CollOp::Reduce { .. } => "MPI_Reduce",
+            CollOp::Allreduce { .. } => "MPI_Allreduce",
+            CollOp::Allgather { .. } => "MPI_Allgather",
+            CollOp::Alltoall { .. } => "MPI_Alltoall",
+            CollOp::Gather { .. } => "MPI_Gather",
+            CollOp::Scatter { .. } => "MPI_Scatter",
+        }
+    }
+
+    /// Bytes this collective moves per rank (used for histogram bucketing).
+    pub fn bytes_per_rank(&self, np: usize) -> u64 {
+        match *self {
+            CollOp::Barrier => 0,
+            CollOp::Bcast { bytes, .. } | CollOp::Reduce { bytes, .. } | CollOp::Allreduce { bytes } => {
+                bytes as u64
+            }
+            CollOp::Allgather { bytes_per_rank }
+            | CollOp::Gather { bytes_per_rank, .. }
+            | CollOp::Scatter { bytes_per_rank, .. } => bytes_per_rank as u64,
+            CollOp::Alltoall { bytes_per_pair } => bytes_per_pair as u64 * np.saturating_sub(1) as u64,
+        }
+    }
+}
+
+/// A complete job: one op program per rank plus section names.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload name for reports ("cg.B", "metum.n320l70", ...).
+    pub name: String,
+    /// `programs[r]` is rank `r`'s op sequence.
+    pub programs: Vec<Vec<Op>>,
+    /// Names of profiling sections, indexed by [`SectionId`].
+    pub section_names: Vec<&'static str>,
+}
+
+impl JobSpec {
+    /// Number of ranks.
+    pub fn np(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total ops across all ranks (progress/size diagnostics).
+    pub fn total_ops(&self) -> usize {
+        self.programs.iter().map(|p| p.len()).sum()
+    }
+
+    /// Validate structural well-formedness:
+    /// * every `Send` has a matching `Recv` (and vice versa) per channel,
+    /// * every `Exchange` is mirrored by the partner with swapped sizes,
+    /// * all ranks issue the same number of collectives, in the same kinds,
+    /// * section enters/exits balance per rank,
+    /// * targets are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let np = self.np() as u32;
+        let mut sends: HashMap<(u32, u32, Tag), usize> = HashMap::new();
+        let mut recvs: HashMap<(u32, u32, Tag), usize> = HashMap::new();
+        let mut exchanges: HashMap<(u32, u32, Tag), i64> = HashMap::new();
+        let mut coll_seqs: Vec<Vec<(&'static str, Group, &'static str)>> =
+            Vec::with_capacity(self.programs.len());
+        for (r, prog) in self.programs.iter().enumerate() {
+            let r = r as u32;
+            let mut colls: Vec<(&str, Group, &str)> = Vec::new();
+            let mut depth: i32 = 0;
+            let mut open_reqs: std::collections::HashSet<u32> = Default::default();
+            for op in prog {
+                match op {
+                    Op::Isend { to, tag, req, .. } => {
+                        if *to >= np {
+                            return Err(format!("rank {r}: isend to out-of-range rank {to}"));
+                        }
+                        if *to == r {
+                            return Err(format!("rank {r}: isend to self"));
+                        }
+                        if !open_reqs.insert(*req) {
+                            return Err(format!("rank {r}: request {req} reused before wait"));
+                        }
+                        *sends.entry((r, *to, *tag)).or_default() += 1;
+                    }
+                    Op::Irecv { from, tag, req, .. } => {
+                        if *from >= np {
+                            return Err(format!("rank {r}: irecv from out-of-range rank {from}"));
+                        }
+                        if !open_reqs.insert(*req) {
+                            return Err(format!("rank {r}: request {req} reused before wait"));
+                        }
+                        *recvs.entry((*from, r, *tag)).or_default() += 1;
+                    }
+                    Op::Wait { req } => {
+                        if !open_reqs.remove(req) {
+                            return Err(format!("rank {r}: wait on unknown request {req}"));
+                        }
+                    }
+                    Op::Send { to, tag, .. } => {
+                        if *to >= np {
+                            return Err(format!("rank {r}: send to out-of-range rank {to}"));
+                        }
+                        if *to == r {
+                            return Err(format!("rank {r}: send to self"));
+                        }
+                        *sends.entry((r, *to, *tag)).or_default() += 1;
+                    }
+                    Op::Recv { from, tag, .. } => {
+                        if *from >= np {
+                            return Err(format!("rank {r}: recv from out-of-range rank {from}"));
+                        }
+                        *recvs.entry((*from, r, *tag)).or_default() += 1;
+                    }
+                    Op::Exchange { partner, tag, .. } => {
+                        if *partner >= np {
+                            return Err(format!("rank {r}: exchange with out-of-range {partner}"));
+                        }
+                        if *partner == r {
+                            return Err(format!("rank {r}: exchange with self"));
+                        }
+                        let key = (r.min(*partner), r.max(*partner), *tag);
+                        *exchanges.entry(key).or_default() += if r < *partner { 1 } else { -1 };
+                    }
+                    Op::Coll(c) => colls.push(("world", Group::World, c.name())),
+                    Op::GroupColl { group, op } => {
+                        if !group.contains(r, np as usize) {
+                            return Err(format!(
+                                "rank {r}: group collective on a group it is not in"
+                            ));
+                        }
+                        if let Group::Strided { first, count, stride } = group {
+                            let last = *first as u64
+                                + (count.saturating_sub(1) as u64) * (*stride).max(1) as u64;
+                            if last >= np as u64 {
+                                return Err(format!(
+                                    "rank {r}: group extends past rank {last} >= np {np}"
+                                ));
+                            }
+                        }
+                        colls.push(("group", *group, op.name()));
+                    }
+                    Op::SectionEnter(id) => {
+                        if *id as usize >= self.section_names.len() {
+                            return Err(format!("rank {r}: unknown section id {id}"));
+                        }
+                        depth += 1;
+                    }
+                    Op::SectionExit(_) => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return Err(format!("rank {r}: section exit without enter"));
+                        }
+                    }
+                    Op::Compute { flops, bytes } => {
+                        if !flops.is_finite() || !bytes.is_finite() || *flops < 0.0 || *bytes < 0.0 {
+                            return Err(format!("rank {r}: bad compute chunk {flops}/{bytes}"));
+                        }
+                    }
+                    Op::FileRead { .. } | Op::FileWrite { .. } => {}
+                }
+            }
+            if depth != 0 {
+                return Err(format!("rank {r}: {depth} unclosed sections"));
+            }
+            if !open_reqs.is_empty() {
+                return Err(format!(
+                    "rank {r}: {} request(s) never waited on",
+                    open_reqs.len()
+                ));
+            }
+            coll_seqs.push(colls);
+        }
+        for (key, n) in &sends {
+            let m = recvs.get(key).copied().unwrap_or(0);
+            if *n != m {
+                return Err(format!("channel {key:?}: {n} sends vs {m} recvs"));
+            }
+        }
+        for (key, m) in &recvs {
+            if !sends.contains_key(key) {
+                return Err(format!("channel {key:?}: {m} recvs with no send"));
+            }
+        }
+        for (key, bal) in &exchanges {
+            if *bal != 0 {
+                return Err(format!("exchange {key:?}: unbalanced by {bal}"));
+            }
+        }
+        // Per communicator, every member must issue the same sequence.
+        let mut by_group: HashMap<Group, Vec<(u32, Vec<&str>)>> = HashMap::new();
+        for (r, seq) in coll_seqs.iter().enumerate() {
+            let mut per_rank: HashMap<Group, Vec<&str>> = HashMap::new();
+            for (_, g, name) in seq.iter() {
+                per_rank.entry(*g).or_default().push(name);
+            }
+            for (g, names) in per_rank {
+                by_group.entry(g).or_default().push((r as u32, names));
+            }
+        }
+        for (g, seqs) in &by_group {
+            let expected_members = g.size(self.np());
+            if seqs.len() != expected_members {
+                return Err(format!(
+                    "group {g:?}: {} rank(s) issued its collectives but it has {expected_members} members",
+                    seqs.len()
+                ));
+            }
+            for (r, names) in &seqs[1..] {
+                if *names != seqs[0].1 {
+                    return Err(format!(
+                        "rank {r} issues a different collective sequence on {g:?} than rank {}",
+                        seqs[0].0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(programs: Vec<Vec<Op>>) -> JobSpec {
+        JobSpec {
+            name: "test".into(),
+            programs,
+            section_names: vec!["main"],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_matched_pt2pt() {
+        let j = job(vec![
+            vec![Op::Send { to: 1, bytes: 8, tag: 0 }],
+            vec![Op::Recv { from: 0, bytes: 8, tag: 0 }],
+        ]);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_send() {
+        let j = job(vec![
+            vec![Op::Send { to: 1, bytes: 8, tag: 0 }],
+            vec![],
+        ]);
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_recv_without_send() {
+        let j = job(vec![
+            vec![],
+            vec![Op::Recv { from: 0, bytes: 8, tag: 0 }],
+        ]);
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_send_and_out_of_range() {
+        let j = job(vec![vec![Op::Send { to: 0, bytes: 8, tag: 0 }]]);
+        assert!(j.validate().is_err());
+        let j = job(vec![vec![Op::Send { to: 9, bytes: 8, tag: 0 }]]);
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_mirrored_exchange() {
+        let ok = job(vec![
+            vec![Op::Exchange { partner: 1, send_bytes: 8, recv_bytes: 16, tag: 7 }],
+            vec![Op::Exchange { partner: 0, send_bytes: 16, recv_bytes: 8, tag: 7 }],
+        ]);
+        assert!(ok.validate().is_ok());
+        let bad = job(vec![
+            vec![Op::Exchange { partner: 1, send_bytes: 8, recv_bytes: 8, tag: 7 }],
+            vec![],
+        ]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_identical_collective_sequences() {
+        let ok = job(vec![
+            vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
+            vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
+        ]);
+        assert!(ok.validate().is_ok());
+        let bad = job(vec![
+            vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
+            vec![Op::Coll(CollOp::Barrier)],
+        ]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_balanced_sections() {
+        let bad = job(vec![vec![Op::SectionEnter(0)]]);
+        assert!(bad.validate().is_err());
+        let bad2 = job(vec![vec![Op::SectionExit(0)]]);
+        assert!(bad2.validate().is_err());
+        let ok = job(vec![vec![Op::SectionEnter(0), Op::SectionExit(0)]]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn alltoall_bytes_per_rank_counts_peers() {
+        let c = CollOp::Alltoall { bytes_per_pair: 100 };
+        assert_eq!(c.bytes_per_rank(5), 400);
+        assert_eq!(CollOp::Barrier.bytes_per_rank(5), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! `sim-net` — interconnect and contention models.
+//!
+//! Provides the fabric parameter sets ([`FabricParams`]) for the three
+//! interconnects of the study (QDR InfiniBand, virtualized 10 GigE, VMware
+//! vSwitch GigE), the LogGP-style point-to-point cost algebra ([`cost`]),
+//! cluster topologies ([`Topology`]) and the contention primitives
+//! ([`SerialResource`], [`FairShareResource`]) that the MPI runtime layers
+//! on top.
+
+pub mod cost;
+pub mod params;
+pub mod resource;
+pub mod topology;
+
+pub use cost::{
+    expected_one_way_time, one_way_time, pingpong_half_rtt, protocol, recv_occupancy,
+    send_occupancy, shared_wire_time, streaming_bandwidth, wire_time, Protocol,
+};
+pub use params::{FabricParams, JitterDist, JitterParams};
+pub use resource::{FairShareResource, SerialResource};
+pub use topology::{Route, Shape, Topology};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_fabric() -> impl Strategy<Value = FabricParams> {
+        prop_oneof![
+            Just(FabricParams::qdr_infiniband()),
+            Just(FabricParams::ten_gige_virt()),
+            Just(FabricParams::gige_vswitch()),
+            Just(FabricParams::shared_memory()),
+        ]
+    }
+
+    proptest! {
+        /// One-way time is monotone non-decreasing in message size.
+        #[test]
+        fn one_way_monotone(f in any_fabric(), a in 1usize..1_000_000, b in 1usize..1_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(one_way_time(&f, lo) <= one_way_time(&f, hi) + 1e-15);
+        }
+
+        /// One-way time is bounded below by pure wire latency + serialization.
+        #[test]
+        fn one_way_lower_bound(f in any_fabric(), bytes in 1usize..4_000_000) {
+            let t = one_way_time(&f, bytes);
+            prop_assert!(t >= f.latency + bytes as f64 / f.bandwidth);
+        }
+
+        /// Streaming bandwidth never exceeds wire bandwidth.
+        #[test]
+        fn streaming_bw_bounded(f in any_fabric(), bytes in 1usize..4_000_000) {
+            prop_assert!(streaming_bandwidth(&f, bytes) <= f.bandwidth + 1.0);
+        }
+
+        /// Serial resource timestamps are consistent: start >= request time,
+        /// end = start + service, and grants never overlap.
+        #[test]
+        fn serial_resource_no_overlap(reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..50)) {
+            let mut r = SerialResource::new();
+            let mut sorted = reqs.clone();
+            sorted.sort();
+            let mut last_end = sim_des::SimTime::ZERO;
+            for (t, d) in sorted {
+                let (s, e) = r.acquire(sim_des::SimTime(t), sim_des::SimDur(d));
+                prop_assert!(s >= sim_des::SimTime(t));
+                prop_assert!(s >= last_end);
+                prop_assert_eq!(e, s + sim_des::SimDur(d));
+                last_end = e;
+            }
+        }
+
+        /// Fair-share transfer time is monotone in client count.
+        #[test]
+        fn fair_share_monotone(clients in 1usize..64, servers in 1usize..16) {
+            let fsr = FairShareResource::new(1e9, servers);
+            let t1 = fsr.transfer_time(1_000_000, clients);
+            let t2 = fsr.transfer_time(1_000_000, clients + 1);
+            prop_assert!(t2 >= t1 - 1e-12);
+        }
+    }
+}

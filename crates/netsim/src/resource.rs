@@ -1,0 +1,136 @@
+//! Serially-reusable resources (NICs, filesystem servers).
+//!
+//! A [`SerialResource`] is the simplest contention model that still produces
+//! the right qualitative behaviour: requests queue FIFO and each occupies the
+//! resource for its service time. The MPI runtime uses one per node NIC so
+//! that eight ranks funnelling an all-to-all through one GigE port serialize,
+//! which is precisely the effect behind DCC's speedup collapse at 16 ranks.
+
+use sim_des::{SimDur, SimTime};
+
+/// A resource that serves one request at a time, FIFO.
+#[derive(Debug, Clone, Default)]
+pub struct SerialResource {
+    free_at: SimTime,
+    /// Total busy time accumulated, for utilization reporting.
+    busy: SimDur,
+}
+
+impl SerialResource {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request the resource at `now` for `service` time. Returns
+    /// `(start, end)`: the request begins when the resource frees up and the
+    /// caller's payload has arrived, whichever is later.
+    pub fn acquire(&mut self, now: SimTime, service: SimDur) -> (SimTime, SimTime) {
+        let start = now.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        (start, end)
+    }
+
+    /// When the resource next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total service time granted so far.
+    pub fn total_busy(&self) -> SimDur {
+        self.busy
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.0 == 0 {
+            0.0
+        } else {
+            (self.busy.0 as f64 / horizon.0 as f64).min(1.0)
+        }
+    }
+}
+
+/// A resource pool whose aggregate service rate is shared fairly among the
+/// requests in flight — a fluid approximation used for shared filesystem
+/// servers (NFS: one server; Lustre: `stripes` independent servers).
+#[derive(Debug, Clone)]
+pub struct FairShareResource {
+    /// Aggregate service rate in bytes/second.
+    pub rate: f64,
+    /// Number of independent servers; concurrent clients up to this count
+    /// don't contend at all.
+    pub servers: usize,
+}
+
+impl FairShareResource {
+    pub fn new(rate: f64, servers: usize) -> Self {
+        assert!(rate > 0.0 && servers > 0);
+        FairShareResource { rate, servers }
+    }
+
+    /// Time for `clients` concurrent clients to each move `bytes`: with up to
+    /// `servers` clients everyone enjoys the full per-server rate; beyond
+    /// that the aggregate rate is divided fairly.
+    pub fn transfer_time(&self, bytes: u64, clients: usize) -> f64 {
+        let clients = clients.max(1);
+        let per_client_rate = if clients <= self.servers {
+            self.rate / self.servers as f64
+        } else {
+            self.rate / clients as f64
+        };
+        bytes as f64 / per_client_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_resource_queues_fifo() {
+        let mut r = SerialResource::new();
+        let (s1, e1) = r.acquire(SimTime(100), SimDur(50));
+        assert_eq!((s1, e1), (SimTime(100), SimTime(150)));
+        // Second request at t=110 must wait until 150.
+        let (s2, e2) = r.acquire(SimTime(110), SimDur(30));
+        assert_eq!((s2, e2), (SimTime(150), SimTime(180)));
+        // A late request after the resource idles starts immediately.
+        let (s3, _) = r.acquire(SimTime(500), SimDur(10));
+        assert_eq!(s3, SimTime(500));
+        assert_eq!(r.total_busy(), SimDur(90));
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut r = SerialResource::new();
+        r.acquire(SimTime(0), SimDur(80));
+        assert!((r.utilization(SimTime(100)) - 0.8).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+        r.acquire(SimTime(0), SimDur(80));
+        assert_eq!(r.utilization(SimTime(100)), 1.0);
+    }
+
+    #[test]
+    fn fair_share_nfs_divides_rate() {
+        // NFS: one server at 400 MB/s.
+        let nfs = FairShareResource::new(400e6, 1);
+        let one = nfs.transfer_time(400_000_000, 1);
+        let eight = nfs.transfer_time(400_000_000, 8);
+        assert!((one - 1.0).abs() < 1e-9);
+        assert!((eight - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_share_lustre_scales_until_stripe_count() {
+        // Lustre: 8 OSTs at 1 GB/s aggregate.
+        let lustre = FairShareResource::new(8e9, 8);
+        let t4 = lustre.transfer_time(1_000_000_000, 4);
+        let t8 = lustre.transfer_time(1_000_000_000, 8);
+        let t16 = lustre.transfer_time(1_000_000_000, 16);
+        assert!((t4 - 1.0).abs() < 1e-9, "below stripe count: full per-server rate");
+        assert!((t8 - 1.0).abs() < 1e-9);
+        assert!((t16 - 2.0).abs() < 1e-9, "beyond stripe count: fair share");
+    }
+}

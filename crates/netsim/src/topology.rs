@@ -1,0 +1,156 @@
+//! Cluster interconnect topology.
+//!
+//! A [`Topology`] answers one question for the MPI runtime: which fabric (and
+//! how many switch hops) connects two nodes. The study's three platforms all
+//! reduce to "shared memory inside a node, one fabric between nodes", but the
+//! fat-tree variant charges extra per-hop latency once traffic leaves a leaf
+//! switch, which matters at Vayu's scale.
+
+use crate::params::FabricParams;
+
+/// Interconnect shape between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// All nodes hang off one switch (DCC's vSwitch, EC2 placement group).
+    SingleSwitch,
+    /// Classic fat tree with `radix` ports per leaf switch; traffic between
+    /// nodes under different leaves pays `extra_hop_latency` twice (up and
+    /// down through the spine).
+    FatTree { radix: usize, extra_hop_latency: f64 },
+}
+
+/// The interconnect of a cluster: an inter-node fabric with a shape, plus an
+/// intra-node fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    pub inter: FabricParams,
+    pub intra: FabricParams,
+    pub shape: Shape,
+}
+
+/// Result of a route query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route<'a> {
+    /// The fabric the message travels on.
+    pub fabric: &'a FabricParams,
+    /// Extra latency beyond the fabric's base latency (spine hops).
+    pub extra_latency: f64,
+    /// Whether the route leaves the node.
+    pub inter_node: bool,
+}
+
+impl Topology {
+    /// Single-switch topology (both cloud platforms).
+    pub fn single_switch(inter: FabricParams, intra: FabricParams) -> Self {
+        Topology {
+            inter,
+            intra,
+            shape: Shape::SingleSwitch,
+        }
+    }
+
+    /// Fat-tree topology (Vayu: four DS648 spine switches, QDR leaves).
+    pub fn fat_tree(inter: FabricParams, intra: FabricParams, radix: usize, extra_hop_latency: f64) -> Self {
+        Topology {
+            inter,
+            intra,
+            shape: Shape::FatTree {
+                radix,
+                extra_hop_latency,
+            },
+        }
+    }
+
+    /// The route between two nodes (`a == b` means intra-node).
+    pub fn route(&self, a: usize, b: usize) -> Route<'_> {
+        if a == b {
+            return Route {
+                fabric: &self.intra,
+                extra_latency: 0.0,
+                inter_node: false,
+            };
+        }
+        let extra = match self.shape {
+            Shape::SingleSwitch => 0.0,
+            Shape::FatTree {
+                radix,
+                extra_hop_latency,
+            } => {
+                if radix > 0 && a / radix == b / radix {
+                    0.0 // same leaf switch
+                } else {
+                    2.0 * extra_hop_latency // up to spine and back down
+                }
+            }
+        };
+        Route {
+            fabric: &self.inter,
+            extra_latency: extra,
+            inter_node: true,
+        }
+    }
+
+    /// One-way time for an isolated message from node `a` to node `b`.
+    pub fn one_way_time(&self, a: usize, b: usize, bytes: usize) -> f64 {
+        let r = self.route(a, b);
+        crate::cost::one_way_time(r.fabric, bytes) + r.extra_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::fat_tree(
+            FabricParams::qdr_infiniband(),
+            FabricParams::shared_memory(),
+            16,
+            0.3e-6,
+        )
+    }
+
+    #[test]
+    fn intra_node_uses_shared_memory() {
+        let t = topo();
+        let r = t.route(3, 3);
+        assert!(!r.inter_node);
+        assert_eq!(r.fabric.name, "shared memory");
+        assert_eq!(r.extra_latency, 0.0);
+    }
+
+    #[test]
+    fn same_leaf_no_extra_hop() {
+        let t = topo();
+        let r = t.route(0, 15);
+        assert!(r.inter_node);
+        assert_eq!(r.extra_latency, 0.0);
+    }
+
+    #[test]
+    fn cross_leaf_pays_spine_hops() {
+        let t = topo();
+        let r = t.route(0, 16);
+        assert!(r.inter_node);
+        assert!((r.extra_latency - 0.6e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_switch_never_pays_extra() {
+        let t = Topology::single_switch(
+            FabricParams::gige_vswitch(),
+            FabricParams::shared_memory_virt(0.4e-6, crate::params::JitterParams::NONE),
+        );
+        for (a, b) in [(0, 1), (0, 7), (3, 4)] {
+            assert_eq!(t.route(a, b).extra_latency, 0.0);
+        }
+    }
+
+    #[test]
+    fn intra_is_faster_than_inter_for_all_presets() {
+        let t = topo();
+        for bytes in [8usize, 1024, 1 << 20] {
+            assert!(t.one_way_time(0, 0, bytes) < t.one_way_time(0, 99, bytes));
+        }
+    }
+}

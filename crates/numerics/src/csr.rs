@@ -1,0 +1,227 @@
+//! Compressed sparse row matrices and SpMV.
+//!
+//! The real computational heart of both CG-type workloads in the study: the
+//! NPB CG kernel and the Chaste KSp solve are dominated by sparse
+//! matrix-vector products. This implementation is used by the runnable
+//! examples and by the tests that validate the flop formulas the workload
+//! models charge to the simulator.
+
+/// A square sparse matrix in CSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    pub n: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets; duplicate entries are summed.
+    pub fn from_triplets(n: usize, mut triplets: Vec<(usize, usize, f64)>) -> Csr {
+        triplets.sort_by_key(|(r, c, _)| (*r, *c));
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx: Vec<usize> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(triplets.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triplets {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range for n={n}");
+            if last == Some((r, c)) {
+                *values.last_mut().expect("non-empty on duplicate") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1; // counts, prefixed-summed below
+                last = Some((r, c));
+            }
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Floating-point operations one SpMV performs (2 per stored entry).
+    pub fn spmv_flops(&self) -> f64 {
+        2.0 * self.nnz() as f64
+    }
+
+    /// Memory traffic one SpMV streams, bytes (values + indices + vectors).
+    pub fn spmv_bytes(&self) -> f64 {
+        (self.nnz() * (8 + 8) + self.n * (8 + 8 + 8)) as f64
+    }
+
+    /// The standard 5-point 2-D Poisson stencil on an `nx` × `ny` grid
+    /// (Dirichlet boundaries): SPD, the classic CG test matrix.
+    pub fn poisson_2d(nx: usize, ny: usize) -> Csr {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut t = Vec::with_capacity(5 * n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let me = idx(i, j);
+                t.push((me, me, 4.0));
+                if i > 0 {
+                    t.push((me, idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((me, idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((me, idx(i, j - 1), -1.0));
+                }
+                if j + 1 < ny {
+                    t.push((me, idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        Csr::from_triplets(n, t)
+    }
+
+    /// A random sparse SPD matrix: strictly diagonally dominant with `k`
+    /// off-diagonal entries per row, for property tests.
+    pub fn random_spd(n: usize, k: usize, rng: &mut sim_des_shim::Rng) -> Csr {
+        let mut t = Vec::with_capacity(n * (k + 1));
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for _ in 0..k {
+                let j = rng.index(n);
+                if j == i {
+                    continue;
+                }
+                let v = rng.uniform() - 0.5;
+                // Keep symmetry by adding both (i,j) and (j,i).
+                t.push((i, j, v));
+                t.push((j, i, v));
+                row_sum += v.abs();
+            }
+            t.push((i, i, 2.0 * row_sum + 1.0 + rng.uniform()));
+        }
+        // Symmetrize diagonal dominance: bump every diagonal by the global
+        // max row sum to be safe.
+        let bump: f64 = 2.0 * k as f64;
+        let mut m = Csr::from_triplets(n, t);
+        for i in 0..n {
+            for kk in m.row_ptr[i]..m.row_ptr[i + 1] {
+                if m.col_idx[kk] == i {
+                    m.values[kk] += bump;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Minimal RNG shim so `numerics` keeps a tiny dependency surface; this
+/// mirrors the few methods of `sim_des::DetRng` the kernels need.
+pub mod sim_des_shim {
+    use rand::rngs::SmallRng;
+    use rand::{Rng as _, SeedableRng};
+
+    /// Deterministic small RNG.
+    #[derive(Debug, Clone)]
+    pub struct Rng(SmallRng);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Self {
+            Rng(SmallRng::seed_from_u64(seed))
+        }
+        pub fn uniform(&mut self) -> f64 {
+            self.0.gen()
+        }
+        pub fn index(&mut self, n: usize) -> usize {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+/// Dense vector helpers used by the solvers.
+pub mod vec_ops {
+    /// Dot product.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// `y += alpha * x`.
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(a: &[f64]) -> f64 {
+        dot(a, a).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_spmv() {
+        let eye = Csr::from_triplets(3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        eye.spmv(&x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(eye.nnz(), 3);
+    }
+
+    #[test]
+    fn poisson_2d_shape() {
+        let a = Csr::poisson_2d(4, 4);
+        assert_eq!(a.n, 16);
+        // nnz = diagonal + 2 * (grid-graph edges) = 16 + 2*(4*3 + 4*3).
+        assert_eq!(a.nnz(), 16 + 2 * (4 * 3 + 4 * 3));
+        // Symmetric: A = A^T via spot check y1 = A e0, y2 = A e1.
+        let mut e0 = vec![0.0; 16];
+        e0[0] = 1.0;
+        let mut y0 = vec![0.0; 16];
+        a.spmv(&e0, &mut y0);
+        let mut e1 = vec![0.0; 16];
+        e1[1] = 1.0;
+        let mut y1 = vec![0.0; 16];
+        a.spmv(&e1, &mut y1);
+        assert_eq!(y0[1], y1[0]);
+    }
+
+    #[test]
+    fn flop_and_byte_counts() {
+        let a = Csr::poisson_2d(8, 8);
+        assert_eq!(a.spmv_flops(), 2.0 * a.nnz() as f64);
+        assert!(a.spmv_bytes() > a.nnz() as f64 * 16.0);
+    }
+
+    #[test]
+    fn vec_ops_basics() {
+        assert_eq!(vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        vec_ops::axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        assert!((vec_ops::norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

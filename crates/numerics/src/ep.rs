@@ -1,0 +1,125 @@
+//! The EP (embarrassingly parallel) kernel, for real.
+//!
+//! EP generates pairs of uniform deviates with the NPB LCG, applies the
+//! Marsaglia polar method to get Gaussian pairs, and tallies them into ten
+//! square annuli. Its only communication is a final tiny reduction — which
+//! is why the paper sees near-linear speedup everywhere (modulo EC2 jitter).
+
+use crate::npb_rng::{NpbRng, EP_SEED};
+
+/// Result of an EP run (or of one rank's share of it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Sum of accepted Gaussian x deviates.
+    pub sx: f64,
+    /// Sum of accepted Gaussian y deviates.
+    pub sy: f64,
+    /// Annulus counts `q[0..10]`.
+    pub q: [u64; 10],
+    /// Number of accepted pairs.
+    pub accepted: u64,
+}
+
+impl EpResult {
+    /// Merge another rank's partial result (the MPI_Allreduce in real EP).
+    pub fn merge(&mut self, o: &EpResult) {
+        self.sx += o.sx;
+        self.sy += o.sy;
+        for i in 0..10 {
+            self.q[i] += o.q[i];
+        }
+        self.accepted += o.accepted;
+    }
+}
+
+/// Run one rank's share of an EP problem of `2^m` pairs split over `np`
+/// ranks; `rank` selects the block of the random stream.
+pub fn ep_rank(m: u32, np: u64, rank: u64) -> EpResult {
+    let total_pairs = 1u64 << m;
+    let per_rank = total_pairs / np;
+    let start = rank * per_rank;
+    let mut rng = NpbRng::new(EP_SEED);
+    // Each pair consumes two deviates.
+    rng.skip(2 * start);
+    let mut res = EpResult {
+        sx: 0.0,
+        sy: 0.0,
+        q: [0; 10],
+        accepted: 0,
+    };
+    for _ in 0..per_rank {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 {
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * f;
+            let gy = y * f;
+            let bin = gx.abs().max(gy.abs()) as usize;
+            if bin < 10 {
+                res.q[bin] += 1;
+                res.sx += gx;
+                res.sy += gy;
+                res.accepted += 1;
+            }
+        }
+    }
+    res
+}
+
+/// Run the whole EP problem on one thread (reference).
+pub fn ep_serial(m: u32) -> EpResult {
+    ep_rank(m, 1, 0)
+}
+
+/// Flops per generated pair (NPB counts ~17; we include the transcendental
+/// as its polynomial cost) — used by the EP workload model.
+pub const EP_FLOPS_PER_PAIR: f64 = 22.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_invariance() {
+        // The defining property of EP: any rank decomposition reproduces the
+        // serial tallies exactly (this is what the skip-ahead guarantees).
+        let serial = ep_serial(14);
+        for np in [2u64, 4, 8] {
+            let mut merged = ep_rank(14, np, 0);
+            for r in 1..np {
+                merged.merge(&ep_rank(14, np, r));
+            }
+            assert_eq!(merged.q, serial.q, "np={np}");
+            assert!((merged.sx - serial.sx).abs() < 1e-9);
+            assert!((merged.sy - serial.sy).abs() < 1e-9);
+            assert_eq!(merged.accepted, serial.accepted);
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        let r = ep_serial(16);
+        let rate = r.accepted as f64 / (1u64 << 16) as f64;
+        // pi/4 ~ 0.785, minus the tail clipped past |g| >= 10 (negligible).
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gaussian_sums_are_small_relative_to_count() {
+        // Mean of a Gaussian is 0: sums grow like sqrt(n), not n.
+        let r = ep_serial(16);
+        let n = r.accepted as f64;
+        assert!(r.sx.abs() < 5.0 * n.sqrt());
+        assert!(r.sy.abs() < 5.0 * n.sqrt());
+    }
+
+    #[test]
+    fn annuli_counts_decrease() {
+        // |N(0,1)| concentrates near 0: q[0] must dominate and the tail
+        // bins must be (nearly) empty.
+        let r = ep_serial(16);
+        assert!(r.q[0] > r.q[1] && r.q[1] > r.q[2]);
+        assert_eq!(r.q[6..].iter().sum::<u64>(), 0);
+    }
+}

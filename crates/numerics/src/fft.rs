@@ -1,0 +1,175 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! The NPB FT benchmark solves a 3-D PDE with forward/inverse FFTs whose
+//! distributed transpose is the famous all-to-all. The real 1-D transform
+//! here backs the examples and pins down the `5 n log2 n` flop formula the
+//! FT workload model charges per pencil.
+
+/// A complex number as a pair (re, im); kept as a plain tuple-struct to stay
+/// dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl C64 {
+    pub fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+    fn mul(self, o: C64) -> C64 {
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+    fn add(self, o: C64) -> C64 {
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+    fn sub(self, o: C64) -> C64 {
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place radix-2 DIT FFT. `data.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/n scaling).
+pub fn fft(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length {n} not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = C64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.re *= inv_n;
+            d.im *= inv_n;
+        }
+    }
+}
+
+/// The standard flop count of a radix-2 complex FFT of length `n`:
+/// `5 n log2 n` — the constant the NPB FT documentation uses.
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        5.0 * n as f64 * (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse(n: usize) -> Vec<C64> {
+        let mut v = vec![C64::default(); n];
+        v[0] = C64::new(1.0, 0.0);
+        v
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut d = impulse(8);
+        fft(&mut d, false);
+        for c in &d {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 256;
+        let mut d: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let orig = d.clone();
+        fft(&mut d, false);
+        fft(&mut d, true);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let mut d: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).cos(), 0.0))
+            .collect();
+        let time_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum();
+        fft(&mut d, false);
+        let freq_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut d: Vec<C64> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64;
+                C64::new(ph.cos(), ph.sin())
+            })
+            .collect();
+        fft(&mut d, false);
+        for (i, c) in d.iter().enumerate() {
+            let mag = c.norm_sqr().sqrt();
+            if i == k {
+                assert!((mag - n as f64).abs() < 1e-9, "bin {i} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "leak in bin {i}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut d = vec![C64::default(); 12];
+        fft(&mut d, false);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert!((fft_flops(8) - 5.0 * 8.0 * 3.0).abs() < 1e-12);
+    }
+}

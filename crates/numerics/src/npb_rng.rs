@@ -1,0 +1,118 @@
+//! The NPB pseudo-random number generator.
+//!
+//! All NAS Parallel Benchmarks generate their input data with the same
+//! linear congruential generator: `x_{k+1} = a * x_k mod 2^46` with
+//! `a = 5^13` — see the NPB report's `randlc` routine. The generator's
+//! `O(log k)` skip-ahead is what lets the EP benchmark be embarrassingly
+//! parallel: every rank jumps straight to its own segment of the stream.
+
+/// Modulus 2^46 as used by `randlc`.
+const M46: u64 = 1 << 46;
+const MASK46: u64 = M46 - 1;
+
+/// Default multiplier `a = 5^13`.
+pub const A: u64 = 1220703125; // 5^13
+
+/// Default seed used by the EP benchmark.
+pub const EP_SEED: u64 = 271828183;
+
+/// The NPB linear congruential generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpbRng {
+    x: u64,
+}
+
+impl NpbRng {
+    /// Start the stream at `seed` (must be odd and < 2^46).
+    pub fn new(seed: u64) -> NpbRng {
+        assert!(seed % 2 == 1, "NPB RNG seeds must be odd");
+        NpbRng { x: seed & MASK46 }
+    }
+
+    /// Next value in `(0, 1)` — the `randlc` step.
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = mul46(self.x, A);
+        self.x as f64 / M46 as f64
+    }
+
+    /// Skip the stream ahead by `k` steps in `O(log k)` multiplications —
+    /// the trick EP uses to give rank `r` its own disjoint block.
+    pub fn skip(&mut self, mut k: u64) {
+        let mut a = A;
+        while k > 0 {
+            if k & 1 == 1 {
+                self.x = mul46(self.x, a);
+            }
+            a = mul46(a, a);
+            k >>= 1;
+        }
+    }
+
+    /// Raw state (for tests).
+    pub fn state(&self) -> u64 {
+        self.x
+    }
+}
+
+/// `(a * b) mod 2^46` without overflow (u128 intermediate).
+fn mul46(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) & MASK46 as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_in_unit_interval() {
+        let mut r = NpbRng::new(EP_SEED);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn skip_matches_sequential() {
+        let mut seq = NpbRng::new(EP_SEED);
+        for _ in 0..12_345 {
+            seq.next_f64();
+        }
+        let mut jump = NpbRng::new(EP_SEED);
+        jump.skip(12_345);
+        assert_eq!(seq.state(), jump.state());
+    }
+
+    #[test]
+    fn skip_zero_is_identity() {
+        let mut r = NpbRng::new(EP_SEED);
+        let before = r.state();
+        r.skip(0);
+        assert_eq!(r.state(), before);
+    }
+
+    #[test]
+    fn disjoint_blocks_compose() {
+        // Rank blocks: skipping r*k then drawing k values equals drawing
+        // (r+1)*k values sequentially.
+        let k = 1000u64;
+        let mut seq = NpbRng::new(EP_SEED);
+        for _ in 0..3 * k {
+            seq.next_f64();
+        }
+        let mut blocked = NpbRng::new(EP_SEED);
+        blocked.skip(2 * k);
+        for _ in 0..k {
+            blocked.next_f64();
+        }
+        assert_eq!(seq.state(), blocked.state());
+    }
+
+    #[test]
+    fn mean_is_half() {
+        let mut r = NpbRng::new(EP_SEED);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Bucket/counting sort of integer keys — the IS kernel's computation.
+//!
+//! NPB IS ranks `N` uniformly-distributed integer keys by bucketing and
+//! counting. In the MPI version each rank buckets its local keys, the bucket
+//! counts are allreduced, and the keys are redistributed with an
+//! all-to-allv; the sort itself is this counting pass.
+
+/// Distribute keys into `nbuckets` equal ranges over `[0, max_key)`,
+/// returning per-bucket counts. This is the histogram IS allreduces.
+pub fn bucket_counts(keys: &[u32], max_key: u32, nbuckets: usize) -> Vec<u64> {
+    assert!(nbuckets > 0 && max_key > 0);
+    let mut counts = vec![0u64; nbuckets];
+    let shift_div = (max_key as u64).div_ceil(nbuckets as u64).max(1);
+    for &k in keys {
+        debug_assert!(k < max_key);
+        let b = (k as u64 / shift_div) as usize;
+        counts[b.min(nbuckets - 1)] += 1;
+    }
+    counts
+}
+
+/// Full counting sort (stable by construction for plain keys).
+pub fn counting_sort(keys: &[u32], max_key: u32) -> Vec<u32> {
+    let mut counts = vec![0u64; max_key as usize];
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for (k, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            out.push(k as u32);
+        }
+    }
+    out
+}
+
+/// Generate IS-style keys with the NPB LCG: uniform in `[0, max_key)` by
+/// averaging four deviates like the real benchmark (gives a triangular-ish
+/// concentration around the middle — NPB does exactly this).
+pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    let mut rng = crate::npb_rng::NpbRng::new(seed | 1);
+    (0..n)
+        .map(|_| {
+            let s =
+                rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+            ((s / 4.0) * max_key as f64) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sort_sorts() {
+        let keys = vec![5, 3, 9, 1, 3, 0, 9];
+        let sorted = counting_sort(&keys, 10);
+        assert_eq!(sorted, vec![0, 1, 3, 3, 5, 9, 9]);
+        assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn bucket_counts_partition_everything() {
+        let keys = generate_keys(10_000, 1 << 16, 271828183);
+        let counts = bucket_counts(&keys, 1 << 16, 64);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn npb_key_distribution_concentrates_centrally() {
+        // Averaging four uniforms concentrates mass near max_key/2 — the
+        // real IS distribution. The middle buckets must dominate the edges.
+        let keys = generate_keys(100_000, 1 << 16, 271828183);
+        let counts = bucket_counts(&keys, 1 << 16, 8);
+        let middle = counts[3] + counts[4];
+        let edges = counts[0] + counts[7];
+        assert!(middle > edges * 10, "middle {middle} edges {edges}");
+    }
+
+    #[test]
+    fn bucket_then_concat_equals_sort() {
+        let keys = generate_keys(5_000, 1 << 10, 271828183);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(counting_sort(&keys, 1 << 10), expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(counting_sort(&[], 10).is_empty());
+        assert_eq!(bucket_counts(&[], 10, 4), vec![0, 0, 0, 0]);
+    }
+}

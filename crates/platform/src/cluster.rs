@@ -1,0 +1,110 @@
+//! Cluster specification and per-rank effective rates.
+
+use crate::fs::FsModel;
+use crate::node::NodeSpec;
+use crate::placement::{Placement, PlacementError, Strategy};
+use sim_net::{JitterParams, Topology};
+
+/// A complete platform: homogeneous nodes, an interconnect and a filesystem.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Short name used in every report ("vayu", "dcc", "ec2").
+    pub name: &'static str,
+    /// Number of nodes available to the job.
+    pub nodes: usize,
+    pub node: NodeSpec,
+    pub topology: Topology,
+    pub fs: FsModel,
+}
+
+/// Precomputed per-rank rates for one placement on one cluster: everything
+/// the engine needs to turn a `Compute { flops, bytes }` op into time.
+#[derive(Debug, Clone)]
+pub struct RankRates {
+    /// Effective floating-point rate, flops/s.
+    pub flops_rate: f64,
+    /// Effective memory streaming rate, bytes/s.
+    pub mem_rate: f64,
+    /// Node hosting the rank.
+    pub node: usize,
+    /// Compute-jitter model of the node's hypervisor.
+    pub jitter: JitterParams,
+}
+
+impl ClusterSpec {
+    /// Schedulable cores in the whole cluster.
+    pub fn total_logical_cores(&self) -> usize {
+        self.nodes * self.node.logical_cores()
+    }
+
+    /// Place `np` ranks using `strategy`.
+    pub fn place(&self, np: usize, strategy: Strategy) -> Result<Placement, PlacementError> {
+        Placement::place(&self.node, self.nodes, np, strategy)
+    }
+
+    /// Effective rates for every rank of a placement.
+    pub fn rank_rates(&self, placement: &Placement) -> Vec<RankRates> {
+        let pc = self.node.cpu.physical_cores();
+        let cps = self.node.cpu.cores_per_socket;
+        (0..placement.np())
+            .map(|r| {
+                let sharers = placement.core_sharers(r, pc);
+                let socket_occ = placement.socket_occupancy(r, pc, cps);
+                let spans = placement.spans_sockets(r, pc, cps);
+                RankRates {
+                    flops_rate: self.node.flops_rate(sharers),
+                    mem_rate: self.node.mem_rate(socket_occ, spans),
+                    node: placement.slots[r].node,
+                    jitter: self.node.hypervisor.compute_jitter,
+                }
+            })
+            .collect()
+    }
+}
+
+impl RankRates {
+    /// Roofline compute time for a chunk of work: bounded by the compute
+    /// roof or the memory roof, whichever binds.
+    pub fn compute_time(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.flops_rate).max(bytes / self.mem_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn rates_cover_every_rank() {
+        let c = presets::vayu();
+        let p = c.place(12, Strategy::Block).unwrap();
+        let rates = c.rank_rates(&p);
+        assert_eq!(rates.len(), 12);
+        assert!(rates.iter().all(|r| r.flops_rate > 0.0 && r.mem_rate > 0.0));
+    }
+
+    #[test]
+    fn ec2_smt_halves_flops_rate_at_full_subscription() {
+        let c = presets::ec2();
+        let p8 = c.place(8, Strategy::Block).unwrap();
+        let p16 = c.place(16, Strategy::Block).unwrap();
+        let r8 = c.rank_rates(&p8)[0].flops_rate;
+        let r16 = c.rank_rates(&p16)[0].flops_rate;
+        assert!((r16 / r8 - c.node.cpu.smt_yield).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_roof() {
+        let rates = RankRates {
+            flops_rate: 1e9,
+            mem_rate: 1e10,
+            node: 0,
+            jitter: JitterParams::NONE,
+        };
+        // Compute-bound chunk.
+        assert_eq!(rates.compute_time(1e9, 1e3), 1.0);
+        // Memory-bound chunk.
+        assert_eq!(rates.compute_time(1e3, 1e10), 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! CPU and socket model.
+//!
+//! A [`CpuSpec`] captures the per-node processor resources that matter for
+//! the study's workloads: clock rate and achievable flops per cycle (compute
+//! roof), per-socket memory bandwidth (bandwidth roof), core/socket layout,
+//! and whether the part exposes SMT ("HyperThreading") logical cores.
+//!
+//! Ranks placed on the node receive *effective* compute and memory rates via
+//! [`CpuSpec::flops_rate`] and the NUMA model in [`crate::numa`]; both feed
+//! the roofline compute-time formula in the MPI engine.
+
+/// Description of one node's processor complex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, for reports ("Intel Xeon X5570").
+    pub model: &'static str,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained floating-point operations per cycle per core for the study's
+    /// Fortran/C++ codes (well below the SIMD peak; these are memory-heavy,
+    /// compiler-vectorized codes).
+    pub flops_per_cycle: f64,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Whether SMT/HyperThreading is enabled, doubling the logical core
+    /// count (EC2 cc1.4xlarge exposes 16 logical cores on 8 physical).
+    pub smt: bool,
+    /// Throughput retained by EACH of two SMT siblings sharing a physical
+    /// core, relative to owning the core alone. Table III shows MetUM gained
+    /// essentially nothing from HyperThreading (rcomp 2.39 vs 1.17), so two
+    /// siblings together deliver only ~1.04x one thread.
+    pub smt_yield: f64,
+    /// Sustained memory bandwidth per socket, bytes/second.
+    pub mem_bw_per_socket: f64,
+    /// Shared last-level cache per socket, bytes (8 MB on both Xeon parts).
+    pub llc_bytes: u64,
+}
+
+impl CpuSpec {
+    /// Intel Xeon X5570 (Nehalem-EP, 2.93 GHz) — Vayu and EC2 cc1.4xlarge.
+    pub fn xeon_x5570(smt: bool) -> Self {
+        CpuSpec {
+            model: "Intel Xeon X5570",
+            clock_ghz: 2.93,
+            flops_per_cycle: 0.85,
+            sockets: 2,
+            cores_per_socket: 4,
+            smt,
+            smt_yield: 0.48,
+            mem_bw_per_socket: 16.0e9,
+            llc_bytes: 8 << 20,
+        }
+    }
+
+    /// Intel Xeon E5520 (Nehalem-EP, 2.27 GHz) — the DCC blades.
+    pub fn xeon_e5520() -> Self {
+        CpuSpec {
+            model: "Intel Xeon E5520",
+            clock_ghz: 2.27,
+            flops_per_cycle: 0.85,
+            sockets: 2,
+            cores_per_socket: 4,
+            smt: false,
+            smt_yield: 0.48,
+            mem_bw_per_socket: 12.8e9,
+            llc_bytes: 8 << 20,
+        }
+    }
+
+    /// Physical cores on the node.
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Schedulable (logical) cores on the node.
+    pub fn logical_cores(&self) -> usize {
+        self.physical_cores() * if self.smt { 2 } else { 1 }
+    }
+
+    /// Peak flops rate of one core owning its physical core (flops/second).
+    pub fn core_flops_rate(&self) -> f64 {
+        self.clock_ghz * 1e9 * self.flops_per_cycle
+    }
+
+    /// Effective flops rate for a rank given how many ranks share its
+    /// physical core (1 = exclusive, 2 = SMT siblings).
+    pub fn flops_rate(&self, sharers_on_core: usize) -> f64 {
+        match sharers_on_core {
+            0 | 1 => self.core_flops_rate(),
+            _ => self.core_flops_rate() * self.smt_yield,
+        }
+    }
+
+    /// Effective per-rank memory bandwidth when `ranks_on_socket` ranks
+    /// stream from the same socket's controllers: a single rank cannot
+    /// saturate the socket (it reaches `single_rank_frac`), and multiple
+    /// ranks share the socket bandwidth fairly.
+    pub fn mem_rate(&self, ranks_on_socket: usize) -> f64 {
+        const SINGLE_RANK_FRAC: f64 = 0.55;
+        let ranks = ranks_on_socket.max(1) as f64;
+        let aggregate = self.mem_bw_per_socket;
+        let single = aggregate * SINGLE_RANK_FRAC;
+        (aggregate / ranks).min(single)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        // Table I: 8 cores per node on Vayu/DCC; EC2 shows 16 logical.
+        assert_eq!(CpuSpec::xeon_x5570(false).logical_cores(), 8);
+        assert_eq!(CpuSpec::xeon_x5570(true).logical_cores(), 16);
+        assert_eq!(CpuSpec::xeon_x5570(true).physical_cores(), 8);
+        assert_eq!(CpuSpec::xeon_e5520().logical_cores(), 8);
+    }
+
+    #[test]
+    fn clock_ratio_matches_paper() {
+        // Paper: "the ratio of cycle times on the nodes of 1.3".
+        let ratio = CpuSpec::xeon_x5570(false).clock_ghz / CpuSpec::xeon_e5520().clock_ghz;
+        assert!((1.25..1.35).contains(&ratio));
+    }
+
+    #[test]
+    fn smt_sharing_cuts_throughput() {
+        let cpu = CpuSpec::xeon_x5570(true);
+        let solo = cpu.flops_rate(1);
+        let shared = cpu.flops_rate(2);
+        assert!(shared < solo);
+        // Table III: two siblings together deliver about what one thread
+        // does alone ("little benefit was gained from hyperthreading").
+        let combined = 2.0 * shared / solo;
+        assert!((0.9..1.2).contains(&combined), "combined {combined}");
+    }
+
+    #[test]
+    fn mem_rate_shares_fairly() {
+        let cpu = CpuSpec::xeon_e5520();
+        let one = cpu.mem_rate(1);
+        let four = cpu.mem_rate(4);
+        assert!(one < cpu.mem_bw_per_socket, "one rank can't saturate a socket");
+        assert!((four - cpu.mem_bw_per_socket / 4.0).abs() < 1.0);
+        assert!(one > four);
+        // Zero clamps to one.
+        assert_eq!(cpu.mem_rate(0), one);
+    }
+}

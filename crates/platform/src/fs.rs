@@ -1,0 +1,117 @@
+//! Shared filesystem models.
+//!
+//! Both applications read a large input at startup (1.6 GB MetUM dump,
+//! 1.4 GB Chaste mesh) and the paper finds the filesystem matters: the same
+//! read costs 4.5 s on Vayu's Lustre, 9.1 s on EC2's NFS and 37.8 s on DCC's
+//! NFS (Table III). The model is a fair-share server pool plus a per-request
+//! metadata latency.
+
+use sim_net::FairShareResource;
+
+/// Filesystem family, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsKind {
+    Nfs,
+    Lustre,
+    Local,
+}
+
+/// A shared filesystem seen by every node of a cluster.
+#[derive(Debug, Clone)]
+pub struct FsModel {
+    pub kind: FsKind,
+    pub name: &'static str,
+    /// Read path capacity.
+    pub read: FairShareResource,
+    /// Write path capacity.
+    pub write: FairShareResource,
+    /// Per-operation metadata/RPC latency (seconds).
+    pub open_latency: f64,
+}
+
+impl FsModel {
+    /// DCC's NFS mount: all VM filesystems served from one external storage
+    /// cluster through the vSwitch — the slowest path in the study
+    /// (~42 MB/s effective single-stream read).
+    pub fn nfs_dcc() -> Self {
+        FsModel {
+            kind: FsKind::Nfs,
+            name: "NFS (DCC storage cluster)",
+            read: FairShareResource::new(42.0e6, 1),
+            write: FairShareResource::new(30.0e6, 1),
+            open_latency: 2.0e-3,
+        }
+    }
+
+    /// The StarCluster-provisioned NFS share on EC2: master instance exports
+    /// over virtualized 10 GigE (~175 MB/s single stream).
+    pub fn nfs_ec2() -> Self {
+        FsModel {
+            kind: FsKind::Nfs,
+            name: "NFS (EC2 StarCluster master)",
+            read: FairShareResource::new(175.0e6, 1),
+            write: FairShareResource::new(120.0e6, 1),
+            open_latency: 1.0e-3,
+        }
+    }
+
+    /// Vayu's Lustre over the same QDR IB fabric: striped across OSTs, a
+    /// single client stream sustains ~360 MB/s and multiple clients scale.
+    pub fn lustre_vayu() -> Self {
+        FsModel {
+            kind: FsKind::Lustre,
+            name: "Lustre (Vayu, QDR IB)",
+            read: FairShareResource::new(2.88e9, 8),
+            write: FairShareResource::new(2.0e9, 8),
+            open_latency: 0.3e-3,
+        }
+    }
+
+    /// Time for `clients` concurrent readers to each pull `bytes`.
+    pub fn read_time(&self, bytes: u64, clients: usize) -> f64 {
+        self.open_latency + self.read.transfer_time(bytes, clients)
+    }
+
+    /// Time for `clients` concurrent writers to each push `bytes`.
+    pub fn write_time(&self, bytes: u64, clients: usize) -> f64 {
+        self.open_latency + self.write.transfer_time(bytes, clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB_1_6: u64 = 1_600_000_000;
+
+    #[test]
+    fn dump_read_times_match_table3() {
+        // Table III I/O row: Vayu 4.5 s, DCC 37.8 s, EC2 9.1 s for the
+        // MetUM startup read (single reader).
+        let vayu = FsModel::lustre_vayu().read_time(GB_1_6, 1);
+        let dcc = FsModel::nfs_dcc().read_time(GB_1_6, 1);
+        let ec2 = FsModel::nfs_ec2().read_time(GB_1_6, 1);
+        assert!((3.5..6.0).contains(&vayu), "vayu {vayu}s");
+        assert!((33.0..43.0).contains(&dcc), "dcc {dcc}s");
+        assert!((7.5..11.0).contains(&ec2), "ec2 {ec2}s");
+    }
+
+    #[test]
+    fn nfs_degrades_with_clients_lustre_scales() {
+        let nfs = FsModel::nfs_dcc();
+        let lustre = FsModel::lustre_vayu();
+        let one = nfs.read_time(1 << 30, 1);
+        let eight = nfs.read_time(1 << 30, 8);
+        assert!(eight > one * 7.0, "NFS single server divides");
+        let l1 = lustre.read_time(1 << 30, 1);
+        let l8 = lustre.read_time(1 << 30, 8);
+        assert!(l8 < l1 * 1.2, "Lustre stripes absorb 8 clients");
+    }
+
+    #[test]
+    fn write_path_slower_than_read() {
+        for fs in [FsModel::nfs_dcc(), FsModel::nfs_ec2(), FsModel::lustre_vayu()] {
+            assert!(fs.write_time(1 << 28, 1) >= fs.read_time(1 << 28, 1));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Hypervisor models.
+//!
+//! The three platforms differ in their virtualization layer: Vayu runs bare
+//! metal, DCC's guests run under VMware ESX 4.0, and EC2 cc1.4xlarge
+//! instances run under Xen. The model captures the three effects the paper
+//! attributes to virtualization:
+//!
+//! 1. a small constant compute overhead (binary translation / paravirt
+//!    hypercalls / timer virtualization),
+//! 2. scheduling jitter — the hypervisor occasionally de-schedules a vCPU,
+//!    which the paper observes as irregular load imbalance and "system
+//!    jitter" on both clouds, and
+//! 3. NUMA masking — the guest sees a flat topology, defeating the affinity
+//!    logic in OpenMPI and the applications (see [`crate::numa`]).
+
+use sim_net::{JitterDist, JitterParams};
+
+/// Identity of the virtualization layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypervisorKind {
+    BareMetal,
+    VmwareEsx,
+    Xen,
+    /// KVM with virtio paravirtual devices — what the paper's future-work
+    /// OpenStack deployment would run.
+    Kvm,
+}
+
+/// Behavioural parameters of a hypervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypervisorModel {
+    pub kind: HypervisorKind,
+    /// Fractional slowdown applied to all compute (0.02 = 2% slower).
+    pub compute_overhead: f64,
+    /// Per-compute-chunk scheduling jitter.
+    pub compute_jitter: JitterParams,
+    /// Whether the guest sees the host NUMA topology.
+    pub numa_masked: bool,
+}
+
+impl HypervisorModel {
+    /// No hypervisor: zero overhead, only faint OS noise, NUMA exposed.
+    pub fn bare_metal() -> Self {
+        HypervisorModel {
+            kind: HypervisorKind::BareMetal,
+            compute_overhead: 0.0,
+            compute_jitter: JitterParams {
+                prob: 0.002,
+                dist: JitterDist::Exponential { mean: 15.0e-6 },
+            },
+            numa_masked: false,
+        }
+    }
+
+    /// VMware ESX 4.0 as on the DCC blades. The guest owns all physical
+    /// cores of its blade, but the ESX scheduler still preempts vCPUs to run
+    /// the vSwitch and management world, producing the irregular imbalance
+    /// the paper's Figure 7 shows.
+    pub fn vmware_esx() -> Self {
+        HypervisorModel {
+            kind: HypervisorKind::VmwareEsx,
+            compute_overhead: 0.03,
+            // Heavy-tailed vCPU descheduling stalls: the vSwitch and
+            // management worlds preempt guest vCPUs for milliseconds at a
+            // time. Individually these cost ~0.2% of serial compute, but at
+            // every collective the whole job waits for the unluckiest rank,
+            // which is what blows DCC's %comm up in Tables II/III.
+            compute_jitter: JitterParams {
+                prob: 0.16,
+                dist: JitterDist::Pareto {
+                    min: 1.2e-3,
+                    alpha: 1.5,
+                },
+            },
+            numa_masked: true,
+        }
+    }
+
+    /// Xen as on EC2 cc1.4xlarge. Slightly higher base overhead than ESX in
+    /// this configuration (grant-table copies on every I/O), plus jitter from
+    /// dom0 competing for cycles.
+    pub fn xen() -> Self {
+        HypervisorModel {
+            kind: HypervisorKind::Xen,
+            compute_overhead: 0.04,
+            // dom0 competes for cycles: lighter-tailed than ESX's vSwitch
+            // stalls, but still collective-amplified ("system jitter
+            // brought on by the use of HyperThreading", paper §V-B).
+            compute_jitter: JitterParams {
+                prob: 0.06,
+                dist: JitterDist::Exponential { mean: 1.0e-3 },
+            },
+            numa_masked: true,
+        }
+    }
+
+    /// KVM/virtio, as an OpenStack private cloud would deploy: hardware
+    /// virtualization extensions make compute overhead small, and the
+    /// virtio path is far better behaved than the emulated E1000.
+    pub fn kvm() -> Self {
+        HypervisorModel {
+            kind: HypervisorKind::Kvm,
+            compute_overhead: 0.02,
+            compute_jitter: JitterParams {
+                prob: 0.04,
+                dist: JitterDist::Exponential { mean: 0.6e-3 },
+            },
+            numa_masked: true,
+        }
+    }
+
+    /// Multiplier applied to compute durations (>= 1).
+    pub fn compute_factor(&self) -> f64 {
+        1.0 + self.compute_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_metal_is_cheapest() {
+        let bm = HypervisorModel::bare_metal();
+        let esx = HypervisorModel::vmware_esx();
+        let xen = HypervisorModel::xen();
+        assert_eq!(bm.compute_factor(), 1.0);
+        assert!(esx.compute_factor() > 1.0);
+        assert!(xen.compute_factor() >= esx.compute_factor());
+    }
+
+    #[test]
+    fn only_bare_metal_sees_numa() {
+        assert!(!HypervisorModel::bare_metal().numa_masked);
+        assert!(HypervisorModel::vmware_esx().numa_masked);
+        assert!(HypervisorModel::xen().numa_masked);
+    }
+
+    #[test]
+    fn jitter_expectation_ordering() {
+        // Virtualized platforms are noisier than bare metal.
+        let bm = HypervisorModel::bare_metal().compute_jitter.expected();
+        let esx = HypervisorModel::vmware_esx().compute_jitter.expected();
+        let xen = HypervisorModel::xen().compute_jitter.expected();
+        assert!(bm < esx && bm < xen);
+    }
+}

@@ -1,0 +1,81 @@
+//! Node model: a processor complex plus memory under a hypervisor.
+
+use crate::cpu::CpuSpec;
+use crate::hypervisor::HypervisorModel;
+use crate::numa::NumaModel;
+
+/// One compute node of a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    pub cpu: CpuSpec,
+    pub hypervisor: HypervisorModel,
+    pub numa: NumaModel,
+    /// Usable guest memory, bytes (Table I "Memory per node").
+    pub mem_bytes: u64,
+}
+
+impl NodeSpec {
+    pub fn new(cpu: CpuSpec, hypervisor: HypervisorModel, mem_gb: f64) -> Self {
+        NodeSpec {
+            cpu,
+            hypervisor,
+            numa: NumaModel::nehalem(),
+            mem_bytes: (mem_gb * 1e9) as u64,
+        }
+    }
+
+    /// Schedulable cores the job scheduler sees on this node.
+    pub fn logical_cores(&self) -> usize {
+        self.cpu.logical_cores()
+    }
+
+    /// Effective flops rate (flops/s) for a rank whose physical core is
+    /// shared by `sharers_on_core` ranks, including hypervisor overhead.
+    pub fn flops_rate(&self, sharers_on_core: usize) -> f64 {
+        self.cpu.flops_rate(sharers_on_core) / self.hypervisor.compute_factor()
+    }
+
+    /// Effective memory bandwidth (bytes/s) for a rank given socket
+    /// occupancy and whether the job's footprint spans both sockets.
+    pub fn mem_rate(&self, ranks_on_socket: usize, spans_sockets: bool) -> f64 {
+        self.cpu.mem_rate(ranks_on_socket)
+            * self
+                .numa
+                .bandwidth_factor(self.hypervisor.numa_masked, spans_sockets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervisor::HypervisorModel;
+
+    #[test]
+    fn hypervisor_overhead_applies_to_flops() {
+        let bare = NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0);
+        let xen = NodeSpec::new(CpuSpec::xeon_x5570(true), HypervisorModel::xen(), 20.0);
+        assert!(bare.flops_rate(1) > xen.flops_rate(1));
+    }
+
+    #[test]
+    fn masked_numa_reduces_mem_rate_only_when_spanning() {
+        let dcc = NodeSpec::new(CpuSpec::xeon_e5520(), HypervisorModel::vmware_esx(), 40.0);
+        let vayu = NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0);
+        // Within one socket both are full rate.
+        assert_eq!(
+            dcc.mem_rate(2, false),
+            dcc.cpu.mem_rate(2),
+            "no spanning, no penalty"
+        );
+        // Spanning: DCC (masked) loses much more than Vayu (exposed).
+        let dcc_loss = dcc.mem_rate(4, true) / dcc.cpu.mem_rate(4);
+        let vayu_loss = vayu.mem_rate(4, true) / vayu.cpu.mem_rate(4);
+        assert!(dcc_loss < 0.85 && vayu_loss > 0.95);
+    }
+
+    #[test]
+    fn memory_capacity_from_table1() {
+        let dcc = NodeSpec::new(CpuSpec::xeon_e5520(), HypervisorModel::vmware_esx(), 40.0);
+        assert_eq!(dcc.mem_bytes, 40_000_000_000);
+    }
+}

@@ -1,0 +1,89 @@
+//! NUMA placement model.
+//!
+//! Both Xeon parts in the study are two-socket NUMA nodes. On bare metal
+//! (Vayu) the OpenMPI build enforces memory/thread affinity, so nearly all
+//! accesses are socket-local. Under VMware ESX and Xen the guest cannot see
+//! the NUMA topology — the paper calls this out explicitly ("an underlying
+//! hardware platform has characteristics (eg. NUMA) that "are hidden owing
+//! to virtualization" — so allocations scatter and a large fraction of
+//! traffic crosses the inter-socket link at reduced bandwidth and higher
+//! latency.
+
+/// How much of a rank's memory traffic is socket-remote, and what that costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaModel {
+    /// Fraction of memory traffic that is remote when affinity is enforced.
+    pub exposed_remote_frac: f64,
+    /// Fraction of memory traffic that is remote when the topology is
+    /// masked by the hypervisor (allocations round-robin across sockets).
+    pub masked_remote_frac: f64,
+    /// Slowdown ratio of a remote access relative to a local one (QPI hop).
+    pub remote_penalty: f64,
+}
+
+impl Default for NumaModel {
+    fn default() -> Self {
+        Self::nehalem()
+    }
+}
+
+impl NumaModel {
+    /// Nehalem-EP two-socket QPI characteristics.
+    pub fn nehalem() -> Self {
+        NumaModel {
+            exposed_remote_frac: 0.04,
+            masked_remote_frac: 0.32,
+            remote_penalty: 1.8,
+        }
+    }
+
+    /// Effective memory-bandwidth multiplier in `(0, 1]` for a rank, given
+    /// whether NUMA is masked and whether the job actually spans sockets.
+    /// Jobs narrow enough to fit one socket never pay a penalty (`spans ==
+    /// false`), which is why small DCC runs look fine and the CG drop only
+    /// appears from 8 processes (paper §V-B).
+    pub fn bandwidth_factor(&self, masked: bool, spans_sockets: bool) -> f64 {
+        if !spans_sockets {
+            return 1.0;
+        }
+        let remote_frac = if masked {
+            self.masked_remote_frac
+        } else {
+            self.exposed_remote_frac
+        };
+        // Mean cost per access: (1 - f) local + f remote at `penalty` cost.
+        1.0 / ((1.0 - remote_frac) + remote_frac * self.remote_penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_penalty_within_one_socket() {
+        let m = NumaModel::nehalem();
+        assert_eq!(m.bandwidth_factor(true, false), 1.0);
+        assert_eq!(m.bandwidth_factor(false, false), 1.0);
+    }
+
+    #[test]
+    fn masked_numa_hurts_more_than_exposed() {
+        let m = NumaModel::nehalem();
+        let masked = m.bandwidth_factor(true, true);
+        let exposed = m.bandwidth_factor(false, true);
+        assert!(masked < exposed);
+        assert!(exposed > 0.95, "affinity keeps bare metal near-ideal");
+        // Masked NUMA costs a noticeable double-digit percentage.
+        assert!((0.6..0.85).contains(&masked), "masked factor {masked}");
+    }
+
+    #[test]
+    fn factor_bounded() {
+        let m = NumaModel::nehalem();
+        for masked in [false, true] {
+            let f = m.bandwidth_factor(masked, true);
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

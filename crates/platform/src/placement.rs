@@ -1,0 +1,340 @@
+//! Rank-to-core placement.
+//!
+//! Placement decides which node and logical core each MPI rank occupies, and
+//! from that the engine derives the three effects the paper traces back to
+//! placement: SMT sibling sharing (EC2 at 16 ranks/node), socket spanning
+//! (NUMA), and how many ranks funnel through each node's NIC.
+
+use crate::node::NodeSpec;
+
+/// Where one rank lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    pub node: usize,
+    /// Logical core index on the node. With SMT, logical core `l` maps to
+    /// physical core `l % physical_cores` (Linux sibling enumeration).
+    pub logical_core: usize,
+}
+
+/// Placement strategies used by the study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Fill each node's logical cores completely before the next node —
+    /// the scheduler default on all three platforms ("processes fully
+    /// subscribing each core").
+    Block,
+    /// Spread ranks evenly over exactly `nodes` nodes (the paper's "EC2-4"
+    /// runs: always use 4 nodes regardless of rank count).
+    Spread { nodes: usize },
+    /// Like [`Strategy::Block`] but stop filling a node when the per-rank
+    /// memory demand would exceed node memory (MetUM on EC2 "could not be
+    /// run on fewer than 2 nodes; for 24 processes, three nodes had to be
+    /// used").
+    BlockMemoryAware { per_rank_bytes: u64 },
+}
+
+/// A complete placement of `np` ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub slots: Vec<Slot>,
+    /// Ranks hosted per node (index = node id), for NIC sharing.
+    pub ranks_per_node: Vec<usize>,
+}
+
+/// Why a placement could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// More ranks than schedulable cores in the whole cluster.
+    NotEnoughCores { need: usize, have: usize },
+    /// A rank's memory demand exceeds a whole node's memory.
+    RankTooLarge { per_rank_bytes: u64, node_bytes: u64 },
+    /// Spread over more nodes than the cluster has.
+    NotEnoughNodes { need: usize, have: usize },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NotEnoughCores { need, have } => {
+                write!(f, "placement needs {need} cores but the cluster has {have}")
+            }
+            PlacementError::RankTooLarge {
+                per_rank_bytes,
+                node_bytes,
+            } => write!(
+                f,
+                "a single rank needs {per_rank_bytes} B but a node has only {node_bytes} B"
+            ),
+            PlacementError::NotEnoughNodes { need, have } => {
+                write!(f, "spread over {need} nodes requested but cluster has {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl Placement {
+    /// Place `np` ranks on a cluster of `nodes` identical `node` specs.
+    pub fn place(
+        node: &NodeSpec,
+        nodes: usize,
+        np: usize,
+        strategy: Strategy,
+    ) -> Result<Placement, PlacementError> {
+        assert!(np > 0, "np must be positive");
+        let lc = node.logical_cores();
+        match strategy {
+            Strategy::Block => {
+                let have = lc * nodes;
+                if np > have {
+                    return Err(PlacementError::NotEnoughCores { need: np, have });
+                }
+                let slots = (0..np)
+                    .map(|r| Slot {
+                        node: r / lc,
+                        logical_core: r % lc,
+                    })
+                    .collect();
+                Ok(Self::from_slots(slots, nodes))
+            }
+            Strategy::Spread { nodes: want } => {
+                if want > nodes {
+                    return Err(PlacementError::NotEnoughNodes {
+                        need: want,
+                        have: nodes,
+                    });
+                }
+                let per = np.div_ceil(want);
+                if per > lc {
+                    return Err(PlacementError::NotEnoughCores {
+                        need: np,
+                        have: lc * want,
+                    });
+                }
+                // Even distribution: rank r goes to node r % want, taking the
+                // next free logical core there.
+                let mut next_core = vec![0usize; want];
+                let slots = (0..np)
+                    .map(|r| {
+                        let n = r % want;
+                        let c = next_core[n];
+                        next_core[n] += 1;
+                        Slot {
+                            node: n,
+                            logical_core: c,
+                        }
+                    })
+                    .collect();
+                Ok(Self::from_slots(slots, nodes))
+            }
+            Strategy::BlockMemoryAware { per_rank_bytes } => {
+                if per_rank_bytes > node.mem_bytes {
+                    return Err(PlacementError::RankTooLarge {
+                        per_rank_bytes,
+                        node_bytes: node.mem_bytes,
+                    });
+                }
+                let per_node_by_mem = if per_rank_bytes == 0 {
+                    lc
+                } else {
+                    ((node.mem_bytes / per_rank_bytes) as usize).max(1)
+                };
+                let per_node = per_node_by_mem.min(lc);
+                let need_nodes = np.div_ceil(per_node);
+                if need_nodes > nodes {
+                    return Err(PlacementError::NotEnoughCores {
+                        need: np,
+                        have: per_node * nodes,
+                    });
+                }
+                // Distribute evenly over the nodes we must use ("processes
+                // were evenly distributed across the nodes").
+                let used = need_nodes;
+                let mut next_core = vec![0usize; used];
+                let slots = (0..np)
+                    .map(|r| {
+                        let n = r % used;
+                        let c = next_core[n];
+                        next_core[n] += 1;
+                        Slot {
+                            node: n,
+                            logical_core: c,
+                        }
+                    })
+                    .collect();
+                Ok(Self::from_slots(slots, nodes))
+            }
+        }
+    }
+
+    fn from_slots(slots: Vec<Slot>, nodes: usize) -> Placement {
+        let mut ranks_per_node = vec![0usize; nodes];
+        for s in &slots {
+            ranks_per_node[s.node] += 1;
+        }
+        Placement {
+            slots,
+            ranks_per_node,
+        }
+    }
+
+    pub fn np(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of distinct nodes actually hosting ranks.
+    pub fn nodes_used(&self) -> usize {
+        self.ranks_per_node.iter().filter(|c| **c > 0).count()
+    }
+
+    /// Physical core of a slot given the node's physical core count.
+    pub fn physical_core(slot: Slot, physical_cores: usize) -> usize {
+        slot.logical_core % physical_cores
+    }
+
+    /// How many ranks share rank `r`'s physical core (>= 1).
+    pub fn core_sharers(&self, r: usize, physical_cores: usize) -> usize {
+        let me = self.slots[r];
+        let mine = Self::physical_core(me, physical_cores);
+        self.slots
+            .iter()
+            .filter(|s| s.node == me.node && Self::physical_core(**s, physical_cores) == mine)
+            .count()
+    }
+
+    /// How many ranks live on rank `r`'s socket.
+    pub fn socket_occupancy(&self, r: usize, physical_cores: usize, cores_per_socket: usize) -> usize {
+        let me = self.slots[r];
+        let my_socket = Self::physical_core(me, physical_cores) / cores_per_socket;
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.node == me.node
+                    && Self::physical_core(**s, physical_cores) / cores_per_socket == my_socket
+            })
+            .count()
+    }
+
+    /// Whether the ranks on rank `r`'s node occupy more than one socket.
+    pub fn spans_sockets(&self, r: usize, physical_cores: usize, cores_per_socket: usize) -> bool {
+        let me = self.slots[r];
+        let mut seen = [false; 64];
+        let mut count = 0;
+        for s in self.slots.iter().filter(|s| s.node == me.node) {
+            let sock = Self::physical_core(*s, physical_cores) / cores_per_socket;
+            if !seen[sock] {
+                seen[sock] = true;
+                count += 1;
+            }
+        }
+        count > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuSpec;
+    use crate::hypervisor::HypervisorModel;
+
+    fn ec2_node() -> NodeSpec {
+        NodeSpec::new(CpuSpec::xeon_x5570(true), HypervisorModel::xen(), 20.0)
+    }
+    fn vayu_node() -> NodeSpec {
+        NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0)
+    }
+
+    #[test]
+    fn block_fills_nodes_in_order() {
+        let p = Placement::place(&vayu_node(), 4, 12, Strategy::Block).unwrap();
+        assert_eq!(p.nodes_used(), 2);
+        assert_eq!(p.ranks_per_node[0], 8);
+        assert_eq!(p.ranks_per_node[1], 4);
+        assert_eq!(p.slots[8], Slot { node: 1, logical_core: 0 });
+    }
+
+    #[test]
+    fn block_rejects_oversubscription() {
+        let err = Placement::place(&vayu_node(), 2, 17, Strategy::Block).unwrap_err();
+        assert_eq!(err, PlacementError::NotEnoughCores { need: 17, have: 16 });
+    }
+
+    #[test]
+    fn ec2_block_at_16_ranks_shares_smt_siblings() {
+        // 16 ranks block-placed on EC2 land on one node; logical cores 0..16
+        // pair up on 8 physical cores — the paper's explanation for the
+        // speedup drop at 16 cores.
+        let p = Placement::place(&ec2_node(), 4, 16, Strategy::Block).unwrap();
+        assert_eq!(p.nodes_used(), 1);
+        for r in 0..16 {
+            assert_eq!(p.core_sharers(r, 8), 2, "rank {r} should share its core");
+        }
+        // 8 ranks: no sharing.
+        let p8 = Placement::place(&ec2_node(), 4, 8, Strategy::Block).unwrap();
+        for r in 0..8 {
+            assert_eq!(p8.core_sharers(r, 8), 1);
+        }
+    }
+
+    #[test]
+    fn spread_uses_all_requested_nodes() {
+        // EC2-4: 32 ranks over 4 nodes = 8 per node, no SMT sharing.
+        let p = Placement::place(&ec2_node(), 4, 32, Strategy::Spread { nodes: 4 }).unwrap();
+        assert_eq!(p.nodes_used(), 4);
+        assert!(p.ranks_per_node.iter().all(|c| *c == 8));
+        for r in 0..32 {
+            assert_eq!(p.core_sharers(r, 8), 1);
+        }
+    }
+
+    #[test]
+    fn spread_too_many_nodes_errors() {
+        let err = Placement::place(&ec2_node(), 4, 8, Strategy::Spread { nodes: 5 }).unwrap_err();
+        assert_eq!(err, PlacementError::NotEnoughNodes { need: 5, have: 4 });
+    }
+
+    #[test]
+    fn memory_aware_reproduces_metum_ec2_node_counts() {
+        // MetUM per-rank footprint model: 0.7 GB + 28 GB / np (see the
+        // workloads crate). At np=24 a 20 GB EC2 node only fits 9 ranks,
+        // forcing 3 nodes — matching the paper.
+        let node = ec2_node();
+        let per_rank = |np: u64| 700_000_000 + 28_000_000_000 / np;
+        let p8 = Placement::place(
+            &node,
+            4,
+            8,
+            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(8) },
+        )
+        .unwrap();
+        assert_eq!(p8.nodes_used(), 2, "8 ranks cannot fit one node");
+        let p16 = Placement::place(
+            &node,
+            4,
+            16,
+            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(16) },
+        )
+        .unwrap();
+        assert_eq!(p16.nodes_used(), 2);
+        let p24 = Placement::place(
+            &node,
+            4,
+            24,
+            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(24) },
+        )
+        .unwrap();
+        assert_eq!(p24.nodes_used(), 3, "24 ranks need three nodes");
+    }
+
+    #[test]
+    fn socket_and_span_queries() {
+        let p = Placement::place(&vayu_node(), 2, 4, Strategy::Block).unwrap();
+        // 4 ranks on logical cores 0..4 all sit on socket 0: no spanning.
+        assert!(!p.spans_sockets(0, 8, 4));
+        assert_eq!(p.socket_occupancy(0, 8, 4), 4);
+        let p8 = Placement::place(&vayu_node(), 2, 8, Strategy::Block).unwrap();
+        assert!(p8.spans_sockets(0, 8, 4));
+        assert_eq!(p8.socket_occupancy(0, 8, 4), 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! The three experimental platforms of the paper's Table I.
+//!
+//! | | DCC | EC2 | Vayu |
+//! |---|---|---|---|
+//! | Nodes | 8 | 4 | 1492 |
+//! | CPU | Xeon E5520 2.27 GHz | Xeon X5570 2.93 GHz (HT on) | Xeon X5570 2.93 GHz |
+//! | Cores/node | 8 | 16 logical (8 physical) | 8 |
+//! | Memory/node | 40 GB | 20 GB | 24 GB |
+//! | Hypervisor | VMware ESX 4.0 | Xen | none |
+//! | Interconnect | GigE (vSwitch, E1000 vNIC) | 10 GigE (placement group) | QDR IB fat tree |
+//! | Filesystem | NFS | NFS | Lustre |
+
+use crate::cluster::ClusterSpec;
+use crate::cpu::CpuSpec;
+use crate::fs::FsModel;
+use crate::hypervisor::HypervisorModel;
+use crate::node::NodeSpec;
+use sim_net::{FabricParams, JitterDist, JitterParams, Topology};
+
+/// DCC: the private VMware cloud at NCI-NF. Eight Dell M610 blades, one
+/// guest VM per blade owning all eight cores, E1000 vNICs through the ESX
+/// vSwitch, NFS filesystems.
+pub fn dcc() -> ClusterSpec {
+    let hypervisor = HypervisorModel::vmware_esx();
+    let intra = FabricParams::shared_memory_virt(
+        0.4e-6,
+        JitterParams {
+            prob: 0.01,
+            dist: JitterDist::Exponential { mean: 20.0e-6 },
+        },
+    );
+    ClusterSpec {
+        name: "dcc",
+        nodes: 8,
+        node: NodeSpec::new(CpuSpec::xeon_e5520(), hypervisor, 40.0),
+        topology: Topology::single_switch(FabricParams::gige_vswitch(), intra),
+        fs: FsModel::nfs_dcc(),
+    }
+}
+
+/// EC2: four cc1.4xlarge instances in a cluster placement group, launched by
+/// StarCluster in us-east-1. Xen, HyperThreading enabled (16 logical cores),
+/// virtualized 10 GigE, NFS from the master instance.
+pub fn ec2() -> ClusterSpec {
+    let hypervisor = HypervisorModel::xen();
+    let intra = FabricParams::shared_memory_virt(
+        0.6e-6,
+        JitterParams {
+            prob: 0.015,
+            dist: JitterDist::Exponential { mean: 30.0e-6 },
+        },
+    );
+    ClusterSpec {
+        name: "ec2",
+        nodes: 4,
+        node: NodeSpec::new(CpuSpec::xeon_x5570(true), hypervisor, 20.0),
+        topology: Topology::single_switch(FabricParams::ten_gige_virt(), intra),
+        fs: FsModel::nfs_ec2(),
+    }
+}
+
+/// Vayu: the NCI-NF Sun Oracle blade supercomputer (#64 on the June 2011
+/// Top500). 1492 nodes, QDR IB fat tree over four DS648 switches, Lustre.
+pub fn vayu() -> ClusterSpec {
+    ClusterSpec {
+        name: "vayu",
+        nodes: 1492,
+        node: NodeSpec::new(
+            CpuSpec::xeon_x5570(false),
+            HypervisorModel::bare_metal(),
+            24.0,
+        ),
+        topology: Topology::fat_tree(
+            FabricParams::qdr_infiniband(),
+            FabricParams::shared_memory(),
+            16,
+            0.3e-6,
+        ),
+        fs: FsModel::lustre_vayu(),
+    }
+}
+
+/// The OpenStack private cloud of the paper's future work ("we are also
+/// planning to cloud burst onto OpenStack based cloud resources locally"):
+/// the same class of blades as DCC but under KVM with virtio 10 GigE —
+/// a what-if platform, not part of Table I.
+pub fn openstack() -> ClusterSpec {
+    let hypervisor = HypervisorModel::kvm();
+    let intra = FabricParams::shared_memory_virt(
+        0.4e-6,
+        JitterParams {
+            prob: 0.008,
+            dist: JitterDist::Exponential { mean: 15.0e-6 },
+        },
+    );
+    // virtio 10GigE: better per-byte path than Xen netfront, worse than
+    // hardware RDMA.
+    let mut inter = FabricParams::ten_gige_virt();
+    inter.name = "10GigE (KVM virtio)";
+    inter.latency = 38.0e-6;
+    inter.per_byte_cpu = 1.2e-9;
+    ClusterSpec {
+        name: "openstack",
+        nodes: 8,
+        node: NodeSpec::new(CpuSpec::xeon_e5520(), hypervisor, 40.0),
+        topology: Topology::single_switch(inter, intra),
+        fs: FsModel::nfs_ec2(),
+    }
+}
+
+/// All three platforms in the order the paper tabulates them.
+pub fn all() -> Vec<ClusterSpec> {
+    vec![dcc(), ec2(), vayu()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        let d = dcc();
+        let e = ec2();
+        let v = vayu();
+        assert_eq!(d.nodes, 8);
+        assert_eq!(e.nodes, 4);
+        assert_eq!(v.nodes, 1492);
+        assert_eq!(d.total_logical_cores(), 64);
+        assert_eq!(e.total_logical_cores(), 64);
+        assert_eq!(d.node.logical_cores(), 8);
+        assert_eq!(e.node.logical_cores(), 16);
+        assert_eq!(v.node.logical_cores(), 8);
+    }
+
+    #[test]
+    fn serial_compute_ratio_tracks_clocks() {
+        // Fig 3 / Table III: DCC serial compute is ~1.3-1.4x Vayu.
+        let v = vayu();
+        let d = dcc();
+        let pv = v.place(1, crate::placement::Strategy::Block).unwrap();
+        let pd = d.place(1, crate::placement::Strategy::Block).unwrap();
+        let rv = v.rank_rates(&pv)[0].flops_rate;
+        let rd = d.rank_rates(&pd)[0].flops_rate;
+        let ratio = rv / rd;
+        assert!((1.25..1.45).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ec2_serial_close_to_vayu() {
+        // Same X5570 silicon; Xen adds a few percent.
+        let v = vayu();
+        let e = ec2();
+        let pv = v.place(1, crate::placement::Strategy::Block).unwrap();
+        let pe = e.place(1, crate::placement::Strategy::Block).unwrap();
+        let ratio = v.rank_rates(&pv)[0].flops_rate / e.rank_rates(&pe)[0].flops_rate;
+        assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn openstack_sits_between_dcc_and_vayu() {
+        use crate::placement::Strategy;
+        let o = openstack();
+        assert_eq!(o.nodes, 8);
+        // Same silicon as DCC, lighter virtualization: single-rank compute
+        // rate strictly between DCC's and bare metal's.
+        let po = o.place(1, Strategy::Block).unwrap();
+        let ro = o.rank_rates(&po)[0].flops_rate;
+        let d = dcc();
+        let pd = d.place(1, Strategy::Block).unwrap();
+        let rd = d.rank_rates(&pd)[0].flops_rate;
+        assert!(ro > rd);
+        // And its fabric latency is below both cloud fabrics of Table I.
+        assert!(o.topology.inter.latency < dcc().topology.inter.latency);
+        assert!(o.topology.inter.latency < ec2().topology.inter.latency);
+    }
+
+    #[test]
+    fn interconnect_identity() {
+        assert_eq!(vayu().topology.inter.name, "QDR InfiniBand");
+        assert_eq!(ec2().topology.inter.name, "10GigE (Xen virtualized)");
+        assert_eq!(dcc().topology.inter.name, "GigE (VMware vSwitch)");
+    }
+}

@@ -1,0 +1,186 @@
+//! Calibration dashboard: prints every paper-anchored quantity next to its
+//! simulated value. Used while tuning model parameters; kept as an example
+//! because it doubles as a whole-system smoke test.
+
+use sim_ipm::profile_run;
+use sim_mpi::{run_job, NullSink, SimConfig};
+use sim_platform::{presets, ClusterSpec, Strategy};
+use workloads::{
+    metum::warmed_secs,
+    npb::{Class, Kernel, Npb},
+    osu::{run_bandwidth, run_latency},
+    Chaste, MetUm, Workload,
+};
+
+fn elapsed(w: &dyn Workload, c: &ClusterSpec, np: usize, strategy: Strategy) -> f64 {
+    let job = w.build(np);
+    let cfg = SimConfig {
+        strategy,
+        ..Default::default()
+    };
+    run_job(&job, c, &cfg, &mut NullSink).unwrap().elapsed_secs()
+}
+
+fn comm_pct(w: &dyn Workload, c: &ClusterSpec, np: usize) -> f64 {
+    let job = w.build(np);
+    run_job(&job, c, &SimConfig::default(), &mut NullSink)
+        .unwrap()
+        .comm_pct()
+}
+
+fn main() {
+    let platforms = [presets::dcc(), presets::ec2(), presets::vayu()];
+
+    println!("== OSU latency (us, half RTT) — paper Fig 2");
+    for bytes in [8usize, 1024, 64 * 1024, 1 << 20] {
+        print!("{:>9}B", bytes);
+        for c in &platforms {
+            print!("  {:>10.1} ({})", run_latency(c, bytes, 1).unwrap(), c.name);
+        }
+        println!();
+    }
+
+    println!("\n== OSU bandwidth (MB/s) — paper Fig 1 (peaks: dcc~190 ec2~560 vayu>2500)");
+    for bytes in [4096usize, 64 * 1024, 256 * 1024, 1 << 22] {
+        print!("{:>9}B", bytes);
+        for c in &platforms {
+            print!("  {:>10.0} ({})", run_bandwidth(c, bytes, 1).unwrap(), c.name);
+        }
+        println!();
+    }
+
+    println!("\n== NPB class B serial (normalized to DCC) — paper Fig 3 (~0.75-0.85 both)");
+    for k in Kernel::all() {
+        let w = Npb::new(k, Class::B);
+        let dcc = elapsed(&w, &platforms[0], 1, Strategy::Block);
+        let ec2 = elapsed(&w, &platforms[1], 1, Strategy::Block);
+        let vayu = elapsed(&w, &platforms[2], 1, Strategy::Block);
+        println!(
+            "{:>4}  dcc {:>7.1}s (paper {:>7.1})  ec2 {:.3}  vayu {:.3}",
+            w.name(),
+            dcc,
+            k.dcc_serial_secs(Class::B),
+            ec2 / dcc,
+            vayu / dcc
+        );
+    }
+
+    println!("\n== NPB class B speedups — paper Fig 4");
+    for k in Kernel::all() {
+        let w = Npb::new(k, Class::B);
+        for c in &platforms {
+            let t1 = elapsed(&w, c, 1, Strategy::Block);
+            print!("{:>4} {:<4}", w.name(), c.name);
+            for np in k.paper_np_sweep() {
+                if np == 1 {
+                    continue;
+                }
+                let t = elapsed(&w, c, np, Strategy::Block);
+                print!("  {:>2}:{:>5.1}", np, t1 / t);
+            }
+            println!();
+        }
+    }
+
+    println!("\n== Table II: %comm for CG/FT/IS");
+    println!("paper CG  dcc: 1.5/5.3/68.3/85.7/78.0/90.3  ec2: 1.2/3.0/5.1/9.4/38.8/58.0  vayu: 0.9/1.9/3.8/8.5/12.5/21.7");
+    println!("paper FT  dcc: 2.5/3.6/8.3/59.3/75.7/84.4   ec2: 2.1/3.4/5.4/7.2/38.2/55.3  vayu: 1.9/2.9/4.2/7.7/12.5/20.8");
+    println!("paper IS  dcc: 6.3/8.6/14.2/82.4/88.3/98.1  ec2: 4.6/7.4/13.5/19.2/58.9/84.9 vayu: 4.4/8.2/12.9/22.1/44.4/68.2");
+    for k in [Kernel::Cg, Kernel::Ft, Kernel::Is] {
+        let w = Npb::new(k, Class::B);
+        for c in &platforms {
+            print!("sim {:>3} {:<4}", k.name(), c.name);
+            for np in [2usize, 4, 8, 16, 32, 64] {
+                print!(" {:>5.1}", comm_pct(&w, c, np));
+            }
+            println!();
+        }
+    }
+
+    println!("\n== MetUM — paper Fig 6 t8: vayu 963, dcc 1486, ec2 812, ec2-4 646");
+    let m = MetUm::default();
+    for np in [8usize, 16, 32, 64] {
+        let job = m.build(np);
+        let mem = m.memory_per_rank_bytes(np);
+        let mut row = format!("np={np:>2}");
+        for (c, strat) in [
+            (&platforms[2], Strategy::Block),
+            (&platforms[0], Strategy::Block),
+            (
+                &platforms[1],
+                Strategy::BlockMemoryAware {
+                    per_rank_bytes: mem,
+                },
+            ),
+            (&platforms[1], Strategy::Spread { nodes: 4 }),
+        ] {
+            let cfg = SimConfig {
+                strategy: strat,
+                ..Default::default()
+            };
+            match profile_run(&job, c, &cfg) {
+                Ok((_, rep)) => {
+                    row += &format!("  {:>7.0}", warmed_secs(&rep));
+                }
+                Err(e) => {
+                    row += &format!("  err:{e:>3}");
+                }
+            }
+        }
+        println!("{row}   (vayu dcc ec2 ec2-4)");
+    }
+
+    println!("\n== Table III @32: time/rcomp/rcomm/%comm/%imbal/IO");
+    println!("paper: vayu 303/1.0/1.0/13/13/4.5  dcc 624/1.37/6.71/42/4/37.8  ec2 770/2.39/3.53/18/18/9.1  ec2-4 380/1.17/1.0/18/19/7.6");
+    let job32 = m.build(32);
+    let mem32 = m.memory_per_rank_bytes(32);
+    let (vres, vrep) = profile_run(&job32, &platforms[2], &SimConfig::default()).unwrap();
+    let vwall = warmed_secs(&vrep);
+    let vcomp = vres.comp_total_secs();
+    let vcomm = vres.comm_total_secs();
+    for (name, c, strat) in [
+        ("vayu", &platforms[2], Strategy::Block),
+        ("dcc", &platforms[0], Strategy::Block),
+        (
+            "ec2",
+            &platforms[1],
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: mem32,
+            },
+        ),
+        ("ec2-4", &platforms[1], Strategy::Spread { nodes: 4 }),
+    ] {
+        let cfg = SimConfig {
+            strategy: strat,
+            ..Default::default()
+        };
+        let (res, rep) = profile_run(&job32, c, &cfg).unwrap();
+        println!(
+            "sim {:<6} t={:>5.0} rcomp={:>4.2} rcomm={:>5.2} %comm={:>4.1} %imbal={:>4.1} io={:>5.1}  (nodes={})",
+            name,
+            warmed_secs(&rep) / vwall * 303.0,
+            res.comp_total_secs() / vcomp,
+            res.comm_total_secs() / vcomm,
+            res.comm_pct(),
+            rep.global.imbalance_pct(),
+            res.io_secs_max(),
+            res.placement.nodes_used(),
+        );
+    }
+
+    println!("\n== Chaste — paper Fig 5 t8: vayu total 1017/KSp 579 (dcc total 1599/KSp 938; legend garbled in source)");
+    let ch = Chaste::default();
+    for (name, c) in [("vayu", &platforms[2]), ("dcc", &platforms[0])] {
+        for np in [8usize, 16, 32, 64] {
+            let job = ch.build(np);
+            let (res, rep) = profile_run(&job, c, &SimConfig::default()).unwrap();
+            let ksp = rep.section("KSp").unwrap().wall.mean;
+            println!(
+                "sim {name} np={np:>2}  total {:>6.0}  KSp {:>6.0}  %comm {:>4.1}",
+                res.elapsed_secs(),
+                ksp,
+                res.comm_pct()
+            );
+        }
+    }
+}

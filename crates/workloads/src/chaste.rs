@@ -1,0 +1,256 @@
+//! Chaste — multi-scale cardiac electrophysiology (v2.1 benchmark).
+//!
+//! The paper's configuration: a high-resolution rabbit heart mesh (~4 M
+//! nodes, 24 M elements, a 1.4 GB mesh file), 250 timesteps of 2.0 ms of
+//! electrical activity, with a conjugate-gradient linear solve (the PETSc
+//! "KSp" section) dominating every timestep. The KSp communication is
+//! "entirely 4-byte all-reduce operations" (paper §V-C1) plus the SpMV
+//! halo; mesh input and the output routine are separate profiled sections.
+
+use crate::calib;
+use crate::util::ring_exchange;
+use crate::Workload;
+use sim_des::splitmix64;
+use sim_mpi::{CollOp, JobSpec, Op};
+
+/// Section ids.
+pub const SEC_INPUT: u16 = 0;
+pub const SEC_ASSEMBLY: u16 = 1;
+pub const SEC_KSP: u16 = 2;
+pub const SEC_OUTPUT: u16 = 3;
+
+/// Mesh size.
+pub const MESH_NODES: u64 = 4_000_000;
+pub const MESH_BYTES: u64 = 1_400_000_000;
+
+/// The Chaste cardiac workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Chaste {
+    /// Timesteps (paper: 250 = 2.0 ms at 8 µs steps).
+    pub timesteps: usize,
+    /// CG iterations per linear solve.
+    pub cg_iters: usize,
+}
+
+impl Default for Chaste {
+    fn default() -> Self {
+        Chaste {
+            timesteps: 250,
+            cg_iters: 45,
+        }
+    }
+}
+
+/// KSp serial work per timestep (seconds on one Vayu core), anchored to
+/// Fig 5's Vayu t8 = 579 s over 250 steps with ~8% parallel overhead at 8
+/// ranks.
+const KSP_STEP_VAYU_CORE_SECS: f64 = 14.8;
+/// Assembly + ODE + the rest of a timestep, same units (Fig 5: total t8 =
+/// 1017 on Vayu; minus KSp, input and output leaves ~338 s / 250 steps).
+const ASSEMBLY_STEP_VAYU_CORE_SECS: f64 = 11.6;
+/// Mesh input: partition/parse compute at 8 ranks (seconds, Vayu), largely
+/// non-scaling ("scaled identically on both systems, 1.25 speedup at 64
+/// cores over 8").
+const INPUT_SERIAL_SECS: f64 = 44.0;
+const INPUT_SCALABLE_8X_SECS: f64 = 96.0;
+/// Output volume gathered to rank 0 and written.
+const OUTPUT_BYTES: u64 = 60_000_000;
+/// Memory-bound fractions.
+const MU_KSP: f64 = 0.88;
+const MU_ASSEMBLY: f64 = 0.60;
+const KAPPA: f64 = 0.25;
+/// Mesh-partition imbalance amplitude.
+const HASH_IMBALANCE: f64 = 0.08;
+
+impl Chaste {
+    fn imbalance(&self, rank: usize) -> f64 {
+        let wiggle = (splitmix64(rank as u64 ^ 0xCAFE_D00D) % 1000) as f64 / 1000.0 - 0.5;
+        1.0 + HASH_IMBALANCE * 2.0 * wiggle
+    }
+
+    fn compute(&self, core_secs: f64, mu: f64, np: usize, w: f64) -> Op {
+        let (flops, bytes) = calib::vayu_seconds_to_work(core_secs, mu);
+        let shrink = calib::cache_shrink(np, KAPPA);
+        Op::Compute {
+            flops: flops * w / np as f64,
+            bytes: bytes * w * shrink / np as f64,
+        }
+    }
+}
+
+impl Workload for Chaste {
+    fn name(&self) -> String {
+        format!("chaste.rabbit.{}steps", self.timesteps)
+    }
+
+    /// Paper: "rather surprisingly, its memory usage is slightly greater
+    /// than that of the MetUM benchmark".
+    fn memory_per_rank_bytes(&self, np: usize) -> u64 {
+        400_000_000 + 30_000_000_000 / np as u64
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        // Partition neighbours: a mesh partition talks to a handful of
+        // graph neighbours; model as a ring of 2 plus one long-range pair.
+        // SpMV halo size: the partition surface, ~(N/p)^(2/3) nodes with ~3
+        // doubles each.
+        let surface = ((MESH_NODES as f64 / np as f64).powf(2.0 / 3.0) * 24.0) as usize;
+        let halo_bytes = surface.max(64);
+
+        let programs = (0..np)
+            .map(|r| {
+                let w = self.imbalance(r);
+                let mut ops = Vec::new();
+
+                // --- Mesh input ---
+                ops.push(Op::SectionEnter(SEC_INPUT));
+                if r == 0 {
+                    ops.push(Op::FileRead { bytes: MESH_BYTES });
+                }
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Scatter {
+                        root: 0,
+                        bytes_per_rank: (MESH_BYTES / np as u64) as usize,
+                    }));
+                }
+                // Non-scaling parse + scaling partition build.
+                ops.push(Op::Compute {
+                    flops: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).0,
+                    bytes: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).1,
+                });
+                ops.push(self.compute(INPUT_SCALABLE_8X_SECS, 0.5, np, w));
+                ops.push(Op::SectionExit(SEC_INPUT));
+
+                let next = ((r + 1) % np) as u32;
+                let prev = ((r + np - 1) % np) as u32;
+
+                for _ in 0..self.timesteps {
+                    // --- Assembly + cell-model ODEs ---
+                    ops.push(Op::SectionEnter(SEC_ASSEMBLY));
+                    ops.push(self.compute(ASSEMBLY_STEP_VAYU_CORE_SECS, MU_ASSEMBLY, np, w));
+                    if np > 1 {
+                        ring_exchange(&mut ops, r, r as u32, next, prev, halo_bytes, 1);
+                    }
+                    ops.push(Op::SectionExit(SEC_ASSEMBLY));
+
+                    // --- KSp linear solve ---
+                    ops.push(Op::SectionEnter(SEC_KSP));
+                    let per_iter = KSP_STEP_VAYU_CORE_SECS / self.cg_iters as f64;
+                    for _ in 0..self.cg_iters {
+                        ops.push(self.compute(per_iter, MU_KSP, np, w));
+                        if np > 1 {
+                            ring_exchange(&mut ops, r, r as u32, next, prev, halo_bytes, 2);
+                        }
+                        if np > 1 {
+                            // The paper's signature: 4-byte allreduces.
+                            ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
+                            ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
+                        }
+                    }
+                    ops.push(Op::SectionExit(SEC_KSP));
+                }
+
+                // --- Output ---
+                ops.push(Op::SectionEnter(SEC_OUTPUT));
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Gather {
+                        root: 0,
+                        bytes_per_rank: (OUTPUT_BYTES / np as u64) as usize,
+                    }));
+                }
+                if r == 0 {
+                    ops.push(Op::FileWrite { bytes: OUTPUT_BYTES });
+                }
+                ops.push(Op::SectionExit(SEC_OUTPUT));
+                ops
+            })
+            .collect();
+        JobSpec {
+            name: self.name(),
+            programs,
+            section_names: vec!["input_mesh", "assembly", "KSp", "output"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_ipm::profile_run;
+    use sim_mpi::SimConfig;
+    use sim_platform::presets;
+
+    fn run(cluster: &sim_platform::ClusterSpec, np: usize) -> (sim_mpi::SimResult, sim_ipm::IpmReport) {
+        let job = Chaste::default().build(np);
+        profile_run(&job, cluster, &SimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn job_is_well_formed() {
+        for np in [1usize, 2, 8, 32] {
+            Chaste::default().build(np).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fig5_t8_anchors() {
+        let (_, rep) = run(&presets::vayu(), 8);
+        let ksp = rep.section("KSp").unwrap().wall.mean;
+        let total = rep.elapsed;
+        assert!((520.0..660.0).contains(&ksp), "Vayu KSp t8 = {ksp} (paper 579)");
+        assert!((900.0..1150.0).contains(&total), "Vayu total t8 = {total} (paper 1017)");
+    }
+
+    #[test]
+    fn fig5_dcc_slower_and_flatter() {
+        let (_, v8) = run(&presets::vayu(), 8);
+        let (_, d8) = run(&presets::dcc(), 8);
+        let ratio = d8.elapsed / v8.elapsed;
+        assert!((1.3..2.0).contains(&ratio), "DCC/Vayu t8 ratio {ratio} (paper ~1.57)");
+        // KSp section drives the total on both platforms.
+        for rep in [&v8, &d8] {
+            let ksp = rep.section("KSp").unwrap().wall.mean;
+            assert!(ksp / rep.elapsed > 0.45, "KSp {} of {}", ksp, rep.elapsed);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn ipm_comm_pct_at_32() {
+        // Paper: 48% comm on DCC at 32 cores, 11% on Vayu.
+        let (rv, _) = run(&presets::vayu(), 32);
+        let (rd, _) = run(&presets::dcc(), 32);
+        assert!(rv.comm_pct() < 25.0, "Vayu %comm {}", rv.comm_pct());
+        assert!(rd.comm_pct() > 30.0, "DCC %comm {}", rd.comm_pct());
+        assert!(rd.comm_pct() > rv.comm_pct() + 15.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn ksp_comm_is_collective_dominated() {
+        let (_, rep) = run(&presets::dcc(), 32);
+        let ksp = rep.section("KSp").unwrap();
+        assert!(
+            ksp.collective_frac() > 0.5,
+            "KSp collective fraction {}",
+            ksp.collective_frac()
+        );
+        // And the top call is the 4-byte allreduce.
+        let top = &ksp.calls[0];
+        assert_eq!(top.call, sim_mpi::MpiKind::Allreduce);
+        assert_eq!(top.bucket_bytes, 4);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn vayu_keeps_scaling_past_dcc() {
+        let (_, v8) = run(&presets::vayu(), 8);
+        let (_, v64) = run(&presets::vayu(), 64);
+        let (_, d8) = run(&presets::dcc(), 8);
+        let (_, d64) = run(&presets::dcc(), 64);
+        let v_speedup = v8.section("KSp").unwrap().wall.mean / v64.section("KSp").unwrap().wall.mean;
+        let d_speedup = d8.section("KSp").unwrap().wall.mean / d64.section("KSp").unwrap().wall.mean;
+        assert!(v_speedup > d_speedup + 0.5, "vayu {v_speedup} dcc {d_speedup}");
+        assert!(v_speedup > 3.0, "vayu KSp speedup 8->64 {v_speedup}");
+    }
+}

@@ -1,0 +1,88 @@
+//! `workloads` — op-program generators for every benchmark in the study.
+//!
+//! * [`osu`] — the OSU MPI latency and bandwidth micro-benchmarks (Figs 1-2)
+//! * [`npb`] — the eight NAS Parallel Benchmarks, classes S-C (Fig 3, Fig 4,
+//!   Table II)
+//! * [`metum`] — the MetUM N320L70 global atmosphere benchmark (Fig 6,
+//!   Table III, Fig 7)
+//! * [`chaste`] — the Chaste rabbit-heart cardiac benchmark (Fig 5)
+//!
+//! Workloads compile to [`sim_mpi::JobSpec`]s; total work is anchored to the
+//! paper's published absolute times (see [`calib`]) and communication
+//! structure follows the reference implementations.
+
+pub mod calib;
+pub mod chaste;
+pub mod metum;
+pub mod npb;
+pub mod osu;
+pub mod util;
+
+pub use chaste::Chaste;
+pub use metum::MetUm;
+pub use npb::{Class, Kernel, Npb};
+pub use osu::{OsuBandwidth, OsuLatency};
+
+/// A benchmark that can be compiled to per-rank op programs.
+pub trait Workload {
+    /// Name used in reports ("cg.B", "metum.n320l70.18steps", ...).
+    fn name(&self) -> String;
+
+    /// Generate the job for `np` ranks.
+    fn build(&self, np: usize) -> sim_mpi::JobSpec;
+
+    /// Resident memory per rank, bytes (0 = negligible). Used for
+    /// memory-aware placement (MetUM on EC2's 20 GB nodes).
+    fn memory_per_rank_bytes(&self, _np: usize) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pow2_np() -> impl Strategy<Value = usize> {
+        (0u32..7).prop_map(|k| 1usize << k)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Every NPB kernel builds a structurally valid job at any legal
+        /// rank count (class S for speed).
+        #[test]
+        fn npb_jobs_always_validate(np in pow2_np(), kidx in 0usize..8) {
+            let kernel = Kernel::all()[kidx];
+            let np = if matches!(kernel, Kernel::Bt | Kernel::Sp) {
+                // Snap to the nearest perfect square.
+                let q = (np as f64).sqrt().round().max(1.0) as usize;
+                q * q
+            } else {
+                np
+            };
+            let job = Npb::new(kernel, Class::S).build(np);
+            prop_assert_eq!(job.np(), np);
+            prop_assert!(job.validate().is_ok(), "{:?}", job.validate());
+        }
+
+        /// Applications build valid jobs at any power-of-two rank count.
+        #[test]
+        fn apps_always_validate(np in pow2_np()) {
+            let m = MetUm { timesteps: 2 };
+            prop_assert!(m.build(np).validate().is_ok());
+            let c = Chaste { timesteps: 2, cg_iters: 5 };
+            prop_assert!(c.build(np).validate().is_ok());
+        }
+
+        /// Memory models decrease monotonically with np.
+        #[test]
+        fn memory_monotone(np in 1usize..63) {
+            let m = MetUm::default();
+            prop_assert!(m.memory_per_rank_bytes(np) >= m.memory_per_rank_bytes(np + 1));
+            let c = Chaste::default();
+            prop_assert!(c.memory_per_rank_bytes(np) >= c.memory_per_rank_bytes(np + 1));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! MetUM — the UK Met Office Unified Model, N320L70 global atmosphere.
+//!
+//! A 640 × 481 × 70 lat-lon grid decomposed over a 2-D processor grid, run
+//! for 18 timesteps (2.5 simulated hours) exactly like the paper's
+//! benchmark configuration: no output, the only I/O being the initial
+//! 1.6 GB dump read. Each timestep performs the dynamics/advection halo
+//! exchanges of many prognostic fields (wide halos for the semi-Lagrangian
+//! scheme) and a Helmholtz solve dominated by tiny allreduces.
+//!
+//! "Warmed" time — what Figure 6 plots — is the wall time of the
+//! `ATM_STEP` + `SOLVER` sections excluding the first timestep.
+//!
+//! Per-rank load is deliberately imbalanced: latitude rows near the poles
+//! (the first and last processor rows) carry extra work from polar
+//! filtering, reproducing the banded imbalance the paper's Figure 7 shows
+//! across ranks 8..23 at 32 cores.
+
+use crate::calib;
+use crate::util::{grid_2d, ring_exchange};
+use crate::Workload;
+use sim_des::splitmix64;
+use sim_mpi::{CollOp, Group, JobSpec, Op};
+
+/// Grid dimensions (lon, lat, levels) of the N320L70 benchmark.
+pub const NLON: usize = 640;
+pub const NLAT: usize = 481;
+pub const NLEV: usize = 70;
+
+/// Section ids (order matches `section_names`).
+pub const SEC_STARTUP: u16 = 0;
+pub const SEC_FIRST_STEP: u16 = 1;
+pub const SEC_ATM_STEP: u16 = 2;
+pub const SEC_SOLVER: u16 = 3;
+
+/// The MetUM workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MetUm {
+    /// Simulated timesteps (paper: 18 = 2.5 model hours).
+    pub timesteps: usize,
+}
+
+impl Default for MetUm {
+    fn default() -> Self {
+        MetUm { timesteps: 18 }
+    }
+}
+
+/// Serial work per timestep, expressed as seconds on one Vayu core.
+/// Anchored so that the warmed 8-core Vayu run reproduces Fig 6's t8=963 s
+/// over 17 warmed steps: 963 * 8 / 17 ≈ 453, less ~4% parallel overhead.
+const STEP_VAYU_CORE_SECS: f64 = 331.0;
+/// Fraction of a step in dynamics/advection (ATM_STEP) vs Helmholtz solve.
+const ATM_FRAC: f64 = 0.72;
+/// Memory-bound fraction of the dynamics.
+const MU_ATM: f64 = 0.70;
+/// Memory-bound fraction of the solver (bandwidth-hungry stencils).
+const MU_SOLVER: f64 = 0.70;
+/// Cache-shrink exponent.
+const KAPPA: f64 = 0.08;
+/// Dynamics halo-exchange rounds per step (dozens of prognostic fields,
+/// several swap points each — the real model swaps bounds constantly).
+const HALO_ROUNDS: usize = 30;
+/// Effective fields bundled per halo exchange.
+const FIELDS_PER_HALO: usize = 6;
+/// Halo width in grid points (wide halos for semi-Lagrangian advection).
+const HALO_WIDTH: usize = 4;
+/// Helmholtz solver iterations per step.
+const SOLVER_ITERS: usize = 60;
+/// Polar-filter allgather payload per rank (bytes): a latitude row of
+/// spectral coefficients for the filtered fields.
+const POLAR_GATHER_BYTES: usize = 64 * NLEV * 8;
+/// Extra work multiplier for the polar processor rows.
+const POLAR_EXTRA: f64 = 0.22;
+/// Amplitude of the per-rank hash imbalance (land/sea contrast).
+const HASH_IMBALANCE: f64 = 0.06;
+
+/// Startup dump size (paper: 1.6 GB read before the first step).
+pub const DUMP_BYTES: u64 = 1_600_000_000;
+
+impl MetUm {
+    /// Per-rank work multiplier: polar rows heavier, plus a deterministic
+    /// per-rank wiggle. Mean over ranks ≈ 1.
+    fn imbalance(&self, rank: usize, px: usize, py: usize) -> f64 {
+        // Longitude-major rank order (UM enumerates the EW dimension first).
+        let y = rank / px;
+        let polar = if py > 1 && (y == 0 || y == py - 1) {
+            POLAR_EXTRA
+        } else {
+            0.0
+        };
+        let wiggle = (splitmix64(rank as u64 ^ 0xA7C0FFEE) % 1000) as f64 / 1000.0 - 0.5;
+        let np = px * py;
+        // Remove the mean of the polar bonus so total work is np-invariant.
+        let polar_mean = if py > 1 {
+            POLAR_EXTRA * 2.0 * px as f64 / np as f64
+        } else {
+            0.0
+        };
+        1.0 + polar - polar_mean + HASH_IMBALANCE * 2.0 * wiggle
+    }
+
+    fn compute(&self, share: f64, mu: f64, np: usize, w: f64) -> Op {
+        let (flops, bytes) = calib::vayu_seconds_to_work(STEP_VAYU_CORE_SECS * share, mu);
+        let shrink = calib::cache_shrink(np, KAPPA);
+        Op::Compute {
+            flops: flops * w / np as f64,
+            bytes: bytes * w * shrink / np as f64,
+        }
+    }
+}
+
+impl Workload for MetUm {
+    fn name(&self) -> String {
+        format!("metum.n320l70.{}steps", self.timesteps)
+    }
+
+    /// Per-rank resident footprint: replicated tables plus the grid share.
+    /// With EC2's 20 GB nodes this forces >= 2 nodes at every rank count
+    /// the paper ran, as observed ("memory constraints meant that it could
+    /// not be run on fewer than 2 nodes").
+    fn memory_per_rank_bytes(&self, np: usize) -> u64 {
+        350_000_000 + 28_000_000_000 / np as u64
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        let (px, py) = grid_2d(np);
+        // East-west halo: a latitude strip of the subdomain edge.
+        let ew_bytes =
+            (NLAT / py).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
+        // North-south halo: a longitude strip.
+        let ns_bytes =
+            (NLON / px).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
+        // Solver halo: single field, width 1.
+        let solver_ew = (NLAT / py).max(1) * NLEV * 8;
+
+        // Longitude-major rank order: rank = y * px + x. This puts EW-ring
+        // neighbours at stride 1 (on-node under block placement) and the
+        // big latitude-halo neighbours at stride px — across nodes once the
+        // job spans them, exactly the traffic pattern that hurts DCC.
+        let rank_of = |x: usize, y: usize| (y * px + x) as u32;
+        let programs = (0..np)
+            .map(|r| {
+                let (x, y) = (r % px, r / px);
+                let w = self.imbalance(r, px, py);
+                let mut ops = Vec::new();
+
+                // Startup: rank 0 reads the dump and scatters it.
+                ops.push(Op::SectionEnter(SEC_STARTUP));
+                if r == 0 {
+                    ops.push(Op::FileRead { bytes: DUMP_BYTES });
+                }
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Scatter {
+                        root: 0,
+                        bytes_per_rank: (DUMP_BYTES / np as u64) as usize,
+                    }));
+                }
+                // Grid/constants setup.
+                ops.push(self.compute(0.08, 0.3, np, 1.0));
+                ops.push(Op::SectionExit(SEC_STARTUP));
+
+
+                for step in 0..self.timesteps {
+                    let (enter, exit) = if step == 0 {
+                        (SEC_FIRST_STEP, SEC_FIRST_STEP)
+                    } else {
+                        (SEC_ATM_STEP, SEC_ATM_STEP)
+                    };
+                    // Dynamics/advection with halo swaps spread through it.
+                    ops.push(Op::SectionEnter(enter));
+                    let atm_chunk = ATM_FRAC / HALO_ROUNDS as f64;
+                    for _ in 0..HALO_ROUNDS {
+                        ops.push(self.compute(atm_chunk, MU_ATM, np, w));
+                        // Longitude ring (periodic): parity-ordered.
+                        if px > 1 {
+                            ring_exchange(
+                                &mut ops,
+                                x,
+                                r as u32,
+                                rank_of((x + 1) % px, y),
+                                rank_of((x + px - 1) % px, y),
+                                ns_bytes,
+                                1,
+                            );
+                        }
+                        // Latitude chain (bounded at the poles).
+                        if y + 1 < py {
+                            ops.push(Op::Exchange {
+                                partner: rank_of(x, y + 1),
+                                send_bytes: ew_bytes,
+                                recv_bytes: ew_bytes,
+                                tag: 2,
+                            });
+                        }
+                        if y > 0 {
+                            ops.push(Op::Exchange {
+                                partner: rank_of(x, y - 1),
+                                send_bytes: ew_bytes,
+                                recv_bytes: ew_bytes,
+                                tag: 2,
+                            });
+                        }
+                    }
+                    // Polar filtering: the first and last processor rows
+                    // gather their longitude row to damp the converging
+                    // meridians (a row communicator, not world).
+                    if px > 1 && py > 1 && (y == 0 || y == py - 1) {
+                        let row = Group::Strided {
+                            first: (y * px) as u32,
+                            count: px as u32,
+                            stride: 1,
+                        };
+                        ops.push(Op::GroupColl {
+                            group: row,
+                            op: CollOp::Allgather {
+                                bytes_per_rank: POLAR_GATHER_BYTES,
+                            },
+                        });
+                    }
+                    ops.push(Op::SectionExit(exit));
+
+                    // Helmholtz solver: tiny allreduces dominate.
+                    let solver_sec = if step == 0 { SEC_FIRST_STEP } else { SEC_SOLVER };
+                    ops.push(Op::SectionEnter(solver_sec));
+                    let solver_chunk = (1.0 - ATM_FRAC - 0.0) / SOLVER_ITERS as f64;
+                    for it in 0..SOLVER_ITERS {
+                        ops.push(self.compute(solver_chunk, MU_SOLVER, np, w));
+                        if np > 1 {
+                            ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+                            // Every few iterations the preconditioner swaps
+                            // a single-field halo.
+                            if it % 3 == 0 && py > 1 {
+                                if y + 1 < py {
+                                    ops.push(Op::Exchange {
+                                        partner: rank_of(x, y + 1),
+                                        send_bytes: solver_ew,
+                                        recv_bytes: solver_ew,
+                                        tag: 3,
+                                    });
+                                }
+                                if y > 0 {
+                                    ops.push(Op::Exchange {
+                                        partner: rank_of(x, y - 1),
+                                        send_bytes: solver_ew,
+                                        recv_bytes: solver_ew,
+                                        tag: 3,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    ops.push(Op::SectionExit(solver_sec));
+                }
+                ops
+            })
+            .collect();
+        JobSpec {
+            name: self.name(),
+            programs,
+            section_names: vec!["startup_io", "first_step", "ATM_STEP", "SOLVER"],
+        }
+    }
+}
+
+/// The warmed execution time Figure 6 plots: everything except startup I/O
+/// and the first (cache-cold) timestep.
+pub fn warmed_secs(report: &sim_ipm::IpmReport) -> f64 {
+    let atm = report.section("ATM_STEP").map(|s| s.wall.mean).unwrap_or(0.0);
+    let solver = report.section("SOLVER").map(|s| s.wall.mean).unwrap_or(0.0);
+    atm + solver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_ipm::profile_run;
+    use sim_mpi::SimConfig;
+    use sim_platform::{presets, Strategy};
+
+    fn run(
+        cluster: &sim_platform::ClusterSpec,
+        np: usize,
+        strategy: Strategy,
+    ) -> (sim_mpi::SimResult, sim_ipm::IpmReport) {
+        let w = MetUm::default();
+        let job = w.build(np);
+        let cfg = SimConfig {
+            strategy,
+            ..Default::default()
+        };
+        profile_run(&job, cluster, &cfg).unwrap()
+    }
+
+    #[test]
+    fn job_is_well_formed() {
+        for np in [1usize, 2, 4, 8, 16, 32, 64] {
+            MetUm::default().build(np).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fig6_t8_vayu_near_963() {
+        let (_, rep) = run(&presets::vayu(), 8, Strategy::Block);
+        let t8 = warmed_secs(&rep);
+        assert!((870.0..1060.0).contains(&t8), "Vayu warmed t8 = {t8}");
+    }
+
+    #[test]
+    fn fig6_vayu_scales_nearly_linearly() {
+        let (_, r8) = run(&presets::vayu(), 8, Strategy::Block);
+        let (_, r64) = run(&presets::vayu(), 64, Strategy::Block);
+        let sp = warmed_secs(&r8) / warmed_secs(&r64);
+        assert!(sp > 5.5, "Vayu speedup 8->64: {sp} (paper: near 8)");
+    }
+
+    #[test]
+    fn ec2_memory_forces_two_nodes() {
+        let w = MetUm::default();
+        let c = presets::ec2();
+        for np in [8usize, 16] {
+            let p = c
+                .place(
+                    np,
+                    Strategy::BlockMemoryAware {
+                        per_rank_bytes: w.memory_per_rank_bytes(np),
+                    },
+                )
+                .unwrap();
+            assert!(p.nodes_used() >= 2, "np={np} used {} nodes", p.nodes_used());
+        }
+    }
+
+    #[test]
+    fn table3_ratios_at_32() {
+        // Paper Table III at 32 cores: rcomp(DCC) 1.37, rcomm(DCC) 6.71,
+        // %comm DCC 42 vs Vayu 13, I/O 4.5 s (Vayu) vs 37.8 s (DCC).
+        let (rv, _) = run(&presets::vayu(), 32, Strategy::Block);
+        let (rd, _) = run(&presets::dcc(), 32, Strategy::Block);
+        let rcomp = rd.comp_total_secs() / rv.comp_total_secs();
+        assert!((1.2..1.7).contains(&rcomp), "rcomp {rcomp}");
+        let rcomm = rd.comm_total_secs() / rv.comm_total_secs();
+        assert!(rcomm > 2.5, "rcomm {rcomm} (paper 6.71)");
+        assert!(rd.comm_pct() > rv.comm_pct() + 10.0);
+        assert!((3.5..6.5).contains(&rv.io_secs_max()), "vayu io {}", rv.io_secs_max());
+        assert!((30.0..45.0).contains(&rd.io_secs_max()), "dcc io {}", rd.io_secs_max());
+    }
+
+    #[test]
+    fn ec2_4_beats_ec2_at_32() {
+        // Fig 6 / Table III: spreading 32 ranks over 4 nodes (no HT) is
+        // nearly twice as fast as packing them onto 2.
+        let w = MetUm::default();
+        let (r2, rep2) = run(
+            &presets::ec2(),
+            32,
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: w.memory_per_rank_bytes(32),
+            },
+        );
+        let (r4, rep4) = run(&presets::ec2(), 32, Strategy::Spread { nodes: 4 });
+        assert_eq!(r2.placement.nodes_used(), 2);
+        assert_eq!(r4.placement.nodes_used(), 4);
+        let ratio = warmed_secs(&rep2) / warmed_secs(&rep4);
+        assert!((1.5..2.4).contains(&ratio), "EC2/EC2-4 ratio {ratio} (paper ~2)");
+    }
+
+    #[test]
+    fn polar_rows_create_imbalance() {
+        let (_, rep) = run(&presets::vayu(), 32, Strategy::Block);
+        let imbal = rep.global.imbalance_pct();
+        assert!((5.0..30.0).contains(&imbal), "imbalance {imbal}% (paper 13%)");
+    }
+}

@@ -1,0 +1,63 @@
+//! EP — embarrassingly parallel.
+//!
+//! Each rank generates its block of Gaussian pairs (see `numerics::ep` for
+//! the real kernel) and the only communication is three small allreduces at
+//! the end (the sums, the annulus counts and the timing reduction). This is
+//! the paper's "no communication" baseline: near-linear everywhere, with
+//! EC2's fluctuations coming purely from jitter.
+
+use super::{compute_chunk, Class, Kernel};
+use sim_mpi::{CollOp, JobSpec, Op};
+
+pub fn build(class: Class, np: usize) -> JobSpec {
+    // Split the single big compute into a handful of chunks so hypervisor
+    // jitter gets several chances to fire per rank, like the real kernel's
+    // loop structure.
+    const CHUNKS: usize = 16;
+    let programs = (0..np)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(CHUNKS + 3);
+            for _ in 0..CHUNKS {
+                ops.push(compute_chunk(Kernel::Ep, class, np, 1.0 / CHUNKS as f64));
+            }
+            // sx+sy, the ten annulus counts, and the verification flag.
+            ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
+            ops.push(Op::Coll(CollOp::Allreduce { bytes: 80 }));
+            ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+            ops
+        })
+        .collect();
+    JobSpec {
+        name: String::new(),
+        programs,
+        section_names: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mpi::{run_job, NullSink, SimConfig};
+    use sim_platform::presets;
+
+    #[test]
+    fn ep_scales_nearly_linearly_on_vayu() {
+        let t = |np: usize| {
+            let job = build(Class::A, np);
+            run_job(&job, &presets::vayu(), &SimConfig::default(), &mut NullSink)
+                .unwrap()
+                .elapsed_secs()
+        };
+        let t1 = t(1);
+        let t32 = t(32);
+        let speedup = t1 / t32;
+        assert!(speedup > 28.0, "EP speedup at 32: {speedup}");
+    }
+
+    #[test]
+    fn ep_comm_fraction_negligible() {
+        let job = build(Class::A, 16);
+        let r = run_job(&job, &presets::dcc(), &SimConfig::default(), &mut NullSink).unwrap();
+        assert!(r.comm_pct() < 2.0, "%comm {}", r.comm_pct());
+    }
+}

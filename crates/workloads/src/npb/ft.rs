@@ -1,0 +1,113 @@
+//! FT — 3-D FFT PDE solver.
+//!
+//! Per iteration the grid is evolved in spectral space and transformed,
+//! which requires transposing the distributed array twice: two all-to-alls
+//! of the entire dataset per iteration. Bandwidth-bound with large messages
+//! at small `np`, shrinking as `1/np²` per pair — which is why DCC partially
+//! *recovers* at high process counts (the paper's observation about
+//! MPI_AlltoAll message sizes decreasing).
+
+use super::{compute_chunk, Class, Kernel};
+use sim_mpi::{CollOp, JobSpec, Op};
+
+/// Grid dimensions and iteration count: (nx, ny, nz, niter).
+pub fn dims(class: Class) -> (usize, usize, usize, usize) {
+    match class {
+        Class::S => (64, 64, 64, 6),
+        Class::W => (128, 128, 32, 6),
+        Class::A => (256, 256, 128, 6),
+        Class::B => (512, 256, 256, 20),
+        Class::C => (512, 512, 512, 20),
+    }
+}
+
+pub fn build(class: Class, np: usize) -> JobSpec {
+    let (nx, ny, nz, niter) = dims(class);
+    // Complex128 grid.
+    let total_bytes = nx * ny * nz * 16;
+    let per_pair = (total_bytes / (np * np)).max(1);
+    // One setup chunk plus two half-chunks per iteration, summing to 1.
+    let share = 1.0 / (niter + 1) as f64;
+
+    let programs = (0..np)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(niter * 6 + 2);
+            // Initial data generation + first forward transform.
+            ops.push(compute_chunk(Kernel::Ft, class, np, share));
+            if np > 1 {
+                ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+            }
+            for _ in 0..niter {
+                // Evolve + inverse 3-D FFT: local pencils, transpose, local
+                // pencils again.
+                ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+                }
+                ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+                }
+                // Checksum reduction.
+                if np > 1 {
+                    ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
+                }
+            }
+            ops
+        })
+        .collect();
+    JobSpec {
+        name: String::new(),
+        programs,
+        section_names: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mpi::{run_job, NullSink, SimConfig};
+    use sim_platform::presets;
+
+    fn elapsed(cluster: &sim_platform::ClusterSpec, np: usize) -> f64 {
+        let job = build(Class::B, np);
+        run_job(&job, cluster, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs()
+    }
+
+    #[test]
+    fn vayu_scales_ft_nearly_linearly() {
+        let t1 = elapsed(&presets::vayu(), 1);
+        let t32 = elapsed(&presets::vayu(), 32);
+        let sp = t1 / t32;
+        assert!(sp > 20.0, "FT speedup on Vayu at 32: {sp}");
+    }
+
+    #[test]
+    fn dcc_ft_speedup_dips_then_recovers() {
+        // Fig 4 FT: DCC dips when first crossing nodes, then the shrinking
+        // all-to-all messages claw some speedup back by 64.
+        let t1 = elapsed(&presets::dcc(), 1);
+        let s16 = t1 / elapsed(&presets::dcc(), 16);
+        let s64 = t1 / elapsed(&presets::dcc(), 64);
+        assert!(s64 > s16, "s16={s16} s64={s64}");
+        // And it's far from linear.
+        assert!(s64 < 40.0, "s64={s64}");
+    }
+
+    #[test]
+    fn table2_ft_comm_ordering_at_64() {
+        // Table II FT np=64: DCC 84.4, EC2 55.3, Vayu 20.8.
+        let pct = |c: &sim_platform::ClusterSpec| {
+            let job = build(Class::B, 64);
+            run_job(&job, c, &SimConfig::default(), &mut NullSink)
+                .unwrap()
+                .comm_pct()
+        };
+        let dcc = pct(&presets::dcc());
+        let ec2 = pct(&presets::ec2());
+        let vayu = pct(&presets::vayu());
+        assert!(dcc > ec2 && ec2 > vayu, "dcc={dcc} ec2={ec2} vayu={vayu}");
+    }
+}

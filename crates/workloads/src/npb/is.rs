@@ -1,0 +1,109 @@
+//! IS — integer sort.
+//!
+//! Per iteration every rank buckets its keys, the bucket histogram is
+//! allreduced, and the keys are redistributed with an all-to-allv. Tiny
+//! compute per byte moved makes IS the most communication-intensive kernel
+//! of the suite — the paper reports it failing to scale on *any* platform,
+//! with DCC spending ~98% of walltime in MPI at 64 processes.
+
+use super::{compute_chunk, Class, Kernel};
+use sim_mpi::{CollOp, JobSpec, Op};
+
+/// Number of keys per class (2^x) and iterations.
+pub fn dims(class: Class) -> (u64, usize) {
+    match class {
+        Class::S => (1 << 16, 10),
+        Class::W => (1 << 20, 10),
+        Class::A => (1 << 23, 10),
+        Class::B => (1 << 25, 10),
+        Class::C => (1 << 27, 10),
+    }
+}
+
+/// IS buckets (NPB uses 2^10 for key histogramming at these classes).
+pub const NBUCKETS: usize = 1024;
+
+/// The NPB key distribution (average of four uniforms) concentrates mass in
+/// the middle buckets, so the all-to-allv is far from uniform: the hottest
+/// pair carries roughly this multiple of the mean pair load, and the
+/// pairwise exchange completes only when the hottest pair does.
+pub const HOT_PAIR_FACTOR: usize = 3;
+
+pub fn build(class: Class, np: usize) -> JobSpec {
+    let (nkeys, niter) = dims(class);
+    // Keys are 4-byte integers; each iteration redistributes all of them.
+    let total_bytes = (nkeys * 4) as usize;
+    let per_pair = (total_bytes * HOT_PAIR_FACTOR / (np * np)).max(1);
+    let share = 1.0 / niter as f64;
+
+    let programs = (0..np)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(niter * 4 + 1);
+            for _ in 0..niter {
+                // Local bucketing.
+                ops.push(compute_chunk(Kernel::Is, class, np, share * 0.6));
+                if np > 1 {
+                    // Histogram allreduce: NBUCKETS 4-byte counts.
+                    ops.push(Op::Coll(CollOp::Allreduce { bytes: NBUCKETS * 4 }));
+                    // Key redistribution.
+                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+                }
+                // Local ranking of received keys.
+                ops.push(compute_chunk(Kernel::Is, class, np, share * 0.4));
+            }
+            // Full verification.
+            if np > 1 {
+                ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+            }
+            ops
+        })
+        .collect();
+    JobSpec {
+        name: String::new(),
+        programs,
+        section_names: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mpi::{run_job, NullSink, SimConfig};
+    use sim_platform::presets;
+
+    fn comm_pct(cluster: &sim_platform::ClusterSpec, np: usize) -> f64 {
+        let job = build(Class::B, np);
+        run_job(&job, cluster, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .comm_pct()
+    }
+
+    #[test]
+    fn is_dcc_spends_almost_everything_in_comm_at_64() {
+        // Table II IS np=64: DCC 98.1%.
+        let pct = comm_pct(&presets::dcc(), 64);
+        assert!(pct > 85.0, "{pct}");
+    }
+
+    #[test]
+    fn is_vayu_also_significant_at_64() {
+        // Table II IS np=64: Vayu 68.2% — even QDR IB can't save IS.
+        let pct = comm_pct(&presets::vayu(), 64);
+        assert!((35.0..85.0).contains(&pct), "{pct}");
+    }
+
+    #[test]
+    fn is_does_not_scale_well_anywhere() {
+        // Fig 4 IS: speedup well below linear on every platform.
+        for c in [presets::vayu(), presets::ec2(), presets::dcc()] {
+            let t1 = run_job(&build(Class::B, 1), &c, &SimConfig::default(), &mut NullSink)
+                .unwrap()
+                .elapsed_secs();
+            let t64 = run_job(&build(Class::B, 64), &c, &SimConfig::default(), &mut NullSink)
+                .unwrap()
+                .elapsed_secs();
+            let sp = t1 / t64;
+            assert!(sp < 24.0, "{}: IS speedup {sp}", c.name);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The NAS Parallel Benchmarks (MPI, v3.3) as workload models.
+//!
+//! Eight kernels — BT, CG, EP, FT, IS, LU, MG, SP — with the published
+//! problem dimensions per class and the communication structure of the MPI
+//! reference implementations. Total work per kernel is anchored to the
+//! paper's Figure 3 single-process DCC walltimes (class B); other classes
+//! scale by the standard operation-count ratios of their problem sizes.
+
+pub mod bt_sp;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+
+use crate::Workload;
+use sim_mpi::JobSpec;
+
+/// NPB problem classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+}
+
+impl Class {
+    pub fn letter(&self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+        }
+    }
+}
+
+/// The eight kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    Bt,
+    Cg,
+    Ep,
+    Ft,
+    Is,
+    Lu,
+    Mg,
+    Sp,
+}
+
+impl Kernel {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Bt => "bt",
+            Kernel::Cg => "cg",
+            Kernel::Ep => "ep",
+            Kernel::Ft => "ft",
+            Kernel::Is => "is",
+            Kernel::Lu => "lu",
+            Kernel::Mg => "mg",
+            Kernel::Sp => "sp",
+        }
+    }
+
+    /// All kernels in the paper's Figure 3/4 order.
+    pub fn all() -> [Kernel; 8] {
+        [
+            Kernel::Bt,
+            Kernel::Ep,
+            Kernel::Cg,
+            Kernel::Ft,
+            Kernel::Is,
+            Kernel::Lu,
+            Kernel::Mg,
+            Kernel::Sp,
+        ]
+    }
+
+    /// Single-process class-B walltime on DCC, seconds — the Figure 3
+    /// anchors printed in the paper.
+    pub fn dcc_serial_secs_class_b(&self) -> f64 {
+        match self {
+            Kernel::Bt => 1696.9,
+            Kernel::Ep => 141.5,
+            Kernel::Cg => 244.9,
+            Kernel::Ft => 327.6,
+            Kernel::Is => 8.6,
+            Kernel::Lu => 1514.7,
+            Kernel::Mg => 72.0,
+            Kernel::Sp => 1936.1,
+        }
+    }
+
+    /// Work of `class` relative to class B (operation-count ratio from the
+    /// published problem sizes).
+    pub fn class_scale(&self, class: Class) -> f64 {
+        let cube = |n: usize, it: usize| (n * n * n * it) as f64;
+        match self {
+            Kernel::Bt => {
+                let b = cube(102, 200);
+                match class {
+                    Class::S => cube(12, 60) / b,
+                    Class::W => cube(24, 200) / b,
+                    Class::A => cube(64, 200) / b,
+                    Class::B => 1.0,
+                    Class::C => cube(162, 200) / b,
+                }
+            }
+            Kernel::Sp => {
+                let b = cube(102, 400);
+                match class {
+                    Class::S => cube(12, 100) / b,
+                    Class::W => cube(36, 400) / b,
+                    Class::A => cube(64, 400) / b,
+                    Class::B => 1.0,
+                    Class::C => cube(162, 400) / b,
+                }
+            }
+            Kernel::Lu => {
+                let b = cube(102, 250);
+                match class {
+                    Class::S => cube(12, 50) / b,
+                    Class::W => cube(33, 300) / b,
+                    Class::A => cube(64, 250) / b,
+                    Class::B => 1.0,
+                    Class::C => cube(162, 250) / b,
+                }
+            }
+            Kernel::Mg => {
+                let b = cube(256, 20);
+                match class {
+                    Class::S => cube(32, 4) / b,
+                    Class::W => cube(128, 4) / b,
+                    Class::A => cube(256, 4) / b,
+                    Class::B => 1.0,
+                    Class::C => cube(512, 20) / b,
+                }
+            }
+            Kernel::Ft => {
+                let vol = |x: usize, y: usize, z: usize, it: usize| (x * y * z * it) as f64;
+                let b = vol(512, 256, 256, 20);
+                match class {
+                    Class::S => vol(64, 64, 64, 6) / b,
+                    Class::W => vol(128, 128, 32, 6) / b,
+                    Class::A => vol(256, 256, 128, 6) / b,
+                    Class::B => 1.0,
+                    Class::C => vol(512, 512, 512, 20) / b,
+                }
+            }
+            Kernel::Cg => {
+                let work = |na: usize, nz: usize, it: usize| (na * nz * it) as f64;
+                let b = work(75000, 13, 75);
+                match class {
+                    Class::S => work(1400, 7, 15) / b,
+                    Class::W => work(7000, 8, 15) / b,
+                    Class::A => work(14000, 11, 15) / b,
+                    Class::B => 1.0,
+                    Class::C => work(150000, 15, 75) / b,
+                }
+            }
+            Kernel::Is => {
+                let b = (1u64 << 25) as f64;
+                match class {
+                    Class::S => (1u64 << 16) as f64 / b,
+                    Class::W => (1u64 << 20) as f64 / b,
+                    Class::A => (1u64 << 23) as f64 / b,
+                    Class::B => 1.0,
+                    Class::C => (1u64 << 27) as f64 / b,
+                }
+            }
+            Kernel::Ep => {
+                let b = (1u64 << 30) as f64;
+                match class {
+                    Class::S => (1u64 << 24) as f64 / b,
+                    Class::W => (1u64 << 25) as f64 / b,
+                    Class::A => (1u64 << 28) as f64 / b,
+                    Class::B => 1.0,
+                    Class::C => (1u64 << 32) as f64 / b,
+                }
+            }
+        }
+    }
+
+    /// Total serial work of `(kernel, class)` expressed as DCC seconds.
+    pub fn dcc_serial_secs(&self, class: Class) -> f64 {
+        self.dcc_serial_secs_class_b() * self.class_scale(class)
+    }
+
+    /// Memory-bound fraction `mu` (0 = pure compute, 1 = pure streaming).
+    pub fn mu(&self) -> f64 {
+        match self {
+            Kernel::Bt => 0.55,
+            Kernel::Sp => 0.65,
+            Kernel::Lu => 0.60,
+            Kernel::Mg => 0.85,
+            Kernel::Ft => 0.60,
+            Kernel::Cg => 0.88,
+            Kernel::Is => 0.90,
+            Kernel::Ep => 0.0,
+        }
+    }
+
+    /// Cache-shrink exponent: how quickly the per-rank streamed-byte volume
+    /// drops as the working set is divided (see `calib::cache_shrink`).
+    pub fn kappa(&self) -> f64 {
+        match self {
+            Kernel::Bt | Kernel::Sp | Kernel::Lu => 0.30,
+            Kernel::Mg => 0.25,
+            Kernel::Cg => 0.30,
+            Kernel::Ft => 0.10,
+            Kernel::Is => 0.0,
+            Kernel::Ep => 0.0,
+        }
+    }
+
+    /// Whether `np` is a legal process count for the kernel (powers of two,
+    /// except BT/SP which need perfect squares — 1, 4, 9, 16, 25, 36, 49,
+    /// 64 — matching the paper's BT.B.36/SP.B.36 points).
+    pub fn valid_np(&self, np: usize) -> bool {
+        if np == 0 {
+            return false;
+        }
+        match self {
+            Kernel::Bt | Kernel::Sp => crate::util::perfect_square(np).is_some(),
+            _ => np.is_power_of_two(),
+        }
+    }
+
+    /// Process counts the paper sweeps in Figure 4 for this kernel.
+    pub fn paper_np_sweep(&self) -> Vec<usize> {
+        match self {
+            Kernel::Bt | Kernel::Sp => vec![1, 4, 16, 36, 64],
+            _ => vec![1, 2, 4, 8, 16, 32, 64],
+        }
+    }
+}
+
+/// An NPB benchmark instance: kernel + class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Npb {
+    pub kernel: Kernel,
+    pub class: Class,
+}
+
+impl Npb {
+    pub fn new(kernel: Kernel, class: Class) -> Npb {
+        Npb { kernel, class }
+    }
+}
+
+impl Workload for Npb {
+    fn name(&self) -> String {
+        format!("{}.{}", self.kernel.name(), self.class.letter())
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        assert!(
+            self.kernel.valid_np(np),
+            "{} does not run on np={np}",
+            self.name()
+        );
+        let mut job = match self.kernel {
+            Kernel::Ep => ep::build(self.class, np),
+            Kernel::Cg => cg::build(self.class, np),
+            Kernel::Ft => ft::build(self.class, np),
+            Kernel::Is => is::build(self.class, np),
+            Kernel::Mg => mg::build(self.class, np),
+            Kernel::Lu => lu::build(self.class, np),
+            Kernel::Bt => bt_sp::build(Kernel::Bt, self.class, np),
+            Kernel::Sp => bt_sp::build(Kernel::Sp, self.class, np),
+        };
+        job.name = self.name();
+        job
+    }
+}
+
+/// Shared helper: per-rank compute chunk for a `share` of the kernel's
+/// total anchored work, split evenly over `np` ranks.
+pub(crate) fn compute_chunk(
+    kernel: Kernel,
+    class: Class,
+    np: usize,
+    share: f64,
+) -> sim_mpi::Op {
+    let secs = kernel.dcc_serial_secs(class);
+    let (total_flops, total_bytes) =
+        crate::calib::dcc_seconds_to_work(secs, kernel.mu());
+    let shrink = crate::calib::cache_shrink(np, kernel.kappa());
+    sim_mpi::Op::Compute {
+        flops: total_flops * share / np as f64,
+        bytes: total_bytes * share * shrink / np as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn names_and_sweeps() {
+        let w = Npb::new(Kernel::Cg, Class::B);
+        assert_eq!(w.name(), "cg.B");
+        assert_eq!(Kernel::Bt.paper_np_sweep(), vec![1, 4, 16, 36, 64]);
+        assert!(Kernel::Bt.valid_np(36));
+        assert!(!Kernel::Bt.valid_np(32));
+        assert!(Kernel::Ft.valid_np(32));
+        assert!(!Kernel::Ft.valid_np(36));
+    }
+
+    #[test]
+    fn class_scales_are_ordered() {
+        for k in Kernel::all() {
+            let s = k.class_scale(Class::S);
+            let w = k.class_scale(Class::W);
+            let a = k.class_scale(Class::A);
+            let b = k.class_scale(Class::B);
+            let c = k.class_scale(Class::C);
+            assert!(s < w && w <= a && a < b && b < c, "{}: {s} {w} {a} {b} {c}", k.name());
+            assert_eq!(b, 1.0);
+        }
+    }
+
+    #[test]
+    fn every_kernel_builds_valid_jobs() {
+        for k in Kernel::all() {
+            for np in k.paper_np_sweep() {
+                // Class S keeps this fast.
+                let job = Npb::new(k, Class::S).build(np);
+                assert_eq!(job.np(), np, "{} np={np}", k.name());
+                job.validate()
+                    .unwrap_or_else(|e| panic!("{} np={np}: {e}", k.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_anchor_values() {
+        assert_eq!(Kernel::Bt.dcc_serial_secs(Class::B), 1696.9);
+        assert_eq!(Kernel::Is.dcc_serial_secs(Class::B), 8.6);
+        assert!(Kernel::Ep.dcc_serial_secs(Class::A) < Kernel::Ep.dcc_serial_secs(Class::B));
+    }
+}

@@ -1,0 +1,287 @@
+//! The OSU MPI micro-benchmarks (latency and bandwidth), as op programs.
+//!
+//! * `osu_latency`: ping-pong between two ranks on *different nodes*;
+//!   reports half the round-trip per message size (paper Fig 2).
+//! * `osu_bw`: rank 0 streams a window of back-to-back sends, rank 1 replies
+//!   with one tiny ack per window; reports MB/s (paper Fig 1).
+//!
+//! Run these with `Strategy::Spread { nodes: 2 }` so the two ranks land on
+//! distinct nodes with a core each — exactly how the real suite is launched
+//! (one process per node).
+
+use crate::Workload;
+use sim_mpi::{run_job, JobSpec, NullSink, Op, SimConfig, SimError};
+use sim_platform::{ClusterSpec, Strategy};
+
+/// Message sizes swept by both OSU benchmarks (1 B .. 4 MB, powers of two).
+pub fn osu_sizes() -> Vec<usize> {
+    (0..=22).map(|k| 1usize << k).collect()
+}
+
+/// Iterations per size (the real suite uses more for small sizes; a fixed
+/// count keeps runs deterministic — jitter statistics come from repeats with
+/// different seeds).
+pub const OSU_ITERS: usize = 100;
+/// Warm-up iterations discarded by the real benchmark; modelled for shape
+/// fidelity (they exercise the same code path).
+pub const OSU_WARMUP: usize = 10;
+/// Window size of the bandwidth test.
+pub const OSU_BW_WINDOW: usize = 64;
+
+/// The ping-pong latency benchmark for one message size.
+#[derive(Debug, Clone, Copy)]
+pub struct OsuLatency {
+    pub bytes: usize,
+}
+
+impl Workload for OsuLatency {
+    fn name(&self) -> String {
+        format!("osu_latency.{}", self.bytes)
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        assert_eq!(np, 2, "osu_latency is a two-rank benchmark");
+        let total = OSU_WARMUP + OSU_ITERS;
+        let mut p0 = Vec::with_capacity(2 * total);
+        let mut p1 = Vec::with_capacity(2 * total);
+        for _ in 0..total {
+            p0.push(Op::Send { to: 1, bytes: self.bytes, tag: 0 });
+            p0.push(Op::Recv { from: 1, bytes: self.bytes, tag: 1 });
+            p1.push(Op::Recv { from: 0, bytes: self.bytes, tag: 0 });
+            p1.push(Op::Send { to: 0, bytes: self.bytes, tag: 1 });
+        }
+        JobSpec {
+            name: self.name(),
+            programs: vec![p0, p1],
+            section_names: vec![],
+        }
+    }
+}
+
+/// Convert an `osu_latency` elapsed time into the reported metric:
+/// microseconds per one-way message.
+pub fn latency_us(elapsed_secs: f64) -> f64 {
+    elapsed_secs / (OSU_WARMUP + OSU_ITERS) as f64 / 2.0 * 1e6
+}
+
+/// The windowed bandwidth benchmark for one message size.
+#[derive(Debug, Clone, Copy)]
+pub struct OsuBandwidth {
+    pub bytes: usize,
+}
+
+/// Windows measured per size.
+pub const OSU_BW_ROUNDS: usize = OSU_WARMUP + OSU_ITERS / 10;
+
+impl Workload for OsuBandwidth {
+    fn name(&self) -> String {
+        format!("osu_bw.{}", self.bytes)
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        assert_eq!(np, 2, "osu_bw is a two-rank benchmark");
+        let mut p0 = Vec::new();
+        let mut p1 = Vec::new();
+        for _ in 0..OSU_BW_ROUNDS {
+            for _ in 0..OSU_BW_WINDOW {
+                p0.push(Op::Send { to: 1, bytes: self.bytes, tag: 0 });
+                p1.push(Op::Recv { from: 0, bytes: self.bytes, tag: 0 });
+            }
+            // Window ack.
+            p1.push(Op::Send { to: 0, bytes: 4, tag: 1 });
+            p0.push(Op::Recv { from: 1, bytes: 4, tag: 1 });
+        }
+        JobSpec {
+            name: self.name(),
+            programs: vec![p0, p1],
+            section_names: vec![],
+        }
+    }
+}
+
+/// Convert an `osu_bw` elapsed time into MB/s as the suite reports it.
+pub fn bandwidth_mb_s(bytes: usize, elapsed_secs: f64) -> f64 {
+    let total = (OSU_BW_ROUNDS * OSU_BW_WINDOW * bytes) as f64;
+    total / elapsed_secs / 1e6
+}
+
+/// Run the latency benchmark on a platform (one process per node) and
+/// report microseconds.
+pub fn run_latency(cluster: &ClusterSpec, bytes: usize, seed: u64) -> Result<f64, SimError> {
+    let job = OsuLatency { bytes }.build(2);
+    let cfg = SimConfig {
+        seed,
+        strategy: Strategy::Spread { nodes: 2 },
+        ..Default::default()
+    };
+    let r = run_job(&job, cluster, &cfg, &mut NullSink)?;
+    Ok(latency_us(r.elapsed_secs()))
+}
+
+/// Run the bandwidth benchmark on a platform and report MB/s.
+pub fn run_bandwidth(cluster: &ClusterSpec, bytes: usize, seed: u64) -> Result<f64, SimError> {
+    let job = OsuBandwidth { bytes }.build(2);
+    let cfg = SimConfig {
+        seed,
+        strategy: Strategy::Spread { nodes: 2 },
+        ..Default::default()
+    };
+    let r = run_job(&job, cluster, &cfg, &mut NullSink)?;
+    Ok(bandwidth_mb_s(bytes, r.elapsed_secs()))
+}
+
+/// A collective latency benchmark (osu_allreduce / osu_bcast /
+/// osu_alltoall): `np` ranks iterate the collective back to back and
+/// report mean time per operation in microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct OsuCollective {
+    pub op: sim_mpi::CollOp,
+    pub iters: usize,
+}
+
+impl OsuCollective {
+    pub fn allreduce(bytes: usize) -> Self {
+        OsuCollective {
+            op: sim_mpi::CollOp::Allreduce { bytes },
+            iters: OSU_ITERS,
+        }
+    }
+    pub fn bcast(bytes: usize) -> Self {
+        OsuCollective {
+            op: sim_mpi::CollOp::Bcast { root: 0, bytes },
+            iters: OSU_ITERS,
+        }
+    }
+    pub fn alltoall(bytes_per_pair: usize) -> Self {
+        OsuCollective {
+            op: sim_mpi::CollOp::Alltoall { bytes_per_pair },
+            iters: OSU_ITERS,
+        }
+    }
+}
+
+impl Workload for OsuCollective {
+    fn name(&self) -> String {
+        format!("osu_{}", self.op.name().trim_start_matches("MPI_").to_lowercase())
+    }
+
+    fn build(&self, np: usize) -> JobSpec {
+        let programs = (0..np)
+            .map(|_| vec![Op::Coll(self.op); self.iters + OSU_WARMUP])
+            .collect();
+        JobSpec {
+            name: self.name(),
+            programs,
+            section_names: vec![],
+        }
+    }
+}
+
+/// Run a collective benchmark, reporting mean microseconds per operation.
+pub fn run_collective(
+    cluster: &ClusterSpec,
+    bench: OsuCollective,
+    np: usize,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let job = bench.build(np);
+    let cfg = SimConfig {
+        seed,
+        strategy: Strategy::Block,
+        ..Default::default()
+    };
+    let r = run_job(&job, cluster, &cfg, &mut NullSink)?;
+    Ok(r.elapsed_secs() / (bench.iters + OSU_WARMUP) as f64 * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_platform::presets;
+
+    #[test]
+    fn fig2_small_message_latency_ordering() {
+        let vayu = run_latency(&presets::vayu(), 8, 1).unwrap();
+        let ec2 = run_latency(&presets::ec2(), 8, 1).unwrap();
+        let dcc = run_latency(&presets::dcc(), 8, 1).unwrap();
+        assert!((1.0..5.0).contains(&vayu), "vayu {vayu} us");
+        assert!((40.0..90.0).contains(&ec2), "ec2 {ec2} us");
+        assert!(dcc > 100.0, "dcc {dcc} us");
+    }
+
+    #[test]
+    fn fig1_peak_bandwidth_plateaus() {
+        let vayu = run_bandwidth(&presets::vayu(), 1 << 20, 1).unwrap();
+        let ec2 = run_bandwidth(&presets::ec2(), 256 * 1024, 1).unwrap();
+        let dcc = run_bandwidth(&presets::dcc(), 256 * 1024, 1).unwrap();
+        // Paper: Vayu >= 10x others; EC2 ~560 MB/s; DCC ~190 MB/s.
+        assert!(vayu > 2000.0, "vayu {vayu} MB/s");
+        assert!((450.0..650.0).contains(&ec2), "ec2 {ec2} MB/s");
+        assert!((140.0..230.0).contains(&dcc), "dcc {dcc} MB/s");
+        assert!(vayu / dcc > 10.0);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_message_size_then_plateaus() {
+        let c = presets::ec2();
+        let small = run_bandwidth(&c, 64, 1).unwrap();
+        let mid = run_bandwidth(&c, 16 * 1024, 1).unwrap();
+        let large = run_bandwidth(&c, 1 << 20, 1).unwrap();
+        assert!(small < mid && mid < large * 1.5);
+    }
+
+    #[test]
+    fn dcc_latency_fluctuates_across_seeds() {
+        // Fig 2's DCC curve is visibly noisy; different seeds must produce
+        // measurably different latencies at small sizes.
+        let c = presets::dcc();
+        let vals: Vec<f64> = (0..5u64)
+            .map(|seed| run_latency(&c, 512, seed).unwrap())
+            .collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.05, "no fluctuation: {vals:?}");
+    }
+
+    #[test]
+    fn collective_latency_hierarchy() {
+        // 4-byte allreduce at 32 ranks: the Chaste KSp signature operation,
+        // across the three fabrics.
+        let bench = OsuCollective::allreduce(4);
+        let vayu = run_collective(&presets::vayu(), bench, 32, 1).unwrap();
+        let ec2 = run_collective(&presets::ec2(), bench, 32, 1).unwrap();
+        let dcc = run_collective(&presets::dcc(), bench, 32, 1).unwrap();
+        assert!(vayu < ec2 && ec2 < dcc, "vayu {vayu} ec2 {ec2} dcc {dcc}");
+        assert!(vayu < 40.0, "vayu 4B allreduce {vayu} us");
+        assert!(dcc > 300.0, "dcc 4B allreduce {dcc} us");
+    }
+
+    #[test]
+    fn allreduce_cost_grows_with_np_and_bytes() {
+        let c = presets::vayu();
+        let small_8 = run_collective(&c, OsuCollective::allreduce(8), 8, 1).unwrap();
+        let small_64 = run_collective(&c, OsuCollective::allreduce(8), 64, 1).unwrap();
+        let big_64 = run_collective(&c, OsuCollective::allreduce(1 << 20), 64, 1).unwrap();
+        assert!(small_64 > small_8);
+        assert!(big_64 > small_64 * 5.0);
+    }
+
+    #[test]
+    fn bcast_cheaper_than_alltoall() {
+        let c = presets::ec2();
+        let b = run_collective(&c, OsuCollective::bcast(4096), 32, 1).unwrap();
+        let a = run_collective(&c, OsuCollective::alltoall(4096), 32, 1).unwrap();
+        assert!(b < a, "bcast {b} vs alltoall {a}");
+    }
+
+    #[test]
+    fn vayu_latency_is_stable_across_seeds() {
+        let c = presets::vayu();
+        let vals: Vec<f64> = (0..5u64)
+            .map(|seed| run_latency(&c, 512, seed).unwrap())
+            .collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.02, "unexpected fluctuation: {vals:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Decomposition helpers shared by the workload generators.
+
+/// Factor `p` into a near-square 2-D processor grid `(px, py)` with
+/// `px * py == p` and `px >= py` (NPB-style powers first).
+pub fn grid_2d(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut best = (p, 1);
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            best = (p / d, d);
+        }
+        d += 1;
+    }
+    best
+}
+
+/// Factor `p` into a near-cubic 3-D processor grid `(px, py, pz)` with
+/// `px >= py >= pz`.
+pub fn grid_3d(p: usize) -> (usize, usize, usize) {
+    assert!(p > 0);
+    let mut best = (p, 1, 1);
+    let mut score = f64::INFINITY;
+    let mut a = 1;
+    while a * a * a <= p {
+        if p.is_multiple_of(a) {
+            let (b, c) = grid_2d(p / a);
+            let dims = [a as f64, b as f64, c as f64];
+            let s = dims.iter().fold(0.0f64, |m, d| m.max(*d))
+                / dims.iter().fold(f64::INFINITY, |m, d| m.min(*d));
+            if s < score {
+                score = s;
+                best = sorted3(a, b, c);
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+fn sorted3(a: usize, b: usize, c: usize) -> (usize, usize, usize) {
+    let mut v = [a, b, c];
+    v.sort_unstable_by(|x, y| y.cmp(x));
+    (v[0], v[1], v[2])
+}
+
+/// Rank of grid coordinate `(x, y)` in a row-major `px` × `py` grid.
+pub fn rank_of_2d(x: usize, y: usize, py: usize) -> u32 {
+    (x * py + y) as u32
+}
+
+/// Grid coordinate of `rank` in a row-major `px` × `py` grid.
+pub fn coord_of_2d(rank: usize, py: usize) -> (usize, usize) {
+    (rank / py, rank % py)
+}
+
+/// Split `n` items over `parts` as evenly as possible; returns the size of
+/// `part` (0-indexed). First `n % parts` parts get one extra.
+pub fn block_size(n: usize, parts: usize, part: usize) -> usize {
+    let base = n / parts;
+    if part < n % parts {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Push a deadlock-free pair of halo `Exchange` ops around a periodic ring:
+/// exchange with the next and previous members, parity-ordered (even
+/// positions talk forward first) so that a ring of blocking pairwise
+/// exchanges can never produce a circular wait.
+pub fn ring_exchange(
+    ops: &mut Vec<sim_mpi::Op>,
+    pos: usize,
+    me: u32,
+    next: u32,
+    prev: u32,
+    bytes: usize,
+    tag: u32,
+) {
+    if next == me && prev == me {
+        return;
+    }
+    let fwd = sim_mpi::Op::Exchange {
+        partner: next,
+        send_bytes: bytes,
+        recv_bytes: bytes,
+        tag,
+    };
+    let bwd = sim_mpi::Op::Exchange {
+        partner: prev,
+        send_bytes: bytes,
+        recv_bytes: bytes,
+        tag,
+    };
+    if pos.is_multiple_of(2) {
+        ops.push(fwd);
+        ops.push(bwd);
+    } else {
+        ops.push(bwd);
+        ops.push(fwd);
+    }
+}
+
+/// Integer square root check: `Some(q)` if `p == q*q`.
+pub fn perfect_square(p: usize) -> Option<usize> {
+    let q = (p as f64).sqrt().round() as usize;
+    if q * q == p {
+        Some(q)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_2d_near_square() {
+        assert_eq!(grid_2d(1), (1, 1));
+        assert_eq!(grid_2d(2), (2, 1));
+        assert_eq!(grid_2d(4), (2, 2));
+        assert_eq!(grid_2d(8), (4, 2));
+        assert_eq!(grid_2d(16), (4, 4));
+        assert_eq!(grid_2d(32), (8, 4));
+        assert_eq!(grid_2d(64), (8, 8));
+        assert_eq!(grid_2d(36), (6, 6));
+        assert_eq!(grid_2d(12), (4, 3));
+    }
+
+    #[test]
+    fn grid_3d_products_hold() {
+        for p in [1usize, 2, 4, 8, 16, 32, 64, 27, 12] {
+            let (a, b, c) = grid_3d(p);
+            assert_eq!(a * b * c, p, "p={p}");
+            assert!(a >= b && b >= c);
+        }
+        assert_eq!(grid_3d(8), (2, 2, 2));
+        assert_eq!(grid_3d(64), (4, 4, 4));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let (px, py) = (4, 3);
+        for x in 0..px {
+            for y in 0..py {
+                let r = rank_of_2d(x, y, py);
+                assert_eq!(coord_of_2d(r as usize, py), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_sum() {
+        for (n, parts) in [(10, 3), (7, 7), (5, 8), (100, 6)] {
+            let total: usize = (0..parts).map(|i| block_size(n, parts, i)).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn perfect_squares() {
+        assert_eq!(perfect_square(36), Some(6));
+        assert_eq!(perfect_square(64), Some(8));
+        assert_eq!(perfect_square(12), None);
+        assert_eq!(perfect_square(1), Some(1));
+    }
+}

@@ -1,0 +1,76 @@
+//! Cardiac-model study: the real mathematics behind the Chaste benchmark,
+//! then its simulated scaling across platforms.
+//!
+//! Part 1 solves an actual monodomain-style SPD linear system with the
+//! `numerics` conjugate-gradient solver and shows the iteration/flop
+//! structure the workload model charges per timestep. Part 2 replays the
+//! paper's Figure 5 experiment (Vayu vs DCC, total and KSp section).
+//!
+//! ```text
+//! cargo run --release --example cardiac_study
+//! ```
+
+use cloudsim::numerics::{cg_iter_flops, cg_solve, Csr, CG_DOTS_PER_ITER};
+use cloudsim::prelude::*;
+use cloudsim::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    // --- Part 1: a real CG solve on a 2-D "tissue sheet" ---
+    println!("Part 1 — a real conjugate-gradient solve (numerics crate)\n");
+    let (nx, ny) = (96, 96);
+    let a = Csr::poisson_2d(nx, ny);
+    // Manufactured solution: a smooth activation wavefront.
+    let exact: Vec<f64> = (0..a.n)
+        .map(|i| {
+            let x = (i / ny) as f64 / nx as f64;
+            let y = (i % ny) as f64 / ny as f64;
+            (6.0 * (x - 0.4)).tanh() * (-4.0 * (y - 0.5).powi(2)).exp()
+        })
+        .collect();
+    let mut rhs = vec![0.0; a.n];
+    a.spmv(&exact, &mut rhs);
+    let mut x = vec![0.0; a.n];
+    let stats = cg_solve(&a, &rhs, &mut x, 1e-9, 2000);
+    let err = x
+        .iter()
+        .zip(&exact)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max);
+    println!("  unknowns           : {}", a.n);
+    println!("  nonzeros           : {}", a.nnz());
+    println!("  iterations         : {}", stats.iterations);
+    println!("  max error          : {err:.2e}");
+    println!("  measured flops     : {:.3e}", stats.flops);
+    println!(
+        "  model flops/iter   : {:.3e}  (formula the workload model uses)",
+        cg_iter_flops(a.n, a.nnz())
+    );
+    println!(
+        "  allreduces/iter    : {CG_DOTS_PER_ITER}  (the paper's '4-byte all-reduce' stream)\n"
+    );
+
+    // --- Part 2: the Figure 5 experiment ---
+    println!("Part 2 — simulated Chaste scaling (paper Figure 5)\n");
+    let w = Chaste::default();
+    let mut table = Table::new(
+        "Chaste rabbit-heart benchmark: wall and KSp-section time (s)",
+        vec!["np", "vayu_total", "vayu_KSp", "dcc_total", "dcc_KSp", "dcc/vayu"],
+    );
+    for np in [8usize, 16, 32, 64] {
+        let mut cells = vec![np.to_string()];
+        let mut totals = Vec::new();
+        for cluster in [presets::vayu(), presets::dcc()] {
+            let (res, rep) = cloudsim::Experiment::new(&w, &cluster, np)
+                .run_min()
+                .expect("chaste run");
+            let ksp = rep.section("KSp").expect("KSp").wall.mean;
+            cells.push(fmt_secs(res.elapsed_secs()));
+            cells.push(fmt_secs(ksp));
+            totals.push(res.elapsed_secs());
+        }
+        cells.push(fmt_ratio(totals[1] / totals[0]));
+        table.row(cells);
+    }
+    table.note("paper t8: Vayu 1017 total / 579 KSp; DCC ~1.5-1.6x slower and flattening with np");
+    println!("{}", table.to_text());
+}

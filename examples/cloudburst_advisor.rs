@@ -1,0 +1,50 @@
+//! The cloud-bursting advisor: should this job leave the supercomputer?
+//!
+//! Implements the workflow the paper's motivation section sketches: profile
+//! a candidate workload (ARRIVE-F style), classify its cloud-friendliness,
+//! and rank the platforms by predicted time *and* by predicted dollars —
+//! including the EC2 spot pricing the paper's future work planned to
+//! integrate into the ANUPBS scheduler.
+//!
+//! ```text
+//! cargo run --release --example cloudburst_advisor
+//! ```
+
+use cloudsim::prelude::*;
+use cloudsim::{advise, PriceModel};
+
+fn main() {
+    println!("== per-workload advice (class A, 32 ranks) ==\n");
+    let candidates: Vec<Box<dyn Workload>> = vec![
+        Box::new(Npb::new(Kernel::Ep, Class::A)),
+        Box::new(Npb::new(Kernel::Mg, Class::A)),
+        Box::new(Npb::new(Kernel::Cg, Class::A)),
+        Box::new(Npb::new(Kernel::Is, Class::A)),
+    ];
+    for w in &candidates {
+        let rec = advise(w.as_ref(), 32);
+        println!("{}", rec.to_table(&format!("advice: {} @ 32 ranks", w.name())).to_text());
+    }
+
+    println!("== deadline shopping ==\n");
+    let w = Npb::new(Kernel::Mg, Class::A);
+    let rec = advise(&w, 32);
+    for deadline in [0.5f64, 2.0, 20.0] {
+        match rec.best_within_deadline(deadline) {
+            Some(f) => println!(
+                "deadline {deadline:>5.1}s: run on {:<5} ({:.2}s, ${:.2} on-demand, ${:.2} spot)",
+                f.platform, f.elapsed_secs, f.on_demand_cost, f.spot_cost
+            ),
+            None => println!("deadline {deadline:>5.1}s: no platform meets it"),
+        }
+    }
+
+    println!("\n== what a year of EC2 spot would cost vs the private cloud ==\n");
+    let ec2 = PriceModel::ec2_2012();
+    let dcc = PriceModel::private_cloud();
+    // A daily 2-hour 4-node production run.
+    let per_run_secs = 2.0 * 3600.0;
+    let yearly_spot = ec2.spot_cost(4, per_run_secs) * 365.0;
+    let yearly_dcc = dcc.cost(4, per_run_secs) * 365.0;
+    println!("daily 4-node 2h run: EC2 spot ${yearly_spot:.0}/yr vs private cloud ${yearly_dcc:.0}/yr");
+}

@@ -1,0 +1,38 @@
+//! Quickstart: run one benchmark on all three platform models and read the
+//! IPM-style report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudsim::prelude::*;
+
+fn main() {
+    // The NPB conjugate-gradient kernel, class A, on 16 ranks — the
+    // latency-sensitive benchmark the paper uses to show how much the
+    // interconnect matters.
+    let workload = Npb::new(Kernel::Cg, Class::A);
+    let np = 16;
+
+    println!("workload: {} on {} ranks\n", workload.name(), np);
+    for cluster in [presets::vayu(), presets::ec2(), presets::dcc()] {
+        let (result, report) = cloudsim::Experiment::new(&workload, &cluster, np)
+            .run_min()
+            .expect("simulation failed");
+        println!(
+            "{:>5}: elapsed {:>8.2} s   %comm {:>5.1}   comp-imbalance {:>4.1}%   ({} nodes)",
+            cluster.name,
+            result.elapsed_secs(),
+            result.comm_pct(),
+            report.global.imbalance_pct(),
+            result.placement.nodes_used(),
+        );
+    }
+
+    // Full IPM banner for the platform the paper finds most interesting.
+    let cluster = presets::dcc();
+    let (_, report) = cloudsim::Experiment::new(&workload, &cluster, np)
+        .run_min()
+        .expect("simulation failed");
+    println!("\n{}", report.to_text());
+}

@@ -1,0 +1,53 @@
+//! Export a Chrome-tracing timeline of a simulated run.
+//!
+//! Writes `metum_dcc_32.trace.json`; open it in `chrome://tracing` or
+//! https://ui.perfetto.dev to *see* the paper's Figure 7: the banded
+//! load imbalance across ranks 8..23 and DCC's long MPI stalls.
+//!
+//! ```text
+//! cargo run --release --example timeline_trace [vayu|dcc|ec2]
+//! ```
+
+use cloudsim::prelude::*;
+use cloudsim::sim_ipm::trace_run;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "dcc".to_string());
+    let cluster = match which.as_str() {
+        "vayu" => presets::vayu(),
+        "ec2" => presets::ec2(),
+        "dcc" => presets::dcc(),
+        other => panic!("unknown platform {other}"),
+    };
+    // Two timesteps keep the JSON readable (~10k spans).
+    let w = MetUm { timesteps: 2 };
+    let job = w.build(32);
+    let (result, trace) = trace_run(&job, &cluster, &SimConfig::default()).expect("run");
+    println!(
+        "simulated {} on {}: {:.1}s wall, {} timeline spans",
+        job.name,
+        cluster.name,
+        result.elapsed_secs(),
+        trace.len()
+    );
+    let path = format!("metum_{}_32.trace.json", cluster.name);
+    std::fs::write(&path, trace.to_chrome_json(&job.name)).expect("write trace");
+    println!("wrote {path} — open in chrome://tracing or ui.perfetto.dev");
+
+    // A taste of the data without leaving the terminal: rank 8 (inside the
+    // paper's imbalance band) vs rank 0.
+    for rank in [0usize, 8] {
+        let spans = trace.rank_spans(rank);
+        let mpi: f64 = spans
+            .iter()
+            .filter(|s| s.cat == "mpi")
+            .map(|s| s.end.since(s.start).as_secs_f64())
+            .sum();
+        let comp: f64 = spans
+            .iter()
+            .filter(|s| s.cat == "comp")
+            .map(|s| s.end.since(s.start).as_secs_f64())
+            .sum();
+        println!("rank {rank:>2}: compute {comp:>7.2}s  mpi {mpi:>6.2}s");
+    }
+}

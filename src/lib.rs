@@ -1,0 +1,9 @@
+//! `hpc-cloud-study` — umbrella crate for the reproduction of
+//! *"Scientific Application Performance on HPC, Private and Public Cloud
+//! Resources"* (Strazdins, Cai, Atif, Antony; 2012).
+//!
+//! Everything lives in the [`cloudsim`] facade; this crate exists to host
+//! the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). See the repository README for the guided tour.
+
+pub use cloudsim::*;

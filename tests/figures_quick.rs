@@ -1,0 +1,138 @@
+//! End-to-end tests of the figure drivers at reduced scale: every table
+//! builds, has the right shape, and preserves the paper's orderings.
+
+use cloudsim::{figures, ReproConfig};
+
+fn cfg() -> ReproConfig {
+    ReproConfig::quick()
+}
+
+fn cell(t: &cloudsim::Table, row: usize, col: usize) -> f64 {
+    t.rows[row][col].parse().expect("numeric cell")
+}
+
+#[test]
+fn fig1_bandwidth_orderings() {
+    let t = figures::fig1_osu_bandwidth(&cfg());
+    assert_eq!(t.headers, vec!["bytes", "dcc", "ec2", "vayu"]);
+    // At every size >= 4 KB: vayu > ec2 > dcc.
+    for (i, row) in t.rows.iter().enumerate() {
+        let bytes: f64 = row[0].parse().unwrap();
+        if bytes >= 4096.0 {
+            let (d, e, v) = (cell(&t, i, 1), cell(&t, i, 2), cell(&t, i, 3));
+            assert!(v > e && e > d, "size {bytes}: {row:?}");
+        }
+    }
+    // Bandwidth is monotone non-decreasing up to the plateau on vayu.
+    let first = cell(&t, 0, 3);
+    let last = cell(&t, t.rows.len() - 1, 3);
+    assert!(last > 10.0 * first);
+}
+
+#[test]
+fn fig2_latency_orderings() {
+    let t = figures::fig2_osu_latency(&cfg());
+    for (i, row) in t.rows.iter().enumerate() {
+        let (d, e, v) = (cell(&t, i, 1), cell(&t, i, 2), cell(&t, i, 3));
+        assert!(d > e && e > v, "{row:?}");
+    }
+    // Small-message magnitudes match Fig 2.
+    assert!(cell(&t, 3, 3) < 5.0, "vayu small-message latency");
+    assert!(cell(&t, 3, 1) > 100.0, "dcc small-message latency");
+}
+
+#[test]
+fn fig3_serial_normalization() {
+    let t = figures::fig3_npb_serial(&cfg());
+    assert_eq!(t.rows.len(), 8);
+    for row in &t.rows {
+        let ec2: f64 = row[3].parse().unwrap();
+        let vayu: f64 = row[4].parse().unwrap();
+        // Faster clock: both below 1; Vayu at least as fast as EC2.
+        assert!(vayu < 1.0 && ec2 < 1.0, "{row:?}");
+        assert!(vayu <= ec2 + 0.02, "{row:?}");
+    }
+}
+
+#[test]
+fn tab2_platform_ordering_beyond_one_node() {
+    let t = figures::tab2_npb_comm(&cfg());
+    for row in &t.rows {
+        let np: usize = row[1].parse().unwrap();
+        let dcc: f64 = row[2].parse().unwrap();
+        let ec2: f64 = row[3].parse().unwrap();
+        let vayu: f64 = row[4].parse().unwrap();
+        // Once DCC spans nodes it dominates everyone (Table II).
+        if np >= 16 {
+            assert!(
+                dcc > ec2 && dcc > vayu,
+                "%comm ordering at np={np}: {row:?}"
+            );
+        }
+        // Once EC2 spans nodes too (np >= 32), the full ordering holds —
+        // at np=16 EC2 still fits one node and can undercut Vayu, exactly
+        // as in the paper's FT column (7.2 vs 7.7).
+        if np >= 32 {
+            assert!(ec2 > vayu, "%comm ordering at np={np}: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig5_chaste_shape() {
+    let t = figures::fig5_chaste(&cfg());
+    // Speedups normalized at np=8.
+    assert_eq!(cell(&t, 0, 1), 1.0);
+    assert_eq!(cell(&t, 0, 2), 1.0);
+    let last = t.rows.len() - 1;
+    // Vayu total scales better than DCC total at 64.
+    assert!(cell(&t, last, 1) > cell(&t, last, 2), "{:?}", t.rows[last]);
+    // KSp drives the totals: Vayu KSp speedup >= Vayu total speedup - slack.
+    assert!(cell(&t, last, 3) > cell(&t, last, 1) * 0.6);
+}
+
+#[test]
+fn fig6_metum_shape() {
+    let t = figures::fig6_metum(&cfg());
+    let last = t.rows.len() - 1;
+    // Vayu scales best; DCC worst among {vayu, dcc}.
+    assert!(cell(&t, last, 1) > cell(&t, last, 2), "{:?}", t.rows[last]);
+    // EC2-4 at 32 is faster than EC2 packed (higher speedup at same t8
+    // base? they have different bases; compare raw times via the note
+    // instead — here just require both present and positive).
+    for row in &t.rows {
+        for c in 1..=4 {
+            let v: f64 = row[c].parse().unwrap();
+            assert!(v > 0.0, "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn tab3_ratio_columns() {
+    let t = figures::tab3_metum(&cfg());
+    assert_eq!(t.rows.len(), 4);
+    // Row order: vayu, dcc, ec2, ec2-4. Vayu ratios are exactly 1.
+    assert_eq!(t.rows[0][2], "1.00");
+    assert_eq!(t.rows[0][3], "1.00");
+    // DCC computes slower than Vayu and communicates much more.
+    let rcomp_dcc: f64 = t.rows[1][2].parse().unwrap();
+    let rcomm_dcc: f64 = t.rows[1][3].parse().unwrap();
+    assert!(rcomp_dcc > 1.2 && rcomp_dcc < 2.0, "rcomp {rcomp_dcc}");
+    assert!(rcomm_dcc > 1.5, "rcomm {rcomm_dcc}");
+    // EC2 packed computes slowest of all (HyperThread sharing).
+    let rcomp_ec2: f64 = t.rows[2][2].parse().unwrap();
+    assert!(rcomp_ec2 > rcomp_dcc, "ec2 {rcomp_ec2} dcc {rcomp_dcc}");
+    // I/O column ordering: vayu < ec2 < dcc.
+    let io: Vec<f64> = (0..3).map(|i| t.rows[i][6].parse().unwrap()).collect();
+    assert!(io[0] < io[2] && io[2] < io[1], "{io:?}");
+}
+
+#[test]
+fn fig7_has_32_ranks_and_csv_roundtrip() {
+    let t = figures::fig7_load_balance(&cfg());
+    assert_eq!(t.rows.len(), 32);
+    let csv = t.to_csv();
+    assert_eq!(csv.lines().count(), 33); // header + 32 ranks
+    assert!(csv.starts_with("rank,vayu_comp,vayu_comm,dcc_comp,dcc_comm"));
+}

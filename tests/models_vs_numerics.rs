@@ -1,0 +1,134 @@
+//! Cross-validation: the analytic formulas the workload models charge to
+//! the simulator against the real kernels in the `numerics` crate.
+
+use cloudsim::numerics::{
+    cg_iter_flops, cg_solve, ep_rank, ep_serial, fft, fft_flops, Csr, C64, CG_DOTS_PER_ITER,
+};
+use cloudsim::prelude::*;
+
+/// The CG workload model issues exactly `CG_DOTS_PER_ITER` scalar
+/// allreduces per inner iteration — the same count the real CG solver's
+/// dot products produce.
+#[test]
+fn cg_allreduce_count_matches_real_solver() {
+    // Real solver on a small SPD system.
+    let a = Csr::poisson_2d(20, 20);
+    let b = vec![1.0; a.n];
+    let mut x = vec![0.0; a.n];
+    let stats = cg_solve(&a, &b, &mut x, 1e-10, 500);
+    assert_eq!(stats.dot_products, 1 + CG_DOTS_PER_ITER * stats.iterations);
+
+    // Workload model: count the scalar allreduces per rank.
+    let w = Npb::new(Kernel::Cg, Class::S);
+    let job = w.build(4);
+    let (_, _, niter) = cloudsim::workloads::npb::cg::dims(Class::S);
+    let cgit = cloudsim::workloads::npb::cg::CGIT;
+    let small_allreduces = job.programs[0]
+        .iter()
+        .filter(|op| matches!(op, Op::Coll(CollOp::Allreduce { bytes: 8 })))
+        .count();
+    assert_eq!(small_allreduces, niter * cgit * CG_DOTS_PER_ITER);
+}
+
+/// The real CG flop counter agrees with the per-iteration formula the
+/// Chaste/CG models are built on.
+#[test]
+fn cg_flop_formula_validated_by_execution() {
+    let a = Csr::poisson_2d(24, 24);
+    let b = vec![1.0; a.n];
+    let mut x = vec![0.0; a.n];
+    let stats = cg_solve(&a, &b, &mut x, 1e-12, 300);
+    let setup = a.spmv_flops() + 4.0 * a.n as f64;
+    let predicted = setup + stats.iterations as f64 * cg_iter_flops(a.n, a.nnz());
+    let rel = (stats.flops - predicted).abs() / predicted;
+    assert!(rel < 1e-9, "relative error {rel}");
+}
+
+/// EP's partition invariance is what justifies simulating it as pure
+/// compute + one final reduction: every decomposition gives identical
+/// results, so communication structure is trivially 3 small allreduces.
+#[test]
+fn ep_model_matches_real_kernel_structure() {
+    // Real kernel: partition invariance.
+    let serial = ep_serial(12);
+    let mut merged = ep_rank(12, 4, 0);
+    for r in 1..4 {
+        merged.merge(&ep_rank(12, 4, r));
+    }
+    assert_eq!(merged.q, serial.q);
+
+    // Model: exactly three trailing allreduces, no other communication.
+    let w = Npb::new(Kernel::Ep, Class::S);
+    let job = w.build(8);
+    let comm_ops = job.programs[0]
+        .iter()
+        .filter(|op| !matches!(op, Op::Compute { .. }))
+        .count();
+    assert_eq!(comm_ops, 3, "EP must have exactly 3 collectives");
+}
+
+/// The FT model's transform work follows the 5 n log2 n law the real FFT
+/// obeys: doubling the grid edge scales flops superlinearly but the
+/// round-trip still verifies.
+#[test]
+fn ft_flop_law_and_real_fft() {
+    // Real FFT round-trip at two sizes.
+    for n in [256usize, 512] {
+        let mut d: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        let orig = d.clone();
+        fft(&mut d, false);
+        fft(&mut d, true);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+        }
+    }
+    // The law: flops(2n)/flops(n) = 2 * log2(2n)/log2(n).
+    let r = fft_flops(512) / fft_flops(256);
+    assert!((r - 2.0 * 9.0 / 8.0).abs() < 1e-9);
+}
+
+/// The IS model's hot-pair factor is justified by the real key
+/// distribution: the busiest of `np` buckets carries ~3x the mean load.
+#[test]
+fn is_hot_pair_factor_justified_by_key_distribution() {
+    use cloudsim::numerics::{bucket_counts, generate_keys};
+    let np = 16;
+    let keys = generate_keys(200_000, 1 << 16, 271828183);
+    let counts = bucket_counts(&keys, 1 << 16, np);
+    let mean = keys.len() as f64 / np as f64;
+    let max = *counts.iter().max().unwrap() as f64;
+    let factor = max / mean;
+    let model = cloudsim::workloads::npb::is::HOT_PAIR_FACTOR as f64;
+    assert!(
+        (factor - model).abs() < 1.5,
+        "measured hot-bucket factor {factor:.2} vs model {model}"
+    );
+}
+
+/// The MG model's per-level work weights follow the 8x geometric decay a
+/// real V-cycle has, and the real V-cycle converges (so 20 iterations of
+/// the class-B benchmark are a sensible workload).
+#[test]
+fn mg_vcycle_converges_and_weights_decay() {
+    use cloudsim::numerics::{residual, v_cycle, Grid3};
+    let n = 17;
+    let mut f = Grid3::zeros(n);
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                f.data[(i * n + j) * n + k] = 1.0;
+            }
+        }
+    }
+    let mut u = Grid3::zeros(n);
+    let mut r = Grid3::zeros(n);
+    residual(&u, &f, &mut r);
+    let r0 = r.norm();
+    let mut rn = r0;
+    for _ in 0..5 {
+        rn = v_cycle(&mut u, &f, 2, 2);
+    }
+    assert!(rn < 0.02 * r0, "5 V-cycles: {r0} -> {rn}");
+}
