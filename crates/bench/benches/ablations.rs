@@ -6,9 +6,9 @@
 //! * eager/rendezvous threshold sweep.
 
 use cloudsim::prelude::*;
-use cloudsim::sim_mpi::{CollTopo, Op};
+use cloudsim::sim_mpi::CollTopo;
 use cloudsim::sim_net::{one_way_time, FabricParams};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
 /// DCC with NUMA exposed instead of masked — what affinity support in the
 /// hypervisor would buy.
@@ -18,54 +18,46 @@ fn dcc_numa_exposed() -> ClusterSpec {
     c
 }
 
-fn ablation_numa(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_numa_cg_np8");
+fn main() {
+    // NUMA masking.
     let w = Npb::new(Kernel::Cg, Class::S);
     for (name, cluster) in [("masked", presets::dcc()), ("exposed", dcc_numa_exposed())] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                cloudsim::Experiment::new(&w, &cluster, 8)
-                    .repeats(1)
-                    .run_once()
-                    .unwrap()
-                    .0
-                    .elapsed_secs()
-            })
+        bench_fn(&format!("ablation_numa_cg_np8/{name}"), 10, || {
+            cloudsim::Experiment::new(&w, &cluster, 8)
+                .repeats(1)
+                .run_once()
+                .unwrap()
+                .0
+                .elapsed_secs()
         });
     }
-    g.finish();
-}
 
-fn ablation_ht(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ht_ep_np32");
-    let w = Npb::new(Kernel::Ep, Class::S);
-    let cluster = presets::ec2();
+    // HyperThread packing.
+    let ep = Npb::new(Kernel::Ep, Class::S);
+    let ec2 = presets::ec2();
     for (name, strat) in [
         ("packed_2nodes_ht", Strategy::Block),
         ("spread_4nodes", Strategy::Spread { nodes: 4 }),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                cloudsim::Experiment::new(&w, &cluster, 32)
-                    .strategy(strat)
-                    .repeats(1)
-                    .run_once()
-                    .unwrap()
-                    .0
-                    .elapsed_secs()
-            })
+        bench_fn(&format!("ablation_ht_ep_np32/{name}"), 10, || {
+            cloudsim::Experiment::new(&ep, &ec2, 32)
+                .strategy(strat)
+                .repeats(1)
+                .run_once()
+                .unwrap()
+                .0
+                .elapsed_secs()
         });
     }
-    g.finish();
-}
 
-fn ablation_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_allreduce_cost_model");
+    // Collective cost model.
     let inter = FabricParams::gige_vswitch();
     let intra = FabricParams::shared_memory();
     for bytes in [4usize, 1024, 262144] {
-        g.bench_function(format!("{bytes}B_np32"), |b| {
-            b.iter(|| {
+        bench_fn(
+            &format!("ablation_allreduce_cost_model/{bytes}B_np32"),
+            1000,
+            || {
                 let topo = CollTopo {
                     inter: &inter,
                     intra: &intra,
@@ -75,35 +67,22 @@ fn ablation_collectives(c: &mut Criterion) {
                     cpu_factor: 1.0,
                 };
                 topo.cost(CollOp::Allreduce { bytes })
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn ablation_eager(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_eager_threshold");
+    // Eager/rendezvous threshold sweep.
     for threshold in [4usize * 1024, 64 * 1024, 1024 * 1024] {
-        g.bench_function(format!("{}k", threshold / 1024), |b| {
-            let mut f = FabricParams::ten_gige_virt();
-            f.eager_threshold = threshold;
-            b.iter(|| {
-                // Sweep a range of message sizes through the protocol
-                // switch and sum the one-way times.
-                (0..=20)
-                    .map(|k| one_way_time(&f, 1usize << k))
-                    .sum::<f64>()
-            })
-        });
+        let mut f = FabricParams::ten_gige_virt();
+        f.eager_threshold = threshold;
+        bench_fn(
+            &format!("ablation_eager_threshold/{}k", threshold / 1024),
+            1000,
+            || (0..=20).map(|k| one_way_time(&f, 1usize << k)).sum::<f64>(),
+        );
     }
-    g.finish();
-}
 
-/// End-to-end ablation as a plain (non-criterion) check: run a tiny job and
-/// print how each knob moves elapsed time. Criterion ignores the output but
-/// the numbers land in bench logs.
-fn ablation_report(_c: &mut Criterion) {
-    let w = Npb::new(Kernel::Cg, Class::S);
+    // End-to-end ablation report.
     let masked = cloudsim::Experiment::new(&w, &presets::dcc(), 8)
         .repeats(1)
         .run_once()
@@ -116,17 +95,8 @@ fn ablation_report(_c: &mut Criterion) {
         .unwrap()
         .0
         .elapsed_secs();
-    println!("# ablation: DCC cg.S np=8 masked={masked:.3}s exposed={exposed:.3}s (masking costs {:.1}%)",
-        100.0 * (masked / exposed - 1.0));
-    let _ = Op::Compute { flops: 0.0, bytes: 0.0 };
+    println!(
+        "# ablation: DCC cg.S np=8 masked={masked:.3}s exposed={exposed:.3}s (masking costs {:.1}%)",
+        100.0 * (masked / exposed - 1.0)
+    );
 }
-
-criterion_group!(
-    benches,
-    ablation_numa,
-    ablation_ht,
-    ablation_collectives,
-    ablation_eager,
-    ablation_report
-);
-criterion_main!(benches);

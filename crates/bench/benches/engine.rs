@@ -1,15 +1,19 @@
 //! Raw engine throughput: how many simulated MPI ops per second the DES
-//! core sustains. Regression guard for the scheduler's O(log n) heap path.
+//! core sustains. Regression guard for the scheduler's O(log n) heap path,
+//! exercised through both the streamed and the materialized op paths.
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cloudsim_bench::bench_throughput;
 
 fn synthetic_job(np: usize, iters: usize) -> JobSpec {
     let programs = (0..np)
         .map(|r| {
             let mut ops = Vec::with_capacity(iters * 3);
             for i in 0..iters {
-                ops.push(Op::Compute { flops: 1e6, bytes: 0.0 });
+                ops.push(Op::Compute {
+                    flops: 1e6,
+                    bytes: 0.0,
+                });
                 let partner = (r as u32) ^ 1;
                 if (partner as usize) < np {
                     ops.push(Op::Exchange {
@@ -24,31 +28,19 @@ fn synthetic_job(np: usize, iters: usize) -> JobSpec {
             ops
         })
         .collect();
-    JobSpec {
-        name: "engine-throughput".into(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_programs("engine-throughput", programs, vec![])
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_throughput");
+fn main() {
     for np in [8usize, 64] {
         let iters = 200;
-        let job = synthetic_job(np, iters);
-        let total_ops = job.total_ops() as u64;
-        g.throughput(Throughput::Elements(total_ops));
-        g.bench_function(format!("np{np}"), |b| {
-            let cluster = presets::vayu();
-            b.iter(|| {
-                run_job(&job, &cluster, &SimConfig::default(), &mut NullSink)
-                    .unwrap()
-                    .ops_executed
-            })
+        let mut job = synthetic_job(np, iters);
+        let total_ops = job.total_ops();
+        let cluster = presets::vayu();
+        bench_throughput(&format!("engine_throughput/np{np}"), 10, total_ops, || {
+            run_job(&mut job, &cluster, &SimConfig::default(), &mut NullSink)
+                .unwrap()
+                .ops_executed
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

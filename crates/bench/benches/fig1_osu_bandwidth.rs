@@ -3,21 +3,18 @@
 
 use cloudsim::presets;
 use cloudsim::workloads::osu::run_bandwidth;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_osu_bandwidth_256k");
+fn main() {
     for cluster in [presets::dcc(), presets::ec2(), presets::vayu()] {
-        g.bench_function(cluster.name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
+        let mut seed = 0u64;
+        bench_fn(
+            &format!("fig1_osu_bandwidth_256k/{}", cluster.name),
+            20,
+            || {
                 seed += 1;
                 run_bandwidth(&cluster, 256 * 1024, seed).unwrap()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

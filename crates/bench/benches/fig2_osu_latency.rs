@@ -3,21 +3,14 @@
 
 use cloudsim::presets;
 use cloudsim::workloads::osu::run_latency;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_osu_latency_8b");
+fn main() {
     for cluster in [presets::dcc(), presets::ec2(), presets::vayu()] {
-        g.bench_function(cluster.name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_latency(&cluster, 8, seed).unwrap()
-            })
+        let mut seed = 0u64;
+        bench_fn(&format!("fig2_osu_latency_8b/{}", cluster.name), 20, || {
+            seed += 1;
+            run_latency(&cluster, 8, seed).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,27 @@
 //! Bench the Figure 3 pipeline: single-process NPB kernel simulations
-//! (class S so one Criterion sample is a full run of all eight kernels).
+//! (class S so one sample is a full run of all eight kernels).
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_npb_serial_classS");
+fn main() {
     for cluster in [presets::dcc(), presets::vayu()] {
-        g.bench_function(cluster.name, |b| {
-            b.iter(|| {
+        bench_fn(
+            &format!("fig3_npb_serial_classS/{}", cluster.name),
+            5,
+            || {
                 let mut total = 0.0;
                 for k in Kernel::all() {
                     let w = Npb::new(k, Class::S);
-                    let (res, _) = cloudsim::Experiment::new(&w, &cluster, 1)
+                    total += cloudsim::Experiment::new(&w, &cluster, 1)
                         .repeats(1)
                         .run_once()
-                        .unwrap();
-                    total += res.elapsed_secs();
+                        .unwrap()
+                        .0
+                        .elapsed_secs();
                 }
                 total
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,25 +2,18 @@
 //! per platform, class S.
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_cg_np16_classS");
+fn main() {
     let w = Npb::new(Kernel::Cg, Class::S);
     for cluster in [presets::dcc(), presets::ec2(), presets::vayu()] {
-        g.bench_function(cluster.name, |b| {
-            b.iter(|| {
-                cloudsim::Experiment::new(&w, &cluster, 16)
-                    .repeats(1)
-                    .run_once()
-                    .unwrap()
-                    .0
-                    .elapsed_secs()
-            })
+        bench_fn(&format!("fig4_cg_np16_classS/{}", cluster.name), 10, || {
+            cloudsim::Experiment::new(&w, &cluster, 16)
+                .repeats(1)
+                .run_once()
+                .unwrap()
+                .0
+                .elapsed_secs()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,25 +2,24 @@
 //! profiled, on the two platforms the paper could run it on.
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_chaste_20steps_np16");
-    g.sample_size(10);
-    let w = Chaste { timesteps: 20, cg_iters: 45 };
+fn main() {
+    let w = Chaste {
+        timesteps: 20,
+        cg_iters: 45,
+    };
     for cluster in [presets::vayu(), presets::dcc()] {
-        g.bench_function(cluster.name, |b| {
-            b.iter(|| {
+        bench_fn(
+            &format!("fig5_chaste_20steps_np16/{}", cluster.name),
+            5,
+            || {
                 let (_, rep) = cloudsim::Experiment::new(&w, &cluster, 16)
                     .repeats(1)
                     .run_once()
                     .unwrap();
                 rep.section("KSp").unwrap().wall.mean
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,11 +3,9 @@
 
 use cloudsim::prelude::*;
 use cloudsim::workloads::metum::warmed_secs;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_metum_4steps_np32");
-    g.sample_size(10);
+fn main() {
     let w = MetUm { timesteps: 4 };
     let configs: Vec<(&str, ClusterSpec, Strategy)> = vec![
         ("vayu", presets::vayu(), Strategy::Block),
@@ -15,24 +13,20 @@ fn bench(c: &mut Criterion) {
         (
             "ec2",
             presets::ec2(),
-            Strategy::BlockMemoryAware { per_rank_bytes: w.memory_per_rank_bytes(32) },
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: w.memory_per_rank_bytes(32),
+            },
         ),
         ("ec2-4", presets::ec2(), Strategy::Spread { nodes: 4 }),
     ];
     for (name, cluster, strat) in configs {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let (_, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
-                    .strategy(strat)
-                    .repeats(1)
-                    .run_once()
-                    .unwrap();
-                warmed_secs(&rep)
-            })
+        bench_fn(&format!("fig6_metum_4steps_np32/{name}"), 5, || {
+            let (_, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
+                .strategy(strat)
+                .repeats(1)
+                .run_once()
+                .unwrap();
+            warmed_secs(&rep)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

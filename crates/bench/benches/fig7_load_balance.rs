@@ -3,15 +3,15 @@
 
 use cloudsim::prelude::*;
 use cloudsim::workloads::metum::SEC_ATM_STEP;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_rank_breakdown_np32");
-    g.sample_size(10);
+fn main() {
     let w = MetUm { timesteps: 4 };
     for cluster in [presets::vayu(), presets::dcc()] {
-        g.bench_function(cluster.name, |b| {
-            b.iter(|| {
+        bench_fn(
+            &format!("fig7_rank_breakdown_np32/{}", cluster.name),
+            5,
+            || {
                 let (_, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
                     .repeats(1)
                     .run_once()
@@ -20,11 +20,7 @@ fn bench(c: &mut Criterion) {
                     .iter()
                     .map(|(comp, comm)| comp + comm)
                     .sum::<f64>()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,101 +1,73 @@
 //! Throughput of the real numerical kernels backing the workload models.
 
 use cloudsim::numerics::{
-    adi_heat_step, cg_solve, counting_sort, fft, generate_keys, penta_solve, thomas_solve,
-    v_cycle, Csr, Grid3, C64,
+    adi_heat_step, cg_solve, counting_sort, fft, generate_keys, penta_solve, thomas_solve, v_cycle,
+    Csr, Grid3, C64,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cloudsim_bench::{bench_fn, bench_throughput};
 
-fn bench_cg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numerics_cg");
+fn main() {
+    // Sparse CG.
     let a = Csr::poisson_2d(64, 64);
     let b = vec![1.0; a.n];
-    g.throughput(Throughput::Elements(a.nnz() as u64));
-    g.bench_function("poisson64x64", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; a.n];
-            cg_solve(&a, &b, &mut x, 1e-8, 400).iterations
-        })
+    bench_throughput("numerics_cg/poisson64x64", 20, a.nnz() as u64, || {
+        let mut x = vec![0.0; a.n];
+        cg_solve(&a, &b, &mut x, 1e-8, 400).iterations
     });
-    g.finish();
-}
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numerics_fft");
+    // FFT.
     for log_n in [10u32, 14] {
         let n = 1usize << log_n;
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("n{n}"), |bch| {
-            let data: Vec<C64> = (0..n).map(|i| C64::new((i as f64 * 0.01).sin(), 0.0)).collect();
-            bch.iter(|| {
-                let mut d = data.clone();
-                fft(&mut d, false);
-                d[0].re
-            })
+        let data: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        bench_throughput(&format!("numerics_fft/n{n}"), 20, n as u64, || {
+            let mut d = data.clone();
+            fft(&mut d, false);
+            d[0].re
         });
     }
-    g.finish();
-}
 
-fn bench_mg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numerics_multigrid");
-    g.sample_size(10);
+    // Multigrid V-cycle.
     let n = 33;
     let mut f = Grid3::zeros(n);
     for v in f.data.iter_mut() {
         *v = 1.0;
     }
-    g.bench_function("vcycle33", |bch| {
-        bch.iter(|| {
-            let mut u = Grid3::zeros(n);
-            v_cycle(&mut u, &f, 2, 2)
-        })
+    bench_fn("numerics_multigrid/vcycle33", 10, || {
+        let mut u = Grid3::zeros(n);
+        v_cycle(&mut u, &f, 2, 2)
     });
-    g.finish();
-}
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numerics_line_solvers");
+    // Line solvers.
     let n = 4096;
-    let a = vec![-1.0; n];
-    let b = vec![4.0; n];
+    let a1 = vec![-1.0; n];
+    let b1 = vec![4.0; n];
     let cc = vec![-1.0; n];
     let e = vec![0.25; n];
-    let f = vec![0.25; n];
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("thomas4096", |bch| {
-        bch.iter(|| {
-            let mut d = vec![1.0; n];
-            thomas_solve(&a, &b, &cc, &mut d);
-            d[0]
-        })
+    let f1 = vec![0.25; n];
+    bench_throughput("numerics_line_solvers/thomas4096", 50, n as u64, || {
+        let mut d = vec![1.0; n];
+        thomas_solve(&a1, &b1, &cc, &mut d);
+        d[0]
     });
-    g.bench_function("penta4096", |bch| {
-        bch.iter(|| {
-            let mut d = vec![1.0; n];
-            penta_solve(&e, &a, &b, &cc, &f, &mut d);
-            d[0]
-        })
+    bench_throughput("numerics_line_solvers/penta4096", 50, n as u64, || {
+        let mut d = vec![1.0; n];
+        penta_solve(&e, &a1, &b1, &cc, &f1, &mut d);
+        d[0]
     });
-    g.bench_function("adi64", |bch| {
-        bch.iter(|| {
-            let mut u = vec![1.0; 64 * 64];
-            adi_heat_step(&mut u, 64, 1e-4);
-            u[0]
-        })
+    bench_fn("numerics_line_solvers/adi64", 50, || {
+        let mut u = vec![1.0; 64 * 64];
+        adi_heat_step(&mut u, 64, 1e-4);
+        u[0]
     });
-    g.finish();
-}
 
-fn bench_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numerics_is_sort");
+    // IS counting sort.
     let keys = generate_keys(1 << 16, 1 << 14, 271828183);
-    g.throughput(Throughput::Elements(keys.len() as u64));
-    g.bench_function("counting_sort_64k", |bch| {
-        bch.iter(|| counting_sort(&keys, 1 << 14).len())
-    });
-    g.finish();
+    bench_throughput(
+        "numerics_is_sort/counting_sort_64k",
+        20,
+        keys.len() as u64,
+        || counting_sort(&keys, 1 << 14).len(),
+    );
 }
-
-criterion_group!(benches, bench_cg, bench_fft, bench_mg, bench_solvers, bench_sort);
-criterion_main!(benches);

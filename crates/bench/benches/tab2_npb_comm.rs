@@ -2,26 +2,23 @@
 //! three communication-bound kernels at 32 ranks, class S.
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab2_comm_pct_np32_classS");
+fn main() {
     for k in [Kernel::Cg, Kernel::Ft, Kernel::Is] {
         let w = Npb::new(k, Class::S);
-        g.bench_function(w.name(), |b| {
-            let cluster = presets::dcc();
-            b.iter(|| {
+        let cluster = presets::dcc();
+        bench_fn(
+            &format!("tab2_comm_pct_np32_classS/{}", w.name()),
+            10,
+            || {
                 cloudsim::Experiment::new(&w, &cluster, 32)
                     .repeats(1)
                     .run_once()
                     .unwrap()
                     .0
                     .comm_pct()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,29 +2,21 @@
 //! with all per-section IPM statistics extracted.
 
 use cloudsim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsim_bench::bench_fn;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab3_metum_ipm_np32");
-    g.sample_size(10);
+fn main() {
     let w = MetUm { timesteps: 4 };
     for cluster in [presets::vayu(), presets::dcc()] {
-        g.bench_function(cluster.name, |b| {
-            b.iter(|| {
-                let (res, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
-                    .repeats(1)
-                    .run_once()
-                    .unwrap();
-                (
-                    res.comm_pct(),
-                    rep.global.imbalance_pct(),
-                    res.io_secs_max(),
-                )
-            })
+        bench_fn(&format!("tab3_metum_ipm_np32/{}", cluster.name), 5, || {
+            let (res, rep) = cloudsim::Experiment::new(&w, &cluster, 32)
+                .repeats(1)
+                .run_once()
+                .unwrap();
+            (
+                res.comm_pct(),
+                rep.global.imbalance_pct(),
+                res.io_secs_max(),
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -31,10 +31,7 @@ fn chart_of(t: &Table) -> Option<AsciiChart> {
     for col in 1..ncol {
         let ys: Option<Vec<f64>> = t.rows.iter().map(|r| parse(&r[col])).collect();
         let ys = ys?;
-        chart = chart.series(
-            t.headers[col].clone(),
-            xs.iter().cloned().zip(ys).collect(),
-        );
+        chart = chart.series(t.headers[col].clone(), xs.iter().cloned().zip(ys).collect());
     }
     Some(chart)
 }
@@ -99,10 +96,7 @@ fn main() {
             "tab3" => tables.push(figures::tab3_metum(&cfg)),
             "fig7" => tables.push(figures::fig7_load_balance(&cfg)),
             "ablations" => tables.extend(cloudsim::all_ablations(&cfg)),
-            "arrivef" => tables.push(cloudsim::arrive_f_table(
-                if quick { 30 } else { 80 },
-                42,
-            )),
+            "arrivef" => tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42)),
             other => {
                 eprintln!("unknown experiment '{other}'");
                 std::process::exit(2);
@@ -124,7 +118,13 @@ fn main() {
             let slug: String = t
                 .title
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())

@@ -3,13 +3,45 @@
 //! * The `figures` binary (`cargo run -p cloudsim-bench --bin figures
 //!   --release`) regenerates every figure and table of the paper as text
 //!   and CSV.
-//! * The Criterion benches (`cargo bench`) time the simulation pipelines
-//!   behind each figure at reduced scale, plus ablation studies of the
-//!   design choices (NUMA masking, HyperThreading, collective algorithms,
-//!   eager thresholds) and raw engine throughput.
+//! * The benches (`cargo bench`) time the simulation pipelines behind each
+//!   figure at reduced scale, plus ablation studies of the design choices
+//!   (NUMA masking, HyperThreading, collective algorithms, eager
+//!   thresholds) and raw engine throughput. They are plain timing binaries
+//!   (`harness = false`) so the workspace carries no external bench
+//!   dependencies.
 
-/// Shared helper: the reduced configuration the Criterion benches use so a
-/// full `cargo bench` completes in minutes.
+use std::time::Instant;
+
+/// Shared helper: the reduced configuration the benches use so a full
+/// `cargo bench` completes in minutes.
 pub fn bench_config() -> cloudsim::ReproConfig {
     cloudsim::ReproConfig::quick()
+}
+
+/// Minimal timing loop: one warm-up call, then `iters` timed calls.
+/// Prints mean per-iteration time; returns it in seconds. The closure's
+/// result is passed through `std::hint::black_box` so the optimizer cannot
+/// elide the work.
+pub fn bench_fn<O>(name: &str, iters: usize, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+    println!(
+        "{name:<48} {:>12.3} ms/iter  ({iters} iters)",
+        per_iter * 1e3
+    );
+    per_iter
+}
+
+/// Like [`bench_fn`] but also reports throughput for `elements` units of
+/// work per iteration.
+pub fn bench_throughput<O>(name: &str, iters: usize, elements: u64, f: impl FnMut() -> O) -> f64 {
+    let per_iter = bench_fn(name, iters, f);
+    if per_iter > 0.0 {
+        println!("{name:<48} {:>12.0} elems/s", elements as f64 / per_iter);
+    }
+    per_iter
 }

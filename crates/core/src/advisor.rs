@@ -105,7 +105,14 @@ impl Recommendation {
     pub fn to_table(&self, title: &str) -> Table {
         let mut t = Table::new(
             title,
-            vec!["platform", "elapsed_s", "nodes", "cost_$", "spot_$", "%comm"],
+            vec![
+                "platform",
+                "elapsed_s",
+                "nodes",
+                "cost_$",
+                "spot_$",
+                "%comm",
+            ],
         );
         for f in &self.by_time {
             t.row(vec![
@@ -198,11 +205,7 @@ mod tests {
     #[test]
     fn ep_classified_cloud_friendly() {
         let rec = advise(&Npb::new(Kernel::Ep, Class::W), 16);
-        assert!(
-            rec.profile.cloud_friendliness() > 0.9,
-            "{:?}",
-            rec.profile
-        );
+        assert!(rec.profile.cloud_friendliness() > 0.9, "{:?}", rec.profile);
         assert_eq!(rec.profile.class(), "cloud-friendly");
     }
 

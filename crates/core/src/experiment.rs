@@ -53,9 +53,11 @@ impl<'a> Experiment<'a> {
     }
 
     /// Run all repeats and return the minimum-walltime run (result +
-    /// profile), per the paper's methodology.
+    /// profile), per the paper's methodology. The job's op programs are
+    /// built once and rewound between repetitions — no trace is cloned or
+    /// re-materialized.
     pub fn run_min(&self) -> Result<(SimResult, IpmReport), SimError> {
-        let job = self.workload.build(self.np);
+        let mut job = self.workload.build(self.np);
         let mut best: Option<(SimResult, IpmReport)> = None;
         for rep in 0..self.repeats {
             let cfg = SimConfig {
@@ -63,7 +65,7 @@ impl<'a> Experiment<'a> {
                 strategy: self.strategy,
                 validate: rep == 0, // structure is identical across repeats
             };
-            let (result, report) = profile_run(&job, self.cluster, &cfg)?;
+            let (result, report) = profile_run(&mut job, self.cluster, &cfg)?;
             let better = best
                 .as_ref()
                 .is_none_or(|(b, _)| result.elapsed < b.elapsed);
@@ -77,13 +79,13 @@ impl<'a> Experiment<'a> {
     /// Run once with the base seed (cheaper; used for %comm-style metrics
     /// that the paper reports from an instrumented run, not a minimum).
     pub fn run_once(&self) -> Result<(SimResult, IpmReport), SimError> {
-        let job = self.workload.build(self.np);
+        let mut job = self.workload.build(self.np);
         let cfg = SimConfig {
             seed: self.base_seed,
             strategy: self.strategy,
             validate: true,
         };
-        profile_run(&job, self.cluster, &cfg)
+        profile_run(&mut job, self.cluster, &cfg)
     }
 }
 
@@ -106,19 +108,18 @@ where
         .min(n);
     let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, I)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
-    crossbeam::thread::scope(|scope| {
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
+            scope.spawn(|| loop {
+                let item = queue.lock().unwrap().pop();
                 let Some((idx, item)) = item else { break };
                 let out = f(item);
-                results.lock()[idx] = Some(out);
+                results.lock().unwrap()[idx] = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 

@@ -162,7 +162,11 @@ pub fn fig4_kernel(cfg: &ReproConfig, k: Kernel) -> Table {
                 .elapsed_secs()
         })
         .collect();
-    let nps: Vec<usize> = k.paper_np_sweep().into_iter().filter(|np| *np > 1).collect();
+    let nps: Vec<usize> = k
+        .paper_np_sweep()
+        .into_iter()
+        .filter(|np| *np > 1)
+        .collect();
     let rows = parallel_map(nps, |np| {
         let mut cells = vec![np.to_string()];
         for (c, t1) in platforms().iter().zip(&serials) {
@@ -189,7 +193,16 @@ pub fn tab2_npb_comm(cfg: &ReproConfig) -> Table {
             "Table II — %walltime in MPI (IPM), NPB class {}",
             cfg.npb_class.letter()
         ),
-        vec!["kernel", "np", "dcc", "ec2", "vayu", "paper_dcc", "paper_ec2", "paper_vayu"],
+        vec![
+            "kernel",
+            "np",
+            "dcc",
+            "ec2",
+            "vayu",
+            "paper_dcc",
+            "paper_ec2",
+            "paper_vayu",
+        ],
     );
     // The paper's printed values for class B.
     let paper: &[(Kernel, [[f64; 6]; 3])] = &[
@@ -262,7 +275,11 @@ pub fn fig5_chaste(cfg: &ReproConfig) -> Table {
             .flat_map(|np| [("vayu", *np), ("dcc", *np)])
             .collect::<Vec<_>>(),
         |(plat, np)| {
-            let c = if plat == "vayu" { presets::vayu() } else { presets::dcc() };
+            let c = if plat == "vayu" {
+                presets::vayu()
+            } else {
+                presets::dcc()
+            };
             let (res, rep) = Experiment::new(&w, &c, np)
                 .repeats(cfg.repeats)
                 .run_min()
@@ -296,10 +313,11 @@ pub fn fig5_chaste(cfg: &ReproConfig) -> Table {
     t
 }
 
+/// A placement-strategy chooser parameterised by rank count.
+type StrategyFn = Box<dyn Fn(usize) -> Strategy + Send + Sync>;
+
 /// The four MetUM run configurations of Figure 6 / Table III.
-fn metum_configs(
-    w: &MetUm,
-) -> Vec<(&'static str, ClusterSpec, Box<dyn Fn(usize) -> Strategy + Send + Sync>)> {
+fn metum_configs(w: &MetUm) -> Vec<(&'static str, ClusterSpec, StrategyFn)> {
     let mem = {
         let w = *w;
         move |np: usize| Strategy::BlockMemoryAware {
@@ -310,7 +328,11 @@ fn metum_configs(
         ("vayu", presets::vayu(), Box::new(|_| Strategy::Block)),
         ("dcc", presets::dcc(), Box::new(|_| Strategy::Block)),
         ("ec2", presets::ec2(), Box::new(mem)),
-        ("ec2-4", presets::ec2(), Box::new(|_| Strategy::Spread { nodes: 4 })),
+        (
+            "ec2-4",
+            presets::ec2(),
+            Box::new(|_| Strategy::Spread { nodes: 4 }),
+        ),
     ]
 }
 
@@ -339,8 +361,8 @@ pub fn fig6_metum(cfg: &ReproConfig) -> Table {
     }
     for (i, np) in nps.iter().enumerate() {
         let mut cells = vec![np.to_string()];
-        for j in 0..4 {
-            cells.push(fmt_ratio(warmed[0][j] / warmed[i][j]));
+        for (base, cur) in warmed[0].iter().zip(&warmed[i]) {
+            cells.push(fmt_ratio(base / cur));
         }
         t.row(cells);
     }
@@ -361,7 +383,9 @@ pub fn tab3_metum(cfg: &ReproConfig) -> Table {
     };
     let mut t = Table::new(
         "Table III — MetUM statistics at 32 cores (ratios relative to Vayu)",
-        vec!["platform", "time_s", "rcomp", "rcomm", "%comm", "%imbal", "io_s", "nodes"],
+        vec![
+            "platform", "time_s", "rcomp", "rcomm", "%comm", "%imbal", "io_s", "nodes",
+        ],
     );
     let configs = metum_configs(&w);
     let runs = parallel_map(configs.iter().collect::<Vec<_>>(), |(name, c, strat)| {
@@ -482,7 +506,8 @@ mod tests {
         let t = fig7_load_balance(&ReproConfig::quick());
         assert_eq!(t.rows.len(), 32);
         // DCC comm fraction exceeds Vayu's on average.
-        let sum = |col: usize| -> f64 { t.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).sum() };
+        let sum =
+            |col: usize| -> f64 { t.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).sum() };
         let vayu_ratio = sum(2) / (sum(1) + sum(2));
         let dcc_ratio = sum(4) / (sum(3) + sum(4));
         assert!(dcc_ratio > vayu_ratio, "dcc {dcc_ratio} vayu {vayu_ratio}");

@@ -35,18 +35,18 @@ pub mod pricing;
 pub mod scheduler;
 pub mod table;
 
-pub use ablations::{all_ablations, ablation_dcc_variants, ablation_ht_packing};
+pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
 pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
 pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
-pub use plot::AsciiChart;
-pub use pricing::PriceModel;
-pub use scheduler::{
-    arrive_f_table, simulate_queue, synthetic_mix, Capacities, Job, Policy, QueueStats, Site,
-};
 pub use figures::{
     all_figures, fig1_osu_bandwidth, fig2_osu_latency, fig3_npb_serial, fig4_kernel,
     fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance, tab2_npb_comm, tab3_metum,
     ReproConfig,
+};
+pub use plot::AsciiChart;
+pub use pricing::PriceModel;
+pub use scheduler::{
+    arrive_f_table, simulate_queue, synthetic_mix, Capacities, Job, Policy, QueueStats, Site,
 };
 pub use table::{fmt_pct, fmt_ratio, fmt_secs, Table};
 

@@ -68,9 +68,7 @@ impl AsciiChart {
             .enumerate()
             .flat_map(|(si, (_, pts))| {
                 pts.iter()
-                    .filter(|(x, y)| {
-                        (!self.x_log || *x > 0.0) && (!self.y_log || *y > 0.0)
-                    })
+                    .filter(|(x, y)| (!self.x_log || *x > 0.0) && (!self.y_log || *y > 0.0))
                     .map(move |(x, y)| (self.tx(*x), self.ty(*y), si))
                     .collect::<Vec<_>>()
             })

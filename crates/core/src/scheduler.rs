@@ -165,9 +165,10 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
                 let burst_params = match policy {
                     Policy::HpcOnly => None,
                     Policy::CloudBurst { threshold } => Some((threshold, f64::INFINITY)),
-                    Policy::CostAwareBurst { threshold, max_dollars } => {
-                        Some((threshold, max_dollars))
-                    }
+                    Policy::CostAwareBurst {
+                        threshold,
+                        max_dollars,
+                    } => Some((threshold, max_dollars)),
                 };
                 if let Some((threshold, max_dollars)) = burst_params {
                     // Burst only when the HPC partition can't start the job
@@ -184,14 +185,12 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
                         let mut best: Option<usize> = None;
                         for cand in [1usize, 2] {
                             if free[cand] >= j.nodes && backlog[cand].is_empty() {
-                                let cost =
-                                    prices[cand].spot_cost(j.nodes, j.runtime[cand]);
+                                let cost = prices[cand].spot_cost(j.nodes, j.runtime[cand]);
                                 if cost > max_dollars {
                                     continue;
                                 }
-                                let better = best
-                                    .map(|b| j.runtime[cand] < j.runtime[b])
-                                    .unwrap_or(true);
+                                let better =
+                                    best.map(|b| j.runtime[cand] < j.runtime[b]).unwrap_or(true);
                                 if better {
                                     best = Some(cand);
                                 }
@@ -300,7 +299,13 @@ pub fn synthetic_mix(n_jobs: usize, load: f64, seed: u64) -> Vec<Job> {
 pub fn arrive_f_table(n_jobs: usize, seed: u64) -> Table {
     let mut t = Table::new(
         "ARRIVE-F experiment — mean job waiting time, HPC-only vs cloud-bursting",
-        vec!["load", "wait_hpc_s", "wait_burst_s", "improvement", "%bursted"],
+        vec![
+            "load",
+            "wait_hpc_s",
+            "wait_burst_s",
+            "improvement",
+            "%bursted",
+        ],
     );
     for load in [0.7, 1.0, 1.3, 1.6] {
         let jobs = synthetic_mix(n_jobs, load, seed);
@@ -321,7 +326,9 @@ pub fn arrive_f_table(n_jobs: usize, seed: u64) -> Table {
         ]);
     }
     t.note("paper §II: ARRIVE-F 'is able to improve the average job waiting times by up to 33%'");
-    t.note("our burstable mix + idle clouds give larger cuts; the shape (improvement shrinks as load");
+    t.note(
+        "our burstable mix + idle clouds give larger cuts; the shape (improvement shrinks as load",
+    );
     t.note("grows and the clouds saturate) is the transferable result");
     t
 }
@@ -394,13 +401,19 @@ mod tests {
         let zero = simulate_queue(
             &quick_jobs(),
             caps,
-            Policy::CostAwareBurst { threshold: 0.5, max_dollars: 0.0 },
+            Policy::CostAwareBurst {
+                threshold: 0.5,
+                max_dollars: 0.0,
+            },
         );
         assert_eq!(zero.burst_fraction, 0.0);
         let lax = simulate_queue(
             &quick_jobs(),
             caps,
-            Policy::CostAwareBurst { threshold: 0.5, max_dollars: f64::INFINITY },
+            Policy::CostAwareBurst {
+                threshold: 0.5,
+                max_dollars: f64::INFINITY,
+            },
         );
         let plain = simulate_queue(&quick_jobs(), caps, Policy::CloudBurst { threshold: 0.5 });
         assert_eq!(lax.burst_fraction, plain.burst_fraction);
@@ -416,7 +429,10 @@ mod tests {
         let tight = simulate_queue(
             &quick_jobs(),
             caps,
-            Policy::CostAwareBurst { threshold: 0.5, max_dollars: 0.50 },
+            Policy::CostAwareBurst {
+                threshold: 0.5,
+                max_dollars: 0.50,
+            },
         );
         assert!(tight.burst_fraction > 0.0);
         for s in &tight.jobs {

@@ -22,64 +22,82 @@ pub use time::{SimDur, SimTime};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized invariant sweeps, driven by a seeded [`DetRng`] so they
+    //! are deterministic and dependency-free.
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Events always pop in non-decreasing time order, regardless of
-        /// insertion order.
-        #[test]
-        fn queue_pops_monotonic(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    /// Events always pop in non-decreasing time order, regardless of
+    /// insertion order.
+    #[test]
+    fn queue_pops_monotonic() {
+        for case in 0..64u64 {
+            let mut rng = DetRng::new(0xD35_0001, case);
+            let n = 1 + rng.index(199);
             let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.push(SimTime(*t), i);
+            for i in 0..n {
+                q.push(SimTime(rng.index(1_000_000) as u64), i);
             }
             let mut last = SimTime::ZERO;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last);
                 last = t;
             }
         }
+    }
 
-        /// Same-timestamp events preserve insertion order (FIFO).
-        #[test]
-        fn queue_fifo_at_equal_times(n in 1usize..100) {
+    /// Same-timestamp events preserve insertion order (FIFO).
+    #[test]
+    fn queue_fifo_at_equal_times() {
+        for n in [1usize, 2, 3, 17, 99] {
             let mut q = EventQueue::new();
             for i in 0..n {
                 q.push(SimTime(7), i);
             }
             for i in 0..n {
-                prop_assert_eq!(q.pop(), Some((SimTime(7), i)));
+                assert_eq!(q.pop(), Some((SimTime(7), i)));
             }
         }
+    }
 
-        /// Time round-trips through f64 seconds to nanosecond precision for
-        /// realistic magnitudes (up to ~10^5 s runs).
-        #[test]
-        fn time_roundtrip(ns in 0u64..100_000_000_000_000) {
+    /// Time round-trips through f64 seconds to nanosecond precision for
+    /// realistic magnitudes (up to ~10^5 s runs).
+    #[test]
+    fn time_roundtrip() {
+        let mut rng = DetRng::new(0xD35_0002, 0);
+        for _ in 0..256 {
+            let ns = rng.next_u64() % 100_000_000_000_000;
             let t = SimTime(ns);
             let back = SimTime::from_secs_f64(t.as_secs_f64());
             // f64 has 52 mantissa bits; below 2^52 ns (~52 days) exact.
-            prop_assert!((back.0 as i128 - ns as i128).abs() <= 16);
+            assert!((back.0 as i128 - ns as i128).abs() <= 16);
         }
+    }
 
-        /// DetRng streams are reproducible.
-        #[test]
-        fn rng_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+    /// DetRng streams are reproducible.
+    #[test]
+    fn rng_reproducible() {
+        let mut meta = DetRng::new(0xD35_0003, 0);
+        for _ in 0..32 {
+            let (seed, stream) = (meta.next_u64(), meta.next_u64());
             let mut a = DetRng::new(seed, stream);
             let mut b = DetRng::new(seed, stream);
             for _ in 0..16 {
-                prop_assert_eq!(a.next_u64(), b.next_u64());
+                assert_eq!(a.next_u64(), b.next_u64());
             }
         }
+    }
 
-        /// Summary invariants: min <= mean <= max, imbalance in [0, 100].
-        #[test]
-        fn summary_invariants(values in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+    /// Summary invariants: min <= mean <= max, imbalance in [0, 100].
+    #[test]
+    fn summary_invariants() {
+        for case in 0..64u64 {
+            let mut rng = DetRng::new(0xD35_0004, case);
+            let n = 1 + rng.index(99);
+            let values: Vec<f64> = (0..n).map(|_| rng.uniform() * 1e6).collect();
             let s = Summary::of(&values).unwrap();
-            prop_assert!(s.min <= s.mean + 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!((0.0..=100.0).contains(&s.imbalance_pct()));
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!((0.0..=100.0).contains(&s.imbalance_pct()));
         }
     }
 }

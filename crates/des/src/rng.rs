@@ -5,17 +5,60 @@
 //! plus a stable stream identifier, so runs are reproducible and independent
 //! noise sources do not share a stream.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Xoshiro256++ core: small, fast, and entirely self-contained (no external
+/// crates). Seeded through SplitMix64 as its authors recommend.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full 256-bit state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A deterministic RNG with the distribution helpers the noise models need.
 ///
-/// `rand_distr` is not part of the approved dependency set, so the normal /
-/// log-normal / Pareto samplers are implemented here directly (Box–Muller and
-/// inverse-CDF respectively).
+/// External RNG crates are not part of the approved dependency set, so both
+/// the generator (xoshiro256++) and the normal / log-normal / Pareto samplers
+/// are implemented here directly (Box–Muller and inverse-CDF respectively).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    inner: Xoshiro256,
     /// Cached second Box–Muller variate.
     spare_normal: Option<f64>,
 }
@@ -27,14 +70,14 @@ impl DetRng {
     pub fn new(seed: u64, stream: u64) -> Self {
         let mixed = splitmix64(seed ^ splitmix64(stream.wrapping_add(0x9E3779B97F4A7C15)));
         DetRng {
-            inner: SmallRng::seed_from_u64(mixed),
+            inner: Xoshiro256::seed_from_u64(mixed),
             spare_normal: None,
         }
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// Uniform in `[lo, hi)`.
@@ -96,15 +139,15 @@ impl DetRng {
         x_min / u.powf(1.0 / alpha)
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (widening-multiply rejection-free map).
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        (((self.inner.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// A raw 64-bit draw, for deriving child seeds.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 }
 

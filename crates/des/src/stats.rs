@@ -78,7 +78,11 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
 /// Geometric mean; ignores non-positive entries (returns `None` if none are
 /// positive). Used to aggregate normalized benchmark ratios.
 pub fn geo_mean(values: &[f64]) -> Option<f64> {
-    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         None
     } else {

@@ -21,56 +21,74 @@ pub use trace::{trace_run, Span, Trace, TraceCollector};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized invariant sweeps driven by a seeded `DetRng` —
+    //! deterministic and dependency-free.
     use super::*;
-    use proptest::prelude::*;
+    use sim_des::DetRng;
     use sim_mpi::{CollOp, JobSpec, Op, SimConfig};
     use sim_platform::presets;
 
-    fn arb_np() -> impl Strategy<Value = usize> {
-        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16), Just(32)]
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Time conservation through the profiler: for every rank,
-        /// comp + comm + io <= wall (+epsilon), and the global ledger's
-        /// components match the engine's own totals.
-        #[test]
-        fn profiler_conserves_time(np in arb_np(), seed in any::<u64>()) {
-            let job = JobSpec {
-                name: "pt".into(),
-                programs: (0..np).map(|_| vec![
-                    Op::SectionEnter(0),
-                    Op::Compute { flops: 1e7, bytes: 1e6 },
-                    Op::Coll(CollOp::Allreduce { bytes: 8 }),
-                    Op::SectionExit(0),
-                ]).collect(),
-                section_names: vec!["step"],
-            };
-            let cfg = SimConfig { seed, ..Default::default() };
-            let (res, rep) = profile_run(&job, &presets::dcc(), &cfg).unwrap();
-            for (i, (comp, comm)) in rep.rank_breakdown.iter().enumerate() {
-                let wall = res.ranks[i].wall.as_secs_f64();
-                prop_assert!(comp + comm <= wall + 1e-9);
-                prop_assert!((comp - res.ranks[i].comp.as_secs_f64()).abs() < 1e-9);
-                prop_assert!((comm - res.ranks[i].comm.as_secs_f64()).abs() < 1e-9);
+    /// Time conservation through the profiler: for every rank,
+    /// comp + comm + io <= wall (+epsilon), and the global ledger's
+    /// components match the engine's own totals.
+    #[test]
+    fn profiler_conserves_time() {
+        let mut rng = DetRng::new(0x19A_0001, 0);
+        for np in [1usize, 2, 4, 8, 16, 32] {
+            let mut job = JobSpec::from_programs(
+                "pt",
+                (0..np)
+                    .map(|_| {
+                        vec![
+                            Op::SectionEnter(0),
+                            Op::Compute {
+                                flops: 1e7,
+                                bytes: 1e6,
+                            },
+                            Op::Coll(CollOp::Allreduce { bytes: 8 }),
+                            Op::SectionExit(0),
+                        ]
+                    })
+                    .collect(),
+                vec!["step"],
+            );
+            for _ in 0..4 {
+                let cfg = SimConfig {
+                    seed: rng.next_u64(),
+                    ..Default::default()
+                };
+                let (res, rep) = profile_run(&mut job, &presets::dcc(), &cfg).unwrap();
+                for (i, (comp, comm)) in rep.rank_breakdown.iter().enumerate() {
+                    let wall = res.ranks[i].wall.as_secs_f64();
+                    assert!(comp + comm <= wall + 1e-9);
+                    assert!((comp - res.ranks[i].comp.as_secs_f64()).abs() < 1e-9);
+                    assert!((comm - res.ranks[i].comm.as_secs_f64()).abs() < 1e-9);
+                }
             }
         }
+    }
 
-        /// Size-bucket floor/ceiling relationship holds for all sizes.
-        #[test]
-        fn bucket_brackets_size(bytes in 1u64..u64::MAX / 2) {
+    /// Size-bucket floor/ceiling relationship holds for all sizes.
+    #[test]
+    fn bucket_brackets_size() {
+        let mut rng = DetRng::new(0x19A_0002, 0);
+        for _ in 0..512 {
+            let bytes = 1 + rng.next_u64() % (u64::MAX / 2 - 1);
             let b = size_bucket(bytes);
-            prop_assert!(bucket_floor(b) <= bytes);
-            prop_assert!(bytes < bucket_floor(b).saturating_mul(2));
+            assert!(bucket_floor(b) <= bytes);
+            assert!(bytes < bucket_floor(b).saturating_mul(2));
         }
+    }
 
-        /// Bucketing is monotone.
-        #[test]
-        fn bucket_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+    /// Bucketing is monotone.
+    #[test]
+    fn bucket_monotone() {
+        let mut rng = DetRng::new(0x19A_0003, 0);
+        for _ in 0..512 {
+            let a = rng.index(1_000_000) as u64;
+            let b = rng.index(1_000_000) as u64;
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(size_bucket(lo) <= size_bucket(hi));
+            assert!(size_bucket(lo) <= size_bucket(hi));
         }
     }
 }

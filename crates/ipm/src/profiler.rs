@@ -4,7 +4,7 @@
 //! per-region wallclock, communication and compute split).
 
 use sim_des::SimTime;
-use sim_mpi::{JobSpec, MpiKind, ProfEvent, ProfSink, SectionId};
+use sim_mpi::{JobMeta, MpiKind, ProfEvent, ProfSink, SectionId};
 use std::collections::HashMap;
 
 /// Aggregate for one (MPI call, size bucket) cell — IPM's call hash.
@@ -88,12 +88,14 @@ pub struct IpmCollector {
 }
 
 impl IpmCollector {
-    /// Prepare a collector for `job`.
-    pub fn new(job: &JobSpec) -> Self {
-        let nsec = job.section_names.len();
+    /// Prepare a collector for a job. Only the metadata is needed — the
+    /// profiler never looks at the op streams, so streamed jobs profile
+    /// without materializing anything.
+    pub fn new(meta: &JobMeta) -> Self {
+        let nsec = meta.section_names.len();
         IpmCollector {
-            section_names: job.section_names.clone(),
-            ranks: (0..job.np())
+            section_names: meta.section_names.clone(),
+            ranks: (0..meta.np)
                 .map(|_| RankProf {
                     stack: Vec::new(),
                     global: Ledger::default(),
@@ -148,8 +150,7 @@ impl ProfSink for IpmCollector {
                     .pop()
                     .expect("section exit without enter");
                 assert_eq!(open_id, id, "mismatched section nesting");
-                self.ranks[rank].sections[id as usize].wall +=
-                    t.since(entered).as_secs_f64();
+                self.ranks[rank].sections[id as usize].wall += t.since(entered).as_secs_f64();
                 self.ranks[rank].last_event = t;
             }
             ProfEvent::Compute { start, end } => {
@@ -238,13 +239,19 @@ mod tests {
 
     #[test]
     fn events_attribute_to_open_section() {
-        let job = sim_mpi::JobSpec {
+        let meta = JobMeta {
             name: "t".into(),
-            programs: vec![vec![]],
+            np: 1,
             section_names: vec!["a", "b"],
         };
-        let mut c = IpmCollector::new(&job);
-        c.on_event(0, ProfEvent::SectionEnter { id: 0, t: SimTime(0) });
+        let mut c = IpmCollector::new(&meta);
+        c.on_event(
+            0,
+            ProfEvent::SectionEnter {
+                id: 0,
+                t: SimTime(0),
+            },
+        );
         c.on_event(
             0,
             ProfEvent::Compute {
@@ -252,7 +259,13 @@ mod tests {
                 end: SimTime(1_000_000_000),
             },
         );
-        c.on_event(0, ProfEvent::SectionExit { id: 0, t: SimTime(1_000_000_000) });
+        c.on_event(
+            0,
+            ProfEvent::SectionExit {
+                id: 0,
+                t: SimTime(1_000_000_000),
+            },
+        );
         c.on_event(
             0,
             ProfEvent::Mpi {
@@ -276,13 +289,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "unbalanced sections")]
     fn unbalanced_sections_panic_at_finish() {
-        let job = sim_mpi::JobSpec {
+        let meta = JobMeta {
             name: "t".into(),
-            programs: vec![vec![]],
+            np: 1,
             section_names: vec!["a"],
         };
-        let mut c = IpmCollector::new(&job);
-        c.on_event(0, ProfEvent::SectionEnter { id: 0, t: SimTime(0) });
+        let mut c = IpmCollector::new(&meta);
+        c.on_event(
+            0,
+            ProfEvent::SectionEnter {
+                id: 0,
+                t: SimTime(0),
+            },
+        );
         let _ = c.finish();
     }
 }

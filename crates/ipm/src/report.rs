@@ -108,7 +108,11 @@ impl IpmReport {
             .collect();
         let rank_breakdown = p.rank_globals().map(|l| (l.comp, l.comm)).collect();
         let section_rank_breakdown = (0..p.section_names().len())
-            .map(|i| p.rank_sections(i as u16).map(|l| (l.comp, l.comm)).collect())
+            .map(|i| {
+                p.rank_sections(i as u16)
+                    .map(|l| (l.comp, l.comm))
+                    .collect()
+            })
             .collect();
         IpmReport {
             job: job.to_string(),
@@ -132,11 +136,28 @@ impl IpmReport {
         let mut out = String::new();
         let _ = writeln!(out, "##IPM-sim{}", "#".repeat(64));
         let _ = writeln!(out, "# command   : {}", self.job);
-        let _ = writeln!(out, "# host      : {:<12} mpi_tasks : {}", self.cluster, self.np);
-        let _ = writeln!(out, "# wallclock : {:<12.4} %comm     : {:.2}", self.elapsed, self.global.comm_pct());
-        let _ = writeln!(out, "# %comp-imbal : {:<9.2} collectives: {:.1}% of MPI", self.global.imbalance_pct(), 100.0 * self.global.collective_frac());
+        let _ = writeln!(
+            out,
+            "# host      : {:<12} mpi_tasks : {}",
+            self.cluster, self.np
+        );
+        let _ = writeln!(
+            out,
+            "# wallclock : {:<12.4} %comm     : {:.2}",
+            self.elapsed,
+            self.global.comm_pct()
+        );
+        let _ = writeln!(
+            out,
+            "# %comp-imbal : {:<9.2} collectives: {:.1}% of MPI",
+            self.global.imbalance_pct(),
+            100.0 * self.global.collective_frac()
+        );
         let _ = writeln!(out, "#");
-        let _ = writeln!(out, "# region               wall(mean)   comp      comm      io     %comm  %imbal");
+        let _ = writeln!(
+            out,
+            "# region               wall(mean)   comp      comm      io     %comm  %imbal"
+        );
         let mut rows: Vec<&SectionReport> = Vec::with_capacity(1 + self.sections.len());
         rows.push(&self.global);
         rows.extend(self.sections.iter());
@@ -144,11 +165,20 @@ impl IpmReport {
             let _ = writeln!(
                 out,
                 "# {:<20} {:>9.4} {:>9.4} {:>9.4} {:>7.4} {:>6.1} {:>7.1}",
-                s.name, s.wall.mean, s.comp.mean, s.comm.mean, s.io.mean, s.comm_pct(), s.imbalance_pct()
+                s.name,
+                s.wall.mean,
+                s.comp.mean,
+                s.comm.mean,
+                s.io.mean,
+                s.comm_pct(),
+                s.imbalance_pct()
             );
         }
         let _ = writeln!(out, "#");
-        let _ = writeln!(out, "# MPI call           bucket(B)      count      time(s)");
+        let _ = writeln!(
+            out,
+            "# MPI call           bucket(B)      count      time(s)"
+        );
         for c in self.global.calls.iter().take(16) {
             let _ = writeln!(
                 out,
@@ -199,13 +229,14 @@ fn section_report(name: &str, ledgers: Vec<&crate::profiler::Ledger>) -> Section
 }
 
 /// Run a job with IPM profiling attached: convenience wrapper returning both
-/// the engine result and the report.
+/// the engine result and the report. The job is rewound by the engine, so
+/// the same `JobSpec` can be profiled repeatedly (e.g. across repeats).
 pub fn profile_run(
-    job: &sim_mpi::JobSpec,
+    job: &mut sim_mpi::JobSpec,
     cluster: &sim_platform::ClusterSpec,
     cfg: &sim_mpi::SimConfig,
 ) -> Result<(sim_mpi::SimResult, IpmReport), sim_mpi::SimError> {
-    let mut collector = crate::profiler::IpmCollector::new(job);
+    let mut collector = crate::profiler::IpmCollector::new(&job.meta);
     let result = sim_mpi::run_job(job, cluster, cfg, &mut collector)?;
     let profiler = collector.finish();
     let report = IpmReport::from_profiler(
@@ -228,25 +259,28 @@ mod tests {
             .map(|_| {
                 vec![
                     Op::SectionEnter(0),
-                    Op::Compute { flops: 1e8, bytes: 0.0 },
+                    Op::Compute {
+                        flops: 1e8,
+                        bytes: 0.0,
+                    },
                     Op::Coll(CollOp::Allreduce { bytes: 4 }),
                     Op::SectionExit(0),
                     Op::SectionEnter(1),
-                    Op::Compute { flops: 5e7, bytes: 0.0 },
+                    Op::Compute {
+                        flops: 5e7,
+                        bytes: 0.0,
+                    },
                     Op::SectionExit(1),
                 ]
             })
             .collect();
-        JobSpec {
-            name: "demo".into(),
-            programs,
-            section_names: vec!["solve", "post"],
-        }
+        JobSpec::from_programs("demo", programs, vec!["solve", "post"])
     }
 
     #[test]
     fn profile_run_builds_consistent_report() {
-        let (res, rep) = profile_run(&demo_job(16), &presets::vayu(), &SimConfig::default()).unwrap();
+        let (res, rep) =
+            profile_run(&mut demo_job(16), &presets::vayu(), &SimConfig::default()).unwrap();
         assert_eq!(rep.np, 16);
         assert!((rep.elapsed - res.elapsed_secs()).abs() < 1e-12);
         // Section accounting: solve contains all the comm.
@@ -261,7 +295,8 @@ mod tests {
 
     #[test]
     fn call_table_contains_the_allreduce() {
-        let (_, rep) = profile_run(&demo_job(8), &presets::dcc(), &SimConfig::default()).unwrap();
+        let (_, rep) =
+            profile_run(&mut demo_job(8), &presets::dcc(), &SimConfig::default()).unwrap();
         let row = rep
             .global
             .calls
@@ -274,7 +309,8 @@ mod tests {
 
     #[test]
     fn comm_pct_between_0_and_100() {
-        let (_, rep) = profile_run(&demo_job(32), &presets::dcc(), &SimConfig::default()).unwrap();
+        let (_, rep) =
+            profile_run(&mut demo_job(32), &presets::dcc(), &SimConfig::default()).unwrap();
         let pct = rep.global.comm_pct();
         assert!((0.0..=100.0).contains(&pct), "{pct}");
         assert!(pct > 0.0);
@@ -282,7 +318,8 @@ mod tests {
 
     #[test]
     fn text_banner_mentions_everything() {
-        let (_, rep) = profile_run(&demo_job(8), &presets::ec2(), &SimConfig::default()).unwrap();
+        let (_, rep) =
+            profile_run(&mut demo_job(8), &presets::ec2(), &SimConfig::default()).unwrap();
         let text = rep.to_text();
         assert!(text.contains("mpi_tasks : 8"));
         assert!(text.contains("solve"));
@@ -292,7 +329,8 @@ mod tests {
 
     #[test]
     fn collective_fraction_is_one_for_collective_only_job() {
-        let (_, rep) = profile_run(&demo_job(8), &presets::vayu(), &SimConfig::default()).unwrap();
+        let (_, rep) =
+            profile_run(&mut demo_job(8), &presets::vayu(), &SimConfig::default()).unwrap();
         assert!((rep.global.collective_frac() - 1.0).abs() < 1e-12);
     }
 }

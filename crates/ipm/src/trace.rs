@@ -37,11 +37,12 @@ pub struct TraceCollector {
 }
 
 impl TraceCollector {
-    pub fn new(job: &sim_mpi::JobSpec) -> Self {
+    /// Prepare a collector from job metadata; the op streams are never read.
+    pub fn new(meta: &sim_mpi::JobMeta) -> Self {
         TraceCollector {
-            section_names: job.section_names.clone(),
+            section_names: meta.section_names.clone(),
             spans: Vec::new(),
-            open_sections: vec![Vec::new(); job.np()],
+            open_sections: vec![Vec::new(); meta.np],
         }
     }
 
@@ -196,12 +197,13 @@ fn json_str(s: &str) -> String {
 }
 
 /// Run a job with timeline capture, returning the result and the trace.
+/// The job is rewound by the engine, so it can be traced repeatedly.
 pub fn trace_run(
-    job: &sim_mpi::JobSpec,
+    job: &mut sim_mpi::JobSpec,
     cluster: &sim_platform::ClusterSpec,
     cfg: &sim_mpi::SimConfig,
 ) -> Result<(sim_mpi::SimResult, Trace), sim_mpi::SimError> {
-    let mut collector = TraceCollector::new(job);
+    let mut collector = TraceCollector::new(&job.meta);
     let result = sim_mpi::run_job(job, cluster, cfg, &mut collector)?;
     Ok((result, collector.finish()))
 }
@@ -213,28 +215,30 @@ mod tests {
     use sim_platform::presets;
 
     fn demo() -> JobSpec {
-        JobSpec {
-            name: "trace-demo".into(),
-            programs: (0..4)
+        JobSpec::from_programs(
+            "trace-demo",
+            (0..4)
                 .map(|_| {
                     vec![
                         Op::SectionEnter(0),
-                        Op::Compute { flops: 1e7, bytes: 0.0 },
+                        Op::Compute {
+                            flops: 1e7,
+                            bytes: 0.0,
+                        },
                         Op::Coll(CollOp::Allreduce { bytes: 8 }),
                         Op::SectionExit(0),
                         Op::FileRead { bytes: 1_000_000 },
                     ]
                 })
                 .collect(),
-            section_names: vec!["step"],
-        }
+            vec!["step"],
+        )
     }
 
     #[test]
     fn captures_all_event_categories() {
-        let (_, trace) = trace_run(&demo(), &presets::vayu(), &SimConfig::default()).unwrap();
-        let cats: std::collections::HashSet<&str> =
-            trace.spans.iter().map(|s| s.cat).collect();
+        let (_, trace) = trace_run(&mut demo(), &presets::vayu(), &SimConfig::default()).unwrap();
+        let cats: std::collections::HashSet<&str> = trace.spans.iter().map(|s| s.cat).collect();
         assert!(cats.contains("comp"));
         assert!(cats.contains("mpi"));
         assert!(cats.contains("io"));
@@ -245,7 +249,7 @@ mod tests {
 
     #[test]
     fn rank_spans_are_ordered_and_non_overlapping() {
-        let (_, trace) = trace_run(&demo(), &presets::dcc(), &SimConfig::default()).unwrap();
+        let (_, trace) = trace_run(&mut demo(), &presets::dcc(), &SimConfig::default()).unwrap();
         for rank in 0..4 {
             let spans = trace.rank_spans(rank);
             assert!(!spans.is_empty());
@@ -261,7 +265,7 @@ mod tests {
 
     #[test]
     fn chrome_json_is_well_formed_enough() {
-        let (_, trace) = trace_run(&demo(), &presets::ec2(), &SimConfig::default()).unwrap();
+        let (_, trace) = trace_run(&mut demo(), &presets::ec2(), &SimConfig::default()).unwrap();
         let json = trace.to_chrome_json("demo");
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));

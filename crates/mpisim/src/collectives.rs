@@ -179,7 +179,12 @@ pub fn ceil_log2(n: usize) -> u32 {
 mod tests {
     use super::*;
 
-    fn topo<'a>(inter: &'a FabricParams, intra: &'a FabricParams, np: usize, ppn: usize) -> CollTopo<'a> {
+    fn topo<'a>(
+        inter: &'a FabricParams,
+        intra: &'a FabricParams,
+        np: usize,
+        ppn: usize,
+    ) -> CollTopo<'a> {
         let nodes_used = np.div_ceil(ppn);
         CollTopo {
             inter,
@@ -251,8 +256,12 @@ mod tests {
     fn alltoall_scales_with_pairs_and_nic_sharing() {
         let ib = FabricParams::qdr_infiniband();
         let shm = FabricParams::shared_memory();
-        let t16 = topo(&ib, &shm, 16, 8).cost(CollOp::Alltoall { bytes_per_pair: 64 * 1024 });
-        let t32 = topo(&ib, &shm, 32, 8).cost(CollOp::Alltoall { bytes_per_pair: 64 * 1024 });
+        let t16 = topo(&ib, &shm, 16, 8).cost(CollOp::Alltoall {
+            bytes_per_pair: 64 * 1024,
+        });
+        let t32 = topo(&ib, &shm, 32, 8).cost(CollOp::Alltoall {
+            bytes_per_pair: 64 * 1024,
+        });
         assert!(t32 > t16, "more inter-node peers cost more");
     }
 
@@ -267,7 +276,9 @@ mod tests {
         let total = 512.0 * 256.0 * 256.0 * 16.0;
         let cost_at = |np: usize| {
             let per_pair = (total / (np * np) as f64) as usize;
-            topo(&ge, &shm, np, 8).cost(CollOp::Alltoall { bytes_per_pair: per_pair })
+            topo(&ge, &shm, np, 8).cost(CollOp::Alltoall {
+                bytes_per_pair: per_pair,
+            })
         };
         assert!(cost_at(64) < cost_at(16));
     }
@@ -277,8 +288,13 @@ mod tests {
         let ib = FabricParams::qdr_infiniband();
         let shm = FabricParams::shared_memory();
         let t = topo(&ib, &shm, 32, 8);
-        let b = t.cost(CollOp::Bcast { root: 0, bytes: 1 << 20 });
-        let ag = t.cost(CollOp::Allgather { bytes_per_rank: 1 << 20 });
+        let b = t.cost(CollOp::Bcast {
+            root: 0,
+            bytes: 1 << 20,
+        });
+        let ag = t.cost(CollOp::Allgather {
+            bytes_per_rank: 1 << 20,
+        });
         assert!(b < ag);
     }
 

@@ -1,7 +1,12 @@
 //! The rank scheduler: executes a [`JobSpec`] against a platform model.
 //!
-//! Each rank is a program counter over its op list plus a clock. The driver
-//! repeatedly picks the minimum-clock *ready* rank and executes one op.
+//! Each rank is a cursor over its op *source* plus a clock: the engine pulls
+//! the next op on demand ([`crate::op::OpSource::next_op`]) instead of
+//! indexing into a materialized slice, so a streamed job never holds its
+//! full trace in memory. The driver repeatedly picks the minimum-clock
+//! *ready* rank and executes one op. A rank that blocks (recv, exchange,
+//! wait, collective) is completed by its peer's progress, never by
+//! re-examining the op, so no op needs to be cached across a block.
 //! Interactions (messages, collectives, exchanges) only ever move other
 //! ranks' clocks forward, and point-to-point matching is FIFO per
 //! `(source, dest, tag)` channel, so this greedy order is causally correct
@@ -12,7 +17,7 @@
 //! time either, and the paper's %comm numbers include both.
 
 use crate::collectives::CollTopo;
-use crate::op::{CollOp, Group, JobSpec, Op, Rank, ReqId, SectionId, Tag};
+use crate::op::{CollOp, Group, JobMeta, JobSpec, Op, OpSource, Rank, ReqId, SectionId, Tag};
 use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
 use crate::result::{RankTotals, SimResult};
 use sim_des::{DetRng, EventQueue, SimDur, SimTime};
@@ -96,7 +101,8 @@ enum Status {
 
 struct RankState {
     clock: SimTime,
-    pc: usize,
+    /// Ops pulled from this rank's source so far (diagnostics only).
+    issued: u64,
     status: Status,
     /// Outstanding non-blocking requests.
     requests: HashMap<ReqId, ReqState>,
@@ -149,8 +155,12 @@ struct CollState {
 type ChannelKey = (Rank, Rank, Tag);
 
 /// Run `job` on `cluster`. Profile events stream into `sink`.
+///
+/// Takes `&mut` because op sources are cursors: they are rewound on entry
+/// (so one job can be run repeatedly, per the paper's min-of-N methodology)
+/// and consumed as the engine pulls ops on demand.
 pub fn run_job(
-    job: &JobSpec,
+    job: &mut JobSpec,
     cluster: &ClusterSpec,
     cfg: &SimConfig,
     sink: &mut dyn ProfSink,
@@ -162,11 +172,13 @@ pub fn run_job(
     assert!(np > 0, "empty job");
     let placement = cluster.place(np, cfg.strategy)?;
     let rates = cluster.rank_rates(&placement);
-    Engine::new(job, cluster, placement, rates, cfg).run(sink)
+    job.rewind();
+    Engine::new(&job.meta, &mut job.sources, cluster, placement, rates, cfg).run(sink)
 }
 
 struct Engine<'a> {
-    job: &'a JobSpec,
+    meta: &'a JobMeta,
+    sources: &'a mut [OpSource],
     cluster: &'a ClusterSpec,
     placement: Placement,
     rates: Vec<RankRates>,
@@ -192,13 +204,14 @@ struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     fn new(
-        job: &'a JobSpec,
+        meta: &'a JobMeta,
+        sources: &'a mut [OpSource],
         cluster: &'a ClusterSpec,
         placement: Placement,
         rates: Vec<RankRates>,
         cfg: &SimConfig,
     ) -> Self {
-        let np = job.np();
+        let np = meta.np;
         let solo_rate = cluster.node.flops_rate(1);
         let cpu_factor = rates
             .iter()
@@ -210,7 +223,7 @@ impl<'a> Engine<'a> {
                 ready.push(SimTime::ZERO, (r, 0));
                 RankState {
                     clock: SimTime::ZERO,
-                    pc: 0,
+                    issued: 0,
                     status: Status::Ready,
                     requests: HashMap::new(),
                     comp: SimDur::ZERO,
@@ -224,7 +237,8 @@ impl<'a> Engine<'a> {
             })
             .collect();
         Engine {
-            job,
+            meta,
+            sources,
             cluster,
             nics: vec![SerialResource::new(); placement.ranks_per_node.len()],
             placement,
@@ -243,7 +257,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self, sink: &mut dyn ProfSink) -> Result<SimResult, SimError> {
-        let np = self.job.np();
+        let np = self.meta.np;
         loop {
             let Some((_, (r, gen))) = self.ready.pop() else {
                 if self.done == np {
@@ -277,7 +291,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
         Ok(SimResult {
-            job: self.job.name.clone(),
+            job: self.meta.name.clone(),
             cluster: self.cluster.name,
             elapsed: elapsed.since(SimTime::ZERO),
             ranks,
@@ -290,7 +304,10 @@ impl<'a> Engine<'a> {
         let mut blocked: Vec<String> = Vec::new();
         for (r, st) in self.ranks.iter().enumerate() {
             if st.status != Status::Done {
-                blocked.push(format!("rank {r} at op {} in {:?}", st.pc, st.status));
+                blocked.push(format!(
+                    "rank {r} after op {} in {:?}",
+                    st.issued, st.status
+                ));
                 if blocked.len() >= 4 {
                     break;
                 }
@@ -308,22 +325,32 @@ impl<'a> Engine<'a> {
     }
 
     fn step(&mut self, r: usize, sink: &mut dyn ProfSink) {
-        self.ops_executed += 1;
-        let pc = self.ranks[r].pc;
-        if pc >= self.job.programs[r].len() {
+        // Pull the next op on demand. A blocked rank is completed by its
+        // peer's progress (never by re-reading the op), so the cursor can
+        // advance as soon as the op is issued.
+        let Some(op) = self.sources[r].next_op() else {
             self.ranks[r].status = Status::Done;
             self.done += 1;
             return;
-        }
-        self.ranks[r].pc += 1;
-        // Clone the op (ops are small); avoids borrowing the job.
-        let op = self.job.programs[r][pc].clone();
+        };
+        self.ops_executed += 1;
+        self.ranks[r].issued += 1;
         match op {
             Op::Compute { flops, bytes } => self.do_compute(r, flops, bytes, sink),
             Op::Send { to, bytes, tag } => self.do_send(r, to as usize, bytes, tag, sink),
             Op::Recv { from, bytes, tag } => self.do_recv(r, from as usize, bytes, tag, sink),
-            Op::Isend { to, bytes, tag, req } => self.do_isend(r, to as usize, bytes, tag, req, sink),
-            Op::Irecv { from, bytes, tag, req } => self.do_irecv(r, from as usize, bytes, tag, req),
+            Op::Isend {
+                to,
+                bytes,
+                tag,
+                req,
+            } => self.do_isend(r, to as usize, bytes, tag, req, sink),
+            Op::Irecv {
+                from,
+                bytes,
+                tag,
+                req,
+            } => self.do_irecv(r, from as usize, bytes, tag, req),
             Op::Wait { req } => self.do_wait(r, req, sink),
             Op::Exchange {
                 partner,
@@ -469,7 +496,14 @@ impl<'a> Engine<'a> {
             if let Some((rank, req, posted)) = q.pop_front() {
                 debug_assert_eq!(rank, dr);
                 let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
-                self.fulfil_request(rank, req, complete_at, msg.bytes as u64, MpiKind::Recv, sink);
+                self.fulfil_request(
+                    rank,
+                    req,
+                    complete_at,
+                    msg.bytes as u64,
+                    MpiKind::Recv,
+                    sink,
+                );
                 return;
             }
         }
@@ -483,10 +517,7 @@ impl<'a> Engine<'a> {
             if from == s && rtag == tag {
                 // Channel FIFO: the blocked recv must take the oldest queued
                 // message; only complete directly if the queue is empty.
-                let empty = self
-                    .eager
-                    .get(&(s, d, tag))
-                    .is_none_or(|q| q.is_empty());
+                let empty = self.eager.get(&(s, d, tag)).is_none_or(|q| q.is_empty());
                 if empty {
                     self.complete_recv(dr, posted, msg, sink);
                     return;
@@ -594,7 +625,11 @@ impl<'a> Engine<'a> {
         kind: MpiKind,
         sink: &mut dyn ProfSink,
     ) {
-        if let Status::BlockedWait { req: waiting, posted } = self.ranks[rank].status {
+        if let Status::BlockedWait {
+            req: waiting,
+            posted,
+        } = self.ranks[rank].status
+        {
             if waiting == req {
                 self.ranks[rank].requests.remove(&req);
                 let end = posted.max(complete_at);
@@ -684,15 +719,16 @@ impl<'a> Engine<'a> {
             let (end_r_wire, end_o_wire) = if route.inter_node {
                 let wr = SimDur::from_secs_f64(cost::wire_time(fabric, send_bytes));
                 let wo = SimDur::from_secs_f64(cost::wire_time(fabric, other.send_bytes));
-                let (_, er) = self.nics[self.rates[r].node]
-                    .acquire(start + SimDur::from_secs_f64(occ_r), wr);
-                let (_, eo) = self.nics[self.rates[o].node]
-                    .acquire(start + SimDur::from_secs_f64(occ_o), wo);
+                let (_, er) =
+                    self.nics[self.rates[r].node].acquire(start + SimDur::from_secs_f64(occ_r), wr);
+                let (_, eo) =
+                    self.nics[self.rates[o].node].acquire(start + SimDur::from_secs_f64(occ_o), wo);
                 (er, eo)
             } else {
                 (
                     start + SimDur::from_secs_f64(occ_r + cost::wire_time(fabric, send_bytes)),
-                    start + SimDur::from_secs_f64(occ_o + cost::wire_time(fabric, other.send_bytes)),
+                    start
+                        + SimDur::from_secs_f64(occ_o + cost::wire_time(fabric, other.send_bytes)),
                 )
             };
             let jitter = fabric.jitter.sample(&mut self.ranks[lo as usize].rng);
@@ -742,7 +778,7 @@ impl<'a> Engine<'a> {
     }
 
     fn do_coll(&mut self, r: usize, group: Group, op: CollOp, sink: &mut dyn ProfSink) {
-        let np = self.job.np();
+        let np = self.meta.np;
         let members = group.size(np);
         if members <= 1 {
             // Degenerate single-rank collective: free.
@@ -765,12 +801,7 @@ impl<'a> Engine<'a> {
         }
         // Last arrival: cost the collective and release everybody.
         let state = self.colls.remove(&(group, seq)).expect("collective state");
-        let max_entry = state
-            .arrived
-            .iter()
-            .map(|(_, t)| *t)
-            .max()
-            .unwrap_or(entry);
+        let max_entry = state.arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
         // Layout of the group's members: NIC sharers and node span.
         let mut per_node: HashMap<usize, usize> = HashMap::new();
         let mut cpu_factor = 1.0_f64;
@@ -789,7 +820,12 @@ impl<'a> Engine<'a> {
         };
         let mut secs = topo.cost(op);
         for _ in 0..topo.inter_rounds(op) {
-            secs += self.cluster.topology.inter.jitter.sample(&mut self.coll_rng);
+            secs += self
+                .cluster
+                .topology
+                .inter
+                .jitter
+                .sample(&mut self.coll_rng);
         }
         let end = max_entry + SimDur::from_secs_f64(secs);
         let kind = match op {
@@ -833,11 +869,7 @@ mod engine_tests {
     use sim_platform::presets;
 
     fn job(programs: Vec<Vec<Op>>) -> JobSpec {
-        JobSpec {
-            name: "t".into(),
-            programs,
-            section_names: vec![],
-        }
+        JobSpec::from_programs("t", programs, vec![])
     }
 
     #[test]
@@ -846,7 +878,7 @@ mod engine_tests {
         // serves them at half rate each, so both take ~2x the solo time.
         let d = presets::dcc();
         let solo = run_job(
-            &job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
+            &mut job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
             &d,
             &SimConfig::default(),
             &mut NullSink,
@@ -854,7 +886,7 @@ mod engine_tests {
         .unwrap()
         .elapsed_secs();
         let both = run_job(
-            &job(vec![
+            &mut job(vec![
                 vec![Op::FileRead { bytes: 1 << 30 }],
                 vec![Op::FileRead { bytes: 1 << 30 }],
             ]),
@@ -874,7 +906,7 @@ mod engine_tests {
     fn lustre_absorbs_concurrent_readers() {
         let v = presets::vayu();
         let solo = run_job(
-            &job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
+            &mut job(vec![vec![Op::FileRead { bytes: 1 << 30 }]]),
             &v,
             &SimConfig::default(),
             &mut NullSink,
@@ -882,7 +914,7 @@ mod engine_tests {
         .unwrap()
         .elapsed_secs();
         let both = run_job(
-            &job(vec![
+            &mut job(vec![
                 vec![Op::FileRead { bytes: 1 << 30 }],
                 vec![Op::FileRead { bytes: 1 << 30 }],
             ]),
@@ -892,7 +924,10 @@ mod engine_tests {
         )
         .unwrap()
         .elapsed_secs();
-        assert!(both / solo < 1.2, "striped fs must absorb 2 readers: {both} vs {solo}");
+        assert!(
+            both / solo < 1.2,
+            "striped fs must absorb 2 readers: {both} vs {solo}"
+        );
     }
 
     #[test]
@@ -903,14 +938,22 @@ mod engine_tests {
         let mk = |peer_node: usize| {
             let np = peer_node * 8 + 1;
             let mut progs = vec![vec![]; np];
-            progs[0] = vec![Op::Send { to: (np - 1) as u32, bytes: 8, tag: 0 }];
-            progs[np - 1] = vec![Op::Recv { from: 0, bytes: 8, tag: 0 }];
+            progs[0] = vec![Op::Send {
+                to: (np - 1) as u32,
+                bytes: 8,
+                tag: 0,
+            }];
+            progs[np - 1] = vec![Op::Recv {
+                from: 0,
+                bytes: 8,
+                tag: 0,
+            }];
             job(progs)
         };
-        let same_leaf = run_job(&mk(15), &v, &SimConfig::default(), &mut NullSink)
+        let same_leaf = run_job(&mut mk(15), &v, &SimConfig::default(), &mut NullSink)
             .unwrap()
             .elapsed_secs();
-        let cross_leaf = run_job(&mk(16), &v, &SimConfig::default(), &mut NullSink)
+        let cross_leaf = run_job(&mut mk(16), &v, &SimConfig::default(), &mut NullSink)
             .unwrap()
             .elapsed_secs();
         let delta = cross_leaf - same_leaf;
@@ -924,8 +967,11 @@ mod engine_tests {
     fn single_rank_jobs_run_all_op_kinds() {
         let v = presets::vayu();
         let r = run_job(
-            &job(vec![vec![
-                Op::Compute { flops: 1e6, bytes: 1e6 },
+            &mut job(vec![vec![
+                Op::Compute {
+                    flops: 1e6,
+                    bytes: 1e6,
+                },
                 Op::Coll(CollOp::Allreduce { bytes: 8 }),
                 Op::Coll(CollOp::Alltoall { bytes_per_pair: 64 }),
                 Op::FileRead { bytes: 1000 },
@@ -945,9 +991,17 @@ mod engine_tests {
     fn zero_byte_messages_cost_only_overheads() {
         let v = presets::vayu();
         let mut progs = vec![vec![]; 9];
-        progs[0] = vec![Op::Send { to: 8, bytes: 0, tag: 0 }];
-        progs[8] = vec![Op::Recv { from: 0, bytes: 0, tag: 0 }];
-        let r = run_job(&job(progs), &v, &SimConfig::default(), &mut NullSink).unwrap();
+        progs[0] = vec![Op::Send {
+            to: 8,
+            bytes: 0,
+            tag: 0,
+        }];
+        progs[8] = vec![Op::Recv {
+            from: 0,
+            bytes: 0,
+            tag: 0,
+        }];
+        let r = run_job(&mut job(progs), &v, &SimConfig::default(), &mut NullSink).unwrap();
         let t = r.elapsed_secs();
         assert!(t > 0.0 && t < 10e-6, "zero-byte send took {t}");
     }
@@ -956,7 +1010,13 @@ mod engine_tests {
     fn empty_program_rank_finishes_at_time_zero() {
         let v = presets::vayu();
         let r = run_job(
-            &job(vec![vec![Op::Compute { flops: 1e6, bytes: 0.0 }], vec![]]),
+            &mut job(vec![
+                vec![Op::Compute {
+                    flops: 1e6,
+                    bytes: 0.0,
+                }],
+                vec![],
+            ]),
             &v,
             &SimConfig::default(),
             &mut NullSink,

@@ -1,9 +1,24 @@
-//! The operation vocabulary of simulated MPI programs.
+//! The operation vocabulary of simulated MPI programs — and the lazy
+//! [`Program`] abstraction that feeds them to the engine.
 //!
-//! A workload compiles, per rank, to a sequence of [`Op`]s — compute chunks,
-//! point-to-point messages, collectives, file I/O and section markers. The
-//! engine in [`crate::engine`] executes one `Vec<Op>` per rank against a
-//! platform model.
+//! A workload compiles, per rank, to a *source* of [`Op`]s — compute chunks,
+//! point-to-point messages, collectives, file I/O and section markers. Since
+//! the streaming refactor a rank's program is no longer a materialized
+//! `Vec<Op>`: it is an [`OpSource`], either
+//!
+//! * [`OpSource::Materialized`] — a pre-built op list with a cursor (kept for
+//!   tests, validation fixtures and equivalence checks), or
+//! * [`OpSource::Streamed`] — a boxed [`Program`] generator that yields ops
+//!   on demand, one [`Program::next_op`] at a time, and can be
+//!   [`Program::rewind`]-ed for repeated runs (the paper's min-of-5
+//!   methodology re-runs the same job with different noise seeds).
+//!
+//! Workload builders implement generators with [`BlockProgram`]: a closure
+//! that emits one *block* of ops (typically one timestep or solver
+//! iteration) per call, so peak memory is O(np · block) instead of
+//! O(total ops). Job-wide metadata that used to live beside the programs
+//! (name, rank count, section table) now lives in [`JobMeta`], which the
+//! profiling layers consume without ever touching the op streams.
 
 /// Rank index within the job.
 pub type Rank = u32;
@@ -25,7 +40,11 @@ pub enum Group {
     World,
     /// `count` ranks starting at `first`, `stride` apart — covers row and
     /// column communicators of the 2-D decompositions the workloads use.
-    Strided { first: Rank, count: u32, stride: u32 },
+    Strided {
+        first: Rank,
+        count: u32,
+        stride: u32,
+    },
 }
 
 impl Group {
@@ -41,24 +60,30 @@ impl Group {
     pub fn contains(&self, rank: Rank, np: usize) -> bool {
         match self {
             Group::World => (rank as usize) < np,
-            Group::Strided { first, count, stride } => {
+            Group::Strided {
+                first,
+                count,
+                stride,
+            } => {
                 let stride = (*stride).max(1);
                 rank >= *first
-                    && (rank - first) % stride == 0
+                    && (rank - first).is_multiple_of(stride)
                     && (rank - first) / stride < *count
             }
         }
     }
 
-    /// Iterate the member ranks.
-    pub fn members(&self, np: usize) -> Vec<Rank> {
-        match self {
-            Group::World => (0..np as Rank).collect(),
-            Group::Strided { first, count, stride } => {
-                let stride = (*stride).max(1);
-                (0..*count).map(|i| first + i * stride).collect()
-            }
-        }
+    /// Iterate the member ranks without allocating.
+    pub fn members(self, np: usize) -> impl Iterator<Item = Rank> {
+        let (first, count, stride) = match self {
+            Group::World => (0, np as u32, 1),
+            Group::Strided {
+                first,
+                count,
+                stride,
+            } => (first, count, stride.max(1)),
+        };
+        (0..count).map(move |i| first + i * stride)
     }
 }
 
@@ -160,37 +185,259 @@ impl CollOp {
     pub fn bytes_per_rank(&self, np: usize) -> u64 {
         match *self {
             CollOp::Barrier => 0,
-            CollOp::Bcast { bytes, .. } | CollOp::Reduce { bytes, .. } | CollOp::Allreduce { bytes } => {
-                bytes as u64
-            }
+            CollOp::Bcast { bytes, .. }
+            | CollOp::Reduce { bytes, .. }
+            | CollOp::Allreduce { bytes } => bytes as u64,
             CollOp::Allgather { bytes_per_rank }
             | CollOp::Gather { bytes_per_rank, .. }
             | CollOp::Scatter { bytes_per_rank, .. } => bytes_per_rank as u64,
-            CollOp::Alltoall { bytes_per_pair } => bytes_per_pair as u64 * np.saturating_sub(1) as u64,
+            CollOp::Alltoall { bytes_per_pair } => {
+                bytes_per_pair as u64 * np.saturating_sub(1) as u64
+            }
         }
     }
 }
 
-/// A complete job: one op program per rank plus section names.
+/// A lazy per-rank op source. The engine pulls ops one at a time with
+/// [`Program::next_op`]; [`Program::rewind`] restores the start so the same
+/// job can be re-run (repeats differ only in the noise seed).
+///
+/// Implementations must be deterministic: after a rewind, the same op
+/// sequence must be produced again.
+pub trait Program: Send {
+    /// Produce the next op, or `None` when the program is exhausted.
+    fn next_op(&mut self) -> Option<Op>;
+
+    /// Reset to the beginning of the op sequence.
+    fn rewind(&mut self);
+}
+
+/// A [`Program`] built from a block-emitting closure.
+///
+/// The closure is called with a block index `k` (0, 1, 2, ...) and a scratch
+/// buffer; it appends block `k`'s ops to the buffer and returns `true`, or
+/// returns `false` (leaving the buffer empty) when `k` is past the end.
+/// Workloads use one block per timestep/iteration plus prologue/epilogue
+/// blocks, so only one block per rank is resident at a time.
+pub struct BlockProgram<F> {
+    emit: F,
+    block: usize,
+    buf: Vec<Op>,
+    pos: usize,
+}
+
+impl<F> BlockProgram<F>
+where
+    F: FnMut(usize, &mut Vec<Op>) -> bool + Send,
+{
+    pub fn new(emit: F) -> Self {
+        BlockProgram {
+            emit,
+            block: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl<F> Program for BlockProgram<F>
+where
+    F: FnMut(usize, &mut Vec<Op>) -> bool + Send,
+{
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if self.pos < self.buf.len() {
+                let op = self.buf[self.pos].clone();
+                self.pos += 1;
+                return Some(op);
+            }
+            self.buf.clear();
+            self.pos = 0;
+            if !(self.emit)(self.block, &mut self.buf) {
+                return None;
+            }
+            self.block += 1;
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.block = 0;
+        self.buf.clear();
+        self.pos = 0;
+    }
+}
+
+/// One rank's op source: either a materialized list or a lazy generator.
+pub enum OpSource {
+    /// Pre-built op list with a cursor. Used by tests, validation fixtures
+    /// and the equivalence suite; also what [`JobSpec::from_programs`]
+    /// produces.
+    Materialized { ops: Vec<Op>, pos: usize },
+    /// A lazy generator; ops are produced on demand.
+    Streamed(Box<dyn Program>),
+}
+
+impl OpSource {
+    /// Wrap a pre-built op list.
+    pub fn materialized(ops: Vec<Op>) -> Self {
+        OpSource::Materialized { ops, pos: 0 }
+    }
+
+    /// Wrap a lazy generator.
+    pub fn streamed(p: impl Program + 'static) -> Self {
+        OpSource::Streamed(Box::new(p))
+    }
+
+    /// Pull the next op.
+    pub fn next_op(&mut self) -> Option<Op> {
+        match self {
+            OpSource::Materialized { ops, pos } => {
+                let op = ops.get(*pos).cloned()?;
+                *pos += 1;
+                Some(op)
+            }
+            OpSource::Streamed(p) => p.next_op(),
+        }
+    }
+
+    /// Reset to the beginning.
+    pub fn rewind(&mut self) {
+        match self {
+            OpSource::Materialized { pos, .. } => *pos = 0,
+            OpSource::Streamed(p) => p.rewind(),
+        }
+    }
+
+    /// Whether this source generates ops lazily.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self, OpSource::Streamed(_))
+    }
+
+    /// Drain the remaining ops into a `Vec` and rewind.
+    fn drain_to_vec(&mut self) -> Vec<Op> {
+        let mut out = Vec::new();
+        while let Some(op) = self.next_op() {
+            out.push(op);
+        }
+        self.rewind();
+        out
+    }
+}
+
+impl std::fmt::Debug for OpSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpSource::Materialized { ops, pos } => f
+                .debug_struct("Materialized")
+                .field("len", &ops.len())
+                .field("pos", pos)
+                .finish(),
+            OpSource::Streamed(_) => f.write_str("Streamed(..)"),
+        }
+    }
+}
+
+/// Job-wide metadata, separate from the op streams. The profiling layers
+/// (`sim-ipm`) consume only this — they never need the ops themselves.
 #[derive(Debug, Clone)]
-pub struct JobSpec {
+pub struct JobMeta {
     /// Workload name for reports ("cg.B", "metum.n320l70", ...).
     pub name: String,
-    /// `programs[r]` is rank `r`'s op sequence.
-    pub programs: Vec<Vec<Op>>,
+    /// Number of ranks.
+    pub np: usize,
     /// Names of profiling sections, indexed by [`SectionId`].
     pub section_names: Vec<&'static str>,
 }
 
+/// A complete job: metadata plus one op source per rank.
+#[derive(Debug)]
+pub struct JobSpec {
+    pub meta: JobMeta,
+    /// `sources[r]` is rank `r`'s op source.
+    pub sources: Vec<OpSource>,
+}
+
 impl JobSpec {
-    /// Number of ranks.
-    pub fn np(&self) -> usize {
-        self.programs.len()
+    /// Build a job from materialized per-rank op lists (tests, fixtures,
+    /// equivalence twins).
+    pub fn from_programs(
+        name: impl Into<String>,
+        programs: Vec<Vec<Op>>,
+        section_names: Vec<&'static str>,
+    ) -> Self {
+        let np = programs.len();
+        JobSpec {
+            meta: JobMeta {
+                name: name.into(),
+                np,
+                section_names,
+            },
+            sources: programs.into_iter().map(OpSource::materialized).collect(),
+        }
     }
 
-    /// Total ops across all ranks (progress/size diagnostics).
-    pub fn total_ops(&self) -> usize {
-        self.programs.iter().map(|p| p.len()).sum()
+    /// Build a job from lazy per-rank sources (the default path for
+    /// workload builders).
+    pub fn from_sources(
+        name: impl Into<String>,
+        sources: Vec<OpSource>,
+        section_names: Vec<&'static str>,
+    ) -> Self {
+        let np = sources.len();
+        JobSpec {
+            meta: JobMeta {
+                name: name.into(),
+                np,
+                section_names,
+            },
+            sources,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn np(&self) -> usize {
+        self.meta.np
+    }
+
+    /// Rewind every rank's source to the start of its program.
+    pub fn rewind(&mut self) {
+        for s in &mut self.sources {
+            s.rewind();
+        }
+    }
+
+    /// Whether every rank's source is lazy (no full trace in memory).
+    pub fn is_fully_streamed(&self) -> bool {
+        self.sources.iter().all(|s| s.is_streamed())
+    }
+
+    /// Total ops across all ranks, counted by streaming through every
+    /// source in O(1) extra memory (sources are rewound afterwards).
+    pub fn total_ops(&mut self) -> u64 {
+        let mut n = 0u64;
+        for s in &mut self.sources {
+            s.rewind();
+            while s.next_op().is_some() {
+                n += 1;
+            }
+            s.rewind();
+        }
+        n
+    }
+
+    /// Materialize rank `r`'s program into a `Vec` (rewinds the source).
+    /// For tests that inspect op structure; O(rank ops) memory.
+    pub fn materialize_rank(&mut self, r: usize) -> Vec<Op> {
+        self.sources[r].rewind();
+        self.sources[r].drain_to_vec()
+    }
+
+    /// Materialize every rank's program (rewinds all sources). Used by the
+    /// streamed-vs-materialized equivalence suite; O(total ops) memory —
+    /// exactly the cost the streaming path avoids.
+    pub fn materialized_copy(&mut self) -> Vec<Vec<Op>> {
+        self.rewind();
+        self.sources.iter_mut().map(|s| s.drain_to_vec()).collect()
     }
 
     /// Validate structural well-formedness:
@@ -199,21 +446,28 @@ impl JobSpec {
     /// * all ranks issue the same number of collectives, in the same kinds,
     /// * section enters/exits balance per rank,
     /// * targets are in range.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// Validation *streams*: each rank's source is walked op-by-op and
+    /// rewound; no rank's program is ever materialized. Memory is bounded
+    /// by the number of distinct channels and collective sequences, not by
+    /// trace length.
+    pub fn validate(&mut self) -> Result<(), String> {
         use std::collections::HashMap;
-        let np = self.np() as u32;
+        let np = self.meta.np as u32;
+        let n_sections = self.meta.section_names.len();
         let mut sends: HashMap<(u32, u32, Tag), usize> = HashMap::new();
         let mut recvs: HashMap<(u32, u32, Tag), usize> = HashMap::new();
         let mut exchanges: HashMap<(u32, u32, Tag), i64> = HashMap::new();
         let mut coll_seqs: Vec<Vec<(&'static str, Group, &'static str)>> =
-            Vec::with_capacity(self.programs.len());
-        for (r, prog) in self.programs.iter().enumerate() {
+            Vec::with_capacity(self.sources.len());
+        for (r, source) in self.sources.iter_mut().enumerate() {
             let r = r as u32;
             let mut colls: Vec<(&str, Group, &str)> = Vec::new();
             let mut depth: i32 = 0;
             let mut open_reqs: std::collections::HashSet<u32> = Default::default();
-            for op in prog {
-                match op {
+            source.rewind();
+            while let Some(op) = source.next_op() {
+                match &op {
                     Op::Isend { to, tag, req, .. } => {
                         if *to >= np {
                             return Err(format!("rank {r}: isend to out-of-range rank {to}"));
@@ -272,7 +526,12 @@ impl JobSpec {
                                 "rank {r}: group collective on a group it is not in"
                             ));
                         }
-                        if let Group::Strided { first, count, stride } = group {
+                        if let Group::Strided {
+                            first,
+                            count,
+                            stride,
+                        } = group
+                        {
                             let last = *first as u64
                                 + (count.saturating_sub(1) as u64) * (*stride).max(1) as u64;
                             if last >= np as u64 {
@@ -284,7 +543,7 @@ impl JobSpec {
                         colls.push(("group", *group, op.name()));
                     }
                     Op::SectionEnter(id) => {
-                        if *id as usize >= self.section_names.len() {
+                        if *id as usize >= n_sections {
                             return Err(format!("rank {r}: unknown section id {id}"));
                         }
                         depth += 1;
@@ -296,13 +555,15 @@ impl JobSpec {
                         }
                     }
                     Op::Compute { flops, bytes } => {
-                        if !flops.is_finite() || !bytes.is_finite() || *flops < 0.0 || *bytes < 0.0 {
+                        if !flops.is_finite() || !bytes.is_finite() || *flops < 0.0 || *bytes < 0.0
+                        {
                             return Err(format!("rank {r}: bad compute chunk {flops}/{bytes}"));
                         }
                     }
                     Op::FileRead { .. } | Op::FileWrite { .. } => {}
                 }
             }
+            source.rewind();
             if depth != 0 {
                 return Err(format!("rank {r}: {depth} unclosed sections"));
             }
@@ -331,9 +592,10 @@ impl JobSpec {
             }
         }
         // Per communicator, every member must issue the same sequence.
-        let mut by_group: HashMap<Group, Vec<(u32, Vec<&str>)>> = HashMap::new();
+        use std::collections::HashMap as Map;
+        let mut by_group: Map<Group, Vec<(u32, Vec<&str>)>> = Map::new();
         for (r, seq) in coll_seqs.iter().enumerate() {
-            let mut per_rank: HashMap<Group, Vec<&str>> = HashMap::new();
+            let mut per_rank: Map<Group, Vec<&str>> = Map::new();
             for (_, g, name) in seq.iter() {
                 per_rank.entry(*g).or_default().push(name);
             }
@@ -342,7 +604,7 @@ impl JobSpec {
             }
         }
         for (g, seqs) in &by_group {
-            let expected_members = g.size(self.np());
+            let expected_members = g.size(self.meta.np);
             if seqs.len() != expected_members {
                 return Err(format!(
                     "group {g:?}: {} rank(s) issued its collectives but it has {expected_members} members",
@@ -367,26 +629,34 @@ mod tests {
     use super::*;
 
     fn job(programs: Vec<Vec<Op>>) -> JobSpec {
-        JobSpec {
-            name: "test".into(),
-            programs,
-            section_names: vec!["main"],
-        }
+        JobSpec::from_programs("test", programs, vec!["main"])
     }
 
     #[test]
     fn validate_accepts_matched_pt2pt() {
-        let j = job(vec![
-            vec![Op::Send { to: 1, bytes: 8, tag: 0 }],
-            vec![Op::Recv { from: 0, bytes: 8, tag: 0 }],
+        let mut j = job(vec![
+            vec![Op::Send {
+                to: 1,
+                bytes: 8,
+                tag: 0,
+            }],
+            vec![Op::Recv {
+                from: 0,
+                bytes: 8,
+                tag: 0,
+            }],
         ]);
         assert!(j.validate().is_ok());
     }
 
     #[test]
     fn validate_rejects_unmatched_send() {
-        let j = job(vec![
-            vec![Op::Send { to: 1, bytes: 8, tag: 0 }],
+        let mut j = job(vec![
+            vec![Op::Send {
+                to: 1,
+                bytes: 8,
+                tag: 0,
+            }],
             vec![],
         ]);
         assert!(j.validate().is_err());
@@ -394,30 +664,57 @@ mod tests {
 
     #[test]
     fn validate_rejects_recv_without_send() {
-        let j = job(vec![
+        let mut j = job(vec![
             vec![],
-            vec![Op::Recv { from: 0, bytes: 8, tag: 0 }],
+            vec![Op::Recv {
+                from: 0,
+                bytes: 8,
+                tag: 0,
+            }],
         ]);
         assert!(j.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_self_send_and_out_of_range() {
-        let j = job(vec![vec![Op::Send { to: 0, bytes: 8, tag: 0 }]]);
+        let mut j = job(vec![vec![Op::Send {
+            to: 0,
+            bytes: 8,
+            tag: 0,
+        }]]);
         assert!(j.validate().is_err());
-        let j = job(vec![vec![Op::Send { to: 9, bytes: 8, tag: 0 }]]);
+        let mut j = job(vec![vec![Op::Send {
+            to: 9,
+            bytes: 8,
+            tag: 0,
+        }]]);
         assert!(j.validate().is_err());
     }
 
     #[test]
     fn validate_requires_mirrored_exchange() {
-        let ok = job(vec![
-            vec![Op::Exchange { partner: 1, send_bytes: 8, recv_bytes: 16, tag: 7 }],
-            vec![Op::Exchange { partner: 0, send_bytes: 16, recv_bytes: 8, tag: 7 }],
+        let mut ok = job(vec![
+            vec![Op::Exchange {
+                partner: 1,
+                send_bytes: 8,
+                recv_bytes: 16,
+                tag: 7,
+            }],
+            vec![Op::Exchange {
+                partner: 0,
+                send_bytes: 16,
+                recv_bytes: 8,
+                tag: 7,
+            }],
         ]);
         assert!(ok.validate().is_ok());
-        let bad = job(vec![
-            vec![Op::Exchange { partner: 1, send_bytes: 8, recv_bytes: 8, tag: 7 }],
+        let mut bad = job(vec![
+            vec![Op::Exchange {
+                partner: 1,
+                send_bytes: 8,
+                recv_bytes: 8,
+                tag: 7,
+            }],
             vec![],
         ]);
         assert!(bad.validate().is_err());
@@ -425,12 +722,12 @@ mod tests {
 
     #[test]
     fn validate_requires_identical_collective_sequences() {
-        let ok = job(vec![
+        let mut ok = job(vec![
             vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
             vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
         ]);
         assert!(ok.validate().is_ok());
-        let bad = job(vec![
+        let mut bad = job(vec![
             vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
             vec![Op::Coll(CollOp::Barrier)],
         ]);
@@ -439,18 +736,119 @@ mod tests {
 
     #[test]
     fn validate_requires_balanced_sections() {
-        let bad = job(vec![vec![Op::SectionEnter(0)]]);
+        let mut bad = job(vec![vec![Op::SectionEnter(0)]]);
         assert!(bad.validate().is_err());
-        let bad2 = job(vec![vec![Op::SectionExit(0)]]);
+        let mut bad2 = job(vec![vec![Op::SectionExit(0)]]);
         assert!(bad2.validate().is_err());
-        let ok = job(vec![vec![Op::SectionEnter(0), Op::SectionExit(0)]]);
+        let mut ok = job(vec![vec![Op::SectionEnter(0), Op::SectionExit(0)]]);
         assert!(ok.validate().is_ok());
     }
 
     #[test]
     fn alltoall_bytes_per_rank_counts_peers() {
-        let c = CollOp::Alltoall { bytes_per_pair: 100 };
+        let c = CollOp::Alltoall {
+            bytes_per_pair: 100,
+        };
         assert_eq!(c.bytes_per_rank(5), 400);
         assert_eq!(CollOp::Barrier.bytes_per_rank(5), 0);
+    }
+
+    #[test]
+    fn group_members_iterate_without_allocating() {
+        let g = Group::Strided {
+            first: 2,
+            count: 3,
+            stride: 4,
+        };
+        assert_eq!(g.members(16).collect::<Vec<_>>(), vec![2, 6, 10]);
+        assert_eq!(Group::World.members(3).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn block_program_yields_blocks_in_order_and_rewinds() {
+        let mut p = BlockProgram::new(|k, buf: &mut Vec<Op>| {
+            if k >= 3 {
+                return false;
+            }
+            buf.push(Op::Compute {
+                flops: k as f64,
+                bytes: 0.0,
+            });
+            if k == 1 {
+                buf.push(Op::Coll(CollOp::Barrier));
+            }
+            true
+        });
+        let first: Vec<Op> = std::iter::from_fn(|| p.next_op()).collect();
+        assert_eq!(first.len(), 4);
+        assert_eq!(first[2], Op::Coll(CollOp::Barrier));
+        p.rewind();
+        let second: Vec<Op> = std::iter::from_fn(|| p.next_op()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn block_program_skips_empty_blocks() {
+        let mut p = BlockProgram::new(|k, buf: &mut Vec<Op>| {
+            if k >= 4 {
+                return false;
+            }
+            if k == 2 {
+                buf.push(Op::Coll(CollOp::Barrier));
+            }
+            true
+        });
+        let ops: Vec<Op> = std::iter::from_fn(|| p.next_op()).collect();
+        assert_eq!(ops, vec![Op::Coll(CollOp::Barrier)]);
+    }
+
+    #[test]
+    fn streamed_and_materialized_sources_agree() {
+        let make = || {
+            OpSource::streamed(BlockProgram::new(|k, buf: &mut Vec<Op>| {
+                if k >= 5 {
+                    return false;
+                }
+                buf.push(Op::Compute {
+                    flops: 1.0 + k as f64,
+                    bytes: 0.0,
+                });
+                true
+            }))
+        };
+        let mut streamed = make();
+        let ops = streamed.drain_to_vec();
+        let mut mat = OpSource::materialized(ops.clone());
+        streamed.rewind();
+        for expect in &ops {
+            assert_eq!(streamed.next_op().as_ref(), Some(expect));
+            assert_eq!(mat.next_op().as_ref(), Some(expect));
+        }
+        assert_eq!(streamed.next_op(), None);
+        assert_eq!(mat.next_op(), None);
+    }
+
+    #[test]
+    fn job_counts_ops_without_materializing() {
+        let sources = (0..4)
+            .map(|_| {
+                OpSource::streamed(BlockProgram::new(|k, buf: &mut Vec<Op>| {
+                    if k >= 10 {
+                        return false;
+                    }
+                    buf.push(Op::Compute {
+                        flops: 1.0,
+                        bytes: 0.0,
+                    });
+                    buf.push(Op::Coll(CollOp::Barrier));
+                    true
+                }))
+            })
+            .collect();
+        let mut job = JobSpec::from_sources("count", sources, vec![]);
+        assert!(job.is_fully_streamed());
+        assert_eq!(job.total_ops(), 4 * 10 * 2);
+        // Counting must not consume the job.
+        assert_eq!(job.total_ops(), 4 * 10 * 2);
     }
 }

@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn comm_pct_is_mean_over_ranks() {
-        let r = result(vec![totals(10.0, 8.0, 2.0, 0.0), totals(10.0, 4.0, 6.0, 0.0)]);
+        let r = result(vec![
+            totals(10.0, 8.0, 2.0, 0.0),
+            totals(10.0, 4.0, 6.0, 0.0),
+        ]);
         assert!((r.comm_pct() - 40.0).abs() < 1e-9);
     }
 
@@ -159,7 +162,10 @@ mod tests {
 
     #[test]
     fn io_max_takes_worst_rank() {
-        let r = result(vec![totals(10.0, 5.0, 0.0, 5.0), totals(10.0, 9.0, 0.0, 1.0)]);
+        let r = result(vec![
+            totals(10.0, 5.0, 0.0, 5.0),
+            totals(10.0, 9.0, 0.0, 1.0),
+        ]);
         assert!((r.io_secs_max() - 5.0).abs() < 1e-9);
     }
 }

@@ -133,7 +133,10 @@ mod tests {
     fn streaming_bandwidth_plateaus() {
         let f = FabricParams::ten_gige_virt();
         let bw_256k = streaming_bandwidth(&f, 256 * 1024) / 1e6;
-        assert!((500.0..620.0).contains(&bw_256k), "EC2 windowed {bw_256k} MB/s");
+        assert!(
+            (500.0..620.0).contains(&bw_256k),
+            "EC2 windowed {bw_256k} MB/s"
+        );
         let dcc = streaming_bandwidth(&FabricParams::gige_vswitch(), 256 * 1024) / 1e6;
         assert!((150.0..210.0).contains(&dcc), "DCC windowed {dcc} MB/s");
     }

@@ -22,63 +22,92 @@ pub use topology::{Route, Shape, Topology};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized invariant sweeps, driven by a seeded `DetRng` so they are
+    //! deterministic and dependency-free.
     use super::*;
-    use proptest::prelude::*;
+    use sim_des::DetRng;
 
-    fn any_fabric() -> impl Strategy<Value = FabricParams> {
-        prop_oneof![
-            Just(FabricParams::qdr_infiniband()),
-            Just(FabricParams::ten_gige_virt()),
-            Just(FabricParams::gige_vswitch()),
-            Just(FabricParams::shared_memory()),
+    fn fabrics() -> [FabricParams; 4] {
+        [
+            FabricParams::qdr_infiniband(),
+            FabricParams::ten_gige_virt(),
+            FabricParams::gige_vswitch(),
+            FabricParams::shared_memory(),
         ]
     }
 
-    proptest! {
-        /// One-way time is monotone non-decreasing in message size.
-        #[test]
-        fn one_way_monotone(f in any_fabric(), a in 1usize..1_000_000, b in 1usize..1_000_000) {
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(one_way_time(&f, lo) <= one_way_time(&f, hi) + 1e-15);
+    /// One-way time is monotone non-decreasing in message size.
+    #[test]
+    fn one_way_monotone() {
+        let mut rng = DetRng::new(0x4E70_0001, 0);
+        for f in fabrics() {
+            for _ in 0..64 {
+                let a = 1 + rng.index(999_999);
+                let b = 1 + rng.index(999_999);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                assert!(one_way_time(&f, lo) <= one_way_time(&f, hi) + 1e-15);
+            }
         }
+    }
 
-        /// One-way time is bounded below by pure wire latency + serialization.
-        #[test]
-        fn one_way_lower_bound(f in any_fabric(), bytes in 1usize..4_000_000) {
-            let t = one_way_time(&f, bytes);
-            prop_assert!(t >= f.latency + bytes as f64 / f.bandwidth);
+    /// One-way time is bounded below by pure wire latency + serialization.
+    #[test]
+    fn one_way_lower_bound() {
+        let mut rng = DetRng::new(0x4E70_0002, 0);
+        for f in fabrics() {
+            for _ in 0..64 {
+                let bytes = 1 + rng.index(3_999_999);
+                let t = one_way_time(&f, bytes);
+                assert!(t >= f.latency + bytes as f64 / f.bandwidth);
+            }
         }
+    }
 
-        /// Streaming bandwidth never exceeds wire bandwidth.
-        #[test]
-        fn streaming_bw_bounded(f in any_fabric(), bytes in 1usize..4_000_000) {
-            prop_assert!(streaming_bandwidth(&f, bytes) <= f.bandwidth + 1.0);
+    /// Streaming bandwidth never exceeds wire bandwidth.
+    #[test]
+    fn streaming_bw_bounded() {
+        let mut rng = DetRng::new(0x4E70_0003, 0);
+        for f in fabrics() {
+            for _ in 0..64 {
+                let bytes = 1 + rng.index(3_999_999);
+                assert!(streaming_bandwidth(&f, bytes) <= f.bandwidth + 1.0);
+            }
         }
+    }
 
-        /// Serial resource timestamps are consistent: start >= request time,
-        /// end = start + service, and grants never overlap.
-        #[test]
-        fn serial_resource_no_overlap(reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..50)) {
+    /// Serial resource timestamps are consistent: start >= request time,
+    /// end = start + service, and grants never overlap.
+    #[test]
+    fn serial_resource_no_overlap() {
+        for case in 0..32u64 {
+            let mut rng = DetRng::new(0x4E70_0004, case);
+            let n = 1 + rng.index(49);
+            let mut reqs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.index(10_000) as u64, 1 + rng.index(99) as u64))
+                .collect();
+            reqs.sort();
             let mut r = SerialResource::new();
-            let mut sorted = reqs.clone();
-            sorted.sort();
             let mut last_end = sim_des::SimTime::ZERO;
-            for (t, d) in sorted {
+            for (t, d) in reqs {
                 let (s, e) = r.acquire(sim_des::SimTime(t), sim_des::SimDur(d));
-                prop_assert!(s >= sim_des::SimTime(t));
-                prop_assert!(s >= last_end);
-                prop_assert_eq!(e, s + sim_des::SimDur(d));
+                assert!(s >= sim_des::SimTime(t));
+                assert!(s >= last_end);
+                assert_eq!(e, s + sim_des::SimDur(d));
                 last_end = e;
             }
         }
+    }
 
-        /// Fair-share transfer time is monotone in client count.
-        #[test]
-        fn fair_share_monotone(clients in 1usize..64, servers in 1usize..16) {
+    /// Fair-share transfer time is monotone in client count.
+    #[test]
+    fn fair_share_monotone() {
+        for servers in 1usize..16 {
             let fsr = FairShareResource::new(1e9, servers);
-            let t1 = fsr.transfer_time(1_000_000, clients);
-            let t2 = fsr.transfer_time(1_000_000, clients + 1);
-            prop_assert!(t2 >= t1 - 1e-12);
+            for clients in 1usize..64 {
+                let t1 = fsr.transfer_time(1_000_000, clients);
+                let t2 = fsr.transfer_time(1_000_000, clients + 1);
+                assert!(t2 >= t1 - 1e-12);
+            }
         }
     }
 }

@@ -129,7 +129,10 @@ mod tests {
         let t4 = lustre.transfer_time(1_000_000_000, 4);
         let t8 = lustre.transfer_time(1_000_000_000, 8);
         let t16 = lustre.transfer_time(1_000_000_000, 16);
-        assert!((t4 - 1.0).abs() < 1e-9, "below stripe count: full per-server rate");
+        assert!(
+            (t4 - 1.0).abs() < 1e-9,
+            "below stripe count: full per-server rate"
+        );
         assert!((t8 - 1.0).abs() < 1e-9);
         assert!((t16 - 2.0).abs() < 1e-9, "beyond stripe count: fair share");
     }

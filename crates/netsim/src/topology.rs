@@ -16,7 +16,10 @@ pub enum Shape {
     /// Classic fat tree with `radix` ports per leaf switch; traffic between
     /// nodes under different leaves pays `extra_hop_latency` twice (up and
     /// down through the spine).
-    FatTree { radix: usize, extra_hop_latency: f64 },
+    FatTree {
+        radix: usize,
+        extra_hop_latency: f64,
+    },
 }
 
 /// The interconnect of a cluster: an inter-node fabric with a shape, plus an
@@ -50,7 +53,12 @@ impl Topology {
     }
 
     /// Fat-tree topology (Vayu: four DS648 spine switches, QDR leaves).
-    pub fn fat_tree(inter: FabricParams, intra: FabricParams, radix: usize, extra_hop_latency: f64) -> Self {
+    pub fn fat_tree(
+        inter: FabricParams,
+        intra: FabricParams,
+        radix: usize,
+        extra_hop_latency: f64,
+    ) -> Self {
         Topology {
             inter,
             intra,

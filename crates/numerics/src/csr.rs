@@ -54,12 +54,12 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -137,22 +137,40 @@ impl Csr {
 /// Minimal RNG shim so `numerics` keeps a tiny dependency surface; this
 /// mirrors the few methods of `sim_des::DetRng` the kernels need.
 pub mod sim_des_shim {
-    use rand::rngs::SmallRng;
-    use rand::{Rng as _, SeedableRng};
-
-    /// Deterministic small RNG.
+    /// Deterministic small RNG (self-contained xoshiro256++, SplitMix64
+    /// seeded — no external crates).
     #[derive(Debug, Clone)]
-    pub struct Rng(SmallRng);
+    pub struct Rng([u64; 4]);
 
     impl Rng {
         pub fn new(seed: u64) -> Self {
-            Rng(SmallRng::seed_from_u64(seed))
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Rng([next(), next(), next(), next()])
+        }
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.0;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
         }
         pub fn uniform(&mut self) -> f64 {
-            self.0.gen()
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
         }
         pub fn index(&mut self, n: usize) -> usize {
-            self.0.gen_range(0..n)
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
         }
     }
 }

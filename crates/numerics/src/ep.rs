@@ -102,7 +102,10 @@ mod tests {
         let r = ep_serial(16);
         let rate = r.accepted as f64 / (1u64 << 16) as f64;
         // pi/4 ~ 0.785, minus the tail clipped past |g| >= 10 (negligible).
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate {rate}"
+        );
     }
 
     #[test]

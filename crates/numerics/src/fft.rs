@@ -130,9 +130,7 @@ mod tests {
     #[test]
     fn parseval_energy_conserved() {
         let n = 128;
-        let mut d: Vec<C64> = (0..n)
-            .map(|i| C64::new((i as f64).cos(), 0.0))
-            .collect();
+        let mut d: Vec<C64> = (0..n).map(|i| C64::new((i as f64).cos(), 0.0)).collect();
         let time_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum();
         fft(&mut d, false);
         let freq_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;

@@ -41,8 +41,7 @@ pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
     let mut rng = crate::npb_rng::NpbRng::new(seed | 1);
     (0..n)
         .map(|_| {
-            let s =
-                rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+            let s = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
             ((s / 4.0) * max_key as f64) as u32
         })
         .collect()

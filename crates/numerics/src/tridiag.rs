@@ -245,7 +245,9 @@ mod tests {
         let b = vec![6.0; n];
         let c = vec![-1.5; n];
         let f = vec![0.5; n];
-        let xs: Vec<f64> = (0..n).map(|i| ((i * 29) % 11) as f64 / 11.0 - 0.5).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 29) % 11) as f64 / 11.0 - 0.5)
+            .collect();
         // d = P x.
         let mut d = vec![0.0; n];
         for i in 0..n {

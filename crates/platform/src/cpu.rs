@@ -143,7 +143,10 @@ mod tests {
         let cpu = CpuSpec::xeon_e5520();
         let one = cpu.mem_rate(1);
         let four = cpu.mem_rate(4);
-        assert!(one < cpu.mem_bw_per_socket, "one rank can't saturate a socket");
+        assert!(
+            one < cpu.mem_bw_per_socket,
+            "one rank can't saturate a socket"
+        );
         assert!((four - cpu.mem_bw_per_socket / 4.0).abs() < 1.0);
         assert!(one > four);
         // Zero clamps to one.

@@ -110,7 +110,11 @@ mod tests {
 
     #[test]
     fn write_path_slower_than_read() {
-        for fs in [FsModel::nfs_dcc(), FsModel::nfs_ec2(), FsModel::lustre_vayu()] {
+        for fs in [
+            FsModel::nfs_dcc(),
+            FsModel::nfs_ec2(),
+            FsModel::lustre_vayu(),
+        ] {
             assert!(fs.write_time(1 << 28, 1) >= fs.read_time(1 << 28, 1));
         }
     }

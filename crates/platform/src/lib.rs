@@ -24,67 +24,83 @@ pub use placement::{Placement, PlacementError, Slot, Strategy};
 
 #[cfg(test)]
 mod proptests {
+    //! Exhaustive small-space sweeps over the three platform presets —
+    //! deterministic and dependency-free.
     use super::*;
-    use proptest::prelude::*;
-    // Disambiguate from proptest's `Strategy` trait pulled in by the prelude.
     use crate::placement::Strategy as Place;
-    use proptest::strategy::Strategy;
 
-    fn any_cluster() -> impl Strategy<Value = ClusterSpec> {
-        prop_oneof![
-            Just(presets::dcc()),
-            Just(presets::ec2()),
-            Just(presets::vayu()),
-        ]
+    fn clusters() -> [ClusterSpec; 3] {
+        [presets::dcc(), presets::ec2(), presets::vayu()]
     }
 
-    proptest! {
-        /// Block placement accounts for every rank exactly once and never
-        /// exceeds per-node core counts.
-        #[test]
-        fn block_placement_well_formed(c in any_cluster(), np in 1usize..64) {
-            prop_assume!(np <= c.total_logical_cores());
-            let p = c.place(np, Place::Block).unwrap();
-            prop_assert_eq!(p.np(), np);
-            prop_assert_eq!(p.ranks_per_node.iter().sum::<usize>(), np);
-            let lc = c.node.logical_cores();
-            prop_assert!(p.ranks_per_node.iter().all(|r| *r <= lc));
-        }
-
-        /// Spread placement balances within one rank.
-        #[test]
-        fn spread_is_balanced(np in 1usize..64) {
-            let c = presets::ec2();
-            prop_assume!(np.div_ceil(4) <= c.node.logical_cores());
-            let p = c.place(np, Place::Spread { nodes: 4 }).unwrap();
-            let used: Vec<usize> = p.ranks_per_node.iter().copied().filter(|x| *x > 0).collect();
-            let max = used.iter().max().unwrap();
-            let min = used.iter().min().unwrap();
-            prop_assert!(max - min <= 1);
-        }
-
-        /// Effective rates are positive and bounded by the hardware roofs.
-        #[test]
-        fn rates_bounded(c in any_cluster(), np in 1usize..64) {
-            prop_assume!(np <= c.total_logical_cores());
-            let p = c.place(np, Place::Block).unwrap();
-            for r in c.rank_rates(&p) {
-                prop_assert!(r.flops_rate > 0.0);
-                prop_assert!(r.flops_rate <= c.node.cpu.core_flops_rate() + 1.0);
-                prop_assert!(r.mem_rate > 0.0);
-                prop_assert!(r.mem_rate <= c.node.cpu.mem_bw_per_socket + 1.0);
+    /// Block placement accounts for every rank exactly once and never
+    /// exceeds per-node core counts.
+    #[test]
+    fn block_placement_well_formed() {
+        for c in clusters() {
+            for np in 1usize..64 {
+                if np > c.total_logical_cores() {
+                    continue;
+                }
+                let p = c.place(np, Place::Block).unwrap();
+                assert_eq!(p.np(), np);
+                assert_eq!(p.ranks_per_node.iter().sum::<usize>(), np);
+                let lc = c.node.logical_cores();
+                assert!(p.ranks_per_node.iter().all(|r| *r <= lc));
             }
         }
+    }
 
-        /// Adding ranks to a node never increases any rank's memory rate.
-        #[test]
-        fn mem_rate_monotone_in_occupancy(np in 2usize..8) {
-            let c = presets::vayu();
+    /// Spread placement balances within one rank.
+    #[test]
+    fn spread_is_balanced() {
+        let c = presets::ec2();
+        for np in 1usize..64 {
+            if np.div_ceil(4) > c.node.logical_cores() {
+                continue;
+            }
+            let p = c.place(np, Place::Spread { nodes: 4 }).unwrap();
+            let used: Vec<usize> = p
+                .ranks_per_node
+                .iter()
+                .copied()
+                .filter(|x| *x > 0)
+                .collect();
+            let max = used.iter().max().unwrap();
+            let min = used.iter().min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    /// Effective rates are positive and bounded by the hardware roofs.
+    #[test]
+    fn rates_bounded() {
+        for c in clusters() {
+            for np in 1usize..64 {
+                if np > c.total_logical_cores() {
+                    continue;
+                }
+                let p = c.place(np, Place::Block).unwrap();
+                for r in c.rank_rates(&p) {
+                    assert!(r.flops_rate > 0.0);
+                    assert!(r.flops_rate <= c.node.cpu.core_flops_rate() + 1.0);
+                    assert!(r.mem_rate > 0.0);
+                    assert!(r.mem_rate <= c.node.cpu.mem_bw_per_socket + 1.0);
+                }
+            }
+        }
+    }
+
+    /// Adding ranks to a node never increases any rank's memory rate.
+    #[test]
+    fn mem_rate_monotone_in_occupancy() {
+        let c = presets::vayu();
+        for np in 2usize..8 {
             let p_small = c.place(np - 1, Place::Block).unwrap();
             let p_big = c.place(np, Place::Block).unwrap();
             let r_small = c.rank_rates(&p_small)[0].mem_rate;
             let r_big = c.rank_rates(&p_big)[0].mem_rate;
-            prop_assert!(r_big <= r_small + 1.0);
+            assert!(r_big <= r_small + 1.0);
         }
     }
 }

@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn hypervisor_overhead_applies_to_flops() {
-        let bare = NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0);
+        let bare = NodeSpec::new(
+            CpuSpec::xeon_x5570(false),
+            HypervisorModel::bare_metal(),
+            24.0,
+        );
         let xen = NodeSpec::new(CpuSpec::xeon_x5570(true), HypervisorModel::xen(), 20.0);
         assert!(bare.flops_rate(1) > xen.flops_rate(1));
     }
@@ -60,7 +64,11 @@ mod tests {
     #[test]
     fn masked_numa_reduces_mem_rate_only_when_spanning() {
         let dcc = NodeSpec::new(CpuSpec::xeon_e5520(), HypervisorModel::vmware_esx(), 40.0);
-        let vayu = NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0);
+        let vayu = NodeSpec::new(
+            CpuSpec::xeon_x5570(false),
+            HypervisorModel::bare_metal(),
+            24.0,
+        );
         // Within one socket both are full rate.
         assert_eq!(
             dcc.mem_rate(2, false),

@@ -47,7 +47,10 @@ pub enum PlacementError {
     /// More ranks than schedulable cores in the whole cluster.
     NotEnoughCores { need: usize, have: usize },
     /// A rank's memory demand exceeds a whole node's memory.
-    RankTooLarge { per_rank_bytes: u64, node_bytes: u64 },
+    RankTooLarge {
+        per_rank_bytes: u64,
+        node_bytes: u64,
+    },
     /// Spread over more nodes than the cluster has.
     NotEnoughNodes { need: usize, have: usize },
 }
@@ -66,7 +69,10 @@ impl std::fmt::Display for PlacementError {
                 "a single rank needs {per_rank_bytes} B but a node has only {node_bytes} B"
             ),
             PlacementError::NotEnoughNodes { need, have } => {
-                write!(f, "spread over {need} nodes requested but cluster has {have}")
+                write!(
+                    f,
+                    "spread over {need} nodes requested but cluster has {have}"
+                )
             }
         }
     }
@@ -135,11 +141,10 @@ impl Placement {
                         node_bytes: node.mem_bytes,
                     });
                 }
-                let per_node_by_mem = if per_rank_bytes == 0 {
-                    lc
-                } else {
-                    ((node.mem_bytes / per_rank_bytes) as usize).max(1)
-                };
+                let per_node_by_mem = node
+                    .mem_bytes
+                    .checked_div(per_rank_bytes)
+                    .map_or(lc, |q| (q as usize).max(1));
                 let per_node = per_node_by_mem.min(lc);
                 let need_nodes = np.div_ceil(per_node);
                 if need_nodes > nodes {
@@ -204,7 +209,12 @@ impl Placement {
     }
 
     /// How many ranks live on rank `r`'s socket.
-    pub fn socket_occupancy(&self, r: usize, physical_cores: usize, cores_per_socket: usize) -> usize {
+    pub fn socket_occupancy(
+        &self,
+        r: usize,
+        physical_cores: usize,
+        cores_per_socket: usize,
+    ) -> usize {
         let me = self.slots[r];
         let my_socket = Self::physical_core(me, physical_cores) / cores_per_socket;
         self.slots
@@ -242,7 +252,11 @@ mod tests {
         NodeSpec::new(CpuSpec::xeon_x5570(true), HypervisorModel::xen(), 20.0)
     }
     fn vayu_node() -> NodeSpec {
-        NodeSpec::new(CpuSpec::xeon_x5570(false), HypervisorModel::bare_metal(), 24.0)
+        NodeSpec::new(
+            CpuSpec::xeon_x5570(false),
+            HypervisorModel::bare_metal(),
+            24.0,
+        )
     }
 
     #[test]
@@ -251,7 +265,13 @@ mod tests {
         assert_eq!(p.nodes_used(), 2);
         assert_eq!(p.ranks_per_node[0], 8);
         assert_eq!(p.ranks_per_node[1], 4);
-        assert_eq!(p.slots[8], Slot { node: 1, logical_core: 0 });
+        assert_eq!(
+            p.slots[8],
+            Slot {
+                node: 1,
+                logical_core: 0
+            }
+        );
     }
 
     #[test]
@@ -305,7 +325,9 @@ mod tests {
             &node,
             4,
             8,
-            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(8) },
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: per_rank(8),
+            },
         )
         .unwrap();
         assert_eq!(p8.nodes_used(), 2, "8 ranks cannot fit one node");
@@ -313,7 +335,9 @@ mod tests {
             &node,
             4,
             16,
-            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(16) },
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: per_rank(16),
+            },
         )
         .unwrap();
         assert_eq!(p16.nodes_used(), 2);
@@ -321,7 +345,9 @@ mod tests {
             &node,
             4,
             24,
-            Strategy::BlockMemoryAware { per_rank_bytes: per_rank(24) },
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: per_rank(24),
+            },
         )
         .unwrap();
         assert_eq!(p24.nodes_used(), 3, "24 ranks need three nodes");

@@ -13,17 +13,19 @@ use workloads::{
 };
 
 fn elapsed(w: &dyn Workload, c: &ClusterSpec, np: usize, strategy: Strategy) -> f64 {
-    let job = w.build(np);
+    let mut job = w.build(np);
     let cfg = SimConfig {
         strategy,
         ..Default::default()
     };
-    run_job(&job, c, &cfg, &mut NullSink).unwrap().elapsed_secs()
+    run_job(&mut job, c, &cfg, &mut NullSink)
+        .unwrap()
+        .elapsed_secs()
 }
 
 fn comm_pct(w: &dyn Workload, c: &ClusterSpec, np: usize) -> f64 {
-    let job = w.build(np);
-    run_job(&job, c, &SimConfig::default(), &mut NullSink)
+    let mut job = w.build(np);
+    run_job(&mut job, c, &SimConfig::default(), &mut NullSink)
         .unwrap()
         .comm_pct()
 }
@@ -44,7 +46,11 @@ fn main() {
     for bytes in [4096usize, 64 * 1024, 256 * 1024, 1 << 22] {
         print!("{:>9}B", bytes);
         for c in &platforms {
-            print!("  {:>10.0} ({})", run_bandwidth(c, bytes, 1).unwrap(), c.name);
+            print!(
+                "  {:>10.0} ({})",
+                run_bandwidth(c, bytes, 1).unwrap(),
+                c.name
+            );
         }
         println!();
     }
@@ -100,7 +106,7 @@ fn main() {
     println!("\n== MetUM — paper Fig 6 t8: vayu 963, dcc 1486, ec2 812, ec2-4 646");
     let m = MetUm::default();
     for np in [8usize, 16, 32, 64] {
-        let job = m.build(np);
+        let mut job = m.build(np);
         let mem = m.memory_per_rank_bytes(np);
         let mut row = format!("np={np:>2}");
         for (c, strat) in [
@@ -118,7 +124,7 @@ fn main() {
                 strategy: strat,
                 ..Default::default()
             };
-            match profile_run(&job, c, &cfg) {
+            match profile_run(&mut job, c, &cfg) {
                 Ok((_, rep)) => {
                     row += &format!("  {:>7.0}", warmed_secs(&rep));
                 }
@@ -132,9 +138,9 @@ fn main() {
 
     println!("\n== Table III @32: time/rcomp/rcomm/%comm/%imbal/IO");
     println!("paper: vayu 303/1.0/1.0/13/13/4.5  dcc 624/1.37/6.71/42/4/37.8  ec2 770/2.39/3.53/18/18/9.1  ec2-4 380/1.17/1.0/18/19/7.6");
-    let job32 = m.build(32);
+    let mut job32 = m.build(32);
     let mem32 = m.memory_per_rank_bytes(32);
-    let (vres, vrep) = profile_run(&job32, &platforms[2], &SimConfig::default()).unwrap();
+    let (vres, vrep) = profile_run(&mut job32, &platforms[2], &SimConfig::default()).unwrap();
     let vwall = warmed_secs(&vrep);
     let vcomp = vres.comp_total_secs();
     let vcomm = vres.comm_total_secs();
@@ -154,7 +160,7 @@ fn main() {
             strategy: strat,
             ..Default::default()
         };
-        let (res, rep) = profile_run(&job32, c, &cfg).unwrap();
+        let (res, rep) = profile_run(&mut job32, c, &cfg).unwrap();
         println!(
             "sim {:<6} t={:>5.0} rcomp={:>4.2} rcomm={:>5.2} %comm={:>4.1} %imbal={:>4.1} io={:>5.1}  (nodes={})",
             name,
@@ -172,8 +178,8 @@ fn main() {
     let ch = Chaste::default();
     for (name, c) in [("vayu", &platforms[2]), ("dcc", &platforms[0])] {
         for np in [8usize, 16, 32, 64] {
-            let job = ch.build(np);
-            let (res, rep) = profile_run(&job, c, &SimConfig::default()).unwrap();
+            let mut job = ch.build(np);
+            let (res, rep) = profile_run(&mut job, c, &SimConfig::default()).unwrap();
             let ksp = rep.section("KSp").unwrap().wall.mean;
             println!(
                 "sim {name} np={np:>2}  total {:>6.0}  KSp {:>6.0}  %comm {:>4.1}",

@@ -11,7 +11,7 @@ use crate::calib;
 use crate::util::ring_exchange;
 use crate::Workload;
 use sim_des::splitmix64;
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Section ids.
 pub const SEC_INPUT: u16 = 0;
@@ -97,79 +97,85 @@ impl Workload for Chaste {
         let surface = ((MESH_NODES as f64 / np as f64).powf(2.0 / 3.0) * 24.0) as usize;
         let halo_bytes = surface.max(64);
 
-        let programs = (0..np)
+        // Block 0 is mesh input, blocks 1..=timesteps are the timesteps, and
+        // block timesteps+1 is the gathered output.
+        let wl = *self;
+        let sources = (0..np)
             .map(|r| {
-                let w = self.imbalance(r);
-                let mut ops = Vec::new();
-
-                // --- Mesh input ---
-                ops.push(Op::SectionEnter(SEC_INPUT));
-                if r == 0 {
-                    ops.push(Op::FileRead { bytes: MESH_BYTES });
-                }
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Scatter {
-                        root: 0,
-                        bytes_per_rank: (MESH_BYTES / np as u64) as usize,
-                    }));
-                }
-                // Non-scaling parse + scaling partition build.
-                ops.push(Op::Compute {
-                    flops: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).0,
-                    bytes: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).1,
-                });
-                ops.push(self.compute(INPUT_SCALABLE_8X_SECS, 0.5, np, w));
-                ops.push(Op::SectionExit(SEC_INPUT));
-
+                let w = wl.imbalance(r);
                 let next = ((r + 1) % np) as u32;
                 let prev = ((r + np - 1) % np) as u32;
-
-                for _ in 0..self.timesteps {
-                    // --- Assembly + cell-model ODEs ---
-                    ops.push(Op::SectionEnter(SEC_ASSEMBLY));
-                    ops.push(self.compute(ASSEMBLY_STEP_VAYU_CORE_SECS, MU_ASSEMBLY, np, w));
-                    if np > 1 {
-                        ring_exchange(&mut ops, r, r as u32, next, prev, halo_bytes, 1);
-                    }
-                    ops.push(Op::SectionExit(SEC_ASSEMBLY));
-
-                    // --- KSp linear solve ---
-                    ops.push(Op::SectionEnter(SEC_KSP));
-                    let per_iter = KSP_STEP_VAYU_CORE_SECS / self.cg_iters as f64;
-                    for _ in 0..self.cg_iters {
-                        ops.push(self.compute(per_iter, MU_KSP, np, w));
-                        if np > 1 {
-                            ring_exchange(&mut ops, r, r as u32, next, prev, halo_bytes, 2);
+                OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                    if k == 0 {
+                        // --- Mesh input ---
+                        ops.push(Op::SectionEnter(SEC_INPUT));
+                        if r == 0 {
+                            ops.push(Op::FileRead { bytes: MESH_BYTES });
                         }
                         if np > 1 {
-                            // The paper's signature: 4-byte allreduces.
-                            ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
-                            ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
+                            ops.push(Op::Coll(CollOp::Scatter {
+                                root: 0,
+                                bytes_per_rank: (MESH_BYTES / np as u64) as usize,
+                            }));
                         }
-                    }
-                    ops.push(Op::SectionExit(SEC_KSP));
-                }
+                        // Non-scaling parse + scaling partition build.
+                        ops.push(Op::Compute {
+                            flops: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).0,
+                            bytes: calib::vayu_seconds_to_work(INPUT_SERIAL_SECS, 0.3).1,
+                        });
+                        ops.push(wl.compute(INPUT_SCALABLE_8X_SECS, 0.5, np, w));
+                        ops.push(Op::SectionExit(SEC_INPUT));
+                    } else if k <= wl.timesteps {
+                        // --- Assembly + cell-model ODEs ---
+                        ops.push(Op::SectionEnter(SEC_ASSEMBLY));
+                        ops.push(wl.compute(ASSEMBLY_STEP_VAYU_CORE_SECS, MU_ASSEMBLY, np, w));
+                        if np > 1 {
+                            ring_exchange(ops, r, r as u32, next, prev, halo_bytes, 1);
+                        }
+                        ops.push(Op::SectionExit(SEC_ASSEMBLY));
 
-                // --- Output ---
-                ops.push(Op::SectionEnter(SEC_OUTPUT));
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Gather {
-                        root: 0,
-                        bytes_per_rank: (OUTPUT_BYTES / np as u64) as usize,
-                    }));
-                }
-                if r == 0 {
-                    ops.push(Op::FileWrite { bytes: OUTPUT_BYTES });
-                }
-                ops.push(Op::SectionExit(SEC_OUTPUT));
-                ops
+                        // --- KSp linear solve ---
+                        ops.push(Op::SectionEnter(SEC_KSP));
+                        let per_iter = KSP_STEP_VAYU_CORE_SECS / wl.cg_iters as f64;
+                        for _ in 0..wl.cg_iters {
+                            ops.push(wl.compute(per_iter, MU_KSP, np, w));
+                            if np > 1 {
+                                ring_exchange(ops, r, r as u32, next, prev, halo_bytes, 2);
+                            }
+                            if np > 1 {
+                                // The paper's signature: 4-byte allreduces.
+                                ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
+                                ops.push(Op::Coll(CollOp::Allreduce { bytes: 4 }));
+                            }
+                        }
+                        ops.push(Op::SectionExit(SEC_KSP));
+                    } else if k == wl.timesteps + 1 {
+                        // --- Output ---
+                        ops.push(Op::SectionEnter(SEC_OUTPUT));
+                        if np > 1 {
+                            ops.push(Op::Coll(CollOp::Gather {
+                                root: 0,
+                                bytes_per_rank: (OUTPUT_BYTES / np as u64) as usize,
+                            }));
+                        }
+                        if r == 0 {
+                            ops.push(Op::FileWrite {
+                                bytes: OUTPUT_BYTES,
+                            });
+                        }
+                        ops.push(Op::SectionExit(SEC_OUTPUT));
+                    } else {
+                        return false;
+                    }
+                    true
+                }))
             })
             .collect();
-        JobSpec {
-            name: self.name(),
-            programs,
-            section_names: vec!["input_mesh", "assembly", "KSp", "output"],
-        }
+        JobSpec::from_sources(
+            self.name(),
+            sources,
+            vec!["input_mesh", "assembly", "KSp", "output"],
+        )
     }
 }
 
@@ -180,9 +186,12 @@ mod tests {
     use sim_mpi::SimConfig;
     use sim_platform::presets;
 
-    fn run(cluster: &sim_platform::ClusterSpec, np: usize) -> (sim_mpi::SimResult, sim_ipm::IpmReport) {
-        let job = Chaste::default().build(np);
-        profile_run(&job, cluster, &SimConfig::default()).unwrap()
+    fn run(
+        cluster: &sim_platform::ClusterSpec,
+        np: usize,
+    ) -> (sim_mpi::SimResult, sim_ipm::IpmReport) {
+        let mut job = Chaste::default().build(np);
+        profile_run(&mut job, cluster, &SimConfig::default()).unwrap()
     }
 
     #[test]
@@ -197,8 +206,14 @@ mod tests {
         let (_, rep) = run(&presets::vayu(), 8);
         let ksp = rep.section("KSp").unwrap().wall.mean;
         let total = rep.elapsed;
-        assert!((520.0..660.0).contains(&ksp), "Vayu KSp t8 = {ksp} (paper 579)");
-        assert!((900.0..1150.0).contains(&total), "Vayu total t8 = {total} (paper 1017)");
+        assert!(
+            (520.0..660.0).contains(&ksp),
+            "Vayu KSp t8 = {ksp} (paper 579)"
+        );
+        assert!(
+            (900.0..1150.0).contains(&total),
+            "Vayu total t8 = {total} (paper 1017)"
+        );
     }
 
     #[test]
@@ -206,7 +221,10 @@ mod tests {
         let (_, v8) = run(&presets::vayu(), 8);
         let (_, d8) = run(&presets::dcc(), 8);
         let ratio = d8.elapsed / v8.elapsed;
-        assert!((1.3..2.0).contains(&ratio), "DCC/Vayu t8 ratio {ratio} (paper ~1.57)");
+        assert!(
+            (1.3..2.0).contains(&ratio),
+            "DCC/Vayu t8 ratio {ratio} (paper ~1.57)"
+        );
         // KSp section drives the total on both platforms.
         for rep in [&v8, &d8] {
             let ksp = rep.section("KSp").unwrap().wall.mean;
@@ -248,9 +266,14 @@ mod tests {
         let (_, v64) = run(&presets::vayu(), 64);
         let (_, d8) = run(&presets::dcc(), 8);
         let (_, d64) = run(&presets::dcc(), 64);
-        let v_speedup = v8.section("KSp").unwrap().wall.mean / v64.section("KSp").unwrap().wall.mean;
-        let d_speedup = d8.section("KSp").unwrap().wall.mean / d64.section("KSp").unwrap().wall.mean;
-        assert!(v_speedup > d_speedup + 0.5, "vayu {v_speedup} dcc {d_speedup}");
+        let v_speedup =
+            v8.section("KSp").unwrap().wall.mean / v64.section("KSp").unwrap().wall.mean;
+        let d_speedup =
+            d8.section("KSp").unwrap().wall.mean / d64.section("KSp").unwrap().wall.mean;
+        assert!(
+            v_speedup > d_speedup + 0.5,
+            "vayu {v_speedup} dcc {d_speedup}"
+        );
         assert!(v_speedup > 3.0, "vayu KSp speedup 8->64 {v_speedup}");
     }
 }

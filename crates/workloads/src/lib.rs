@@ -40,49 +40,52 @@ pub trait Workload {
 
 #[cfg(test)]
 mod proptests {
+    //! Exhaustive small-space sweeps — deterministic and dependency-free.
     use super::*;
-    use proptest::prelude::*;
 
-    fn pow2_np() -> impl Strategy<Value = usize> {
-        (0u32..7).prop_map(|k| 1usize << k)
+    const POW2_NPS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+    /// Every NPB kernel builds a structurally valid job at any legal
+    /// rank count (class S for speed).
+    #[test]
+    fn npb_jobs_always_validate() {
+        for kernel in Kernel::all() {
+            for mut np in POW2_NPS {
+                if matches!(kernel, Kernel::Bt | Kernel::Sp) {
+                    // Snap to the nearest perfect square.
+                    let q = (np as f64).sqrt().round().max(1.0) as usize;
+                    np = q * q;
+                }
+                let mut job = Npb::new(kernel, Class::S).build(np);
+                assert_eq!(job.np(), np);
+                let v = job.validate();
+                assert!(v.is_ok(), "{kernel:?} np={np}: {v:?}");
+            }
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        /// Every NPB kernel builds a structurally valid job at any legal
-        /// rank count (class S for speed).
-        #[test]
-        fn npb_jobs_always_validate(np in pow2_np(), kidx in 0usize..8) {
-            let kernel = Kernel::all()[kidx];
-            let np = if matches!(kernel, Kernel::Bt | Kernel::Sp) {
-                // Snap to the nearest perfect square.
-                let q = (np as f64).sqrt().round().max(1.0) as usize;
-                q * q
-            } else {
-                np
-            };
-            let job = Npb::new(kernel, Class::S).build(np);
-            prop_assert_eq!(job.np(), np);
-            prop_assert!(job.validate().is_ok(), "{:?}", job.validate());
-        }
-
-        /// Applications build valid jobs at any power-of-two rank count.
-        #[test]
-        fn apps_always_validate(np in pow2_np()) {
+    /// Applications build valid jobs at any power-of-two rank count.
+    #[test]
+    fn apps_always_validate() {
+        for np in POW2_NPS {
             let m = MetUm { timesteps: 2 };
-            prop_assert!(m.build(np).validate().is_ok());
-            let c = Chaste { timesteps: 2, cg_iters: 5 };
-            prop_assert!(c.build(np).validate().is_ok());
+            assert!(m.build(np).validate().is_ok());
+            let c = Chaste {
+                timesteps: 2,
+                cg_iters: 5,
+            };
+            assert!(c.build(np).validate().is_ok());
         }
+    }
 
-        /// Memory models decrease monotonically with np.
-        #[test]
-        fn memory_monotone(np in 1usize..63) {
+    /// Memory models decrease monotonically with np.
+    #[test]
+    fn memory_monotone() {
+        for np in 1usize..63 {
             let m = MetUm::default();
-            prop_assert!(m.memory_per_rank_bytes(np) >= m.memory_per_rank_bytes(np + 1));
+            assert!(m.memory_per_rank_bytes(np) >= m.memory_per_rank_bytes(np + 1));
             let c = Chaste::default();
-            prop_assert!(c.memory_per_rank_bytes(np) >= c.memory_per_rank_bytes(np + 1));
+            assert!(c.memory_per_rank_bytes(np) >= c.memory_per_rank_bytes(np + 1));
         }
     }
 }

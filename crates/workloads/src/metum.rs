@@ -19,7 +19,7 @@ use crate::calib;
 use crate::util::{grid_2d, ring_exchange};
 use crate::Workload;
 use sim_des::splitmix64;
-use sim_mpi::{CollOp, Group, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, Group, JobSpec, Op, OpSource};
 
 /// Grid dimensions (lon, lat, levels) of the N320L70 benchmark.
 pub const NLON: usize = 640;
@@ -125,11 +125,9 @@ impl Workload for MetUm {
     fn build(&self, np: usize) -> JobSpec {
         let (px, py) = grid_2d(np);
         // East-west halo: a latitude strip of the subdomain edge.
-        let ew_bytes =
-            (NLAT / py).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
+        let ew_bytes = (NLAT / py).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
         // North-south halo: a longitude strip.
-        let ns_bytes =
-            (NLON / px).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
+        let ns_bytes = (NLON / px).max(1) * NLEV * 8 * HALO_WIDTH * FIELDS_PER_HALO;
         // Solver halo: single field, width 1.
         let solver_ew = (NLAT / py).max(1) * NLEV * 8;
 
@@ -137,30 +135,36 @@ impl Workload for MetUm {
         // neighbours at stride 1 (on-node under block placement) and the
         // big latitude-halo neighbours at stride px — across nodes once the
         // job spans them, exactly the traffic pattern that hurts DCC.
-        let rank_of = |x: usize, y: usize| (y * px + x) as u32;
-        let programs = (0..np)
+        let rank_of = move |x: usize, y: usize| (y * px + x) as u32;
+        // Block 0 is startup I/O; blocks 1..=timesteps are the timesteps.
+        // Only one timestep per rank is ever resident.
+        let wl = *self;
+        let sources = (0..np)
             .map(|r| {
                 let (x, y) = (r % px, r / px);
-                let w = self.imbalance(r, px, py);
-                let mut ops = Vec::new();
-
-                // Startup: rank 0 reads the dump and scatters it.
-                ops.push(Op::SectionEnter(SEC_STARTUP));
-                if r == 0 {
-                    ops.push(Op::FileRead { bytes: DUMP_BYTES });
-                }
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Scatter {
-                        root: 0,
-                        bytes_per_rank: (DUMP_BYTES / np as u64) as usize,
-                    }));
-                }
-                // Grid/constants setup.
-                ops.push(self.compute(0.08, 0.3, np, 1.0));
-                ops.push(Op::SectionExit(SEC_STARTUP));
-
-
-                for step in 0..self.timesteps {
+                let w = wl.imbalance(r, px, py);
+                OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                    if k == 0 {
+                        // Startup: rank 0 reads the dump and scatters it.
+                        ops.push(Op::SectionEnter(SEC_STARTUP));
+                        if r == 0 {
+                            ops.push(Op::FileRead { bytes: DUMP_BYTES });
+                        }
+                        if np > 1 {
+                            ops.push(Op::Coll(CollOp::Scatter {
+                                root: 0,
+                                bytes_per_rank: (DUMP_BYTES / np as u64) as usize,
+                            }));
+                        }
+                        // Grid/constants setup.
+                        ops.push(wl.compute(0.08, 0.3, np, 1.0));
+                        ops.push(Op::SectionExit(SEC_STARTUP));
+                        return true;
+                    }
+                    if k > wl.timesteps {
+                        return false;
+                    }
+                    let step = k - 1;
                     let (enter, exit) = if step == 0 {
                         (SEC_FIRST_STEP, SEC_FIRST_STEP)
                     } else {
@@ -170,11 +174,11 @@ impl Workload for MetUm {
                     ops.push(Op::SectionEnter(enter));
                     let atm_chunk = ATM_FRAC / HALO_ROUNDS as f64;
                     for _ in 0..HALO_ROUNDS {
-                        ops.push(self.compute(atm_chunk, MU_ATM, np, w));
+                        ops.push(wl.compute(atm_chunk, MU_ATM, np, w));
                         // Longitude ring (periodic): parity-ordered.
                         if px > 1 {
                             ring_exchange(
-                                &mut ops,
+                                ops,
                                 x,
                                 r as u32,
                                 rank_of((x + 1) % px, y),
@@ -220,11 +224,15 @@ impl Workload for MetUm {
                     ops.push(Op::SectionExit(exit));
 
                     // Helmholtz solver: tiny allreduces dominate.
-                    let solver_sec = if step == 0 { SEC_FIRST_STEP } else { SEC_SOLVER };
+                    let solver_sec = if step == 0 {
+                        SEC_FIRST_STEP
+                    } else {
+                        SEC_SOLVER
+                    };
                     ops.push(Op::SectionEnter(solver_sec));
                     let solver_chunk = (1.0 - ATM_FRAC - 0.0) / SOLVER_ITERS as f64;
                     for it in 0..SOLVER_ITERS {
-                        ops.push(self.compute(solver_chunk, MU_SOLVER, np, w));
+                        ops.push(wl.compute(solver_chunk, MU_SOLVER, np, w));
                         if np > 1 {
                             ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
                             // Every few iterations the preconditioner swaps
@@ -250,22 +258,25 @@ impl Workload for MetUm {
                         }
                     }
                     ops.push(Op::SectionExit(solver_sec));
-                }
-                ops
+                    true
+                }))
             })
             .collect();
-        JobSpec {
-            name: self.name(),
-            programs,
-            section_names: vec!["startup_io", "first_step", "ATM_STEP", "SOLVER"],
-        }
+        JobSpec::from_sources(
+            self.name(),
+            sources,
+            vec!["startup_io", "first_step", "ATM_STEP", "SOLVER"],
+        )
     }
 }
 
 /// The warmed execution time Figure 6 plots: everything except startup I/O
 /// and the first (cache-cold) timestep.
 pub fn warmed_secs(report: &sim_ipm::IpmReport) -> f64 {
-    let atm = report.section("ATM_STEP").map(|s| s.wall.mean).unwrap_or(0.0);
+    let atm = report
+        .section("ATM_STEP")
+        .map(|s| s.wall.mean)
+        .unwrap_or(0.0);
     let solver = report.section("SOLVER").map(|s| s.wall.mean).unwrap_or(0.0);
     atm + solver
 }
@@ -283,12 +294,12 @@ mod tests {
         strategy: Strategy,
     ) -> (sim_mpi::SimResult, sim_ipm::IpmReport) {
         let w = MetUm::default();
-        let job = w.build(np);
+        let mut job = w.build(np);
         let cfg = SimConfig {
             strategy,
             ..Default::default()
         };
-        profile_run(&job, cluster, &cfg).unwrap()
+        profile_run(&mut job, cluster, &cfg).unwrap()
     }
 
     #[test]
@@ -341,8 +352,16 @@ mod tests {
         let rcomm = rd.comm_total_secs() / rv.comm_total_secs();
         assert!(rcomm > 2.5, "rcomm {rcomm} (paper 6.71)");
         assert!(rd.comm_pct() > rv.comm_pct() + 10.0);
-        assert!((3.5..6.5).contains(&rv.io_secs_max()), "vayu io {}", rv.io_secs_max());
-        assert!((30.0..45.0).contains(&rd.io_secs_max()), "dcc io {}", rd.io_secs_max());
+        assert!(
+            (3.5..6.5).contains(&rv.io_secs_max()),
+            "vayu io {}",
+            rv.io_secs_max()
+        );
+        assert!(
+            (30.0..45.0).contains(&rd.io_secs_max()),
+            "dcc io {}",
+            rd.io_secs_max()
+        );
     }
 
     #[test]
@@ -361,13 +380,19 @@ mod tests {
         assert_eq!(r2.placement.nodes_used(), 2);
         assert_eq!(r4.placement.nodes_used(), 4);
         let ratio = warmed_secs(&rep2) / warmed_secs(&rep4);
-        assert!((1.5..2.4).contains(&ratio), "EC2/EC2-4 ratio {ratio} (paper ~2)");
+        assert!(
+            (1.5..2.4).contains(&ratio),
+            "EC2/EC2-4 ratio {ratio} (paper ~2)"
+        );
     }
 
     #[test]
     fn polar_rows_create_imbalance() {
         let (_, rep) = run(&presets::vayu(), 32, Strategy::Block);
         let imbal = rep.global.imbalance_pct();
-        assert!((5.0..30.0).contains(&imbal), "imbalance {imbal}% (paper 13%)");
+        assert!(
+            (5.0..30.0).contains(&imbal),
+            "imbalance {imbal}% (paper 13%)"
+        );
     }
 }

@@ -10,7 +10,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::perfect_square;
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Grid edge and iterations: (n, niter).
 pub fn dims(kernel: Kernel, class: Class) -> (usize, usize) {
@@ -42,8 +42,8 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
     // Per-iteration split: 3 directional solves + rhs.
     let share = 1.0 / (niter as f64 * 4.0);
 
-    let coord = |r: usize| (r / q, r % q);
-    let rank_of = |i: usize, j: usize| (i * q + j) as u32;
+    let coord = move |r: usize| (r / q, r % q);
+    let rank_of = move |i: usize, j: usize| (i * q + j) as u32;
 
     // A ring shift: send the face to the next rank of the ring, receive
     // from the previous. Parity ordering (even positions send first) keeps
@@ -54,8 +54,16 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
             if next == me {
                 return;
             }
-            let send = Op::Send { to: next, bytes, tag };
-            let recv = Op::Recv { from: prev, bytes, tag };
+            let send = Op::Send {
+                to: next,
+                bytes,
+                tag,
+            };
+            let recv = Op::Recv {
+                from: prev,
+                bytes,
+                tag,
+            };
             if pos.is_multiple_of(2) {
                 ops.push(send);
                 ops.push(recv);
@@ -65,66 +73,67 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
             }
         };
 
-    let programs = (0..np)
+    // One block per ADI iteration, plus a final verification block.
+    let sources = (0..np)
         .map(|r| {
             let (i, j) = coord(r);
             let me = r as u32;
-            let mut ops = Vec::new();
-            for _ in 0..niter {
-                // RHS computation.
-                ops.push(compute_chunk(kernel, class, np, share));
-                if q > 1 {
-                    // X sweep: forward ring shift along the row.
-                    ring_shift(
-                        &mut ops,
-                        j,
-                        rank_of(i, (j + 1) % q),
-                        rank_of(i, (j + q - 1) % q),
-                        me,
-                        msg,
-                        1,
-                    );
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k < niter {
+                    // RHS computation.
                     ops.push(compute_chunk(kernel, class, np, share));
-                    // Y sweep: forward ring shift along the column.
-                    ring_shift(
-                        &mut ops,
-                        i,
-                        rank_of((i + 1) % q, j),
-                        rank_of((i + q - 1) % q, j),
-                        me,
-                        msg,
-                        2,
-                    );
-                    ops.push(compute_chunk(kernel, class, np, share));
-                    // Z sweep: diagonal ring shift (multi-partition).
-                    ring_shift(
-                        &mut ops,
-                        i,
-                        rank_of((i + 1) % q, (j + 1) % q),
-                        rank_of((i + q - 1) % q, (j + q - 1) % q),
-                        me,
-                        msg,
-                        3,
-                    );
-                    ops.push(compute_chunk(kernel, class, np, share));
-                } else {
-                    for _ in 0..3 {
+                    if q > 1 {
+                        // X sweep: forward ring shift along the row.
+                        ring_shift(
+                            ops,
+                            j,
+                            rank_of(i, (j + 1) % q),
+                            rank_of(i, (j + q - 1) % q),
+                            me,
+                            msg,
+                            1,
+                        );
                         ops.push(compute_chunk(kernel, class, np, share));
+                        // Y sweep: forward ring shift along the column.
+                        ring_shift(
+                            ops,
+                            i,
+                            rank_of((i + 1) % q, j),
+                            rank_of((i + q - 1) % q, j),
+                            me,
+                            msg,
+                            2,
+                        );
+                        ops.push(compute_chunk(kernel, class, np, share));
+                        // Z sweep: diagonal ring shift (multi-partition).
+                        ring_shift(
+                            ops,
+                            i,
+                            rank_of((i + 1) % q, (j + 1) % q),
+                            rank_of((i + q - 1) % q, (j + q - 1) % q),
+                            me,
+                            msg,
+                            3,
+                        );
+                        ops.push(compute_chunk(kernel, class, np, share));
+                    } else {
+                        for _ in 0..3 {
+                            ops.push(compute_chunk(kernel, class, np, share));
+                        }
                     }
+                } else if k == niter {
+                    // Verification norm.
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Allreduce { bytes: 40 }));
+                    }
+                } else {
+                    return false;
                 }
-            }
-            // Verification norm.
-            if np > 1 {
-                ops.push(Op::Coll(CollOp::Allreduce { bytes: 40 }));
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -151,7 +160,7 @@ mod tests {
     fn bt_vayu_speedup_nearly_linear() {
         let t = |np: usize| {
             run_job(
-                &build(Kernel::Bt, Class::B, np),
+                &mut build(Kernel::Bt, Class::B, np),
                 &presets::vayu(),
                 &SimConfig::default(),
                 &mut NullSink,

@@ -9,7 +9,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::{coord_of_2d, grid_2d, rank_of_2d};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Problem-size table: (na, nonzer, niter).
 pub fn dims(class: Class) -> (usize, usize, usize) {
@@ -34,11 +34,15 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     // transpose/reduce exchange moves that slab.
     let exch_bytes = (na / px).max(1) * 8;
 
-    let programs = (0..np)
+    // One block per outer iteration: 25 inner CG steps plus the norm. Only
+    // one outer iteration per rank is ever resident.
+    let sources = (0..np)
         .map(|r| {
             let (x, y) = coord_of_2d(r, py);
-            let mut ops = Vec::with_capacity(total_inner * 5 + niter);
-            for _ in 0..niter {
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k >= niter {
+                    return false;
+                }
                 for _ in 0..CGIT {
                     ops.push(compute_chunk(Kernel::Cg, class, np, share));
                     // Transpose exchange: swap with the mirrored coordinate.
@@ -89,15 +93,11 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                 if np > 1 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
                 }
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -107,8 +107,8 @@ mod tests {
     use sim_platform::presets;
 
     fn comm_pct(cluster: &sim_platform::ClusterSpec, class: Class, np: usize) -> f64 {
-        let job = build(class, np);
-        let r = run_job(&job, cluster, &SimConfig::default(), &mut NullSink).unwrap();
+        let mut job = build(class, np);
+        let r = run_job(&mut job, cluster, &SimConfig::default(), &mut NullSink).unwrap();
         r.comm_pct()
     }
 

@@ -7,31 +7,31 @@
 //! EC2's fluctuations coming purely from jitter.
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 pub fn build(class: Class, np: usize) -> JobSpec {
     // Split the single big compute into a handful of chunks so hypervisor
     // jitter gets several chances to fire per rank, like the real kernel's
-    // loop structure.
+    // loop structure. One block per chunk, plus a final reduction block.
     const CHUNKS: usize = 16;
-    let programs = (0..np)
+    let sources = (0..np)
         .map(|_| {
-            let mut ops = Vec::with_capacity(CHUNKS + 3);
-            for _ in 0..CHUNKS {
-                ops.push(compute_chunk(Kernel::Ep, class, np, 1.0 / CHUNKS as f64));
-            }
-            // sx+sy, the ten annulus counts, and the verification flag.
-            ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
-            ops.push(Op::Coll(CollOp::Allreduce { bytes: 80 }));
-            ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
-            ops
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k < CHUNKS {
+                    ops.push(compute_chunk(Kernel::Ep, class, np, 1.0 / CHUNKS as f64));
+                } else if k == CHUNKS {
+                    // sx+sy, the ten annulus counts, and the verification flag.
+                    ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
+                    ops.push(Op::Coll(CollOp::Allreduce { bytes: 80 }));
+                    ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+                } else {
+                    return false;
+                }
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -43,10 +43,15 @@ mod tests {
     #[test]
     fn ep_scales_nearly_linearly_on_vayu() {
         let t = |np: usize| {
-            let job = build(Class::A, np);
-            run_job(&job, &presets::vayu(), &SimConfig::default(), &mut NullSink)
-                .unwrap()
-                .elapsed_secs()
+            let mut job = build(Class::A, np);
+            run_job(
+                &mut job,
+                &presets::vayu(),
+                &SimConfig::default(),
+                &mut NullSink,
+            )
+            .unwrap()
+            .elapsed_secs()
         };
         let t1 = t(1);
         let t32 = t(32);
@@ -56,8 +61,14 @@ mod tests {
 
     #[test]
     fn ep_comm_fraction_negligible() {
-        let job = build(Class::A, 16);
-        let r = run_job(&job, &presets::dcc(), &SimConfig::default(), &mut NullSink).unwrap();
+        let mut job = build(Class::A, 16);
+        let r = run_job(
+            &mut job,
+            &presets::dcc(),
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap();
         assert!(r.comm_pct() < 2.0, "%comm {}", r.comm_pct());
     }
 }

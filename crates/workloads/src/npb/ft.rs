@@ -8,7 +8,7 @@
 //! MPI_AlltoAll message sizes decreasing).
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Grid dimensions and iteration count: (nx, ny, nz, niter).
 pub fn dims(class: Class) -> (usize, usize, usize, usize) {
@@ -29,38 +29,46 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     // One setup chunk plus two half-chunks per iteration, summing to 1.
     let share = 1.0 / (niter + 1) as f64;
 
-    let programs = (0..np)
+    // Block 0 is the setup transform; blocks 1..=niter are the timesteps.
+    let sources = (0..np)
         .map(|_| {
-            let mut ops = Vec::with_capacity(niter * 6 + 2);
-            // Initial data generation + first forward transform.
-            ops.push(compute_chunk(Kernel::Ft, class, np, share));
-            if np > 1 {
-                ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
-            }
-            for _ in 0..niter {
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k == 0 {
+                    // Initial data generation + first forward transform.
+                    ops.push(compute_chunk(Kernel::Ft, class, np, share));
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Alltoall {
+                            bytes_per_pair: per_pair,
+                        }));
+                    }
+                    return true;
+                }
+                if k > niter {
+                    return false;
+                }
                 // Evolve + inverse 3-D FFT: local pencils, transpose, local
                 // pencils again.
                 ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
                 if np > 1 {
-                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+                    ops.push(Op::Coll(CollOp::Alltoall {
+                        bytes_per_pair: per_pair,
+                    }));
                 }
                 ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
                 if np > 1 {
-                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+                    ops.push(Op::Coll(CollOp::Alltoall {
+                        bytes_per_pair: per_pair,
+                    }));
                 }
                 // Checksum reduction.
                 if np > 1 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
                 }
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -70,8 +78,8 @@ mod tests {
     use sim_platform::presets;
 
     fn elapsed(cluster: &sim_platform::ClusterSpec, np: usize) -> f64 {
-        let job = build(Class::B, np);
-        run_job(&job, cluster, &SimConfig::default(), &mut NullSink)
+        let mut job = build(Class::B, np);
+        run_job(&mut job, cluster, &SimConfig::default(), &mut NullSink)
             .unwrap()
             .elapsed_secs()
     }
@@ -100,8 +108,8 @@ mod tests {
     fn table2_ft_comm_ordering_at_64() {
         // Table II FT np=64: DCC 84.4, EC2 55.3, Vayu 20.8.
         let pct = |c: &sim_platform::ClusterSpec| {
-            let job = build(Class::B, 64);
-            run_job(&job, c, &SimConfig::default(), &mut NullSink)
+            let mut job = build(Class::B, 64);
+            run_job(&mut job, c, &SimConfig::default(), &mut NullSink)
                 .unwrap()
                 .comm_pct()
         };

@@ -7,7 +7,7 @@
 //! with DCC spending ~98% of walltime in MPI at 64 processes.
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Number of keys per class (2^x) and iterations.
 pub fn dims(class: Class) -> (u64, usize) {
@@ -36,33 +36,38 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let per_pair = (total_bytes * HOT_PAIR_FACTOR / (np * np)).max(1);
     let share = 1.0 / niter as f64;
 
-    let programs = (0..np)
+    // One block per sort iteration, plus a final verification block.
+    let sources = (0..np)
         .map(|_| {
-            let mut ops = Vec::with_capacity(niter * 4 + 1);
-            for _ in 0..niter {
-                // Local bucketing.
-                ops.push(compute_chunk(Kernel::Is, class, np, share * 0.6));
-                if np > 1 {
-                    // Histogram allreduce: NBUCKETS 4-byte counts.
-                    ops.push(Op::Coll(CollOp::Allreduce { bytes: NBUCKETS * 4 }));
-                    // Key redistribution.
-                    ops.push(Op::Coll(CollOp::Alltoall { bytes_per_pair: per_pair }));
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k < niter {
+                    // Local bucketing.
+                    ops.push(compute_chunk(Kernel::Is, class, np, share * 0.6));
+                    if np > 1 {
+                        // Histogram allreduce: NBUCKETS 4-byte counts.
+                        ops.push(Op::Coll(CollOp::Allreduce {
+                            bytes: NBUCKETS * 4,
+                        }));
+                        // Key redistribution.
+                        ops.push(Op::Coll(CollOp::Alltoall {
+                            bytes_per_pair: per_pair,
+                        }));
+                    }
+                    // Local ranking of received keys.
+                    ops.push(compute_chunk(Kernel::Is, class, np, share * 0.4));
+                } else if k == niter {
+                    // Full verification.
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+                    }
+                } else {
+                    return false;
                 }
-                // Local ranking of received keys.
-                ops.push(compute_chunk(Kernel::Is, class, np, share * 0.4));
-            }
-            // Full verification.
-            if np > 1 {
-                ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -72,8 +77,8 @@ mod tests {
     use sim_platform::presets;
 
     fn comm_pct(cluster: &sim_platform::ClusterSpec, np: usize) -> f64 {
-        let job = build(Class::B, np);
-        run_job(&job, cluster, &SimConfig::default(), &mut NullSink)
+        let mut job = build(Class::B, np);
+        run_job(&mut job, cluster, &SimConfig::default(), &mut NullSink)
             .unwrap()
             .comm_pct()
     }
@@ -96,12 +101,22 @@ mod tests {
     fn is_does_not_scale_well_anywhere() {
         // Fig 4 IS: speedup well below linear on every platform.
         for c in [presets::vayu(), presets::ec2(), presets::dcc()] {
-            let t1 = run_job(&build(Class::B, 1), &c, &SimConfig::default(), &mut NullSink)
-                .unwrap()
-                .elapsed_secs();
-            let t64 = run_job(&build(Class::B, 64), &c, &SimConfig::default(), &mut NullSink)
-                .unwrap()
-                .elapsed_secs();
+            let t1 = run_job(
+                &mut build(Class::B, 1),
+                &c,
+                &SimConfig::default(),
+                &mut NullSink,
+            )
+            .unwrap()
+            .elapsed_secs();
+            let t64 = run_job(
+                &mut build(Class::B, 64),
+                &c,
+                &SimConfig::default(),
+                &mut NullSink,
+            )
+            .unwrap()
+            .elapsed_secs();
             let sp = t1 / t64;
             assert!(sp < 24.0, "{}: IS speedup {sp}", c.name);
         }

@@ -8,7 +8,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::{coord_of_2d, grid_2d, rank_of_2d};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Grid edge and iterations: (n, niter).
 pub fn dims(class: Class) -> (usize, usize) {
@@ -42,11 +42,14 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let sweep_share = 0.4 / (chunks * niter) as f64;
     let rhs_share = 0.2 / niter as f64;
 
-    let programs = (0..np)
+    // One block per SSOR iteration (both triangular sweeps + RHS).
+    let sources = (0..np)
         .map(|r| {
             let (x, y) = coord_of_2d(r, py);
-            let mut ops = Vec::new();
-            for it in 0..niter {
+            OpSource::streamed(BlockProgram::new(move |it, ops: &mut Vec<Op>| {
+                if it >= niter {
+                    return false;
+                }
                 let base_tag = (it % 8) as u32 * 8;
                 // Lower sweep: from north-west to south-east.
                 for c in 0..chunks {
@@ -136,15 +139,11 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                 if np > 1 && it % 5 == 0 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 40 }));
                 }
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -163,9 +162,9 @@ mod tests {
     #[test]
     fn wavefront_pipeline_completes() {
         // The directional sends/recvs must not deadlock on any platform.
-        let job = build(Class::S, 16);
+        let mut job = build(Class::S, 16);
         for c in [presets::vayu(), presets::dcc(), presets::ec2()] {
-            let r = run_job(&job, &c, &SimConfig::default(), &mut NullSink).unwrap();
+            let r = run_job(&mut job, &c, &SimConfig::default(), &mut NullSink).unwrap();
             assert!(r.elapsed_secs() > 0.0);
         }
     }
@@ -174,9 +173,14 @@ mod tests {
     #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
     fn lu_scales_better_than_is_on_vayu() {
         let t = |np: usize| {
-            run_job(&build(Class::B, np), &presets::vayu(), &SimConfig::default(), &mut NullSink)
-                .unwrap()
-                .elapsed_secs()
+            run_job(
+                &mut build(Class::B, np),
+                &presets::vayu(),
+                &SimConfig::default(),
+                &mut NullSink,
+            )
+            .unwrap()
+            .elapsed_secs()
         };
         let sp = t(1) / t(32);
         assert!(sp > 16.0, "LU speedup on Vayu at 32: {sp}");

@@ -7,7 +7,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::{grid_3d, ring_exchange};
-use sim_mpi::{CollOp, JobSpec, Op};
+use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
 
 /// Grid edge and iterations: (n, niter).
 pub fn dims(class: Class) -> (usize, usize) {
@@ -32,17 +32,16 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let wsum: f64 = 2.0 * weights.iter().sum::<f64>() * niter as f64;
 
     // Rank coordinates in the (px, py, pz) grid; row-major.
-    let coord = |r: usize| -> (usize, usize, usize) {
-        (r / (py * pz), (r / pz) % py, r % pz)
-    };
-    let rank_of = |x: usize, y: usize, z: usize| -> u32 { (x * py * pz + y * pz + z) as u32 };
+    let coord = move |r: usize| -> (usize, usize, usize) { (r / (py * pz), (r / pz) % py, r % pz) };
+    let rank_of = move |x: usize, y: usize, z: usize| -> u32 { (x * py * pz + y * pz + z) as u32 };
 
-    let programs = (0..np)
+    // One block per V-cycle (down-sweep + up-sweep + norm reduction).
+    let sources = (0..np)
         .map(|r| {
             let (x, y, z) = coord(r);
-            let mut ops = Vec::new();
+            let weights = weights.clone();
             // Neighbour exchange along each decomposed dimension at `level`.
-            let halo = |ops: &mut Vec<Op>, depth: usize| {
+            let halo = move |ops: &mut Vec<Op>, depth: usize| {
                 let nl = (n >> depth).max(2);
                 // Face sizes per direction (bytes, f64 cells).
                 let fx = ((nl / py).max(1) * (nl / pz).max(1) * 8).max(8);
@@ -87,29 +86,28 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                     );
                 }
             };
-            for _ in 0..niter {
-                // Down-sweep then up-sweep.
-                for depth in 0..levels {
-                    ops.push(compute_chunk(Kernel::Mg, class, np, weights[depth] / wsum));
-                    halo(&mut ops, depth);
+            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
+                if k >= niter {
+                    return false;
                 }
-                for depth in (0..levels).rev() {
-                    ops.push(compute_chunk(Kernel::Mg, class, np, weights[depth] / wsum));
-                    halo(&mut ops, depth);
+                // Down-sweep then up-sweep.
+                for (depth, w) in weights.iter().enumerate() {
+                    ops.push(compute_chunk(Kernel::Mg, class, np, w / wsum));
+                    halo(ops, depth);
+                }
+                for (depth, w) in weights.iter().enumerate().rev() {
+                    ops.push(compute_chunk(Kernel::Mg, class, np, w / wsum));
+                    halo(ops, depth);
                 }
                 // Residual-norm reduction per iteration.
                 if np > 1 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
                 }
-            }
-            ops
+                true
+            }))
         })
         .collect();
-    JobSpec {
-        name: String::new(),
-        programs,
-        section_names: vec![],
-    }
+    JobSpec::from_sources(String::new(), sources, vec![])
 }
 
 #[cfg(test)]
@@ -128,9 +126,14 @@ mod tests {
     #[test]
     fn mg_scales_on_vayu_poorly_on_dcc() {
         let t = |c: &sim_platform::ClusterSpec, np: usize| {
-            run_job(&build(Class::B, np), c, &SimConfig::default(), &mut NullSink)
-                .unwrap()
-                .elapsed_secs()
+            run_job(
+                &mut build(Class::B, np),
+                c,
+                &SimConfig::default(),
+                &mut NullSink,
+            )
+            .unwrap()
+            .elapsed_secs()
         };
         let vayu_sp = t(&presets::vayu(), 1) / t(&presets::vayu(), 32);
         let dcc_sp = t(&presets::dcc(), 1) / t(&presets::dcc(), 32);

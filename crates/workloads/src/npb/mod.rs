@@ -273,22 +273,16 @@ impl Workload for Npb {
             Kernel::Bt => bt_sp::build(Kernel::Bt, self.class, np),
             Kernel::Sp => bt_sp::build(Kernel::Sp, self.class, np),
         };
-        job.name = self.name();
+        job.meta.name = self.name();
         job
     }
 }
 
 /// Shared helper: per-rank compute chunk for a `share` of the kernel's
 /// total anchored work, split evenly over `np` ranks.
-pub(crate) fn compute_chunk(
-    kernel: Kernel,
-    class: Class,
-    np: usize,
-    share: f64,
-) -> sim_mpi::Op {
+pub(crate) fn compute_chunk(kernel: Kernel, class: Class, np: usize, share: f64) -> sim_mpi::Op {
     let secs = kernel.dcc_serial_secs(class);
-    let (total_flops, total_bytes) =
-        crate::calib::dcc_seconds_to_work(secs, kernel.mu());
+    let (total_flops, total_bytes) = crate::calib::dcc_seconds_to_work(secs, kernel.mu());
     let shrink = crate::calib::cache_shrink(np, kernel.kappa());
     sim_mpi::Op::Compute {
         flops: total_flops * share / np as f64,
@@ -320,7 +314,11 @@ mod tests {
             let a = k.class_scale(Class::A);
             let b = k.class_scale(Class::B);
             let c = k.class_scale(Class::C);
-            assert!(s < w && w <= a && a < b && b < c, "{}: {s} {w} {a} {b} {c}", k.name());
+            assert!(
+                s < w && w <= a && a < b && b < c,
+                "{}: {s} {w} {a} {b} {c}",
+                k.name()
+            );
             assert_eq!(b, 1.0);
         }
     }
@@ -330,7 +328,7 @@ mod tests {
         for k in Kernel::all() {
             for np in k.paper_np_sweep() {
                 // Class S keeps this fast.
-                let job = Npb::new(k, Class::S).build(np);
+                let mut job = Npb::new(k, Class::S).build(np);
                 assert_eq!(job.np(), np, "{} np={np}", k.name());
                 job.validate()
                     .unwrap_or_else(|e| panic!("{} np={np}: {e}", k.name()));

@@ -13,7 +13,10 @@ use cloudsim::{arrive_f_table, simulate_queue, synthetic_mix, Capacities, Policy
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n_jobs: usize = args.first().map(|s| s.parse().expect("n_jobs")).unwrap_or(80);
+    let n_jobs: usize = args
+        .first()
+        .map(|s| s.parse().expect("n_jobs"))
+        .unwrap_or(80);
     let seed: u64 = args.get(1).map(|s| s.parse().expect("seed")).unwrap_or(42);
 
     println!("{}", arrive_f_table(n_jobs, seed).to_text());

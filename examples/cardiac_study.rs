@@ -54,7 +54,14 @@ fn main() {
     let w = Chaste::default();
     let mut table = Table::new(
         "Chaste rabbit-heart benchmark: wall and KSp-section time (s)",
-        vec!["np", "vayu_total", "vayu_KSp", "dcc_total", "dcc_KSp", "dcc/vayu"],
+        vec![
+            "np",
+            "vayu_total",
+            "vayu_KSp",
+            "dcc_total",
+            "dcc_KSp",
+            "dcc/vayu",
+        ],
     );
     for np in [8usize, 16, 32, 64] {
         let mut cells = vec![np.to_string()];

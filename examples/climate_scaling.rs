@@ -22,7 +22,12 @@ fn main() {
     println!("MetUM memory footprint vs EC2's 20 GB nodes:");
     for np in [8usize, 16, 24, 32, 64] {
         let per_rank = w.memory_per_rank_bytes(np);
-        match ec2.place(np, Strategy::BlockMemoryAware { per_rank_bytes: per_rank }) {
+        match ec2.place(
+            np,
+            Strategy::BlockMemoryAware {
+                per_rank_bytes: per_rank,
+            },
+        ) {
             Ok(p) => println!(
                 "  np={np:>2}: {:.2} GB/rank -> {} nodes",
                 per_rank as f64 / 1e9,
@@ -35,7 +40,14 @@ fn main() {
 
     let mut table = Table::new(
         "MetUM warmed time on EC2: packed (memory-aware block) vs spread over 4 nodes",
-        vec!["np", "packed_s", "packed_nodes", "spread4_s", "speedup", "%comm_packed"],
+        vec![
+            "np",
+            "packed_s",
+            "packed_nodes",
+            "spread4_s",
+            "speedup",
+            "%comm_packed",
+        ],
     );
     for np in [16usize, 32, 64] {
         let (packed_res, packed_rep) = cloudsim::Experiment::new(&w, &ec2, np)

@@ -26,8 +26,18 @@ fn main() {
     let np: usize = args.get(1).map(|s| s.parse().expect("np")).unwrap_or(16);
 
     let mut table = Table::new(
-        format!("Cloud slowdown of NPB class {} at np={np} (time / Vayu time)", class.letter()),
-        vec!["kernel", "ec2_slowdown", "dcc_slowdown", "%comm_vayu", "%comm_dcc", "verdict"],
+        format!(
+            "Cloud slowdown of NPB class {} at np={np} (time / Vayu time)",
+            class.letter()
+        ),
+        vec![
+            "kernel",
+            "ec2_slowdown",
+            "dcc_slowdown",
+            "%comm_vayu",
+            "%comm_dcc",
+            "verdict",
+        ],
     );
 
     let rows = cloudsim::parallel_map(Kernel::all().to_vec(), |k| {

@@ -23,7 +23,11 @@ fn main() {
     ];
     for w in &candidates {
         let rec = advise(w.as_ref(), 32);
-        println!("{}", rec.to_table(&format!("advice: {} @ 32 ranks", w.name())).to_text());
+        println!(
+            "{}",
+            rec.to_table(&format!("advice: {} @ 32 ranks", w.name()))
+                .to_text()
+        );
     }
 
     println!("== deadline shopping ==\n");
@@ -46,5 +50,7 @@ fn main() {
     let per_run_secs = 2.0 * 3600.0;
     let yearly_spot = ec2.spot_cost(4, per_run_secs) * 365.0;
     let yearly_dcc = dcc.cost(4, per_run_secs) * 365.0;
-    println!("daily 4-node 2h run: EC2 spot ${yearly_spot:.0}/yr vs private cloud ${yearly_dcc:.0}/yr");
+    println!(
+        "daily 4-node 2h run: EC2 spot ${yearly_spot:.0}/yr vs private cloud ${yearly_dcc:.0}/yr"
+    );
 }

@@ -20,10 +20,7 @@ use cloudsim::{fmt_pct, fmt_ratio, Table};
 fn dcc_with_ib() -> ClusterSpec {
     let mut c = presets::dcc();
     c.name = "dcc+ib";
-    c.topology = Topology::single_switch(
-        FabricParams::qdr_infiniband(),
-        c.topology.intra.clone(),
-    );
+    c.topology = Topology::single_switch(FabricParams::qdr_infiniband(), c.topology.intra.clone());
     c
 }
 

@@ -21,17 +21,17 @@ fn main() {
     };
     // Two timesteps keep the JSON readable (~10k spans).
     let w = MetUm { timesteps: 2 };
-    let job = w.build(32);
-    let (result, trace) = trace_run(&job, &cluster, &SimConfig::default()).expect("run");
+    let mut job = w.build(32);
+    let (result, trace) = trace_run(&mut job, &cluster, &SimConfig::default()).expect("run");
     println!(
         "simulated {} on {}: {:.1}s wall, {} timeline spans",
-        job.name,
+        job.meta.name,
         cluster.name,
         result.elapsed_secs(),
         trace.len()
     );
     let path = format!("metum_{}_32.trace.json", cluster.name);
-    std::fs::write(&path, trace.to_chrome_json(&job.name)).expect("write trace");
+    std::fs::write(&path, trace.to_chrome_json(&job.meta.name)).expect("write trace");
     println!("wrote {path} — open in chrome://tracing or ui.perfetto.dev");
 
     // A taste of the data without leaving the terminal: rank 8 (inside the

@@ -10,14 +10,17 @@ fn full_pipeline_reproducible() {
         Box::new(Npb::new(Kernel::Ft, Class::S)),
         Box::new(Npb::new(Kernel::Lu, Class::S)),
         Box::new(MetUm { timesteps: 2 }),
-        Box::new(Chaste { timesteps: 3, cg_iters: 10 }),
+        Box::new(Chaste {
+            timesteps: 3,
+            cg_iters: 10,
+        }),
     ];
     for w in &workloads {
         for c in [presets::dcc(), presets::ec2(), presets::vayu()] {
-            let job = w.build(16);
+            let mut job = w.build(16);
             let cfg = SimConfig::default();
-            let a = run_job(&job, &c, &cfg, &mut NullSink).unwrap();
-            let b = run_job(&job, &c, &cfg, &mut NullSink).unwrap();
+            let a = run_job(&mut job, &c, &cfg, &mut NullSink).unwrap();
+            let b = run_job(&mut job, &c, &cfg, &mut NullSink).unwrap();
             assert_eq!(a.elapsed, b.elapsed, "{} on {}", w.name(), c.name);
             assert_eq!(a.ops_executed, b.ops_executed);
             for (x, y) in a.ranks.iter().zip(&b.ranks) {
@@ -33,16 +36,27 @@ fn full_pipeline_reproducible() {
 fn seeds_only_move_noise() {
     let w = Npb::new(Kernel::Cg, Class::S);
     let c = presets::dcc();
-    let job = w.build(16);
+    let mut job = w.build(16);
     let mut elapsed = Vec::new();
     for seed in 0..4u64 {
-        let cfg = SimConfig { seed, ..Default::default() };
-        let r = run_job(&job, &c, &cfg, &mut NullSink).unwrap();
+        let cfg = SimConfig {
+            seed,
+            ..Default::default()
+        };
+        let r = run_job(&mut job, &c, &cfg, &mut NullSink).unwrap();
         elapsed.push(r.elapsed);
-        assert_eq!(r.ops_executed, run_job(&job, &c, &cfg, &mut NullSink).unwrap().ops_executed);
+        assert_eq!(
+            r.ops_executed,
+            run_job(&mut job, &c, &cfg, &mut NullSink)
+                .unwrap()
+                .ops_executed
+        );
     }
     let distinct: std::collections::HashSet<_> = elapsed.iter().collect();
-    assert!(distinct.len() > 1, "jitter must vary with seed: {elapsed:?}");
+    assert!(
+        distinct.len() > 1,
+        "jitter must vary with seed: {elapsed:?}"
+    );
 }
 
 /// Every workload at every paper rank count yields a structurally valid
@@ -59,7 +73,13 @@ fn all_jobs_validate_at_paper_rank_counts() {
     }
     for np in [8usize, 16, 24, 32, 48, 64] {
         MetUm { timesteps: 2 }.build(np).validate().unwrap();
-        Chaste { timesteps: 2, cg_iters: 5 }.build(np).validate().unwrap();
+        Chaste {
+            timesteps: 2,
+            cg_iters: 5,
+        }
+        .build(np)
+        .validate()
+        .unwrap();
     }
 }
 
@@ -73,7 +93,7 @@ fn ledger_conservation_across_workloads() {
         Box::new(MetUm { timesteps: 2 }),
     ];
     for w in &workloads {
-        let np = if w.name().starts_with("bt") { 16 } else { 16 };
+        let np = 16;
         let (res, _) = cloudsim::Experiment::new(w.as_ref(), &presets::ec2(), np)
             .repeats(1)
             .run_once()
@@ -95,8 +115,26 @@ fn ledger_conservation_across_workloads() {
 #[test]
 fn rebuild_gives_identical_jobs() {
     let w = Npb::new(Kernel::Lu, Class::S);
-    let a = w.build(8);
-    let b = w.build(8);
-    assert_eq!(a.programs, b.programs);
-    assert_eq!(a.section_names, b.section_names);
+    let mut a = w.build(8);
+    let mut b = w.build(8);
+    assert_eq!(a.materialized_copy(), b.materialized_copy());
+    assert_eq!(a.meta.section_names, b.meta.section_names);
+}
+
+/// Streamed programs are rewind-safe: draining a job twice yields the same
+/// op sequence both times (generators are pure functions of block index).
+#[test]
+fn streamed_programs_rewind_to_identical_traces() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Npb::new(Kernel::Cg, Class::S)),
+        Box::new(Npb::new(Kernel::Is, Class::S)),
+        Box::new(MetUm { timesteps: 2 }),
+    ];
+    for w in &workloads {
+        let mut job = w.build(8);
+        assert!(job.is_fully_streamed(), "{}", w.name());
+        let first = job.materialized_copy();
+        let second = job.materialized_copy();
+        assert_eq!(first, second, "{}", w.name());
+    }
 }

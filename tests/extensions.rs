@@ -11,27 +11,36 @@ fn overlap_pipeline_through_the_facade() {
     // A 2-node halo pattern written with Irecv/compute/Wait completes and
     // hides most of the transfer on every platform.
     let big = 256 * 1024;
-    let compute = Op::Compute { flops: 1e8, bytes: 0.0 };
+    let compute = Op::Compute {
+        flops: 1e8,
+        bytes: 0.0,
+    };
     for cluster in [presets::vayu(), presets::dcc(), presets::ec2()] {
         let lc = cluster.node.logical_cores();
         let np = lc + 1;
         let mut progs = vec![vec![]; np];
         progs[0] = vec![
-            Op::Isend { to: lc as u32, bytes: big, tag: 0, req: 0 },
+            Op::Isend {
+                to: lc as u32,
+                bytes: big,
+                tag: 0,
+                req: 0,
+            },
             compute.clone(),
             Op::Wait { req: 0 },
         ];
         progs[lc] = vec![
-            Op::Irecv { from: 0, bytes: big, tag: 0, req: 0 },
+            Op::Irecv {
+                from: 0,
+                bytes: big,
+                tag: 0,
+                req: 0,
+            },
             compute.clone(),
             Op::Wait { req: 0 },
         ];
-        let job = JobSpec {
-            name: "overlap".into(),
-            programs: progs,
-            section_names: vec![],
-        };
-        let r = run_job(&job, &cluster, &SimConfig::default(), &mut NullSink).unwrap();
+        let mut job = JobSpec::from_programs("overlap", progs, vec![]);
+        let r = run_job(&mut job, &cluster, &SimConfig::default(), &mut NullSink).unwrap();
         // The receiver's wait is bounded by the transfer minus the overlap;
         // total never exceeds compute + full transfer + slack.
         let compute_secs = 1e8 / cluster.rank_rates(&r.placement)[0].flops_rate;
@@ -50,12 +59,19 @@ fn row_group_collectives_via_facade() {
     // 16 ranks in 4 rows; each row allreduces independently then the world
     // synchronizes. Validates + runs on all platforms.
     let rows: Vec<Group> = (0..4)
-        .map(|r| Group::Strided { first: r * 4, count: 4, stride: 1 })
+        .map(|r| Group::Strided {
+            first: r * 4,
+            count: 4,
+            stride: 1,
+        })
         .collect();
     let progs: Vec<Vec<Op>> = (0..16u32)
         .map(|r| {
             vec![
-                Op::Compute { flops: 1e7, bytes: 0.0 },
+                Op::Compute {
+                    flops: 1e7,
+                    bytes: 0.0,
+                },
                 Op::GroupColl {
                     group: rows[(r / 4) as usize],
                     op: CollOp::Allreduce { bytes: 8 },
@@ -64,14 +80,10 @@ fn row_group_collectives_via_facade() {
             ]
         })
         .collect();
-    let job = JobSpec {
-        name: "rows".into(),
-        programs: progs,
-        section_names: vec![],
-    };
+    let mut job = JobSpec::from_programs("rows", progs, vec![]);
     job.validate().unwrap();
     for cluster in [presets::vayu(), presets::dcc()] {
-        let r = run_job(&job, &cluster, &SimConfig::default(), &mut NullSink).unwrap();
+        let r = run_job(&mut job, &cluster, &SimConfig::default(), &mut NullSink).unwrap();
         assert!(r.elapsed_secs() > 0.0);
     }
 }
@@ -79,9 +91,9 @@ fn row_group_collectives_via_facade() {
 #[test]
 fn trace_of_a_real_workload_matches_its_ledger() {
     let w = Npb::new(Kernel::Cg, Class::S);
-    let job = w.build(8);
+    let mut job = w.build(8);
     let cluster = presets::ec2();
-    let (res, trace) = trace_run(&job, &cluster, &SimConfig::default()).unwrap();
+    let (res, trace) = trace_run(&mut job, &cluster, &SimConfig::default()).unwrap();
     // Per rank, summed span durations by category equal the ledgers.
     for rank in 0..8 {
         let sum = |cat: &str| -> f64 {

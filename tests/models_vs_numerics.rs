@@ -20,10 +20,11 @@ fn cg_allreduce_count_matches_real_solver() {
 
     // Workload model: count the scalar allreduces per rank.
     let w = Npb::new(Kernel::Cg, Class::S);
-    let job = w.build(4);
+    let mut job = w.build(4);
     let (_, _, niter) = cloudsim::workloads::npb::cg::dims(Class::S);
     let cgit = cloudsim::workloads::npb::cg::CGIT;
-    let small_allreduces = job.programs[0]
+    let small_allreduces = job
+        .materialize_rank(0)
         .iter()
         .filter(|op| matches!(op, Op::Coll(CollOp::Allreduce { bytes: 8 })))
         .count();
@@ -59,8 +60,9 @@ fn ep_model_matches_real_kernel_structure() {
 
     // Model: exactly three trailing allreduces, no other communication.
     let w = Npb::new(Kernel::Ep, Class::S);
-    let job = w.build(8);
-    let comm_ops = job.programs[0]
+    let mut job = w.build(8);
+    let comm_ops = job
+        .materialize_rank(0)
         .iter()
         .filter(|op| !matches!(op, Op::Compute { .. }))
         .count();

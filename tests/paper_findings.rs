@@ -36,15 +36,17 @@ fn ep_is_cloud_friendly_is_is_not() {
     // ranks is only ~0.1 s of work per rank).
     let ep = Npb::new(Kernel::Ep, Class::A);
     let is = Npb::new(Kernel::Is, Class::A);
-    let penalty = |w: &dyn Workload| {
-        elapsed(w, &presets::dcc(), 32) / elapsed(w, &presets::vayu(), 32)
-    };
+    let penalty =
+        |w: &dyn Workload| elapsed(w, &presets::dcc(), 32) / elapsed(w, &presets::vayu(), 32);
     let ep_penalty = penalty(&ep);
     let is_penalty = penalty(&is);
     // EP's penalty is just the clock + hypervisor ratio (~1.3-1.6);
     // IS pays several times more.
     assert!(ep_penalty < 1.8, "EP penalty {ep_penalty}");
-    assert!(is_penalty > 2.0 * ep_penalty, "IS {is_penalty} vs EP {ep_penalty}");
+    assert!(
+        is_penalty > 2.0 * ep_penalty,
+        "IS {is_penalty} vs EP {ep_penalty}"
+    );
 }
 
 /// "...the need to avoid over-subscription of cores as this affects code
