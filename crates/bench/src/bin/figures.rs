@@ -1,12 +1,13 @@
 //! Regenerate every figure and table of the paper.
 //!
 //! ```text
-//! figures [--quick] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 ablations arrivef | all]
+//! figures [--quick] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep ablations arrivef | all]
 //! ```
 //!
 //! With no experiment arguments, everything runs (the paper configuration
-//! unless `--quick` is given). `--csv DIR` additionally writes one CSV per
-//! table into `DIR`.
+//! unless `--quick` is given). `--seed N` perturbs every noise and fault
+//! stream (the default seed reproduces the committed reference numbers).
+//! `--csv DIR` additionally writes one CSV per table into `DIR`.
 
 use cloudsim::{figures, AsciiChart, ReproConfig, Table};
 use std::io::Write as _;
@@ -40,6 +41,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut plot = false;
+    let mut seed: Option<u64> = None;
     let mut csv_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -47,6 +49,13 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--plot" => plot = true,
+            "--seed" => {
+                let v = it.next().and_then(|s| s.parse::<u64>().ok());
+                seed = Some(v.unwrap_or_else(|| {
+                    eprintln!("--seed requires an unsigned integer argument");
+                    std::process::exit(2);
+                }));
+            }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--csv requires a directory argument");
@@ -55,7 +64,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--quick] [--plot] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 ablations arrivef | all]"
+                    "usage: figures [--quick] [--plot] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep ablations arrivef | all]"
                 );
                 return;
             }
@@ -65,17 +74,21 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    let cfg = if quick {
+    let mut cfg = if quick {
         ReproConfig::quick()
     } else {
         ReproConfig::paper()
     };
+    if let Some(s) = seed {
+        cfg = cfg.with_seed(s);
+    }
     eprintln!(
-        "# running with class {}, {} repeat(s), MetUM {} steps, Chaste {} steps",
+        "# running with class {}, {} repeat(s), MetUM {} steps, Chaste {} steps, seed {:#x}",
         cfg.npb_class.letter(),
         cfg.repeats,
         cfg.metum_steps,
-        cfg.chaste_steps
+        cfg.chaste_steps,
+        cfg.seed
     );
 
     let mut tables: Vec<Table> = Vec::new();
@@ -83,6 +96,7 @@ fn main() {
         match what.as_str() {
             "all" => {
                 tables.extend(figures::all_figures(&cfg));
+                tables.push(figures::faultsweep(&cfg));
                 tables.extend(cloudsim::all_ablations(&cfg));
                 tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42));
             }
@@ -95,6 +109,7 @@ fn main() {
             "fig6" => tables.push(figures::fig6_metum(&cfg)),
             "tab3" => tables.push(figures::tab3_metum(&cfg)),
             "fig7" => tables.push(figures::fig7_load_balance(&cfg)),
+            "faultsweep" => tables.push(figures::faultsweep(&cfg)),
             "ablations" => tables.extend(cloudsim::all_ablations(&cfg)),
             "arrivef" => tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42)),
             other => {

@@ -6,6 +6,7 @@
 //! sweep out over OS threads (the simulator itself is single-threaded and
 //! deterministic per run).
 
+use sim_faults::FaultSpec;
 use sim_ipm::{profile_run, IpmReport};
 use sim_mpi::{SimConfig, SimError, SimResult};
 use sim_platform::{ClusterSpec, Strategy};
@@ -22,6 +23,7 @@ pub struct Experiment<'a> {
     pub strategy: Strategy,
     pub repeats: usize,
     pub base_seed: u64,
+    pub faults: Option<FaultSpec>,
 }
 
 impl<'a> Experiment<'a> {
@@ -33,6 +35,7 @@ impl<'a> Experiment<'a> {
             strategy: Strategy::Block,
             repeats: PAPER_REPEATS,
             base_seed: 0x5EED_0000,
+            faults: None,
         }
     }
 
@@ -52,10 +55,29 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Inject faults: each run consults a fault schedule derived from the
+    /// run's seed, so repeats see different fault realisations, exactly as
+    /// they see different noise.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Run all repeats and return the minimum-walltime run (result +
-    /// profile), per the paper's methodology. The job's op programs are
-    /// built once and rewound between repetitions — no trace is cloned or
-    /// re-materialized.
+    /// profile), per the paper's methodology: "Each run was repeated 5
+    /// times, with the minimum time being used for the results."
+    ///
+    /// Min-of-N is a *jitter filter*, not an average: OS noise, hypervisor
+    /// steal and congestion only ever add time to a run, so the minimum over
+    /// repeats is the best available estimate of the platform's intrinsic
+    /// (noise-free) performance, and its bias shrinks as N grows. A mean
+    /// would fold the noise tail into every reported number. Repeats here
+    /// differ only in the noise-model seed (`base_seed + rep`); with faults
+    /// injected the same logic picks the luckiest fault realisation, which
+    /// mirrors what re-running a preempted cloud job does in practice.
+    ///
+    /// The job's op programs are built once and rewound between repetitions
+    /// — no trace is cloned or re-materialized.
     pub fn run_min(&self) -> Result<(SimResult, IpmReport), SimError> {
         let mut job = self.workload.build(self.np);
         let mut best: Option<(SimResult, IpmReport)> = None;
@@ -64,6 +86,7 @@ impl<'a> Experiment<'a> {
                 seed: self.base_seed.wrapping_add(rep as u64),
                 strategy: self.strategy,
                 validate: rep == 0, // structure is identical across repeats
+                faults: self.faults.clone(),
             };
             let (result, report) = profile_run(&mut job, self.cluster, &cfg)?;
             let better = best
@@ -84,6 +107,7 @@ impl<'a> Experiment<'a> {
             seed: self.base_seed,
             strategy: self.strategy,
             validate: true,
+            faults: self.faults.clone(),
         };
         profile_run(&mut job, self.cluster, &cfg)
     }
@@ -142,6 +166,27 @@ mod tests {
             let (r, _) = one.run_min().unwrap();
             assert!(best.elapsed <= r.elapsed, "rep {rep}");
         }
+    }
+
+    #[test]
+    fn rewound_repeats_are_bit_identical_to_fresh_builds() {
+        // run_min builds the op programs once and rewinds them between
+        // repeats; every repeat must be bit-identical to a fresh build run
+        // at the same seed, so the reported minimum is exactly the minimum
+        // over independent runs.
+        let w = Npb::new(Kernel::Mg, Class::S);
+        let c = presets::dcc();
+        let (best, _) = Experiment::new(&w, &c, 8).repeats(3).run_min().unwrap();
+        let fresh_min = (0..3u64)
+            .map(|rep| {
+                let one = Experiment::new(&w, &c, 8)
+                    .repeats(1)
+                    .seed(0x5EED_0000 + rep);
+                one.run_min().unwrap().0.elapsed
+            })
+            .min()
+            .unwrap();
+        assert_eq!(best.elapsed, fresh_min);
     }
 
     #[test]

@@ -7,10 +7,16 @@
 
 use crate::experiment::{parallel_map, Experiment};
 use crate::table::{fmt_pct, fmt_ratio, fmt_secs, Table};
+use sim_faults::{FaultSpec, RetryPolicy};
+use sim_mpi::Op;
 use sim_platform::{presets, ClusterSpec, Strategy};
 use workloads::metum::warmed_secs;
 use workloads::osu::{osu_sizes, run_bandwidth, run_latency};
-use workloads::{Chaste, Class, Kernel, MetUm, Npb, Workload};
+use workloads::{Chaste, CheckpointPolicy, Checkpointed, Class, Kernel, MetUm, Npb, Workload};
+
+/// The default base seed; [`ReproConfig::seed`] deviations from it perturb
+/// every noise stream.
+pub const DEFAULT_SEED: u64 = 0x5EED_0000;
 
 /// Scale and repetition settings for the reproduction runs.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +29,9 @@ pub struct ReproConfig {
     pub metum_steps: usize,
     /// Chaste timesteps (paper: 250).
     pub chaste_steps: usize,
+    /// Base seed for every noise and fault stream. Runs are bit-identical
+    /// for a fixed seed; different seeds move only the noise.
+    pub seed: u64,
 }
 
 impl ReproConfig {
@@ -33,6 +42,7 @@ impl ReproConfig {
             repeats: 5,
             metum_steps: 18,
             chaste_steps: 250,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -43,7 +53,21 @@ impl ReproConfig {
             repeats: 1,
             metum_steps: 4,
             chaste_steps: 20,
+            seed: DEFAULT_SEED,
         }
+    }
+
+    /// Override the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Seed for a micro-benchmark stream `k`: equals `k` at the default
+    /// base seed (preserving the historical OSU streams bit-for-bit) and
+    /// shifts with any user-supplied `--seed`.
+    fn micro_seed(&self, k: u64) -> u64 {
+        (self.seed ^ DEFAULT_SEED).wrapping_add(k)
     }
 }
 
@@ -63,7 +87,7 @@ pub fn fig1_osu_bandwidth(cfg: &ReproConfig) -> Table {
         for c in platforms() {
             // Best (max) bandwidth across repeats, like the real suite.
             let best = (0..cfg.repeats)
-                .map(|r| run_bandwidth(&c, bytes, 0xB0 + r as u64).expect("osu_bw"))
+                .map(|r| run_bandwidth(&c, bytes, cfg.micro_seed(0xB0 + r as u64)).expect("osu_bw"))
                 .fold(0.0_f64, f64::max);
             cells.push(format!("{best:.1}"));
         }
@@ -86,7 +110,9 @@ pub fn fig2_osu_latency(cfg: &ReproConfig) -> Table {
         let mut cells = vec![bytes.to_string()];
         for c in platforms() {
             let best = (0..cfg.repeats)
-                .map(|r| run_latency(&c, bytes, 0x1A + r as u64).expect("osu_latency"))
+                .map(|r| {
+                    run_latency(&c, bytes, cfg.micro_seed(0x1A + r as u64)).expect("osu_latency")
+                })
                 .fold(f64::INFINITY, f64::min);
             cells.push(format!("{best:.1}"));
         }
@@ -114,6 +140,7 @@ pub fn fig3_npb_serial(cfg: &ReproConfig) -> Table {
         let [dcc, ec2, vayu] = platforms();
         let time = |c: &ClusterSpec| {
             Experiment::new(&w, c, 1)
+                .seed(cfg.seed)
                 .repeats(cfg.repeats)
                 .run_min()
                 .expect("serial run")
@@ -155,6 +182,7 @@ pub fn fig4_kernel(cfg: &ReproConfig, k: Kernel) -> Table {
         .iter()
         .map(|c| {
             Experiment::new(&w, c, 1)
+                .seed(cfg.seed)
                 .repeats(cfg.repeats)
                 .run_min()
                 .expect("serial")
@@ -171,6 +199,7 @@ pub fn fig4_kernel(cfg: &ReproConfig, k: Kernel) -> Table {
         let mut cells = vec![np.to_string()];
         for (c, t1) in platforms().iter().zip(&serials) {
             let t = Experiment::new(&w, c, np)
+                .seed(cfg.seed)
                 .repeats(cfg.repeats)
                 .run_min()
                 .expect("sweep point")
@@ -237,7 +266,10 @@ pub fn tab2_npb_comm(cfg: &ReproConfig) -> Table {
         let rows = parallel_map(nps.to_vec(), |np| {
             let mut sims = Vec::new();
             for c in platforms() {
-                let (res, _) = Experiment::new(&w, &c, np).run_once().expect("tab2 run");
+                let (res, _) = Experiment::new(&w, &c, np)
+                    .seed(cfg.seed)
+                    .run_once()
+                    .expect("tab2 run");
                 sims.push(res.comm_pct());
             }
             (np, sims)
@@ -281,6 +313,7 @@ pub fn fig5_chaste(cfg: &ReproConfig) -> Table {
                 presets::dcc()
             };
             let (res, rep) = Experiment::new(&w, &c, np)
+                .seed(cfg.seed)
                 .repeats(cfg.repeats)
                 .run_min()
                 .expect("chaste run");
@@ -351,6 +384,7 @@ pub fn fig6_metum(cfg: &ReproConfig) -> Table {
     for np in &nps {
         let row = parallel_map(configs.iter().collect::<Vec<_>>(), |(_, c, strat)| {
             let (_, rep) = Experiment::new(&w, c, *np)
+                .seed(cfg.seed)
                 .strategy(strat(*np))
                 .repeats(cfg.repeats)
                 .run_min()
@@ -390,6 +424,7 @@ pub fn tab3_metum(cfg: &ReproConfig) -> Table {
     let configs = metum_configs(&w);
     let runs = parallel_map(configs.iter().collect::<Vec<_>>(), |(name, c, strat)| {
         let (res, rep) = Experiment::new(&w, c, 32)
+            .seed(cfg.seed)
             .strategy(strat(32))
             .repeats(cfg.repeats)
             .run_min()
@@ -429,7 +464,10 @@ pub fn fig7_load_balance(cfg: &ReproConfig) -> Table {
     );
     let sec = workloads::metum::SEC_ATM_STEP as usize;
     let grab = |c: &ClusterSpec| {
-        let (_, rep) = Experiment::new(&w, c, 32).run_once().expect("fig7 run");
+        let (_, rep) = Experiment::new(&w, c, 32)
+            .seed(cfg.seed)
+            .run_once()
+            .expect("fig7 run");
         rep.section_rank_breakdown[sec].clone()
     };
     let vayu = grab(&presets::vayu());
@@ -443,8 +481,154 @@ pub fn fig7_load_balance(cfg: &ReproConfig) -> Table {
             fmt_secs(dcc[r].1),
         ]);
     }
-    let _ = cfg;
     t.note("paper: DCC shows communication in far greater proportion and a banded imbalance across ranks 8..23");
+    t
+}
+
+/// One measured point of the fault sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Fault-intensity multiplier applied to the platform preset.
+    pub scale: f64,
+    /// Time-to-solution without checkpointing (restart from scratch).
+    pub plain_s: f64,
+    /// Time-to-solution with coordinated checkpoint/restart.
+    pub ckpt_s: f64,
+    pub plain_restarts: u64,
+    pub ckpt_restarts: u64,
+    /// %wallclock the checkpointed run lost to faults and restarts.
+    pub ckpt_fault_pct: f64,
+}
+
+/// Fault-intensity multipliers swept by [`faultsweep`]. Thinned generation
+/// makes schedules nest across these: every event at scale `s` also exists
+/// at every `s' > s`, so time-to-solution is monotone in the scale.
+pub const FAULTSWEEP_SCALES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+/// Calibration constant: preset per-hour rates are multiplied by
+/// `FAULTSWEEP_CALIB * 3600 / t0` so a scale-1.0 run of fault-free length
+/// `t0` sees `FAULTSWEEP_CALIB`x the preset's per-hour event budget —
+/// enough events to measure, independent of how short the simulated job is.
+pub const FAULTSWEEP_CALIB: f64 = 8.0;
+
+/// Sweep one workload on one platform across fault scales, plain vs
+/// checkpointed, with a shared fault schedule per scale (same seed, same
+/// placement — the checkpoint ops don't perturb the fault timeline).
+pub fn faultsweep_points(
+    cfg: &ReproConfig,
+    w: &dyn Workload,
+    cluster: &ClusterSpec,
+    np: usize,
+    scales: &[f64],
+) -> Vec<FaultPoint> {
+    let (base, _) = Experiment::new(w, cluster, np)
+        .seed(cfg.seed)
+        .run_once()
+        .expect("fault-free baseline");
+    let t0 = base.elapsed_secs();
+    let preset = FaultSpec::preset_for(cluster);
+    let model = preset
+        .model
+        .with_rates_scaled(FAULTSWEEP_CALIB * 3600.0 / t0);
+    // Checkpoint after every ~1/4 of the world collectives, writing 1 MiB
+    // of state per rank.
+    let colls = {
+        let mut probe = w.build(np);
+        let src = &mut probe.sources[0];
+        let mut n = 0u64;
+        while let Some(op) = src.next_op() {
+            if matches!(op, Op::Coll(_)) {
+                n += 1;
+            }
+        }
+        n
+    };
+    let policy = CheckpointPolicy::new((colls / 4).max(1), 1 << 20);
+    let ck = Checkpointed::new(w, policy);
+    scales
+        .iter()
+        .map(|&scale| {
+            let spec = FaultSpec {
+                model: model.clone().scaled(scale),
+                // A generous retry budget: transient crash windows are
+                // survivable, only fatal preemptions force a restart.
+                retry: RetryPolicy {
+                    max_retries: 32,
+                    max_delay_secs: 120.0,
+                    ..RetryPolicy::default()
+                },
+                restart_delay_secs: (0.1 * t0).min(preset.restart_delay_secs),
+                // Faults stop after ~50 fault-free runtimes: every run
+                // terminates in bounded time even at the highest scale.
+                horizon_secs: 50.0 * t0,
+            };
+            let (plain, _) = Experiment::new(w, cluster, np)
+                .seed(cfg.seed)
+                .faults(spec.clone())
+                .run_once()
+                .expect("plain faulty run");
+            let (ckpt, _) = Experiment::new(&ck, cluster, np)
+                .seed(cfg.seed)
+                .faults(spec)
+                .run_once()
+                .expect("checkpointed faulty run");
+            FaultPoint {
+                scale,
+                plain_s: plain.elapsed_secs(),
+                ckpt_s: ckpt.elapsed_secs(),
+                plain_restarts: plain.restarts,
+                ckpt_restarts: ckpt.restarts,
+                ckpt_fault_pct: ckpt.fault_pct(),
+            }
+        })
+        .collect()
+}
+
+/// Fault sweep: time-to-solution vs fault intensity for CG and MetUM at 16
+/// ranks on the three platforms, with and without coordinated
+/// checkpoint/restart. The fault models are the platform presets (Vayu:
+/// rare node MTBF; DCC: vSwitch degradation + steal storms + NFS brownouts;
+/// EC2: spot preemptions on top), rate-calibrated to each job's fault-free
+/// runtime so every platform sees a comparable event budget.
+pub fn faultsweep(cfg: &ReproConfig) -> Table {
+    let mut t = Table::new(
+        "Faultsweep — time-to-solution vs fault intensity at 16 ranks (plain vs checkpointed)",
+        vec![
+            "workload",
+            "platform",
+            "scale",
+            "plain_s",
+            "ckpt_s",
+            "plain_restarts",
+            "ckpt_restarts",
+            "ckpt_fault_pct",
+        ],
+    );
+    let cg = Npb::new(Kernel::Cg, cfg.npb_class);
+    let metum = MetUm {
+        timesteps: cfg.metum_steps,
+    };
+    let workloads: [&dyn Workload; 2] = [&cg, &metum];
+    for w in workloads {
+        for c in platforms() {
+            let points = faultsweep_points(cfg, w, &c, 16, &FAULTSWEEP_SCALES);
+            let plat = c.name;
+            for p in points {
+                t.row(vec![
+                    w.name(),
+                    plat.to_string(),
+                    format!("{:.1}", p.scale),
+                    fmt_secs(p.plain_s),
+                    fmt_secs(p.ckpt_s),
+                    p.plain_restarts.to_string(),
+                    p.ckpt_restarts.to_string(),
+                    fmt_pct(p.ckpt_fault_pct),
+                ]);
+            }
+        }
+    }
+    t.note("scale 0.0 is bit-identical to the fault-free run; schedules nest across scales, so TTS is monotone in the fault rate");
+    t.note("checkpointing pays its overhead at low rates and wins once preemptions force restarts (EC2 spot)");
     t
 }
 
@@ -499,6 +683,67 @@ mod tests {
             let vayu: f64 = row[3].parse().unwrap();
             assert!(vayu > 0.85 * np, "{row:?}");
         }
+    }
+
+    #[test]
+    fn faultsweep_scale_zero_is_bit_identical_to_fault_free() {
+        let cfg = ReproConfig::quick();
+        let w = Npb::new(Kernel::Cg, cfg.npb_class);
+        let c = presets::ec2();
+        let (base, _) = Experiment::new(&w, &c, 16)
+            .seed(cfg.seed)
+            .run_once()
+            .unwrap();
+        let pts = faultsweep_points(&cfg, &w, &c, 16, &[0.0]);
+        // Not just close: scale 0 produces an empty schedule, so the engine
+        // takes the fault-free hot path and the f64 must match exactly.
+        assert_eq!(pts[0].plain_s.to_bits(), base.elapsed_secs().to_bits());
+        assert_eq!(pts[0].plain_restarts, 0);
+        assert_eq!(pts[0].ckpt_restarts, 0);
+        assert_eq!(pts[0].ckpt_fault_pct, 0.0);
+    }
+
+    #[test]
+    fn faultsweep_tts_monotone_in_scale() {
+        let cfg = ReproConfig::quick();
+        let w = Npb::new(Kernel::Cg, cfg.npb_class);
+        for c in [presets::vayu(), presets::dcc(), presets::ec2()] {
+            let pts = faultsweep_points(&cfg, &w, &c, 16, &FAULTSWEEP_SCALES);
+            for pair in pts.windows(2) {
+                // Thinned schedules nest across scales, so more scale means a
+                // superset of fault events. Retry quantisation can shift when
+                // a stalled rank wakes, so allow a 1% slack on the ordering.
+                assert!(
+                    pair[1].plain_s >= 0.99 * pair[0].plain_s,
+                    "{} plain: {:?} -> {:?}",
+                    c.name,
+                    pair[0],
+                    pair[1]
+                );
+                assert!(
+                    pair[1].ckpt_s >= 0.99 * pair[0].ckpt_s,
+                    "{} ckpt: {:?} -> {:?}",
+                    c.name,
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faultsweep_checkpoint_crossover_on_ec2_spot() {
+        let cfg = ReproConfig::quick();
+        let w = MetUm {
+            timesteps: cfg.metum_steps,
+        };
+        let pts = faultsweep_points(&cfg, &w, &presets::ec2(), 16, &[0.0, 4.0]);
+        // Fault-free, checkpointing is pure overhead...
+        assert!(pts[0].ckpt_s >= pts[0].plain_s, "{:?}", pts[0]);
+        // ...but once spot preemptions force restarts, resuming from the
+        // last checkpoint beats replaying the whole job from scratch.
+        assert!(pts[1].plain_restarts >= 1, "{:?}", pts[1]);
+        assert!(pts[1].ckpt_s < pts[1].plain_s, "{:?}", pts[1]);
     }
 
     #[test]

@@ -39,20 +39,22 @@ pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
 pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
 pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
-    all_figures, fig1_osu_bandwidth, fig2_osu_latency, fig3_npb_serial, fig4_kernel,
-    fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance, tab2_npb_comm, tab3_metum,
-    ReproConfig,
+    all_figures, faultsweep, faultsweep_points, fig1_osu_bandwidth, fig2_osu_latency,
+    fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance,
+    tab2_npb_comm, tab3_metum, FaultPoint, ReproConfig, DEFAULT_SEED, FAULTSWEEP_SCALES,
 };
 pub use plot::AsciiChart;
 pub use pricing::PriceModel;
 pub use scheduler::{
-    arrive_f_table, simulate_queue, synthetic_mix, Capacities, Job, Policy, QueueStats, Site,
+    arrive_f_table, simulate_queue, simulate_queue_preemptible, synthetic_mix, Capacities, Job,
+    Policy, Preemption, QueueStats, Site,
 };
 pub use table::{fmt_pct, fmt_ratio, fmt_secs, Table};
 
 // Re-export the component crates under stable names.
 pub use numerics;
 pub use sim_des;
+pub use sim_faults;
 pub use sim_ipm;
 pub use sim_mpi;
 pub use sim_net;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::experiment::{parallel_map, Experiment};
     pub use crate::figures::ReproConfig;
     pub use crate::table::Table;
+    pub use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
     pub use sim_ipm::{profile_run, IpmReport};
     pub use sim_mpi::{run_job, CollOp, JobSpec, NullSink, Op, SimConfig, SimResult};
     pub use sim_platform::{presets, ClusterSpec, Placement, Strategy};

@@ -75,6 +75,21 @@ pub struct QueueStats {
     pub mean_wait: f64,
     pub mean_turnaround: f64,
     pub burst_fraction: f64,
+    /// Cloud jobs killed by a spot/instance preemption and relocated back
+    /// to the HPC backlog (0 unless simulated with [`Preemption`]).
+    pub preemptions: usize,
+}
+
+/// Spot/instance preemption on the cloud sites, for
+/// [`simulate_queue_preemptible`]: each job started on DCC or EC2 draws an
+/// exponential time-to-preempt at `rate_per_node_hour * nodes`; if it fires
+/// before the job completes, the job is killed, its work is lost, and
+/// ARRIVE-F relocates it to the back of the HPC queue (the conservative
+/// recovery: the home partition can always run it).
+#[derive(Debug, Clone, Copy)]
+pub struct Preemption {
+    pub rate_per_node_hour: f64,
+    pub seed: u64,
 }
 
 /// Capacities of the three sites, in nodes.
@@ -103,10 +118,33 @@ impl Default for Capacities {
 /// attempted at submission time only (matching ARRIVE-F's relocation at
 /// schedule time). Deterministic.
 pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueStats {
+    simulate_queue_impl(jobs, caps, policy, None)
+}
+
+/// [`simulate_queue`] with cloud preemptions: jobs bursted to DCC/EC2 may be
+/// killed mid-run and requeued on the HPC partition, losing their cloud
+/// progress. Quantifies how much of ARRIVE-F's waiting-time win survives on
+/// revocable (spot-priced) capacity.
+pub fn simulate_queue_preemptible(
+    jobs: &[Job],
+    caps: Capacities,
+    policy: Policy,
+    preempt: Preemption,
+) -> QueueStats {
+    simulate_queue_impl(jobs, caps, policy, Some(preempt))
+}
+
+fn simulate_queue_impl(
+    jobs: &[Job],
+    caps: Capacities,
+    policy: Policy,
+    preempt: Option<Preemption>,
+) -> QueueStats {
     #[derive(Debug, Clone, Copy)]
     enum Ev {
         Submit(usize),
         Finish { site: usize, nodes: usize },
+        Preempt { jid: usize, site: usize },
     }
     let mut q: EventQueue<Ev> = EventQueue::new();
     for (i, j) in jobs.iter().enumerate() {
@@ -118,17 +156,15 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
     let mut backlog: [std::collections::VecDeque<usize>; 3] = Default::default();
     let mut out: Vec<Option<Scheduled>> = vec![None; jobs.len()];
     let mut bursts = 0usize;
+    let mut preemptions = 0usize;
 
     // Try to start queued jobs on `site` at time `now`.
-    fn drain(
-        site: usize,
-        now: SimTime,
-        jobs: &[Job],
-        free: &mut [usize; 3],
-        backlog: &mut [std::collections::VecDeque<usize>; 3],
-        out: &mut [Option<Scheduled>],
-        q: &mut EventQueue<Ev>,
-    ) {
+    let drain = |site: usize,
+                 now: SimTime,
+                 free: &mut [usize; 3],
+                 backlog: &mut [std::collections::VecDeque<usize>; 3],
+                 out: &mut [Option<Scheduled>],
+                 q: &mut EventQueue<Ev>| {
         while let Some(&jid) = backlog[site].front() {
             let need = jobs[jid].nodes;
             if free[site] < need {
@@ -150,12 +186,26 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
                 wait,
                 runtime,
             });
-            q.push(
-                now + SimDur::from_secs_f64(runtime),
-                Ev::Finish { site, nodes: need },
-            );
+            // On a revocable cloud site, draw the instance's
+            // time-to-preempt; if it fires first, the job dies mid-run.
+            let killed_at = preempt.and_then(|p| {
+                if site == 0 || p.rate_per_node_hour <= 0.0 {
+                    return None;
+                }
+                let mut rng = DetRng::new(p.seed, 0x9EE2_0000 ^ jid as u64);
+                let mean = 3600.0 / (p.rate_per_node_hour * need as f64);
+                let t = rng.exponential(mean);
+                (t < runtime).then_some(t)
+            });
+            match killed_at {
+                Some(t) => q.push(now + SimDur::from_secs_f64(t), Ev::Preempt { jid, site }),
+                None => q.push(
+                    now + SimDur::from_secs_f64(runtime),
+                    Ev::Finish { site, nodes: need },
+                ),
+            }
         }
-    }
+    };
 
     while let Some((now, ev)) = q.pop() {
         match ev {
@@ -203,11 +253,23 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
                     }
                 }
                 backlog[site].push_back(jid);
-                drain(site, now, jobs, &mut free, &mut backlog, &mut out, &mut q);
+                drain(site, now, &mut free, &mut backlog, &mut out, &mut q);
             }
             Ev::Finish { site, nodes } => {
                 free[site] += nodes;
-                drain(site, now, jobs, &mut free, &mut backlog, &mut out, &mut q);
+                drain(site, now, &mut free, &mut backlog, &mut out, &mut q);
+            }
+            Ev::Preempt { jid, site } => {
+                // The instance is revoked: release the nodes, drop the lost
+                // cloud run and requeue the job on its home HPC partition
+                // (ARRIVE-F's relocation in reverse). Its wait clock keeps
+                // running from the original submission.
+                free[site] += jobs[jid].nodes;
+                out[jid] = None;
+                preemptions += 1;
+                backlog[0].push_back(jid);
+                drain(site, now, &mut free, &mut backlog, &mut out, &mut q);
+                drain(0, now, &mut free, &mut backlog, &mut out, &mut q);
             }
         }
     }
@@ -220,6 +282,7 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
         mean_wait,
         mean_turnaround,
         burst_fraction: bursts as f64 / n,
+        preemptions,
         jobs: jobs_out,
     }
 }
@@ -438,6 +501,50 @@ mod tests {
         for s in &tight.jobs {
             assert_ne!(s.site, Site::Ec2, "{s:?}");
         }
+    }
+
+    #[test]
+    fn preemption_requeues_cloud_jobs_to_hpc() {
+        let caps = Capacities::default();
+        let policy = Policy::CloudBurst { threshold: 0.5 };
+        let base = simulate_queue(&quick_jobs(), caps, policy);
+        assert!(base.burst_fraction > 0.0);
+        // An absurdly hostile revocation rate kills every cloud run almost
+        // immediately: every job finishes on Vayu and the bursting win is
+        // wiped out.
+        let spec = Preemption {
+            rate_per_node_hour: 1e6,
+            seed: 11,
+        };
+        let hostile = simulate_queue_preemptible(&quick_jobs(), caps, policy, spec);
+        assert!(hostile.preemptions > 0);
+        for s in &hostile.jobs {
+            assert_eq!(s.site, Site::Vayu, "{s:?}");
+        }
+        assert!(hostile.mean_wait > base.mean_wait);
+        // Same seed, same outcome.
+        let again = simulate_queue_preemptible(&quick_jobs(), caps, policy, spec);
+        assert_eq!(hostile.mean_wait, again.mean_wait);
+        assert_eq!(hostile.preemptions, again.preemptions);
+    }
+
+    #[test]
+    fn zero_preemption_rate_matches_plain_queue() {
+        let caps = Capacities::default();
+        let policy = Policy::CloudBurst { threshold: 0.5 };
+        let base = simulate_queue(&quick_jobs(), caps, policy);
+        let calm = simulate_queue_preemptible(
+            &quick_jobs(),
+            caps,
+            policy,
+            Preemption {
+                rate_per_node_hour: 0.0,
+                seed: 11,
+            },
+        );
+        assert_eq!(calm.preemptions, 0);
+        assert_eq!(calm.mean_wait, base.mean_wait);
+        assert_eq!(calm.mean_turnaround, base.mean_turnaround);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! `sim-faults` — deterministic, seeded fault schedules for the cluster
+//! simulator.
+//!
+//! The paper measures the three platforms on healthy hardware; this crate
+//! models the other half of the cloud-HPC story: reliability. A
+//! [`FaultModel`] describes *rates* (events per node-hour) and *severities*
+//! for five failure classes, and [`FaultSchedule::generate`] expands it into
+//! a concrete, reproducible timeline of [`FaultWindow`]s for one job:
+//!
+//! | model                | real-world failure it stands in for            |
+//! |----------------------|------------------------------------------------|
+//! | `NodeCrash`          | node panic / ECC MCE / unplanned reboot (MTBF) |
+//! | `NicDegrade`         | NIC flap, renegotiated link, vSwitch storm     |
+//! | `StealStorm`         | hypervisor steal-time burst (noisy neighbour)  |
+//! | `NfsBrownout`        | shared NFS server overload / failover          |
+//! | `Preemption`         | spot/preemptible instance revocation           |
+//!
+//! Determinism contract: the schedule is a pure function of
+//! `(model, nodes, horizon, seed)`. Candidate events are drawn at the
+//! model's *maximum* intensity and accepted by thinning against
+//! [`FaultModel::scale`], so schedules at lower intensity are strict
+//! subsets of schedules at higher intensity — which is what makes
+//! time-to-solution monotone in fault rate in the `faultsweep` experiment.
+//! A scale of `0.0` yields an empty schedule (the documented no-op).
+
+use sim_des::{DetRng, SimDur, SimTime};
+use sim_platform::{ClusterSpec, HypervisorKind};
+
+/// What a fault window does to the ranks it covers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node is down: ops issued on it stall until the window ends and a
+    /// retry attempt fires (see [`RetryPolicy`]).
+    NodeCrash,
+    /// The node's fabric endpoint is degraded: LogGP costs inflate by
+    /// `factor` (latency up, bandwidth down).
+    NicDegrade { factor: f64 },
+    /// Hypervisor steal storm: compute on the node runs `factor`× slower.
+    StealStorm { factor: f64 },
+    /// Shared-filesystem brownout: I/O anywhere in the job runs `factor`×
+    /// slower (the NFS/Lustre server is a cluster-wide resource).
+    NfsBrownout { factor: f64 },
+    /// Fatal: the instance is revoked. The whole MPI job dies and must
+    /// restart from its last completed checkpoint (or from scratch).
+    Preemption,
+}
+
+/// One concrete fault on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Node index within the job's placement (ignored for `NfsBrownout`).
+    pub node: usize,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub kind: FaultKind,
+}
+
+/// Rates and severities for the five fault classes.
+///
+/// Rates are events per node-hour (per hour for the cluster-wide
+/// `brownout_per_hour`) at `scale == 1.0`. The `scale` knob thins a shared
+/// master schedule, so varying it keeps lower-intensity schedules nested
+/// inside higher-intensity ones; it clamps to [`FaultModel::MAX_SCALE`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    pub name: &'static str,
+    /// Intensity multiplier in `0.0 ..= MAX_SCALE`; `0.0` disables faults.
+    pub scale: f64,
+
+    pub crash_per_node_hour: f64,
+    pub crash_mean_secs: f64,
+
+    pub nic_per_node_hour: f64,
+    pub nic_mean_secs: f64,
+    pub nic_factor: f64,
+
+    pub steal_per_node_hour: f64,
+    pub steal_mean_secs: f64,
+    pub steal_factor: f64,
+
+    pub brownout_per_hour: f64,
+    pub brownout_mean_secs: f64,
+    pub brownout_factor: f64,
+
+    pub preempt_per_node_hour: f64,
+}
+
+impl FaultModel {
+    /// Upper bound on `scale`; candidate events are drawn at this intensity
+    /// and thinned down, so schedules are nested across scales.
+    pub const MAX_SCALE: f64 = 8.0;
+
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultModel {
+            name: "none",
+            scale: 0.0,
+            crash_per_node_hour: 0.0,
+            crash_mean_secs: 0.0,
+            nic_per_node_hour: 0.0,
+            nic_mean_secs: 0.0,
+            nic_factor: 1.0,
+            steal_per_node_hour: 0.0,
+            steal_mean_secs: 0.0,
+            steal_factor: 1.0,
+            brownout_per_hour: 0.0,
+            brownout_mean_secs: 0.0,
+            brownout_factor: 1.0,
+            preempt_per_node_hour: 0.0,
+        }
+    }
+
+    /// Vayu: bare-metal supercomputer. The only failure class that matters
+    /// is the node MTBF (rare crash/reboot); the fabric and Lustre servers
+    /// are engineered and dedicated.
+    pub fn vayu() -> Self {
+        FaultModel {
+            name: "vayu",
+            scale: 1.0,
+            crash_per_node_hour: 0.004,
+            crash_mean_secs: 120.0,
+            ..FaultModel::none()
+        }
+    }
+
+    /// DCC: VMware private cloud. Dominated by vSwitch storms (NIC
+    /// degradation), ESX steal-time bursts, and brownouts of the shared
+    /// NFS server; occasional blade crash. No preemption — the blades are
+    /// dedicated to the tenant.
+    pub fn dcc() -> Self {
+        FaultModel {
+            name: "dcc",
+            scale: 1.0,
+            crash_per_node_hour: 0.002,
+            crash_mean_secs: 90.0,
+            nic_per_node_hour: 0.06,
+            nic_mean_secs: 20.0,
+            nic_factor: 8.0,
+            steal_per_node_hour: 0.10,
+            steal_mean_secs: 10.0,
+            steal_factor: 3.0,
+            brownout_per_hour: 0.03,
+            brownout_mean_secs: 30.0,
+            brownout_factor: 5.0,
+            preempt_per_node_hour: 0.0,
+        }
+    }
+
+    /// EC2: public cloud. Adds the class the other two platforms do not
+    /// have — spot-instance preemption — on top of moderate steal and
+    /// virtual-NIC flap rates.
+    pub fn ec2() -> Self {
+        FaultModel {
+            name: "ec2",
+            scale: 1.0,
+            crash_per_node_hour: 0.002,
+            crash_mean_secs: 60.0,
+            nic_per_node_hour: 0.03,
+            nic_mean_secs: 10.0,
+            nic_factor: 4.0,
+            steal_per_node_hour: 0.08,
+            steal_mean_secs: 8.0,
+            steal_factor: 2.5,
+            brownout_per_hour: 0.015,
+            brownout_mean_secs: 20.0,
+            brownout_factor: 4.0,
+            preempt_per_node_hour: 0.02,
+        }
+    }
+
+    /// Preset keyed off the cluster: by name when it is one of the paper's
+    /// three platforms, by hypervisor kind otherwise (any virtualized
+    /// cluster behaves like the private cloud, bare metal like the HPC).
+    pub fn preset_for(cluster: &ClusterSpec) -> Self {
+        match cluster.name {
+            "vayu" => FaultModel::vayu(),
+            "dcc" => FaultModel::dcc(),
+            "ec2" => FaultModel::ec2(),
+            _ => match cluster.node.hypervisor.kind {
+                HypervisorKind::BareMetal => FaultModel::vayu(),
+                HypervisorKind::Xen => FaultModel::ec2(),
+                HypervisorKind::VmwareEsx | HypervisorKind::Kvm => FaultModel::dcc(),
+            },
+        }
+    }
+
+    /// Same model at a different intensity (clamped to `0 ..= MAX_SCALE`).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale.clamp(0.0, Self::MAX_SCALE);
+        self
+    }
+
+    /// Multiply every event rate by `f`. Used by the `faultsweep` driver to
+    /// calibrate per-hour rates against a job's fault-free runtime, so short
+    /// simulated jobs still see a meaningful number of events.
+    pub fn with_rates_scaled(mut self, f: f64) -> Self {
+        self.crash_per_node_hour *= f;
+        self.nic_per_node_hour *= f;
+        self.steal_per_node_hour *= f;
+        self.brownout_per_hour *= f;
+        self.preempt_per_node_hour *= f;
+        self
+    }
+
+    /// True when the schedule this model generates is provably empty.
+    pub fn is_null(&self) -> bool {
+        self.scale <= 0.0
+            || (self.crash_per_node_hour <= 0.0
+                && self.nic_per_node_hour <= 0.0
+                && self.steal_per_node_hour <= 0.0
+                && self.brownout_per_hour <= 0.0
+                && self.preempt_per_node_hour <= 0.0)
+    }
+}
+
+/// Exponential-backoff retry for ops stalled on a crashed node.
+///
+/// An op issued at `t` on a down node fails immediately, then retries at
+/// `t + timeout`, `t + timeout·(1 + backoff)`, … with the inter-attempt
+/// delay multiplying by `backoff` and capping at `max_delay`. The first
+/// attempt at or after the node's recovery succeeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Seconds before the first re-issue.
+    pub timeout_secs: f64,
+    /// Multiplier applied to the delay after every failed attempt.
+    pub backoff: f64,
+    /// Attempts after the initial issue before giving up.
+    pub max_retries: u32,
+    /// Upper bound on a single inter-attempt delay, seconds.
+    pub max_delay_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_secs: 0.5,
+            backoff: 2.0,
+            max_retries: 16,
+            max_delay_secs: 30.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic instant the op finally goes through: the first
+    /// retry attempt at or after `recovery`, or `None` when the retry
+    /// budget is exhausted first.
+    pub fn first_success(&self, issued: SimTime, recovery: SimTime) -> Option<SimTime> {
+        let mut t = issued;
+        let mut delay = self.timeout_secs.max(1e-9);
+        for _ in 0..=self.max_retries {
+            if t >= recovery {
+                return Some(t);
+            }
+            t += SimDur::from_secs_f64(delay);
+            delay = (delay * self.backoff).min(self.max_delay_secs);
+        }
+        if t >= recovery {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything the engine needs to simulate a faulty run: the model, the
+/// retry semantics, and the restart cost after a fatal fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    pub model: FaultModel,
+    pub retry: RetryPolicy,
+    /// Wall-clock seconds to re-provision and relaunch after a fatal fault
+    /// (queue time, boot, MPI wire-up) before ranks resume.
+    pub restart_delay_secs: f64,
+    /// Horizon over which fault windows are pre-generated. Events beyond it
+    /// never fire, which also guarantees every run terminates: after the
+    /// last fatal the job completes unperturbed.
+    pub horizon_secs: f64,
+}
+
+impl FaultSpec {
+    /// Platform preset at scale 1.0 with default retry/restart parameters.
+    pub fn preset_for(cluster: &ClusterSpec) -> Self {
+        FaultSpec {
+            model: FaultModel::preset_for(cluster),
+            retry: RetryPolicy::default(),
+            restart_delay_secs: 30.0,
+            horizon_secs: 4.0 * 3600.0,
+        }
+    }
+}
+
+// Disjoint DetRng stream tags per fault class; the per-node index is added
+// so every (class, node) pair owns an independent deterministic stream.
+const STREAM_CRASH: u64 = 0xFA17_0000;
+const STREAM_NIC: u64 = 0xFA17_1000;
+const STREAM_STEAL: u64 = 0xFA17_2000;
+const STREAM_BROWNOUT: u64 = 0xFA17_3000;
+const STREAM_PREEMPT: u64 = 0xFA17_4000;
+
+/// A concrete, queryable fault timeline for one job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// Per-node transient windows (crash / NIC / steal), sorted by start.
+    per_node: Vec<Vec<FaultWindow>>,
+    /// Cluster-wide filesystem brownouts, sorted by start.
+    brownouts: Vec<FaultWindow>,
+    /// Sorted times of fatal (preemption) events.
+    fatals: Vec<SimTime>,
+}
+
+impl FaultSchedule {
+    /// Expand `model` into windows covering `nodes` nodes over `horizon`.
+    ///
+    /// Pure function of its arguments. Candidates are drawn at
+    /// `rate × MAX_SCALE` and kept iff `u · MAX_SCALE < scale` where `u` is
+    /// drawn per candidate — so for a fixed `(model rates, nodes, horizon,
+    /// seed)` the accepted set at a lower scale is a subset of the set at a
+    /// higher scale.
+    pub fn generate(model: &FaultModel, nodes: usize, horizon: SimDur, seed: u64) -> Self {
+        Self::generate_for(model, nodes, 0..nodes, horizon, seed)
+    }
+
+    /// Like [`generate`](Self::generate), but only draws windows for the
+    /// node indices in `active` (each must be `< nodes`). Per-node RNG
+    /// streams are keyed by the absolute node index, so an active node's
+    /// windows are bit-identical whether its peers are generated or not —
+    /// a job placed on 2 of a 1492-node cluster pays for 2 nodes' worth of
+    /// schedule, not 1492.
+    pub fn generate_for(
+        model: &FaultModel,
+        nodes: usize,
+        active: impl IntoIterator<Item = usize>,
+        horizon: SimDur,
+        seed: u64,
+    ) -> Self {
+        let mut sched = FaultSchedule {
+            per_node: vec![Vec::new(); nodes],
+            brownouts: Vec::new(),
+            fatals: Vec::new(),
+        };
+        if model.is_null() || nodes == 0 {
+            return sched;
+        }
+        let horizon_secs = horizon.as_secs_f64();
+
+        for node in active {
+            assert!(node < nodes, "active node {node} out of range {nodes}");
+            thin_class(
+                model,
+                model.crash_per_node_hour,
+                model.crash_mean_secs,
+                DetRng::new(seed, STREAM_CRASH.wrapping_add(node as u64)),
+                horizon_secs,
+                |start, end| {
+                    sched.per_node[node].push(FaultWindow {
+                        node,
+                        start,
+                        end,
+                        kind: FaultKind::NodeCrash,
+                    })
+                },
+            );
+            thin_class(
+                model,
+                model.nic_per_node_hour,
+                model.nic_mean_secs,
+                DetRng::new(seed, STREAM_NIC.wrapping_add(node as u64)),
+                horizon_secs,
+                |start, end| {
+                    sched.per_node[node].push(FaultWindow {
+                        node,
+                        start,
+                        end,
+                        kind: FaultKind::NicDegrade {
+                            factor: model.nic_factor,
+                        },
+                    })
+                },
+            );
+            thin_class(
+                model,
+                model.steal_per_node_hour,
+                model.steal_mean_secs,
+                DetRng::new(seed, STREAM_STEAL.wrapping_add(node as u64)),
+                horizon_secs,
+                |start, end| {
+                    sched.per_node[node].push(FaultWindow {
+                        node,
+                        start,
+                        end,
+                        kind: FaultKind::StealStorm {
+                            factor: model.steal_factor,
+                        },
+                    })
+                },
+            );
+            thin_class(
+                model,
+                model.preempt_per_node_hour,
+                // Fatal events are instants; duration is irrelevant but a
+                // draw still happens to keep candidate streams aligned
+                // across parameter changes.
+                1.0,
+                DetRng::new(seed, STREAM_PREEMPT.wrapping_add(node as u64)),
+                horizon_secs,
+                |start, _end| sched.fatals.push(start),
+            );
+        }
+        thin_class(
+            model,
+            model.brownout_per_hour,
+            model.brownout_mean_secs,
+            DetRng::new(seed, STREAM_BROWNOUT),
+            horizon_secs,
+            |start, end| {
+                sched.brownouts.push(FaultWindow {
+                    node: 0,
+                    start,
+                    end,
+                    kind: FaultKind::NfsBrownout {
+                        factor: model.brownout_factor,
+                    },
+                })
+            },
+        );
+
+        for windows in &mut sched.per_node {
+            windows.sort_by_key(|w| w.start);
+        }
+        sched.brownouts.sort_by_key(|w| w.start);
+        sched.fatals.sort();
+        sched
+    }
+
+    /// No windows and no fatal events at all.
+    pub fn is_empty(&self) -> bool {
+        self.fatals.is_empty()
+            && self.brownouts.is_empty()
+            && self.per_node.iter().all(|w| w.is_empty())
+    }
+
+    /// Total number of transient windows plus fatal events.
+    pub fn len(&self) -> usize {
+        self.fatals.len()
+            + self.brownouts.len()
+            + self.per_node.iter().map(|w| w.len()).sum::<usize>()
+    }
+
+    /// Slowdown factor for compute on `node` at time `t` (>= 1.0).
+    pub fn compute_factor(&self, node: usize, t: SimTime) -> f64 {
+        self.max_factor(node, t, |k| match k {
+            FaultKind::StealStorm { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
+    /// Inflation factor for fabric costs touching `node` at time `t`.
+    pub fn net_factor(&self, node: usize, t: SimTime) -> f64 {
+        self.max_factor(node, t, |k| match k {
+            FaultKind::NicDegrade { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
+    /// Slowdown factor for shared-filesystem I/O at time `t`.
+    pub fn io_factor(&self, t: SimTime) -> f64 {
+        let mut f = 1.0f64;
+        for w in &self.brownouts {
+            if w.start > t {
+                break;
+            }
+            if t < w.end {
+                if let FaultKind::NfsBrownout { factor } = w.kind {
+                    f = f.max(factor);
+                }
+            }
+        }
+        f
+    }
+
+    /// If `node` is inside a crash window at `t`, the instant it recovers
+    /// (the furthest end of any overlapping crash window covering `t`).
+    pub fn crash_end(&self, node: usize, t: SimTime) -> Option<SimTime> {
+        let mut end: Option<SimTime> = None;
+        if let Some(windows) = self.per_node.get(node) {
+            for w in windows {
+                if w.start > t {
+                    break;
+                }
+                if t < w.end && w.kind == FaultKind::NodeCrash {
+                    end = Some(end.map_or(w.end, |e| e.max(w.end)));
+                }
+            }
+        }
+        end
+    }
+
+    /// Sorted times of fatal events (spot preemptions).
+    pub fn fatals(&self) -> &[SimTime] {
+        &self.fatals
+    }
+
+    /// All transient windows, for tests and reporting.
+    pub fn windows(&self) -> impl Iterator<Item = &FaultWindow> {
+        self.per_node.iter().flatten().chain(self.brownouts.iter())
+    }
+
+    fn max_factor(&self, node: usize, t: SimTime, pick: impl Fn(FaultKind) -> Option<f64>) -> f64 {
+        let mut f = 1.0f64;
+        if let Some(windows) = self.per_node.get(node) {
+            for w in windows {
+                if w.start > t {
+                    break;
+                }
+                if t < w.end {
+                    if let Some(x) = pick(w.kind) {
+                        f = f.max(x);
+                    }
+                }
+            }
+        }
+        f
+    }
+}
+
+/// Draw a Poisson candidate stream at `rate × MAX_SCALE` events per hour
+/// and accept each candidate with probability `scale / MAX_SCALE`.
+fn thin_class(
+    model: &FaultModel,
+    rate_per_hour: f64,
+    mean_secs: f64,
+    mut rng: DetRng,
+    horizon_secs: f64,
+    mut emit: impl FnMut(SimTime, SimTime),
+) {
+    if rate_per_hour <= 0.0 {
+        return;
+    }
+    let mean_interarrival = 3600.0 / (rate_per_hour * FaultModel::MAX_SCALE);
+    let mut t = 0.0f64;
+    loop {
+        t += rng.exponential(mean_interarrival);
+        if t >= horizon_secs || t.is_nan() {
+            return;
+        }
+        let dur = rng.exponential(mean_secs.max(1e-9));
+        let u = rng.uniform();
+        if u * FaultModel::MAX_SCALE < model.scale {
+            let start = SimTime::from_secs_f64(t);
+            let end = SimTime::from_secs_f64(t + dur);
+            emit(start, end.max(start + SimDur::from_nanos(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon() -> SimDur {
+        SimDur::from_secs_f64(3600.0)
+    }
+
+    #[test]
+    fn zero_scale_is_empty() {
+        let m = FaultModel::dcc().scaled(0.0);
+        let s = FaultSchedule::generate(&m, 8, horizon(), 42);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.compute_factor(0, SimTime::from_secs(100)), 1.0);
+        assert_eq!(s.net_factor(0, SimTime::from_secs(100)), 1.0);
+        assert_eq!(s.io_factor(SimTime::from_secs(100)), 1.0);
+        assert!(s.crash_end(0, SimTime::from_secs(100)).is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = FaultModel::ec2().scaled(2.0);
+        let a = FaultSchedule::generate(&m, 4, horizon(), 7);
+        let b = FaultSchedule::generate(&m, 4, horizon(), 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&m, 4, horizon(), 8);
+        assert_ne!(a, c, "different seed must move the schedule");
+    }
+
+    #[test]
+    fn schedules_nest_across_scales() {
+        let base = FaultModel::dcc();
+        let mut prev_len = 0usize;
+        let mut prev: Vec<FaultWindow> = Vec::new();
+        for scale in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let m = base.clone().scaled(scale);
+            let s = FaultSchedule::generate(&m, 8, horizon(), 99);
+            let windows: Vec<FaultWindow> = s.windows().copied().collect();
+            for w in &prev {
+                assert!(
+                    windows.contains(w),
+                    "scale {scale}: window {w:?} from a lower scale vanished"
+                );
+            }
+            assert!(s.len() >= prev_len);
+            prev = windows;
+            prev_len = s.len();
+        }
+    }
+
+    #[test]
+    fn fatals_only_on_preemptible_platforms() {
+        let h = SimDur::from_secs_f64(200.0 * 3600.0);
+        let dcc = FaultSchedule::generate(&FaultModel::dcc().scaled(8.0), 8, h, 1);
+        assert!(dcc.fatals().is_empty(), "dcc has no spot market");
+        let ec2 = FaultSchedule::generate(&FaultModel::ec2().scaled(8.0), 8, h, 1);
+        assert!(!ec2.fatals().is_empty(), "ec2 at max scale must preempt");
+        assert!(ec2.fatals().windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn factors_reflect_windows() {
+        let m = FaultModel::dcc().scaled(8.0);
+        let s = FaultSchedule::generate(&m, 8, SimDur::from_secs_f64(100.0 * 3600.0), 3);
+        let mut saw_steal = false;
+        let mut saw_nic = false;
+        for w in s.windows() {
+            let mid = w.start + SimDur::from_nanos(w.end.since(w.start).0 / 2);
+            match w.kind {
+                FaultKind::StealStorm { factor } => {
+                    assert!(s.compute_factor(w.node, mid) >= factor);
+                    saw_steal = true;
+                }
+                FaultKind::NicDegrade { factor } => {
+                    assert!(s.net_factor(w.node, mid) >= factor);
+                    saw_nic = true;
+                }
+                FaultKind::NodeCrash => {
+                    let end = s.crash_end(w.node, mid).expect("down node reports end");
+                    assert!(end >= w.end);
+                }
+                FaultKind::NfsBrownout { factor } => {
+                    assert!(s.io_factor(mid) >= factor);
+                }
+                FaultKind::Preemption => {}
+            }
+        }
+        assert!(saw_steal && saw_nic, "dcc at max scale shows both classes");
+    }
+
+    #[test]
+    fn retry_closed_form() {
+        let p = RetryPolicy::default();
+        let issued = SimTime::from_secs(10);
+        // Node already up: first attempt succeeds immediately.
+        assert_eq!(p.first_success(issued, SimTime::from_secs(5)), Some(issued));
+        // Node recovers shortly: success at the first attempt at/after it.
+        let recovery = issued + SimDur::from_secs_f64(1.2);
+        let got = p.first_success(issued, recovery).unwrap();
+        assert!(got >= recovery);
+        assert!(got.since(recovery) < SimDur::from_secs_f64(2.0));
+        // Attempts are monotone in recovery time.
+        let later = p
+            .first_success(issued, recovery + SimDur::from_secs_f64(5.0))
+            .unwrap();
+        assert!(later >= got);
+        // Retry budget exhausts for an unreachable recovery.
+        let tight = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            tight.first_success(issued, SimTime::from_secs(10_000)),
+            None
+        );
+    }
+
+    #[test]
+    fn presets_match_platforms() {
+        assert!(FaultModel::vayu().preempt_per_node_hour == 0.0);
+        assert!(FaultModel::dcc().preempt_per_node_hour == 0.0);
+        assert!(FaultModel::ec2().preempt_per_node_hour > 0.0);
+        assert!(FaultModel::dcc().nic_factor > FaultModel::ec2().nic_factor);
+        assert!(FaultModel::vayu().nic_per_node_hour == 0.0);
+    }
+}

@@ -23,6 +23,10 @@ pub struct Ledger {
     pub comp: f64,
     pub comm: f64,
     pub io: f64,
+    /// Time lost to faults: crash stalls (with retries) and kill-to-relaunch
+    /// restart gaps. This is IPM's FAULT/RESTART accounting; zero on
+    /// fault-free runs.
+    pub fault: f64,
     /// MPI call hash: (call, log2-size bucket) → aggregate.
     pub calls: HashMap<(MpiKind, u8), CallAgg>,
 }
@@ -181,6 +185,27 @@ impl ProfSink for IpmCollector {
                 let d = end.since(start).as_secs_f64();
                 self.attribute(rank, |l| l.io += d);
                 let rp = &mut self.ranks[rank];
+                rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
+                rp.last_event = end;
+            }
+            ProfEvent::Fault { start, end } => {
+                // A transient stall charges the open section like any other
+                // timed activity — the section was live while the node hung.
+                let d = end.since(start).as_secs_f64();
+                self.attribute(rank, |l| l.fault += d);
+                let rp = &mut self.ranks[rank];
+                rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
+                rp.last_event = end;
+            }
+            ProfEvent::Restart { start, end } => {
+                // The job died: whatever sections were open were aborted,
+                // never exited. Their partial wallclock is dropped (the rank
+                // will re-enter them as it replays) and the kill-to-relaunch
+                // gap lands in the global FAULT/RESTART ledger only.
+                let d = end.since(start).as_secs_f64();
+                let rp = &mut self.ranks[rank];
+                rp.stack.clear();
+                rp.global.fault += d;
                 rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
                 rp.last_event = end;
             }

@@ -18,6 +18,9 @@ pub struct SectionReport {
     pub comm: Summary,
     /// Per-rank I/O time.
     pub io: Summary,
+    /// Per-rank fault/recovery time (crash stalls and restart gaps);
+    /// all-zero on fault-free runs.
+    pub fault: Summary,
     /// MPI call table, sorted by time descending.
     pub calls: Vec<CallRow>,
 }
@@ -51,6 +54,16 @@ impl SectionReport {
             0.0
         } else {
             100.0 * self.io.mean * self.io.n as f64 / wall
+        }
+    }
+
+    /// Percentage of region wallclock lost to faults and restarts.
+    pub fn fault_pct(&self) -> f64 {
+        let wall = self.wall.mean * self.wall.n as f64;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.fault.mean * self.fault.n as f64 / wall
         }
     }
 
@@ -153,6 +166,14 @@ impl IpmReport {
             self.global.imbalance_pct(),
             100.0 * self.global.collective_frac()
         );
+        if self.global.fault.max > 0.0 {
+            let _ = writeln!(
+                out,
+                "# FAULT/RESTART : {:.4}s mean/rank ({:.2}% of wallclock)",
+                self.global.fault.mean,
+                self.global.fault_pct()
+            );
+        }
         let _ = writeln!(out, "#");
         let _ = writeln!(
             out,
@@ -199,6 +220,7 @@ fn section_report(name: &str, ledgers: Vec<&crate::profiler::Ledger>) -> Section
     let comps: Vec<f64> = ledgers.iter().map(|l| l.comp).collect();
     let comms: Vec<f64> = ledgers.iter().map(|l| l.comm).collect();
     let ios: Vec<f64> = ledgers.iter().map(|l| l.io).collect();
+    let faults: Vec<f64> = ledgers.iter().map(|l| l.fault).collect();
     let mut merged: HashMap<(MpiKind, u8), CallAgg> = HashMap::new();
     for l in &ledgers {
         for (k, v) in &l.calls {
@@ -224,6 +246,7 @@ fn section_report(name: &str, ledgers: Vec<&crate::profiler::Ledger>) -> Section
         comp: Summary::of(&comps).expect("at least one rank"),
         comm: Summary::of(&comms).expect("at least one rank"),
         io: Summary::of(&ios).expect("at least one rank"),
+        fault: Summary::of(&faults).expect("at least one rank"),
         calls,
     }
 }

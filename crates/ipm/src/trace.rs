@@ -20,7 +20,7 @@ pub struct Span {
     pub rank: usize,
     /// Event name ("compute", "MPI_Allreduce", "read", section name...).
     pub name: String,
-    /// Category: "comp" | "mpi" | "io" | "section".
+    /// Category: "comp" | "mpi" | "io" | "section" | "fault".
     pub cat: &'static str,
     pub start: SimTime,
     pub end: SimTime,
@@ -122,6 +122,27 @@ impl ProfSink for TraceCollector {
                 end,
                 bytes,
             }),
+            ProfEvent::Fault { start, end } => self.spans.push(Span {
+                rank,
+                name: "fault-stall".to_string(),
+                cat: "fault",
+                start,
+                end,
+                bytes: 0,
+            }),
+            ProfEvent::Restart { start, end } => {
+                // The job was killed: any open sections were aborted, so
+                // drop them (the rank re-enters them as it replays).
+                self.open_sections[rank].clear();
+                self.spans.push(Span {
+                    rank,
+                    name: "restart".to_string(),
+                    cat: "fault",
+                    start,
+                    end,
+                    bytes: 0,
+                });
+            }
         }
     }
 }

@@ -21,6 +21,7 @@ use crate::op::{CollOp, Group, JobMeta, JobSpec, Op, OpSource, Rank, ReqId, Sect
 use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
 use crate::result::{RankTotals, SimResult};
 use sim_des::{DetRng, EventQueue, SimDur, SimTime};
+use sim_faults::{FaultSchedule, FaultSpec, RetryPolicy};
 use sim_net::{cost, SerialResource};
 use sim_platform::{ClusterSpec, Placement, PlacementError, RankRates, Strategy};
 use std::collections::HashMap;
@@ -35,6 +36,13 @@ pub enum SimError {
     Validation(String),
     /// All live ranks are blocked and nothing can make progress.
     Deadlock(String),
+    /// The engine hit a malformed construct at runtime (out-of-range rank,
+    /// wait on an unknown request, mismatched collective sequence). Only
+    /// reachable with `validate: false`; with validation on these are
+    /// caught up front as [`SimError::Validation`].
+    Malformed(String),
+    /// An op stalled on a crashed node exhausted its retry budget.
+    RetryExhausted(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -43,6 +51,8 @@ impl std::fmt::Display for SimError {
             SimError::Placement(e) => write!(f, "placement failed: {e}"),
             SimError::Validation(e) => write!(f, "job validation failed: {e}"),
             SimError::Deadlock(e) => write!(f, "simulation deadlocked: {e}"),
+            SimError::Malformed(e) => write!(f, "malformed program: {e}"),
+            SimError::RetryExhausted(e) => write!(f, "retries exhausted: {e}"),
         }
     }
 }
@@ -65,6 +75,10 @@ pub struct SimConfig {
     pub strategy: Strategy,
     /// Validate the job's structure before running (cheap; on by default).
     pub validate: bool,
+    /// Optional fault injection. `None` (the default) and a spec whose
+    /// schedule generates no windows are both exact no-ops: the run is
+    /// bit-identical to a fault-free one.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +87,7 @@ impl Default for SimConfig {
             seed: 0xC10D_51B1,
             strategy: Strategy::Block,
             validate: true,
+            faults: None,
         }
     }
 }
@@ -109,6 +124,8 @@ struct RankState {
     comp: SimDur,
     comm: SimDur,
     io: SimDur,
+    /// Time lost to fault stalls and restart gaps.
+    fault: SimDur,
     /// Per-communicator collective sequence counters.
     coll_count: HashMap<Group, u64>,
     /// Monotone generation for lazy heap invalidation.
@@ -154,6 +171,15 @@ struct CollState {
 
 type ChannelKey = (Rank, Rank, Tag);
 
+/// Fault state the engine carries during a run.
+struct ActiveFaults {
+    sched: FaultSchedule,
+    retry: RetryPolicy,
+    restart_delay: SimDur,
+    /// Index of the next unconsumed fatal event in `sched.fatals()`.
+    next_fatal: usize,
+}
+
 /// Run `job` on `cluster`. Profile events stream into `sink`.
 ///
 /// Takes `&mut` because op sources are cursors: they are rewound on entry
@@ -169,7 +195,9 @@ pub fn run_job(
         job.validate().map_err(SimError::Validation)?;
     }
     let np = job.np();
-    assert!(np > 0, "empty job");
+    if np == 0 {
+        return Err(SimError::Validation("empty job: zero ranks".into()));
+    }
     let placement = cluster.place(np, cfg.strategy)?;
     let rates = cluster.rank_rates(&placement);
     job.rewind();
@@ -200,6 +228,23 @@ struct Engine<'a> {
     coll_rng: DetRng,
     done: usize,
     ops_executed: u64,
+    /// Active fault schedule; `None` when the run is fault-free (including
+    /// a spec whose schedule came out empty), so the fault-free path pays
+    /// nothing and stays bit-identical to pre-fault builds.
+    faults: Option<ActiveFaults>,
+    /// Fatal faults survived so far.
+    restarts: u64,
+    /// Globally completed coordinated checkpoints.
+    ckpt_done: u64,
+    /// Per-rank bytes of the last completed checkpoint (restore cost).
+    ckpt_bytes: u64,
+    /// After a restart: checkpoints each rank still has to fast-forward
+    /// past (ops before the cut are replayed at zero cost).
+    skip: Vec<u64>,
+    /// Per-rank checkpoint sequence counters (world-synchronized cut ids).
+    ckpt_count: Vec<u64>,
+    /// Open checkpoint barriers keyed by sequence id.
+    ckpts: HashMap<u64, Vec<(Rank, SimTime)>>,
 }
 
 impl<'a> Engine<'a> {
@@ -229,6 +274,7 @@ impl<'a> Engine<'a> {
                     comp: SimDur::ZERO,
                     comm: SimDur::ZERO,
                     io: SimDur::ZERO,
+                    fault: SimDur::ZERO,
                     coll_count: HashMap::new(),
                     gen: 0,
                     rng: DetRng::new(cfg.seed, r as u64),
@@ -236,6 +282,37 @@ impl<'a> Engine<'a> {
                 }
             })
             .collect();
+        // Expand the fault spec into a concrete schedule over the nodes this
+        // placement actually uses — not the whole cluster: a 16-rank job on
+        // a 1492-node machine only cares about (and can only be killed by)
+        // faults on its own nodes. An empty schedule (zero rates or zero
+        // scale) is dropped entirely so the hot path stays fault-free.
+        let n_nodes = placement.ranks_per_node.len();
+        let faults = cfg.faults.as_ref().and_then(|spec| {
+            let active = placement
+                .ranks_per_node
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(n, _)| n);
+            let sched = FaultSchedule::generate_for(
+                &spec.model,
+                n_nodes,
+                active,
+                SimDur::from_secs_f64(spec.horizon_secs),
+                cfg.seed,
+            );
+            if sched.is_empty() {
+                None
+            } else {
+                Some(ActiveFaults {
+                    sched,
+                    retry: spec.retry,
+                    restart_delay: SimDur::from_secs_f64(spec.restart_delay_secs),
+                    next_fatal: 0,
+                })
+            }
+        });
         Engine {
             meta,
             sources,
@@ -253,13 +330,20 @@ impl<'a> Engine<'a> {
             coll_rng: DetRng::new(cfg.seed, np as u64 + 0x1000),
             done: 0,
             ops_executed: 0,
+            faults,
+            restarts: 0,
+            ckpt_done: 0,
+            ckpt_bytes: 0,
+            skip: vec![0; np],
+            ckpt_count: vec![0; np],
+            ckpts: HashMap::new(),
         }
     }
 
     fn run(mut self, sink: &mut dyn ProfSink) -> Result<SimResult, SimError> {
         let np = self.meta.np;
         loop {
-            let Some((_, (r, gen))) = self.ready.pop() else {
+            let Some((t, (r, gen))) = self.ready.pop() else {
                 if self.done == np {
                     break;
                 }
@@ -268,7 +352,17 @@ impl<'a> Engine<'a> {
             if self.ranks[r].gen != gen || self.ranks[r].status != Status::Ready {
                 continue; // stale heap entry
             }
-            self.step(r, sink);
+            // Fatal fault: once the minimum heap time is at or past the next
+            // fatal instant, nothing else can happen before it (blocked
+            // ranks only advance through ready peers), so the job dies here
+            // and relaunches from its last completed checkpoint.
+            if let Some(f) = self.next_fatal() {
+                if t >= f {
+                    self.do_restart(f, sink);
+                    continue;
+                }
+            }
+            self.step(r, sink)?;
         }
         let elapsed = self
             .ranks
@@ -288,6 +382,7 @@ impl<'a> Engine<'a> {
                 comp: r.comp,
                 comm: r.comm,
                 io: r.io,
+                fault: r.fault,
             })
             .collect();
         Ok(SimResult {
@@ -297,7 +392,156 @@ impl<'a> Engine<'a> {
             ranks,
             placement: self.placement,
             ops_executed: self.ops_executed,
+            restarts: self.restarts,
         })
+    }
+
+    /// Time of the next unconsumed fatal fault, if any.
+    fn next_fatal(&self) -> Option<SimTime> {
+        let a = self.faults.as_ref()?;
+        a.sched.fatals().get(a.next_fatal).copied()
+    }
+
+    /// Fault factor for fabric costs between two nodes at `t` (>= 1.0).
+    fn net_fault_factor(&self, node_a: usize, node_b: usize, t: SimTime) -> f64 {
+        match &self.faults {
+            Some(a) => a
+                .sched
+                .net_factor(node_a, t)
+                .max(a.sched.net_factor(node_b, t)),
+            None => 1.0,
+        }
+    }
+
+    /// Coordinated restart after a fatal fault at `f`: every rank's program
+    /// rewinds, the engine fast-forwards past the last globally completed
+    /// checkpoint, and each rank re-charges the restore read. The gap from
+    /// each rank's death to the relaunch instant is charged to the fault
+    /// ledger and reported as a RESTART event.
+    fn do_restart(&mut self, f: SimTime, sink: &mut dyn ProfSink) {
+        let np = self.meta.np;
+        let a = self.faults.as_mut().expect("restart without faults");
+        // Ranks whose last op ran past the fatal instant still count their
+        // progress (op granularity); relaunch happens after the provisioning
+        // delay, and never before any rank's charged-through clock.
+        let max_clock = self
+            .ranks
+            .iter()
+            .map(|s| s.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let relaunch = (f + a.restart_delay).max(max_clock);
+        // Consume this fatal plus any that land inside the outage window.
+        while let Some(&ft) = a.sched.fatals().get(a.next_fatal) {
+            if ft <= relaunch {
+                a.next_fatal += 1;
+            } else {
+                break;
+            }
+        }
+        self.restarts += 1;
+        // Wipe all in-flight state: messages, posted receives, half-open
+        // exchanges, open collectives and checkpoint barriers, NIC queues.
+        self.eager.clear();
+        self.irecvs.clear();
+        self.exchanges.clear();
+        self.colls.clear();
+        self.ckpts.clear();
+        for nic in &mut self.nics {
+            *nic = SerialResource::new();
+        }
+        self.done = 0;
+        let restore_secs = if self.ckpt_done > 0 {
+            self.cluster.fs.read_time(self.ckpt_bytes, np)
+        } else {
+            0.0
+        };
+        for r in 0..np {
+            let st = &mut self.ranks[r];
+            let died_at = st.clock;
+            sink.on_event(
+                r,
+                ProfEvent::Restart {
+                    start: died_at,
+                    end: relaunch,
+                },
+            );
+            st.fault += relaunch.since(died_at);
+            st.clock = relaunch;
+            st.requests.clear();
+            st.coll_count.clear();
+            st.io_until = SimTime::ZERO;
+            // Replay from the start, discarding everything up to the last
+            // completed checkpoint at zero cost. Checkpoint sequence ids
+            // resume from the cut so re-taken checkpoints stay aligned.
+            self.skip[r] = self.ckpt_done;
+            self.ckpt_count[r] = self.ckpt_done;
+            self.sources[r].rewind();
+            if restore_secs > 0.0 {
+                let start = self.ranks[r].clock;
+                let dur = SimDur::from_secs_f64(restore_secs);
+                let st = &mut self.ranks[r];
+                st.clock += dur;
+                st.io += dur;
+                st.io_until = st.clock;
+                sink.on_event(
+                    r,
+                    ProfEvent::Io {
+                        kind: IoKind::Read,
+                        bytes: self.ckpt_bytes,
+                        start,
+                        end: st.clock,
+                    },
+                );
+            }
+            self.make_ready(r);
+        }
+    }
+
+    /// While the rank's node is inside a crash window, the op it is about
+    /// to issue stalls: it fails, backs off per the retry policy, and
+    /// re-issues until the node recovers (or the budget runs out). Stall
+    /// time is charged to the fault ledger. Loops because the retry that
+    /// clears one outage may land inside the next.
+    fn stall_on_crash(&mut self, r: usize, sink: &mut dyn ProfSink) -> Result<(), SimError> {
+        loop {
+            let now = self.ranks[r].clock;
+            let node = self.rates[r].node;
+            let resume = match &self.faults {
+                None => return Ok(()),
+                Some(a) => match a.sched.crash_end(node, now) {
+                    None => return Ok(()),
+                    Some(recovery) => a.retry.first_success(now, recovery).ok_or_else(|| {
+                        SimError::RetryExhausted(format!(
+                            "rank {r}: node {node} down at {now}, recovery at {recovery} \
+                             beyond the retry budget"
+                        ))
+                    })?,
+                },
+            };
+            let st = &mut self.ranks[r];
+            sink.on_event(
+                r,
+                ProfEvent::Fault {
+                    start: now,
+                    end: resume,
+                },
+            );
+            st.fault += resume.since(now);
+            st.clock = resume;
+        }
+    }
+
+    /// Map a peer rank id to a checked index.
+    fn check_rank(&self, r: usize, peer: Rank) -> Result<usize, SimError> {
+        let p = peer as usize;
+        if p >= self.meta.np {
+            return Err(SimError::Malformed(format!(
+                "rank {r}: peer rank {peer} out of range for np {}",
+                self.meta.np
+            )));
+        }
+        Ok(p)
     }
 
     fn deadlock_report(&self) -> String {
@@ -324,47 +568,90 @@ impl<'a> Engine<'a> {
         self.ready.push(st.clock, (r, st.gen));
     }
 
-    fn step(&mut self, r: usize, sink: &mut dyn ProfSink) {
+    fn step(&mut self, r: usize, sink: &mut dyn ProfSink) -> Result<(), SimError> {
+        // Recovery fast-forward: after a restart, ops before the last
+        // completed checkpoint replay at zero cost (the restored state
+        // already contains their effects). Section markers still fire — at
+        // the relaunch instant, zero-width — so the profiler's open-section
+        // stack is rebuilt to exactly what it was at the checkpoint cut.
+        while self.skip[r] > 0 {
+            match self.sources[r].next_op() {
+                Some(Op::Checkpoint { .. }) => self.skip[r] -= 1,
+                Some(Op::SectionEnter(id)) => self.do_section(r, id, true, sink),
+                Some(Op::SectionExit(id)) => self.do_section(r, id, false, sink),
+                Some(_) => {}
+                None => {
+                    // Program ended while skipping: a checkpoint count drift
+                    // can only come from a malformed program.
+                    self.skip[r] = 0;
+                    self.ranks[r].status = Status::Done;
+                    self.done += 1;
+                    return Ok(());
+                }
+            }
+        }
+        // A rank on a crashed node stalls (with retries) before it can
+        // issue anything.
+        if self.faults.is_some() {
+            self.stall_on_crash(r, sink)?;
+        }
         // Pull the next op on demand. A blocked rank is completed by its
         // peer's progress (never by re-reading the op), so the cursor can
         // advance as soon as the op is issued.
         let Some(op) = self.sources[r].next_op() else {
             self.ranks[r].status = Status::Done;
             self.done += 1;
-            return;
+            return Ok(());
         };
         self.ops_executed += 1;
         self.ranks[r].issued += 1;
         match op {
             Op::Compute { flops, bytes } => self.do_compute(r, flops, bytes, sink),
-            Op::Send { to, bytes, tag } => self.do_send(r, to as usize, bytes, tag, sink),
-            Op::Recv { from, bytes, tag } => self.do_recv(r, from as usize, bytes, tag, sink),
+            Op::Send { to, bytes, tag } => {
+                let d = self.check_rank(r, to)?;
+                self.do_send(r, d, bytes, tag, sink);
+            }
+            Op::Recv { from, bytes, tag } => {
+                let s = self.check_rank(r, from)?;
+                self.do_recv(r, s, bytes, tag, sink);
+            }
             Op::Isend {
                 to,
                 bytes,
                 tag,
                 req,
-            } => self.do_isend(r, to as usize, bytes, tag, req, sink),
+            } => {
+                let d = self.check_rank(r, to)?;
+                self.do_isend(r, d, bytes, tag, req, sink)?;
+            }
             Op::Irecv {
                 from,
                 bytes,
                 tag,
                 req,
-            } => self.do_irecv(r, from as usize, bytes, tag, req),
-            Op::Wait { req } => self.do_wait(r, req, sink),
+            } => {
+                let s = self.check_rank(r, from)?;
+                self.do_irecv(r, s, bytes, tag, req)?;
+            }
+            Op::Wait { req } => self.do_wait(r, req, sink)?,
             Op::Exchange {
                 partner,
                 send_bytes,
                 recv_bytes,
                 tag,
-            } => self.do_exchange(r, partner as usize, send_bytes, recv_bytes, tag, sink),
-            Op::Coll(c) => self.do_coll(r, Group::World, c, sink),
-            Op::GroupColl { group, op } => self.do_coll(r, group, op, sink),
+            } => {
+                let p = self.check_rank(r, partner)?;
+                self.do_exchange(r, p, send_bytes, recv_bytes, tag, sink)?;
+            }
+            Op::Coll(c) => self.do_coll(r, Group::World, c, sink)?,
+            Op::GroupColl { group, op } => self.do_coll(r, group, op, sink)?,
             Op::FileRead { bytes } => self.do_io(r, IoKind::Read, bytes, sink),
             Op::FileWrite { bytes } => self.do_io(r, IoKind::Write, bytes, sink),
+            Op::Checkpoint { bytes } => self.do_checkpoint(r, bytes, sink),
             Op::SectionEnter(id) => self.do_section(r, id, true, sink),
             Op::SectionExit(id) => self.do_section(r, id, false, sink),
         }
+        Ok(())
     }
 
     fn do_compute(&mut self, r: usize, flops: f64, bytes: f64, sink: &mut dyn ProfSink) {
@@ -374,7 +661,14 @@ impl<'a> Engine<'a> {
             let jp = self.rates[r].jitter;
             jp.sample(&mut self.ranks[r].rng)
         };
-        let dur = SimDur::from_secs_f64(base + jitter);
+        // Steal storm: the hypervisor is running someone else's cycles, so
+        // the whole chunk (noise included) runs slower. Factor 1.0 when no
+        // storm covers this node at `start` — an exact identity.
+        let steal = match &self.faults {
+            Some(a) => a.sched.compute_factor(self.rates[r].node, start),
+            None => 1.0,
+        };
+        let dur = SimDur::from_secs_f64((base + jitter) * steal);
         let st = &mut self.ranks[r];
         st.clock += dur;
         st.comp += dur;
@@ -415,7 +709,12 @@ impl<'a> Engine<'a> {
             IoKind::Read => self.cluster.fs.read_time(bytes, concurrent),
             IoKind::Write => self.cluster.fs.write_time(bytes, concurrent),
         };
-        let dur = SimDur::from_secs_f64(secs);
+        // NFS brownout: the shared server is overloaded cluster-wide.
+        let brownout = match &self.faults {
+            Some(a) => a.sched.io_factor(start),
+            None => 1.0,
+        };
+        let dur = SimDur::from_secs_f64(secs * brownout);
         let st = &mut self.ranks[r];
         st.clock += dur;
         st.io += dur;
@@ -437,8 +736,18 @@ impl<'a> Engine<'a> {
             .cluster
             .topology
             .route(self.rates[s].node, self.rates[d].node);
-        let fabric = route.fabric;
         let start = self.ranks[s].clock;
+        // NIC degradation on either endpoint inflates every LogGP term.
+        let degraded_store;
+        let fabric = {
+            let ff = self.net_fault_factor(self.rates[s].node, self.rates[d].node, start);
+            if ff > 1.0 {
+                degraded_store = route.fabric.degraded(ff);
+                &degraded_store
+            } else {
+                route.fabric
+            }
+        };
         // All sends are non-blocking: the sender pays its CPU occupancy and
         // proceeds while the NIC drains the payload. Payloads over the eager
         // threshold pay the rendezvous handshake as extra delivery latency —
@@ -571,7 +880,7 @@ impl<'a> Engine<'a> {
         tag: Tag,
         req: ReqId,
         sink: &mut dyn ProfSink,
-    ) {
+    ) -> Result<(), SimError> {
         // Wire behaviour is identical to a blocking send (sends are already
         // asynchronous); the request completes as soon as the sender's
         // buffer is reusable, i.e. immediately after the CPU occupancy.
@@ -585,33 +894,49 @@ impl<'a> Engine<'a> {
                 kind: MpiKind::Send,
             },
         );
-        debug_assert!(prev.is_none(), "request {req} reused before wait");
+        if prev.is_some() {
+            return Err(SimError::Malformed(format!(
+                "rank {s}: request {req} reused before wait"
+            )));
+        }
+        Ok(())
     }
 
-    fn do_irecv(&mut self, d: usize, s: usize, _bytes: usize, tag: Tag, req: ReqId) {
+    fn do_irecv(
+        &mut self,
+        d: usize,
+        s: usize,
+        _bytes: usize,
+        tag: Tag,
+        req: ReqId,
+    ) -> Result<(), SimError> {
         let posted = self.ranks[d].clock;
         let key = (s as Rank, d as Rank, tag);
         // A message may already be buffered.
-        if let Some(msg) = self.eager.get_mut(&key).and_then(|q| q.pop_front()) {
+        let prev = if let Some(msg) = self.eager.get_mut(&key).and_then(|q| q.pop_front()) {
             let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
-            let prev = self.ranks[d].requests.insert(
+            self.ranks[d].requests.insert(
                 req,
                 ReqState::Done {
                     complete_at,
                     bytes: msg.bytes as u64,
                     kind: MpiKind::Recv,
                 },
-            );
-            debug_assert!(prev.is_none(), "request {req} reused before wait");
+            )
         } else {
             self.irecvs
                 .entry(key)
                 .or_default()
                 .push_back((d, req, posted));
-            let prev = self.ranks[d].requests.insert(req, ReqState::RecvPending);
-            debug_assert!(prev.is_none(), "request {req} reused before wait");
+            self.ranks[d].requests.insert(req, ReqState::RecvPending)
+        };
+        if prev.is_some() {
+            return Err(SimError::Malformed(format!(
+                "rank {d}: request {req} reused before wait"
+            )));
         }
         self.make_ready(d);
+        Ok(())
     }
 
     /// Mark a pending request complete; if its owner is blocked waiting on
@@ -659,7 +984,7 @@ impl<'a> Engine<'a> {
         );
     }
 
-    fn do_wait(&mut self, r: usize, req: ReqId, sink: &mut dyn ProfSink) {
+    fn do_wait(&mut self, r: usize, req: ReqId, sink: &mut dyn ProfSink) -> Result<(), SimError> {
         let now = self.ranks[r].clock;
         match self.ranks[r].requests.get(&req) {
             Some(ReqState::Done {
@@ -687,8 +1012,13 @@ impl<'a> Engine<'a> {
             Some(ReqState::RecvPending) => {
                 self.ranks[r].status = Status::BlockedWait { req, posted: now };
             }
-            None => panic!("rank {r}: wait on unknown request {req}"),
+            None => {
+                return Err(SimError::Malformed(format!(
+                    "rank {r}: wait on unknown request {req}"
+                )))
+            }
         }
+        Ok(())
     }
 
     fn do_exchange(
@@ -699,7 +1029,7 @@ impl<'a> Engine<'a> {
         recv_bytes: usize,
         tag: Tag,
         sink: &mut dyn ProfSink,
-    ) {
+    ) -> Result<(), SimError> {
         let entry = self.ranks[r].clock;
         let lo = (r.min(partner)) as Rank;
         let hi = (r.max(partner)) as Rank;
@@ -707,13 +1037,26 @@ impl<'a> Engine<'a> {
         if let Some(other) = self.exchanges.get_mut(&key).and_then(|q| q.pop_front()) {
             // Both halves present: complete the exchange.
             let o = other.rank as usize;
-            debug_assert_eq!(o, partner, "exchange partner mismatch");
+            if o != partner {
+                return Err(SimError::Malformed(format!(
+                    "rank {r}: exchange tag {tag} paired with rank {o}, expected {partner}"
+                )));
+            }
             let route = self
                 .cluster
                 .topology
                 .route(self.rates[r].node, self.rates[o].node);
-            let fabric = route.fabric;
             let start = entry.max(other.entry);
+            let degraded_store;
+            let fabric = {
+                let ff = self.net_fault_factor(self.rates[r].node, self.rates[o].node, start);
+                if ff > 1.0 {
+                    degraded_store = route.fabric.degraded(ff);
+                    &degraded_store
+                } else {
+                    route.fabric
+                }
+            };
             let occ_r = cost::send_occupancy(fabric, send_bytes) * self.cpu_factor[r];
             let occ_o = cost::send_occupancy(fabric, other.send_bytes) * self.cpu_factor[o];
             let (end_r_wire, end_o_wire) = if route.inter_node {
@@ -775,15 +1118,35 @@ impl<'a> Engine<'a> {
                 });
             self.ranks[r].status = Status::BlockedExchange { posted: entry };
         }
+        Ok(())
     }
 
-    fn do_coll(&mut self, r: usize, group: Group, op: CollOp, sink: &mut dyn ProfSink) {
+    fn do_coll(
+        &mut self,
+        r: usize,
+        group: Group,
+        op: CollOp,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
         let np = self.meta.np;
         let members = group.size(np);
+        if let Group::Strided {
+            first,
+            count,
+            stride,
+        } = group
+        {
+            let last = first as u64 + (count.saturating_sub(1) as u64) * stride.max(1) as u64;
+            if last >= np as u64 {
+                return Err(SimError::Malformed(format!(
+                    "rank {r}: group collective extends past rank {last} >= np {np}"
+                )));
+            }
+        }
         if members <= 1 {
             // Degenerate single-rank collective: free.
             self.make_ready(r);
-            return;
+            return Ok(());
         }
         let entry = self.ranks[r].clock;
         let counter = self.ranks[r].coll_count.entry(group).or_insert(0);
@@ -793,11 +1156,16 @@ impl<'a> Engine<'a> {
             op,
             arrived: Vec::with_capacity(members),
         });
-        debug_assert_eq!(state.op, op, "collective sequence mismatch at #{seq}");
+        if state.op != op {
+            return Err(SimError::Malformed(format!(
+                "rank {r}: collective sequence mismatch at #{seq}: issued {:?}, peers issued {:?}",
+                op, state.op
+            )));
+        }
         state.arrived.push((r as Rank, entry));
         if state.arrived.len() < members {
             self.ranks[r].status = Status::BlockedColl { posted: entry };
-            return;
+            return Ok(());
         }
         // Last arrival: cost the collective and release everybody.
         let state = self.colls.remove(&(group, seq)).expect("collective state");
@@ -827,6 +1195,16 @@ impl<'a> Engine<'a> {
                 .jitter
                 .sample(&mut self.coll_rng);
         }
+        // A degraded NIC on any member's node drags the whole collective:
+        // every algorithm round funnels through the slowest endpoint.
+        if self.faults.is_some() {
+            let mut ff = 1.0f64;
+            for m in group.members(np) {
+                let node = self.rates[m as usize].node;
+                ff = ff.max(self.net_fault_factor(node, node, max_entry));
+            }
+            secs *= ff;
+        }
         let end = max_entry + SimDur::from_secs_f64(secs);
         let kind = match op {
             CollOp::Barrier => MpiKind::Barrier,
@@ -854,6 +1232,82 @@ impl<'a> Engine<'a> {
                 },
             );
             self.make_ready(w);
+        }
+        Ok(())
+    }
+
+    /// Coordinated checkpoint: a world barrier, then every rank writes
+    /// `bytes` to the shared filesystem concurrently. The full span (sync +
+    /// write) is charged as I/O — that is what a real profiler would see.
+    /// The checkpoint only becomes the restart point once it completes
+    /// before the next fatal fault.
+    fn do_checkpoint(&mut self, r: usize, bytes: u64, sink: &mut dyn ProfSink) {
+        let np = self.meta.np;
+        let entry = self.ranks[r].clock;
+        let seq = self.ckpt_count[r];
+        self.ckpt_count[r] += 1;
+        if np > 1 {
+            let state = self.ckpts.entry(seq).or_default();
+            state.push((r as Rank, entry));
+            if state.len() < np {
+                self.ranks[r].status = Status::BlockedColl { posted: entry };
+                return;
+            }
+        }
+        let arrived = if np > 1 {
+            self.ckpts.remove(&seq).expect("checkpoint state")
+        } else {
+            vec![(r as Rank, entry)]
+        };
+        let max_entry = arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
+        let sync_secs = if np > 1 {
+            let mut per_node: HashMap<usize, usize> = HashMap::new();
+            let mut cpu_factor = 1.0_f64;
+            for m in 0..np {
+                *per_node.entry(self.rates[m].node).or_insert(0) += 1;
+                cpu_factor = cpu_factor.max(self.cpu_factor[m]);
+            }
+            let topo = CollTopo {
+                inter: &self.cluster.topology.inter,
+                intra: &self.cluster.topology.intra,
+                np,
+                ppn: per_node.values().copied().max().unwrap_or(1),
+                nodes_used: per_node.len(),
+                cpu_factor,
+            };
+            topo.cost(CollOp::Barrier)
+        } else {
+            0.0
+        };
+        // All np ranks write at once; brownouts apply like any other I/O.
+        let mut write_secs = self.cluster.fs.write_time(bytes, np);
+        if let Some(a) = &self.faults {
+            write_secs *= a.sched.io_factor(max_entry);
+        }
+        let end = max_entry + SimDur::from_secs_f64(sync_secs + write_secs);
+        for (who, t_entry) in arrived {
+            let w = who as usize;
+            let st = &mut self.ranks[w];
+            st.clock = end;
+            st.io += end.since(t_entry);
+            st.io_until = end;
+            sink.on_event(
+                w,
+                ProfEvent::Io {
+                    kind: IoKind::Write,
+                    bytes,
+                    start: t_entry,
+                    end,
+                },
+            );
+            self.make_ready(w);
+        }
+        // Count the checkpoint only if it lands before the next fatal —
+        // one completing "during" the crash is torn and unusable.
+        let usable = self.next_fatal().is_none_or(|f| end <= f);
+        if usable {
+            self.ckpt_done += 1;
+            self.ckpt_bytes = bytes;
         }
     }
 }
@@ -1004,6 +1458,241 @@ mod engine_tests {
         let r = run_job(&mut job(progs), &v, &SimConfig::default(), &mut NullSink).unwrap();
         let t = r.elapsed_secs();
         assert!(t > 0.0 && t < 10e-6, "zero-byte send took {t}");
+    }
+
+    #[test]
+    fn malformed_programs_return_typed_errors() {
+        let v = presets::vayu();
+        let loose = SimConfig {
+            validate: false,
+            ..Default::default()
+        };
+        // Empty job.
+        assert!(matches!(
+            run_job(&mut job(vec![]), &v, &SimConfig::default(), &mut NullSink),
+            Err(SimError::Validation(_))
+        ));
+        // Send to an out-of-range rank.
+        let r = run_job(
+            &mut job(vec![
+                vec![Op::Send {
+                    to: 99,
+                    bytes: 8,
+                    tag: 0,
+                }],
+                vec![],
+            ]),
+            &v,
+            &loose,
+            &mut NullSink,
+        );
+        assert!(matches!(r, Err(SimError::Malformed(_))), "{r:?}");
+        // Wait on a request that was never issued.
+        let r = run_job(
+            &mut job(vec![vec![Op::Wait { req: 7 }]]),
+            &v,
+            &loose,
+            &mut NullSink,
+        );
+        assert!(matches!(r, Err(SimError::Malformed(_))), "{r:?}");
+        // Mismatched collective sequences across ranks.
+        let r = run_job(
+            &mut job(vec![
+                vec![Op::Coll(CollOp::Allreduce { bytes: 8 })],
+                vec![Op::Coll(CollOp::Barrier)],
+            ]),
+            &v,
+            &loose,
+            &mut NullSink,
+        );
+        assert!(matches!(r, Err(SimError::Malformed(_))), "{r:?}");
+        // Zero-size collectives are legal, not malformed.
+        let r = run_job(
+            &mut job(vec![
+                vec![Op::Coll(CollOp::Allreduce { bytes: 0 })],
+                vec![Op::Coll(CollOp::Allreduce { bytes: 0 })],
+            ]),
+            &v,
+            &loose,
+            &mut NullSink,
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    fn compute_block(chunks: usize, flops: f64) -> Vec<Op> {
+        (0..chunks)
+            .map(|_| Op::Compute { flops, bytes: 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_fault_spec_is_bitwise_noop() {
+        use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+        let d = presets::dcc();
+        let mk = || {
+            let mut progs = vec![compute_block(5, 1e8), compute_block(5, 1e8)];
+            for p in &mut progs {
+                p.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+                p.push(Op::Exchange {
+                    partner: 0,
+                    send_bytes: 4096,
+                    recv_bytes: 4096,
+                    tag: 3,
+                });
+            }
+            progs[0][6] = Op::Exchange {
+                partner: 1,
+                send_bytes: 4096,
+                recv_bytes: 4096,
+                tag: 3,
+            };
+            job(progs)
+        };
+        let plain = run_job(&mut mk(), &d, &SimConfig::default(), &mut NullSink).unwrap();
+        let zeroed = SimConfig {
+            faults: Some(FaultSpec {
+                model: FaultModel::dcc().scaled(0.0),
+                retry: RetryPolicy::default(),
+                restart_delay_secs: 30.0,
+                horizon_secs: 3600.0,
+            }),
+            ..Default::default()
+        };
+        let gated = run_job(&mut mk(), &d, &zeroed, &mut NullSink).unwrap();
+        assert_eq!(plain.elapsed, gated.elapsed);
+        assert_eq!(plain.ops_executed, gated.ops_executed);
+        assert_eq!(gated.restarts, 0);
+        for (a, b) in plain.ranks.iter().zip(&gated.ranks) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn crash_stalls_charge_the_fault_ledger() {
+        use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+        let v = presets::vayu();
+        let mk = || job(vec![compute_block(100, 1e9)]);
+        let t0 = run_job(&mut mk(), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let cfg = SimConfig {
+            faults: Some(FaultSpec {
+                model: FaultModel {
+                    crash_per_node_hour: 600.0,
+                    crash_mean_secs: 0.5,
+                    scale: 8.0,
+                    ..FaultModel::none()
+                },
+                retry: RetryPolicy::default(),
+                restart_delay_secs: 1.0,
+                horizon_secs: 4.0 * t0,
+            }),
+            ..Default::default()
+        };
+        let r = run_job(&mut mk(), &v, &cfg, &mut NullSink).unwrap();
+        assert!(
+            r.ranks[0].fault.as_secs_f64() > 0.0,
+            "a crash-saturated node must stall: {r:?}"
+        );
+        assert!(r.elapsed_secs() > t0);
+        assert_eq!(r.ranks[0].other(), sim_des::SimDur::ZERO);
+        // Determinism under faults.
+        let r2 = run_job(&mut mk(), &v, &cfg, &mut NullSink).unwrap();
+        assert_eq!(r.elapsed, r2.elapsed);
+        assert_eq!(r.ranks[0], r2.ranks[0]);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_as_error() {
+        use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+        let v = presets::vayu();
+        let cfg = SimConfig {
+            faults: Some(FaultSpec {
+                model: FaultModel {
+                    crash_per_node_hour: 3600.0,
+                    crash_mean_secs: 1000.0,
+                    scale: 8.0,
+                    ..FaultModel::none()
+                },
+                retry: RetryPolicy {
+                    timeout_secs: 1e-3,
+                    backoff: 1.0,
+                    max_retries: 1,
+                    max_delay_secs: 1e-3,
+                },
+                restart_delay_secs: 1.0,
+                horizon_secs: 3600.0,
+            }),
+            ..Default::default()
+        };
+        let r = run_job(
+            &mut job(vec![compute_block(200, 1e9)]),
+            &v,
+            &cfg,
+            &mut NullSink,
+        );
+        assert!(matches!(r, Err(SimError::RetryExhausted(_))), "{r:?}");
+    }
+
+    #[test]
+    fn preemption_restarts_and_checkpoints_bound_the_loss() {
+        use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+        let v = presets::vayu();
+        // Two ranks, ~100 x 0.1s chunks each, checkpointing every 20 chunks.
+        let mk = |ckpt: bool| {
+            let mut progs = Vec::new();
+            for _ in 0..2 {
+                let mut p = Vec::new();
+                for i in 0..100 {
+                    p.push(Op::Compute {
+                        flops: 1e9,
+                        bytes: 0.0,
+                    });
+                    if ckpt && (i + 1) % 20 == 0 {
+                        p.push(Op::Checkpoint { bytes: 1 << 24 });
+                    }
+                }
+                progs.push(p);
+            }
+            job(progs)
+        };
+        let t0 = run_job(&mut mk(false), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let spec = FaultSpec {
+            model: FaultModel {
+                preempt_per_node_hour: 3600.0 / t0,
+                scale: 8.0,
+                ..FaultModel::none()
+            },
+            retry: RetryPolicy::default(),
+            restart_delay_secs: t0 / 20.0,
+            horizon_secs: 10.0 * t0,
+        };
+        let cfg = SimConfig {
+            faults: Some(spec),
+            ..Default::default()
+        };
+        let plain = run_job(&mut mk(false), &v, &cfg, &mut NullSink).unwrap();
+        let ckpt = run_job(&mut mk(true), &v, &cfg, &mut NullSink).unwrap();
+        assert!(
+            plain.restarts >= 1,
+            "calibrated rate must preempt: {plain:?}"
+        );
+        assert!(ckpt.restarts >= 1);
+        for r in plain.ranks.iter().chain(&ckpt.ranks) {
+            assert_eq!(r.other(), sim_des::SimDur::ZERO, "{r:?}");
+        }
+        assert!(plain.elapsed_secs() > t0);
+        // Re-execution makes the op count strictly larger than one clean pass.
+        assert!(plain.ops_executed > 200);
+        // Determinism under restart.
+        let again = run_job(&mut mk(true), &v, &cfg, &mut NullSink).unwrap();
+        assert_eq!(ckpt.elapsed, again.elapsed);
+        assert_eq!(ckpt.restarts, again.restarts);
+        for (a, b) in ckpt.ranks.iter().zip(&again.ranks) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -137,6 +137,14 @@ pub enum Op {
     FileRead { bytes: u64 },
     /// Write `bytes` to the shared filesystem.
     FileWrite { bytes: u64 },
+    /// Coordinated checkpoint: all ranks synchronize (barrier), then each
+    /// writes `bytes` of state to the shared filesystem. On a fatal fault
+    /// the engine rewinds every rank's program and fast-forwards past the
+    /// last globally completed checkpoint, re-charging the restore I/O —
+    /// which is exactly how coordinated checkpoint/restart libraries
+    /// (BLCR, DMTCP, SCR) behave. Every rank must issue the same number of
+    /// checkpoints at consistent cut points (no pt2pt straddling the cut).
+    Checkpoint { bytes: u64 },
     /// Enter a named profiling section (IPM-style region).
     SectionEnter(SectionId),
     /// Leave a named profiling section.
@@ -520,6 +528,11 @@ impl JobSpec {
                         *exchanges.entry(key).or_default() += if r < *partner { 1 } else { -1 };
                     }
                     Op::Coll(c) => colls.push(("world", Group::World, c.name())),
+                    // A checkpoint is a world-synchronized cut: validating
+                    // it as a world "collective" enforces that every rank
+                    // issues the same number of checkpoints in the same
+                    // order relative to real collectives.
+                    Op::Checkpoint { .. } => colls.push(("world", Group::World, "checkpoint")),
                     Op::GroupColl { group, op } => {
                         if !group.contains(r, np as usize) {
                             return Err(format!(

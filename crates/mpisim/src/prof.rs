@@ -82,6 +82,18 @@ pub enum ProfEvent {
         start: SimTime,
         end: SimTime,
     },
+    /// A rank stalled on a transient fault (crashed node + retry/backoff).
+    Fault {
+        start: SimTime,
+        end: SimTime,
+    },
+    /// The whole job died on a fatal fault and relaunched at `end`; any
+    /// profiling sections open at `start` were aborted and will be
+    /// re-entered when the rank re-executes its program.
+    Restart {
+        start: SimTime,
+        end: SimTime,
+    },
 }
 
 /// Receiver of profile events.

@@ -14,6 +14,10 @@ pub struct RankTotals {
     pub comm: SimDur,
     /// Time inside file I/O.
     pub io: SimDur,
+    /// Time lost to faults: stalls on crashed nodes (including retry
+    /// backoff) and kill-to-relaunch gaps after fatal faults. Zero on
+    /// fault-free runs.
+    pub fault: SimDur,
 }
 
 impl RankTotals {
@@ -23,6 +27,7 @@ impl RankTotals {
             .saturating_sub(self.comp)
             .saturating_sub(self.comm)
             .saturating_sub(self.io)
+            .saturating_sub(self.fault)
     }
 }
 
@@ -39,8 +44,12 @@ pub struct SimResult {
     pub ranks: Vec<RankTotals>,
     /// The placement the job ran with.
     pub placement: Placement,
-    /// Total ops the engine executed (diagnostics).
+    /// Total ops the engine executed (diagnostics). Includes ops
+    /// re-executed after a restart, excludes ops fast-forwarded past while
+    /// recovering to the last checkpoint.
     pub ops_executed: u64,
+    /// Number of fatal faults the job survived by restarting.
+    pub restarts: u64,
 }
 
 impl SimResult {
@@ -112,6 +121,22 @@ impl SimResult {
     pub fn comm_total_secs(&self) -> f64 {
         self.ranks.iter().map(|r| r.comm.as_secs_f64()).sum()
     }
+
+    /// Total fault/recovery seconds summed over ranks.
+    pub fn fault_total_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.fault.as_secs_f64()).sum()
+    }
+
+    /// Mean fraction of wallclock lost to faults and restarts, in percent.
+    pub fn fault_pct(&self) -> f64 {
+        let wall: f64 = self.ranks.iter().map(|r| r.wall.as_secs_f64()).sum();
+        let fault: f64 = self.ranks.iter().map(|r| r.fault.as_secs_f64()).sum();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            100.0 * fault / wall
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +149,7 @@ mod tests {
             comp: SimDur::from_secs_f64(comp),
             comm: SimDur::from_secs_f64(comm),
             io: SimDur::from_secs_f64(io),
+            fault: SimDur::ZERO,
         }
     }
 
@@ -142,6 +168,7 @@ mod tests {
                 .unwrap(),
             ranks,
             ops_executed: 0,
+            restarts: 0,
         }
     }
 
@@ -158,6 +185,16 @@ mod tests {
     fn other_never_negative() {
         let t = totals(5.0, 3.0, 3.0, 3.0);
         assert_eq!(t.other(), SimDur::ZERO);
+    }
+
+    #[test]
+    fn fault_time_is_accounted_not_other() {
+        let mut t = totals(10.0, 4.0, 3.0, 1.0);
+        t.fault = SimDur::from_secs_f64(2.0);
+        assert_eq!(t.other(), SimDur::ZERO);
+        let r = result(vec![t]);
+        assert!((r.fault_total_secs() - 2.0).abs() < 1e-9);
+        assert!((r.fault_pct() - 20.0).abs() < 1e-9);
     }
 
     #[test]

@@ -105,6 +105,23 @@ pub struct FabricParams {
 }
 
 impl FabricParams {
+    /// A copy of these parameters degraded by `factor` (>= 1): latency and
+    /// per-message/per-packet costs inflate, bandwidth deflates. Models a
+    /// flapping NIC, a renegotiated link, or a vSwitch storm — the fabric
+    /// still works, every LogGP term is just `factor`× worse. A factor of
+    /// exactly 1.0 returns a bit-identical copy.
+    pub fn degraded(&self, factor: f64) -> FabricParams {
+        let f = factor.max(1.0);
+        let mut p = self.clone();
+        p.latency *= f;
+        p.bandwidth /= f;
+        p.send_overhead *= f;
+        p.recv_overhead *= f;
+        p.rendezvous_overhead *= f;
+        p.per_packet_overhead *= f;
+        p
+    }
+
     /// QDR InfiniBand as on Vayu: ~1.7 µs latency, ~3.2 GB/s sustained
     /// point-to-point, RDMA zero-copy, hardware offload (no jitter).
     pub fn qdr_infiniband() -> Self {

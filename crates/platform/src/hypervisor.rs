@@ -113,6 +113,13 @@ impl HypervisorModel {
     pub fn compute_factor(&self) -> f64 {
         1.0 + self.compute_overhead
     }
+
+    /// True for any kind that interposes a hypervisor between the guest and
+    /// the hardware. Used by `sim-faults` to pick a failure profile for
+    /// clusters that are not one of the paper's three named platforms.
+    pub fn is_virtual(&self) -> bool {
+        self.kind != HypervisorKind::BareMetal
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,14 @@
 
 pub mod calib;
 pub mod chaste;
+pub mod checkpoint;
 pub mod metum;
 pub mod npb;
 pub mod osu;
 pub mod util;
 
 pub use chaste::Chaste;
+pub use checkpoint::{CheckpointPolicy, Checkpointed};
 pub use metum::MetUm;
 pub use npb::{Class, Kernel, Npb};
 pub use osu::{OsuBandwidth, OsuLatency};

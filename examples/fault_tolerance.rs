@@ -1,0 +1,65 @@
+//! Fault tolerance: inject the platform fault models into a run and compare
+//! restart-from-scratch against coordinated checkpoint/restart.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+//!
+//! EC2 spot instances are the interesting case: preemptions kill the job
+//! mid-run, and without checkpoints every preemption replays the whole job.
+
+use cloudsim::prelude::*;
+use cloudsim::workloads::{CheckpointPolicy, Checkpointed};
+
+fn main() {
+    let workload = MetUm { timesteps: 4 };
+    let np = 16;
+    let cluster = presets::ec2();
+
+    // Fault-free baseline.
+    let (base, _) = cloudsim::Experiment::new(&workload, &cluster, np)
+        .run_once()
+        .expect("baseline");
+    let t0 = base.elapsed_secs();
+    println!(
+        "{} on {} x{np} ranks: fault-free {t0:.1} s\n",
+        workload.name(),
+        cluster.name
+    );
+
+    // The EC2 preset: NIC degradation, steal storms, NFS brownouts and spot
+    // preemptions. Rates are scaled up so this short demo actually sees
+    // faults; `scaled(4.0)` then quadruples every class's intensity.
+    let preset = FaultSpec::preset_for(&cluster);
+    let spec = FaultSpec {
+        model: preset
+            .model
+            .clone()
+            .with_rates_scaled(8.0 * 3600.0 / t0)
+            .scaled(4.0),
+        horizon_secs: 50.0 * t0,
+        ..preset
+    };
+
+    // Checkpoint every ~10th world collective, 1 MiB of state per rank.
+    let ckpt = Checkpointed::new(&workload, CheckpointPolicy::new(10, 1 << 20));
+
+    for (label, w) in [
+        ("restart from scratch", &workload as &dyn Workload),
+        ("checkpoint/restart", &ckpt),
+    ] {
+        let (res, report) = cloudsim::Experiment::new(w, &cluster, np)
+            .faults(spec.clone())
+            .run_once()
+            .expect("faulty run");
+        println!(
+            "{label:>20}: elapsed {:>7.1} s   restarts {}   fault time {:>5.1}% of wallclock",
+            res.elapsed_secs(),
+            res.restarts,
+            res.fault_pct(),
+        );
+        if res.restarts > 0 && label.starts_with("checkpoint") {
+            println!("\n{}", report.to_text());
+        }
+    }
+}

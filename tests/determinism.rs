@@ -121,6 +121,78 @@ fn rebuild_gives_identical_jobs() {
     assert_eq!(a.meta.section_names, b.meta.section_names);
 }
 
+/// Fault-injection fuzz: random platform/workload/rate combinations, run
+/// twice with the same seed, must agree bit-for-bit — elapsed, restart
+/// count, every per-rank ledger — whether they succeed or exhaust their
+/// retry budget. Time conservation must hold with the fault column
+/// included, and a restarted run must show fault time in its IPM report.
+#[test]
+fn fault_injection_is_bit_reproducible() {
+    use cloudsim::sim_des::{DetRng, SimDur};
+    use cloudsim::workloads::{CheckpointPolicy, Checkpointed};
+    let kernels = [Kernel::Cg, Kernel::Mg, Kernel::Is, Kernel::Lu];
+    let platforms = [presets::vayu(), presets::dcc(), presets::ec2()];
+    let mut rng = DetRng::new(0xF42, 1);
+    for case in 0..8u64 {
+        let w = Npb::new(kernels[rng.index(kernels.len())], Class::S);
+        let c = &platforms[rng.index(platforms.len())];
+        let np = [4usize, 8, 16][rng.index(3)];
+        let (base, _) = cloudsim::Experiment::new(&w, c, np).run_once().unwrap();
+        let t0 = base.elapsed_secs().max(1e-3);
+        let preset = FaultSpec::preset_for(c);
+        let spec = FaultSpec {
+            model: preset
+                .model
+                .with_rates_scaled((1 + rng.index(8)) as f64 * 3600.0 / t0),
+            retry: RetryPolicy::default(),
+            restart_delay_secs: 0.05 * t0,
+            horizon_secs: 20.0 * t0,
+        };
+        let ck = Checkpointed::new(&w, CheckpointPolicy::new(3, 1 << 20));
+        for wl in [&w as &dyn Workload, &ck] {
+            let run = || {
+                cloudsim::Experiment::new(wl, c, np)
+                    .seed(0xABC ^ case)
+                    .faults(spec.clone())
+                    .run_once()
+            };
+            match (run(), run()) {
+                (Ok((a, ra)), Ok((b, _))) => {
+                    assert_eq!(a.elapsed, b.elapsed, "case {case} {}", wl.name());
+                    assert_eq!(a.restarts, b.restarts);
+                    assert_eq!(a.ops_executed, b.ops_executed);
+                    for (r, (x, y)) in a.ranks.iter().zip(&b.ranks).enumerate() {
+                        assert_eq!(x, y, "case {case} rank {r}");
+                        // comp + comm + io + fault == wall, even under faults.
+                        assert_eq!(x.other(), SimDur::ZERO, "case {case} rank {r}: {x:?}");
+                    }
+                    // The profiler's FAULT/RESTART attribution must agree
+                    // with the engine's own fault ledger. (A restart gap can
+                    // be zero when every rank died at the relaunch instant,
+                    // so "restarts > 0 implies fault > 0" would be too
+                    // strong.)
+                    let ipm_fault = ra.global.fault.mean * ra.global.fault.n as f64;
+                    let eng_fault = a.fault_total_secs();
+                    assert!(
+                        (ipm_fault - eng_fault).abs() <= 1e-6 * eng_fault.max(1.0),
+                        "case {case}: ipm {ipm_fault} vs engine {eng_fault}"
+                    );
+                }
+                (Err(e1), Err(e2)) => {
+                    // Even failure is deterministic: same error, same spot.
+                    assert_eq!(format!("{e1:?}"), format!("{e2:?}"), "case {case}");
+                }
+                (a, b) => panic!(
+                    "case {case} {}: non-deterministic outcome: {:?} vs {:?}",
+                    wl.name(),
+                    a.map(|(r, _)| r.elapsed),
+                    b.map(|(r, _)| r.elapsed)
+                ),
+            }
+        }
+    }
+}
+
 /// Streamed programs are rewind-safe: draining a job twice yields the same
 /// op sequence both times (generators are pure functions of block index).
 #[test]

@@ -76,6 +76,45 @@ fn applications_stream_equivalently() {
     }
 }
 
+/// The equivalence survives fault injection: stalls, retries and restarts
+/// depend only on the op stream and the seed, not on whether the stream is
+/// lazy, and `Program::rewind`-driven restarts replay streamed and
+/// materialized programs identically.
+#[test]
+fn faulty_runs_stream_equivalently() {
+    use cloudsim::sim_faults::FaultSpec;
+    let w = Npb::new(Kernel::Cg, Class::S);
+    let np = 16;
+    let mut streamed = w.build(np);
+    let mut twin = JobSpec::from_programs(
+        streamed.meta.name.clone(),
+        streamed.materialized_copy(),
+        streamed.meta.section_names.clone(),
+    );
+    let c = presets::ec2();
+    let preset = FaultSpec::preset_for(&c);
+    // Rates high enough that a preemption is certain to land inside even
+    // this short class-S run and force a restart.
+    let spec = FaultSpec {
+        model: preset.model.clone().with_rates_scaled(3600.0 * 500.0),
+        horizon_secs: 30.0,
+        ..preset
+    };
+    let cfg = SimConfig {
+        faults: Some(spec),
+        ..SimConfig::default()
+    };
+    let a = run_job(&mut streamed, &c, &cfg, &mut NullSink).unwrap();
+    let b = run_job(&mut twin, &c, &cfg, &mut NullSink).unwrap();
+    assert!(a.restarts > 0, "fault rate should force a restart");
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.ops_executed, b.ops_executed);
+    for (r, (x, y)) in a.ranks.iter().zip(&b.ranks).enumerate() {
+        assert_eq!(x, y, "rank {r} ledger");
+    }
+}
+
 /// Large-np smoke: at 1024 ranks a materialized CG trace would hold millions
 /// of ops; the streamed path completes with only one block per rank
 /// resident. Op counts are checked by streaming (`total_ops`), never by
