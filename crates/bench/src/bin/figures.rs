@@ -1,7 +1,7 @@
 //! Regenerate every figure and table of the paper.
 //!
 //! ```text
-//! figures [--quick] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep ablations arrivef | all]
+//! figures [--quick] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep ablations arrivef | all]
 //! ```
 //!
 //! With no experiment arguments, everything runs (the paper configuration
@@ -64,7 +64,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--quick] [--plot] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep ablations arrivef | all]"
+                    "usage: figures [--quick] [--plot] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep ablations arrivef | all]"
                 );
                 return;
             }
@@ -97,6 +97,7 @@ fn main() {
             "all" => {
                 tables.extend(figures::all_figures(&cfg));
                 tables.push(figures::faultsweep(&cfg));
+                tables.push(figures::recoverysweep(&cfg));
                 tables.extend(cloudsim::all_ablations(&cfg));
                 tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42));
             }
@@ -110,6 +111,7 @@ fn main() {
             "tab3" => tables.push(figures::tab3_metum(&cfg)),
             "fig7" => tables.push(figures::fig7_load_balance(&cfg)),
             "faultsweep" => tables.push(figures::faultsweep(&cfg)),
+            "recoverysweep" => tables.push(figures::recoverysweep(&cfg)),
             "ablations" => tables.extend(cloudsim::all_ablations(&cfg)),
             "arrivef" => tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42)),
             other => {

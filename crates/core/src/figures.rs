@@ -7,12 +7,15 @@
 
 use crate::experiment::{parallel_map, Experiment};
 use crate::table::{fmt_pct, fmt_ratio, fmt_secs, Table};
-use sim_faults::{FaultSpec, RetryPolicy};
+use sim_faults::{FaultModel, FaultSpec, RecoveryStrategy, RetryPolicy};
 use sim_mpi::Op;
 use sim_platform::{presets, ClusterSpec, Strategy};
 use workloads::metum::warmed_secs;
 use workloads::osu::{osu_sizes, run_bandwidth, run_latency};
-use workloads::{Chaste, CheckpointPolicy, Checkpointed, Class, Kernel, MetUm, Npb, Workload};
+use workloads::{
+    Chaste, CheckpointPolicy, Checkpointed, Class, Kernel, MetUm, Npb, Verified, VerifyPolicy,
+    Workload,
+};
 
 /// The default base seed; [`ReproConfig::seed`] deviations from it perturb
 /// every noise stream.
@@ -561,6 +564,8 @@ pub fn faultsweep_points(
                 // Faults stop after ~50 fault-free runtimes: every run
                 // terminates in bounded time even at the highest scale.
                 horizon_secs: 50.0 * t0,
+                recovery: RecoveryStrategy::Restart,
+                sdc_threshold: 0.01,
             };
             let (plain, _) = Experiment::new(w, cluster, np)
                 .seed(cfg.seed)
@@ -629,6 +634,192 @@ pub fn faultsweep(cfg: &ReproConfig) -> Table {
     }
     t.note("scale 0.0 is bit-identical to the fault-free run; schedules nest across scales, so TTS is monotone in the fault rate");
     t.note("checkpointing pays its overhead at low rates and wins once preemptions force restarts (EC2 spot)");
+    t
+}
+
+/// One measured point of the recovery-strategy sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPoint {
+    /// Fault-intensity multiplier applied to the calibrated model.
+    pub scale: f64,
+    /// TTS with checkpoint/restart only (every detected corruption and
+    /// every fatal fault relaunches the job).
+    pub restart_s: f64,
+    /// TTS with ABFT verification cuts and in-place rollback.
+    pub abft_s: f64,
+    /// TTS with ABFT cuts plus a spare-node pool (ULFM-style shrink).
+    pub shrink_s: f64,
+    /// Relaunches the restart-only run paid.
+    pub restarts: u64,
+    /// In-place rollbacks the ABFT run paid.
+    pub rollbacks: u64,
+    /// Spare splices the shrink run paid.
+    pub shrinks: u64,
+    /// Corruptions the ABFT run caught at a cut.
+    pub sdc_detected: u64,
+    /// Corruptions that escaped the ABFT run's detectors.
+    pub sdc_undetected: u64,
+}
+
+/// SDC budget calibration for [`recoverysweep`]: at scale 1.0 a node on the
+/// dcc preset sees this many silent flips per fault-free runtime; the other
+/// platforms keep their preset ratios (vayu 4x cleaner ECC bare metal, ec2
+/// 2x noisier spot hardware).
+pub const RECOVERYSWEEP_SDC_PER_NODE: f64 = 1.0;
+
+/// Sweep one workload on one platform across fault scales under the three
+/// recovery strategies, with a shared fault schedule per scale (same seed —
+/// neither checkpoint nor verify ops perturb the fault timeline):
+///
+/// * `restart` — coordinated checkpoint/restart only: corruption detected
+///   at a checkpoint cut (and every fatal fault) relaunches the job;
+/// * `abft` — verification cuts spliced between checkpoints; detected
+///   corruption rolls the live ranks back to the last verified cut;
+/// * `shrink` — as `abft`, plus a spare-node pool absorbing fatal faults
+///   without a relaunch.
+pub fn recoverysweep_points(
+    cfg: &ReproConfig,
+    w: &dyn Workload,
+    cluster: &ClusterSpec,
+    np: usize,
+    scales: &[f64],
+) -> Vec<RecoveryPoint> {
+    let (base, _) = Experiment::new(w, cluster, np)
+        .seed(cfg.seed)
+        .run_once()
+        .expect("fault-free baseline");
+    let t0 = base.elapsed_secs();
+    let preset = FaultSpec::preset_for(cluster);
+    // Platform-relative SDC rate, calibrated (like the crash/preemption
+    // rates) against the job's fault-free runtime so short simulated jobs
+    // still see a measurable corruption budget.
+    let sdc_rel = preset.model.clone().with_platform_sdc().sdc_per_node_hour
+        / FaultModel::dcc().with_platform_sdc().sdc_per_node_hour;
+    let model = preset
+        .model
+        .clone()
+        .with_rates_scaled(FAULTSWEEP_CALIB * 3600.0 / t0)
+        .with_sdc(RECOVERYSWEEP_SDC_PER_NODE * sdc_rel * 3600.0 / t0, 1.0);
+    let colls = {
+        let mut probe = w.build(np);
+        let src = &mut probe.sources[0];
+        let mut n = 0u64;
+        while let Some(op) = src.next_op() {
+            if matches!(op, Op::Coll(_)) {
+                n += 1;
+            }
+        }
+        n
+    };
+    // Checkpoints every ~1/4 of the run (as in [`faultsweep`]); verification
+    // cuts twice as often — cheap checksum passes between checkpoints.
+    let ckpt = CheckpointPolicy::new((colls / 4).max(1), 1 << 20);
+    let vpol = VerifyPolicy::new((colls / 8).max(1), 1e7, 1 << 20);
+    let verified = Verified::new(w, vpol);
+    let restart_w = Checkpointed::new(w, ckpt);
+    let abft_w = Checkpointed::new(&verified, ckpt);
+    let spec_for = |scale: f64, recovery: RecoveryStrategy| FaultSpec {
+        model: model.clone().scaled(scale),
+        retry: RetryPolicy {
+            max_retries: 32,
+            max_delay_secs: 120.0,
+            ..RetryPolicy::default()
+        },
+        restart_delay_secs: (0.1 * t0).min(preset.restart_delay_secs),
+        horizon_secs: 50.0 * t0,
+        recovery,
+        sdc_threshold: 0.01,
+    };
+    scales
+        .iter()
+        .map(|&scale| {
+            let (restart, _) = Experiment::new(&restart_w, cluster, np)
+                .seed(cfg.seed)
+                .faults(spec_for(scale, RecoveryStrategy::Restart))
+                .run_once()
+                .expect("restart-only run");
+            let (abft, _) = Experiment::new(&abft_w, cluster, np)
+                .seed(cfg.seed)
+                .faults(spec_for(scale, RecoveryStrategy::AbftRollback))
+                .run_once()
+                .expect("abft run");
+            let (shrink, _) = Experiment::new(&abft_w, cluster, np)
+                .seed(cfg.seed)
+                .faults(spec_for(
+                    scale,
+                    RecoveryStrategy::ShrinkSpare {
+                        spares: 4,
+                        respawn_delay_secs: 0.01 * t0,
+                    },
+                ))
+                .run_once()
+                .expect("shrink run");
+            RecoveryPoint {
+                scale,
+                restart_s: restart.elapsed_secs(),
+                abft_s: abft.elapsed_secs(),
+                shrink_s: shrink.elapsed_secs(),
+                restarts: restart.restarts,
+                rollbacks: abft.rollbacks,
+                shrinks: shrink.shrinks,
+                sdc_detected: abft.sdc_detected,
+                sdc_undetected: abft.sdc_undetected,
+            }
+        })
+        .collect()
+}
+
+/// Recovery sweep: time-to-solution vs fault intensity for CG and MetUM at
+/// 16 ranks on the three platforms under the three recovery strategies.
+/// The headline result is the ABFT-vs-restart crossover: fault-free,
+/// verification cuts are pure overhead and checkpoint/restart wins; once
+/// silent corruption and preemptions bite (EC2 spot), rolling live ranks
+/// back to a verified cut beats relaunching, and a spare pool beats both.
+pub fn recoverysweep(cfg: &ReproConfig) -> Table {
+    let mut t = Table::new(
+        "Recoverysweep — TTS vs fault intensity at 16 ranks (restart vs ABFT rollback vs shrink+spare)",
+        vec![
+            "workload",
+            "platform",
+            "scale",
+            "restart_s",
+            "abft_s",
+            "shrink_s",
+            "restarts",
+            "rollbacks",
+            "shrinks",
+            "sdc_det",
+            "sdc_undet",
+        ],
+    );
+    let cg = Npb::new(Kernel::Cg, cfg.npb_class);
+    let metum = MetUm {
+        timesteps: cfg.metum_steps,
+    };
+    let workloads: [&dyn Workload; 2] = [&cg, &metum];
+    for w in workloads {
+        for c in platforms() {
+            let points = recoverysweep_points(cfg, w, &c, 16, &FAULTSWEEP_SCALES);
+            let plat = c.name;
+            for p in points {
+                t.row(vec![
+                    w.name(),
+                    plat.to_string(),
+                    format!("{:.1}", p.scale),
+                    fmt_secs(p.restart_s),
+                    fmt_secs(p.abft_s),
+                    fmt_secs(p.shrink_s),
+                    p.restarts.to_string(),
+                    p.rollbacks.to_string(),
+                    p.shrinks.to_string(),
+                    p.sdc_detected.to_string(),
+                    p.sdc_undetected.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("scale 0.0 is bit-identical to the fault-free checkpointed run; verification cuts are pure overhead there");
+    t.note("under load the ABFT runs trade relaunches for in-place rollbacks; shrink+spare additionally absorbs fatal preemptions");
     t
 }
 
@@ -744,6 +935,87 @@ mod tests {
         // last checkpoint beats replaying the whole job from scratch.
         assert!(pts[1].plain_restarts >= 1, "{:?}", pts[1]);
         assert!(pts[1].ckpt_s < pts[1].plain_s, "{:?}", pts[1]);
+    }
+
+    #[test]
+    fn recoverysweep_scale_zero_is_bit_identical_to_fault_free() {
+        let cfg = ReproConfig::quick();
+        let w = Npb::new(Kernel::Cg, cfg.npb_class);
+        let c = presets::ec2();
+        let pts = recoverysweep_points(&cfg, &w, &c, 16, &[0.0]);
+        // Reconstruct the fault-free checkpointed/verified baselines with
+        // the same policies the sweep derives.
+        let colls = {
+            let mut probe = w.build(16);
+            let src = &mut probe.sources[0];
+            let mut n = 0u64;
+            while let Some(op) = src.next_op() {
+                if matches!(op, Op::Coll(_)) {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let ckpt = CheckpointPolicy::new((colls / 4).max(1), 1 << 20);
+        let vpol = VerifyPolicy::new((colls / 8).max(1), 1e7, 1 << 20);
+        let verified = Verified::new(&w, vpol);
+        let plain_ck = Checkpointed::new(&w, ckpt);
+        let abft_ck = Checkpointed::new(&verified, ckpt);
+        let (ck_base, _) = Experiment::new(&plain_ck, &c, 16)
+            .seed(cfg.seed)
+            .run_once()
+            .unwrap();
+        let (abft_base, _) = Experiment::new(&abft_ck, &c, 16)
+            .seed(cfg.seed)
+            .run_once()
+            .unwrap();
+        // Scale 0 empties the schedule: the engine takes the fault-free hot
+        // path and every strategy's f64 must match its baseline exactly.
+        let p = pts[0];
+        assert_eq!(p.restart_s.to_bits(), ck_base.elapsed_secs().to_bits());
+        assert_eq!(p.abft_s.to_bits(), abft_base.elapsed_secs().to_bits());
+        assert_eq!(p.shrink_s.to_bits(), abft_base.elapsed_secs().to_bits());
+        assert_eq!(p.restarts, 0);
+        assert_eq!(p.rollbacks, 0);
+        assert_eq!(p.shrinks, 0);
+        assert_eq!(p.sdc_detected + p.sdc_undetected, 0);
+    }
+
+    #[test]
+    fn recoverysweep_is_deterministic() {
+        let cfg = ReproConfig::quick();
+        let w = Npb::new(Kernel::Cg, cfg.npb_class);
+        let c = presets::dcc();
+        let a = recoverysweep_points(&cfg, &w, &c, 16, &[1.0, 4.0]);
+        let b = recoverysweep_points(&cfg, &w, &c, 16, &[1.0, 4.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.restart_s.to_bits(), y.restart_s.to_bits());
+            assert_eq!(x.abft_s.to_bits(), y.abft_s.to_bits());
+            assert_eq!(x.shrink_s.to_bits(), y.shrink_s.to_bits());
+            assert_eq!(
+                (x.restarts, x.rollbacks, x.shrinks),
+                (y.restarts, y.rollbacks, y.shrinks)
+            );
+        }
+    }
+
+    #[test]
+    fn recoverysweep_abft_crossover_on_ec2() {
+        let cfg = ReproConfig::quick();
+        let w = Npb::new(Kernel::Cg, cfg.npb_class);
+        let pts = recoverysweep_points(&cfg, &w, &presets::ec2(), 16, &[0.0, 4.0]);
+        // Fault-free, the verification cuts are pure overhead: plain
+        // checkpoint/restart is at least as fast...
+        assert!(pts[0].restart_s <= pts[0].abft_s, "{:?}", pts[0]);
+        // ...but at spot-market fault intensity, rolling back to a verified
+        // cut beats relaunching the job for every detected corruption.
+        let p = pts[1];
+        assert!(p.rollbacks >= 1, "{p:?}");
+        assert!(p.sdc_detected >= 1, "{p:?}");
+        assert!(p.abft_s < p.restart_s, "{p:?}");
+        // The spare pool also absorbs EC2's preemptions: no slower than the
+        // ABFT run that must fully relaunch on every fatal.
+        assert!(p.shrink_s <= p.abft_s * 1.01, "{p:?}");
     }
 
     #[test]

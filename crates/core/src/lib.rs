@@ -41,7 +41,8 @@ pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
     all_figures, faultsweep, faultsweep_points, fig1_osu_bandwidth, fig2_osu_latency,
     fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance,
-    tab2_npb_comm, tab3_metum, FaultPoint, ReproConfig, DEFAULT_SEED, FAULTSWEEP_SCALES,
+    recoverysweep, recoverysweep_points, tab2_npb_comm, tab3_metum, FaultPoint, RecoveryPoint,
+    ReproConfig, DEFAULT_SEED, FAULTSWEEP_SCALES, RECOVERYSWEEP_SDC_PER_NODE,
 };
 pub use plot::AsciiChart;
 pub use pricing::PriceModel;
@@ -67,11 +68,14 @@ pub mod prelude {
     pub use crate::experiment::{parallel_map, Experiment};
     pub use crate::figures::ReproConfig;
     pub use crate::table::Table;
-    pub use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+    pub use sim_faults::{FaultModel, FaultSpec, RecoveryStrategy, RetryPolicy};
     pub use sim_ipm::{profile_run, IpmReport};
     pub use sim_mpi::{run_job, CollOp, JobSpec, NullSink, Op, SimConfig, SimResult};
     pub use sim_platform::{presets, ClusterSpec, Placement, Strategy};
-    pub use workloads::{Chaste, Class, Kernel, MetUm, Npb, Workload};
+    pub use workloads::{
+        Chaste, CheckpointPolicy, Checkpointed, Class, Kernel, MetUm, Npb, Verified, VerifyPolicy,
+        Workload,
+    };
 }
 
 #[cfg(test)]

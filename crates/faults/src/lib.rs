@@ -14,6 +14,7 @@
 //! | `StealStorm`         | hypervisor steal-time burst (noisy neighbour)  |
 //! | `NfsBrownout`        | shared NFS server overload / failover          |
 //! | `Preemption`         | spot/preemptible instance revocation           |
+//! | `SilentFlip`         | undetected bit flip / corrupted reduction (SDC)|
 //!
 //! Determinism contract: the schedule is a pure function of
 //! `(model, nodes, horizon, seed)`. Candidate events are drawn at the
@@ -43,6 +44,30 @@ pub enum FaultKind {
     /// Fatal: the instance is revoked. The whole MPI job dies and must
     /// restart from its last completed checkpoint (or from scratch).
     Preemption,
+    /// Silent data corruption: a bit flip (or corrupted reduction) lands on
+    /// the node's state at an instant. Nothing fails visibly — the error is
+    /// only caught by a later verification cut (ABFT checksum, checkpoint
+    /// validation). `severity` is the normalized corruption magnitude;
+    /// events below the detector threshold stay undetected.
+    SilentFlip { severity: f64 },
+}
+
+/// One silent-data-corruption event: an instantaneous bit flip on `node`
+/// at `t` with normalized magnitude `severity`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcEvent {
+    pub node: usize,
+    pub t: SimTime,
+    pub severity: f64,
+}
+
+impl SdcEvent {
+    /// The event as a [`FaultKind`], for uniform reporting.
+    pub fn kind(&self) -> FaultKind {
+        FaultKind::SilentFlip {
+            severity: self.severity,
+        }
+    }
 }
 
 /// One concrete fault on the timeline.
@@ -83,6 +108,14 @@ pub struct FaultModel {
     pub brownout_factor: f64,
 
     pub preempt_per_node_hour: f64,
+
+    /// Silent-data-corruption events per node-hour. All platform presets
+    /// leave this at 0.0 so fail-stop-only experiments reproduce
+    /// bit-identically; opt in via [`FaultModel::with_sdc`] or
+    /// [`FaultModel::with_platform_sdc`].
+    pub sdc_per_node_hour: f64,
+    /// Mean of the exponential severity draw for SDC events.
+    pub sdc_mean_severity: f64,
 }
 
 impl FaultModel {
@@ -107,6 +140,8 @@ impl FaultModel {
             brownout_mean_secs: 0.0,
             brownout_factor: 1.0,
             preempt_per_node_hour: 0.0,
+            sdc_per_node_hour: 0.0,
+            sdc_mean_severity: 0.0,
         }
     }
 
@@ -143,6 +178,7 @@ impl FaultModel {
             brownout_mean_secs: 30.0,
             brownout_factor: 5.0,
             preempt_per_node_hour: 0.0,
+            ..FaultModel::none()
         }
     }
 
@@ -165,6 +201,7 @@ impl FaultModel {
             brownout_mean_secs: 20.0,
             brownout_factor: 4.0,
             preempt_per_node_hour: 0.02,
+            ..FaultModel::none()
         }
     }
 
@@ -192,14 +229,47 @@ impl FaultModel {
 
     /// Multiply every event rate by `f`. Used by the `faultsweep` driver to
     /// calibrate per-hour rates against a job's fault-free runtime, so short
-    /// simulated jobs still see a meaningful number of events.
+    /// simulated jobs still see a meaningful number of events. Rates are
+    /// clamped at zero so a negative (or `-0.0`-producing) multiplier can
+    /// never flip [`is_null`](Self::is_null) or crash the generator.
     pub fn with_rates_scaled(mut self, f: f64) -> Self {
-        self.crash_per_node_hour *= f;
-        self.nic_per_node_hour *= f;
-        self.steal_per_node_hour *= f;
-        self.brownout_per_hour *= f;
-        self.preempt_per_node_hour *= f;
+        // `x.max(0.0)` may keep `-0.0` (and propagates nothing for NaN
+        // products), so clamp explicitly: anything not strictly positive
+        // becomes a true `+0.0`.
+        fn nneg(x: f64) -> f64 {
+            if x > 0.0 {
+                x
+            } else {
+                0.0
+            }
+        }
+        self.crash_per_node_hour = nneg(self.crash_per_node_hour * f);
+        self.nic_per_node_hour = nneg(self.nic_per_node_hour * f);
+        self.steal_per_node_hour = nneg(self.steal_per_node_hour * f);
+        self.brownout_per_hour = nneg(self.brownout_per_hour * f);
+        self.preempt_per_node_hour = nneg(self.preempt_per_node_hour * f);
+        self.sdc_per_node_hour = nneg(self.sdc_per_node_hour * f);
         self
+    }
+
+    /// Enable silent-data-corruption events at `rate` per node-hour with
+    /// exponential severities of the given mean.
+    pub fn with_sdc(mut self, rate_per_node_hour: f64, mean_severity: f64) -> Self {
+        self.sdc_per_node_hour = rate_per_node_hour.max(0.0);
+        self.sdc_mean_severity = mean_severity.max(0.0);
+        self
+    }
+
+    /// Per-platform SDC rate preset, keyed off the model's name: ECC-
+    /// protected bare metal (vayu) sees an order of magnitude fewer silent
+    /// flips than virtualized commodity nodes (dcc), and spot-market EC2
+    /// hardware is the noisiest. Unknown names get the private-cloud rate.
+    pub fn with_platform_sdc(self) -> Self {
+        match self.name {
+            "vayu" => self.with_sdc(0.0005, 1.0),
+            "ec2" => self.with_sdc(0.004, 1.0),
+            _ => self.with_sdc(0.002, 1.0),
+        }
     }
 
     /// True when the schedule this model generates is provably empty.
@@ -209,7 +279,8 @@ impl FaultModel {
                 && self.nic_per_node_hour <= 0.0
                 && self.steal_per_node_hour <= 0.0
                 && self.brownout_per_hour <= 0.0
-                && self.preempt_per_node_hour <= 0.0)
+                && self.preempt_per_node_hour <= 0.0
+                && self.sdc_per_node_hour <= 0.0)
     }
 }
 
@@ -247,14 +318,27 @@ impl RetryPolicy {
     /// retry attempt at or after `recovery`, or `None` when the retry
     /// budget is exhausted first.
     pub fn first_success(&self, issued: SimTime, recovery: SimTime) -> Option<SimTime> {
+        // Sanitize the knobs so a degenerate policy (zero, negative,
+        // infinite or NaN cap/multiplier) can never explode or stall the
+        // delay sequence: the cap always wins.
+        let cap = if self.max_delay_secs.is_finite() && self.max_delay_secs > 0.0 {
+            self.max_delay_secs
+        } else {
+            RetryPolicy::default().max_delay_secs
+        };
+        let growth = if self.backoff.is_finite() && self.backoff > 0.0 {
+            self.backoff
+        } else {
+            1.0
+        };
         let mut t = issued;
-        let mut delay = self.timeout_secs.max(1e-9);
+        let mut delay = self.timeout_secs.max(1e-9).min(cap);
         for _ in 0..=self.max_retries {
             if t >= recovery {
                 return Some(t);
             }
             t += SimDur::from_secs_f64(delay);
-            delay = (delay * self.backoff).min(self.max_delay_secs);
+            delay = (delay * growth).clamp(1e-9, cap);
         }
         if t >= recovery {
             Some(t)
@@ -262,6 +346,34 @@ impl RetryPolicy {
             None
         }
     }
+}
+
+/// What the engine does when a run is cut short — by a fatal fault or by a
+/// verification cut that catches silent corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryStrategy {
+    /// Relaunch the whole job after `restart_delay_secs`, resuming from the
+    /// last completed checkpoint (PR 2 semantics; the default keeps
+    /// checkpoint/restart-only runs bit-identical).
+    #[default]
+    Restart,
+    /// Algorithm-based fault tolerance: on a detected corruption, roll the
+    /// surviving ranks back to the last *verified* cut (the most recent
+    /// completed [`Op::Verify`] barrier) and replay — no relaunch, no
+    /// checkpoint read. Fatal faults still restart.
+    AbftRollback,
+    /// ULFM-style shrink-and-spare: a corrupted or preempted rank is
+    /// replaced from a pool of hot spares. The communicator is repaired in
+    /// place and the replacement's state is re-fetched from its neighbours,
+    /// charged through the netsim cost model; only when the spare pool is
+    /// exhausted does the job fall back to a full restart.
+    ShrinkSpare {
+        /// Hot spare nodes available for the whole run.
+        spares: u32,
+        /// Seconds to splice the spare into the communicator (ULFM shrink
+        /// + agree + spawn), before state redistribution transfer time.
+        respawn_delay_secs: f64,
+    },
 }
 
 /// Everything the engine needs to simulate a faulty run: the model, the
@@ -277,6 +389,12 @@ pub struct FaultSpec {
     /// never fire, which also guarantees every run terminates: after the
     /// last fatal the job completes unperturbed.
     pub horizon_secs: f64,
+    /// How the engine recovers from fatal faults and detected corruption.
+    pub recovery: RecoveryStrategy,
+    /// SDC events with severity below this are invisible to every detector
+    /// (they fall under the verification's numerical tolerance) and are
+    /// reported as `sdc_undetected`.
+    pub sdc_threshold: f64,
 }
 
 impl FaultSpec {
@@ -287,7 +405,15 @@ impl FaultSpec {
             retry: RetryPolicy::default(),
             restart_delay_secs: 30.0,
             horizon_secs: 4.0 * 3600.0,
+            recovery: RecoveryStrategy::Restart,
+            sdc_threshold: 0.01,
         }
+    }
+
+    /// Same spec with a different recovery strategy.
+    pub fn with_recovery(mut self, recovery: RecoveryStrategy) -> Self {
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -298,6 +424,7 @@ const STREAM_NIC: u64 = 0xFA17_1000;
 const STREAM_STEAL: u64 = 0xFA17_2000;
 const STREAM_BROWNOUT: u64 = 0xFA17_3000;
 const STREAM_PREEMPT: u64 = 0xFA17_4000;
+const STREAM_SDC: u64 = 0xFA17_5000;
 
 /// A concrete, queryable fault timeline for one job.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -308,6 +435,10 @@ pub struct FaultSchedule {
     brownouts: Vec<FaultWindow>,
     /// Sorted times of fatal (preemption) events.
     fatals: Vec<SimTime>,
+    /// Silent-data-corruption events across all active nodes, sorted by
+    /// time. Instantaneous — they never perturb the timeline by themselves,
+    /// only through the recovery a verification cut triggers.
+    sdc: Vec<SdcEvent>,
 }
 
 impl FaultSchedule {
@@ -339,6 +470,7 @@ impl FaultSchedule {
             per_node: vec![Vec::new(); nodes],
             brownouts: Vec::new(),
             fatals: Vec::new(),
+            sdc: Vec::new(),
         };
         if model.is_null() || nodes == 0 {
             return sched;
@@ -407,6 +539,12 @@ impl FaultSchedule {
                 horizon_secs,
                 |start, _end| sched.fatals.push(start),
             );
+            thin_sdc(
+                model,
+                DetRng::new(seed, STREAM_SDC.wrapping_add(node as u64)),
+                horizon_secs,
+                |t, severity| sched.sdc.push(SdcEvent { node, t, severity }),
+            );
         }
         thin_class(
             model,
@@ -431,20 +569,23 @@ impl FaultSchedule {
         }
         sched.brownouts.sort_by_key(|w| w.start);
         sched.fatals.sort();
+        sched.sdc.sort_by_key(|e| e.t);
         sched
     }
 
-    /// No windows and no fatal events at all.
+    /// No windows, no fatal events, no silent corruptions at all.
     pub fn is_empty(&self) -> bool {
         self.fatals.is_empty()
             && self.brownouts.is_empty()
+            && self.sdc.is_empty()
             && self.per_node.iter().all(|w| w.is_empty())
     }
 
-    /// Total number of transient windows plus fatal events.
+    /// Total number of transient windows plus fatal and SDC events.
     pub fn len(&self) -> usize {
         self.fatals.len()
             + self.brownouts.len()
+            + self.sdc.len()
             + self.per_node.iter().map(|w| w.len()).sum::<usize>()
     }
 
@@ -502,6 +643,11 @@ impl FaultSchedule {
         &self.fatals
     }
 
+    /// Silent-data-corruption events, sorted by time.
+    pub fn sdc(&self) -> &[SdcEvent] {
+        &self.sdc
+    }
+
     /// All transient windows, for tests and reporting.
     pub fn windows(&self) -> impl Iterator<Item = &FaultWindow> {
         self.per_node.iter().flatten().chain(self.brownouts.iter())
@@ -551,6 +697,35 @@ fn thin_class(
             let start = SimTime::from_secs_f64(t);
             let end = SimTime::from_secs_f64(t + dur);
             emit(start, end.max(start + SimDur::from_nanos(1)));
+        }
+    }
+}
+
+/// SDC counterpart of [`thin_class`]: identical candidate/acceptance
+/// structure (arrival, one auxiliary draw, acceptance uniform) so SDC
+/// schedules nest across `scale` exactly like the fail-stop classes; the
+/// auxiliary draw is the severity instead of a duration, keeping its full
+/// f64 precision rather than round-tripping through a `SimTime`.
+fn thin_sdc(
+    model: &FaultModel,
+    mut rng: DetRng,
+    horizon_secs: f64,
+    mut emit: impl FnMut(SimTime, f64),
+) {
+    if model.sdc_per_node_hour <= 0.0 {
+        return;
+    }
+    let mean_interarrival = 3600.0 / (model.sdc_per_node_hour * FaultModel::MAX_SCALE);
+    let mut t = 0.0f64;
+    loop {
+        t += rng.exponential(mean_interarrival);
+        if t >= horizon_secs || t.is_nan() {
+            return;
+        }
+        let severity = rng.exponential(model.sdc_mean_severity.max(1e-9));
+        let u = rng.uniform();
+        if u * FaultModel::MAX_SCALE < model.scale {
+            emit(SimTime::from_secs_f64(t), severity);
         }
     }
 }
@@ -640,7 +815,7 @@ mod tests {
                 FaultKind::NfsBrownout { factor } => {
                     assert!(s.io_factor(mid) >= factor);
                 }
-                FaultKind::Preemption => {}
+                FaultKind::Preemption | FaultKind::SilentFlip { .. } => {}
             }
         }
         assert!(saw_steal && saw_nic, "dcc at max scale shows both classes");
@@ -680,5 +855,178 @@ mod tests {
         assert!(FaultModel::ec2().preempt_per_node_hour > 0.0);
         assert!(FaultModel::dcc().nic_factor > FaultModel::ec2().nic_factor);
         assert!(FaultModel::vayu().nic_per_node_hour == 0.0);
+        // SDC is opt-in: every fail-stop preset ships with rate 0.0, so
+        // PR 2 experiments reproduce bit-identically.
+        for m in [FaultModel::vayu(), FaultModel::dcc(), FaultModel::ec2()] {
+            assert_eq!(m.sdc_per_node_hour, 0.0, "{}", m.name);
+        }
+        let v = FaultModel::vayu().with_platform_sdc();
+        let d = FaultModel::dcc().with_platform_sdc();
+        let e = FaultModel::ec2().with_platform_sdc();
+        assert!(v.sdc_per_node_hour < d.sdc_per_node_hour);
+        assert!(d.sdc_per_node_hour < e.sdc_per_node_hour);
+    }
+
+    #[test]
+    fn sdc_events_are_deterministic_and_nested_across_scales() {
+        let base = FaultModel::ec2().with_platform_sdc();
+        let h = SimDur::from_secs_f64(400.0 * 3600.0);
+        let a = FaultSchedule::generate(&base, 4, h, 11);
+        let b = FaultSchedule::generate(&base, 4, h, 11);
+        assert_eq!(a.sdc(), b.sdc());
+        assert!(!a.sdc().is_empty(), "ec2 SDC preset over 400h must fire");
+        assert!(a.sdc().windows(2).all(|w| w[0].t <= w[1].t), "sorted");
+        assert!(a.sdc().iter().all(|e| e.severity > 0.0 && e.node < 4));
+        let mut prev: Vec<SdcEvent> = Vec::new();
+        for scale in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let s = FaultSchedule::generate(&base.clone().scaled(scale), 4, h, 11);
+            for e in &prev {
+                assert!(s.sdc().contains(e), "scale {scale}: SDC event vanished");
+            }
+            prev = s.sdc().to_vec();
+        }
+    }
+
+    #[test]
+    fn sdc_does_not_perturb_failstop_streams() {
+        // Turning SDC on must leave every fail-stop window bit-identical:
+        // the class draws on its own RNG stream.
+        let h = SimDur::from_secs_f64(50.0 * 3600.0);
+        let plain = FaultSchedule::generate(&FaultModel::ec2().scaled(4.0), 4, h, 5);
+        let with_sdc =
+            FaultSchedule::generate(&FaultModel::ec2().scaled(4.0).with_platform_sdc(), 4, h, 5);
+        let a: Vec<FaultWindow> = plain.windows().copied().collect();
+        let b: Vec<FaultWindow> = with_sdc.windows().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(plain.fatals(), with_sdc.fatals());
+        assert!(plain.sdc().is_empty());
+        assert!(!with_sdc.sdc().is_empty());
+    }
+
+    /// Property sweep (satellite): schedules generated from the same
+    /// (rates, nodes, horizon, seed) nest whenever one scale dominates
+    /// another — across several seeds, platforms and scale pairs.
+    #[test]
+    fn prop_generate_nests_when_rates_scale_up() {
+        let h = SimDur::from_secs_f64(80.0 * 3600.0);
+        for model in [
+            FaultModel::dcc(),
+            FaultModel::ec2().with_platform_sdc(),
+            FaultModel::vayu().with_sdc(0.01, 0.5),
+        ] {
+            for seed in [1u64, 2, 3, 0xDEAD, 0xBEEF] {
+                for (lo, hi) in [(0.25, 0.5), (0.5, 1.0), (1.0, 3.0), (3.0, 8.0)] {
+                    let a = FaultSchedule::generate(&model.clone().scaled(lo), 6, h, seed);
+                    let b = FaultSchedule::generate(&model.clone().scaled(hi), 6, h, seed);
+                    assert!(a.len() <= b.len());
+                    let big: Vec<FaultWindow> = b.windows().copied().collect();
+                    for w in a.windows() {
+                        assert!(big.contains(w), "{}/{seed}/{lo}->{hi}: {w:?}", model.name);
+                    }
+                    for f in a.fatals() {
+                        assert!(b.fatals().contains(f));
+                    }
+                    for e in a.sdc() {
+                        assert!(b.sdc().contains(e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property sweep (satellite): `scaled` and `with_rates_scaled` never
+    /// produce a negative rate and never flip `is_null` for positive
+    /// multipliers.
+    #[test]
+    fn prop_scaling_never_negates_rates_or_flips_is_null() {
+        let rates = |m: &FaultModel| {
+            [
+                m.crash_per_node_hour,
+                m.nic_per_node_hour,
+                m.steal_per_node_hour,
+                m.brownout_per_hour,
+                m.preempt_per_node_hour,
+                m.sdc_per_node_hour,
+            ]
+        };
+        for model in [
+            FaultModel::none(),
+            FaultModel::vayu(),
+            FaultModel::dcc(),
+            FaultModel::ec2().with_platform_sdc(),
+        ] {
+            let null_before = model.is_null();
+            for f in [0.0, 1e-9, 0.5, 1.0, 7.3, 1e6, -1.0, -0.0] {
+                let m = model.clone().with_rates_scaled(f);
+                assert!(
+                    rates(&m).iter().all(|r| *r >= 0.0 && !r.is_sign_negative()),
+                    "{} x {f}: negative rate {:?}",
+                    model.name,
+                    rates(&m)
+                );
+                if f > 0.0 {
+                    assert_eq!(m.is_null(), null_before, "{} x {f}", model.name);
+                }
+            }
+            for s in [-3.0, 0.0, 0.5, 1.0, 8.0, 64.0, f64::INFINITY] {
+                let m = model.clone().scaled(s);
+                assert!((0.0..=FaultModel::MAX_SCALE).contains(&m.scale));
+                assert!(rates(&m).iter().all(|r| *r >= 0.0));
+            }
+        }
+    }
+
+    /// Regression (satellite): the backoff cap bounds every inter-attempt
+    /// delay, so even degenerate multipliers/caps and very long fault
+    /// windows cannot overflow or explode the sequence.
+    #[test]
+    fn backoff_cap_bounds_the_delay_sequence() {
+        let issued = SimTime::from_secs(0);
+        // A crazy multiplier with a finite cap: total wait is bounded by
+        // (max_retries + 1) * max_delay.
+        let p = RetryPolicy {
+            timeout_secs: 1.0,
+            backoff: 1e12,
+            max_retries: 50,
+            max_delay_secs: 10.0,
+        };
+        let got = p
+            .first_success(issued, SimTime::from_secs(400))
+            .expect("cap keeps retry attempts coming");
+        assert!(got.as_secs_f64() <= 51.0 * 10.0 + 1.0);
+        // Non-finite knobs are sanitized instead of poisoning SimTime.
+        for bad in [
+            RetryPolicy {
+                backoff: f64::INFINITY,
+                ..p
+            },
+            RetryPolicy {
+                backoff: f64::NAN,
+                ..p
+            },
+            RetryPolicy {
+                max_delay_secs: f64::INFINITY,
+                ..p
+            },
+            RetryPolicy {
+                max_delay_secs: -1.0,
+                ..p
+            },
+        ] {
+            let t = bad.first_success(issued, SimTime::from_secs(60));
+            if let Some(t) = t {
+                assert!(t.as_secs_f64().is_finite());
+                assert!(t.as_secs_f64() < 1e6, "delay sequence exploded: {t:?}");
+            }
+        }
+        // Monotone growth still holds below the cap.
+        let gentle = RetryPolicy::default();
+        let a = gentle
+            .first_success(issued, SimTime::from_secs_f64(3.0))
+            .unwrap();
+        let b = gentle
+            .first_success(issued, SimTime::from_secs_f64(20.0))
+            .unwrap();
+        assert!(a <= b);
     }
 }

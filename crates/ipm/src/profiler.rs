@@ -27,6 +27,18 @@ pub struct Ledger {
     /// restart gaps. This is IPM's FAULT/RESTART accounting; zero on
     /// fault-free runs.
     pub fault: f64,
+    /// Time inside ABFT verification cuts (barrier + checksum pass). An
+    /// *overlay*: the same span is already split into `comm`/`comp` by the
+    /// underlying events, so `verify` is not added to the conservation sum.
+    pub verify: f64,
+    /// Time inside shrink-and-spare recoveries. Overlays `fault` (the
+    /// same gap arrives as a restart event), split out so reports can tell
+    /// communicator repairs from full relaunches.
+    pub shrink: f64,
+    /// Silent corruptions adjudicated as detected in this region.
+    pub sdc_detected: u64,
+    /// Silent corruptions that escaped detection in this region.
+    pub sdc_undetected: u64,
     /// MPI call hash: (call, log2-size bucket) → aggregate.
     pub calls: HashMap<(MpiKind, u8), CallAgg>,
 }
@@ -209,6 +221,27 @@ impl ProfSink for IpmCollector {
                 rp.global.wall = end.since(SimTime::ZERO).as_secs_f64();
                 rp.last_event = end;
             }
+            ProfEvent::Verify { start, end } => {
+                // Overlay: the span's time already arrived as barrier +
+                // compute events, so only the verify column moves.
+                let d = end.since(start).as_secs_f64();
+                self.attribute(rank, |l| l.verify += d);
+            }
+            ProfEvent::Shrink { start, end } => {
+                // Overlay of the restart event carrying the same gap (which
+                // already cleared the stack): global column only.
+                let d = end.since(start).as_secs_f64();
+                self.ranks[rank].global.shrink += d;
+            }
+            ProfEvent::Sdc { t: _, detected } => {
+                self.attribute(rank, |l| {
+                    if detected {
+                        l.sdc_detected += 1;
+                    } else {
+                        l.sdc_undetected += 1;
+                    }
+                });
+            }
         }
     }
 }
@@ -309,6 +342,73 @@ mod tests {
         assert!((p.ranks[0].global.comm - 1.0).abs() < 1e-9);
         let agg = p.ranks[0].global.calls[&(MpiKind::Allreduce, size_bucket(4))];
         assert_eq!(agg.count, 1);
+    }
+
+    #[test]
+    fn overlay_events_move_only_their_own_columns() {
+        let meta = JobMeta {
+            name: "t".into(),
+            np: 1,
+            section_names: vec!["solve"],
+        };
+        let mut c = IpmCollector::new(&meta);
+        c.on_event(
+            0,
+            ProfEvent::SectionEnter {
+                id: 0,
+                t: SimTime(0),
+            },
+        );
+        c.on_event(
+            0,
+            ProfEvent::Verify {
+                start: SimTime(0),
+                end: SimTime(500_000_000),
+            },
+        );
+        c.on_event(
+            0,
+            ProfEvent::Sdc {
+                t: SimTime(250_000_000),
+                detected: true,
+            },
+        );
+        c.on_event(
+            0,
+            ProfEvent::SectionExit {
+                id: 0,
+                t: SimTime(500_000_000),
+            },
+        );
+        c.on_event(
+            0,
+            ProfEvent::Sdc {
+                t: SimTime(600_000_000),
+                detected: false,
+            },
+        );
+        c.on_event(
+            0,
+            ProfEvent::Shrink {
+                start: SimTime(600_000_000),
+                end: SimTime(700_000_000),
+            },
+        );
+        let p = c.finish();
+        let g = &p.ranks[0].global;
+        // Overlays: comm/comp/fault untouched.
+        assert_eq!(g.comm, 0.0);
+        assert_eq!(g.comp, 0.0);
+        assert_eq!(g.fault, 0.0);
+        assert!((g.verify - 0.5).abs() < 1e-9);
+        assert!((g.shrink - 0.1).abs() < 1e-9);
+        assert_eq!(g.sdc_detected, 1);
+        assert_eq!(g.sdc_undetected, 1);
+        // In-section events attributed to the open section too.
+        let s = &p.ranks[0].sections[0];
+        assert!((s.verify - 0.5).abs() < 1e-9);
+        assert_eq!(s.sdc_detected, 1);
+        assert_eq!(s.sdc_undetected, 0);
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub struct SectionReport {
     /// Per-rank fault/recovery time (crash stalls and restart gaps);
     /// all-zero on fault-free runs.
     pub fault: Summary,
+    /// Per-rank time inside ABFT verification cuts. An overlay of
+    /// comm/comp — not added to the conservation sum.
+    pub verify: Summary,
+    /// Per-rank time inside shrink-and-spare recoveries (overlay of fault).
+    pub shrink: Summary,
+    /// Silent corruptions adjudicated as detected, summed over ranks.
+    pub sdc_detected: u64,
+    /// Silent corruptions that escaped detection, summed over ranks.
+    pub sdc_undetected: u64,
     /// MPI call table, sorted by time descending.
     pub calls: Vec<CallRow>,
 }
@@ -64,6 +73,16 @@ impl SectionReport {
             0.0
         } else {
             100.0 * self.fault.mean * self.fault.n as f64 / wall
+        }
+    }
+
+    /// Percentage of region wallclock spent in ABFT verification cuts.
+    pub fn verify_pct(&self) -> f64 {
+        let wall = self.wall.mean * self.wall.n as f64;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.verify.mean * self.verify.n as f64 / wall
         }
     }
 
@@ -174,6 +193,28 @@ impl IpmReport {
                 self.global.fault_pct()
             );
         }
+        if self.global.shrink.max > 0.0 {
+            let _ = writeln!(
+                out,
+                "# SHRINK/SPARE  : {:.4}s mean/rank (communicator repairs, no relaunch)",
+                self.global.shrink.mean
+            );
+        }
+        if self.global.verify.max > 0.0 {
+            let _ = writeln!(
+                out,
+                "# VERIFY (ABFT) : {:.4}s mean/rank ({:.2}% of wallclock)",
+                self.global.verify.mean,
+                self.global.verify_pct()
+            );
+        }
+        if self.global.sdc_detected + self.global.sdc_undetected > 0 {
+            let _ = writeln!(
+                out,
+                "# SDC           : {} detected, {} undetected",
+                self.global.sdc_detected, self.global.sdc_undetected
+            );
+        }
         let _ = writeln!(out, "#");
         let _ = writeln!(
             out,
@@ -221,6 +262,10 @@ fn section_report(name: &str, ledgers: Vec<&crate::profiler::Ledger>) -> Section
     let comms: Vec<f64> = ledgers.iter().map(|l| l.comm).collect();
     let ios: Vec<f64> = ledgers.iter().map(|l| l.io).collect();
     let faults: Vec<f64> = ledgers.iter().map(|l| l.fault).collect();
+    let verifies: Vec<f64> = ledgers.iter().map(|l| l.verify).collect();
+    let shrinks: Vec<f64> = ledgers.iter().map(|l| l.shrink).collect();
+    let sdc_detected: u64 = ledgers.iter().map(|l| l.sdc_detected).sum();
+    let sdc_undetected: u64 = ledgers.iter().map(|l| l.sdc_undetected).sum();
     let mut merged: HashMap<(MpiKind, u8), CallAgg> = HashMap::new();
     for l in &ledgers {
         for (k, v) in &l.calls {
@@ -247,6 +292,10 @@ fn section_report(name: &str, ledgers: Vec<&crate::profiler::Ledger>) -> Section
         comm: Summary::of(&comms).expect("at least one rank"),
         io: Summary::of(&ios).expect("at least one rank"),
         fault: Summary::of(&faults).expect("at least one rank"),
+        verify: Summary::of(&verifies).expect("at least one rank"),
+        shrink: Summary::of(&shrinks).expect("at least one rank"),
+        sdc_detected,
+        sdc_undetected,
         calls,
     }
 }
@@ -348,6 +397,36 @@ mod tests {
         assert!(text.contains("solve"));
         assert!(text.contains("MPI_Allreduce"));
         assert!(text.contains("ec2"));
+    }
+
+    #[test]
+    fn verify_cuts_show_in_report_as_overlay() {
+        let programs = (0..8)
+            .map(|_| {
+                vec![
+                    Op::Compute {
+                        flops: 1e8,
+                        bytes: 0.0,
+                    },
+                    Op::Coll(CollOp::Allreduce { bytes: 8 }),
+                    Op::Verify {
+                        flops: 1e7,
+                        state_bytes: 1 << 20,
+                    },
+                ]
+            })
+            .collect();
+        let mut job = JobSpec::from_programs("abft-demo", programs, vec![]);
+        let (res, rep) = profile_run(&mut job, &presets::vayu(), &SimConfig::default()).unwrap();
+        assert!(rep.global.verify.max > 0.0);
+        // Overlay: the verify span is already split into comm/comp, so the
+        // conservation sum covers the whole run without a verify term.
+        let r0 = &res.ranks[0];
+        assert_eq!(r0.other(), sim_des::SimDur::ZERO);
+        let text = rep.to_text();
+        assert!(text.contains("VERIFY (ABFT)"), "{text}");
+        assert!(!text.contains("SDC"), "fault-free run: {text}");
+        assert!(!text.contains("SHRINK/SPARE"), "{text}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub struct Span {
     pub rank: usize,
     /// Event name ("compute", "MPI_Allreduce", "read", section name...).
     pub name: String,
-    /// Category: "comp" | "mpi" | "io" | "section" | "fault".
+    /// Category: "comp" | "mpi" | "io" | "section" | "fault" | "verify".
     pub cat: &'static str,
     pub start: SimTime,
     pub end: SimTime,
@@ -143,6 +143,34 @@ impl ProfSink for TraceCollector {
                     bytes: 0,
                 });
             }
+            ProfEvent::Verify { start, end } => self.spans.push(Span {
+                rank,
+                name: "abft-verify".to_string(),
+                cat: "verify",
+                start,
+                end,
+                bytes: 0,
+            }),
+            ProfEvent::Shrink { start, end } => self.spans.push(Span {
+                rank,
+                name: "shrink-spare".to_string(),
+                cat: "fault",
+                start,
+                end,
+                bytes: 0,
+            }),
+            ProfEvent::Sdc { t, detected } => self.spans.push(Span {
+                rank,
+                name: if detected {
+                    "sdc-detected".to_string()
+                } else {
+                    "sdc-undetected".to_string()
+                },
+                cat: "fault",
+                start: t,
+                end: t,
+                bytes: 0,
+            }),
         }
     }
 }

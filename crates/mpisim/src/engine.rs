@@ -21,7 +21,7 @@ use crate::op::{CollOp, Group, JobMeta, JobSpec, Op, OpSource, Rank, ReqId, Sect
 use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
 use crate::result::{RankTotals, SimResult};
 use sim_des::{DetRng, EventQueue, SimDur, SimTime};
-use sim_faults::{FaultSchedule, FaultSpec, RetryPolicy};
+use sim_faults::{FaultSchedule, FaultSpec, RecoveryStrategy, RetryPolicy, SdcEvent};
 use sim_net::{cost, SerialResource};
 use sim_platform::{ClusterSpec, Placement, PlacementError, RankRates, Strategy};
 use std::collections::HashMap;
@@ -43,6 +43,10 @@ pub enum SimError {
     Malformed(String),
     /// An op stalled on a crashed node exhausted its retry budget.
     RetryExhausted(String),
+    /// An engine invariant broke (a barrier released without its state, a
+    /// recovery fired without an active fault schedule). Indicates a bug in
+    /// the engine itself, surfaced as a typed error instead of a panic.
+    Internal(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -53,6 +57,7 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock(e) => write!(f, "simulation deadlocked: {e}"),
             SimError::Malformed(e) => write!(f, "malformed program: {e}"),
             SimError::RetryExhausted(e) => write!(f, "retries exhausted: {e}"),
+            SimError::Internal(e) => write!(f, "engine invariant violated: {e}"),
         }
     }
 }
@@ -178,6 +183,33 @@ struct ActiveFaults {
     restart_delay: SimDur,
     /// Index of the next unconsumed fatal event in `sched.fatals()`.
     next_fatal: usize,
+    /// Index of the next unadjudicated silent corruption in `sched.sdc()`.
+    /// Monotone: every corruption is adjudicated at most once (at the first
+    /// cut that covers it), so recovery loops always terminate.
+    next_sdc: usize,
+    /// Corruptions with severity at or above this are caught at a cut.
+    sdc_threshold: f64,
+    /// How the job recovers from detected corruptions and (for
+    /// [`RecoveryStrategy::ShrinkSpare`]) fatal faults.
+    recovery: RecoveryStrategy,
+    /// Spare nodes still available for shrink recoveries.
+    spares_left: u32,
+}
+
+/// A verified consistent cut: the rollback target for ABFT and shrink
+/// recovery. Recorded when an [`Op::Verify`] completes clean, invalidated
+/// by a full restart (the in-memory state it names died with the job).
+#[derive(Debug, Clone, Copy)]
+struct CutState {
+    /// Verify ops each rank fast-forwards past when rolling back here.
+    verify_done: u64,
+    /// Global checkpoint count at the cut (restored on rollback so
+    /// re-executed checkpoints keep aligned sequence ids).
+    ckpt_done: u64,
+    /// Bytes of the last completed checkpoint at the cut.
+    ckpt_bytes: u64,
+    /// Per-rank in-memory state a spare must receive on a shrink.
+    state_bytes: u64,
 }
 
 /// Run `job` on `cluster`. Profile events stream into `sink`.
@@ -245,6 +277,23 @@ struct Engine<'a> {
     ckpt_count: Vec<u64>,
     /// Open checkpoint barriers keyed by sequence id.
     ckpts: HashMap<u64, Vec<(Rank, SimTime)>>,
+    /// Per-rank verify sequence counters (world-synchronized cut ids).
+    verify_count: Vec<u64>,
+    /// Open verify barriers keyed by sequence id.
+    verifies: HashMap<u64, Vec<(Rank, SimTime)>>,
+    /// After a rollback: verify ops each rank fast-forwards past (ops
+    /// before the verified cut replay at zero cost).
+    skip_verify: Vec<u64>,
+    /// Most recent clean verified cut, if any.
+    cut: Option<CutState>,
+    /// ABFT rollbacks performed (detected corruption, no relaunch).
+    rollbacks: u64,
+    /// Shrink-and-spare recoveries performed.
+    shrinks: u64,
+    /// Silent corruptions caught at a cut.
+    sdc_detected: u64,
+    /// Silent corruptions that escaped detection.
+    sdc_undetected: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -310,6 +359,13 @@ impl<'a> Engine<'a> {
                     retry: spec.retry,
                     restart_delay: SimDur::from_secs_f64(spec.restart_delay_secs),
                     next_fatal: 0,
+                    next_sdc: 0,
+                    sdc_threshold: spec.sdc_threshold,
+                    recovery: spec.recovery,
+                    spares_left: match spec.recovery {
+                        RecoveryStrategy::ShrinkSpare { spares, .. } => spares,
+                        _ => 0,
+                    },
                 })
             }
         });
@@ -337,6 +393,14 @@ impl<'a> Engine<'a> {
             skip: vec![0; np],
             ckpt_count: vec![0; np],
             ckpts: HashMap::new(),
+            verify_count: vec![0; np],
+            verifies: HashMap::new(),
+            skip_verify: vec![0; np],
+            cut: None,
+            rollbacks: 0,
+            shrinks: 0,
+            sdc_detected: 0,
+            sdc_undetected: 0,
         }
     }
 
@@ -355,10 +419,12 @@ impl<'a> Engine<'a> {
             // Fatal fault: once the minimum heap time is at or past the next
             // fatal instant, nothing else can happen before it (blocked
             // ranks only advance through ready peers), so the job dies here
-            // and relaunches from its last completed checkpoint.
+            // and recovers — by shrinking onto a spare node when the
+            // strategy allows it, else by relaunching from its last
+            // completed checkpoint.
             if let Some(f) = self.next_fatal() {
                 if t >= f {
-                    self.do_restart(f, sink);
+                    self.on_fatal(f, sink)?;
                     continue;
                 }
             }
@@ -370,6 +436,8 @@ impl<'a> Engine<'a> {
             .map(|r| r.clock)
             .max()
             .unwrap_or(SimTime::ZERO);
+        // Corruptions no cut ever adjudicated escaped every detector.
+        self.drain_sdc_at_end(elapsed, sink);
         debug_assert!(
             self.eager.values().all(|q| q.is_empty()),
             "eager messages left unreceived"
@@ -393,6 +461,10 @@ impl<'a> Engine<'a> {
             placement: self.placement,
             ops_executed: self.ops_executed,
             restarts: self.restarts,
+            rollbacks: self.rollbacks,
+            shrinks: self.shrinks,
+            sdc_detected: self.sdc_detected,
+            sdc_undetected: self.sdc_undetected,
         })
     }
 
@@ -418,9 +490,12 @@ impl<'a> Engine<'a> {
     /// checkpoint, and each rank re-charges the restore read. The gap from
     /// each rank's death to the relaunch instant is charged to the fault
     /// ledger and reported as a RESTART event.
-    fn do_restart(&mut self, f: SimTime, sink: &mut dyn ProfSink) {
+    fn do_restart(&mut self, f: SimTime, sink: &mut dyn ProfSink) -> Result<(), SimError> {
         let np = self.meta.np;
-        let a = self.faults.as_mut().expect("restart without faults");
+        let a = self
+            .faults
+            .as_mut()
+            .ok_or_else(|| SimError::Internal("restart without an active fault schedule".into()))?;
         // Ranks whose last op ran past the fatal instant still count their
         // progress (op granularity); relaunch happens after the provisioning
         // delay, and never before any rank's charged-through clock.
@@ -447,10 +522,13 @@ impl<'a> Engine<'a> {
         self.exchanges.clear();
         self.colls.clear();
         self.ckpts.clear();
+        self.verifies.clear();
         for nic in &mut self.nics {
             *nic = SerialResource::new();
         }
         self.done = 0;
+        // The verified cut named in-memory state; it died with the job.
+        self.cut = None;
         let restore_secs = if self.ckpt_done > 0 {
             self.cluster.fs.read_time(self.ckpt_bytes, np)
         } else {
@@ -473,9 +551,12 @@ impl<'a> Engine<'a> {
             st.io_until = SimTime::ZERO;
             // Replay from the start, discarding everything up to the last
             // completed checkpoint at zero cost. Checkpoint sequence ids
-            // resume from the cut so re-taken checkpoints stay aligned.
+            // resume from the cut so re-taken checkpoints stay aligned;
+            // verify ids are re-counted as the skip walks past them.
             self.skip[r] = self.ckpt_done;
             self.ckpt_count[r] = self.ckpt_done;
+            self.skip_verify[r] = 0;
+            self.verify_count[r] = 0;
             self.sources[r].rewind();
             if restore_secs > 0.0 {
                 let start = self.ranks[r].clock;
@@ -495,6 +576,229 @@ impl<'a> Engine<'a> {
                 );
             }
             self.make_ready(r);
+        }
+        Ok(())
+    }
+
+    /// Recovery dispatch for a fatal fault at `f`. A ShrinkSpare strategy
+    /// with a spare in the pool and a verified cut repairs the communicator
+    /// in place; everything else is a full restart.
+    fn on_fatal(&mut self, f: SimTime, sink: &mut dyn ProfSink) -> Result<(), SimError> {
+        if let Some(a) = self.faults.as_ref() {
+            if let RecoveryStrategy::ShrinkSpare {
+                respawn_delay_secs, ..
+            } = a.recovery
+            {
+                let state_bytes = self.cut.map(|c| c.state_bytes).unwrap_or(0);
+                return self.try_shrink(f, respawn_delay_secs, state_bytes, sink);
+            }
+        }
+        self.do_restart(f, sink)
+    }
+
+    /// Recovery dispatch for a corruption detected at a cut ending at `at`.
+    fn recover(
+        &mut self,
+        at: SimTime,
+        state_bytes: u64,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
+        let recovery = match &self.faults {
+            Some(a) => a.recovery,
+            None => return Ok(()),
+        };
+        match recovery {
+            RecoveryStrategy::Restart => self.do_restart(at, sink),
+            RecoveryStrategy::AbftRollback => {
+                if self.cut.is_some() {
+                    self.rollbacks += 1;
+                    self.do_rollback(at, SimDur::ZERO, false, sink)
+                } else {
+                    self.do_restart(at, sink)
+                }
+            }
+            RecoveryStrategy::ShrinkSpare {
+                respawn_delay_secs, ..
+            } => self.try_shrink(at, respawn_delay_secs, state_bytes, sink),
+        }
+    }
+
+    /// Shrink onto a spare node if the pool and a verified cut allow it,
+    /// else fall back to a full restart. The recovery gap is the spare's
+    /// respawn delay plus redistributing `state_bytes` over the inter-node
+    /// fabric to repopulate it.
+    fn try_shrink(
+        &mut self,
+        at: SimTime,
+        respawn_delay_secs: f64,
+        state_bytes: u64,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
+        let can = self.cut.is_some() && self.faults.as_ref().is_some_and(|a| a.spares_left > 0);
+        if !can {
+            return self.do_restart(at, sink);
+        }
+        if let Some(a) = self.faults.as_mut() {
+            a.spares_left -= 1;
+        }
+        self.shrinks += 1;
+        let inter = &self.cluster.topology.inter;
+        let gap = respawn_delay_secs + cost::wire_time(inter, state_bytes as usize) + inter.latency;
+        self.do_rollback(at, SimDur::from_secs_f64(gap), true, sink)
+    }
+
+    /// ABFT rollback / shrink recovery: the job survives in place. Every
+    /// rank's program rewinds and fast-forwards past the last verified cut
+    /// at zero cost — surviving ranks still hold that state in memory, and
+    /// for a shrink the spare received it during `gap`. Only work after
+    /// the cut is re-executed for real.
+    fn do_rollback(
+        &mut self,
+        at: SimTime,
+        gap: SimDur,
+        shrink: bool,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
+        let np = self.meta.np;
+        let cut = self
+            .cut
+            .ok_or_else(|| SimError::Internal("rollback without a verified cut".into()))?;
+        let max_clock = self
+            .ranks
+            .iter()
+            .map(|s| s.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let resume = (at + gap).max(max_clock);
+        // Fatal faults covered by the recovery window are absorbed by it.
+        if let Some(a) = self.faults.as_mut() {
+            while let Some(&ft) = a.sched.fatals().get(a.next_fatal) {
+                if ft <= resume {
+                    a.next_fatal += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eager.clear();
+        self.irecvs.clear();
+        self.exchanges.clear();
+        self.colls.clear();
+        self.ckpts.clear();
+        self.verifies.clear();
+        for nic in &mut self.nics {
+            *nic = SerialResource::new();
+        }
+        self.done = 0;
+        self.ckpt_done = cut.ckpt_done;
+        self.ckpt_bytes = cut.ckpt_bytes;
+        for r in 0..np {
+            let st = &mut self.ranks[r];
+            let died_at = st.clock;
+            sink.on_event(
+                r,
+                ProfEvent::Restart {
+                    start: died_at,
+                    end: resume,
+                },
+            );
+            if shrink {
+                sink.on_event(
+                    r,
+                    ProfEvent::Shrink {
+                        start: died_at,
+                        end: resume,
+                    },
+                );
+            }
+            st.fault += resume.since(died_at);
+            st.clock = resume;
+            st.requests.clear();
+            st.coll_count.clear();
+            st.io_until = SimTime::ZERO;
+            // Replay from the start, discarding everything up to the
+            // verified cut at zero cost. Checkpoint ids are re-counted as
+            // the skip walks past them; verify ids resume from the cut.
+            self.skip[r] = 0;
+            self.skip_verify[r] = cut.verify_done;
+            self.verify_count[r] = cut.verify_done;
+            self.ckpt_count[r] = 0;
+            self.sources[r].rewind();
+            self.make_ready(r);
+        }
+        Ok(())
+    }
+
+    /// Adjudicate silent corruptions up to `upto` against the detection
+    /// threshold at a verification or checkpoint cut. Returns whether any
+    /// corruption was detected (the caller's state is dirty and must
+    /// recover). The consumption pointer never rewinds, so a corruption is
+    /// adjudicated exactly once.
+    fn consume_sdc_at_cut(&mut self, upto: SimTime, sink: &mut dyn ProfSink) -> bool {
+        let (events, threshold) = {
+            let Some(a) = self.faults.as_mut() else {
+                return false;
+            };
+            let mut v: Vec<SdcEvent> = Vec::new();
+            while let Some(&e) = a.sched.sdc().get(a.next_sdc) {
+                if e.t > upto {
+                    break;
+                }
+                a.next_sdc += 1;
+                v.push(e);
+            }
+            (v, a.sdc_threshold)
+        };
+        let mut any = false;
+        for e in events {
+            let detected = e.severity >= threshold;
+            let rank = self
+                .rates
+                .iter()
+                .position(|x| x.node == e.node)
+                .unwrap_or(0);
+            sink.on_event(rank, ProfEvent::Sdc { t: e.t, detected });
+            if detected {
+                self.sdc_detected += 1;
+                any = true;
+            } else {
+                self.sdc_undetected += 1;
+            }
+        }
+        any
+    }
+
+    /// Corruptions the job finished without ever adjudicating escaped
+    /// every detector, whatever their severity.
+    fn drain_sdc_at_end(&mut self, upto: SimTime, sink: &mut dyn ProfSink) {
+        let events = {
+            let Some(a) = self.faults.as_mut() else {
+                return;
+            };
+            let mut v: Vec<SdcEvent> = Vec::new();
+            while let Some(&e) = a.sched.sdc().get(a.next_sdc) {
+                if e.t > upto {
+                    break;
+                }
+                a.next_sdc += 1;
+                v.push(e);
+            }
+            v
+        };
+        for e in events {
+            let rank = self
+                .rates
+                .iter()
+                .position(|x| x.node == e.node)
+                .unwrap_or(0);
+            sink.on_event(
+                rank,
+                ProfEvent::Sdc {
+                    t: e.t,
+                    detected: false,
+                },
+            );
+            self.sdc_undetected += 1;
         }
     }
 
@@ -569,21 +873,38 @@ impl<'a> Engine<'a> {
     }
 
     fn step(&mut self, r: usize, sink: &mut dyn ProfSink) -> Result<(), SimError> {
-        // Recovery fast-forward: after a restart, ops before the last
-        // completed checkpoint replay at zero cost (the restored state
-        // already contains their effects). Section markers still fire — at
-        // the relaunch instant, zero-width — so the profiler's open-section
-        // stack is rebuilt to exactly what it was at the checkpoint cut.
-        while self.skip[r] > 0 {
+        // Recovery fast-forward: after a restart (or rollback), ops before
+        // the last completed checkpoint (or verified cut) replay at zero
+        // cost — the restored state already contains their effects. Section
+        // markers still fire — at the relaunch instant, zero-width — so the
+        // profiler's open-section stack is rebuilt to exactly what it was
+        // at the cut. At most one of the two skip counters is nonzero; the
+        // *other* cut kind's ops are counted (not skipped) so sequence ids
+        // stay aligned across ranks when they resume for real.
+        while self.skip[r] > 0 || self.skip_verify[r] > 0 {
             match self.sources[r].next_op() {
-                Some(Op::Checkpoint { .. }) => self.skip[r] -= 1,
+                Some(Op::Checkpoint { .. }) => {
+                    if self.skip[r] > 0 {
+                        self.skip[r] -= 1;
+                    } else {
+                        self.ckpt_count[r] += 1;
+                    }
+                }
+                Some(Op::Verify { .. }) => {
+                    if self.skip_verify[r] > 0 {
+                        self.skip_verify[r] -= 1;
+                    } else {
+                        self.verify_count[r] += 1;
+                    }
+                }
                 Some(Op::SectionEnter(id)) => self.do_section(r, id, true, sink),
                 Some(Op::SectionExit(id)) => self.do_section(r, id, false, sink),
                 Some(_) => {}
                 None => {
-                    // Program ended while skipping: a checkpoint count drift
-                    // can only come from a malformed program.
+                    // Program ended while skipping: a cut count drift can
+                    // only come from a malformed program.
                     self.skip[r] = 0;
+                    self.skip_verify[r] = 0;
                     self.ranks[r].status = Status::Done;
                     self.done += 1;
                     return Ok(());
@@ -647,7 +968,8 @@ impl<'a> Engine<'a> {
             Op::GroupColl { group, op } => self.do_coll(r, group, op, sink)?,
             Op::FileRead { bytes } => self.do_io(r, IoKind::Read, bytes, sink),
             Op::FileWrite { bytes } => self.do_io(r, IoKind::Write, bytes, sink),
-            Op::Checkpoint { bytes } => self.do_checkpoint(r, bytes, sink),
+            Op::Checkpoint { bytes } => self.do_checkpoint(r, bytes, sink)?,
+            Op::Verify { flops, state_bytes } => self.do_verify(r, flops, state_bytes, sink)?,
             Op::SectionEnter(id) => self.do_section(r, id, true, sink),
             Op::SectionExit(id) => self.do_section(r, id, false, sink),
         }
@@ -1168,7 +1490,10 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         // Last arrival: cost the collective and release everybody.
-        let state = self.colls.remove(&(group, seq)).expect("collective state");
+        let state = self
+            .colls
+            .remove(&(group, seq))
+            .ok_or_else(|| SimError::Internal(format!("collective state missing at #{seq}")))?;
         let max_entry = state.arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
         // Layout of the group's members: NIC sharers and node span.
         let mut per_node: HashMap<usize, usize> = HashMap::new();
@@ -1241,7 +1566,12 @@ impl<'a> Engine<'a> {
     /// write) is charged as I/O — that is what a real profiler would see.
     /// The checkpoint only becomes the restart point once it completes
     /// before the next fatal fault.
-    fn do_checkpoint(&mut self, r: usize, bytes: u64, sink: &mut dyn ProfSink) {
+    fn do_checkpoint(
+        &mut self,
+        r: usize,
+        bytes: u64,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
         let np = self.meta.np;
         let entry = self.ranks[r].clock;
         let seq = self.ckpt_count[r];
@@ -1251,11 +1581,13 @@ impl<'a> Engine<'a> {
             state.push((r as Rank, entry));
             if state.len() < np {
                 self.ranks[r].status = Status::BlockedColl { posted: entry };
-                return;
+                return Ok(());
             }
         }
         let arrived = if np > 1 {
-            self.ckpts.remove(&seq).expect("checkpoint state")
+            self.ckpts
+                .remove(&seq)
+                .ok_or_else(|| SimError::Internal(format!("checkpoint state missing at #{seq}")))?
         } else {
             vec![(r as Rank, entry)]
         };
@@ -1306,9 +1638,129 @@ impl<'a> Engine<'a> {
         // one completing "during" the crash is torn and unusable.
         let usable = self.next_fatal().is_none_or(|f| end <= f);
         if usable {
+            // The write includes a cheap integrity pass: a detectable
+            // corruption up to this cut poisons the checkpoint (it would
+            // persist the bad state) and triggers recovery instead.
+            if self.consume_sdc_at_cut(end, sink) {
+                return self.recover(end, bytes, sink);
+            }
             self.ckpt_done += 1;
             self.ckpt_bytes = bytes;
         }
+        Ok(())
+    }
+
+    /// ABFT verification cut: a world barrier, then every rank runs the
+    /// checksum pass (`flops`) over its state; the cut completes at the
+    /// slowest rank's agreement. The barrier span is charged as
+    /// communication and the checksum pass as compute, so the conservation
+    /// `wall == comp + comm + io + fault` holds; a `Verify` overlay event
+    /// carries the full span for the profiler. Silent corruptions up to
+    /// the cut are adjudicated here: a detected one triggers recovery, a
+    /// clean pass records the cut as the new rollback target.
+    fn do_verify(
+        &mut self,
+        r: usize,
+        flops: f64,
+        state_bytes: u64,
+        sink: &mut dyn ProfSink,
+    ) -> Result<(), SimError> {
+        let np = self.meta.np;
+        let entry = self.ranks[r].clock;
+        let seq = self.verify_count[r];
+        self.verify_count[r] += 1;
+        if np > 1 {
+            let state = self.verifies.entry(seq).or_default();
+            state.push((r as Rank, entry));
+            if state.len() < np {
+                self.ranks[r].status = Status::BlockedColl { posted: entry };
+                return Ok(());
+            }
+        }
+        let arrived = if np > 1 {
+            self.verifies
+                .remove(&seq)
+                .ok_or_else(|| SimError::Internal(format!("verify state missing at #{seq}")))?
+        } else {
+            vec![(r as Rank, entry)]
+        };
+        let max_entry = arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
+        let sync_secs = if np > 1 {
+            let mut per_node: HashMap<usize, usize> = HashMap::new();
+            let mut cpu_factor = 1.0_f64;
+            for m in 0..np {
+                *per_node.entry(self.rates[m].node).or_insert(0) += 1;
+                cpu_factor = cpu_factor.max(self.cpu_factor[m]);
+            }
+            let topo = CollTopo {
+                inter: &self.cluster.topology.inter,
+                intra: &self.cluster.topology.intra,
+                np,
+                ppn: per_node.values().copied().max().unwrap_or(1),
+                nodes_used: per_node.len(),
+                cpu_factor,
+            };
+            topo.cost(CollOp::Barrier)
+        } else {
+            0.0
+        };
+        // The slowest rank's checksum pass paces the cut, and a steal
+        // storm on any node slows it like any other compute.
+        let mut check_secs = 0.0_f64;
+        for m in 0..np {
+            let mut c = self.rates[m].compute_time(flops, 0.0);
+            if let Some(a) = &self.faults {
+                c *= a.sched.compute_factor(self.rates[m].node, max_entry);
+            }
+            check_secs = check_secs.max(c);
+        }
+        let sync_end = max_entry + SimDur::from_secs_f64(sync_secs);
+        let end = sync_end + SimDur::from_secs_f64(check_secs);
+        for (who, t_entry) in arrived {
+            let w = who as usize;
+            let st = &mut self.ranks[w];
+            st.clock = end;
+            st.comm += sync_end.since(t_entry);
+            st.comp += end.since(sync_end);
+            sink.on_event(
+                w,
+                ProfEvent::Mpi {
+                    kind: MpiKind::Barrier,
+                    bytes: 0,
+                    start: t_entry,
+                    end: sync_end,
+                },
+            );
+            sink.on_event(
+                w,
+                ProfEvent::Compute {
+                    start: sync_end,
+                    end,
+                },
+            );
+            sink.on_event(
+                w,
+                ProfEvent::Verify {
+                    start: t_entry,
+                    end,
+                },
+            );
+            self.make_ready(w);
+        }
+        // Like checkpoints, a cut completing "during" a fatal is void.
+        let live = self.next_fatal().is_none_or(|f| end <= f);
+        if live {
+            if self.consume_sdc_at_cut(end, sink) {
+                return self.recover(end, state_bytes, sink);
+            }
+            self.cut = Some(CutState {
+                verify_done: seq + 1,
+                ckpt_done: self.ckpt_done,
+                ckpt_bytes: self.ckpt_bytes,
+                state_bytes,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -1555,6 +2007,8 @@ mod engine_tests {
                 retry: RetryPolicy::default(),
                 restart_delay_secs: 30.0,
                 horizon_secs: 3600.0,
+                recovery: Default::default(),
+                sdc_threshold: 0.01,
             }),
             ..Default::default()
         };
@@ -1586,6 +2040,8 @@ mod engine_tests {
                 retry: RetryPolicy::default(),
                 restart_delay_secs: 1.0,
                 horizon_secs: 4.0 * t0,
+                recovery: Default::default(),
+                sdc_threshold: 0.01,
             }),
             ..Default::default()
         };
@@ -1622,6 +2078,8 @@ mod engine_tests {
                 },
                 restart_delay_secs: 1.0,
                 horizon_secs: 3600.0,
+                recovery: Default::default(),
+                sdc_threshold: 0.01,
             }),
             ..Default::default()
         };
@@ -1668,6 +2126,8 @@ mod engine_tests {
             retry: RetryPolicy::default(),
             restart_delay_secs: t0 / 20.0,
             horizon_secs: 10.0 * t0,
+            recovery: Default::default(),
+            sdc_threshold: 0.01,
         };
         let cfg = SimConfig {
             faults: Some(spec),
@@ -1693,6 +2153,264 @@ mod engine_tests {
         for (a, b) in ckpt.ranks.iter().zip(&again.ranks) {
             assert_eq!(a, b);
         }
+    }
+
+    /// Two ranks, `chunks` compute chunks each, with a verification cut
+    /// every `every` chunks.
+    fn verified_progs(chunks: usize, every: usize) -> Vec<Vec<Op>> {
+        let mut progs = Vec::new();
+        for _ in 0..2 {
+            let mut p = Vec::new();
+            for i in 0..chunks {
+                p.push(Op::Compute {
+                    flops: 1e9,
+                    bytes: 0.0,
+                });
+                if (i + 1) % every == 0 {
+                    p.push(Op::Verify {
+                        flops: 1e7,
+                        state_bytes: 1 << 24,
+                    });
+                }
+            }
+            progs.push(p);
+        }
+        progs
+    }
+
+    #[test]
+    fn verify_op_conserves_time_on_fault_free_runs() {
+        let v = presets::vayu();
+        let r = run_job(
+            &mut job(verified_progs(40, 10)),
+            &v,
+            &SimConfig::default(),
+            &mut NullSink,
+        )
+        .unwrap();
+        for t in &r.ranks {
+            assert_eq!(t.other(), sim_des::SimDur::ZERO, "{t:?}");
+        }
+        assert_eq!(r.sdc_detected + r.sdc_undetected, 0);
+        assert_eq!(r.rollbacks, 0);
+        // The checksum pass costs real compute on both ranks.
+        assert!(r.ranks[0].comp.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn sdc_rollback_recovers_without_relaunch_and_beats_restart() {
+        use sim_faults::{FaultModel, FaultSpec, RecoveryStrategy, RetryPolicy};
+        let v = presets::vayu();
+        let mk = || job(verified_progs(100, 10));
+        let t0 = run_job(&mut mk(), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let spec = |recovery| FaultSpec {
+            model: FaultModel {
+                sdc_per_node_hour: 4.0 * 3600.0 / t0,
+                sdc_mean_severity: 1.0,
+                scale: 1.0,
+                ..FaultModel::none()
+            },
+            retry: RetryPolicy::default(),
+            restart_delay_secs: t0 / 10.0,
+            horizon_secs: 10.0 * t0,
+            recovery,
+            sdc_threshold: 0.01,
+        };
+        let cfg = |recovery| SimConfig {
+            faults: Some(spec(recovery)),
+            ..Default::default()
+        };
+        let abft = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::AbftRollback),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert!(abft.sdc_detected >= 1, "{abft:?}");
+        assert!(abft.rollbacks >= 1, "{abft:?}");
+        // Detections after the first clean cut roll back instead of
+        // relaunching; only one before any cut may force a restart.
+        assert!(abft.restarts <= 1, "{abft:?}");
+        assert!(abft.elapsed_secs() > t0);
+        for t in &abft.ranks {
+            assert_eq!(t.other(), sim_des::SimDur::ZERO, "{t:?}");
+        }
+        // Determinism under rollback.
+        let again = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::AbftRollback),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(abft.elapsed, again.elapsed);
+        assert_eq!(abft.rollbacks, again.rollbacks);
+        // The restart strategy relaunches from scratch (no checkpoints
+        // here) on every detection — strictly worse than rolling back.
+        let restart = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::Restart),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert!(restart.restarts >= 1, "{restart:?}");
+        assert!(
+            abft.elapsed < restart.elapsed,
+            "abft {} !< restart {}",
+            abft.elapsed_secs(),
+            restart.elapsed_secs()
+        );
+    }
+
+    #[test]
+    fn shrink_spare_absorbs_fatals_in_place() {
+        use sim_faults::{FaultModel, FaultSpec, RecoveryStrategy, RetryPolicy};
+        let v = presets::vayu();
+        let mk = || job(verified_progs(100, 10));
+        let t0 = run_job(&mut mk(), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let spec = |recovery| FaultSpec {
+            model: FaultModel {
+                preempt_per_node_hour: 2.0 * 3600.0 / t0,
+                scale: 1.0,
+                ..FaultModel::none()
+            },
+            retry: RetryPolicy::default(),
+            restart_delay_secs: t0 / 5.0,
+            horizon_secs: 10.0 * t0,
+            recovery,
+            sdc_threshold: 0.01,
+        };
+        let cfg = |recovery| SimConfig {
+            faults: Some(spec(recovery)),
+            ..Default::default()
+        };
+        let shrink = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::ShrinkSpare {
+                spares: 8,
+                respawn_delay_secs: t0 / 100.0,
+            }),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert!(shrink.shrinks >= 1, "{shrink:?}");
+        for t in &shrink.ranks {
+            assert_eq!(t.other(), sim_des::SimDur::ZERO, "{t:?}");
+        }
+        let restart = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::Restart),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert!(restart.restarts >= 1);
+        assert_eq!(restart.shrinks, 0);
+        assert!(
+            shrink.elapsed < restart.elapsed,
+            "shrink {} !< restart {}",
+            shrink.elapsed_secs(),
+            restart.elapsed_secs()
+        );
+        // An empty spare pool falls back to full restarts.
+        let exhausted = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::ShrinkSpare {
+                spares: 0,
+                respawn_delay_secs: t0 / 100.0,
+            }),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(exhausted.shrinks, 0);
+        assert!(exhausted.restarts >= 1);
+        // Determinism under shrink.
+        let again = run_job(
+            &mut mk(),
+            &v,
+            &cfg(RecoveryStrategy::ShrinkSpare {
+                spares: 8,
+                respawn_delay_secs: t0 / 100.0,
+            }),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(shrink.elapsed, again.elapsed);
+        assert_eq!(shrink.shrinks, again.shrinks);
+    }
+
+    #[test]
+    fn subthreshold_sdc_escapes_every_detector() {
+        use sim_faults::{FaultModel, FaultSpec, RecoveryStrategy, RetryPolicy};
+        let v = presets::vayu();
+        let mk = || job(verified_progs(100, 10));
+        let t0 = run_job(&mut mk(), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let cfg = SimConfig {
+            faults: Some(FaultSpec {
+                model: FaultModel {
+                    sdc_per_node_hour: 4.0 * 3600.0 / t0,
+                    sdc_mean_severity: 1.0,
+                    scale: 8.0,
+                    ..FaultModel::none()
+                },
+                retry: RetryPolicy::default(),
+                restart_delay_secs: t0 / 10.0,
+                horizon_secs: 10.0 * t0,
+                recovery: RecoveryStrategy::AbftRollback,
+                // No real corruption reaches this threshold: they all escape.
+                sdc_threshold: 1e18,
+            }),
+            ..Default::default()
+        };
+        let r = run_job(&mut mk(), &v, &cfg, &mut NullSink).unwrap();
+        assert_eq!(r.sdc_detected, 0);
+        assert!(r.sdc_undetected >= 1, "{r:?}");
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.restarts, 0);
+    }
+
+    #[test]
+    fn uncovered_sdc_drains_as_undetected_at_job_end() {
+        use sim_faults::{FaultModel, FaultSpec, RetryPolicy};
+        let v = presets::vayu();
+        // No Verify or Checkpoint ops: nothing ever adjudicates the
+        // corruptions, so they surface as undetected when the job ends.
+        let mk = || job(vec![compute_block(50, 1e9)]);
+        let t0 = run_job(&mut mk(), &v, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let cfg = SimConfig {
+            faults: Some(FaultSpec {
+                model: FaultModel {
+                    sdc_per_node_hour: 4.0 * 3600.0 / t0,
+                    sdc_mean_severity: 1.0,
+                    scale: 8.0,
+                    ..FaultModel::none()
+                },
+                retry: RetryPolicy::default(),
+                restart_delay_secs: 1.0,
+                horizon_secs: t0,
+                recovery: Default::default(),
+                sdc_threshold: 0.01,
+            }),
+            ..Default::default()
+        };
+        let r = run_job(&mut mk(), &v, &cfg, &mut NullSink).unwrap();
+        assert_eq!(r.sdc_detected, 0);
+        assert!(r.sdc_undetected >= 1, "{r:?}");
+        assert_eq!(r.restarts, 0);
+        // The run itself is unperturbed: corruption is *silent*.
+        assert!((r.elapsed_secs() - t0).abs() < 1e-9);
     }
 
     #[test]

@@ -145,6 +145,17 @@ pub enum Op {
     /// (BLCR, DMTCP, SCR) behave. Every rank must issue the same number of
     /// checkpoints at consistent cut points (no pt2pt straddling the cut).
     Checkpoint { bytes: u64 },
+    /// ABFT verification cut: all ranks synchronize (barrier), then each
+    /// runs `flops` of checksum/drift checking over its live state. Any
+    /// silent corruption that landed before the cut is detected here (or
+    /// counted as undetected if its severity is below the detector's
+    /// threshold), and detection triggers the configured
+    /// `RecoveryStrategy`. A completed clean verify becomes the rollback
+    /// target for `AbftRollback`/`ShrinkSpare`; `state_bytes` is the
+    /// per-rank live state a spare must re-fetch on a shrink recovery.
+    /// Like checkpoints, every rank must issue the same verifies at
+    /// consistent cut points.
+    Verify { flops: f64, state_bytes: u64 },
     /// Enter a named profiling section (IPM-style region).
     SectionEnter(SectionId),
     /// Leave a named profiling section.
@@ -533,6 +544,9 @@ impl JobSpec {
                     // issues the same number of checkpoints in the same
                     // order relative to real collectives.
                     Op::Checkpoint { .. } => colls.push(("world", Group::World, "checkpoint")),
+                    // Verification cuts are world-synchronized for the same
+                    // reason.
+                    Op::Verify { .. } => colls.push(("world", Group::World, "verify")),
                     Op::GroupColl { group, op } => {
                         if !group.contains(r, np as usize) {
                             return Err(format!(

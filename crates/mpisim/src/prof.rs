@@ -89,10 +89,32 @@ pub enum ProfEvent {
     },
     /// The whole job died on a fatal fault and relaunched at `end`; any
     /// profiling sections open at `start` were aborted and will be
-    /// re-entered when the rank re-executes its program.
+    /// re-entered when the rank re-executes its program. Also emitted for
+    /// ABFT rollbacks and shrink recoveries (the gap may be zero), so the
+    /// section stack reset and fault accounting stay uniform.
     Restart {
         start: SimTime,
         end: SimTime,
+    },
+    /// An ABFT verification cut (barrier + checksum pass). Overlays the
+    /// `Mpi`/`Compute` events the cut also emits — informational
+    /// attribution, not part of the comm/comp conservation.
+    Verify {
+        start: SimTime,
+        end: SimTime,
+    },
+    /// A shrink-and-spare recovery: communicator repair plus state
+    /// redistribution to the replacement node. Overlays the `Restart`
+    /// event carrying the same gap.
+    Shrink {
+        start: SimTime,
+        end: SimTime,
+    },
+    /// A silent-data-corruption event was adjudicated at a verification or
+    /// checkpoint cut (or at job end, for corruptions no cut ever covered).
+    Sdc {
+        t: SimTime,
+        detected: bool,
     },
 }
 

@@ -50,6 +50,15 @@ pub struct SimResult {
     pub ops_executed: u64,
     /// Number of fatal faults the job survived by restarting.
     pub restarts: u64,
+    /// Detected corruptions recovered by ABFT rollback (no relaunch).
+    pub rollbacks: u64,
+    /// Recoveries that spliced a spare node in (ULFM-style shrink).
+    pub shrinks: u64,
+    /// Silent corruptions caught at a verification or checkpoint cut.
+    pub sdc_detected: u64,
+    /// Silent corruptions that escaped every detector: severity below the
+    /// threshold at a cut, or no cut covered them before the job ended.
+    pub sdc_undetected: u64,
 }
 
 impl SimResult {
@@ -169,6 +178,10 @@ mod tests {
             ranks,
             ops_executed: 0,
             restarts: 0,
+            rollbacks: 0,
+            shrinks: 0,
+            sdc_detected: 0,
+            sdc_undetected: 0,
         }
     }
 

@@ -1,0 +1,483 @@
+//! Checksum-augmented (ABFT) conjugate gradient.
+//!
+//! Algorithm-based fault tolerance for CG, after Huang & Abraham's
+//! checksum-matrix idea specialized to the Krylov setting: the matrix's
+//! column-checksum vector `c = Aᵀ·1` is computed once, and every SpMV
+//! `ap = A·p` is verified against the invariant `Σᵢ apᵢ = c·p` — a single
+//! corrupted entry of `ap` breaks the identity by its corruption magnitude.
+//! Corruption of the *iterates* (`x`, `r`) is invisible to the SpMV
+//! checksum, so a second detector runs every [`AbftConfig::check_interval`]
+//! iterations: the recursively-updated residual norm `√rr` is compared
+//! against the recomputed true residual ‖b − Ax‖ — a bit flip in `x` or `r`
+//! makes the two drift apart immediately.
+//!
+//! Recovery is rollback, not restart: whenever both detectors pass at a
+//! check iteration the solver snapshots `(x, r, p, rr)`; a detection
+//! restores the last verified snapshot and replays. Before declaring
+//! convergence the solver re-runs the full verification once more, so a
+//! corruption in the final stretch cannot produce a silently wrong answer.
+//!
+//! The per-iteration overhead formulas ([`abft_iter_flops`],
+//! [`abft_iter_bytes`]) are what the workload models charge when a job runs
+//! with ABFT verification enabled.
+
+use crate::cg::{cg_iter_bytes, cg_iter_flops};
+use crate::csr::vec_ops::{axpy, dot};
+use crate::csr::Csr;
+
+/// Which vector a [`FlipInjection`] corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipTarget {
+    /// The iterate `x` — caught by the residual-drift detector.
+    X,
+    /// The residual `r` — caught by the residual-drift detector.
+    R,
+    /// The SpMV output `ap` — caught by the column-checksum detector in the
+    /// same iteration.
+    Ap,
+}
+
+/// A single injected bit flip, applied once when the solver reaches
+/// iteration `iter` (immediately after the SpMV for `Ap`, immediately
+/// before it for `X`/`R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipInjection {
+    pub iter: usize,
+    pub target: FlipTarget,
+    /// Vector index, taken modulo the problem size.
+    pub index: usize,
+    /// Bit position within the f64 payload (0..64).
+    pub bit: u32,
+}
+
+/// Detector/rollback tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftConfig {
+    /// Run the residual-drift check (one extra SpMV) and refresh the
+    /// rollback snapshot every this-many iterations.
+    pub check_interval: usize,
+    /// Column-checksum tolerance, relative to the checksum magnitude.
+    pub checksum_rtol: f64,
+    /// Residual-drift tolerance, relative to ‖b‖.
+    pub drift_rtol: f64,
+}
+
+impl Default for AbftConfig {
+    fn default() -> Self {
+        AbftConfig {
+            check_interval: ABFT_CHECK_INTERVAL,
+            checksum_rtol: 1e-9,
+            // Clean-run drift is O(ε·κ·√iters) ≈ 1e-13 relative for the
+            // problems here; 1e-10 keeps orders of magnitude of margin
+            // against false positives while catching corruptions whose
+            // magnitude has decayed with the residual.
+            drift_rtol: 1e-10,
+        }
+    }
+}
+
+/// Outcome of an ABFT-protected CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbftStats {
+    /// Iterations performed, counting replayed ones.
+    pub iterations: usize,
+    /// Final verified residual norm ‖b − Ax‖₂.
+    pub residual: f64,
+    /// Whether the tolerance was met (with a clean final verification).
+    pub converged: bool,
+    /// Corruptions caught by either detector.
+    pub detected: usize,
+    /// Detections caught by the per-SpMV column checksum (subset of
+    /// `detected`; the rest came from the residual-drift check).
+    pub checksum_detected: usize,
+    /// Rollbacks performed (== detections; each detection restores the
+    /// last verified snapshot).
+    pub rollbacks: usize,
+    /// Iterations re-executed due to rollbacks.
+    pub replayed_iterations: usize,
+}
+
+/// Solve `A x = b` by CG with ABFT detection and rollback recovery,
+/// injecting the given bit flips along the way. Pass an empty `flips`
+/// slice for a production (clean) solve.
+pub fn cg_abft_solve(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    cfg: &AbftConfig,
+    flips: &[FlipInjection],
+) -> AbftStats {
+    let n = a.n;
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    assert!(cfg.check_interval >= 1);
+
+    // Column checksum c = Aᵀ·1: cⱼ = Σᵢ Aᵢⱼ.
+    let mut colsum = vec![0.0; n];
+    for (k, &j) in a.col_idx.iter().enumerate() {
+        colsum[j] += a.values[k];
+    }
+    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+    let target = tol * b_norm;
+    let drift_tol = cfg.drift_rtol * b_norm;
+
+    let mut r = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+    a.spmv(x, &mut ap);
+    for i in 0..n {
+        r[i] = b[i] - ap[i];
+    }
+    let mut p = r.clone();
+    let mut rr = dot(&r, &r);
+
+    // Last verified state; the initial state is verified by construction
+    // (r was just recomputed from x).
+    let mut snap_x = x.to_vec();
+    let mut snap_r = r.clone();
+    let mut snap_p = p.clone();
+    let mut snap_rr = rr;
+    let mut snap_it = 0usize;
+
+    let mut fired = vec![false; flips.len()];
+    let mut stats = AbftStats {
+        iterations: 0,
+        residual: rr.sqrt(),
+        converged: false,
+        detected: 0,
+        checksum_detected: 0,
+        rollbacks: 0,
+        replayed_iterations: 0,
+    };
+
+    // Residual-drift verification: the carried residual vector must agree
+    // with the recomputed true residual, ‖r − (b − Ax)‖ ≤ tol — a flip of
+    // magnitude δ in either `x` or `r` shows up as ≥ O(δ) here, with no
+    // norm-cancellation blind spot — and the recursive scalar `rr` must
+    // agree with the vector it claims to summarize. NaN/Inf anywhere
+    // compares false against the tolerance, so corrupted arithmetic always
+    // trips the detector rather than sneaking past it.
+    let drift_ok = |x: &[f64], r: &[f64], rr: f64, scratch: &mut [f64]| -> bool {
+        a.spmv(x, scratch);
+        let mut diff2 = 0.0;
+        for i in 0..n {
+            let d = b[i] - scratch[i] - r[i];
+            diff2 += d * d;
+        }
+        let fresh_rr = dot(r, r);
+        diff2.sqrt() <= drift_tol && (rr.sqrt() - fresh_rr.sqrt()).abs() <= drift_tol
+    };
+
+    let mut scratch = vec![0.0; n];
+    let mut it = 0usize;
+    // Hard cap so adversarial flip lists cannot loop forever: every
+    // detection replays at most check_interval iterations.
+    let budget = max_iter + (flips.len() + 1) * cfg.check_interval + max_iter;
+
+    while stats.iterations < budget {
+        // Convergence claim must survive a full verification.
+        if rr.sqrt() <= target || it >= max_iter {
+            if drift_ok(x, &r, rr, &mut scratch) {
+                break;
+            }
+            stats.detected += 1;
+            stats.rollbacks += 1;
+            stats.replayed_iterations += it - snap_it;
+            x.copy_from_slice(&snap_x);
+            r.copy_from_slice(&snap_r);
+            p.copy_from_slice(&snap_p);
+            rr = snap_rr;
+            it = snap_it;
+            continue;
+        }
+
+        // Inject flips scheduled for this iteration on x / r.
+        for (f, done) in flips.iter().zip(fired.iter_mut()) {
+            if !*done && f.iter == it && matches!(f.target, FlipTarget::X | FlipTarget::R) {
+                *done = true;
+                let v = match f.target {
+                    FlipTarget::X => &mut x[f.index % n],
+                    _ => &mut r[f.index % n],
+                };
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << (f.bit % 64)));
+            }
+        }
+
+        a.spmv(&p, &mut ap);
+        for (f, done) in flips.iter().zip(fired.iter_mut()) {
+            if !*done && f.iter == it && f.target == FlipTarget::Ap {
+                *done = true;
+                let v = &mut ap[f.index % n];
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << (f.bit % 64)));
+            }
+        }
+
+        // Column-checksum invariant: Σ ap = c·p.
+        let cp = dot(&colsum, &p);
+        let ap_sum: f64 = ap.iter().sum();
+        // Purely relative scale: as the Krylov vectors decay toward
+        // convergence the tolerance decays with them, so late-solve flips
+        // (whose magnitude also decays) stay detectable.
+        let scale = colsum
+            .iter()
+            .zip(&p)
+            .map(|(c, pj)| (c * pj).abs())
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        // NaN drift (from a flipped exponent bit) must also read as bad.
+        let drift = (ap_sum - cp).abs();
+        let checksum_bad = drift.is_nan() || drift > cfg.checksum_rtol * scale;
+
+        // Periodic residual-drift check (also refreshes the snapshot).
+        let at_cut = (it + 1).is_multiple_of(cfg.check_interval);
+        let drift_bad = if checksum_bad {
+            false
+        } else if at_cut {
+            !drift_ok(x, &r, rr, &mut scratch)
+        } else {
+            false
+        };
+
+        if checksum_bad || drift_bad {
+            stats.detected += 1;
+            if checksum_bad {
+                stats.checksum_detected += 1;
+            }
+            stats.rollbacks += 1;
+            stats.replayed_iterations += it - snap_it;
+            x.copy_from_slice(&snap_x);
+            r.copy_from_slice(&snap_r);
+            p.copy_from_slice(&snap_p);
+            rr = snap_rr;
+            it = snap_it;
+            continue;
+        }
+        if at_cut {
+            snap_x.copy_from_slice(x);
+            snap_r.copy_from_slice(&r);
+            snap_p.copy_from_slice(&p);
+            snap_rr = rr;
+            snap_it = it;
+        }
+
+        let pap = dot(&p, &ap);
+        let alpha = rr / pap;
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+        it += 1;
+        stats.iterations += 1;
+    }
+
+    // Final residual, recomputed (never the recursive estimate).
+    a.spmv(x, &mut scratch);
+    let mut true_rr = 0.0;
+    for i in 0..n {
+        let d = b[i] - scratch[i];
+        true_rr += d * d;
+    }
+    stats.residual = true_rr.sqrt();
+    // The verifier cannot resolve offsets below its own drift tolerance,
+    // so the guaranteed residual is `target + drift_tol`.
+    stats.converged = stats.residual <= (target + drift_tol) * 1.01;
+    stats
+}
+
+/// Default drift-check / snapshot cadence.
+pub const ABFT_CHECK_INTERVAL: usize = 8;
+
+/// Analytic per-iteration flop count for ABFT-protected CG: the plain CG
+/// iteration plus the checksum test (c·p dot, Σ ap reduction and the
+/// |c·p| scale — ≈ 4n) plus the amortized drift check (one extra SpMV,
+/// the residual subtraction and its norm — ≈ 2·nnz + 3n every
+/// `check_interval` iterations).
+pub fn abft_iter_flops(n: usize, nnz: usize) -> f64 {
+    cg_iter_flops(n, nnz)
+        + 4.0 * n as f64
+        + (2.0 * nnz as f64 + 3.0 * n as f64) / ABFT_CHECK_INTERVAL as f64
+}
+
+/// Analytic per-iteration memory traffic for ABFT-protected CG, bytes:
+/// plain CG plus streaming the checksum vector and `ap` again (2 vectors)
+/// plus the amortized drift-check SpMV (matrix + 2 vectors).
+pub fn abft_iter_bytes(n: usize, nnz: usize) -> f64 {
+    cg_iter_bytes(n, nnz)
+        + (2 * n * 8) as f64
+        + ((nnz * 16 + 2 * n * 8) as f64) / ABFT_CHECK_INTERVAL as f64
+}
+
+/// Multiplicative flop overhead of ABFT relative to plain CG (> 1).
+pub fn abft_overhead_ratio(n: usize, nnz: usize) -> f64 {
+    abft_iter_flops(n, nnz) / cg_iter_flops(n, nnz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg_solve;
+    use crate::csr::sim_des_shim::Rng;
+
+    fn problem(n_side: usize) -> (Csr, Vec<f64>, Vec<f64>) {
+        let a = Csr::poisson_2d(n_side, n_side);
+        let n = a.n;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 31) % 17) as f64 / 17.0 - 0.5)
+            .collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xs, &mut b);
+        (a, b, xs)
+    }
+
+    fn max_err(x: &[f64], xs: &[f64]) -> f64 {
+        x.iter()
+            .zip(xs)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn clean_run_matches_plain_cg_with_zero_false_positives() {
+        let (a, b, xs) = problem(24);
+        let mut x_abft = vec![0.0; a.n];
+        let st = cg_abft_solve(
+            &a,
+            &b,
+            &mut x_abft,
+            1e-10,
+            5000,
+            &AbftConfig::default(),
+            &[],
+        );
+        assert!(st.converged, "{st:?}");
+        assert_eq!(st.detected, 0, "false positive on a clean run: {st:?}");
+        assert_eq!(st.rollbacks, 0);
+        let mut x_plain = vec![0.0; a.n];
+        let plain = cg_solve(&a, &b, &mut x_plain, 1e-10, 5000);
+        assert!(plain.converged);
+        // Identical arithmetic on the untouched path: same iterate.
+        assert!(max_err(&x_abft, &x_plain) < 1e-12);
+        assert!(max_err(&x_abft, &xs) < 1e-5);
+    }
+
+    #[test]
+    fn clean_runs_over_random_spd_never_false_positive() {
+        for case in 0..8u64 {
+            let mut rng = Rng::new(0xABF7_0001 + case);
+            let n = 50 + rng.index(150);
+            let a = Csr::random_spd(n, 3, &mut rng);
+            let xs: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+            let mut b = vec![0.0; n];
+            a.spmv(&xs, &mut b);
+            let mut x = vec![0.0; n];
+            let st = cg_abft_solve(&a, &b, &mut x, 1e-10, 20 * n, &AbftConfig::default(), &[]);
+            assert!(st.converged, "case {case}: {st:?}");
+            assert_eq!(st.detected, 0, "case {case}: {st:?}");
+        }
+    }
+
+    /// The acceptance gate: ≥ 99% of injected single high-bit flips are
+    /// detected, and *every* run — detected or not — still converges to
+    /// the correct solution (correction via rollback + final verification).
+    #[test]
+    fn detects_and_corrects_injected_bit_flips() {
+        let (a, b, xs) = problem(24);
+        let n = a.n;
+        // Find the clean iteration count so injections land mid-solve.
+        let mut xw = vec![0.0; n];
+        let clean = cg_abft_solve(&a, &b, &mut xw, 1e-10, 5000, &AbftConfig::default(), &[]);
+        assert!(clean.converged);
+        let span = clean.iterations;
+        assert!(span > 20, "need a solve long enough to corrupt: {span}");
+
+        let targets = [FlipTarget::X, FlipTarget::R, FlipTarget::Ap];
+        let bits: [u32; 8] = [55, 56, 57, 58, 59, 60, 61, 62];
+        let mut injected = 0usize;
+        let mut detected = 0usize;
+        let mut case = 0usize;
+        for (ti, &target) in targets.iter().enumerate() {
+            for (bi, &bit) in bits.iter().enumerate() {
+                for k in 0..9usize {
+                    // Spread over indices and mid-solve iterations.
+                    let flip = FlipInjection {
+                        iter: span / 5 + (k * span) / 18,
+                        target,
+                        index: (17 * case + 3 * ti + 5 * bi) % n,
+                        bit,
+                    };
+                    case += 1;
+                    let mut x = vec![0.0; n];
+                    let st =
+                        cg_abft_solve(&a, &b, &mut x, 1e-10, 5000, &AbftConfig::default(), &[flip]);
+                    injected += 1;
+                    if st.detected > 0 {
+                        detected += 1;
+                        assert!(st.rollbacks >= 1, "{flip:?}: {st:?}");
+                    }
+                    // Correction: the answer is right regardless.
+                    assert!(st.converged, "{flip:?}: {st:?}");
+                    assert!(
+                        max_err(&x, &xs) < 1e-5,
+                        "{flip:?}: wrong answer, err {}",
+                        max_err(&x, &xs)
+                    );
+                    // Ap flips break the checksum identity in-iteration.
+                    if target == FlipTarget::Ap {
+                        assert!(st.checksum_detected >= 1, "{flip:?}: {st:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(injected, 216);
+        let rate = detected as f64 / injected as f64;
+        assert!(
+            rate >= 0.99,
+            "detection rate {rate:.4} ({detected}/{injected}) below 99%"
+        );
+    }
+
+    #[test]
+    fn rollback_replays_bounded_work() {
+        let (a, b, _) = problem(16);
+        let n = a.n;
+        let flips: Vec<FlipInjection> = (0..6)
+            .map(|k| FlipInjection {
+                iter: 10 + 7 * k,
+                target: [FlipTarget::X, FlipTarget::R, FlipTarget::Ap][k % 3],
+                index: (31 * k) % n,
+                bit: 62,
+            })
+            .collect();
+        let mut x = vec![0.0; n];
+        let st = cg_abft_solve(&a, &b, &mut x, 1e-10, 5000, &AbftConfig::default(), &flips);
+        assert!(st.converged, "{st:?}");
+        assert_eq!(st.detected, st.rollbacks);
+        assert!(st.detected >= 5, "{st:?}");
+        // Each rollback replays at most ~check_interval iterations (plus
+        // the detection latency for drift-detected flips).
+        assert!(
+            st.replayed_iterations <= st.rollbacks * 2 * ABFT_CHECK_INTERVAL,
+            "{st:?}"
+        );
+    }
+
+    #[test]
+    fn overhead_formulas_are_modest_and_monotone() {
+        let a = Csr::poisson_2d(32, 32);
+        let (n, nnz) = (a.n, a.nnz());
+        let ratio = abft_overhead_ratio(n, nnz);
+        assert!(ratio > 1.0, "ABFT must cost something: {ratio}");
+        assert!(ratio < 1.6, "ABFT overhead should stay modest: {ratio}");
+        assert!(abft_iter_flops(n, nnz) > cg_iter_flops(n, nnz));
+        assert!(abft_iter_bytes(n, nnz) > cg_iter_bytes(n, nnz));
+        // Denser matrices amortize the vector-side overhead.
+        let sparse = abft_overhead_ratio(1000, 5 * 1000);
+        let dense = abft_overhead_ratio(1000, 50 * 1000);
+        assert!(dense < sparse);
+    }
+}

@@ -10,6 +10,7 @@
 //!    formulas the workload models use against instrumented executions.
 
 pub mod cg;
+pub mod cg_abft;
 pub mod csr;
 pub mod ep;
 pub mod fft;
@@ -19,6 +20,10 @@ pub mod sort;
 pub mod tridiag;
 
 pub use cg::{cg_iter_bytes, cg_iter_flops, cg_solve, CgStats, CG_DOTS_PER_ITER};
+pub use cg_abft::{
+    abft_iter_bytes, abft_iter_flops, abft_overhead_ratio, cg_abft_solve, AbftConfig, AbftStats,
+    FlipInjection, FlipTarget, ABFT_CHECK_INTERVAL,
+};
 pub use csr::{vec_ops, Csr};
 pub use ep::{ep_rank, ep_serial, EpResult, EP_FLOPS_PER_PAIR};
 pub use fft::{fft, fft_flops, C64};

@@ -18,12 +18,14 @@ pub mod metum;
 pub mod npb;
 pub mod osu;
 pub mod util;
+pub mod verify;
 
 pub use chaste::Chaste;
 pub use checkpoint::{CheckpointPolicy, Checkpointed};
 pub use metum::MetUm;
 pub use npb::{Class, Kernel, Npb};
 pub use osu::{OsuBandwidth, OsuLatency};
+pub use verify::{Verified, VerifyPolicy};
 
 /// A benchmark that can be compiled to per-rank op programs.
 pub trait Workload {

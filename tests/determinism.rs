@@ -147,6 +147,8 @@ fn fault_injection_is_bit_reproducible() {
             retry: RetryPolicy::default(),
             restart_delay_secs: 0.05 * t0,
             horizon_secs: 20.0 * t0,
+            recovery: RecoveryStrategy::Restart,
+            sdc_threshold: 0.01,
         };
         let ck = Checkpointed::new(&w, CheckpointPolicy::new(3, 1 << 20));
         for wl in [&w as &dyn Workload, &ck] {
@@ -189,6 +191,80 @@ fn fault_injection_is_bit_reproducible() {
                     b.map(|(r, _)| r.elapsed)
                 ),
             }
+        }
+    }
+}
+
+/// SDC-injection fuzz: random platform/workload/recovery-strategy
+/// combinations with silent corruption enabled, each run from the streamed
+/// job AND from a fully materialized copy of the same programs. Laziness
+/// must be unobservable even through verification cuts, rollbacks and
+/// shrink recoveries: elapsed, every recovery counter and every per-rank
+/// ledger agree bit-for-bit, and time conservation holds throughout.
+#[test]
+fn sdc_injection_streamed_vs_materialized_bit_identical() {
+    use cloudsim::sim_des::{DetRng, SimDur};
+    let kernels = [Kernel::Cg, Kernel::Mg, Kernel::Lu];
+    let platforms = [presets::vayu(), presets::dcc(), presets::ec2()];
+    let mut rng = DetRng::new(0x5DC, 2);
+    for case in 0..6u64 {
+        let w = Npb::new(kernels[rng.index(kernels.len())], Class::S);
+        let c = &platforms[rng.index(platforms.len())];
+        let np = [4usize, 8, 16][rng.index(3)];
+        let (base, _) = cloudsim::Experiment::new(&w, c, np).run_once().unwrap();
+        let t0 = base.elapsed_secs().max(1e-3);
+        let preset = FaultSpec::preset_for(c);
+        let recovery = match rng.index(3) {
+            0 => RecoveryStrategy::Restart,
+            1 => RecoveryStrategy::AbftRollback,
+            _ => RecoveryStrategy::ShrinkSpare {
+                spares: 2,
+                respawn_delay_secs: 0.01 * t0,
+            },
+        };
+        let spec = FaultSpec {
+            model: preset
+                .model
+                .with_rates_scaled((1 + rng.index(4)) as f64 * 3600.0 / t0)
+                // A few silent flips per node per fault-free runtime.
+                .with_sdc((1 + rng.index(4)) as f64 * 3600.0 / t0, 1.0),
+            retry: RetryPolicy::default(),
+            restart_delay_secs: 0.05 * t0,
+            horizon_secs: 20.0 * t0,
+            recovery,
+            sdc_threshold: 0.01,
+        };
+        let vw = Verified::new(&w, VerifyPolicy::new(2, 1e6, 1 << 20));
+        let ck = Checkpointed::new(&vw, CheckpointPolicy::new(5, 1 << 20));
+        let mut streamed = ck.build(np);
+        assert!(streamed.is_fully_streamed(), "case {case}");
+        let mut materialized = JobSpec::from_programs(
+            streamed.meta.name.clone(),
+            streamed.materialized_copy(),
+            streamed.meta.section_names.clone(),
+        );
+        let cfg = SimConfig {
+            seed: 0xD5C ^ case,
+            faults: Some(spec),
+            ..Default::default()
+        };
+        let a = run_job(&mut streamed, c, &cfg, &mut NullSink).unwrap();
+        let b = run_job(&mut materialized, c, &cfg, &mut NullSink).unwrap();
+        assert_eq!(a.elapsed, b.elapsed, "case {case} on {}", c.name);
+        assert_eq!(a.ops_executed, b.ops_executed, "case {case}");
+        assert_eq!(
+            (a.restarts, a.rollbacks, a.shrinks),
+            (b.restarts, b.rollbacks, b.shrinks),
+            "case {case}"
+        );
+        assert_eq!(
+            (a.sdc_detected, a.sdc_undetected),
+            (b.sdc_detected, b.sdc_undetected),
+            "case {case}"
+        );
+        for (r, (x, y)) in a.ranks.iter().zip(&b.ranks).enumerate() {
+            assert_eq!(x, y, "case {case} rank {r}");
+            assert_eq!(x.other(), SimDur::ZERO, "case {case} rank {r}: {x:?}");
         }
     }
 }
