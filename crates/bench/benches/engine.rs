@@ -1,9 +1,27 @@
 //! Raw engine throughput: how many simulated MPI ops per second the DES
-//! core sustains. Regression guard for the scheduler's O(log n) heap path,
-//! exercised through both the streamed and the materialized op paths.
+//! core sustains. Regression guard for the scheduler's hot loop — the
+//! indexed channel tables, memoized collective layouts, compute-op fusion
+//! and event-queue fast path all show up here first.
+//!
+//! Beyond the human-readable timing lines, this bench emits a
+//! machine-readable trajectory file (`BENCH_engine.json` at the repo root
+//! by default) and can gate CI on regressions against a committed
+//! baseline:
+//!
+//! ```text
+//! cargo bench -p cloudsim-bench --bench engine                  # full run
+//! cargo bench -p cloudsim-bench --bench engine -- --smoke       # reduced iters
+//! cargo bench -p cloudsim-bench --bench engine -- \
+//!     --out /tmp/new.json --check BENCH_engine.json --threshold 0.25
+//! ```
+//!
+//! `--check` compares *calibration-normalized* ops/sec (each file records a
+//! fixed pure-CPU calibration loop's throughput measured on the same
+//! machine), so a slower CI runner does not read as an engine regression.
 
 use cloudsim::prelude::*;
 use cloudsim_bench::bench_throughput;
+use cloudsim_bench::perfjson::{calibrate, BenchRecord, EngineBenchFile};
 
 fn synthetic_job(np: usize, iters: usize) -> JobSpec {
     let programs = (0..np)
@@ -31,16 +49,194 @@ fn synthetic_job(np: usize, iters: usize) -> JobSpec {
     JobSpec::from_programs("engine-throughput", programs, vec![])
 }
 
+/// A compute-heavy job: long runs of consecutive `Compute` ops per rank
+/// punctuated by an allreduce — the shape the fusion fast path targets.
+fn compute_heavy_job(np: usize, iters: usize, run_len: usize) -> JobSpec {
+    let programs = (0..np)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(iters * (run_len + 1));
+            for _ in 0..iters {
+                for _ in 0..run_len {
+                    ops.push(Op::Compute {
+                        flops: 1e5,
+                        bytes: 0.0,
+                    });
+                }
+                ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
+            }
+            ops
+        })
+        .collect();
+    JobSpec::from_programs("engine-compute-heavy", programs, vec![])
+}
+
+struct Args {
+    smoke: bool,
+    out: Option<String>,
+    check: Option<String>,
+    threshold: f64,
+}
+
+/// Resolve a path against the workspace root. `cargo bench` runs with the
+/// crate directory as CWD, so a bare `BENCH_engine.json` would otherwise
+/// land in `crates/bench/` instead of the repo root.
+fn workspace_path(p: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(p);
+    if path.is_absolute() || p.starts_with("./") || p.starts_with("../") {
+        path.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: Some("BENCH_engine.json".to_string()),
+        check: None,
+        threshold: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next(),
+            "--no-out" => args.out = None,
+            "--check" => args.check = it.next(),
+            "--threshold" => {
+                args.threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a number")
+            }
+            "--bench" => {} // cargo bench passes this through
+            other => eprintln!("engine bench: ignoring unknown arg {other:?}"),
+        }
+    }
+    args
+}
+
 fn main() {
-    for np in [8usize, 64] {
-        let iters = 200;
-        let mut job = synthetic_job(np, iters);
+    let args = parse_args();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut run = |name: &str, iters: usize, job: &mut JobSpec, cluster: &ClusterSpec| {
         let total_ops = job.total_ops();
-        let cluster = presets::vayu();
-        bench_throughput(&format!("engine_throughput/np{np}"), 10, total_ops, || {
-            run_job(&mut job, &cluster, &SimConfig::default(), &mut NullSink)
+        let per_iter = bench_throughput(name, iters, total_ops, || {
+            run_job(job, cluster, &SimConfig::default(), &mut NullSink)
                 .unwrap()
                 .ops_executed
         });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: total_ops as f64 / per_iter,
+        });
+    };
+
+    let scale = if args.smoke { 1 } else { 4 };
+    let vayu = presets::vayu();
+    // Iteration counts are sized so one bench iteration takes tens of
+    // milliseconds: sub-millisecond iterations are dominated by timer
+    // granularity and scheduler noise on shared runners, and best-of-N
+    // cannot rescue a measurement that short.
+    for (np, loops) in [(8usize, 20_000), (64, 2_000)] {
+        let mut job = synthetic_job(np, loops);
+        run(
+            &format!("engine_throughput/np{np}"),
+            10 * scale,
+            &mut job,
+            &vayu,
+        );
+    }
+    {
+        let mut job = compute_heavy_job(16, 2_000, 40);
+        run("engine_compute_heavy/np16", 10 * scale, &mut job, &vayu);
+    }
+    {
+        // The paper-scale smoke: CG class S at np=1024 routes ~3.5M ops
+        // through the engine per run. This is the configuration the
+        // ISSUE-4 acceptance criterion (>= 2x ops/sec) is measured on.
+        let w = Npb::new(Kernel::Cg, Class::S);
+        let mut job = w.build(1024);
+        // Fixed 6 iterations even in --smoke: each run is short (<0.5s)
+        // but long enough that best-of-N needs several tries to dodge
+        // scheduler noise on shared runners.
+        run("engine_cg_smoke/np1024", 6, &mut job, &vayu);
+    }
+
+    let calib = calibrate();
+    println!("{:<48} {calib:>12.0} calib-iters/s", "machine_calibration");
+    let mut file = EngineBenchFile {
+        fingerprint: "synthetic np8 x20000 / np64 x2000 exchange+allreduce; compute-heavy np16 \
+                      x2000; cg.S np=1024 on vayu; SimConfig::default seed"
+            .to_string(),
+        calib_ops_per_sec: calib,
+        results: records,
+        baseline: None,
+    };
+
+    if let Some(check) = &args.check {
+        let check_path = workspace_path(check);
+        let baseline = EngineBenchFile::parse(
+            &std::fs::read_to_string(&check_path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", check_path.display())),
+        );
+        if baseline.fingerprint != file.fingerprint {
+            // A config change invalidates the comparison; flag it loudly
+            // instead of gating on apples-to-oranges numbers.
+            eprintln!(
+                "engine bench: baseline fingerprint mismatch ({}); \
+                 regenerate {} with --out",
+                baseline.fingerprint,
+                check_path.display()
+            );
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for r in &file.results {
+            let Some(b) = baseline.results.iter().find(|b| b.name == r.name) else {
+                println!("check: {} has no baseline entry, skipping", r.name);
+                continue;
+            };
+            // Normalize by each file's calibration throughput so machine
+            // speed divides out of the comparison.
+            let cur = r.ops_per_sec / file.calib_ops_per_sec;
+            let base = b.ops_per_sec / baseline.calib_ops_per_sec;
+            let ratio = cur / base;
+            let verdict = if ratio < 1.0 - args.threshold {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "check: {:<32} normalized ratio {ratio:>6.3} ({verdict})",
+                r.name
+            );
+        }
+        if failed {
+            eprintln!(
+                "engine bench: throughput regressed more than {:.0}% vs {check}",
+                args.threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(out) = &args.out {
+        let out_path = workspace_path(out);
+        // Preserve a baseline block already committed at the destination —
+        // regenerating the file must not erase the before/after history.
+        if file.baseline.is_none() {
+            if let Ok(prev) = std::fs::read_to_string(&out_path) {
+                file.baseline = EngineBenchFile::parse(&prev).baseline;
+            }
+        }
+        std::fs::write(&out_path, file.to_json()).expect("write bench json");
+        println!("wrote {}", out_path.display());
     }
 }

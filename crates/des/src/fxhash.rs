@@ -1,0 +1,142 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3: DoS-resistant but
+//! ~10x slower than necessary for the small fixed-width keys the engine
+//! uses (rank pairs, tags, collective sequence numbers). This is the
+//! classic "Fx" multiply-rotate hash used by rustc: one rotate, one xor
+//! and one multiply per word. Inputs here are simulation-internal (never
+//! attacker-controlled), so hash-flooding resistance buys nothing.
+//!
+//! Unlike `RandomState`, `FxBuildHasher` is zero-seeded and therefore
+//! *stable across runs and platforms* — a map iterated in hash order can
+//! never make two identical runs diverge. (Engine code still avoids
+//! iterating maps where order could leak into results; see
+//! `determinism.rs`.)
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and deterministic.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // No per-instance randomness: the same key always hashes the same.
+        assert_eq!(hash_one(&(3u32, 5u32, 7u32)), hash_one(&(3u32, 5u32, 7u32)));
+        assert_eq!(hash_one(&"channel"), hash_one(&"channel"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_one(&(0u32, 1u32, 0u32));
+        let b = hash_one(&(1u32, 0u32, 0u32));
+        let c = hash_one(&(0u32, 0u32, 1u32));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i ^ 0xAB), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i ^ 0xAB)), Some(&(i as u64)));
+        }
+        assert_eq!(m.get(&(1000, 0)), None);
+    }
+
+    #[test]
+    fn byte_tail_lengths_differ() {
+        // Tail handling must not collide a prefix with its extension.
+        let h1 = {
+            let mut h = FxHasher::default();
+            h.write(b"abc");
+            h.finish()
+        };
+        let h2 = {
+            let mut h = FxHasher::default();
+            h.write(b"abc\0");
+            h.finish()
+        };
+        assert_ne!(h1, h2);
+    }
+}

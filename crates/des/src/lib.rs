@@ -10,11 +10,13 @@
 //! schedulers on these primitives; nothing in this crate knows about ranks,
 //! messages or nodes.
 
+pub mod fxhash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::{splitmix64, DetRng};
 pub use stats::{geo_mean, quantile, Summary};

@@ -1,50 +1,32 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] that orders events
-//! by `(time, sequence)` so that two events scheduled for the same instant
-//! always pop in insertion order. Determinism here is what makes whole-run
-//! results bit-reproducible given a seed.
+//! Orders events by `(time, insertion order)` so that two events scheduled
+//! for the same instant always pop FIFO. Determinism here is what makes
+//! whole-run results bit-reproducible given a seed.
+//!
+//! Internally the queue buckets events by timestamp: a min-heap holds each
+//! *distinct* pending time once, and a hash map carries that instant's FIFO
+//! of events. Discrete-event MPI simulation produces heavy timestamp ties —
+//! a completing collective releases every participant at the same tick — so
+//! bucketing turns `n` same-time push/pop pairs from `n log n` heap sifts
+//! into one heap operation plus `n` O(1) queue hits. Drained buckets are
+//! recycled through a small pool so steady state allocates nothing.
 
+use crate::fxhash::FxHashMap;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An event queue keyed by simulated time with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    /// Each distinct pending timestamp, min-first. A time is present here
+    /// iff `buckets[time]` exists and is non-empty.
+    times: BinaryHeap<Reverse<SimTime>>,
+    buckets: FxHashMap<SimTime, VecDeque<E>>,
+    /// Emptied bucket queues kept for reuse.
+    pool: Vec<VecDeque<E>>,
+    len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,36 +39,68 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            times: BinaryHeap::new(),
+            buckets: FxHashMap::default(),
+            pool: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    /// The engine sizes this to the rank count so steady-state pushes
+    /// never grow the heap.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            times: BinaryHeap::with_capacity(cap),
+            buckets: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            pool: Vec::new(),
+            len: 0,
         }
     }
 
     /// Schedule `event` at absolute instant `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.len += 1;
+        match self.buckets.entry(time) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().push_back(event);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut q = self.pool.pop().unwrap_or_default();
+                q.push_back(event);
+                v.insert(q);
+                self.times.push(Reverse(time));
+            }
+        }
     }
 
     /// Remove and return the earliest event, with its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let &Reverse(t) = self.times.peek()?;
+        let q = self.buckets.get_mut(&t).expect("pending time has a bucket");
+        let e = q.pop_front().expect("pending bucket is non-empty");
+        if q.is_empty() {
+            let q = self.buckets.remove(&t).expect("bucket exists");
+            self.pool.push(q);
+            self.times.pop();
+        }
+        self.len -= 1;
+        Some((t, e))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.times.peek().map(|&Reverse(t)| t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -115,6 +129,26 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((SimTime(5), i)));
         }
+    }
+
+    #[test]
+    fn interleaved_ties_and_distinct_times() {
+        // Pushes at mixed instants, including re-populating an instant
+        // that was fully drained earlier, must still pop (time, FIFO).
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), 0);
+        q.push(SimTime(3), 1);
+        q.push(SimTime(7), 2);
+        assert_eq!(q.pop(), Some((SimTime(3), 1)));
+        assert_eq!(q.pop(), Some((SimTime(7), 0)));
+        assert_eq!(q.pop(), Some((SimTime(7), 2)));
+        // Re-populate a previously drained time.
+        q.push(SimTime(7), 3);
+        q.push(SimTime(5), 4);
+        assert_eq!(q.pop(), Some((SimTime(5), 4)));
+        assert_eq!(q.pop(), Some((SimTime(7), 3)));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Indexed hot-path containers for the engine's matching state.
+//!
+//! The engine's inner loop matches point-to-point traffic on
+//! `(source, dest, tag)` channels and synchronizes barriers keyed by a
+//! sequence number. Both used to live in `std` `HashMap`s, which meant a
+//! SipHash invocation per op on the hottest path in the simulator. These
+//! replacements exploit what a general map cannot: one side of every
+//! channel key is a *rank index*, dense in `0..np`, so the first lookup
+//! level is an array index; and the set of distinct `(peer, tag)` pairs a
+//! single rank ever matches on is tiny (a handful of neighbours × a
+//! handful of tags), so the second level is a linear scan over a short
+//! `Vec` — faster than any hash for these sizes, and with fully
+//! deterministic iteration order as a bonus.
+
+use crate::op::{Rank, Tag};
+use sim_des::SimTime;
+use std::collections::VecDeque;
+
+/// Per-channel FIFO queues, indexed by an owning rank and then by
+/// `(peer, tag)`. The "owner" is whichever key component is a dense rank
+/// index: the destination for eager messages and posted receives, the
+/// lower rank of the pair for exchanges.
+#[derive(Debug)]
+pub struct ChannelTable<T> {
+    slots: Vec<Vec<Channel<T>>>,
+}
+
+#[derive(Debug)]
+struct Channel<T> {
+    peer: Rank,
+    tag: Tag,
+    q: VecDeque<T>,
+}
+
+impl<T> ChannelTable<T> {
+    /// A table for `np` owning ranks, all channels empty.
+    pub fn new(np: usize) -> Self {
+        ChannelTable {
+            slots: (0..np).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The FIFO for `(owner, peer, tag)`, created empty if absent.
+    pub fn queue_mut(&mut self, owner: usize, peer: Rank, tag: Tag) -> &mut VecDeque<T> {
+        let chans = &mut self.slots[owner];
+        // Split the find from the push to satisfy the borrow checker
+        // without a second scan on the hit path.
+        if let Some(i) = chans.iter().position(|c| c.peer == peer && c.tag == tag) {
+            return &mut chans[i].q;
+        }
+        chans.push(Channel {
+            peer,
+            tag,
+            q: VecDeque::new(),
+        });
+        &mut chans.last_mut().expect("just pushed").q
+    }
+
+    /// The FIFO for `(owner, peer, tag)` if it was ever created.
+    pub fn get_mut(&mut self, owner: usize, peer: Rank, tag: Tag) -> Option<&mut VecDeque<T>> {
+        self.slots[owner]
+            .iter_mut()
+            .find(|c| c.peer == peer && c.tag == tag)
+            .map(|c| &mut c.q)
+    }
+
+    /// Whether the FIFO for `(owner, peer, tag)` is absent or empty.
+    pub fn is_empty_channel(&self, owner: usize, peer: Rank, tag: Tag) -> bool {
+        self.slots[owner]
+            .iter()
+            .find(|c| c.peer == peer && c.tag == tag)
+            .is_none_or(|c| c.q.is_empty())
+    }
+
+    /// Drop every queued item, keeping channel allocations for reuse.
+    pub fn clear(&mut self) {
+        for chans in &mut self.slots {
+            for c in chans {
+                c.q.clear();
+            }
+        }
+    }
+
+    /// Whether every channel is empty (end-of-run invariant checks).
+    pub fn all_empty(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|chans| chans.iter().all(|c| c.q.is_empty()))
+    }
+}
+
+/// Arrival lists for sequence-numbered world barriers (checkpoints and
+/// verification cuts). At most a couple of sequences are ever open at
+/// once — ranks can only be one cut apart — so a short `Vec` beats a map
+/// and iterates in a fixed order.
+#[derive(Debug, Default)]
+pub struct SeqBarrier {
+    open: Vec<(u64, Vec<(Rank, SimTime)>)>,
+}
+
+impl SeqBarrier {
+    pub fn new() -> Self {
+        SeqBarrier::default()
+    }
+
+    /// Record `r`'s arrival at barrier `seq`; returns how many ranks have
+    /// arrived, including this one.
+    pub fn arrive(&mut self, seq: u64, r: Rank, t: SimTime) -> usize {
+        if let Some(i) = self.open.iter().position(|(s, _)| *s == seq) {
+            let v = &mut self.open[i].1;
+            v.push((r, t));
+            return v.len();
+        }
+        self.open.push((seq, vec![(r, t)]));
+        1
+    }
+
+    /// Remove barrier `seq`, returning its arrivals in arrival order.
+    pub fn take(&mut self, seq: u64) -> Option<Vec<(Rank, SimTime)>> {
+        let i = self.open.iter().position(|(s, _)| *s == seq)?;
+        Some(self.open.swap_remove(i).1)
+    }
+
+    /// Drop all open barriers (restart/rollback wipes in-flight state).
+    pub fn clear(&mut self) {
+        self.open.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fifo_per_key() {
+        let mut t: ChannelTable<u32> = ChannelTable::new(4);
+        t.queue_mut(1, 0, 7).push_back(10);
+        t.queue_mut(1, 0, 7).push_back(11);
+        t.queue_mut(1, 2, 7).push_back(20);
+        assert_eq!(t.get_mut(1, 0, 7).unwrap().pop_front(), Some(10));
+        assert_eq!(t.get_mut(1, 0, 7).unwrap().pop_front(), Some(11));
+        assert_eq!(t.get_mut(1, 0, 7).unwrap().pop_front(), None);
+        assert_eq!(t.get_mut(1, 2, 7).unwrap().pop_front(), Some(20));
+        assert!(t.get_mut(3, 0, 0).is_none());
+    }
+
+    #[test]
+    fn empty_checks_cover_absent_and_drained() {
+        let mut t: ChannelTable<u32> = ChannelTable::new(2);
+        assert!(t.is_empty_channel(0, 1, 0));
+        assert!(t.all_empty());
+        t.queue_mut(0, 1, 0).push_back(1);
+        assert!(!t.is_empty_channel(0, 1, 0));
+        assert!(!t.all_empty());
+        t.clear();
+        assert!(t.is_empty_channel(0, 1, 0));
+        assert!(t.all_empty());
+    }
+
+    #[test]
+    fn seq_barrier_collects_in_arrival_order() {
+        let mut b = SeqBarrier::new();
+        assert_eq!(b.arrive(0, 2, SimTime(5)), 1);
+        assert_eq!(b.arrive(1, 0, SimTime(9)), 1);
+        assert_eq!(b.arrive(0, 1, SimTime(3)), 2);
+        let got = b.take(0).unwrap();
+        assert_eq!(got, vec![(2, SimTime(5)), (1, SimTime(3))]);
+        assert!(b.take(0).is_none());
+        assert!(b.take(1).is_some());
+    }
+}

@@ -16,16 +16,15 @@
 //! call counts as communication time — IPM cannot tell wire time from wait
 //! time either, and the paper's %comm numbers include both.
 
+use crate::channels::{ChannelTable, SeqBarrier};
 use crate::collectives::CollTopo;
 use crate::op::{CollOp, Group, JobMeta, JobSpec, Op, OpSource, Rank, ReqId, SectionId, Tag};
 use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
 use crate::result::{RankTotals, SimResult};
-use sim_des::{DetRng, EventQueue, SimDur, SimTime};
+use sim_des::{DetRng, EventQueue, FxHashMap, SimDur, SimTime};
 use sim_faults::{FaultSchedule, FaultSpec, RecoveryStrategy, RetryPolicy, SdcEvent};
 use sim_net::{cost, SerialResource};
 use sim_platform::{ClusterSpec, Placement, PlacementError, RankRates, Strategy};
-use std::collections::HashMap;
-use std::collections::VecDeque;
 
 /// Errors a simulation can produce.
 #[derive(Debug)]
@@ -124,20 +123,38 @@ struct RankState {
     /// Ops pulled from this rank's source so far (diagnostics only).
     issued: u64,
     status: Status,
-    /// Outstanding non-blocking requests.
-    requests: HashMap<ReqId, ReqState>,
+    /// Outstanding non-blocking requests. Fx-hashed: request ids are
+    /// simulation-internal, so SipHash's flood resistance buys nothing.
+    requests: FxHashMap<ReqId, ReqState>,
     comp: SimDur,
     comm: SimDur,
     io: SimDur,
     /// Time lost to fault stalls and restart gaps.
     fault: SimDur,
-    /// Per-communicator collective sequence counters.
-    coll_count: HashMap<Group, u64>,
+    /// Per-communicator collective sequence counters. A rank participates
+    /// in a handful of communicators at most, so a linear scan over a
+    /// short `Vec` beats hashing the `Group` key every collective.
+    coll_count: Vec<(Group, u64)>,
     /// Monotone generation for lazy heap invalidation.
     gen: u64,
     rng: DetRng,
     /// End of this rank's most recent file operation (I/O concurrency).
     io_until: SimTime,
+}
+
+impl RankState {
+    /// Fetch-and-increment this rank's collective sequence on `group`.
+    fn next_coll_seq(&mut self, group: Group) -> u64 {
+        for (g, c) in &mut self.coll_count {
+            if *g == group {
+                let seq = *c;
+                *c += 1;
+                return seq;
+            }
+        }
+        self.coll_count.push((group, 1));
+        0
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -174,7 +191,47 @@ struct CollState {
     arrived: Vec<(Rank, SimTime)>,
 }
 
-type ChannelKey = (Rank, Rank, Tag);
+/// Memoized placement facts for one communicator. Placement never changes
+/// during a run (shrink recovery is modeled in place), so the per-node
+/// member counts the collective cost model needs are computed once per
+/// group instead of rebuilt with a fresh map on every collective arrival.
+#[derive(Debug, Clone, Copy)]
+struct GroupLayout {
+    /// Most member ranks sharing one node (NIC sharers).
+    ppn: usize,
+    /// Distinct nodes the group's members span.
+    nodes_used: usize,
+    /// Worst member CPU slowdown factor (>= 1).
+    cpu_factor: f64,
+}
+
+/// Compute a group's layout by one pass over its members.
+fn group_layout(
+    group: Group,
+    np: usize,
+    n_nodes: usize,
+    rates: &[RankRates],
+    cpu_factor: &[f64],
+) -> GroupLayout {
+    let mut per_node = vec![0usize; n_nodes];
+    let mut ppn = 0usize;
+    let mut nodes_used = 0usize;
+    let mut cf = 1.0_f64;
+    for m in group.members(np) {
+        let node = rates[m as usize].node;
+        if per_node[node] == 0 {
+            nodes_used += 1;
+        }
+        per_node[node] += 1;
+        ppn = ppn.max(per_node[node]);
+        cf = cf.max(cpu_factor[m as usize]);
+    }
+    GroupLayout {
+        ppn: ppn.max(1),
+        nodes_used,
+        cpu_factor: cf,
+    }
+}
 
 /// Fault state the engine carries during a run.
 struct ActiveFaults {
@@ -246,14 +303,36 @@ struct Engine<'a> {
     cpu_factor: Vec<f64>,
     ranks: Vec<RankState>,
     ready: EventQueue<(usize, u64)>,
-    /// In-flight messages, FIFO per channel.
-    eager: HashMap<ChannelKey, VecDeque<EagerMsg>>,
-    /// Posted-but-unmatched non-blocking receives, FIFO per channel.
-    irecvs: HashMap<ChannelKey, VecDeque<(usize, ReqId, SimTime)>>,
-    /// First-arrived halves of exchanges, FIFO per unordered pair + tag.
-    exchanges: HashMap<(Rank, Rank, Tag), VecDeque<ExchangeArrival>>,
+    /// In-flight messages, FIFO per channel, indexed by destination rank.
+    eager: ChannelTable<EagerMsg>,
+    /// Posted-but-unmatched non-blocking receives, FIFO per channel,
+    /// indexed by destination rank.
+    irecvs: ChannelTable<(usize, ReqId, SimTime)>,
+    /// First-arrived halves of exchanges, FIFO per unordered pair + tag,
+    /// indexed by the lower rank of the pair.
+    exchanges: ChannelTable<ExchangeArrival>,
     /// Open collectives keyed by (communicator, per-communicator sequence).
-    colls: HashMap<(Group, u64), CollState>,
+    colls: FxHashMap<(Group, u64), CollState>,
+    /// Memoized world placement layout (collectives, checkpoint/verify
+    /// barriers).
+    world_layout: GroupLayout,
+    /// Memoized layouts of sub-communicators, filled on first use. Jobs
+    /// use a handful of distinct groups, so a scanned `Vec` suffices.
+    group_layouts: Vec<(Group, GroupLayout)>,
+    /// Rank currently being stepped by the run loop (`usize::MAX` outside
+    /// a step). `make_ready` defers this rank's heap push so the loop can
+    /// service it inline when nothing else can intervene.
+    cur: usize,
+    /// Whether `cur` became ready again during its step with the push
+    /// deferred.
+    cur_ready: bool,
+    /// Whether deferral is allowed at all: only on fault-free runs, where
+    /// no fatal-fault check has to run between steps.
+    defer_ok: bool,
+    /// Whether the run's sink consumes events; `false` skips `ProfEvent`
+    /// construction on the hot path (set from `ProfSink::enabled` at the
+    /// top of `run`).
+    prof_on: bool,
     /// Per-node NIC egress resources.
     nics: Vec<SerialResource>,
     /// RNG for collective-level jitter.
@@ -276,11 +355,11 @@ struct Engine<'a> {
     /// Per-rank checkpoint sequence counters (world-synchronized cut ids).
     ckpt_count: Vec<u64>,
     /// Open checkpoint barriers keyed by sequence id.
-    ckpts: HashMap<u64, Vec<(Rank, SimTime)>>,
+    ckpts: SeqBarrier,
     /// Per-rank verify sequence counters (world-synchronized cut ids).
     verify_count: Vec<u64>,
     /// Open verify barriers keyed by sequence id.
-    verifies: HashMap<u64, Vec<(Rank, SimTime)>>,
+    verifies: SeqBarrier,
     /// After a rollback: verify ops each rank fast-forwards past (ops
     /// before the verified cut replay at zero cost).
     skip_verify: Vec<u64>,
@@ -307,11 +386,11 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let np = meta.np;
         let solo_rate = cluster.node.flops_rate(1);
-        let cpu_factor = rates
+        let cpu_factor: Vec<f64> = rates
             .iter()
             .map(|r| (solo_rate / r.flops_rate).max(1.0))
             .collect();
-        let mut ready = EventQueue::new();
+        let mut ready = EventQueue::with_capacity(np + 1);
         let ranks = (0..np)
             .map(|r| {
                 ready.push(SimTime::ZERO, (r, 0));
@@ -319,12 +398,12 @@ impl<'a> Engine<'a> {
                     clock: SimTime::ZERO,
                     issued: 0,
                     status: Status::Ready,
-                    requests: HashMap::new(),
+                    requests: FxHashMap::default(),
                     comp: SimDur::ZERO,
                     comm: SimDur::ZERO,
                     io: SimDur::ZERO,
                     fault: SimDur::ZERO,
-                    coll_count: HashMap::new(),
+                    coll_count: Vec::new(),
                     gen: 0,
                     rng: DetRng::new(cfg.seed, r as u64),
                     io_until: SimTime::ZERO,
@@ -369,20 +448,28 @@ impl<'a> Engine<'a> {
                 })
             }
         });
+        let world_layout = group_layout(Group::World, np, n_nodes, &rates, &cpu_factor);
+        let defer_ok = faults.is_none();
         Engine {
             meta,
             sources,
             cluster,
-            nics: vec![SerialResource::new(); placement.ranks_per_node.len()],
+            nics: vec![SerialResource::new(); n_nodes],
             placement,
             rates,
             cpu_factor,
             ranks,
             ready,
-            eager: HashMap::new(),
-            irecvs: HashMap::new(),
-            exchanges: HashMap::new(),
-            colls: HashMap::new(),
+            eager: ChannelTable::new(np),
+            irecvs: ChannelTable::new(np),
+            exchanges: ChannelTable::new(np),
+            colls: FxHashMap::default(),
+            world_layout,
+            group_layouts: Vec::new(),
+            cur: usize::MAX,
+            cur_ready: false,
+            defer_ok,
+            prof_on: true,
             coll_rng: DetRng::new(cfg.seed, np as u64 + 0x1000),
             done: 0,
             ops_executed: 0,
@@ -392,9 +479,9 @@ impl<'a> Engine<'a> {
             ckpt_bytes: 0,
             skip: vec![0; np],
             ckpt_count: vec![0; np],
-            ckpts: HashMap::new(),
+            ckpts: SeqBarrier::new(),
             verify_count: vec![0; np],
-            verifies: HashMap::new(),
+            verifies: SeqBarrier::new(),
             skip_verify: vec![0; np],
             cut: None,
             rollbacks: 0,
@@ -405,6 +492,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self, sink: &mut dyn ProfSink) -> Result<SimResult, SimError> {
+        self.prof_on = sink.enabled();
         let np = self.meta.np;
         loop {
             let Some((t, (r, gen))) = self.ready.pop() else {
@@ -428,7 +516,26 @@ impl<'a> Engine<'a> {
                     continue;
                 }
             }
+            self.cur = r;
+            self.cur_ready = false;
             self.step(r, sink)?;
+            // Fast path: if the step left this same rank ready again and its
+            // clock is strictly below everything in the heap, no other rank
+            // can be scheduled in between — service it inline and skip the
+            // heap round-trip. Ties go through the heap so the (time, seq)
+            // FIFO order — and therefore every tie-broken interaction — is
+            // bit-identical to the slow path.
+            while self.cur_ready {
+                self.cur_ready = false;
+                let clock = self.ranks[r].clock;
+                if self.ready.peek_time().is_some_and(|pt| pt <= clock) {
+                    let gen = self.ranks[r].gen;
+                    self.ready.push(clock, (r, gen));
+                    break;
+                }
+                self.step(r, sink)?;
+            }
+            self.cur = usize::MAX;
         }
         let elapsed = self
             .ranks
@@ -438,10 +545,7 @@ impl<'a> Engine<'a> {
             .unwrap_or(SimTime::ZERO);
         // Corruptions no cut ever adjudicated escaped every detector.
         self.drain_sdc_at_end(elapsed, sink);
-        debug_assert!(
-            self.eager.values().all(|q| q.is_empty()),
-            "eager messages left unreceived"
-        );
+        debug_assert!(self.eager.all_empty(), "eager messages left unreceived");
         let ranks = self
             .ranks
             .iter()
@@ -848,6 +952,11 @@ impl<'a> Engine<'a> {
         Ok(p)
     }
 
+    /// Build the blocked-ranks diagnostic for a [`SimError::Deadlock`].
+    /// Cold and never inlined: the happy path must not pay for the string
+    /// formatting machinery this drags in.
+    #[cold]
+    #[inline(never)]
     fn deadlock_report(&self) -> String {
         let mut blocked: Vec<String> = Vec::new();
         for (r, st) in self.ranks.iter().enumerate() {
@@ -864,12 +973,34 @@ impl<'a> Engine<'a> {
         blocked.join("; ")
     }
 
-    /// Mark a rank ready at its (possibly new) clock.
+    /// Mark a rank ready at its (possibly new) clock. If it is the rank
+    /// the run loop is currently stepping (and the run is fault-free), the
+    /// heap push is deferred: the loop re-steps it inline unless another
+    /// rank could legally run first.
     fn make_ready(&mut self, r: usize) {
         let st = &mut self.ranks[r];
         st.status = Status::Ready;
         st.gen += 1;
+        if self.defer_ok && r == self.cur {
+            self.cur_ready = true;
+        } else {
+            self.ready.push(st.clock, (r, st.gen));
+        }
+    }
+
+    /// Mark a rank ready and always push it onto the heap, even when it is
+    /// the currently stepped rank. Used where a peer becomes ready at the
+    /// *same instant* as the stepped rank (send completion, exchange
+    /// completion): both must go through the heap so the (time, seq) FIFO
+    /// order between them matches the unoptimized engine exactly.
+    fn push_ready(&mut self, r: usize) {
+        let st = &mut self.ranks[r];
+        st.status = Status::Ready;
+        st.gen += 1;
         self.ready.push(st.clock, (r, st.gen));
+        if r == self.cur {
+            self.cur_ready = false;
+        }
     }
 
     fn step(&mut self, r: usize, sink: &mut dyn ProfSink) -> Result<(), SimError> {
@@ -976,8 +1107,48 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// One compute chunk's duration on the fault-free path: the rate model
+    /// plus a per-op jitter draw. The faulted path multiplies by a steal
+    /// factor that is exactly 1.0 when no storm is active, and
+    /// `(base + jitter) * 1.0` is bitwise `base + jitter`, so skipping the
+    /// multiply here is an exact identity.
+    fn compute_dur(&mut self, r: usize, flops: f64, bytes: f64) -> SimDur {
+        let base = self.rates[r].compute_time(flops, bytes);
+        let jp = self.rates[r].jitter;
+        SimDur::from_secs_f64(base + jp.sample(&mut self.ranks[r].rng))
+    }
+
     fn do_compute(&mut self, r: usize, flops: f64, bytes: f64, sink: &mut dyn ProfSink) {
         let start = self.ranks[r].clock;
+        if self.faults.is_none() {
+            // Fused path: charge a run of consecutive compute ops as one
+            // clock advance and one profile event. Jitter draws happen per
+            // op in program order and per-op durations are computed exactly
+            // as the one-op path would, so the integer-tick sum — and with
+            // it every downstream clock — is bit-identical; only the event
+            // granularity coarsens (IPM sums the same total either way).
+            let mut total = self.compute_dur(r, flops, bytes);
+            while let Some(&Op::Compute { flops, bytes }) = self.sources[r].peek_op() {
+                self.sources[r].next_op();
+                self.ops_executed += 1;
+                self.ranks[r].issued += 1;
+                total += self.compute_dur(r, flops, bytes);
+            }
+            let st = &mut self.ranks[r];
+            st.clock += total;
+            st.comp += total;
+            if self.prof_on {
+                sink.on_event(
+                    r,
+                    ProfEvent::Compute {
+                        start,
+                        end: st.clock,
+                    },
+                );
+            }
+            self.make_ready(r);
+            return;
+        }
         let base = self.rates[r].compute_time(flops, bytes);
         let jitter = {
             let jp = self.rates[r].jitter;
@@ -994,26 +1165,30 @@ impl<'a> Engine<'a> {
         let st = &mut self.ranks[r];
         st.clock += dur;
         st.comp += dur;
-        sink.on_event(
-            r,
-            ProfEvent::Compute {
-                start,
-                end: st.clock,
-            },
-        );
+        if self.prof_on {
+            sink.on_event(
+                r,
+                ProfEvent::Compute {
+                    start,
+                    end: st.clock,
+                },
+            );
+        }
         self.make_ready(r);
     }
 
     fn do_section(&mut self, r: usize, id: SectionId, enter: bool, sink: &mut dyn ProfSink) {
         let t = self.ranks[r].clock;
-        sink.on_event(
-            r,
-            if enter {
-                ProfEvent::SectionEnter { id, t }
-            } else {
-                ProfEvent::SectionExit { id, t }
-            },
-        );
+        if self.prof_on {
+            sink.on_event(
+                r,
+                if enter {
+                    ProfEvent::SectionEnter { id, t }
+                } else {
+                    ProfEvent::SectionExit { id, t }
+                },
+            );
+        }
         self.make_ready(r);
     }
 
@@ -1041,15 +1216,17 @@ impl<'a> Engine<'a> {
         st.clock += dur;
         st.io += dur;
         st.io_until = st.clock;
-        sink.on_event(
-            r,
-            ProfEvent::Io {
-                kind,
-                bytes,
-                start,
-                end: st.clock,
-            },
-        );
+        if self.prof_on {
+            sink.on_event(
+                r,
+                ProfEvent::Io {
+                    kind,
+                    bytes,
+                    start,
+                    end: st.clock,
+                },
+            );
+        }
         self.make_ready(r);
     }
 
@@ -1096,16 +1273,21 @@ impl<'a> Engine<'a> {
         let st = &mut self.ranks[s];
         st.clock = depart;
         st.comm += occ;
-        sink.on_event(
-            s,
-            ProfEvent::Mpi {
-                kind: MpiKind::Send,
-                bytes: bytes as u64,
-                start,
-                end: depart,
-            },
-        );
-        self.make_ready(s);
+        if self.prof_on {
+            sink.on_event(
+                s,
+                ProfEvent::Mpi {
+                    kind: MpiKind::Send,
+                    bytes: bytes as u64,
+                    start,
+                    end: depart,
+                },
+            );
+        }
+        // Through the heap, not deferred: deliver() below may ready the
+        // receiver at the same instant, and the sender must keep the lower
+        // heap sequence number exactly as in the undeferred engine.
+        self.push_ready(s);
         self.deliver(
             s as Rank,
             d as Rank,
@@ -1123,7 +1305,7 @@ impl<'a> Engine<'a> {
         let dr = d as usize;
         // Pre-posted non-blocking receives match first (they were posted
         // before the receiver could have blocked on the same channel).
-        if let Some(q) = self.irecvs.get_mut(&(s, d, tag)) {
+        if let Some(q) = self.irecvs.get_mut(dr, s, tag) {
             if let Some((rank, req, posted)) = q.pop_front() {
                 debug_assert_eq!(rank, dr);
                 let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
@@ -1148,14 +1330,13 @@ impl<'a> Engine<'a> {
             if from == s && rtag == tag {
                 // Channel FIFO: the blocked recv must take the oldest queued
                 // message; only complete directly if the queue is empty.
-                let empty = self.eager.get(&(s, d, tag)).is_none_or(|q| q.is_empty());
-                if empty {
+                if self.eager.is_empty_channel(dr, s, tag) {
                     self.complete_recv(dr, posted, msg, sink);
                     return;
                 }
             }
         }
-        self.eager.entry((s, d, tag)).or_default().push_back(msg);
+        self.eager.queue_mut(dr, s, tag).push_back(msg);
     }
 
     fn complete_recv(&mut self, d: usize, posted: SimTime, msg: EagerMsg, sink: &mut dyn ProfSink) {
@@ -1165,22 +1346,23 @@ impl<'a> Engine<'a> {
         let wait = end.since(posted);
         st.clock = end;
         st.comm += wait;
-        sink.on_event(
-            d,
-            ProfEvent::Mpi {
-                kind: MpiKind::Recv,
-                bytes: msg.bytes as u64,
-                start: posted,
-                end,
-            },
-        );
+        if self.prof_on {
+            sink.on_event(
+                d,
+                ProfEvent::Mpi {
+                    kind: MpiKind::Recv,
+                    bytes: msg.bytes as u64,
+                    start: posted,
+                    end,
+                },
+            );
+        }
         self.make_ready(d);
     }
 
     fn do_recv(&mut self, d: usize, s: usize, bytes: usize, tag: Tag, sink: &mut dyn ProfSink) {
         let posted = self.ranks[d].clock;
-        let key = (s as Rank, d as Rank, tag);
-        if let Some(q) = self.eager.get_mut(&key) {
+        if let Some(q) = self.eager.get_mut(d, s as Rank, tag) {
             if let Some(msg) = q.pop_front() {
                 self.complete_recv(d, posted, msg, sink);
                 return;
@@ -1233,9 +1415,12 @@ impl<'a> Engine<'a> {
         req: ReqId,
     ) -> Result<(), SimError> {
         let posted = self.ranks[d].clock;
-        let key = (s as Rank, d as Rank, tag);
         // A message may already be buffered.
-        let prev = if let Some(msg) = self.eager.get_mut(&key).and_then(|q| q.pop_front()) {
+        let prev = if let Some(msg) = self
+            .eager
+            .get_mut(d, s as Rank, tag)
+            .and_then(|q| q.pop_front())
+        {
             let complete_at = posted.max(msg.arrival) + SimDur::from_secs_f64(msg.recv_occ);
             self.ranks[d].requests.insert(
                 req,
@@ -1247,8 +1432,7 @@ impl<'a> Engine<'a> {
             )
         } else {
             self.irecvs
-                .entry(key)
-                .or_default()
+                .queue_mut(d, s as Rank, tag)
                 .push_back((d, req, posted));
             self.ranks[d].requests.insert(req, ReqState::RecvPending)
         };
@@ -1283,15 +1467,17 @@ impl<'a> Engine<'a> {
                 let st = &mut self.ranks[rank];
                 st.clock = end;
                 st.comm += end.since(posted);
-                sink.on_event(
-                    rank,
-                    ProfEvent::Mpi {
-                        kind,
-                        bytes,
-                        start: posted,
-                        end,
-                    },
-                );
+                if self.prof_on {
+                    sink.on_event(
+                        rank,
+                        ProfEvent::Mpi {
+                            kind,
+                            bytes,
+                            start: posted,
+                            end,
+                        },
+                    );
+                }
                 self.make_ready(rank);
                 return;
             }
@@ -1320,15 +1506,17 @@ impl<'a> Engine<'a> {
                 let st = &mut self.ranks[r];
                 st.clock = end;
                 st.comm += end.since(now);
-                sink.on_event(
-                    r,
-                    ProfEvent::Mpi {
-                        kind,
-                        bytes,
-                        start: now,
-                        end,
-                    },
-                );
+                if self.prof_on {
+                    sink.on_event(
+                        r,
+                        ProfEvent::Mpi {
+                            kind,
+                            bytes,
+                            start: now,
+                            end,
+                        },
+                    );
+                }
                 self.make_ready(r);
             }
             Some(ReqState::RecvPending) => {
@@ -1355,8 +1543,11 @@ impl<'a> Engine<'a> {
         let entry = self.ranks[r].clock;
         let lo = (r.min(partner)) as Rank;
         let hi = (r.max(partner)) as Rank;
-        let key = (lo, hi, tag);
-        if let Some(other) = self.exchanges.get_mut(&key).and_then(|q| q.pop_front()) {
+        if let Some(other) = self
+            .exchanges
+            .get_mut(lo as usize, hi, tag)
+            .and_then(|q| q.pop_front())
+        {
             // Both halves present: complete the exchange.
             let o = other.rank as usize;
             if o != partner {
@@ -1418,21 +1609,25 @@ impl<'a> Engine<'a> {
                 let st = &mut self.ranks[who];
                 st.clock = end;
                 st.comm += end.since(t_entry);
-                sink.on_event(
-                    who,
-                    ProfEvent::Mpi {
-                        kind: MpiKind::Sendrecv,
-                        bytes: b,
-                        start: t_entry,
-                        end,
-                    },
-                );
-                self.make_ready(who);
+                if self.prof_on {
+                    sink.on_event(
+                        who,
+                        ProfEvent::Mpi {
+                            kind: MpiKind::Sendrecv,
+                            bytes: b,
+                            start: t_entry,
+                            end,
+                        },
+                    );
+                }
+                // Both endpoints land at the same instant `end`; push both
+                // through the heap so their FIFO order stays the
+                // unoptimized engine's (stepped rank first, partner next).
+                self.push_ready(who);
             }
         } else {
             self.exchanges
-                .entry(key)
-                .or_default()
+                .queue_mut(lo as usize, hi, tag)
                 .push_back(ExchangeArrival {
                     rank: r as Rank,
                     entry,
@@ -1441,6 +1636,26 @@ impl<'a> Engine<'a> {
             self.ranks[r].status = Status::BlockedExchange { posted: entry };
         }
         Ok(())
+    }
+
+    /// Memoized layout of `group`'s members. Placement never changes during
+    /// a run, so each communicator's layout is computed at most once.
+    fn layout_for(&mut self, group: Group) -> GroupLayout {
+        if matches!(group, Group::World) {
+            return self.world_layout;
+        }
+        if let Some((_, l)) = self.group_layouts.iter().find(|(g, _)| *g == group) {
+            return *l;
+        }
+        let l = group_layout(
+            group,
+            self.meta.np,
+            self.placement.ranks_per_node.len(),
+            &self.rates,
+            &self.cpu_factor,
+        );
+        self.group_layouts.push((group, l));
+        l
     }
 
     fn do_coll(
@@ -1471,9 +1686,7 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         let entry = self.ranks[r].clock;
-        let counter = self.ranks[r].coll_count.entry(group).or_insert(0);
-        let seq = *counter;
-        *counter += 1;
+        let seq = self.ranks[r].next_coll_seq(group);
         let state = self.colls.entry((group, seq)).or_insert_with(|| CollState {
             op,
             arrived: Vec::with_capacity(members),
@@ -1495,21 +1708,17 @@ impl<'a> Engine<'a> {
             .remove(&(group, seq))
             .ok_or_else(|| SimError::Internal(format!("collective state missing at #{seq}")))?;
         let max_entry = state.arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
-        // Layout of the group's members: NIC sharers and node span.
-        let mut per_node: HashMap<usize, usize> = HashMap::new();
-        let mut cpu_factor = 1.0_f64;
-        for m in group.members(np) {
-            *per_node.entry(self.rates[m as usize].node).or_insert(0) += 1;
-            cpu_factor = cpu_factor.max(self.cpu_factor[m as usize]);
-        }
-        let ppn = per_node.values().copied().max().unwrap_or(1);
+        // Layout of the group's members (NIC sharers and node span),
+        // memoized: placement is static, so it never changes between
+        // collectives on the same communicator.
+        let layout = self.layout_for(group);
         let topo = CollTopo {
             inter: &self.cluster.topology.inter,
             intra: &self.cluster.topology.intra,
             np: members,
-            ppn,
-            nodes_used: per_node.len(),
-            cpu_factor,
+            ppn: layout.ppn,
+            nodes_used: layout.nodes_used,
+            cpu_factor: layout.cpu_factor,
         };
         let mut secs = topo.cost(op);
         for _ in 0..topo.inter_rounds(op) {
@@ -1547,15 +1756,17 @@ impl<'a> Engine<'a> {
             let st = &mut self.ranks[w];
             st.clock = end;
             st.comm += end.since(t_entry);
-            sink.on_event(
-                w,
-                ProfEvent::Mpi {
-                    kind,
-                    bytes,
-                    start: t_entry,
-                    end,
-                },
-            );
+            if self.prof_on {
+                sink.on_event(
+                    w,
+                    ProfEvent::Mpi {
+                        kind,
+                        bytes,
+                        start: t_entry,
+                        end,
+                    },
+                );
+            }
             self.make_ready(w);
         }
         Ok(())
@@ -1576,36 +1787,27 @@ impl<'a> Engine<'a> {
         let entry = self.ranks[r].clock;
         let seq = self.ckpt_count[r];
         self.ckpt_count[r] += 1;
-        if np > 1 {
-            let state = self.ckpts.entry(seq).or_default();
-            state.push((r as Rank, entry));
-            if state.len() < np {
-                self.ranks[r].status = Status::BlockedColl { posted: entry };
-                return Ok(());
-            }
+        if np > 1 && self.ckpts.arrive(seq, r as Rank, entry) < np {
+            self.ranks[r].status = Status::BlockedColl { posted: entry };
+            return Ok(());
         }
         let arrived = if np > 1 {
             self.ckpts
-                .remove(&seq)
+                .take(seq)
                 .ok_or_else(|| SimError::Internal(format!("checkpoint state missing at #{seq}")))?
         } else {
             vec![(r as Rank, entry)]
         };
         let max_entry = arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
         let sync_secs = if np > 1 {
-            let mut per_node: HashMap<usize, usize> = HashMap::new();
-            let mut cpu_factor = 1.0_f64;
-            for m in 0..np {
-                *per_node.entry(self.rates[m].node).or_insert(0) += 1;
-                cpu_factor = cpu_factor.max(self.cpu_factor[m]);
-            }
+            let layout = self.world_layout;
             let topo = CollTopo {
                 inter: &self.cluster.topology.inter,
                 intra: &self.cluster.topology.intra,
                 np,
-                ppn: per_node.values().copied().max().unwrap_or(1),
-                nodes_used: per_node.len(),
-                cpu_factor,
+                ppn: layout.ppn,
+                nodes_used: layout.nodes_used,
+                cpu_factor: layout.cpu_factor,
             };
             topo.cost(CollOp::Barrier)
         } else {
@@ -1669,36 +1871,27 @@ impl<'a> Engine<'a> {
         let entry = self.ranks[r].clock;
         let seq = self.verify_count[r];
         self.verify_count[r] += 1;
-        if np > 1 {
-            let state = self.verifies.entry(seq).or_default();
-            state.push((r as Rank, entry));
-            if state.len() < np {
-                self.ranks[r].status = Status::BlockedColl { posted: entry };
-                return Ok(());
-            }
+        if np > 1 && self.verifies.arrive(seq, r as Rank, entry) < np {
+            self.ranks[r].status = Status::BlockedColl { posted: entry };
+            return Ok(());
         }
         let arrived = if np > 1 {
             self.verifies
-                .remove(&seq)
+                .take(seq)
                 .ok_or_else(|| SimError::Internal(format!("verify state missing at #{seq}")))?
         } else {
             vec![(r as Rank, entry)]
         };
         let max_entry = arrived.iter().map(|(_, t)| *t).max().unwrap_or(entry);
         let sync_secs = if np > 1 {
-            let mut per_node: HashMap<usize, usize> = HashMap::new();
-            let mut cpu_factor = 1.0_f64;
-            for m in 0..np {
-                *per_node.entry(self.rates[m].node).or_insert(0) += 1;
-                cpu_factor = cpu_factor.max(self.cpu_factor[m]);
-            }
+            let layout = self.world_layout;
             let topo = CollTopo {
                 inter: &self.cluster.topology.inter,
                 intra: &self.cluster.topology.intra,
                 np,
-                ppn: per_node.values().copied().max().unwrap_or(1),
-                nodes_used: per_node.len(),
-                cpu_factor,
+                ppn: layout.ppn,
+                nodes_used: layout.nodes_used,
+                cpu_factor: layout.cpu_factor,
             };
             topo.cost(CollOp::Barrier)
         } else {

@@ -33,6 +33,7 @@
 //! assert!(result.elapsed_secs() > 0.0);
 //! ```
 
+pub mod channels;
 pub mod collectives;
 pub mod engine;
 pub mod op;
@@ -42,8 +43,8 @@ pub mod result;
 pub use collectives::{ceil_log2, CollTopo};
 pub use engine::{run_job, SimConfig, SimError};
 pub use op::{
-    BlockProgram, CollOp, Group, JobMeta, JobSpec, Op, OpSource, Program, Rank, ReqId, SectionId,
-    Tag,
+    BlockProgram, CollOp, CyclicProgram, Group, JobMeta, JobSpec, Op, OpSource, Program, Rank,
+    ReqId, SectionId, Tag,
 };
 pub use prof::{IoKind, MpiKind, NullSink, ProfEvent, ProfSink};
 pub use result::{RankTotals, SimResult};
@@ -517,12 +518,12 @@ mod nonblocking_tests {
                         tag: 0,
                         req: 7,
                     },
-                    compute.clone(),
+                    compute,
                     Op::Wait { req: 7 },
                 ]
             } else {
                 vec![
-                    compute.clone(),
+                    compute,
                     Op::Recv {
                         from: 0,
                         bytes: big,

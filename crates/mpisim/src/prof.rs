@@ -121,6 +121,13 @@ pub enum ProfEvent {
 /// Receiver of profile events.
 pub trait ProfSink {
     fn on_event(&mut self, rank: usize, ev: ProfEvent);
+
+    /// Whether this sink consumes events at all. The engine checks once per
+    /// run and skips building `ProfEvent`s (timestamp conversions, section
+    /// lookups) on the hot path when the sink is a black hole.
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// Discards all events.
@@ -129,6 +136,10 @@ pub struct NullSink;
 
 impl ProfSink for NullSink {
     fn on_event(&mut self, _rank: usize, _ev: ProfEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -34,8 +34,9 @@ impl RankTotals {
 /// Outcome of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Workload name.
-    pub job: String,
+    /// Workload name, shared by refcount with the job's [`crate::JobMeta`]
+    /// (deref-coerces to `&str` wherever consumers want one).
+    pub job: std::sync::Arc<str>,
     /// Platform name.
     pub cluster: &'static str,
     /// Job wallclock: the maximum rank clock at completion.

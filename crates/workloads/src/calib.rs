@@ -12,6 +12,7 @@
 //! the reproduction.
 
 use sim_platform::{presets, Strategy};
+use std::sync::OnceLock;
 
 /// Effective rates of a single rank on a given cluster preset (flops/s,
 /// bytes/s) — computed from the model itself so the anchor stays consistent
@@ -24,25 +25,41 @@ fn serial_rates(cluster: &sim_platform::ClusterSpec) -> (f64, f64) {
     (r.flops_rate, r.mem_rate)
 }
 
+/// Memoized DCC anchor rates. Workload builders call these per emitted
+/// compute chunk, and re-deriving them means constructing the whole DCC
+/// preset and placing a rank each time — measurably hot when a streamed
+/// job regenerates millions of ops. The presets are compile-time constants,
+/// so caching the derived rates is exact.
+fn dcc_rates() -> (f64, f64) {
+    static RATES: OnceLock<(f64, f64)> = OnceLock::new();
+    *RATES.get_or_init(|| serial_rates(&presets::dcc()))
+}
+
+/// Memoized Vayu anchor rates (see [`dcc_rates`]).
+fn vayu_rates() -> (f64, f64) {
+    static RATES: OnceLock<(f64, f64)> = OnceLock::new();
+    *RATES.get_or_init(|| serial_rates(&presets::vayu()))
+}
+
 /// DCC single-rank effective flops rate (the Fig 3 anchor).
 pub fn dcc_serial_flops_rate() -> f64 {
-    serial_rates(&presets::dcc()).0
+    dcc_rates().0
 }
 
 /// DCC single-rank effective memory streaming rate.
 pub fn dcc_serial_mem_rate() -> f64 {
-    serial_rates(&presets::dcc()).1
+    dcc_rates().1
 }
 
 /// Vayu single-rank effective flops rate (anchor for the two applications,
 /// whose Fig 5/6 `t8` values are reported on Vayu).
 pub fn vayu_serial_flops_rate() -> f64 {
-    serial_rates(&presets::vayu()).0
+    vayu_rates().0
 }
 
 /// Vayu single-rank effective memory streaming rate.
 pub fn vayu_serial_mem_rate() -> f64 {
-    serial_rates(&presets::vayu()).1
+    vayu_rates().1
 }
 
 /// Convert "seconds of serial work on DCC" into (flops, bytes) totals given

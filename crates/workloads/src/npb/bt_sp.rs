@@ -10,7 +10,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::perfect_square;
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 /// Grid edge and iterations: (n, niter).
 pub fn dims(kernel: Kernel, class: Class) -> (usize, usize) {
@@ -41,6 +41,7 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
     let msg = face_cells * 5 * 8 * factor;
     // Per-iteration split: 3 directional solves + rhs.
     let share = 1.0 / (niter as f64 * 4.0);
+    let chunk = compute_chunk(kernel, class, np, share);
 
     let coord = move |r: usize| (r / q, r % q);
     let rank_of = move |i: usize, j: usize| (i * q + j) as u32;
@@ -78,10 +79,10 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
         .map(|r| {
             let (i, j) = coord(r);
             let me = r as u32;
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k < niter {
+            OpSource::cyclic(
+                CyclicProgram::new(niter, |ops| {
                     // RHS computation.
-                    ops.push(compute_chunk(kernel, class, np, share));
+                    ops.push(chunk);
                     if q > 1 {
                         // X sweep: forward ring shift along the row.
                         ring_shift(
@@ -93,7 +94,7 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
                             msg,
                             1,
                         );
-                        ops.push(compute_chunk(kernel, class, np, share));
+                        ops.push(chunk);
                         // Y sweep: forward ring shift along the column.
                         ring_shift(
                             ops,
@@ -104,7 +105,7 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
                             msg,
                             2,
                         );
-                        ops.push(compute_chunk(kernel, class, np, share));
+                        ops.push(chunk);
                         // Z sweep: diagonal ring shift (multi-partition).
                         ring_shift(
                             ops,
@@ -115,22 +116,20 @@ pub fn build(kernel: Kernel, class: Class, np: usize) -> JobSpec {
                             msg,
                             3,
                         );
-                        ops.push(compute_chunk(kernel, class, np, share));
+                        ops.push(chunk);
                     } else {
                         for _ in 0..3 {
-                            ops.push(compute_chunk(kernel, class, np, share));
+                            ops.push(chunk);
                         }
                     }
-                } else if k == niter {
+                })
+                .with_epilogue(|ops| {
                     // Verification norm.
                     if np > 1 {
                         ops.push(Op::Coll(CollOp::Allreduce { bytes: 40 }));
                     }
-                } else {
-                    return false;
-                }
-                true
-            }))
+                }),
+            )
         })
         .collect();
     JobSpec::from_sources(String::new(), sources, vec![])

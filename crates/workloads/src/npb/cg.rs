@@ -9,7 +9,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::{coord_of_2d, grid_2d, rank_of_2d};
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 /// Problem-size table: (na, nonzer, niter).
 pub fn dims(class: Class) -> (usize, usize, usize) {
@@ -33,18 +33,18 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     // Partial-vector exchange size: each rank holds na/px rows; the
     // transpose/reduce exchange moves that slab.
     let exch_bytes = (na / px).max(1) * 8;
+    // Every inner step's compute chunk is identical: build the op once
+    // here instead of re-deriving the calibration anchors per emitted op.
+    let chunk = compute_chunk(Kernel::Cg, class, np, share);
 
     // One block per outer iteration: 25 inner CG steps plus the norm. Only
     // one outer iteration per rank is ever resident.
     let sources = (0..np)
         .map(|r| {
             let (x, y) = coord_of_2d(r, py);
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k >= niter {
-                    return false;
-                }
+            OpSource::cyclic(CyclicProgram::new(niter, |ops| {
                 for _ in 0..CGIT {
-                    ops.push(compute_chunk(Kernel::Cg, class, np, share));
+                    ops.push(chunk);
                     // Transpose exchange: swap with the mirrored coordinate.
                     if px == py && px > 1 {
                         let partner = rank_of_2d(y, x, py);
@@ -93,7 +93,6 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                 if np > 1 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
                 }
-                true
             }))
         })
         .collect();

@@ -7,28 +7,24 @@
 //! EC2's fluctuations coming purely from jitter.
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 pub fn build(class: Class, np: usize) -> JobSpec {
     // Split the single big compute into a handful of chunks so hypervisor
     // jitter gets several chances to fire per rank, like the real kernel's
     // loop structure. One block per chunk, plus a final reduction block.
     const CHUNKS: usize = 16;
+    let chunk = compute_chunk(Kernel::Ep, class, np, 1.0 / CHUNKS as f64);
     let sources = (0..np)
         .map(|_| {
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k < CHUNKS {
-                    ops.push(compute_chunk(Kernel::Ep, class, np, 1.0 / CHUNKS as f64));
-                } else if k == CHUNKS {
+            OpSource::cyclic(
+                CyclicProgram::new(CHUNKS, |ops| ops.push(chunk)).with_epilogue(|ops| {
                     // sx+sy, the ten annulus counts, and the verification flag.
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 80 }));
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
-                } else {
-                    return false;
-                }
-                true
-            }))
+                }),
+            )
         })
         .collect();
     JobSpec::from_sources(String::new(), sources, vec![])

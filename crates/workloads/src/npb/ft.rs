@@ -8,7 +8,7 @@
 //! MPI_AlltoAll message sizes decreasing).
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 /// Grid dimensions and iteration count: (nx, ny, nz, niter).
 pub fn dims(class: Class) -> (usize, usize, usize, usize) {
@@ -29,43 +29,44 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     // One setup chunk plus two half-chunks per iteration, summing to 1.
     let share = 1.0 / (niter + 1) as f64;
 
+    // Hoisted chunk ops: the anchors behind them are loop-invariant.
+    let setup_chunk = compute_chunk(Kernel::Ft, class, np, share);
+    let half_chunk = compute_chunk(Kernel::Ft, class, np, share * 0.5);
+
     // Block 0 is the setup transform; blocks 1..=niter are the timesteps.
     let sources = (0..np)
         .map(|_| {
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k == 0 {
-                    // Initial data generation + first forward transform.
-                    ops.push(compute_chunk(Kernel::Ft, class, np, share));
+            OpSource::cyclic(
+                CyclicProgram::new(niter, |ops| {
+                    // Evolve + inverse 3-D FFT: local pencils, transpose,
+                    // local pencils again.
+                    ops.push(half_chunk);
                     if np > 1 {
                         ops.push(Op::Coll(CollOp::Alltoall {
                             bytes_per_pair: per_pair,
                         }));
                     }
-                    return true;
-                }
-                if k > niter {
-                    return false;
-                }
-                // Evolve + inverse 3-D FFT: local pencils, transpose, local
-                // pencils again.
-                ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Alltoall {
-                        bytes_per_pair: per_pair,
-                    }));
-                }
-                ops.push(compute_chunk(Kernel::Ft, class, np, share * 0.5));
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Alltoall {
-                        bytes_per_pair: per_pair,
-                    }));
-                }
-                // Checksum reduction.
-                if np > 1 {
-                    ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
-                }
-                true
-            }))
+                    ops.push(half_chunk);
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Alltoall {
+                            bytes_per_pair: per_pair,
+                        }));
+                    }
+                    // Checksum reduction.
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Allreduce { bytes: 16 }));
+                    }
+                })
+                .with_prologue(|ops| {
+                    // Initial data generation + first forward transform.
+                    ops.push(setup_chunk);
+                    if np > 1 {
+                        ops.push(Op::Coll(CollOp::Alltoall {
+                            bytes_per_pair: per_pair,
+                        }));
+                    }
+                }),
+            )
         })
         .collect();
     JobSpec::from_sources(String::new(), sources, vec![])

@@ -7,7 +7,7 @@
 //! with DCC spending ~98% of walltime in MPI at 64 processes.
 
 use super::{compute_chunk, Class, Kernel};
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 /// Number of keys per class (2^x) and iterations.
 pub fn dims(class: Class) -> (u64, usize) {
@@ -35,14 +35,16 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let total_bytes = (nkeys * 4) as usize;
     let per_pair = (total_bytes * HOT_PAIR_FACTOR / (np * np)).max(1);
     let share = 1.0 / niter as f64;
+    let bucket_chunk = compute_chunk(Kernel::Is, class, np, share * 0.6);
+    let rank_chunk = compute_chunk(Kernel::Is, class, np, share * 0.4);
 
     // One block per sort iteration, plus a final verification block.
     let sources = (0..np)
         .map(|_| {
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k < niter {
+            OpSource::cyclic(
+                CyclicProgram::new(niter, |ops| {
                     // Local bucketing.
-                    ops.push(compute_chunk(Kernel::Is, class, np, share * 0.6));
+                    ops.push(bucket_chunk);
                     if np > 1 {
                         // Histogram allreduce: NBUCKETS 4-byte counts.
                         ops.push(Op::Coll(CollOp::Allreduce {
@@ -54,17 +56,15 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                         }));
                     }
                     // Local ranking of received keys.
-                    ops.push(compute_chunk(Kernel::Is, class, np, share * 0.4));
-                } else if k == niter {
+                    ops.push(rank_chunk);
+                })
+                .with_epilogue(|ops| {
                     // Full verification.
                     if np > 1 {
                         ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
                     }
-                } else {
-                    return false;
-                }
-                true
-            }))
+                }),
+            )
         })
         .collect();
     JobSpec::from_sources(String::new(), sources, vec![])

@@ -41,6 +41,8 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     // Work split: 2 sweeps dominate (~80%), the RHS/halo phase the rest.
     let sweep_share = 0.4 / (chunks * niter) as f64;
     let rhs_share = 0.2 / niter as f64;
+    let sweep_chunk = compute_chunk(Kernel::Lu, class, np, sweep_share);
+    let rhs_chunk = compute_chunk(Kernel::Lu, class, np, rhs_share);
 
     // One block per SSOR iteration (both triangular sweeps + RHS).
     let sources = (0..np)
@@ -68,7 +70,7 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                             tag,
                         });
                     }
-                    ops.push(compute_chunk(Kernel::Lu, class, np, sweep_share));
+                    ops.push(sweep_chunk);
                     if x + 1 < px {
                         ops.push(Op::Send {
                             to: rank_of_2d(x + 1, y, py),
@@ -101,7 +103,7 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                             tag,
                         });
                     }
-                    ops.push(compute_chunk(Kernel::Lu, class, np, sweep_share));
+                    ops.push(sweep_chunk);
                     if x > 0 {
                         ops.push(Op::Send {
                             to: rank_of_2d(x - 1, y, py),
@@ -118,7 +120,7 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                     }
                 }
                 // RHS computation with a four-neighbour halo exchange.
-                ops.push(compute_chunk(Kernel::Lu, class, np, rhs_share));
+                ops.push(rhs_chunk);
                 let mut halo = |dx: i64, dy: i64, bytes: usize, tag: u32| {
                     let nx = x as i64 + dx;
                     let ny = y as i64 + dy;

@@ -7,7 +7,7 @@
 
 use super::{compute_chunk, Class, Kernel};
 use crate::util::{grid_3d, ring_exchange};
-use sim_mpi::{BlockProgram, CollOp, JobSpec, Op, OpSource};
+use sim_mpi::{CollOp, CyclicProgram, JobSpec, Op, OpSource};
 
 /// Grid edge and iterations: (n, niter).
 pub fn dims(class: Class) -> (usize, usize) {
@@ -30,6 +30,12 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let weights: Vec<f64> = (0..levels).map(|d| 0.125f64.powi(d as i32)).collect();
     // Normalise so one full run (down + up sweeps x niter) sums to 1.
     let wsum: f64 = 2.0 * weights.iter().sum::<f64>() * niter as f64;
+    // Per-level compute chunks, derived once: every V-cycle charges the
+    // same weighted chunk at a given depth.
+    let level_chunks: Vec<Op> = weights
+        .iter()
+        .map(|w| compute_chunk(Kernel::Mg, class, np, w / wsum))
+        .collect();
 
     // Rank coordinates in the (px, py, pz) grid; row-major.
     let coord = move |r: usize| -> (usize, usize, usize) { (r / (py * pz), (r / pz) % py, r % pz) };
@@ -39,7 +45,7 @@ pub fn build(class: Class, np: usize) -> JobSpec {
     let sources = (0..np)
         .map(|r| {
             let (x, y, z) = coord(r);
-            let weights = weights.clone();
+            let level_chunks = level_chunks.clone();
             // Neighbour exchange along each decomposed dimension at `level`.
             let halo = move |ops: &mut Vec<Op>, depth: usize| {
                 let nl = (n >> depth).max(2);
@@ -86,24 +92,20 @@ pub fn build(class: Class, np: usize) -> JobSpec {
                     );
                 }
             };
-            OpSource::streamed(BlockProgram::new(move |k, ops: &mut Vec<Op>| {
-                if k >= niter {
-                    return false;
-                }
+            OpSource::cyclic(CyclicProgram::new(niter, |ops| {
                 // Down-sweep then up-sweep.
-                for (depth, w) in weights.iter().enumerate() {
-                    ops.push(compute_chunk(Kernel::Mg, class, np, w / wsum));
+                for (depth, &chunk) in level_chunks.iter().enumerate() {
+                    ops.push(chunk);
                     halo(ops, depth);
                 }
-                for (depth, w) in weights.iter().enumerate().rev() {
-                    ops.push(compute_chunk(Kernel::Mg, class, np, w / wsum));
+                for (depth, &chunk) in level_chunks.iter().enumerate().rev() {
+                    ops.push(chunk);
                     halo(ops, depth);
                 }
                 // Residual-norm reduction per iteration.
                 if np > 1 {
                     ops.push(Op::Coll(CollOp::Allreduce { bytes: 8 }));
                 }
-                true
             }))
         })
         .collect();

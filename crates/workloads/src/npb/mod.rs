@@ -273,7 +273,7 @@ impl Workload for Npb {
             Kernel::Bt => bt_sp::build(Kernel::Bt, self.class, np),
             Kernel::Sp => bt_sp::build(Kernel::Sp, self.class, np),
         };
-        job.meta.name = self.name();
+        job.meta.name = self.name().into();
         job
     }
 }

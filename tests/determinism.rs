@@ -286,3 +286,246 @@ fn streamed_programs_rewind_to_identical_traces() {
         assert_eq!(first, second, "{}", w.name());
     }
 }
+
+/// Profiling must be observation-only: running with a collecting IPM sink
+/// and with `NullSink` (which lets the engine skip building `ProfEvent`s
+/// entirely) must produce identical simulation results.
+#[test]
+fn profiling_does_not_perturb_results() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Npb::new(Kernel::Cg, Class::S)),
+        Box::new(MetUm { timesteps: 2 }),
+    ];
+    for w in &workloads {
+        for c in [presets::vayu(), presets::dcc()] {
+            let mut job = w.build(16);
+            let cfg = SimConfig::default();
+            let bare = run_job(&mut job, &c, &cfg, &mut NullSink).unwrap();
+            let (profiled, _report) = profile_run(&mut job, &c, &cfg).unwrap();
+            assert_eq!(bare.elapsed, profiled.elapsed, "{} on {}", w.name(), c.name);
+            assert_eq!(bare.ops_executed, profiled.ops_executed);
+            for (x, y) in bare.ranks.iter().zip(&profiled.ranks) {
+                assert_eq!(x, y, "{} on {}", w.name(), c.name);
+            }
+        }
+    }
+}
+
+/// Hash-map iteration order must never reach results. The engine's maps
+/// are keyed with a deterministic hasher, but iteration order still
+/// depends on capacity and insertion history — so a run that starts from
+/// a different ambient heap/map state (here: after simulating unrelated
+/// jobs of various sizes first) would diverge if any result-bearing code
+/// path iterated a map. A cold-process run and a "dirty" in-process rerun
+/// must match exactly.
+#[test]
+fn ambient_state_does_not_leak_into_results() {
+    let c = presets::vayu();
+    let cfg = SimConfig::default();
+    let run_cg = || {
+        let mut job = Npb::new(Kernel::Cg, Class::S).build(16);
+        run_job(&mut job, &c, &cfg, &mut NullSink).unwrap()
+    };
+    let cold = run_cg();
+    // Perturb: different workloads, rank counts and a profiled run grow
+    // and shuffle every internal table before the rerun.
+    for np in [8usize, 32, 64] {
+        let mut job = Npb::new(Kernel::Is, Class::S).build(np);
+        run_job(&mut job, &c, &cfg, &mut NullSink).unwrap();
+    }
+    let mut job = MetUm { timesteps: 2 }.build(32);
+    profile_run(&mut job, &c, &cfg).unwrap();
+    let dirty = run_cg();
+    assert_eq!(cold.elapsed, dirty.elapsed);
+    assert_eq!(cold.ops_executed, dirty.ops_executed);
+    for (x, y) in cold.ranks.iter().zip(&dirty.ranks) {
+        assert_eq!(x, y);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-digest regression pinning.
+//
+// The engine hot path has been optimized repeatedly (streamed programs,
+// indexed channels, memoized collective layouts, compute-op fusion, the
+// event-queue fast path). Every optimization must be *unobservable*: the
+// same job on the same platform with the same seed must produce a
+// bit-identical `SimResult` and an identical IPM report. These tests pin
+// digests of both across seeds x workloads x platforms — including runs
+// with fault injection and silent-data-corruption recovery — against
+// `tests/golden_digests.txt`, which was recorded with the pre-optimization
+// engine. Any fast path that changes a single clock tick, ledger entry or
+// report line fails here.
+//
+// Regenerate (only when an *intentional* semantic change lands) with:
+//     UPDATE_GOLDEN=1 cargo test --test determinism golden -- --ignored --nocapture
+// (the update writer is the same test; it rewrites the file in place).
+
+mod golden {
+    use cloudsim::prelude::*;
+    use cloudsim::workloads::osu::OsuCollective;
+
+    const GOLDEN_PATH: &str = "tests/golden_digests.txt";
+
+    /// FNV-1a, 64-bit: stable, dependency-free content digest.
+    struct Fnv(u64);
+    impl Fnv {
+        fn new() -> Self {
+            Fnv(0xcbf29ce484222325)
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+        fn u64(&mut self, v: u64) {
+            self.write(&v.to_le_bytes());
+        }
+    }
+
+    /// Digest every numeric field of a `SimResult`, in nanosecond ticks —
+    /// bit-exact, no float formatting in the loop.
+    fn digest_result(r: &SimResult) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(r.elapsed.0);
+        h.u64(r.ops_executed);
+        h.u64(r.restarts);
+        h.u64(r.rollbacks);
+        h.u64(r.shrinks);
+        h.u64(r.sdc_detected);
+        h.u64(r.sdc_undetected);
+        for t in &r.ranks {
+            h.u64(t.wall.0);
+            h.u64(t.comp.0);
+            h.u64(t.comm.0);
+            h.u64(t.io.0);
+            h.u64(t.fault.0);
+        }
+        h.0
+    }
+
+    /// Digest the rendered IPM report — sections, call hash, banners.
+    fn digest_report(rep: &IpmReport) -> u64 {
+        let mut h = Fnv::new();
+        h.write(rep.to_text().as_bytes());
+        h.0
+    }
+
+    /// The pinned matrix: every entry is (label, digest_sim, digest_ipm).
+    fn compute_digests() -> Vec<(String, u64, u64)> {
+        let mut out = Vec::new();
+        let platforms = [presets::vayu(), presets::dcc(), presets::ec2()];
+
+        // Fault-free: CG, MetUM and an OSU collective, profiled, 8 seeds.
+        let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+            ("cg.S.np16", Box::new(Npb::new(Kernel::Cg, Class::S))),
+            ("metum.2ts.np16", Box::new(MetUm { timesteps: 2 })),
+            ("osu.allreduce4.np8", Box::new(OsuCollective::allreduce(4))),
+        ];
+        for (label, w) in &workloads {
+            let np = if label.ends_with("np8") { 8 } else { 16 };
+            let mut job = w.build(np);
+            for c in &platforms {
+                for seed in 0..8u64 {
+                    let cfg = SimConfig {
+                        seed,
+                        ..Default::default()
+                    };
+                    let (r, rep) = profile_run(&mut job, c, &cfg).unwrap();
+                    out.push((
+                        format!("{label}/{}/seed{seed}", c.name),
+                        digest_result(&r),
+                        digest_report(&rep),
+                    ));
+                }
+            }
+        }
+
+        // Faulted: preempt-heavy CG with checkpoints, and SDC with ABFT
+        // verification cuts — the recovery paths the fast paths must not
+        // perturb. Profiled so FAULT/RESTART/VERIFY attribution is pinned.
+        let w = Npb::new(Kernel::Cg, Class::S);
+        let vw = Verified::new(&w, VerifyPolicy::new(2, 1e6, 1 << 20));
+        let ck = Checkpointed::new(&vw, CheckpointPolicy::new(5, 1 << 20));
+        let mut job = ck.build(16);
+        for c in &platforms {
+            let preset = FaultSpec::preset_for(c);
+            let spec = FaultSpec {
+                model: preset
+                    .model
+                    .clone()
+                    .with_rates_scaled(3600.0 * 500.0)
+                    .with_sdc(3600.0 * 200.0, 1.0),
+                horizon_secs: 30.0,
+                recovery: RecoveryStrategy::AbftRollback,
+                // Generous budget: crash windows at x500 scale must stall,
+                // not abort, so the digests cover long retry chains.
+                retry: RetryPolicy {
+                    timeout_secs: 1.0,
+                    backoff: 2.0,
+                    max_retries: 500,
+                    max_delay_secs: 3600.0,
+                },
+                ..preset
+            };
+            for seed in 0..8u64 {
+                let cfg = SimConfig {
+                    seed,
+                    faults: Some(spec.clone()),
+                    ..Default::default()
+                };
+                let (r, rep) = profile_run(&mut job, c, &cfg).unwrap();
+                out.push((
+                    format!("cg.S.np16+faults+sdc/{}/seed{seed}", c.name),
+                    digest_result(&r),
+                    digest_report(&rep),
+                ));
+            }
+        }
+        out
+    }
+
+    fn render(digests: &[(String, u64, u64)]) -> String {
+        let mut s = String::from(
+            "# Golden SimResult + IPM digests, recorded with the pre-optimization engine.\n\
+             # label\tsim_digest\tipm_digest\n",
+        );
+        for (label, sim, ipm) in digests {
+            s.push_str(&format!("{label}\t{sim:016x}\t{ipm:016x}\n"));
+        }
+        s
+    }
+
+    /// The regression gate: every digest must match the committed file.
+    #[test]
+    fn golden_digests_are_bit_identical() {
+        let digests = compute_digests();
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(GOLDEN_PATH, render(&digests)).unwrap();
+            eprintln!("golden: wrote {} entries to {GOLDEN_PATH}", digests.len());
+            return;
+        }
+        let committed = std::fs::read_to_string(GOLDEN_PATH)
+            .expect("tests/golden_digests.txt missing — run with UPDATE_GOLDEN=1 to record");
+        let mut want = std::collections::BTreeMap::new();
+        for line in committed.lines() {
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let mut it = line.split('\t');
+            let label = it.next().unwrap().to_string();
+            let sim = u64::from_str_radix(it.next().unwrap(), 16).unwrap();
+            let ipm = u64::from_str_radix(it.next().unwrap(), 16).unwrap();
+            want.insert(label, (sim, ipm));
+        }
+        assert_eq!(want.len(), digests.len(), "golden entry count drifted");
+        for (label, sim, ipm) in &digests {
+            let (wsim, wipm) = want
+                .get(label)
+                .unwrap_or_else(|| panic!("no golden entry for {label}"));
+            assert_eq!(sim, wsim, "{label}: SimResult digest changed");
+            assert_eq!(ipm, wipm, "{label}: IPM report digest changed");
+        }
+    }
+}

@@ -26,7 +26,7 @@ fn overlap_pipeline_through_the_facade() {
                 tag: 0,
                 req: 0,
             },
-            compute.clone(),
+            compute,
             Op::Wait { req: 0 },
         ];
         progs[lc] = vec![
@@ -36,7 +36,7 @@ fn overlap_pipeline_through_the_facade() {
                 tag: 0,
                 req: 0,
             },
-            compute.clone(),
+            compute,
             Op::Wait { req: 0 },
         ];
         let mut job = JobSpec::from_programs("overlap", progs, vec![]);
