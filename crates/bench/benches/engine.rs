@@ -168,11 +168,44 @@ fn main() {
         run("engine_cg_smoke/np1024", 6, &mut job, &vayu);
     }
 
+    {
+        // Scheduler throughput: jobs scheduled per second through the
+        // sim-sched DES (EASY + rack-aware + contention on the dcc fabric).
+        // Pure discrete-event work — no MPI engine in the loop — so it
+        // tracks the cost of reservations, placement and rate recomputes.
+        use cloudsim::sim_net::ContentionParams;
+        use cloudsim::sim_sched::{
+            lublin_mix, simulate_site, Discipline, NodePool, PlacementPolicy, SiteConfig,
+        };
+        let dcc = presets::dcc();
+        let n_jobs = 2_000usize;
+        let jobs = lublin_mix(n_jobs, 32, 1.2, 42);
+        let cfg = SiteConfig {
+            pool: NodePool::partition_of(&dcc, 32),
+            placement: PlacementPolicy::RackAware,
+            discipline: Discipline::Easy,
+            contention: ContentionParams::for_fabric(&dcc.topology.inter),
+        };
+        let name = "sched_throughput/jobs2000";
+        let iters = 10 * scale;
+        let per_iter = bench_throughput(name, iters, n_jobs as u64, || {
+            simulate_site(&jobs, &cfg).outcomes.len()
+        });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops: n_jobs as u64,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: n_jobs as f64 / per_iter,
+        });
+    }
+
     let calib = calibrate();
     println!("{:<48} {calib:>12.0} calib-iters/s", "machine_calibration");
     let mut file = EngineBenchFile {
         fingerprint: "synthetic np8 x20000 / np64 x2000 exchange+allreduce; compute-heavy np16 \
-                      x2000; cg.S np=1024 on vayu; SimConfig::default seed"
+                      x2000; cg.S np=1024 on vayu; SimConfig::default seed; sched easy+rack-aware \
+                      2000 lublin jobs on dcc/32"
             .to_string(),
         calib_ops_per_sec: calib,
         results: records,

@@ -31,9 +31,13 @@ pub mod advisor;
 pub mod experiment;
 pub mod figures;
 pub mod plot;
-pub mod pricing;
 pub mod scheduler;
 pub mod table;
+
+/// Platform price models now live with the scheduler subsystem
+/// (`sim-sched` uses them for burst budgeting); re-exported here so
+/// `cloudsim::pricing::PriceModel` keeps working.
+pub use sim_sched::pricing;
 
 pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
 pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
@@ -41,14 +45,16 @@ pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
     all_figures, faultsweep, faultsweep_points, fig1_osu_bandwidth, fig2_osu_latency,
     fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance,
-    recoverysweep, recoverysweep_points, tab2_npb_comm, tab3_metum, FaultPoint, RecoveryPoint,
-    ReproConfig, DEFAULT_SEED, FAULTSWEEP_SCALES, RECOVERYSWEEP_SDC_PER_NODE,
+    recoverysweep, recoverysweep_points, schedsweep, schedsweep_points, tab2_npb_comm, tab3_metum,
+    FaultPoint, RecoveryPoint, ReproConfig, SchedPoint, DEFAULT_SEED, FAULTSWEEP_SCALES,
+    RECOVERYSWEEP_SDC_PER_NODE, SCHEDSWEEP_LOADS, SCHEDSWEEP_NODES,
 };
 pub use plot::AsciiChart;
 pub use pricing::PriceModel;
 pub use scheduler::{
-    arrive_f_table, simulate_queue, simulate_queue_preemptible, synthetic_mix, Capacities, Job,
-    Policy, Preemption, QueueStats, Site,
+    arrive_f_rerun_table, arrive_f_table, contended_mix, contended_sites, simulate_queue,
+    simulate_queue_preemptible, synthetic_mix, Capacities, Job, Policy, Preemption, QueueStats,
+    Site,
 };
 pub use table::{fmt_pct, fmt_ratio, fmt_secs, Table};
 
@@ -61,6 +67,7 @@ pub use sim_mpi;
 pub use sim_net;
 pub use sim_platform;
 pub use sim_platform::presets;
+pub use sim_sched;
 pub use workloads;
 
 /// Everything most programs need.

@@ -1,0 +1,138 @@
+//! Scheduler-level attribution report: what each job's turnaround was
+//! spent on — queue wait, useful runtime, contention inflation, work lost
+//! to preemptions. The scheduler crate (`sim-sched`) builds these; this
+//! module is pure data + formatting, mirroring [`crate::IpmReport`]'s
+//! banner style so batch reports and per-run reports read alike.
+
+use std::fmt::Write as _;
+
+/// Attribution for one scheduled job.
+#[derive(Debug, Clone)]
+pub struct SchedJobRow {
+    pub id: usize,
+    pub name: String,
+    pub nodes: usize,
+    /// Seconds between submission and (final) start.
+    pub wait: f64,
+    /// Actual elapsed seconds of the completed run.
+    pub runtime: f64,
+    /// Seconds of the run added by link contention.
+    pub contention_inflation: f64,
+    /// Nominal seconds of completed work destroyed by preemptions.
+    pub preempt_loss: f64,
+    pub completed: bool,
+}
+
+/// A batch-level report over one site's (or one multi-site run's) jobs.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    pub site: String,
+    pub rows: Vec<SchedJobRow>,
+}
+
+impl SchedReport {
+    pub fn mean_wait(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        self.rows.iter().map(|r| r.wait).sum::<f64>() / n
+    }
+
+    pub fn total_inflation(&self) -> f64 {
+        self.rows.iter().map(|r| r.contention_inflation).sum()
+    }
+
+    pub fn total_preempt_loss(&self) -> f64 {
+        self.rows.iter().map(|r| r.preempt_loss).sum()
+    }
+
+    /// IPM-like text banner: one row per job, then the batch totals.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "##IPM-sched{}", "#".repeat(61));
+        let _ = writeln!(out, "# site      : {}", self.site);
+        let _ = writeln!(out, "# jobs      : {}", self.rows.len());
+        let _ = writeln!(
+            out,
+            "# mean wait : {:.2} s   contention loss: {:.2} s   preempt loss: {:.2} s",
+            self.mean_wait(),
+            self.total_inflation(),
+            self.total_preempt_loss()
+        );
+        let _ = writeln!(out, "#");
+        let _ = writeln!(
+            out,
+            "# {:>5} {:<18} {:>5} {:>12} {:>12} {:>12} {:>12}  state",
+            "job", "name", "nodes", "wait_s", "run_s", "contention_s", "preempt_s"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "# {:>5} {:<18} {:>5} {:>12.2} {:>12.2} {:>12.2} {:>12.2}  {}",
+                r.id,
+                r.name,
+                r.nodes,
+                r.wait,
+                r.runtime,
+                r.contention_inflation,
+                r.preempt_loss,
+                if r.completed { "done" } else { "killed" }
+            );
+        }
+        let _ = writeln!(out, "{}", "#".repeat(72));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SchedReport {
+        SchedReport {
+            site: "dcc".into(),
+            rows: vec![
+                SchedJobRow {
+                    id: 0,
+                    name: "cg.A".into(),
+                    nodes: 2,
+                    wait: 10.0,
+                    runtime: 130.0,
+                    contention_inflation: 30.0,
+                    preempt_loss: 0.0,
+                    completed: true,
+                },
+                SchedJobRow {
+                    id: 1,
+                    name: "ep.A".into(),
+                    nodes: 4,
+                    wait: 30.0,
+                    runtime: 50.0,
+                    contention_inflation: 0.0,
+                    preempt_loss: 25.0,
+                    completed: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_rows() {
+        let r = report();
+        assert!((r.mean_wait() - 20.0).abs() < 1e-12);
+        assert!((r.total_inflation() - 30.0).abs() < 1e-12);
+        assert!((r.total_preempt_loss() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banner_mentions_the_attribution_columns() {
+        let text = report().to_text();
+        for needle in [
+            "IPM-sched",
+            "mean wait",
+            "contention_s",
+            "preempt_s",
+            "cg.A",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+}

@@ -23,7 +23,7 @@ use crate::prof::{IoKind, MpiKind, ProfEvent, ProfSink};
 use crate::result::{RankTotals, SimResult};
 use sim_des::{DetRng, EventQueue, FxHashMap, SimDur, SimTime};
 use sim_faults::{FaultSchedule, FaultSpec, RecoveryStrategy, RetryPolicy, SdcEvent};
-use sim_net::{cost, SerialResource};
+use sim_net::{cost, ContentionParams, SerialResource};
 use sim_platform::{ClusterSpec, Placement, PlacementError, RankRates, Strategy};
 
 /// Errors a simulation can produce.
@@ -83,6 +83,12 @@ pub struct SimConfig {
     /// schedule generates no windows are both exact no-ops: the run is
     /// bit-identical to a fault-free one.
     pub faults: Option<FaultSpec>,
+    /// Optional co-tenant load sharing this job's inter-node links (set by
+    /// the cluster scheduler when jobs overlap on a switch or uplink).
+    /// `None` (the default) and a background whose multiplier is exactly 1
+    /// are both exact no-ops: a job running alone is bit-identical to a
+    /// pre-multi-tenancy run.
+    pub background: Option<Background>,
 }
 
 impl Default for SimConfig {
@@ -92,7 +98,43 @@ impl Default for SimConfig {
             strategy: Strategy::Block,
             validate: true,
             faults: None,
+            background: None,
         }
+    }
+}
+
+/// Co-tenant traffic competing with a job for its inter-node fabric.
+///
+/// The engine folds the contention into the run by degrading the cluster's
+/// *inter*-node [`sim_net::FabricParams`] once, up front, by the model's
+/// multiplier — every point-to-point, exchange, collective and NIC
+/// occupancy path then inherits the slowdown through the ordinary cost
+/// algebra. Intra-node (shared-memory) traffic is unaffected, matching the
+/// physical picture: co-tenants contend for switch ports, not a victim's
+/// memory bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Background {
+    /// Effective number of *other* communication-active tenants on the
+    /// job's links; fractional values weight part-time communicators.
+    pub sharers: f64,
+    /// Contention model, normally [`ContentionParams::for_fabric`] of the
+    /// cluster's inter fabric so engine and scheduler agree.
+    pub params: ContentionParams,
+}
+
+impl Background {
+    /// Build a background load using `cluster`'s own inter-fabric
+    /// sensitivity.
+    pub fn on_cluster(cluster: &ClusterSpec, sharers: f64) -> Background {
+        Background {
+            sharers,
+            params: ContentionParams::for_fabric(&cluster.topology.inter),
+        }
+    }
+
+    /// The slowdown multiplier applied to the inter-node fabric.
+    pub fn factor(&self) -> f64 {
+        self.params.multiplier(self.sharers)
     }
 }
 
@@ -287,6 +329,19 @@ pub fn run_job(
     if np == 0 {
         return Err(SimError::Validation("empty job: zero ranks".into()));
     }
+    // Fold any co-tenant contention into the inter-node fabric up front.
+    // A factor of exactly 1 takes the borrowed path, keeping solo runs
+    // bit-identical to pre-multi-tenancy builds.
+    let factor = cfg.background.map_or(1.0, |b| b.factor());
+    let contended;
+    let cluster = if factor > 1.0 {
+        let mut c = cluster.clone();
+        c.topology.inter = c.topology.inter.degraded(factor);
+        contended = c;
+        &contended
+    } else {
+        cluster
+    };
     let placement = cluster.place(np, cfg.strategy)?;
     let rates = cluster.rank_rates(&placement);
     job.rewind();
@@ -1999,6 +2054,103 @@ mod engine_tests {
             (1.8..2.2).contains(&(both / solo)),
             "solo {solo} both {both}"
         );
+    }
+
+    #[test]
+    fn background_none_and_unit_factor_are_bit_identical() {
+        // A `background` of `None` and one whose multiplier is exactly 1
+        // must both take the borrowed-cluster path: solo runs stay
+        // bit-identical to pre-multi-tenancy builds.
+        let d = presets::dcc();
+        let mk = || {
+            let mut progs = vec![vec![]; 16];
+            for r in 0..16u32 {
+                progs[r as usize] = vec![
+                    Op::Compute {
+                        flops: 1e7,
+                        bytes: 1e6,
+                    },
+                    Op::Exchange {
+                        partner: r ^ 8,
+                        send_bytes: 1 << 18,
+                        recv_bytes: 1 << 18,
+                        tag: 0,
+                    },
+                    Op::Coll(CollOp::Allreduce { bytes: 4096 }),
+                ];
+            }
+            job(progs)
+        };
+        let plain = run_job(&mut mk(), &d, &SimConfig::default(), &mut NullSink).unwrap();
+        let zero_bg = SimConfig {
+            background: Some(Background::on_cluster(&d, 0.0)),
+            ..SimConfig::default()
+        };
+        let quiet = run_job(&mut mk(), &d, &zero_bg, &mut NullSink).unwrap();
+        assert_eq!(plain.elapsed, quiet.elapsed);
+        for (a, b) in plain.ranks.iter().zip(&quiet.ranks) {
+            assert_eq!(a.comm, b.comm);
+            assert_eq!(a.comp, b.comp);
+        }
+    }
+
+    #[test]
+    fn background_contention_inflates_comm_not_compute() {
+        // With co-tenants on the links, inter-node communication slows by
+        // the contention multiplier while pure compute is untouched.
+        let d = presets::dcc();
+        let comm_job = || {
+            // Ranks 0..8 on node 0 exchange with 8..16 on node 1.
+            let mut progs = vec![vec![]; 16];
+            for r in 0..16u32 {
+                progs[r as usize] = vec![
+                    Op::Exchange {
+                        partner: r ^ 8,
+                        send_bytes: 1 << 20,
+                        recv_bytes: 1 << 20,
+                        tag: 0,
+                    };
+                    8
+                ];
+            }
+            job(progs)
+        };
+        let compute_job = || {
+            job(vec![
+                vec![Op::Compute {
+                    flops: 1e9,
+                    bytes: 1e6,
+                }];
+                16
+            ])
+        };
+        let bg = Background::on_cluster(&d, 3.0);
+        let contended = SimConfig {
+            background: Some(bg),
+            ..SimConfig::default()
+        };
+        let solo_comm = run_job(&mut comm_job(), &d, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let shared_comm = run_job(&mut comm_job(), &d, &contended, &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let ratio = shared_comm / solo_comm;
+        let factor = bg.factor();
+        assert!(factor > 1.3, "DCC beta should bite: {factor}");
+        // Comm-bound job: observed inflation tracks the fabric multiplier
+        // (wire time dominates; overheads dilute it slightly).
+        assert!(
+            ratio > 1.0 + 0.6 * (factor - 1.0) && ratio <= factor + 1e-9,
+            "ratio {ratio} vs factor {factor}"
+        );
+        let solo_comp = run_job(&mut compute_job(), &d, &SimConfig::default(), &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        let shared_comp = run_job(&mut compute_job(), &d, &contended, &mut NullSink)
+            .unwrap()
+            .elapsed_secs();
+        assert_eq!(solo_comp, shared_comp, "compute must be unaffected");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod prof;
 pub mod result;
 
 pub use collectives::{ceil_log2, CollTopo};
-pub use engine::{run_job, SimConfig, SimError};
+pub use engine::{run_job, Background, SimConfig, SimError};
 pub use op::{
     BlockProgram, CollOp, CyclicProgram, Group, JobMeta, JobSpec, Op, OpSource, Program, Rank,
     ReqId, SectionId, Tag,

@@ -1,0 +1,96 @@
+//! Cross-job link contention.
+//!
+//! When several jobs share an interconnect link — a leaf switch's uplink,
+//! a vSwitch, a placement group's fabric — each one sees the link's
+//! effective LogGP terms degrade. This module is the *single* model of
+//! that effect, shared by two layers:
+//!
+//! * the MPI engine (`sim-mpi`) degrades a run's inter-node fabric by the
+//!   multiplier when a background co-tenant load is configured, and
+//! * the cluster scheduler (`sim-sched`) uses the same multiplier
+//!   analytically to inflate the communication fraction of co-located
+//!   jobs' runtimes.
+//!
+//! Keeping one formula in one place is what lets the scheduler's analytic
+//! model be validated against the engine (see the cross-validation test in
+//! `tests/sched_invariants.rs`).
+
+use crate::params::FabricParams;
+
+/// Parameters of the linear-in-sharers contention model.
+///
+/// A link with `s` *other* communication-active tenants slows each
+/// tenant's traffic by `1 + beta * s`, capped at `cap`. The linear shape
+/// matches the regime the paper's platforms operate in (far from wire
+/// saturation, software packet paths dominate); the cap models the floor
+/// that per-flow fair-sharing puts under throughput collapse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionParams {
+    /// Slowdown added per co-tenant communication-active flow.
+    pub beta: f64,
+    /// Upper bound on the multiplier (>= 1).
+    pub cap: f64,
+}
+
+impl ContentionParams {
+    /// No cross-job interference at all (`multiplier` is constant 1).
+    pub const NONE: ContentionParams = ContentionParams {
+        beta: 0.0,
+        cap: 1.0,
+    };
+
+    /// Derive contention sensitivity from a fabric's bandwidth: slow
+    /// software-switched fabrics (DCC's vSwitch GigE) degrade steeply per
+    /// co-tenant, hardware-offloaded fat fabrics (Vayu's QDR IB) barely
+    /// notice a neighbour. `beta = sqrt(5e7 / bandwidth)`, clamped to
+    /// [0.02, 0.6]: ~0.63→0.6 for 1 GigE-class, ~0.2 for virtualized
+    /// 10 GigE, ~0.12 for QDR IB.
+    pub fn for_fabric(fabric: &FabricParams) -> ContentionParams {
+        let beta = (5.0e7 / fabric.bandwidth).sqrt().clamp(0.02, 0.6);
+        ContentionParams { beta, cap: 2.5 }
+    }
+
+    /// The slowdown multiplier seen with `sharers` *other* active tenants
+    /// on the link. `sharers` may be fractional (a tenant that spends only
+    /// part of its time communicating counts pro rata).
+    pub fn multiplier(&self, sharers: f64) -> f64 {
+        if self.beta <= 0.0 || sharers <= 0.0 {
+            return 1.0;
+        }
+        (1.0 + self.beta * sharers).min(self.cap.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_tenant_is_exactly_uncontended() {
+        let p = ContentionParams::for_fabric(&FabricParams::gige_vswitch());
+        assert_eq!(p.multiplier(0.0), 1.0);
+        assert_eq!(ContentionParams::NONE.multiplier(7.0), 1.0);
+    }
+
+    #[test]
+    fn multiplier_monotone_and_capped() {
+        let p = ContentionParams::for_fabric(&FabricParams::ten_gige_virt());
+        let mut last = 1.0;
+        for s in 0..40 {
+            let m = p.multiplier(s as f64);
+            assert!(m >= last);
+            assert!(m <= p.cap);
+            last = m;
+        }
+        assert_eq!(p.multiplier(1000.0), p.cap);
+    }
+
+    #[test]
+    fn slower_fabrics_are_more_contention_sensitive() {
+        let ib = ContentionParams::for_fabric(&FabricParams::qdr_infiniband());
+        let ten = ContentionParams::for_fabric(&FabricParams::ten_gige_virt());
+        let gige = ContentionParams::for_fabric(&FabricParams::gige_vswitch());
+        assert!(ib.beta < ten.beta);
+        assert!(ten.beta < gige.beta);
+    }
+}

@@ -7,11 +7,13 @@
 //! ([`SerialResource`], [`FairShareResource`]) that the MPI runtime layers
 //! on top.
 
+pub mod contention;
 pub mod cost;
 pub mod params;
 pub mod resource;
 pub mod topology;
 
+pub use contention::ContentionParams;
 pub use cost::{
     expected_one_way_time, one_way_time, pingpong_half_rtt, protocol, recv_occupancy,
     send_occupancy, shared_wire_time, streaming_bandwidth, wire_time, Protocol,

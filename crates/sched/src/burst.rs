@@ -1,0 +1,478 @@
+//! Multi-site scheduling with ARRIVE-F-style cloud bursting.
+//!
+//! Site 0 is the home HPC partition; the rest are burst targets. A job is
+//! relocated at submission time only (ARRIVE-F relocates at schedule time):
+//! if the home partition can't start it right away, it is cloud-friendly
+//! enough, and a cloud site has idle room within budget, it goes to the
+//! cloud site with the best predicted runtime. Each site then runs its own
+//! queue discipline, placement policy and contention model from
+//! [`crate::site`].
+//!
+//! Cloud sites are revocable: a started job draws a spot time-to-preempt;
+//! if it fires first the run is lost (checkpointing can salvage completed
+//! intervals) and the job requeues at the back of the home partition —
+//! the conservative recovery, since the home site can always run it. The
+//! wait clock keeps running from the original submission.
+
+use crate::pool::{NodePool, PlacementPolicy};
+use crate::pricing::PriceModel;
+use crate::site::{Departure, Discipline, JobView, SiteState};
+use sim_des::{DetRng, EventQueue, SimTime};
+use sim_net::ContentionParams;
+
+/// RNG stream tag for spot-preemption draws. Matches the historical
+/// single-queue implementation so preemption realisations are preserved
+/// across the port.
+const PREEMPT_STREAM: u64 = 0x9EE2_0000;
+
+/// One schedulable site.
+#[derive(Debug, Clone)]
+pub struct BurstSite {
+    pub name: &'static str,
+    pub nodes: usize,
+    /// Nodes per rack (= leaf switch radix); `nodes` for one big switch.
+    pub rack_size: usize,
+    pub placement: PlacementPolicy,
+    pub discipline: Discipline,
+    pub contention: ContentionParams,
+    pub price: PriceModel,
+    /// Walltime estimate as a multiple of nominal runtime. Must cover the
+    /// contention cap when `contention` is active (jobs are killed at
+    /// their walltime).
+    pub walltime_factor: f64,
+    /// Spot revocations per node-hour; 0 = non-revocable.
+    pub preempt_per_node_hour: f64,
+}
+
+impl BurstSite {
+    /// A plain FCFS, contention-free, non-revocable site — the historical
+    /// single-queue model's site semantics.
+    pub fn plain(name: &'static str, nodes: usize, price: PriceModel) -> BurstSite {
+        BurstSite {
+            name,
+            nodes,
+            rack_size: nodes.max(1),
+            placement: PlacementPolicy::Packed,
+            discipline: Discipline::Fcfs,
+            contention: ContentionParams::NONE,
+            price,
+            walltime_factor: 1.0,
+            preempt_per_node_hour: 0.0,
+        }
+    }
+}
+
+/// One job in a multi-site mix.
+#[derive(Debug, Clone)]
+pub struct BurstJob {
+    pub id: usize,
+    pub name: String,
+    pub nodes: usize,
+    pub submit: f64,
+    /// Predicted nominal runtime on each site, seconds.
+    pub runtime: Vec<f64>,
+    pub comm_fraction: f64,
+    /// Profiled cloud-friendliness in `[0, 1]`.
+    pub friendliness: f64,
+}
+
+/// Where bursting is allowed and on what terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BurstPolicy {
+    /// All jobs queue on the home partition.
+    HpcOnly,
+    /// Burst jobs with friendliness >= `threshold` when home is busy.
+    CloudBurst { threshold: f64 },
+    /// Burst only within a per-job spot budget.
+    CostAwareBurst { threshold: f64, max_dollars: f64 },
+}
+
+/// Spot preemption on the cloud sites' revocable capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptSpec {
+    pub seed: u64,
+}
+
+/// Periodic checkpointing: a preempted job retains its last completed
+/// `interval`-sized chunk of work and pays `restore_cost` to resume on the
+/// home partition. Without it a preemption loses the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointSpec {
+    pub interval: f64,
+    pub restore_cost: f64,
+}
+
+/// Final outcome of one job.
+#[derive(Debug, Clone)]
+pub struct BurstOutcome {
+    pub id: usize,
+    /// Site index the job finally completed on.
+    pub site: usize,
+    pub wait: f64,
+    /// Nominal runtime billed on the final site.
+    pub runtime: f64,
+    /// Actual minus nominal elapsed on the final run (contention).
+    pub inflation: f64,
+    /// Nominal seconds of completed work destroyed by preemptions.
+    pub preempt_loss: f64,
+    pub cost: f64,
+    pub completed: bool,
+}
+
+/// Aggregate metrics of a multi-site simulation.
+#[derive(Debug, Clone)]
+pub struct BurstStats {
+    pub jobs: Vec<BurstOutcome>,
+    pub mean_wait: f64,
+    pub mean_turnaround: f64,
+    pub burst_fraction: f64,
+    pub preemptions: usize,
+    pub total_cost: f64,
+    /// Summed over sites; must stay 0 for EASY/conservative.
+    pub head_delay_violations: usize,
+}
+
+/// Simulate a job stream over `sites` under `policy`. Deterministic.
+pub fn simulate_burst(
+    jobs: &[BurstJob],
+    sites: &[BurstSite],
+    policy: BurstPolicy,
+    preempt: Option<PreemptSpec>,
+    checkpoint: Option<CheckpointSpec>,
+) -> BurstStats {
+    assert!(!sites.is_empty(), "need at least the home site");
+    for j in jobs {
+        assert_eq!(j.runtime.len(), sites.len(), "job {} runtimes", j.id);
+    }
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Submit(usize),
+        Wake { site: usize, gen: u64 },
+    }
+    // Per-site views of every job (site-specific runtimes/walltimes);
+    // requeues after a preemption rewrite the home-site view.
+    let mut views: Vec<Vec<JobView>> = sites
+        .iter()
+        .enumerate()
+        .map(|(s, site)| {
+            jobs.iter()
+                .map(|j| JobView {
+                    nodes: j.nodes,
+                    runtime: j.runtime[s],
+                    walltime: j.runtime[s] * site.walltime_factor,
+                    comm_fraction: j.comm_fraction,
+                    submit: j.submit,
+                })
+                .collect()
+        })
+        .collect();
+    let mut states: Vec<SiteState> = sites
+        .iter()
+        .map(|s| {
+            SiteState::new(
+                NodePool::new(s.nodes, s.rack_size),
+                s.placement,
+                s.discipline,
+                s.contention,
+                jobs.len(),
+            )
+        })
+        .collect();
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, j) in jobs.iter().enumerate() {
+        q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
+    }
+    let mut out: Vec<Option<BurstOutcome>> = vec![None; jobs.len()];
+    let mut preempt_loss = vec![0.0f64; jobs.len()];
+    let mut bursts = 0usize;
+    let mut preemptions = 0usize;
+
+    // One scheduling pass on a site at `now`: departures, preemptions,
+    // starts (arming spot timers), rate recompute, wake rescheduling.
+    // Returns jobs to requeue on the home site.
+    let step = |site: usize,
+                now: f64,
+                states: &mut Vec<SiteState>,
+                views: &mut Vec<Vec<JobView>>,
+                out: &mut Vec<Option<BurstOutcome>>,
+                preempt_loss: &mut Vec<f64>,
+                preemptions: &mut usize,
+                q: &mut EventQueue<Ev>|
+     -> Vec<usize> {
+        let st = &mut states[site];
+        // Spot revocations first: a preempted run never completes
+        // (matching the historical model, where a drawn preemption
+        // replaced the completion event outright).
+        let mut requeue = Vec::new();
+        for (job, _start, remaining) in st.take_preempted(now) {
+            *preemptions += 1;
+            let nominal = views[site][job].runtime;
+            let done = (nominal - remaining).max(0.0);
+            let retained = match checkpoint {
+                Some(ck) if ck.interval > 0.0 => (done / ck.interval).floor() * ck.interval,
+                _ => 0.0,
+            };
+            preempt_loss[job] += done - retained;
+            // Requeue on the home partition for the unfinished fraction
+            // (plus the restore cost, if any work was salvaged).
+            let frac_left = if nominal > 0.0 {
+                1.0 - retained / nominal
+            } else {
+                0.0
+            };
+            let home_nominal = jobs[job].runtime[0] * frac_left
+                + if retained > 0.0 {
+                    checkpoint.map_or(0.0, |ck| ck.restore_cost)
+                } else {
+                    0.0
+                };
+            views[0][job].runtime = home_nominal;
+            views[0][job].walltime = home_nominal * sites[0].walltime_factor;
+            out[job] = None;
+            requeue.push(job);
+        }
+        for dep in st.departures(now) {
+            let (job, start, end, completed) = match dep {
+                Departure::Completed { job, start, end } => (job, start, end, true),
+                Departure::Killed { job, start, end } => (job, start, end, false),
+            };
+            let v = &views[site][job];
+            let elapsed = end - start;
+            out[job] = Some(BurstOutcome {
+                id: jobs[job].id,
+                site,
+                wait: (start - jobs[job].submit).max(0.0),
+                runtime: v.runtime,
+                inflation: (elapsed - v.runtime).max(0.0),
+                preempt_loss: preempt_loss[job],
+                cost: sites[site].price.spot_cost(jobs[job].nodes, elapsed),
+                completed,
+            });
+        }
+        st.started.clear();
+        st.try_start(now, &views[site]);
+        let started = std::mem::take(&mut st.started);
+        for &(job, start, _wait) in &started {
+            // Revocable capacity: draw the instance's time-to-preempt; if
+            // it fires before the nominal runtime, the run dies mid-flight.
+            let rate = sites[site].preempt_per_node_hour;
+            if site != 0 && rate > 0.0 {
+                if let Some(p) = preempt {
+                    let mut rng = DetRng::new(p.seed, PREEMPT_STREAM ^ job as u64);
+                    let mean = 3600.0 / (rate * jobs[job].nodes as f64);
+                    let t = rng.exponential(mean);
+                    if t < views[site][job].runtime {
+                        st.set_preempt_at(job, start + t);
+                    }
+                }
+            }
+        }
+        st.recompute_rates();
+        st.wake_gen += 1;
+        if let Some(te) = st.next_event() {
+            q.push(
+                SimTime::from_secs_f64(te.max(now)),
+                Ev::Wake {
+                    site,
+                    gen: st.wake_gen,
+                },
+            );
+        }
+        requeue
+    };
+
+    while let Some((t, ev)) = q.pop() {
+        let now = t.as_secs_f64();
+        let site = match ev {
+            Ev::Submit(i) => {
+                let j = &jobs[i];
+                let mut site = 0usize;
+                let burst_params = match policy {
+                    BurstPolicy::HpcOnly => None,
+                    BurstPolicy::CloudBurst { threshold } => Some((threshold, f64::INFINITY)),
+                    BurstPolicy::CostAwareBurst {
+                        threshold,
+                        max_dollars,
+                    } => Some((threshold, max_dollars)),
+                };
+                if let Some((threshold, max_dollars)) = burst_params {
+                    // Burst only when the home partition can't start the
+                    // job right now and an idle cloud site can.
+                    let home_busy =
+                        states[0].pool.free_count() < j.nodes || !states[0].queue.is_empty();
+                    if home_busy && j.friendliness >= threshold {
+                        let mut best: Option<usize> = None;
+                        for cand in 1..sites.len() {
+                            if states[cand].pool.free_count() >= j.nodes
+                                && states[cand].queue.is_empty()
+                            {
+                                let cost = sites[cand].price.spot_cost(j.nodes, j.runtime[cand]);
+                                if cost > max_dollars {
+                                    continue;
+                                }
+                                let better =
+                                    best.map(|b| j.runtime[cand] < j.runtime[b]).unwrap_or(true);
+                                if better {
+                                    best = Some(cand);
+                                }
+                            }
+                        }
+                        if let Some(b) = best {
+                            site = b;
+                            bursts += 1;
+                        }
+                    }
+                }
+                states[site].advance(now);
+                states[site].queue.push_back(i);
+                site
+            }
+            Ev::Wake { site, gen } => {
+                if gen != states[site].wake_gen {
+                    continue;
+                }
+                states[site].advance(now);
+                site
+            }
+        };
+        let requeue = step(
+            site,
+            now,
+            &mut states,
+            &mut views,
+            &mut out,
+            &mut preempt_loss,
+            &mut preemptions,
+            &mut q,
+        );
+        if !requeue.is_empty() {
+            states[0].advance(now);
+            for job in requeue {
+                states[0].queue.push_back(job);
+            }
+            let more = step(
+                0,
+                now,
+                &mut states,
+                &mut views,
+                &mut out,
+                &mut preempt_loss,
+                &mut preemptions,
+                &mut q,
+            );
+            debug_assert!(more.is_empty(), "home partition is non-revocable");
+        }
+    }
+
+    let jobs_out: Vec<BurstOutcome> = out
+        .into_iter()
+        .map(|o| o.expect("every job completes"))
+        .collect();
+    let n = jobs_out.len().max(1) as f64;
+    BurstStats {
+        mean_wait: jobs_out.iter().map(|s| s.wait).sum::<f64>() / n,
+        mean_turnaround: jobs_out.iter().map(|s| s.wait + s.runtime).sum::<f64>() / n,
+        burst_fraction: bursts as f64 / n,
+        preemptions,
+        total_cost: jobs_out.iter().map(|s| s.cost).sum(),
+        head_delay_violations: states.iter().map(|s| s.head_delay_violations).sum(),
+        jobs: jobs_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites() -> Vec<BurstSite> {
+        vec![
+            BurstSite::plain("hpc", 8, PriceModel::hpc_service_units()),
+            BurstSite::plain("dcc", 4, PriceModel::private_cloud()),
+            BurstSite {
+                preempt_per_node_hour: 0.0,
+                ..BurstSite::plain("ec2", 2, PriceModel::ec2_2012())
+            },
+        ]
+    }
+
+    fn quick_jobs() -> Vec<BurstJob> {
+        (0..8)
+            .map(|i| BurstJob {
+                id: i,
+                name: format!("j{i}"),
+                nodes: 4,
+                submit: i as f64,
+                runtime: vec![100.0, 140.0, 160.0],
+                comm_fraction: 0.0,
+                friendliness: if i % 2 == 0 { 0.9 } else { 0.1 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bursting_cuts_waits_and_respects_threshold() {
+        let hpc = simulate_burst(&quick_jobs(), &sites(), BurstPolicy::HpcOnly, None, None);
+        let burst = simulate_burst(
+            &quick_jobs(),
+            &sites(),
+            BurstPolicy::CloudBurst { threshold: 0.5 },
+            None,
+            None,
+        );
+        assert!(burst.mean_wait < hpc.mean_wait);
+        assert!(burst.burst_fraction > 0.0);
+        for s in &burst.jobs {
+            if s.id % 2 == 1 {
+                assert_eq!(s.site, 0, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_salvages_preempted_work() {
+        let mut sites = sites();
+        // Hot revocation on both clouds: every cloud run dies.
+        sites[1].preempt_per_node_hour = 1e6;
+        sites[2].preempt_per_node_hour = 1e6;
+        let policy = BurstPolicy::CloudBurst { threshold: 0.5 };
+        let p = Some(PreemptSpec { seed: 11 });
+        let lost = simulate_burst(&quick_jobs(), &sites, policy, p, None);
+        assert!(lost.preemptions > 0);
+        // With an absurdly hostile rate the kill lands in the first
+        // instants: nothing was completed, so checkpointing salvages
+        // nothing and requeued runtimes match the no-checkpoint case.
+        let ck = simulate_burst(
+            &quick_jobs(),
+            &sites,
+            policy,
+            p,
+            Some(CheckpointSpec {
+                interval: 10.0,
+                restore_cost: 5.0,
+            }),
+        );
+        assert_eq!(lost.preemptions, ck.preemptions);
+        for (a, b) in lost.jobs.iter().zip(&ck.jobs) {
+            assert!(b.runtime <= a.runtime + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cloud_runs_are_billed() {
+        let burst = simulate_burst(
+            &quick_jobs(),
+            &sites(),
+            BurstPolicy::CloudBurst { threshold: 0.5 },
+            None,
+            None,
+        );
+        let cloud_cost: f64 = burst
+            .jobs
+            .iter()
+            .filter(|s| s.site != 0)
+            .map(|s| s.cost)
+            .sum();
+        assert!(cloud_cost > 0.0);
+        assert!(burst.total_cost >= cloud_cost);
+    }
+}

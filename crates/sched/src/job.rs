@@ -1,0 +1,133 @@
+//! Jobs as the scheduler sees them, and a synthetic arrival mix.
+
+use sim_des::DetRng;
+
+/// One job submitted to a single-site scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedJob {
+    pub id: usize,
+    pub name: String,
+    /// Nodes the job occupies.
+    pub nodes: usize,
+    /// Submission time, seconds.
+    pub submit: f64,
+    /// Nominal (uncontended) runtime on this site, seconds.
+    pub runtime: f64,
+    /// User-supplied walltime estimate, seconds. The scheduler's
+    /// reservations are computed from this, never from `runtime`: walltimes
+    /// are static upper bounds (the job is killed when it exceeds one), so
+    /// reservations cannot move when contention stretches actual runtimes —
+    /// which is what makes the EASY invariant provable. Must be >=
+    /// `runtime` times the worst-case contention multiplier.
+    pub walltime: f64,
+    /// Fraction of the nominal runtime spent in inter-node communication,
+    /// in `[0, 1]`. This is what link contention acts on.
+    pub comm_fraction: f64,
+}
+
+impl SchedJob {
+    /// A job with `walltime` defaulted to a safely padded estimate (3x the
+    /// nominal runtime covers the contention model's cap of 2.5).
+    pub fn new(id: usize, nodes: usize, submit: f64, runtime: f64, comm_fraction: f64) -> SchedJob {
+        SchedJob {
+            id,
+            name: format!("job{id}"),
+            nodes,
+            submit,
+            runtime,
+            walltime: runtime * 3.0,
+            comm_fraction,
+        }
+    }
+}
+
+/// A Lublin-style synthetic mix: power-of-two biased node counts,
+/// log-uniform service times, Poisson arrivals scaled so `load` = 1
+/// saturates a `pool_nodes`-node pool. Deterministic in `seed`.
+///
+/// (Lublin & Feitelson's workload model is the standard synthetic stand-in
+/// for production batch traces; we keep its qualitative shape — many small
+/// short jobs, few wide long ones — without the full hyper-Gamma fit.)
+pub fn lublin_mix(n_jobs: usize, pool_nodes: usize, load: f64, seed: u64) -> Vec<SchedJob> {
+    assert!(pool_nodes >= 1 && load > 0.0);
+    let mut rng = DetRng::new(seed, 0x0010_B114);
+    // Widest job: a quarter of the pool (power of two), at least 1 node.
+    let max_pow = (pool_nodes / 4).max(1).ilog2();
+    // Shape pass: sample sizes and service times first so the arrival rate
+    // can be scaled to the mix's actual mean demand.
+    let shapes: Vec<(usize, f64, f64)> = (0..n_jobs)
+        .map(|_| {
+            // Power-of-two bias: exponent uniform, so each doubling is
+            // equally likely and small jobs dominate node-count mass.
+            let pow = rng.index(max_pow as usize + 1) as u32;
+            let nodes = (1usize << pow).min(pool_nodes);
+            // Log-uniform service time over 30 s .. 3000 s.
+            let runtime = 30.0 * (100.0_f64).powf(rng.uniform());
+            // Wide jobs lean communication-heavy (halo exchanges grow with
+            // the process grid); narrow ones compute-bound.
+            let cf = (0.05 + 0.5 * rng.uniform() + 0.05 * pow as f64).min(0.85);
+            (nodes, runtime, cf)
+        })
+        .collect();
+    let mean_node_secs =
+        shapes.iter().map(|(n, r, _)| *n as f64 * r).sum::<f64>() / n_jobs.max(1) as f64;
+    let mean_interarrival = mean_node_secs / (pool_nodes as f64 * load);
+
+    let mut t = 0.0;
+    shapes
+        .into_iter()
+        .enumerate()
+        .map(|(id, (nodes, runtime, cf))| {
+            t += rng.exponential(mean_interarrival);
+            SchedJob {
+                id,
+                name: format!("job{id}"),
+                nodes,
+                submit: t,
+                runtime,
+                // Walltime pad: 2.5x (the contention cap) plus user
+                // sloppiness — real estimates are notoriously loose.
+                walltime: runtime * (2.5 + 1.5 * rng.uniform()),
+                comm_fraction: cf,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_well_formed() {
+        let a = lublin_mix(100, 32, 1.0, 7);
+        let b = lublin_mix(100, 32, 1.0, 7);
+        assert_eq!(a.len(), 100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.runtime, y.runtime);
+        }
+        let mut last = 0.0;
+        for j in &a {
+            assert!(
+                j.nodes >= 1 && j.nodes <= 8,
+                "quarter-pool cap: {}",
+                j.nodes
+            );
+            assert!(j.nodes.is_power_of_two());
+            assert!((30.0..=3000.0).contains(&j.runtime));
+            assert!(j.walltime >= 2.5 * j.runtime);
+            assert!((0.0..=1.0).contains(&j.comm_fraction));
+            assert!(j.submit >= last);
+            last = j.submit;
+        }
+    }
+
+    #[test]
+    fn higher_load_packs_arrivals_tighter() {
+        let lo = lublin_mix(200, 32, 0.5, 3);
+        let hi = lublin_mix(200, 32, 2.0, 3);
+        assert!(hi.last().unwrap().submit < lo.last().unwrap().submit);
+    }
+}

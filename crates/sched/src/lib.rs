@@ -1,0 +1,82 @@
+//! `sim-sched` — a multi-tenant cluster scheduler over the simulator.
+//!
+//! Turns the one-job-at-a-time instrument into a cluster-scale system: a
+//! stream of jobs is scheduled onto a shared node pool per platform with
+//!
+//! * **queue disciplines** — FCFS, EASY backfill and conservative
+//!   backfill ([`Discipline`], [`simulate_site`]), with walltime estimates
+//!   and the EASY invariant (backfilled jobs never delay the queue head's
+//!   reservation);
+//! * **placement policies** — packed, scattered, rack-aware
+//!   ([`PlacementPolicy`]) over the platform's switch topology, where
+//!   co-located jobs sharing links pay the contention multiplier
+//!   ([`sim_net::ContentionParams`] — the same model the MPI engine
+//!   applies to a run's fabric when given a background load);
+//! * **cloud bursting** — ARRIVE-F-style relocation across sites with
+//!   spot preemption, checkpoint/restart requeue costs and price-model
+//!   accounting ([`simulate_burst`], [`pricing::PriceModel`]).
+//!
+//! Per-job attribution (queue wait, contention inflation, preemption loss)
+//! feeds the IPM-style [`sim_ipm::SchedReport`] via [`sched_report`].
+
+pub mod burst;
+pub mod job;
+pub mod pool;
+pub mod pricing;
+pub mod site;
+
+pub use burst::{
+    simulate_burst, BurstJob, BurstOutcome, BurstPolicy, BurstSite, BurstStats, CheckpointSpec,
+    PreemptSpec,
+};
+pub use job::{lublin_mix, SchedJob};
+pub use pool::{share_links, NodePool, PlacementPolicy};
+pub use pricing::PriceModel;
+pub use site::{simulate_site, Discipline, JobOutcome, SiteConfig, SiteResult};
+
+use sim_ipm::{SchedJobRow, SchedReport};
+
+/// Build the IPM-style scheduler report from a single-site result.
+pub fn sched_report(site: &str, jobs: &[SchedJob], result: &SiteResult) -> SchedReport {
+    let rows = jobs
+        .iter()
+        .zip(&result.outcomes)
+        .map(|(j, o)| SchedJobRow {
+            id: j.id,
+            name: j.name.clone(),
+            nodes: j.nodes,
+            wait: o.wait,
+            runtime: (o.end - o.start).max(0.0),
+            contention_inflation: o.inflation,
+            preempt_loss: 0.0,
+            completed: o.completed,
+        })
+        .collect();
+    SchedReport {
+        site: site.to_string(),
+        rows,
+    }
+}
+
+/// Build the IPM-style scheduler report from a multi-site burst result,
+/// attributing each job to the site it finally ran on.
+pub fn burst_report(sites: &[BurstSite], jobs: &[BurstJob], stats: &BurstStats) -> SchedReport {
+    let rows = jobs
+        .iter()
+        .zip(&stats.jobs)
+        .map(|(j, o)| SchedJobRow {
+            id: j.id,
+            name: format!("{}@{}", j.name, sites[o.site].name),
+            nodes: j.nodes,
+            wait: o.wait,
+            runtime: o.runtime + o.inflation,
+            contention_inflation: o.inflation,
+            preempt_loss: o.preempt_loss,
+            completed: o.completed,
+        })
+        .collect();
+    SchedReport {
+        site: "multi-site".to_string(),
+        rows,
+    }
+}

@@ -1,0 +1,300 @@
+//! The shared node pool: racks, free lists and placement policies.
+//!
+//! Rack structure comes from the platform's interconnect topology
+//! ([`sim_net::Shape`]): a fat tree's leaf radix partitions nodes into
+//! racks behind shared uplinks; a single switch is one big rack. Placement
+//! decides which free nodes a job gets, which in turn decides which jobs
+//! share links — and therefore who pays contention (see
+//! [`crate::site`]).
+
+use sim_net::topology::Shape;
+use sim_platform::ClusterSpec;
+
+/// How a job's nodes are chosen from the free pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Lowest-numbered free nodes first. Dense, cache-friendly for the
+    /// scheduler, incidentally rack-local for small jobs.
+    Packed,
+    /// One node per rack, round-robin — the worst case for link sharing,
+    /// kept as the contention foil (and as what naive load balancers do).
+    Scattered,
+    /// Topology-aware: an idle rack that fits first (no co-tenants on the
+    /// leaf switch at all), else the best-fitting single rack, else the
+    /// fewest racks. Minimizes shared links.
+    RackAware,
+}
+
+impl PlacementPolicy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Packed => "packed",
+            PlacementPolicy::Scattered => "scattered",
+            PlacementPolicy::RackAware => "rack-aware",
+        }
+    }
+}
+
+/// A pool of identical nodes grouped into racks of `rack_size`.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    nodes: usize,
+    rack_size: usize,
+    free: Vec<bool>,
+    free_count: usize,
+}
+
+impl NodePool {
+    pub fn new(nodes: usize, rack_size: usize) -> NodePool {
+        assert!(nodes >= 1 && rack_size >= 1);
+        NodePool {
+            nodes,
+            rack_size,
+            free: vec![true; nodes],
+            free_count: nodes,
+        }
+    }
+
+    /// Derive the pool from a platform preset: fat-tree leaf radix =
+    /// rack size; a single switch is one rack.
+    pub fn from_cluster(cluster: &ClusterSpec) -> NodePool {
+        let rack_size = match cluster.topology.shape {
+            Shape::SingleSwitch => cluster.nodes.max(1),
+            Shape::FatTree { radix, .. } => radix.max(1),
+        };
+        NodePool::new(cluster.nodes, rack_size)
+    }
+
+    /// A modeled partition of `nodes` nodes with the cluster's rack
+    /// granularity: fat-tree leaf radix racks, or one big rack behind a
+    /// single switch. Not capped at the preset's testbed size — schedulers
+    /// are studied on partitions scaled to the job mix, keeping only the
+    /// platform's topology *character*.
+    pub fn partition_of(cluster: &ClusterSpec, nodes: usize) -> NodePool {
+        let rack_size = match cluster.topology.shape {
+            Shape::SingleSwitch => nodes.max(1),
+            Shape::FatTree { radix, .. } => radix.max(1),
+        };
+        NodePool::new(nodes.max(1), rack_size)
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    pub fn rack_of(&self, node: usize) -> usize {
+        node / self.rack_size
+    }
+
+    pub fn n_racks(&self) -> usize {
+        self.nodes.div_ceil(self.rack_size)
+    }
+
+    /// Sorted, deduplicated rack ids spanned by a node set.
+    pub fn racks_of(&self, nodes: &[usize]) -> Vec<usize> {
+        let mut racks: Vec<usize> = nodes.iter().map(|&n| self.rack_of(n)).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+
+    /// Allocate `n` free nodes under `policy`. Always succeeds when
+    /// `free_count >= n` (policies shape preference order, never
+    /// feasibility).
+    pub fn alloc(&mut self, n: usize, policy: PlacementPolicy) -> Option<Vec<usize>> {
+        if n == 0 || n > self.free_count {
+            return None;
+        }
+        let picked = match policy {
+            PlacementPolicy::Packed => self.pick_packed(n),
+            PlacementPolicy::Scattered => self.pick_scattered(n),
+            PlacementPolicy::RackAware => self.pick_rack_aware(n),
+        };
+        debug_assert_eq!(picked.len(), n);
+        for &node in &picked {
+            debug_assert!(self.free[node]);
+            self.free[node] = false;
+        }
+        self.free_count -= n;
+        Some(picked)
+    }
+
+    pub fn release(&mut self, nodes: &[usize]) {
+        for &node in nodes {
+            debug_assert!(!self.free[node]);
+            self.free[node] = true;
+        }
+        self.free_count += nodes.len();
+    }
+
+    fn pick_packed(&self, n: usize) -> Vec<usize> {
+        (0..self.nodes).filter(|&i| self.free[i]).take(n).collect()
+    }
+
+    fn pick_scattered(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        // Round-robin across racks: offset-major traversal takes at most
+        // one node per rack per sweep.
+        for offset in 0..self.rack_size {
+            for rack in 0..self.n_racks() {
+                let node = rack * self.rack_size + offset;
+                if node < self.nodes && self.free[node] {
+                    out.push(node);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pick_rack_aware(&self, n: usize) -> Vec<usize> {
+        let n_racks = self.n_racks();
+        let mut free_per_rack = vec![0usize; n_racks];
+        for i in 0..self.nodes {
+            if self.free[i] {
+                free_per_rack[self.rack_of(i)] += 1;
+            }
+        }
+        let rack_capacity = |r: usize| (self.nodes - r * self.rack_size).min(self.rack_size);
+        // An idle rack avoids leaf-switch co-tenancy entirely; failing
+        // that, best-fit into an occupied rack (the fullest one that still
+        // takes the whole job, keeping big holes intact for wide jobs).
+        let idle = (0..n_racks)
+            .filter(|&r| free_per_rack[r] >= n && free_per_rack[r] == rack_capacity(r))
+            .min_by_key(|&r| free_per_rack[r]);
+        let single = idle.or_else(|| {
+            (0..n_racks)
+                .filter(|&r| free_per_rack[r] >= n)
+                .min_by_key(|&r| free_per_rack[r])
+        });
+        let rack_order: Vec<usize> = match single {
+            Some(r) => {
+                let mut order = vec![r];
+                order.extend((0..n_racks).filter(|&x| x != r));
+                order
+            }
+            None => {
+                // Spill across the fewest racks: emptiest racks first.
+                let mut order: Vec<usize> = (0..n_racks).collect();
+                order.sort_by_key(|&r| std::cmp::Reverse(free_per_rack[r]));
+                order
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for rack in rack_order {
+            let lo = rack * self.rack_size;
+            let hi = (lo + self.rack_size).min(self.nodes);
+            for node in lo..hi {
+                if self.free[node] {
+                    out.push(node);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether two placements contend for interconnect links: they share a
+/// rack (its leaf switch), or both span racks (both load the spine).
+pub fn share_links(racks_a: &[usize], racks_b: &[usize]) -> bool {
+    if racks_a.len() > 1 && racks_b.len() > 1 {
+        return true;
+    }
+    // Both sorted: linear intersection test.
+    let (mut i, mut j) = (0, 0);
+    while i < racks_a.len() && j < racks_b.len() {
+        match racks_a[i].cmp(&racks_b[j]) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_fills_low_nodes() {
+        let mut p = NodePool::new(16, 4);
+        assert_eq!(p.alloc(3, PlacementPolicy::Packed).unwrap(), vec![0, 1, 2]);
+        assert_eq!(p.alloc(2, PlacementPolicy::Packed).unwrap(), vec![3, 4]);
+        assert_eq!(p.free_count(), 11);
+    }
+
+    #[test]
+    fn scattered_spreads_one_per_rack_first() {
+        let mut p = NodePool::new(16, 4);
+        let got = p.alloc(4, PlacementPolicy::Scattered).unwrap();
+        assert_eq!(got, vec![0, 4, 8, 12]);
+        assert_eq!(p.racks_of(&got).len(), 4);
+    }
+
+    #[test]
+    fn rack_aware_prefers_an_idle_rack() {
+        let mut p = NodePool::new(16, 4);
+        // Occupy half of rack 0: racks 1..3 are idle, rack 0 has a hole.
+        let first = p.alloc(2, PlacementPolicy::Packed).unwrap();
+        let got = p.alloc(3, PlacementPolicy::RackAware).unwrap();
+        assert_eq!(p.racks_of(&got), vec![1]);
+        // The next small job avoids both occupied racks: fresh leaf switch.
+        let small = p.alloc(2, PlacementPolicy::RackAware).unwrap();
+        assert_eq!(p.racks_of(&small), vec![2]);
+        // With no idle rack left that fits 4, best-fit lands in rack 3 and
+        // then the next job must reuse rack 0's hole.
+        let wide = p.alloc(4, PlacementPolicy::RackAware).unwrap();
+        assert_eq!(p.racks_of(&wide), vec![3]);
+        let hole = p.alloc(2, PlacementPolicy::RackAware).unwrap();
+        assert_eq!(p.racks_of(&hole), vec![0]);
+        p.release(&first);
+        p.release(&got);
+        p.release(&small);
+        p.release(&wide);
+        p.release(&hole);
+        assert_eq!(p.free_count(), 16);
+    }
+
+    #[test]
+    fn rack_aware_spills_over_fewest_racks() {
+        let mut p = NodePool::new(16, 4);
+        let wide = p.alloc(6, PlacementPolicy::RackAware).unwrap();
+        assert_eq!(p.racks_of(&wide).len(), 2);
+    }
+
+    #[test]
+    fn alloc_always_succeeds_when_nodes_suffice() {
+        for policy in [
+            PlacementPolicy::Packed,
+            PlacementPolicy::Scattered,
+            PlacementPolicy::RackAware,
+        ] {
+            let mut p = NodePool::new(13, 4); // ragged final rack
+            let a = p.alloc(7, policy).unwrap();
+            let b = p.alloc(6, policy).unwrap();
+            assert!(p.alloc(1, policy).is_none());
+            p.release(&a);
+            p.release(&b);
+            assert_eq!(p.free_count(), 13);
+        }
+    }
+
+    #[test]
+    fn link_sharing_rules() {
+        assert!(share_links(&[0], &[0]));
+        assert!(!share_links(&[0], &[1]));
+        assert!(share_links(&[0, 1], &[2, 3]), "both span the spine");
+        assert!(share_links(&[0, 1], &[1]));
+        assert!(!share_links(&[2], &[3]));
+    }
+}

@@ -1,0 +1,876 @@
+//! The single-site scheduling engine: queue disciplines over
+//! `sim_des::EventQueue`, with placement-aware link contention.
+//!
+//! # Disciplines
+//!
+//! * **FCFS** — strict: the queue head blocks everything behind it.
+//! * **EASY backfill** (Mu'alem & Feitelson) — the head gets a reservation
+//!   (*shadow time*: the earliest instant enough nodes are guaranteed free,
+//!   computed from running jobs' walltimes; *extra nodes*: what's left over
+//!   at the shadow). A later job may jump the queue iff it fits the free
+//!   nodes now **and** either finishes (by its walltime) before the shadow
+//!   or only uses extra nodes. Under that rule a backfill can never delay
+//!   the head's reservation — the EASY invariant.
+//! * **Conservative backfill** — every queued job holds a *persistent*
+//!   reservation against the walltime profile, quoted once on arrival in
+//!   FCFS order and thereafter only compressed (moved earlier when an early
+//!   completion opens a feasible earlier window, holding all other
+//!   reservations fixed); a job starts exactly when its reservation comes
+//!   due. No job is ever delayed past its first quoted start.
+//! * **NaiveBackfill** — the historically buggy rule this subsystem
+//!   replaced: backfill anything that fits the *currently free* nodes,
+//!   ignoring reservations. Kept (documented, non-default) as the
+//!   regression foil: it demonstrably delays the head (see
+//!   `tests/sched_invariants.rs`).
+//!
+//! # Contention
+//!
+//! Placements map to rack sets ([`NodePool::racks_of`]); running jobs that
+//! share links ([`share_links`]) inflate each other's communication via the
+//! shared [`ContentionParams`] model — the same formula the MPI engine
+//! applies when given a [`sim_mpi` `Background`] — so a job's progress rate
+//! is `1 / (1 - cf + cf * multiplier)`. Rates change only when the running
+//! set changes; completions are re-estimated at each such point through a
+//! generation-checked wake event (stale wakes are dropped).
+//!
+//! Reservations, by contrast, are computed from **static walltimes**, which
+//! are upper bounds on actual runtime by construction (walltime >= nominal
+//! runtime x the contention cap; a job that somehow exceeds its walltime is
+//! killed). That independence is what keeps the EASY invariant intact even
+//! though actual completion times move with the tenant mix.
+
+use crate::job::SchedJob;
+use crate::pool::{share_links, NodePool, PlacementPolicy};
+use sim_des::{EventQueue, SimTime};
+use sim_net::ContentionParams;
+use std::collections::VecDeque;
+
+/// Queue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    Fcfs,
+    Easy,
+    Conservative,
+    /// The free-nodes-only backfill rule (head-delay bug); regression foil.
+    NaiveBackfill,
+}
+
+impl Discipline {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::Fcfs => "fcfs",
+            Discipline::Easy => "easy",
+            Discipline::Conservative => "conservative",
+            Discipline::NaiveBackfill => "naive-backfill",
+        }
+    }
+}
+
+/// Tolerance for event-time comparisons (seconds). Covers the sub-ns
+/// residue of f64 -> `SimTime` grid rounding with orders of magnitude to
+/// spare against real scheduling timescales.
+const EPS: f64 = 1e-6;
+
+/// What the site scheduler needs to know about one job. Per-site view:
+/// multi-site simulations hold one per site with site-specific runtimes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobView {
+    pub nodes: usize,
+    /// Nominal (uncontended) runtime on this site.
+    pub runtime: f64,
+    /// Static walltime bound used for reservations and the kill timer.
+    pub walltime: f64,
+    pub comm_fraction: f64,
+    pub submit: f64,
+}
+
+impl JobView {
+    pub(crate) fn of(j: &SchedJob) -> JobView {
+        JobView {
+            nodes: j.nodes,
+            runtime: j.runtime,
+            walltime: j.walltime,
+            comm_fraction: j.comm_fraction,
+            submit: j.submit,
+        }
+    }
+}
+
+/// A job currently holding nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Running {
+    pub job: usize,
+    pub start: f64,
+    pub nodes_held: Vec<usize>,
+    racks: Vec<usize>,
+    /// Communication weight on shared links: `comm_fraction`, or 0 for
+    /// single-node jobs (no inter-node traffic).
+    eff_cf: f64,
+    /// Nominal seconds of work left.
+    remaining: f64,
+    /// Current slowdown factor (>= 1); progress rate is `1 / slowdown`.
+    slowdown: f64,
+    kill_at: f64,
+    /// Spot revocation time, if one was drawn (multi-site only).
+    pub preempt_at: Option<f64>,
+}
+
+/// Per-job result of a site simulation.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub id: usize,
+    pub start: f64,
+    pub end: f64,
+    pub wait: f64,
+    /// Actual minus nominal runtime: seconds lost to link contention.
+    pub inflation: f64,
+    /// False if the job hit its walltime and was killed.
+    pub completed: bool,
+}
+
+/// Aggregate result of [`simulate_site`].
+#[derive(Debug, Clone)]
+pub struct SiteResult {
+    /// Outcomes in input-job order.
+    pub outcomes: Vec<JobOutcome>,
+    pub makespan: f64,
+    pub mean_wait: f64,
+    pub total_inflation: f64,
+    /// Jobs that started later than the reservation recorded when they
+    /// first blocked at the head (EASY/conservative: must stay 0; the
+    /// naive rule trips it).
+    pub head_delay_violations: usize,
+    /// `(job index, reserved start)` as first quoted; for invariant tests.
+    pub reservations: Vec<(usize, f64)>,
+}
+
+/// State of one site's scheduler: pool + queue + running set.
+pub(crate) struct SiteState {
+    pub pool: NodePool,
+    pub placement: PlacementPolicy,
+    pub discipline: Discipline,
+    pub contention: ContentionParams,
+    pub queue: VecDeque<usize>,
+    pub running: Vec<Running>,
+    /// Simulation time of the last work-accounting advance.
+    clock: f64,
+    /// Wake-event generation; stale wakes are dropped.
+    pub wake_gen: u64,
+    /// First-quoted reservation per job (None = never quoted).
+    pub reserved: Vec<Option<f64>>,
+    /// Current reservation per queued job (conservative only). Persistent:
+    /// once granted it only ever moves *earlier* (compression). Recomputing
+    /// all reservations from scratch at each event is not monotone — an
+    /// early completion can re-pack the greedy profile so that a job's
+    /// fresh quote lands *later* than its pin, breaking the guarantee.
+    resv: Vec<Option<f64>>,
+    pub head_delay_violations: usize,
+    /// Jobs started this step: `(job, start, wait)`.
+    pub started: Vec<(usize, f64, f64)>,
+    /// Earliest future reservation-due instant (conservative only). A
+    /// reservation coming due must be a simulation event: a due job that
+    /// waits for the next departure instead would start *after* its quoted
+    /// time, sliding its occupancy window past what every queued job's
+    /// reservation assumed — which is exactly the head-delay cascade the
+    /// discipline promises away.
+    next_due: Option<f64>,
+}
+
+/// A completion or kill the caller must record.
+pub(crate) enum Departure {
+    Completed { job: usize, start: f64, end: f64 },
+    Killed { job: usize, start: f64, end: f64 },
+}
+
+impl SiteState {
+    pub fn new(
+        pool: NodePool,
+        placement: PlacementPolicy,
+        discipline: Discipline,
+        contention: ContentionParams,
+        n_jobs: usize,
+    ) -> SiteState {
+        SiteState {
+            pool,
+            placement,
+            discipline,
+            contention,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            clock: 0.0,
+            wake_gen: 0,
+            reserved: vec![None; n_jobs],
+            resv: vec![None; n_jobs],
+            head_delay_violations: 0,
+            started: Vec::new(),
+            next_due: None,
+        }
+    }
+
+    /// Account work done since the last advance at the current rates.
+    pub fn advance(&mut self, now: f64) {
+        let dt = now - self.clock;
+        if dt > 0.0 {
+            for r in &mut self.running {
+                r.remaining -= dt / r.slowdown;
+            }
+        }
+        self.clock = self.clock.max(now);
+    }
+
+    /// Pull out every job that has completed its work or hit its walltime
+    /// by `now`. Call after `advance(now)`.
+    pub fn departures(&mut self, now: f64) -> Vec<Departure> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            let r = &self.running[i];
+            if r.remaining <= EPS {
+                let r = self.running.swap_remove(i);
+                self.pool.release(&r.nodes_held);
+                out.push(Departure::Completed {
+                    job: r.job,
+                    start: r.start,
+                    end: now,
+                });
+            } else if r.kill_at <= now + EPS {
+                let r = self.running.swap_remove(i);
+                self.pool.release(&r.nodes_held);
+                out.push(Departure::Killed {
+                    job: r.job,
+                    start: r.start,
+                    end: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Recompute every running job's slowdown from the current tenant mix.
+    pub fn recompute_rates(&mut self) {
+        let snapshot: Vec<(Vec<usize>, f64)> = self
+            .running
+            .iter()
+            .map(|r| (r.racks.clone(), r.eff_cf))
+            .collect();
+        for (i, r) in self.running.iter_mut().enumerate() {
+            if r.eff_cf <= 0.0 {
+                r.slowdown = 1.0;
+                continue;
+            }
+            let sharers: f64 = snapshot
+                .iter()
+                .enumerate()
+                .filter(|(j, (racks, cf))| *j != i && *cf > 0.0 && share_links(&r.racks, racks))
+                .map(|(_, (_, cf))| *cf)
+                .sum();
+            let m = self.contention.multiplier(sharers);
+            r.slowdown = 1.0 - r.eff_cf + r.eff_cf * m;
+        }
+    }
+
+    /// Earliest future event: a running job's completion estimate at
+    /// current rates, a walltime kill, a drawn preemption, or (under
+    /// conservative backfilling) the next reservation coming due.
+    pub fn next_event(&self) -> Option<f64> {
+        let run = self
+            .running
+            .iter()
+            .map(|r| {
+                let done = self.clock + r.remaining.max(0.0) * r.slowdown;
+                let t = done.min(r.kill_at);
+                match r.preempt_at {
+                    Some(p) => t.min(p),
+                    None => t,
+                }
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite event times"));
+        match (run, self.next_due) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Walltime-based release profile of the running set: `(end, nodes)`
+    /// sorted by end. Static upper bounds — never moved by contention.
+    fn release_profile(&self, jobs: &[JobView]) -> Vec<(f64, usize)> {
+        let mut prof: Vec<(f64, usize)> = self
+            .running
+            .iter()
+            .map(|r| (r.kill_at, jobs[r.job].nodes))
+            .collect();
+        prof.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite walltimes"));
+        prof
+    }
+
+    /// EASY reservation for a job needing `need` nodes: `(shadow, extra)`.
+    fn easy_reservation(&self, need: usize, jobs: &[JobView]) -> (f64, usize) {
+        let mut free = self.pool.free_count();
+        debug_assert!(free < need, "head would have started");
+        for (end, n) in self.release_profile(jobs) {
+            free += n;
+            if free >= need {
+                return (end, free - need);
+            }
+        }
+        panic!(
+            "job needs {need} nodes but the pool only has {}",
+            self.pool.nodes()
+        );
+    }
+
+    fn start_job(&mut self, pos: usize, now: f64, jobs: &[JobView]) {
+        let job = self.queue.remove(pos).expect("valid queue position");
+        let v = &jobs[job];
+        let nodes_held = self
+            .pool
+            .alloc(v.nodes, self.placement)
+            .expect("fit was checked");
+        if let Some(promised) = self.reserved[job] {
+            if now > promised + EPS {
+                self.head_delay_violations += 1;
+            }
+        }
+        let racks = self.pool.racks_of(&nodes_held);
+        let eff_cf = if nodes_held.len() > 1 {
+            v.comm_fraction
+        } else {
+            0.0
+        };
+        self.running.push(Running {
+            job,
+            start: now,
+            racks,
+            eff_cf,
+            remaining: v.runtime,
+            slowdown: 1.0,
+            kill_at: now + v.walltime,
+            preempt_at: None,
+            nodes_held,
+        });
+        // Clamp away the sub-ns residue of f64 -> SimTime rounding.
+        let wait = (now - v.submit).max(0.0);
+        self.started.push((job, now, wait));
+    }
+
+    /// Start every job the discipline allows at `now`. Starts are recorded
+    /// in `self.started`; the caller recomputes rates afterwards.
+    pub fn try_start(&mut self, now: f64, jobs: &[JobView]) {
+        match self.discipline {
+            Discipline::Fcfs => self.try_start_fcfs(now, jobs),
+            Discipline::Easy => self.try_start_backfill(now, jobs, true),
+            Discipline::NaiveBackfill => self.try_start_backfill(now, jobs, false),
+            Discipline::Conservative => self.try_start_conservative(now, jobs),
+        }
+    }
+
+    fn try_start_fcfs(&mut self, now: f64, jobs: &[JobView]) {
+        while let Some(&head) = self.queue.front() {
+            if jobs[head].nodes > self.pool.free_count() {
+                break;
+            }
+            self.start_job(0, now, jobs);
+        }
+    }
+
+    /// EASY (`respect_shadow`) and the naive foil (`!respect_shadow`) share
+    /// a skeleton: start the head while it fits; otherwise reserve for the
+    /// head and scan the rest of the queue for backfills.
+    fn try_start_backfill(&mut self, now: f64, jobs: &[JobView], respect_shadow: bool) {
+        'sched: loop {
+            let Some(&head) = self.queue.front() else {
+                return;
+            };
+            if jobs[head].nodes <= self.pool.free_count() {
+                self.start_job(0, now, jobs);
+                continue;
+            }
+            // Head blocked: quote (and pin) its reservation.
+            let (shadow, extra) = self.easy_reservation(jobs[head].nodes, jobs);
+            if self.reserved[head].is_none() {
+                self.reserved[head] = Some(shadow);
+            }
+            for pos in 1..self.queue.len() {
+                let cand = self.queue[pos];
+                let v = &jobs[cand];
+                if v.nodes > self.pool.free_count() {
+                    continue;
+                }
+                let fits_window = now + v.walltime <= shadow + EPS;
+                let fits_extra = v.nodes <= extra;
+                if respect_shadow && !fits_window && !fits_extra {
+                    continue;
+                }
+                self.start_job(pos, now, jobs);
+                // Queue indices and the profile both changed; rescan (a
+                // start that consumed extra nodes shrinks the recomputed
+                // extra automatically: its walltime now sits in the
+                // profile past the shadow).
+                continue 'sched;
+            }
+            return;
+        }
+    }
+
+    /// Conservative backfilling with *persistent* reservations. A fresh
+    /// quote is computed only once, on arrival, against the running set
+    /// plus every existing reservation; after that the reservation may
+    /// only be *compressed* — moved earlier when, holding all other
+    /// reservations fixed, an earlier window is feasible. Re-quoting the
+    /// whole queue from scratch at each event (the obvious implementation)
+    /// silently breaks the no-delay guarantee: an early completion lets a
+    /// predecessor re-pack earlier, and the re-flowed greedy profile can
+    /// push a later job's window past its first quote.
+    fn try_start_conservative(&mut self, now: f64, jobs: &[JobView]) {
+        self.next_due = None;
+        loop {
+            // Quote new arrivals in FCFS order, each against the running
+            // set plus every reservation granted so far.
+            for pos in 0..self.queue.len() {
+                let job = self.queue[pos];
+                if self.resv[job].is_some() {
+                    continue;
+                }
+                let s = self.conservative_earliest(now, job, jobs);
+                self.resv[job] = Some(s);
+                if self.reserved[job].is_none() {
+                    self.reserved[job] = Some(s);
+                }
+            }
+            // Compression sweep: each job may move earlier while all
+            // other reservations stay fixed, so the mutual feasibility of
+            // the window set is preserved and no window ever moves later.
+            for pos in 0..self.queue.len() {
+                let job = self.queue[pos];
+                let s = self.conservative_earliest(now, job, jobs);
+                if s < self.resv[job].expect("quoted above") - EPS {
+                    self.resv[job] = Some(s);
+                }
+            }
+            // Start the first job whose reservation has come due. Starting
+            // occupies exactly the reserved window, so the remaining set
+            // stays feasible; loop in case the compaction cascades.
+            let due = (0..self.queue.len()).find(|&pos| {
+                let job = self.queue[pos];
+                self.resv[job].expect("quoted above") <= now + EPS
+                    && jobs[job].nodes <= self.pool.free_count()
+            });
+            match due {
+                Some(pos) => {
+                    self.resv[self.queue[pos]] = None;
+                    self.start_job(pos, now, jobs);
+                }
+                None => break,
+            }
+        }
+        // A reservation coming due must be a simulation event: a due job
+        // that waited for the next departure would start after its quoted
+        // time, sliding its occupancy past what every other window assumed.
+        self.next_due = self
+            .queue
+            .iter()
+            .filter_map(|&j| self.resv[j])
+            .filter(|&s| s > now + EPS)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite reservations"));
+    }
+
+    /// Earliest feasible start for `job` against the running set's walltime
+    /// profile plus every *other* queued job's current reservation window.
+    fn conservative_earliest(&self, now: f64, job: usize, jobs: &[JobView]) -> f64 {
+        let mut prof = Profile::new(now, self.pool.free_count(), self.release_profile(jobs));
+        for &other in &self.queue {
+            if other == job {
+                continue;
+            }
+            if let Some(s) = self.resv[other] {
+                prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
+            }
+        }
+        prof.earliest(jobs[job].nodes, jobs[job].walltime, self.pool.nodes())
+    }
+
+    /// Pull out every running job whose drawn preemption time has come:
+    /// `(job, start, nominal seconds of work still unfinished)`. The nodes
+    /// are released; the in-flight run is lost. Call after `advance(now)`.
+    pub fn take_preempted(&mut self, now: f64) -> Vec<(usize, f64, f64)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].preempt_at.is_some_and(|p| p <= now + EPS) {
+                let r = self.running.swap_remove(i);
+                self.pool.release(&r.nodes_held);
+                // A revoked job requeues as a fresh arrival: the promise it
+                // was quoted before it started (and ran!) is void.
+                self.reserved[r.job] = None;
+                self.resv[r.job] = None;
+                out.push((r.job, r.start, r.remaining.max(0.0)));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Arm the spot-revocation timer on a just-started job.
+    pub fn set_preempt_at(&mut self, job: usize, at: f64) {
+        if let Some(r) = self.running.iter_mut().find(|r| r.job == job) {
+            r.preempt_at = Some(at);
+        }
+    }
+
+    /// First-quoted reservations, for invariant checks.
+    pub fn reservations(&self) -> Vec<(usize, f64)> {
+        self.reserved
+            .iter()
+            .enumerate()
+            .filter_map(|(j, r)| r.map(|t| (j, t)))
+            .collect()
+    }
+}
+
+/// Free-node availability profile for conservative reservations:
+/// `(time, delta)` events prefix-summed into `(time, free-from-then-on)`
+/// breakpoints, rebuilt after each reservation.
+struct Profile {
+    now: f64,
+    free_now: i64,
+    deltas: Vec<(f64, i64)>,
+    /// Sorted breakpoints; `points[i].1` is the free count from
+    /// `points[i].0` until the next breakpoint. `points[0].0 == now`.
+    points: Vec<(f64, i64)>,
+}
+
+impl Profile {
+    fn new(now: f64, free_now: usize, releases: Vec<(f64, usize)>) -> Profile {
+        let mut p = Profile {
+            now,
+            free_now: free_now as i64,
+            deltas: releases.into_iter().map(|(t, n)| (t, n as i64)).collect(),
+            points: Vec::new(),
+        };
+        p.rebuild();
+        p
+    }
+
+    fn rebuild(&mut self) {
+        let mut sorted = self.deltas.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        self.points.clear();
+        self.points.push((self.now, self.free_now));
+        let mut free = self.free_now;
+        for (t, d) in sorted {
+            free += d;
+            match self.points.last_mut() {
+                Some(last) if (t - last.0).abs() <= EPS => last.1 = free,
+                _ => self.points.push((t, free)),
+            }
+        }
+    }
+
+    /// Earliest start at which `need` nodes stay free for `dur` seconds.
+    /// Candidate starts are breakpoints; on a violation inside the window
+    /// the candidate jumps past the violating breakpoint.
+    fn earliest(&self, need: usize, dur: f64, pool_nodes: usize) -> f64 {
+        assert!(
+            need <= pool_nodes,
+            "job needs {need} nodes but the pool only has {pool_nodes}"
+        );
+        let need = need as i64;
+        let n = self.points.len();
+        let mut i = 0;
+        while i < n {
+            let t = self.points[i].0;
+            let mut j = i;
+            let mut ok = true;
+            while j < n && self.points[j].0 < t + dur - EPS {
+                if self.points[j].1 < need {
+                    ok = false;
+                    i = j + 1;
+                    break;
+                }
+                j += 1;
+            }
+            if ok {
+                return t;
+            }
+        }
+        // All reservations end, so the final level is the full pool and the
+        // loop must have returned by the last breakpoint.
+        unreachable!("profile never frees {need} nodes");
+    }
+
+    fn reserve(&mut self, start: f64, nodes: usize, dur: f64) {
+        self.deltas.push((start, -(nodes as i64)));
+        self.deltas.push((start + dur, nodes as i64));
+        self.rebuild();
+    }
+}
+
+/// Configuration of a single-site simulation.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    pub pool: NodePool,
+    pub placement: PlacementPolicy,
+    pub discipline: Discipline,
+    pub contention: ContentionParams,
+}
+
+/// Run a job stream through one site's scheduler. Deterministic.
+pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Submit(usize),
+        Wake(u64),
+    }
+    for j in jobs {
+        assert!(
+            j.nodes >= 1 && j.nodes <= cfg.pool.nodes(),
+            "job {} needs {} nodes but the pool has {}",
+            j.id,
+            j.nodes,
+            cfg.pool.nodes()
+        );
+    }
+    let views: Vec<JobView> = jobs.iter().map(JobView::of).collect();
+    let mut st = SiteState::new(
+        cfg.pool.clone(),
+        cfg.placement,
+        cfg.discipline,
+        cfg.contention,
+        jobs.len(),
+    );
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, j) in jobs.iter().enumerate() {
+        q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
+    }
+    let mut out: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    while let Some((t, ev)) = q.pop() {
+        let now = t.as_secs_f64();
+        match ev {
+            Ev::Submit(i) => {
+                st.advance(now);
+                st.queue.push_back(i);
+            }
+            Ev::Wake(gen) => {
+                if gen != st.wake_gen {
+                    continue;
+                }
+                st.advance(now);
+            }
+        }
+        for dep in st.departures(now) {
+            let (job, start, end, completed) = match dep {
+                Departure::Completed { job, start, end } => (job, start, end, true),
+                Departure::Killed { job, start, end } => (job, start, end, false),
+            };
+            out[job] = Some(JobOutcome {
+                id: jobs[job].id,
+                start,
+                end,
+                wait: (start - views[job].submit).max(0.0),
+                inflation: ((end - start) - views[job].runtime).max(0.0),
+                completed,
+            });
+        }
+        st.try_start(now, &views);
+        st.started.clear();
+        st.recompute_rates();
+        st.wake_gen += 1;
+        if let Some(te) = st.next_event() {
+            q.push(SimTime::from_secs_f64(te.max(now)), Ev::Wake(st.wake_gen));
+        }
+    }
+    let outcomes: Vec<JobOutcome> = out
+        .into_iter()
+        .map(|o| o.expect("every job departs"))
+        .collect();
+    let n = outcomes.len().max(1) as f64;
+    let first_submit = jobs.iter().map(|j| j.submit).fold(f64::INFINITY, f64::min);
+    let last_end = outcomes.iter().map(|o| o.end).fold(0.0, f64::max);
+    SiteResult {
+        makespan: if outcomes.is_empty() {
+            0.0
+        } else {
+            last_end - first_submit
+        },
+        mean_wait: outcomes.iter().map(|o| o.wait).sum::<f64>() / n,
+        total_inflation: outcomes.iter().map(|o| o.inflation).sum(),
+        head_delay_violations: st.head_delay_violations,
+        reservations: st.reservations(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize, rack: usize, d: Discipline) -> SiteConfig {
+        SiteConfig {
+            pool: NodePool::new(nodes, rack),
+            placement: PlacementPolicy::Packed,
+            discipline: d,
+            contention: ContentionParams::NONE,
+        }
+    }
+
+    /// The canonical head-delay scenario: J0 holds 6/8 nodes until t=100;
+    /// J1 (head) needs all 8; J2 is a 2-node, 150 s job.
+    fn head_delay_jobs() -> Vec<SchedJob> {
+        let mut j0 = SchedJob::new(0, 6, 0.0, 100.0, 0.0);
+        j0.walltime = 100.0;
+        let mut j1 = SchedJob::new(1, 8, 1.0, 50.0, 0.0);
+        j1.walltime = 50.0;
+        let mut j2 = SchedJob::new(2, 2, 2.0, 150.0, 0.0);
+        j2.walltime = 150.0;
+        vec![j0, j1, j2]
+    }
+
+    #[test]
+    fn easy_rejects_head_delaying_backfill() {
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Easy));
+        // J2 must not backfill (ends at 152 > shadow 100, uses head nodes):
+        // head starts exactly at the shadow.
+        assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
+        assert_eq!(r.head_delay_violations, 0);
+        // J2 runs after the head.
+        assert!(r.outcomes[2].start >= 150.0 - 1e-6);
+    }
+
+    #[test]
+    fn naive_backfill_delays_the_head() {
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::NaiveBackfill));
+        // The naive rule starts J2 at t=2 on free nodes; the head can then
+        // only start when J2 ends at t=152.
+        assert!((r.outcomes[2].start - 2.0).abs() < 1e-6, "{r:?}");
+        assert!((r.outcomes[1].start - 152.0).abs() < 1e-6, "{r:?}");
+        assert_eq!(r.head_delay_violations, 1);
+    }
+
+    #[test]
+    fn easy_backfills_within_the_shadow_window() {
+        let mut jobs = head_delay_jobs();
+        // A 2-node job short enough to finish before the shadow.
+        jobs[2].runtime = 50.0;
+        jobs[2].walltime = 50.0;
+        let r = simulate_site(&jobs, &cfg(8, 8, Discipline::Easy));
+        assert!((r.outcomes[2].start - 2.0).abs() < 1e-6, "{r:?}");
+        assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
+        assert_eq!(r.head_delay_violations, 0);
+    }
+
+    #[test]
+    fn conservative_honours_every_reservation() {
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Conservative));
+        assert_eq!(r.head_delay_violations, 0);
+        // Conservative reserves J2 behind both: starts at 150.
+        assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
+        assert!((r.outcomes[2].start - 150.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn fcfs_blocks_behind_the_head() {
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Fcfs));
+        assert!((r.outcomes[1].start - 100.0).abs() < 1e-6);
+        assert!((r.outcomes[2].start - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contention_inflates_colocated_comm_jobs() {
+        // Two 2-node comm-heavy jobs in the same rack of a GigE-class
+        // fabric: each sees the other as a sharer.
+        let contention = ContentionParams {
+            beta: 0.5,
+            cap: 2.5,
+        };
+        let mk = |id, submit| {
+            let mut j = SchedJob::new(id, 2, submit, 100.0, 0.8);
+            j.walltime = 300.0;
+            j
+        };
+        let cfg = SiteConfig {
+            pool: NodePool::new(4, 4),
+            placement: PlacementPolicy::Packed,
+            discipline: Discipline::Fcfs,
+            contention,
+        };
+        let r = simulate_site(&[mk(0, 0.0), mk(1, 0.0)], &cfg);
+        // Each job: slowdown = 1 - 0.8 + 0.8 * (1 + 0.5 * 0.8) = 1.32
+        // while both run; the first to finish then runs uncontended — but
+        // they're symmetric, so both finish at 132.
+        for o in &r.outcomes {
+            assert!(o.completed);
+            assert!((o.inflation - 32.0).abs() < 0.5, "{o:?}");
+        }
+        // Solo control: no inflation.
+        let solo = simulate_site(&[mk(0, 0.0)], &cfg);
+        assert!(solo.outcomes[0].inflation < 1e-6);
+    }
+
+    #[test]
+    fn rack_aware_placement_avoids_cross_job_contention() {
+        // Two 2-node jobs on a 2-rack pool: rack-aware puts them in
+        // different racks (no shared links); scattered forces both across
+        // the spine.
+        let contention = ContentionParams {
+            beta: 0.5,
+            cap: 2.5,
+        };
+        let mk = |id| {
+            let mut j = SchedJob::new(id, 2, 0.0, 100.0, 0.8);
+            j.walltime = 300.0;
+            j
+        };
+        let run = |placement| {
+            let cfg = SiteConfig {
+                pool: NodePool::new(8, 4),
+                placement,
+                discipline: Discipline::Fcfs,
+                contention,
+            };
+            simulate_site(&[mk(0), mk(1)], &cfg).total_inflation
+        };
+        // Packed best-fits both into rack 0 -> leaf contention.
+        assert!(run(PlacementPolicy::Packed) > 10.0);
+        assert!(run(PlacementPolicy::Scattered) > 10.0);
+        assert!(run(PlacementPolicy::RackAware) < 1e-6);
+    }
+
+    #[test]
+    fn walltime_overrun_kills_the_job() {
+        let mut j = SchedJob::new(0, 2, 0.0, 100.0, 0.9);
+        j.walltime = 100.0; // no headroom at all
+        let mut rival = SchedJob::new(1, 2, 0.0, 100.0, 0.9);
+        rival.walltime = 400.0;
+        let cfg = SiteConfig {
+            pool: NodePool::new(4, 4),
+            placement: PlacementPolicy::Packed,
+            discipline: Discipline::Fcfs,
+            contention: ContentionParams {
+                beta: 0.5,
+                cap: 2.5,
+            },
+        };
+        let r = simulate_site(&[j, rival], &cfg);
+        assert!(!r.outcomes[0].completed, "{r:?}");
+        assert!((r.outcomes[0].end - 100.0).abs() < 1e-6);
+        assert!(r.outcomes[1].completed);
+    }
+
+    #[test]
+    fn backfill_beats_fcfs_on_mean_wait() {
+        let jobs = crate::job::lublin_mix(120, 16, 1.4, 42);
+        let fcfs = simulate_site(&jobs, &cfg(16, 16, Discipline::Fcfs));
+        let easy = simulate_site(&jobs, &cfg(16, 16, Discipline::Easy));
+        assert!(easy.head_delay_violations == 0);
+        assert!(
+            easy.mean_wait <= fcfs.mean_wait,
+            "easy {} vs fcfs {}",
+            easy.mean_wait,
+            fcfs.mean_wait
+        );
+        assert!(easy.makespan <= fcfs.makespan + 1e-6);
+    }
+}
