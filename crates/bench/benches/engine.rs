@@ -180,16 +180,50 @@ fn main() {
         let dcc = presets::dcc();
         let n_jobs = 2_000usize;
         let jobs = lublin_mix(n_jobs, 32, 1.2, 42);
-        let cfg = SiteConfig {
-            pool: NodePool::partition_of(&dcc, 32),
-            placement: PlacementPolicy::RackAware,
-            discipline: Discipline::Easy,
-            contention: ContentionParams::for_fabric(&dcc.topology.inter),
-        };
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&dcc, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&dcc.topology.inter),
+        );
         let name = "sched_throughput/jobs2000";
         let iters = 10 * scale;
         let per_iter = bench_throughput(name, iters, n_jobs as u64, || {
-            simulate_site(&jobs, &cfg).outcomes.len()
+            simulate_site(&jobs, &cfg).unwrap().outcomes.len()
+        });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops: n_jobs as u64,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: n_jobs as f64 / per_iter,
+        });
+    }
+
+    {
+        // Slot-set primitive throughput: jobs walked through the interval
+        // algebra per second. Each job truncates history, intersects its
+        // whole window, carves out a proc set and splits the slot list —
+        // the exact operation mix the slot-set engine performs per
+        // scheduling decision, with none of the DES machinery around it.
+        use cloudsim::sim_sched::{lublin_mix, ProcSet, SlotSet};
+        let n_jobs = 10_000usize;
+        let jobs = lublin_mix(n_jobs, 512, 1.2, 7);
+        let name = "slotset_ops/jobs10k";
+        let iters = 10 * scale;
+        let per_iter = bench_throughput(name, iters, n_jobs as u64, || {
+            let mut ss = SlotSet::new(0.0, ProcSet::range(0, 511));
+            let mut placed = 0usize;
+            for j in &jobs {
+                ss.truncate_before(j.submit);
+                let avail = ss.window_avail(j.submit, j.submit + j.walltime);
+                if avail.len() >= j.nodes {
+                    let procs = avail.take(j.nodes);
+                    ss.sub_window(j.submit, j.submit + j.walltime, &procs);
+                    placed += 1;
+                }
+            }
+            placed
         });
         records.push(BenchRecord {
             name: name.to_string(),
@@ -205,7 +239,7 @@ fn main() {
     let mut file = EngineBenchFile {
         fingerprint: "synthetic np8 x20000 / np64 x2000 exchange+allreduce; compute-heavy np16 \
                       x2000; cg.S np=1024 on vayu; SimConfig::default seed; sched easy+rack-aware \
-                      2000 lublin jobs on dcc/32"
+                      2000 lublin jobs on dcc/32; slotset 10000 lublin jobs on 512 procs"
             .to_string(),
         calib_ops_per_sec: calib,
         results: records,

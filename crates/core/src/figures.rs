@@ -12,7 +12,8 @@ use sim_mpi::Op;
 use sim_net::ContentionParams;
 use sim_platform::{presets, ClusterSpec, Strategy};
 use sim_sched::{
-    lublin_mix, simulate_site, Discipline, NodePool, PlacementPolicy, PriceModel, SiteConfig,
+    lublin_mix, sched_report, simulate_site, Discipline, JobShape, MaintNodes, Maintenance,
+    NodePool, PlacementPolicy, PriceModel, QuotaRule, SchedJob, SiteConfig,
 };
 use workloads::metum::warmed_secs;
 use workloads::osu::{osu_sizes, run_bandwidth, run_latency};
@@ -870,13 +871,13 @@ pub fn schedsweep_points(
         .iter()
         .map(|&load| {
             let jobs = lublin_mix(n_jobs, SCHEDSWEEP_NODES, load, cfg.seed);
-            let site = SiteConfig {
-                pool: NodePool::partition_of(cluster, SCHEDSWEEP_NODES),
+            let site = SiteConfig::new(
+                NodePool::partition_of(cluster, SCHEDSWEEP_NODES),
                 placement,
                 discipline,
-                contention: ContentionParams::for_fabric(&cluster.topology.inter),
-            };
-            let res = simulate_site(&jobs, &site);
+                ContentionParams::for_fabric(&cluster.topology.inter),
+            );
+            let res = simulate_site(&jobs, &site).expect("sweep mixes are valid");
             let cost = res
                 .outcomes
                 .iter()
@@ -946,6 +947,107 @@ pub fn schedsweep(cfg: &ReproConfig) -> Table {
     t.note(
         "the same mix costs more where it runs longer — contention is a dollar figure on clouds",
     );
+    t
+}
+
+/// The slot-capabilities scenario: a seeded Lublin mix dressed with every
+/// capability only the slot-set engine provides — project quotas, a
+/// dependency chain, moldable jobs, an advance reservation and a
+/// rack-maintenance window. Shared by [`slot_capabilities`] and the golden
+/// digests so the scenario can never drift from what is pinned.
+pub fn slot_capabilities_jobs(seed: u64) -> Vec<SchedJob> {
+    let mut jobs = lublin_mix(36, SCHEDSWEEP_NODES, 1.1, seed);
+    for j in jobs.iter_mut() {
+        j.project = Some((j.id % 3) as u32);
+    }
+    // A short dependency chain through the middle of the mix.
+    jobs[12].deps = vec![6];
+    jobs[24].deps = vec![12, 18];
+    // A few moldable jobs: the declared shape plus a wide-fast and a
+    // narrow-slow alternative (ideal scaling on nodes x runtime).
+    for &id in &[4usize, 13, 22, 31] {
+        let j = &mut jobs[id];
+        let base = JobShape {
+            nodes: j.nodes,
+            runtime: j.runtime,
+            walltime: j.walltime,
+        };
+        let wide = JobShape {
+            nodes: (j.nodes * 2).min(SCHEDSWEEP_NODES / 2),
+            runtime: j.runtime * 0.6,
+            walltime: j.walltime * 0.6,
+        };
+        let narrow = JobShape {
+            nodes: j.nodes.div_ceil(2),
+            runtime: j.runtime * 1.8,
+            walltime: j.walltime * 1.8,
+        };
+        j.shapes = vec![base, wide, narrow];
+    }
+    // An 8-node advance reservation at t=2500 (e.g. a debugging session
+    // booked ahead of time).
+    let mut resv = SchedJob::new(jobs.len(), 8, 0.0, 1500.0, 0.1).at(2500.0);
+    resv.walltime = 1800.0;
+    jobs.push(resv);
+    jobs
+}
+
+/// Site configuration for the slot-capabilities scenario: project 0 capped
+/// at 8 concurrent nodes, rack 0 down for maintenance over [4000, 5000).
+pub fn slot_capabilities_site(cluster: &ClusterSpec) -> SiteConfig {
+    SiteConfig::new(
+        NodePool::partition_of(cluster, SCHEDSWEEP_NODES),
+        PlacementPolicy::RackAware,
+        Discipline::Easy,
+        ContentionParams::for_fabric(&cluster.topology.inter),
+    )
+    .with_quota(QuotaRule {
+        project: 0,
+        max_nodes: 8,
+        window: None,
+    })
+    .with_maintenance(Maintenance {
+        begin: 4000.0,
+        end: 5000.0,
+        nodes: MaintNodes::Rack(0),
+    })
+}
+
+/// Slot-set capabilities end to end: the scenario above on vayu's
+/// partition, reported per job class with IPM-style attribution. The
+/// reservation starts exactly on time, project 0 never exceeds its quota,
+/// dependents start after their dependencies depart, and the maintenance
+/// window pushes work off rack 0 — all under EASY with zero head delays.
+pub fn slot_capabilities(cfg: &ReproConfig) -> Table {
+    let cluster = presets::vayu();
+    let jobs = slot_capabilities_jobs(cfg.seed);
+    let site = slot_capabilities_site(&cluster);
+    let res = simulate_site(&jobs, &site).expect("scenario is valid");
+    let report = sched_report(cluster.name, &jobs, &res);
+    let mut t = Table::new(
+        "Slot-set capabilities — quotas, dependencies, moldable jobs, reservation, maintenance",
+        vec![
+            "job", "class", "nodes", "submit_s", "start_s", "end_s", "wait_s", "state",
+        ],
+    );
+    for (j, (row, o)) in jobs.iter().zip(report.rows.iter().zip(&res.outcomes)) {
+        t.row(vec![
+            j.id.to_string(),
+            row.kind.clone(),
+            o.nodes.to_string(),
+            fmt_secs(j.submit),
+            fmt_secs(o.start),
+            fmt_secs(o.end),
+            fmt_secs(o.wait),
+            if o.completed { "done" } else { "killed" }.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "mean wait {:.1} s, makespan {:.1} s, head delays {} (must be 0 under EASY)",
+        res.mean_wait, res.makespan, res.head_delay_violations
+    ));
+    t.note("resv starts exactly at 2500 s; rack 0 is idle over [4000, 5000)");
+    t.note("project 0 (class p0) holds at most 8 nodes at any instant");
     t
 }
 

@@ -27,8 +27,8 @@ use sim_des::DetRng;
 use sim_net::ContentionParams;
 use sim_platform::{presets, Strategy};
 use sim_sched::{
-    lublin_mix, simulate_burst, BurstJob, BurstPolicy, BurstSite, Discipline, PlacementPolicy,
-    PreemptSpec, PriceModel,
+    lublin_burst_mix, simulate_burst, BurstJob, BurstPolicy, BurstSite, Discipline,
+    PlacementPolicy, PreemptSpec, PriceModel, SchedEngine,
 };
 use workloads::{Class, Kernel, Npb, Workload};
 
@@ -202,7 +202,8 @@ pub fn simulate_queue(jobs: &[Job], caps: Capacities, policy: Policy) -> QueueSt
         to_policy(policy),
         None,
         None,
-    );
+    )
+    .expect("plain sites cannot fragment");
     to_stats(jobs, stats)
 }
 
@@ -222,7 +223,8 @@ pub fn simulate_queue_preemptible(
         to_policy(policy),
         Some(PreemptSpec { seed: preempt.seed }),
         None,
-    );
+    )
+    .expect("plain sites cannot fragment");
     to_stats(jobs, stats)
 }
 
@@ -356,6 +358,7 @@ pub fn contended_sites(caps: Capacities) -> Vec<BurstSite> {
             placement: PlacementPolicy::RackAware,
             discipline: Discipline::Easy,
             contention: ContentionParams::for_fabric(&c.topology.inter),
+            engine: SchedEngine::SlotSet,
             price: PriceModel::for_platform(c),
             // Covers the contention cap (2.5) with headroom, like real
             // user walltime estimates do.
@@ -371,27 +374,10 @@ pub fn contended_sites(caps: Capacities) -> Vec<BurstSite> {
 /// observation) instead of per-job profiling runs.
 pub fn contended_mix(n_jobs: usize, load: f64, seed: u64) -> Vec<BurstJob> {
     let caps = Capacities::default();
-    lublin_mix(n_jobs, caps.vayu, load, seed)
-        .into_iter()
-        .map(|j| {
-            let cf = j.comm_fraction;
-            BurstJob {
-                id: j.id,
-                name: j.name,
-                nodes: j.nodes,
-                submit: j.submit,
-                // Slowdowns bracketing Table III: near parity for
-                // compute-bound codes, ~2x+ for comm-bound ones.
-                runtime: vec![
-                    j.runtime,
-                    j.runtime * (1.05 + 0.9 * cf),
-                    j.runtime * (1.10 + 1.3 * cf),
-                ],
-                comm_fraction: cf,
-                friendliness: (1.0 - cf).clamp(0.0, 1.0),
-            }
-        })
-        .collect()
+    // Slowdowns bracketing Table III: near parity for compute-bound codes,
+    // ~2x+ for comm-bound ones. The seeded constructor lives in sim-sched
+    // so the burst tests draw the exact same mix.
+    lublin_burst_mix(n_jobs, caps.vayu, load, seed, &[(1.05, 0.9), (1.10, 1.3)])
 }
 
 /// The ARRIVE-F rerun on the real scheduler: EASY backfill, rack-aware
@@ -414,14 +400,16 @@ pub fn arrive_f_rerun_table(n_jobs: usize, seed: u64) -> Table {
     for load in [0.7, 1.0, 1.3, 1.6] {
         let jobs = contended_mix(n_jobs, load, seed);
         let sites = contended_sites(caps);
-        let hpc = simulate_burst(&jobs, &sites, BurstPolicy::HpcOnly, None, None);
+        let hpc = simulate_burst(&jobs, &sites, BurstPolicy::HpcOnly, None, None)
+            .expect("rack-aware sites cannot fragment");
         let burst = simulate_burst(
             &jobs,
             &sites,
             BurstPolicy::CloudBurst { threshold: 0.55 },
             None,
             None,
-        );
+        )
+        .expect("rack-aware sites cannot fragment");
         assert_eq!(
             hpc.head_delay_violations + burst.head_delay_violations,
             0,
@@ -434,7 +422,8 @@ pub fn arrive_f_rerun_table(n_jobs: usize, seed: u64) -> Table {
             BurstPolicy::HpcOnly,
             None,
             None,
-        );
+        )
+        .expect("plain sites cannot fragment");
         let improvement = if hpc.mean_wait > 0.0 {
             1.0 - burst.mean_wait / hpc.mean_wait
         } else {

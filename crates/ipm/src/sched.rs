@@ -11,6 +11,10 @@ use std::fmt::Write as _;
 pub struct SchedJobRow {
     pub id: usize,
     pub name: String,
+    /// Job class for attribution: "batch", "resv" (advance reservation),
+    /// "mold" (moldable), "dep" (dependency-gated), "p<N>" (project-billed),
+    /// or "home"/"cloud" for multi-site rows.
+    pub kind: String,
     pub nodes: usize,
     /// Seconds between submission and (final) start.
     pub wait: f64,
@@ -60,15 +64,16 @@ impl SchedReport {
         let _ = writeln!(out, "#");
         let _ = writeln!(
             out,
-            "# {:>5} {:<18} {:>5} {:>12} {:>12} {:>12} {:>12}  state",
-            "job", "name", "nodes", "wait_s", "run_s", "contention_s", "preempt_s"
+            "# {:>5} {:<18} {:<6} {:>5} {:>12} {:>12} {:>12} {:>12}  state",
+            "job", "name", "class", "nodes", "wait_s", "run_s", "contention_s", "preempt_s"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "# {:>5} {:<18} {:>5} {:>12.2} {:>12.2} {:>12.2} {:>12.2}  {}",
+                "# {:>5} {:<18} {:<6} {:>5} {:>12.2} {:>12.2} {:>12.2} {:>12.2}  {}",
                 r.id,
                 r.name,
+                r.kind,
                 r.nodes,
                 r.wait,
                 r.runtime,
@@ -93,6 +98,7 @@ mod tests {
                 SchedJobRow {
                     id: 0,
                     name: "cg.A".into(),
+                    kind: "batch".into(),
                     nodes: 2,
                     wait: 10.0,
                     runtime: 130.0,
@@ -103,6 +109,7 @@ mod tests {
                 SchedJobRow {
                     id: 1,
                     name: "ep.A".into(),
+                    kind: "resv".into(),
                     nodes: 4,
                     wait: 30.0,
                     runtime: 50.0,
@@ -128,9 +135,11 @@ mod tests {
         for needle in [
             "IPM-sched",
             "mean wait",
+            "class",
             "contention_s",
             "preempt_s",
             "cg.A",
+            "resv",
         ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }

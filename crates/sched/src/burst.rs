@@ -14,9 +14,10 @@
 //! the conservative recovery, since the home site can always run it. The
 //! wait clock keeps running from the original submission.
 
+use crate::error::SchedError;
 use crate::pool::{NodePool, PlacementPolicy};
 use crate::pricing::PriceModel;
-use crate::site::{Departure, Discipline, JobView, SiteState};
+use crate::site::{Departure, Discipline, JobView, SchedEngine, SiteState};
 use sim_des::{DetRng, EventQueue, SimTime};
 use sim_net::ContentionParams;
 
@@ -35,6 +36,10 @@ pub struct BurstSite {
     pub placement: PlacementPolicy,
     pub discipline: Discipline,
     pub contention: ContentionParams,
+    /// Which scheduling core runs this site's queue (see
+    /// [`crate::site::SchedEngine`]). Both give identical schedules on the
+    /// capabilities they share; the legacy engine is kept as an oracle.
+    pub engine: SchedEngine,
     pub price: PriceModel,
     /// Walltime estimate as a multiple of nominal runtime. Must cover the
     /// contention cap when `contention` is active (jobs are killed at
@@ -55,6 +60,7 @@ impl BurstSite {
             placement: PlacementPolicy::Packed,
             discipline: Discipline::Fcfs,
             contention: ContentionParams::NONE,
+            engine: SchedEngine::SlotSet,
             price,
             walltime_factor: 1.0,
             preempt_per_node_hour: 0.0,
@@ -139,7 +145,7 @@ pub fn simulate_burst(
     policy: BurstPolicy,
     preempt: Option<PreemptSpec>,
     checkpoint: Option<CheckpointSpec>,
-) -> BurstStats {
+) -> Result<BurstStats, SchedError> {
     assert!(!sites.is_empty(), "need at least the home site");
     for j in jobs {
         assert_eq!(j.runtime.len(), sites.len(), "job {} runtimes", j.id);
@@ -174,6 +180,7 @@ pub fn simulate_burst(
                 s.placement,
                 s.discipline,
                 s.contention,
+                s.engine,
                 jobs.len(),
             )
         })
@@ -198,7 +205,7 @@ pub fn simulate_burst(
                 preempt_loss: &mut Vec<f64>,
                 preemptions: &mut usize,
                 q: &mut EventQueue<Ev>|
-     -> Vec<usize> {
+     -> Result<Vec<usize>, SchedError> {
         let st = &mut states[site];
         // Spot revocations first: a preempted run never completes
         // (matching the historical model, where a drawn preemption
@@ -233,8 +240,12 @@ pub fn simulate_burst(
         }
         for dep in st.departures(now) {
             let (job, start, end, completed) = match dep {
-                Departure::Completed { job, start, end } => (job, start, end, true),
-                Departure::Killed { job, start, end } => (job, start, end, false),
+                Departure::Completed {
+                    job, start, end, ..
+                } => (job, start, end, true),
+                Departure::Killed {
+                    job, start, end, ..
+                } => (job, start, end, false),
             };
             let v = &views[site][job];
             let elapsed = end - start;
@@ -250,7 +261,7 @@ pub fn simulate_burst(
             });
         }
         st.started.clear();
-        st.try_start(now, &views[site]);
+        st.try_start(now, &views[site])?;
         let started = std::mem::take(&mut st.started);
         for &(job, start, _wait) in &started {
             // Revocable capacity: draw the instance's time-to-preempt; if
@@ -278,7 +289,7 @@ pub fn simulate_burst(
                 },
             );
         }
-        requeue
+        Ok(requeue)
     };
 
     while let Some((t, ev)) = q.pop() {
@@ -344,7 +355,7 @@ pub fn simulate_burst(
             &mut preempt_loss,
             &mut preemptions,
             &mut q,
-        );
+        )?;
         if !requeue.is_empty() {
             states[0].advance(now);
             for job in requeue {
@@ -359,7 +370,7 @@ pub fn simulate_burst(
                 &mut preempt_loss,
                 &mut preemptions,
                 &mut q,
-            );
+            )?;
             debug_assert!(more.is_empty(), "home partition is non-revocable");
         }
     }
@@ -369,7 +380,7 @@ pub fn simulate_burst(
         .map(|o| o.expect("every job completes"))
         .collect();
     let n = jobs_out.len().max(1) as f64;
-    BurstStats {
+    Ok(BurstStats {
         mean_wait: jobs_out.iter().map(|s| s.wait).sum::<f64>() / n,
         mean_turnaround: jobs_out.iter().map(|s| s.wait + s.runtime).sum::<f64>() / n,
         burst_fraction: bursts as f64 / n,
@@ -377,7 +388,7 @@ pub fn simulate_burst(
         total_cost: jobs_out.iter().map(|s| s.cost).sum(),
         head_delay_violations: states.iter().map(|s| s.head_delay_violations).sum(),
         jobs: jobs_out,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -411,14 +422,16 @@ mod tests {
 
     #[test]
     fn bursting_cuts_waits_and_respects_threshold() {
-        let hpc = simulate_burst(&quick_jobs(), &sites(), BurstPolicy::HpcOnly, None, None);
+        let hpc =
+            simulate_burst(&quick_jobs(), &sites(), BurstPolicy::HpcOnly, None, None).unwrap();
         let burst = simulate_burst(
             &quick_jobs(),
             &sites(),
             BurstPolicy::CloudBurst { threshold: 0.5 },
             None,
             None,
-        );
+        )
+        .unwrap();
         assert!(burst.mean_wait < hpc.mean_wait);
         assert!(burst.burst_fraction > 0.0);
         for s in &burst.jobs {
@@ -436,7 +449,7 @@ mod tests {
         sites[2].preempt_per_node_hour = 1e6;
         let policy = BurstPolicy::CloudBurst { threshold: 0.5 };
         let p = Some(PreemptSpec { seed: 11 });
-        let lost = simulate_burst(&quick_jobs(), &sites, policy, p, None);
+        let lost = simulate_burst(&quick_jobs(), &sites, policy, p, None).unwrap();
         assert!(lost.preemptions > 0);
         // With an absurdly hostile rate the kill lands in the first
         // instants: nothing was completed, so checkpointing salvages
@@ -450,7 +463,8 @@ mod tests {
                 interval: 10.0,
                 restore_cost: 5.0,
             }),
-        );
+        )
+        .unwrap();
         assert_eq!(lost.preemptions, ck.preemptions);
         for (a, b) in lost.jobs.iter().zip(&ck.jobs) {
             assert!(b.runtime <= a.runtime + 1e-9);
@@ -465,7 +479,8 @@ mod tests {
             BurstPolicy::CloudBurst { threshold: 0.5 },
             None,
             None,
-        );
+        )
+        .unwrap();
         let cloud_cost: f64 = burst
             .jobs
             .iter()
@@ -474,5 +489,29 @@ mod tests {
             .sum();
         assert!(cloud_cost > 0.0);
         assert!(burst.total_cost >= cloud_cost);
+    }
+
+    #[test]
+    fn engines_agree_on_a_seeded_burst_mix() {
+        // The slot-set and legacy cores must burst identically: same
+        // relocations, same preemption realisations, same outcomes.
+        let jobs = crate::job::lublin_burst_mix(60, 8, 1.3, 21, &[(1.05, 0.9), (1.10, 1.3)]);
+        let policy = BurstPolicy::CloudBurst { threshold: 0.5 };
+        let p = Some(PreemptSpec { seed: 5 });
+        let mut spot = sites();
+        spot[2].preempt_per_node_hour = 2.0;
+        let slot = simulate_burst(&jobs, &spot, policy, p, None).unwrap();
+        let mut legacy_sites = spot.clone();
+        for s in &mut legacy_sites {
+            s.engine = SchedEngine::LegacyFreeNode;
+        }
+        let legacy = simulate_burst(&jobs, &legacy_sites, policy, p, None).unwrap();
+        assert_eq!(slot.preemptions, legacy.preemptions);
+        assert_eq!(slot.burst_fraction, legacy.burst_fraction);
+        for (a, b) in slot.jobs.iter().zip(&legacy.jobs) {
+            assert_eq!(a.site, b.site, "job {}", a.id);
+            assert_eq!(a.wait, b.wait, "job {}", a.id);
+            assert_eq!(a.runtime, b.runtime, "job {}", a.id);
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! Typed scheduler errors. The historical engine panicked with
+//! `expect("fit was checked")` when a placement policy could not satisfy a
+//! request that raw capacity admitted (fragmentation under a strict
+//! policy); every such condition now surfaces as a [`SchedError`] so
+//! multi-site drivers can report which job, which need and which policy
+//! failed instead of aborting the process.
+
+use std::fmt;
+
+/// Why a scheduling run (or a single allocation) could not proceed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// Raw capacity admits the request but the placement policy cannot
+    /// satisfy it from the current free set (fragmentation).
+    PlacementUnsatisfiable {
+        need: usize,
+        policy: &'static str,
+        free: usize,
+    },
+    /// The job asks for more nodes than the pool (or its quota ceiling)
+    /// can ever provide.
+    InsufficientNodes {
+        job: usize,
+        need: usize,
+        limit: usize,
+    },
+    /// An advance reservation came due but its window no longer holds the
+    /// promised capacity (a mis-specified calendar).
+    ReservationUnsatisfiable { job: usize, at: f64 },
+    /// The dependency edges contain a cycle through this job.
+    DependencyCycle { job: usize },
+    /// A malformed job specification (bad shape, bad dependency index,
+    /// reservation before submission, ...).
+    InvalidJob { job: usize, reason: String },
+    /// A malformed site configuration (inverted maintenance window,
+    /// zero-node quota, ...).
+    InvalidConfig { reason: String },
+    /// The legacy free-node engine was asked for a capability only the
+    /// slot-set engine implements.
+    LegacyEngineUnsupported { feature: &'static str },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::PlacementUnsatisfiable { need, policy, free } => write!(
+                f,
+                "placement {policy} cannot carve {need} nodes out of {free} free (fragmentation)"
+            ),
+            SchedError::InsufficientNodes { job, need, limit } => {
+                write!(
+                    f,
+                    "job {job} needs {need} nodes but at most {limit} can ever be free"
+                )
+            }
+            SchedError::ReservationUnsatisfiable { job, at } => {
+                write!(
+                    f,
+                    "advance reservation of job {job} at t={at} cannot be honoured"
+                )
+            }
+            SchedError::DependencyCycle { job } => {
+                write!(f, "dependency cycle through job {job}")
+            }
+            SchedError::InvalidJob { job, reason } => write!(f, "job {job}: {reason}"),
+            SchedError::InvalidConfig { reason } => write!(f, "site config: {reason}"),
+            SchedError::LegacyEngineUnsupported { feature } => {
+                write!(f, "the legacy free-node engine does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}

@@ -1,0 +1,271 @@
+//! The hierarchical resource tree behind the slot set: site → rack → node
+//! → core, derived from the platform's interconnect topology.
+//!
+//! Scheduling granularity is the **node** level (a `ProcSet` id is a node
+//! index); racks group nodes behind a shared leaf switch (a fat tree's
+//! leaf radix, or one big rack for a single switch) and the core level
+//! only widens the leaves for reporting (`total_cores`). Placement
+//! policies select concrete nodes *from a `ProcSet`* of candidates — the
+//! slot-set engine hands them the intersection of the hard availability
+//! over the job's whole window, so a choice made now can never collide
+//! with a maintenance window or a pinned reservation later.
+
+use crate::error::SchedError;
+use crate::pool::PlacementPolicy;
+use crate::slot::ProcSet;
+
+/// The static shape of one site's resources: `nodes` nodes in racks of
+/// `rack_size`, each node carrying `cores_per_node` cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    nodes: usize,
+    rack_size: usize,
+    cores_per_node: usize,
+}
+
+impl Hierarchy {
+    pub fn new(nodes: usize, rack_size: usize, cores_per_node: usize) -> Hierarchy {
+        assert!(nodes >= 1 && rack_size >= 1 && cores_per_node >= 1);
+        Hierarchy {
+            nodes,
+            rack_size,
+            cores_per_node,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn rack_size(&self) -> usize {
+        self.rack_size
+    }
+
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Leaf count of the full tree: every core of every node.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The whole site as a proc set.
+    pub fn site(&self) -> ProcSet {
+        ProcSet::range(0, self.nodes - 1)
+    }
+
+    pub fn rack_of(&self, node: usize) -> usize {
+        node / self.rack_size
+    }
+
+    pub fn n_racks(&self) -> usize {
+        self.nodes.div_ceil(self.rack_size)
+    }
+
+    /// Physical width of rack `r` (the final rack may be ragged).
+    pub fn rack_capacity(&self, r: usize) -> usize {
+        (self.nodes - r * self.rack_size).min(self.rack_size)
+    }
+
+    /// The nodes of rack `r` as a proc set.
+    pub fn rack_set(&self, r: usize) -> ProcSet {
+        let lo = r * self.rack_size;
+        let hi = (lo + self.rack_size).min(self.nodes) - 1;
+        ProcSet::range(lo, hi)
+    }
+
+    /// Sorted, deduplicated rack ids spanned by a node list.
+    pub fn racks_of(&self, nodes: &[usize]) -> Vec<usize> {
+        let mut racks: Vec<usize> = nodes.iter().map(|&n| self.rack_of(n)).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+
+    /// Whether `policy` can carve `n` nodes out of `avail` at all. For the
+    /// preference-shaping policies this is just `avail.len() >= n`; only
+    /// [`PlacementPolicy::RackStrict`] turns preference into feasibility
+    /// (the job must fit inside one rack's available nodes).
+    pub fn feasible(&self, avail: &ProcSet, n: usize, policy: PlacementPolicy) -> bool {
+        if n == 0 || avail.len() < n {
+            return n == 0;
+        }
+        match policy {
+            PlacementPolicy::RackStrict => {
+                (0..self.n_racks()).any(|r| avail.intersect(&self.rack_set(r)).len() >= n)
+            }
+            _ => true,
+        }
+    }
+
+    /// Choose `n` nodes from `avail` under `policy`. Preference orders are
+    /// byte-identical to the historical free-list pickers; only
+    /// `RackStrict` can fail when `avail.len() >= n` (fragmentation), and
+    /// then it fails typed instead of panicking.
+    pub fn select(
+        &self,
+        avail: &ProcSet,
+        n: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Vec<usize>, SchedError> {
+        if n == 0 || n > avail.len() {
+            return Err(SchedError::PlacementUnsatisfiable {
+                need: n,
+                policy: policy.name(),
+                free: avail.len(),
+            });
+        }
+        let picked = match policy {
+            PlacementPolicy::Packed => avail.iter().take(n).collect(),
+            PlacementPolicy::Scattered => self.pick_scattered(avail, n),
+            PlacementPolicy::RackAware => self.pick_rack_aware(avail, n),
+            PlacementPolicy::RackStrict => {
+                self.pick_rack_strict(avail, n)
+                    .ok_or(SchedError::PlacementUnsatisfiable {
+                        need: n,
+                        policy: policy.name(),
+                        free: avail.len(),
+                    })?
+            }
+        };
+        debug_assert_eq!(picked.len(), n);
+        Ok(picked)
+    }
+
+    fn pick_scattered(&self, avail: &ProcSet, n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        // Round-robin across racks: offset-major traversal takes at most
+        // one node per rack per sweep.
+        for offset in 0..self.rack_size {
+            for rack in 0..self.n_racks() {
+                let node = rack * self.rack_size + offset;
+                if node < self.nodes && avail.contains(node) {
+                    out.push(node);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn free_per_rack(&self, avail: &ProcSet) -> Vec<usize> {
+        let mut free = vec![0usize; self.n_racks()];
+        for node in avail.iter() {
+            free[self.rack_of(node)] += 1;
+        }
+        free
+    }
+
+    fn pick_rack_aware(&self, avail: &ProcSet, n: usize) -> Vec<usize> {
+        let n_racks = self.n_racks();
+        let free_per_rack = self.free_per_rack(avail);
+        // An idle rack avoids leaf-switch co-tenancy entirely; failing
+        // that, best-fit into an occupied rack (the fullest one that still
+        // takes the whole job, keeping big holes intact for wide jobs).
+        let idle = (0..n_racks)
+            .filter(|&r| free_per_rack[r] >= n && free_per_rack[r] == self.rack_capacity(r))
+            .min_by_key(|&r| free_per_rack[r]);
+        let single = idle.or_else(|| {
+            (0..n_racks)
+                .filter(|&r| free_per_rack[r] >= n)
+                .min_by_key(|&r| free_per_rack[r])
+        });
+        let rack_order: Vec<usize> = match single {
+            Some(r) => {
+                let mut order = vec![r];
+                order.extend((0..n_racks).filter(|&x| x != r));
+                order
+            }
+            None => {
+                // Spill across the fewest racks: emptiest racks first.
+                let mut order: Vec<usize> = (0..n_racks).collect();
+                order.sort_by_key(|&r| std::cmp::Reverse(free_per_rack[r]));
+                order
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for rack in rack_order {
+            let lo = rack * self.rack_size;
+            let hi = (lo + self.rack_size).min(self.nodes);
+            for node in lo..hi {
+                if avail.contains(node) {
+                    out.push(node);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-rack-or-nothing: an idle rack that fits, else the best-fit
+    /// occupied rack. `None` when no single rack holds `n` available
+    /// nodes — the fragmentation case `RackAware` spills over and this
+    /// policy refuses.
+    fn pick_rack_strict(&self, avail: &ProcSet, n: usize) -> Option<Vec<usize>> {
+        let free_per_rack = self.free_per_rack(avail);
+        let n_racks = self.n_racks();
+        let idle = (0..n_racks)
+            .filter(|&r| free_per_rack[r] >= n && free_per_rack[r] == self.rack_capacity(r))
+            .min_by_key(|&r| free_per_rack[r]);
+        let rack = idle.or_else(|| {
+            (0..n_racks)
+                .filter(|&r| free_per_rack[r] >= n)
+                .min_by_key(|&r| free_per_rack[r])
+        })?;
+        Some(
+            avail
+                .intersect(&self.rack_set(rack))
+                .iter()
+                .take(n)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape() {
+        let h = Hierarchy::new(13, 4, 8);
+        assert_eq!(h.n_racks(), 4);
+        assert_eq!(h.rack_capacity(0), 4);
+        assert_eq!(h.rack_capacity(3), 1, "ragged final rack");
+        assert_eq!(h.total_cores(), 104);
+        assert_eq!(h.rack_set(1), ProcSet::range(4, 7));
+        assert_eq!(h.site().len(), 13);
+        assert_eq!(h.racks_of(&[0, 5, 6, 12]), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn rack_strict_fails_typed_on_fragmentation() {
+        let h = Hierarchy::new(8, 4, 1);
+        // Two free nodes in each rack: capacity admits 3, no rack does.
+        let avail = ProcSet::from_ids(&[2, 3, 6, 7]);
+        assert!(h.feasible(&avail, 2, PlacementPolicy::RackStrict));
+        assert!(!h.feasible(&avail, 3, PlacementPolicy::RackStrict));
+        assert!(h.feasible(&avail, 3, PlacementPolicy::RackAware));
+        let err = h
+            .select(&avail, 3, PlacementPolicy::RackStrict)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::PlacementUnsatisfiable {
+                need: 3,
+                free: 4,
+                ..
+            }
+        ));
+        assert_eq!(
+            h.select(&avail, 2, PlacementPolicy::RackStrict).unwrap(),
+            vec![2, 3],
+            "best-fit lands in the fuller rack's hole"
+        );
+    }
+}

@@ -1,6 +1,20 @@
-//! Jobs as the scheduler sees them, and a synthetic arrival mix.
+//! Jobs as the scheduler sees them, and the seeded synthetic arrival
+//! mixes every sweep draws from.
 
+use crate::burst::BurstJob;
 use sim_des::DetRng;
+
+/// One candidate shape of a moldable job: the scheduler evaluates each
+/// shape against the slot set and commits to the one that finishes
+/// earliest (ties: fewer nodes, then declaration order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobShape {
+    pub nodes: usize,
+    /// Nominal (uncontended) runtime at this width, seconds.
+    pub runtime: f64,
+    /// Walltime estimate at this width, seconds.
+    pub walltime: f64,
+}
 
 /// One job submitted to a single-site scheduler.
 #[derive(Debug, Clone)]
@@ -23,6 +37,17 @@ pub struct SchedJob {
     /// Fraction of the nominal runtime spent in inter-node communication,
     /// in `[0, 1]`. This is what link contention acts on.
     pub comm_fraction: f64,
+    /// Accounting project for per-project quotas; `None` is unmetered.
+    pub project: Option<u32>,
+    /// Job ids (indices into the same submission list) that must depart —
+    /// complete or be killed — before this job becomes eligible.
+    pub deps: Vec<usize>,
+    /// Moldable shapes. Empty for a rigid job (the common case); when
+    /// non-empty these *replace* the rigid `nodes`/`runtime`/`walltime`.
+    pub shapes: Vec<JobShape>,
+    /// Advance reservation: the job must start exactly at this time (the
+    /// calendar holds the nodes from then on). `None` is a batch job.
+    pub start_at: Option<f64>,
 }
 
 impl SchedJob {
@@ -37,7 +62,35 @@ impl SchedJob {
             runtime,
             walltime: runtime * 3.0,
             comm_fraction,
+            project: None,
+            deps: Vec::new(),
+            shapes: Vec::new(),
+            start_at: None,
         }
+    }
+
+    /// Bill this job to a project (see [`crate::site::QuotaRule`]).
+    pub fn with_project(mut self, project: u32) -> SchedJob {
+        self.project = Some(project);
+        self
+    }
+
+    /// Gate eligibility on the departure of other jobs.
+    pub fn with_deps(mut self, deps: &[usize]) -> SchedJob {
+        self.deps = deps.to_vec();
+        self
+    }
+
+    /// Make the job moldable over the given shapes.
+    pub fn with_shapes(mut self, shapes: &[JobShape]) -> SchedJob {
+        self.shapes = shapes.to_vec();
+        self
+    }
+
+    /// Turn the job into an advance reservation starting at `t`.
+    pub fn at(mut self, t: f64) -> SchedJob {
+        self.start_at = Some(t);
+        self
     }
 }
 
@@ -79,16 +132,49 @@ pub fn lublin_mix(n_jobs: usize, pool_nodes: usize, load: f64, seed: u64) -> Vec
         .enumerate()
         .map(|(id, (nodes, runtime, cf))| {
             t += rng.exponential(mean_interarrival);
-            SchedJob {
-                id,
-                name: format!("job{id}"),
-                nodes,
-                submit: t,
+            let mut job = SchedJob::new(id, nodes, t, runtime, cf);
+            // Walltime pad: 2.5x (the contention cap) plus user
+            // sloppiness — real estimates are notoriously loose.
+            job.walltime = runtime * (2.5 + 1.5 * rng.uniform());
+            job
+        })
+        .collect()
+}
+
+/// The same seeded Lublin mix lifted to multi-site burst jobs: one
+/// runtime per site, where `cloud_slowdowns[s] = (base, per_cf)` stretches
+/// the home runtime to `runtime * (base + per_cf * comm_fraction)` on
+/// cloud site `s + 1`. Cloud friendliness is the complement of the
+/// communication fraction — compute-bound jobs migrate well.
+///
+/// This is *the* shared constructor behind every contended sweep
+/// (`contended_mix` in the driver crate and the burst tests draw from it),
+/// so the two can never drift apart on RNG order or coefficients.
+pub fn lublin_burst_mix(
+    n_jobs: usize,
+    pool_nodes: usize,
+    load: f64,
+    seed: u64,
+    cloud_slowdowns: &[(f64, f64)],
+) -> Vec<BurstJob> {
+    lublin_mix(n_jobs, pool_nodes, load, seed)
+        .into_iter()
+        .map(|j| {
+            let cf = j.comm_fraction;
+            let mut runtime = vec![j.runtime];
+            runtime.extend(
+                cloud_slowdowns
+                    .iter()
+                    .map(|&(base, per_cf)| j.runtime * (base + per_cf * cf)),
+            );
+            BurstJob {
+                id: j.id,
+                name: j.name,
+                nodes: j.nodes,
+                submit: j.submit,
                 runtime,
-                // Walltime pad: 2.5x (the contention cap) plus user
-                // sloppiness — real estimates are notoriously loose.
-                walltime: runtime * (2.5 + 1.5 * rng.uniform()),
                 comm_fraction: cf,
+                friendliness: (1.0 - cf).clamp(0.0, 1.0),
             }
         })
         .collect()
@@ -129,5 +215,45 @@ mod tests {
         let lo = lublin_mix(200, 32, 0.5, 3);
         let hi = lublin_mix(200, 32, 2.0, 3);
         assert!(hi.last().unwrap().submit < lo.last().unwrap().submit);
+    }
+
+    #[test]
+    fn burst_mix_tracks_the_site_mix() {
+        let base = lublin_mix(50, 16, 1.2, 9);
+        let burst = lublin_burst_mix(50, 16, 1.2, 9, &[(1.05, 0.9), (1.10, 1.3)]);
+        assert_eq!(burst.len(), base.len());
+        for (b, j) in burst.iter().zip(&base) {
+            assert_eq!(b.submit, j.submit, "same arrivals, same RNG draw order");
+            assert_eq!(b.nodes, j.nodes);
+            assert_eq!(b.runtime.len(), 3);
+            assert_eq!(b.runtime[0], j.runtime);
+            assert_eq!(b.runtime[1], j.runtime * (1.05 + 0.9 * j.comm_fraction));
+            assert_eq!(b.runtime[2], j.runtime * (1.10 + 1.3 * j.comm_fraction));
+            assert_eq!(b.friendliness, (1.0 - j.comm_fraction).clamp(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn job_builders_compose() {
+        let j = SchedJob::new(3, 4, 10.0, 100.0, 0.2)
+            .with_project(1)
+            .with_deps(&[0, 1])
+            .with_shapes(&[
+                JobShape {
+                    nodes: 4,
+                    runtime: 100.0,
+                    walltime: 300.0,
+                },
+                JobShape {
+                    nodes: 8,
+                    runtime: 60.0,
+                    walltime: 180.0,
+                },
+            ])
+            .at(500.0);
+        assert_eq!(j.project, Some(1));
+        assert_eq!(j.deps, vec![0, 1]);
+        assert_eq!(j.shapes.len(), 2);
+        assert_eq!(j.start_at, Some(500.0));
     }
 }

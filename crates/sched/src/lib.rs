@@ -3,11 +3,22 @@
 //! Turns the one-job-at-a-time instrument into a cluster-scale system: a
 //! stream of jobs is scheduled onto a shared node pool per platform with
 //!
+//! * **a slot-set core** — time is a sorted list of contiguous slots, each
+//!   holding the available [`ProcSet`] over the site's hierarchical
+//!   resource tree ([`hierarchy::Hierarchy`]: site → rack → node → core);
+//!   every scheduling decision is interval intersection and slot
+//!   split/merge ([`slot::SlotSet`]). The historical free-node-counting
+//!   core survives as [`SchedEngine::LegacyFreeNode`], an equivalence
+//!   oracle the tests pin the slot engine against bit-for-bit;
 //! * **queue disciplines** — FCFS, EASY backfill and conservative
 //!   backfill ([`Discipline`], [`simulate_site`]), with walltime estimates
 //!   and the EASY invariant (backfilled jobs never delay the queue head's
 //!   reservation);
-//! * **placement policies** — packed, scattered, rack-aware
+//! * **calendars and contracts** — advance reservations ([`SchedJob::at`])
+//!   and maintenance windows ([`Maintenance`]) pre-split into the slot
+//!   set, per-project concurrency quotas ([`QuotaRule`]), job dependency
+//!   DAGs and moldable jobs ([`JobShape`]) — slot-set engine only;
+//! * **placement policies** — packed, scattered, rack-aware, rack-strict
 //!   ([`PlacementPolicy`]) over the platform's switch topology, where
 //!   co-located jobs sharing links pay the contention multiplier
 //!   ([`sim_net::ContentionParams`] — the same model the MPI engine
@@ -20,21 +31,47 @@
 //! feeds the IPM-style [`sim_ipm::SchedReport`] via [`sched_report`].
 
 pub mod burst;
+pub mod error;
+pub mod hierarchy;
 pub mod job;
 pub mod pool;
 pub mod pricing;
 pub mod site;
+pub mod slot;
 
 pub use burst::{
     simulate_burst, BurstJob, BurstOutcome, BurstPolicy, BurstSite, BurstStats, CheckpointSpec,
     PreemptSpec,
 };
-pub use job::{lublin_mix, SchedJob};
+pub use error::SchedError;
+pub use hierarchy::Hierarchy;
+pub use job::{lublin_burst_mix, lublin_mix, JobShape, SchedJob};
 pub use pool::{share_links, NodePool, PlacementPolicy};
 pub use pricing::PriceModel;
-pub use site::{simulate_site, Discipline, JobOutcome, SiteConfig, SiteResult};
+pub use site::{
+    simulate_site, Discipline, JobOutcome, MaintNodes, Maintenance, QuotaRule, SchedEngine,
+    SiteConfig, SiteResult,
+};
+pub use slot::{ProcSet, SlotSet};
 
 use sim_ipm::{SchedJobRow, SchedReport};
+
+/// Job class tag for report attribution: reservations, moldable jobs,
+/// dependency-gated jobs and project-billed jobs are distinguishable in
+/// the IPM-style table.
+fn job_kind(j: &SchedJob) -> String {
+    if j.start_at.is_some() {
+        "resv".to_string()
+    } else if !j.shapes.is_empty() {
+        "mold".to_string()
+    } else if !j.deps.is_empty() {
+        "dep".to_string()
+    } else if let Some(p) = j.project {
+        format!("p{p}")
+    } else {
+        "batch".to_string()
+    }
+}
 
 /// Build the IPM-style scheduler report from a single-site result.
 pub fn sched_report(site: &str, jobs: &[SchedJob], result: &SiteResult) -> SchedReport {
@@ -44,7 +81,8 @@ pub fn sched_report(site: &str, jobs: &[SchedJob], result: &SiteResult) -> Sched
         .map(|(j, o)| SchedJobRow {
             id: j.id,
             name: j.name.clone(),
-            nodes: j.nodes,
+            kind: job_kind(j),
+            nodes: o.nodes,
             wait: o.wait,
             runtime: (o.end - o.start).max(0.0),
             contention_inflation: o.inflation,
@@ -67,6 +105,7 @@ pub fn burst_report(sites: &[BurstSite], jobs: &[BurstJob], stats: &BurstStats) 
         .map(|(j, o)| SchedJobRow {
             id: j.id,
             name: format!("{}@{}", j.name, sites[o.site].name),
+            kind: if o.site == 0 { "home" } else { "cloud" }.to_string(),
             nodes: j.nodes,
             wait: o.wait,
             runtime: o.runtime + o.inflation,

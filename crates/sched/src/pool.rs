@@ -1,12 +1,16 @@
-//! The shared node pool: racks, free lists and placement policies.
+//! The shared node pool: racks, free sets and placement policies.
 //!
 //! Rack structure comes from the platform's interconnect topology
 //! ([`sim_net::Shape`]): a fat tree's leaf radix partitions nodes into
-//! racks behind shared uplinks; a single switch is one big rack. Placement
-//! decides which free nodes a job gets, which in turn decides which jobs
-//! share links — and therefore who pays contention (see
-//! [`crate::site`]).
+//! racks behind shared uplinks; a single switch is one big rack. The pool
+//! is a thin stateful wrapper over a [`Hierarchy`] and a free
+//! [`ProcSet`]; placement decides which free nodes a job gets, which in
+//! turn decides which jobs share links — and therefore who pays
+//! contention (see [`crate::site`]).
 
+use crate::error::SchedError;
+use crate::hierarchy::Hierarchy;
+use crate::slot::ProcSet;
 use sim_net::topology::Shape;
 use sim_platform::ClusterSpec;
 
@@ -23,6 +27,10 @@ pub enum PlacementPolicy {
     /// leaf switch at all), else the best-fitting single rack, else the
     /// fewest racks. Minimizes shared links.
     RackAware,
+    /// Single rack or nothing: like `RackAware` but refuses to spill, so a
+    /// fragmented free set can fail a request that raw capacity admits.
+    /// The only policy for which placement constrains feasibility.
+    RackStrict,
 }
 
 impl PlacementPolicy {
@@ -31,6 +39,7 @@ impl PlacementPolicy {
             PlacementPolicy::Packed => "packed",
             PlacementPolicy::Scattered => "scattered",
             PlacementPolicy::RackAware => "rack-aware",
+            PlacementPolicy::RackStrict => "rack-strict",
         }
     }
 }
@@ -38,31 +47,32 @@ impl PlacementPolicy {
 /// A pool of identical nodes grouped into racks of `rack_size`.
 #[derive(Debug, Clone)]
 pub struct NodePool {
-    nodes: usize,
-    rack_size: usize,
-    free: Vec<bool>,
-    free_count: usize,
+    hier: Hierarchy,
+    free: ProcSet,
 }
 
 impl NodePool {
     pub fn new(nodes: usize, rack_size: usize) -> NodePool {
-        assert!(nodes >= 1 && rack_size >= 1);
-        NodePool {
-            nodes,
-            rack_size,
-            free: vec![true; nodes],
-            free_count: nodes,
-        }
+        let hier = Hierarchy::new(nodes.max(1), rack_size.max(1), 1);
+        let free = hier.site();
+        NodePool { hier, free }
     }
 
     /// Derive the pool from a platform preset: fat-tree leaf radix =
-    /// rack size; a single switch is one rack.
+    /// rack size; a single switch is one rack. Cores per node ride along
+    /// from the node spec so the hierarchy's leaf level is real.
     pub fn from_cluster(cluster: &ClusterSpec) -> NodePool {
         let rack_size = match cluster.topology.shape {
             Shape::SingleSwitch => cluster.nodes.max(1),
             Shape::FatTree { radix, .. } => radix.max(1),
         };
-        NodePool::new(cluster.nodes, rack_size)
+        let hier = Hierarchy::new(
+            cluster.nodes.max(1),
+            rack_size,
+            cluster.node.logical_cores().max(1),
+        );
+        let free = hier.site();
+        NodePool { hier, free }
     }
 
     /// A modeled partition of `nodes` nodes with the cluster's rack
@@ -75,131 +85,70 @@ impl NodePool {
             Shape::SingleSwitch => nodes.max(1),
             Shape::FatTree { radix, .. } => radix.max(1),
         };
-        NodePool::new(nodes.max(1), rack_size)
+        let hier = Hierarchy::new(nodes.max(1), rack_size, cluster.node.logical_cores().max(1));
+        let free = hier.site();
+        NodePool { hier, free }
+    }
+
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
     }
 
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.hier.nodes()
     }
 
     pub fn free_count(&self) -> usize {
-        self.free_count
+        self.free.len()
+    }
+
+    /// The currently free nodes as a proc set.
+    pub fn free_set(&self) -> &ProcSet {
+        &self.free
     }
 
     pub fn rack_of(&self, node: usize) -> usize {
-        node / self.rack_size
+        self.hier.rack_of(node)
     }
 
     pub fn n_racks(&self) -> usize {
-        self.nodes.div_ceil(self.rack_size)
+        self.hier.n_racks()
     }
 
     /// Sorted, deduplicated rack ids spanned by a node set.
     pub fn racks_of(&self, nodes: &[usize]) -> Vec<usize> {
-        let mut racks: Vec<usize> = nodes.iter().map(|&n| self.rack_of(n)).collect();
-        racks.sort_unstable();
-        racks.dedup();
-        racks
+        self.hier.racks_of(nodes)
     }
 
-    /// Allocate `n` free nodes under `policy`. Always succeeds when
-    /// `free_count >= n` (policies shape preference order, never
-    /// feasibility).
-    pub fn alloc(&mut self, n: usize, policy: PlacementPolicy) -> Option<Vec<usize>> {
-        if n == 0 || n > self.free_count {
-            return None;
-        }
-        let picked = match policy {
-            PlacementPolicy::Packed => self.pick_packed(n),
-            PlacementPolicy::Scattered => self.pick_scattered(n),
-            PlacementPolicy::RackAware => self.pick_rack_aware(n),
-        };
-        debug_assert_eq!(picked.len(), n);
-        for &node in &picked {
-            debug_assert!(self.free[node]);
-            self.free[node] = false;
-        }
-        self.free_count -= n;
-        Some(picked)
+    /// Allocate `n` free nodes under `policy`. For the preference-shaping
+    /// policies this succeeds whenever `free_count >= n`; `RackStrict` can
+    /// additionally fail on fragmentation, and every failure is a typed
+    /// [`SchedError`] instead of a panic in the caller.
+    pub fn alloc(&mut self, n: usize, policy: PlacementPolicy) -> Result<Vec<usize>, SchedError> {
+        let candidates = self.free.clone();
+        self.alloc_from(n, policy, &candidates)
+    }
+
+    /// Allocate `n` nodes under `policy`, restricted to `candidates` — the
+    /// slot-set engine passes the hard availability intersected over the
+    /// job's whole window here. `candidates` not currently free are
+    /// ignored.
+    pub fn alloc_from(
+        &mut self,
+        n: usize,
+        policy: PlacementPolicy,
+        candidates: &ProcSet,
+    ) -> Result<Vec<usize>, SchedError> {
+        let avail = self.free.intersect(candidates);
+        let picked = self.hier.select(&avail, n, policy)?;
+        self.free = self.free.difference(&ProcSet::from_ids(&picked));
+        Ok(picked)
     }
 
     pub fn release(&mut self, nodes: &[usize]) {
-        for &node in nodes {
-            debug_assert!(!self.free[node]);
-            self.free[node] = true;
-        }
-        self.free_count += nodes.len();
-    }
-
-    fn pick_packed(&self, n: usize) -> Vec<usize> {
-        (0..self.nodes).filter(|&i| self.free[i]).take(n).collect()
-    }
-
-    fn pick_scattered(&self, n: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(n);
-        // Round-robin across racks: offset-major traversal takes at most
-        // one node per rack per sweep.
-        for offset in 0..self.rack_size {
-            for rack in 0..self.n_racks() {
-                let node = rack * self.rack_size + offset;
-                if node < self.nodes && self.free[node] {
-                    out.push(node);
-                    if out.len() == n {
-                        return out;
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn pick_rack_aware(&self, n: usize) -> Vec<usize> {
-        let n_racks = self.n_racks();
-        let mut free_per_rack = vec![0usize; n_racks];
-        for i in 0..self.nodes {
-            if self.free[i] {
-                free_per_rack[self.rack_of(i)] += 1;
-            }
-        }
-        let rack_capacity = |r: usize| (self.nodes - r * self.rack_size).min(self.rack_size);
-        // An idle rack avoids leaf-switch co-tenancy entirely; failing
-        // that, best-fit into an occupied rack (the fullest one that still
-        // takes the whole job, keeping big holes intact for wide jobs).
-        let idle = (0..n_racks)
-            .filter(|&r| free_per_rack[r] >= n && free_per_rack[r] == rack_capacity(r))
-            .min_by_key(|&r| free_per_rack[r]);
-        let single = idle.or_else(|| {
-            (0..n_racks)
-                .filter(|&r| free_per_rack[r] >= n)
-                .min_by_key(|&r| free_per_rack[r])
-        });
-        let rack_order: Vec<usize> = match single {
-            Some(r) => {
-                let mut order = vec![r];
-                order.extend((0..n_racks).filter(|&x| x != r));
-                order
-            }
-            None => {
-                // Spill across the fewest racks: emptiest racks first.
-                let mut order: Vec<usize> = (0..n_racks).collect();
-                order.sort_by_key(|&r| std::cmp::Reverse(free_per_rack[r]));
-                order
-            }
-        };
-        let mut out = Vec::with_capacity(n);
-        for rack in rack_order {
-            let lo = rack * self.rack_size;
-            let hi = (lo + self.rack_size).min(self.nodes);
-            for node in lo..hi {
-                if self.free[node] {
-                    out.push(node);
-                    if out.len() == n {
-                        return out;
-                    }
-                }
-            }
-        }
-        out
+        let released = ProcSet::from_ids(nodes);
+        debug_assert!(self.free.intersect(&released).is_empty());
+        self.free = self.free.union(&released);
     }
 }
 
@@ -282,11 +231,54 @@ mod tests {
             let mut p = NodePool::new(13, 4); // ragged final rack
             let a = p.alloc(7, policy).unwrap();
             let b = p.alloc(6, policy).unwrap();
-            assert!(p.alloc(1, policy).is_none());
+            assert!(p.alloc(1, policy).is_err());
             p.release(&a);
             p.release(&b);
             assert_eq!(p.free_count(), 13);
         }
+    }
+
+    #[test]
+    fn rack_strict_errors_on_fragmentation_instead_of_spilling() {
+        let mut p = NodePool::new(8, 4);
+        // Leave holes of 2 in each rack: 4 free total, no rack has 3.
+        let a = p.alloc(2, PlacementPolicy::Packed).unwrap(); // [0, 1]
+        let b = p
+            .alloc_from(3, PlacementPolicy::Packed, &ProcSet::range(4, 7))
+            .unwrap(); // [4, 5, 6]
+        assert_eq!(p.free_count(), 3);
+        // RackAware happily spills; RackStrict reports the fragmentation.
+        let err = p.alloc(3, PlacementPolicy::RackStrict).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::PlacementUnsatisfiable {
+                need: 3,
+                policy: "rack-strict",
+                free: 3,
+            }
+        );
+        let ok = p.alloc(2, PlacementPolicy::RackStrict).unwrap();
+        assert_eq!(p.racks_of(&ok).len(), 1);
+        p.release(&a);
+        p.release(&b);
+        p.release(&ok);
+        assert_eq!(p.free_count(), 8);
+    }
+
+    #[test]
+    fn alloc_from_respects_the_candidate_set() {
+        let mut p = NodePool::new(16, 4);
+        let got = p
+            .alloc_from(2, PlacementPolicy::Packed, &ProcSet::range(8, 15))
+            .unwrap();
+        assert_eq!(got, vec![8, 9]);
+        let err = p
+            .alloc_from(9, PlacementPolicy::Packed, &ProcSet::range(8, 15))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::PlacementUnsatisfiable { free: 6, .. }
+        ));
     }
 
     #[test]

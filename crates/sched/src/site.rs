@@ -1,6 +1,23 @@
 //! The single-site scheduling engine: queue disciplines over
 //! `sim_des::EventQueue`, with placement-aware link contention.
 //!
+//! # Engines
+//!
+//! Two engines implement every discipline. The **slot-set engine**
+//! (default) schedules over a [`SlotSet`]: a time-ordered list of slots,
+//! each holding the available [`ProcSet`] over its interval, with slot
+//! split/merge as the only mutations. Starting a job subtracts its
+//! placement from the slots over `[start, start + walltime)`; a departure
+//! adds it back over the unused tail. Count profiles walked off the slot
+//! list feed the same earliest-fit scan the legacy engine used, which is
+//! what makes the two engines bit-identical on the classic disciplines —
+//! pinned by the equivalence suite — while only the slot-set engine can
+//! express advance reservations, maintenance calendars, per-project
+//! quotas, job dependencies and moldable jobs. The **legacy free-node
+//! engine** counts free nodes at event times; it is kept behind
+//! [`SchedEngine::LegacyFreeNode`] purely as the equivalence oracle and
+//! rejects the new capabilities at validation.
+//!
 //! # Disciplines
 //!
 //! * **FCFS** — strict: the queue head blocks everything behind it.
@@ -23,6 +40,26 @@
 //!   regression foil: it demonstrably delays the head (see
 //!   `tests/sched_invariants.rs`).
 //!
+//! # New capabilities (slot-set engine only)
+//!
+//! * **Maintenance calendars** ([`Maintenance`]): each window is pre-split
+//!   into the slot set at setup, hard-removing its nodes; a job only starts
+//!   when its whole `[now, now + walltime)` window avoids the outage.
+//! * **Advance reservations** ([`SchedJob::at`]): placed like pseudo-jobs
+//!   at setup — concrete nodes are selected against the window's
+//!   availability and pre-split out of the slots, so batch traffic routes
+//!   around them; the job then starts exactly on time.
+//! * **Per-project quotas** ([`QuotaRule`]): a concurrent node cap per
+//!   project (optionally only inside a time window), enforced at
+//!   slot-selection time as an admission gate. Quotas can defer a quoted
+//!   start; reservations bypass them.
+//! * **Dependencies** ([`SchedJob::with_deps`]): a job is gated until every
+//!   dependency has departed (completed *or* killed).
+//! * **Moldable jobs** ([`SchedJob::with_shapes`]): on submission each
+//!   candidate shape is quoted against the slot profile and the job
+//!   commits, once, to the shape with the earliest estimated finish (ties:
+//!   fewer nodes, then declaration order).
+//!
 //! # Contention
 //!
 //! Placements map to rack sets ([`NodePool::racks_of`]); running jobs that
@@ -39,8 +76,10 @@
 //! killed). That independence is what keeps the EASY invariant intact even
 //! though actual completion times move with the tenant mix.
 
-use crate::job::SchedJob;
+use crate::error::SchedError;
+use crate::job::{JobShape, SchedJob};
 use crate::pool::{share_links, NodePool, PlacementPolicy};
+use crate::slot::{earliest_fit, level_at, ProcSet, SlotSet, EPS};
 use sim_des::{EventQueue, SimTime};
 use sim_net::ContentionParams;
 use std::collections::VecDeque;
@@ -66,13 +105,55 @@ impl Discipline {
     }
 }
 
-/// Tolerance for event-time comparisons (seconds). Covers the sub-ns
-/// residue of f64 -> `SimTime` grid rounding with orders of magnitude to
-/// spare against real scheduling timescales.
-const EPS: f64 = 1e-6;
+/// Which scheduling core runs the discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedEngine {
+    /// Interval algebra over the slot set (default; full capability set).
+    #[default]
+    SlotSet,
+    /// The historical free-node counting core, kept as the equivalence
+    /// oracle. Rejects calendars, quotas, reservations, dependencies and
+    /// moldable jobs at validation.
+    LegacyFreeNode,
+}
+
+impl SchedEngine {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedEngine::SlotSet => "slot-set",
+            SchedEngine::LegacyFreeNode => "legacy-free-node",
+        }
+    }
+}
+
+/// Which nodes a maintenance window takes down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintNodes {
+    All,
+    Rack(usize),
+    Nodes(Vec<usize>),
+}
+
+/// A scheduled outage: `nodes` are unavailable over `[begin, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Maintenance {
+    pub begin: f64,
+    pub end: f64,
+    pub nodes: MaintNodes,
+}
+
+/// A concurrent node cap for one project, optionally only inside a time
+/// window (outside the window the project is unmetered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuotaRule {
+    pub project: u32,
+    pub max_nodes: usize,
+    pub window: Option<(f64, f64)>,
+}
 
 /// What the site scheduler needs to know about one job. Per-site view:
-/// multi-site simulations hold one per site with site-specific runtimes.
+/// multi-site simulations hold one per site with site-specific runtimes,
+/// and moldable jobs overwrite their view with the committed shape.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct JobView {
     pub nodes: usize,
@@ -126,6 +207,8 @@ pub struct JobOutcome {
     pub inflation: f64,
     /// False if the job hit its walltime and was killed.
     pub completed: bool,
+    /// Nodes actually held — the committed shape for moldable jobs.
+    pub nodes: usize,
 }
 
 /// Aggregate result of [`simulate_site`].
@@ -144,12 +227,24 @@ pub struct SiteResult {
     pub reservations: Vec<(usize, f64)>,
 }
 
-/// State of one site's scheduler: pool + queue + running set.
+/// A pinned advance reservation: concrete nodes pre-split out of the slot
+/// set over `[start, start + walltime)`, started exactly on time.
+#[derive(Debug, Clone)]
+struct Advance {
+    job: usize,
+    start: f64,
+    walltime: f64,
+    procs: ProcSet,
+    done: bool,
+}
+
+/// State of one site's scheduler: pool + queue + running set + slot set.
 pub(crate) struct SiteState {
     pub pool: NodePool,
     pub placement: PlacementPolicy,
     pub discipline: Discipline,
     pub contention: ContentionParams,
+    pub engine: SchedEngine,
     pub queue: VecDeque<usize>,
     pub running: Vec<Running>,
     /// Simulation time of the last work-accounting advance.
@@ -174,12 +269,36 @@ pub(crate) struct SiteState {
     /// reservation assumed — which is exactly the head-delay cascade the
     /// discipline promises away.
     next_due: Option<f64>,
+    /// The availability timeline (slot-set engine only).
+    slots: SlotSet,
+    quotas: Vec<QuotaRule>,
+    /// Per-job accounting project (indexes parallel the job list).
+    project: Vec<Option<u32>>,
+    /// Per-job dependency edges; a job is eligible once every dep departed.
+    deps: Vec<Vec<usize>>,
+    dep_done: Vec<bool>,
+    /// Submitted jobs still gated on dependencies, in submission order.
+    gated: Vec<usize>,
+    advance: Vec<Advance>,
+    /// Whether maintenance windows were pre-split into the slots. Sticky:
+    /// once outages shape the timeline, window-fit checks stay on.
+    calendar_applied: bool,
 }
 
 /// A completion or kill the caller must record.
 pub(crate) enum Departure {
-    Completed { job: usize, start: f64, end: f64 },
-    Killed { job: usize, start: f64, end: f64 },
+    Completed {
+        job: usize,
+        start: f64,
+        end: f64,
+        nodes: usize,
+    },
+    Killed {
+        job: usize,
+        start: f64,
+        end: f64,
+        nodes: usize,
+    },
 }
 
 impl SiteState {
@@ -188,13 +307,16 @@ impl SiteState {
         placement: PlacementPolicy,
         discipline: Discipline,
         contention: ContentionParams,
+        engine: SchedEngine,
         n_jobs: usize,
     ) -> SiteState {
+        let slots = SlotSet::new(0.0, pool.hierarchy().site());
         SiteState {
             pool,
             placement,
             discipline,
             contention,
+            engine,
             queue: VecDeque::new(),
             running: Vec::new(),
             clock: 0.0,
@@ -204,7 +326,72 @@ impl SiteState {
             head_delay_violations: 0,
             started: Vec::new(),
             next_due: None,
+            slots,
+            quotas: Vec::new(),
+            project: vec![None; n_jobs],
+            deps: vec![Vec::new(); n_jobs],
+            dep_done: vec![false; n_jobs],
+            gated: Vec::new(),
+            advance: Vec::new(),
+            calendar_applied: false,
         }
+    }
+
+    /// Install per-job capability data (projects, dependencies) and the
+    /// site's quota rules. Single-site drivers call this; the burst driver
+    /// leaves everything default (its jobs carry no capability features).
+    pub(crate) fn set_features(&mut self, jobs: &[SchedJob], quotas: &[QuotaRule]) {
+        for (i, j) in jobs.iter().enumerate() {
+            self.project[i] = j.project;
+            self.deps[i] = j.deps.clone();
+        }
+        self.quotas = quotas.to_vec();
+    }
+
+    /// Pre-split every maintenance window out of the slot set.
+    pub(crate) fn apply_calendar(&mut self, calendar: &[Maintenance]) {
+        self.calendar_applied = self.calendar_applied || !calendar.is_empty();
+        for m in calendar {
+            let procs = match &m.nodes {
+                MaintNodes::All => self.pool.hierarchy().site(),
+                MaintNodes::Rack(r) => self.pool.hierarchy().rack_set(*r),
+                MaintNodes::Nodes(ids) => ProcSet::from_ids(ids),
+            };
+            self.slots.sub_window(m.begin, m.end, &procs);
+        }
+    }
+
+    /// Pin an advance reservation: select concrete nodes against the
+    /// window's availability and pre-split them out of the slot set.
+    pub(crate) fn register_advance(
+        &mut self,
+        job: usize,
+        start: f64,
+        v: &JobView,
+    ) -> Result<(), SchedError> {
+        let cand = self.slots.window_avail(start, start + v.walltime);
+        let picked = self
+            .pool
+            .hierarchy()
+            .select(&cand, v.nodes, self.placement)
+            .map_err(|_| SchedError::ReservationUnsatisfiable { job, at: start })?;
+        let procs = ProcSet::from_ids(&picked);
+        self.slots.sub_window(start, start + v.walltime, &procs);
+        self.advance.push(Advance {
+            job,
+            start,
+            walltime: v.walltime,
+            procs,
+            done: false,
+        });
+        Ok(())
+    }
+
+    /// True when something besides the running set shapes availability —
+    /// the gate between the legacy-parity fast paths (instantaneous
+    /// availability) and the full window-fit checks.
+    fn constrained(&self) -> bool {
+        !self.quotas.is_empty() || !self.advance.is_empty() || self.calendar_applied
     }
 
     /// Account work done since the last advance at the current rates.
@@ -216,6 +403,37 @@ impl SiteState {
             }
         }
         self.clock = self.clock.max(now);
+        if self.engine == SchedEngine::SlotSet {
+            self.slots.truncate_before(self.clock);
+        }
+    }
+
+    /// Queue a submitted job, or gate it on unfinished dependencies.
+    /// Advance-reservation jobs never queue — the calendar starts them.
+    pub(crate) fn submit(&mut self, job: usize) {
+        if self.advance.iter().any(|a| a.job == job) {
+            return;
+        }
+        if self.deps[job].iter().all(|&d| self.dep_done[d]) {
+            self.queue.push_back(job);
+        } else {
+            self.gated.push(job);
+        }
+    }
+
+    /// Move every gated job whose dependencies have all departed into the
+    /// queue, preserving submission order.
+    fn release_gated(&mut self) {
+        let mut i = 0;
+        while i < self.gated.len() {
+            let job = self.gated[i];
+            if self.deps[job].iter().all(|&d| self.dep_done[d]) {
+                self.gated.remove(i);
+                self.queue.push_back(job);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Pull out every job that has completed its work or hit its walltime
@@ -223,29 +441,53 @@ impl SiteState {
     pub fn departures(&mut self, now: f64) -> Vec<Departure> {
         let mut out = Vec::new();
         let mut i = 0;
+        let mut released = false;
         while i < self.running.len() {
             let r = &self.running[i];
             if r.remaining <= EPS {
                 let r = self.running.swap_remove(i);
-                self.pool.release(&r.nodes_held);
+                self.release_run(now, &r);
+                released = true;
                 out.push(Departure::Completed {
                     job: r.job,
                     start: r.start,
                     end: now,
+                    nodes: r.nodes_held.len(),
                 });
             } else if r.kill_at <= now + EPS {
                 let r = self.running.swap_remove(i);
-                self.pool.release(&r.nodes_held);
+                self.release_run(now, &r);
+                released = true;
                 out.push(Departure::Killed {
                     job: r.job,
                     start: r.start,
                     end: now,
+                    nodes: r.nodes_held.len(),
                 });
             } else {
                 i += 1;
             }
         }
+        if released && self.engine == SchedEngine::SlotSet {
+            self.slots.merge();
+        }
+        for d in &out {
+            let job = match d {
+                Departure::Completed { job, .. } | Departure::Killed { job, .. } => *job,
+            };
+            self.dep_done[job] = true;
+        }
         out
+    }
+
+    /// Return a departing run's nodes to the pool and to the unused tail
+    /// of its slot window.
+    fn release_run(&mut self, now: f64, r: &Running) {
+        self.pool.release(&r.nodes_held);
+        if self.engine == SchedEngine::SlotSet && now < r.kill_at {
+            self.slots
+                .add_window(now, r.kill_at, &ProcSet::from_ids(&r.nodes_held));
+        }
     }
 
     /// Recompute every running job's slowdown from the current tenant mix.
@@ -293,6 +535,8 @@ impl SiteState {
         }
     }
 
+    // -- Legacy free-node primitives -------------------------------------
+
     /// Walltime-based release profile of the running set: `(end, nodes)`
     /// sorted by end. Static upper bounds — never moved by contention.
     fn release_profile(&self, jobs: &[JobView]) -> Vec<(f64, usize)> {
@@ -321,13 +565,191 @@ impl SiteState {
         );
     }
 
-    fn start_job(&mut self, pos: usize, now: f64, jobs: &[JobView]) {
-        let job = self.queue.remove(pos).expect("valid queue position");
-        let v = &jobs[job];
-        let nodes_held = self
+    // -- Slot-set primitives ---------------------------------------------
+
+    /// The slot walk from `now` on, as a `(base level, deltas)` pair in the
+    /// shape the legacy `Profile` consumed — what makes conservative quotes
+    /// on the two engines bit-identical.
+    fn slot_profile(&self, now: f64) -> (i64, Vec<(f64, i64)>) {
+        let slots = self.slots.slots();
+        let i = self.slots.index_at(now);
+        let base = slots[i].effective();
+        let mut level = base;
+        let mut deltas = Vec::with_capacity(slots.len() - i);
+        for s in &slots[i + 1..] {
+            let l = s.effective();
+            deltas.push((s.begin, l - level));
+            level = l;
+        }
+        (base, deltas)
+    }
+
+    /// EASY reservation off the slot walk: earliest breakpoint where the
+    /// head's whole walltime window fits, plus the spare level there. On an
+    /// unconstrained (monotone) profile this is exactly the legacy
+    /// release-walk crossing.
+    fn easy_reservation_slot(&self, now: f64, need: usize, walltime: f64) -> (f64, i64) {
+        let slots = self.slots.slots();
+        let i = self.slots.index_at(now);
+        let mut points = Vec::with_capacity(slots.len() - i);
+        points.push((now, slots[i].effective()));
+        for s in &slots[i + 1..] {
+            points.push((s.begin, s.effective()));
+        }
+        let shadow = earliest_fit(&points, need as i64, walltime)
+            .unwrap_or_else(|| panic!("job needs {need} nodes but the site never frees them"));
+        (shadow, level_at(&points, shadow) - need as i64)
+    }
+
+    /// The procs a job starting now may be placed on, or `None` when the
+    /// placement policy cannot carve its width out of them. Unconstrained
+    /// runs use the instantaneous availability (the legacy semantics);
+    /// constrained runs intersect the job's whole walltime window so a
+    /// start can never collide with a maintenance outage or a pinned
+    /// reservation downstream.
+    fn placement_fit(&self, now: f64, v: &JobView) -> Option<ProcSet> {
+        let cand = if self.constrained() {
+            self.slots.window_avail(now, now + v.walltime)
+        } else {
+            self.slots.avail_at(now).clone()
+        };
+        if self
             .pool
-            .alloc(v.nodes, self.placement)
-            .expect("fit was checked");
+            .hierarchy()
+            .feasible(&cand, v.nodes, self.placement)
+        {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// Admission gate: would starting `need` more nodes for `job`'s
+    /// project break an active quota rule?
+    fn quota_ok(&self, now: f64, job: usize, need: usize) -> bool {
+        let Some(p) = self.project.get(job).copied().flatten() else {
+            return true;
+        };
+        for q in &self.quotas {
+            if q.project != p {
+                continue;
+            }
+            if let Some((b, e)) = q.window {
+                if now < b - EPS || now >= e - EPS {
+                    continue;
+                }
+            }
+            let usage: usize = self
+                .running
+                .iter()
+                .filter(|r| self.project.get(r.job).copied().flatten() == Some(p))
+                .map(|r| r.nodes_held.len())
+                .sum();
+            if usage + need > q.max_nodes {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Commit a moldable job to the shape with the earliest estimated
+    /// finish against the current slot profile (ties: fewer nodes, then
+    /// declaration order). Called once, at submission.
+    pub(crate) fn choose_shape(&self, now: f64, j: &SchedJob) -> Option<JobShape> {
+        if j.shapes.is_empty() {
+            return None;
+        }
+        let (base, deltas) = self.slot_profile(now);
+        let prof = Profile::new(now, base, deltas);
+        let mut best: Option<(f64, usize, JobShape)> = None;
+        for shape in &j.shapes {
+            let start = prof.earliest(shape.nodes, shape.walltime, self.pool.nodes());
+            let finish = start + shape.runtime;
+            let better = match &best {
+                None => true,
+                Some((f, n, _)) => {
+                    finish < f - EPS || ((finish - f).abs() <= EPS && shape.nodes < *n)
+                }
+            };
+            if better {
+                best = Some((finish, shape.nodes, *shape));
+            }
+        }
+        best.map(|(_, _, s)| s)
+    }
+
+    /// Start every pinned advance reservation whose time has come, on
+    /// exactly its pre-split nodes.
+    pub(crate) fn start_due_advance(
+        &mut self,
+        now: f64,
+        jobs: &[JobView],
+    ) -> Result<(), SchedError> {
+        for i in 0..self.advance.len() {
+            let (job, start, walltime, done) = {
+                let a = &self.advance[i];
+                (a.job, a.start, a.walltime, a.done)
+            };
+            if done || start > now + EPS {
+                continue;
+            }
+            let procs = self.advance[i].procs.clone();
+            let v = jobs[job];
+            let held = self
+                .pool
+                .alloc_from(v.nodes, self.placement, &procs)
+                .map_err(|_| SchedError::ReservationUnsatisfiable { job, at: start })?;
+            // Kill at the pre-split window's exact end, so the departure
+            // hands back precisely the slots the pin took.
+            self.commence(job, now, &v, held, start + walltime, true);
+            self.advance[i].done = true;
+        }
+        Ok(())
+    }
+
+    // -- Starting jobs ----------------------------------------------------
+
+    /// Legacy path: allocate from the whole free pool.
+    fn start_job(&mut self, pos: usize, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+        let job = self.queue.remove(pos).expect("valid queue position");
+        let v = jobs[job];
+        let nodes_held = self.pool.alloc(v.nodes, self.placement)?;
+        self.commence(job, now, &v, nodes_held, now + v.walltime, false);
+        Ok(())
+    }
+
+    /// Slot path: allocate from the window's candidate procs and split the
+    /// placement out of the slots over `[now, now + walltime)`.
+    fn start_job_slot(
+        &mut self,
+        pos: usize,
+        now: f64,
+        jobs: &[JobView],
+        cand: &ProcSet,
+    ) -> Result<(), SchedError> {
+        let job = self.queue.remove(pos).expect("valid queue position");
+        let v = jobs[job];
+        let nodes_held = self.pool.alloc_from(v.nodes, self.placement, cand)?;
+        self.commence(job, now, &v, nodes_held, now + v.walltime, false);
+        Ok(())
+    }
+
+    /// Shared tail of every start: record the reservation violation, split
+    /// the slots (unless the window was pre-split by a pinned reservation),
+    /// and push the running record.
+    fn commence(
+        &mut self,
+        job: usize,
+        now: f64,
+        v: &JobView,
+        nodes_held: Vec<usize>,
+        kill_at: f64,
+        presplit: bool,
+    ) {
+        if self.engine == SchedEngine::SlotSet && !presplit {
+            self.slots
+                .sub_window(now, kill_at, &ProcSet::from_ids(&nodes_held));
+        }
         if let Some(promised) = self.reserved[job] {
             if now > promised + EPS {
                 self.head_delay_violations += 1;
@@ -346,7 +768,7 @@ impl SiteState {
             eff_cf,
             remaining: v.runtime,
             slowdown: 1.0,
-            kill_at: now + v.walltime,
+            kill_at,
             preempt_at: None,
             nodes_held,
         });
@@ -357,34 +779,57 @@ impl SiteState {
 
     /// Start every job the discipline allows at `now`. Starts are recorded
     /// in `self.started`; the caller recomputes rates afterwards.
-    pub fn try_start(&mut self, now: f64, jobs: &[JobView]) {
-        match self.discipline {
-            Discipline::Fcfs => self.try_start_fcfs(now, jobs),
-            Discipline::Easy => self.try_start_backfill(now, jobs, true),
-            Discipline::NaiveBackfill => self.try_start_backfill(now, jobs, false),
-            Discipline::Conservative => self.try_start_conservative(now, jobs),
+    pub fn try_start(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+        self.release_gated();
+        match (self.engine, self.discipline) {
+            (SchedEngine::LegacyFreeNode, Discipline::Fcfs) => self.try_start_fcfs(now, jobs),
+            (SchedEngine::LegacyFreeNode, Discipline::Easy) => {
+                self.try_start_backfill(now, jobs, true)
+            }
+            (SchedEngine::LegacyFreeNode, Discipline::NaiveBackfill) => {
+                self.try_start_backfill(now, jobs, false)
+            }
+            (SchedEngine::LegacyFreeNode, Discipline::Conservative) => {
+                self.try_start_conservative(now, jobs)
+            }
+            (SchedEngine::SlotSet, Discipline::Fcfs) => self.try_start_fcfs_slot(now, jobs),
+            (SchedEngine::SlotSet, Discipline::Easy) => {
+                self.try_start_backfill_slot(now, jobs, true)
+            }
+            (SchedEngine::SlotSet, Discipline::NaiveBackfill) => {
+                self.try_start_backfill_slot(now, jobs, false)
+            }
+            (SchedEngine::SlotSet, Discipline::Conservative) => {
+                self.try_start_conservative_slot(now, jobs)
+            }
         }
     }
 
-    fn try_start_fcfs(&mut self, now: f64, jobs: &[JobView]) {
+    fn try_start_fcfs(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
         while let Some(&head) = self.queue.front() {
             if jobs[head].nodes > self.pool.free_count() {
                 break;
             }
-            self.start_job(0, now, jobs);
+            self.start_job(0, now, jobs)?;
         }
+        Ok(())
     }
 
     /// EASY (`respect_shadow`) and the naive foil (`!respect_shadow`) share
     /// a skeleton: start the head while it fits; otherwise reserve for the
     /// head and scan the rest of the queue for backfills.
-    fn try_start_backfill(&mut self, now: f64, jobs: &[JobView], respect_shadow: bool) {
+    fn try_start_backfill(
+        &mut self,
+        now: f64,
+        jobs: &[JobView],
+        respect_shadow: bool,
+    ) -> Result<(), SchedError> {
         'sched: loop {
             let Some(&head) = self.queue.front() else {
-                return;
+                return Ok(());
             };
             if jobs[head].nodes <= self.pool.free_count() {
-                self.start_job(0, now, jobs);
+                self.start_job(0, now, jobs)?;
                 continue;
             }
             // Head blocked: quote (and pin) its reservation.
@@ -403,14 +848,14 @@ impl SiteState {
                 if respect_shadow && !fits_window && !fits_extra {
                     continue;
                 }
-                self.start_job(pos, now, jobs);
+                self.start_job(pos, now, jobs)?;
                 // Queue indices and the profile both changed; rescan (a
                 // start that consumed extra nodes shrinks the recomputed
                 // extra automatically: its walltime now sits in the
                 // profile past the shadow).
                 continue 'sched;
             }
-            return;
+            return Ok(());
         }
     }
 
@@ -423,7 +868,7 @@ impl SiteState {
     /// silently breaks the no-delay guarantee: an early completion lets a
     /// predecessor re-pack earlier, and the re-flowed greedy profile can
     /// push a later job's window past its first quote.
-    fn try_start_conservative(&mut self, now: f64, jobs: &[JobView]) {
+    fn try_start_conservative(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
         self.next_due = None;
         loop {
             // Quote new arrivals in FCFS order, each against the running
@@ -460,7 +905,7 @@ impl SiteState {
             match due {
                 Some(pos) => {
                     self.resv[self.queue[pos]] = None;
-                    self.start_job(pos, now, jobs);
+                    self.start_job(pos, now, jobs)?;
                 }
                 None => break,
             }
@@ -474,12 +919,18 @@ impl SiteState {
             .filter_map(|&j| self.resv[j])
             .filter(|&s| s > now + EPS)
             .min_by(|a, b| a.partial_cmp(b).expect("finite reservations"));
+        Ok(())
     }
 
     /// Earliest feasible start for `job` against the running set's walltime
     /// profile plus every *other* queued job's current reservation window.
     fn conservative_earliest(&self, now: f64, job: usize, jobs: &[JobView]) -> f64 {
-        let mut prof = Profile::new(now, self.pool.free_count(), self.release_profile(jobs));
+        let releases = self
+            .release_profile(jobs)
+            .into_iter()
+            .map(|(t, n)| (t, n as i64))
+            .collect();
+        let mut prof = Profile::new(now, self.pool.free_count() as i64, releases);
         for &other in &self.queue {
             if other == job {
                 continue;
@@ -491,16 +942,155 @@ impl SiteState {
         prof.earliest(jobs[job].nodes, jobs[job].walltime, self.pool.nodes())
     }
 
+    // -- Slot-set disciplines --------------------------------------------
+
+    fn try_start_fcfs_slot(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+        while let Some(&head) = self.queue.front() {
+            let v = jobs[head];
+            let Some(cand) = self.placement_fit(now, &v) else {
+                break;
+            };
+            if !self.quota_ok(now, head, v.nodes) {
+                break;
+            }
+            self.start_job_slot(0, now, jobs, &cand)?;
+        }
+        Ok(())
+    }
+
+    fn try_start_backfill_slot(
+        &mut self,
+        now: f64,
+        jobs: &[JobView],
+        respect_shadow: bool,
+    ) -> Result<(), SchedError> {
+        'sched: loop {
+            let Some(&head) = self.queue.front() else {
+                return Ok(());
+            };
+            let head_fit = self.placement_fit(now, &jobs[head]);
+            if let Some(cand) = &head_fit {
+                if self.quota_ok(now, head, jobs[head].nodes) {
+                    let cand = cand.clone();
+                    self.start_job_slot(0, now, jobs, &cand)?;
+                    continue;
+                }
+            }
+            // Head blocked: quote its reservation. Only a capacity block
+            // pins a promise — an admission (quota) block is not the
+            // scheduler's to promise around, and the quote below still
+            // bounds what may backfill safely.
+            let (shadow, extra) =
+                self.easy_reservation_slot(now, jobs[head].nodes, jobs[head].walltime);
+            if head_fit.is_none() && self.reserved[head].is_none() {
+                self.reserved[head] = Some(shadow);
+            }
+            for pos in 1..self.queue.len() {
+                let cand_job = self.queue[pos];
+                let v = jobs[cand_job];
+                let Some(cand) = self.placement_fit(now, &v) else {
+                    continue;
+                };
+                if !self.quota_ok(now, cand_job, v.nodes) {
+                    continue;
+                }
+                let fits_window = now + v.walltime <= shadow + EPS;
+                let fits_extra = v.nodes as i64 <= extra;
+                if respect_shadow && !fits_window && !fits_extra {
+                    continue;
+                }
+                self.start_job_slot(pos, now, jobs, &cand)?;
+                continue 'sched;
+            }
+            return Ok(());
+        }
+    }
+
+    fn try_start_conservative_slot(
+        &mut self,
+        now: f64,
+        jobs: &[JobView],
+    ) -> Result<(), SchedError> {
+        self.next_due = None;
+        loop {
+            for pos in 0..self.queue.len() {
+                let job = self.queue[pos];
+                if self.resv[job].is_some() {
+                    continue;
+                }
+                let s = self.conservative_earliest_slot(now, job, jobs);
+                self.resv[job] = Some(s);
+                if self.reserved[job].is_none() {
+                    self.reserved[job] = Some(s);
+                }
+            }
+            for pos in 0..self.queue.len() {
+                let job = self.queue[pos];
+                let s = self.conservative_earliest_slot(now, job, jobs);
+                if s < self.resv[job].expect("quoted above") - EPS {
+                    self.resv[job] = Some(s);
+                }
+            }
+            // A due job must also clear the admission gate and the window
+            // fit; one that does not stays queued (quotas may defer a
+            // quoted start — admission control trumps the quote).
+            let due = (0..self.queue.len()).find(|&pos| {
+                let job = self.queue[pos];
+                self.resv[job].expect("quoted above") <= now + EPS
+                    && self.quota_ok(now, job, jobs[job].nodes)
+                    && self.placement_fit(now, &jobs[job]).is_some()
+            });
+            match due {
+                Some(pos) => {
+                    let job = self.queue[pos];
+                    self.resv[job] = None;
+                    let cand = self
+                        .placement_fit(now, &jobs[job])
+                        .expect("checked in the due scan");
+                    self.start_job_slot(pos, now, jobs, &cand)?;
+                }
+                None => break,
+            }
+        }
+        self.next_due = self
+            .queue
+            .iter()
+            .filter_map(|&j| self.resv[j])
+            .filter(|&s| s > now + EPS)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite reservations"));
+        Ok(())
+    }
+
+    /// [`Self::conservative_earliest`] fed from the slot walk instead of
+    /// the running list — byte-identical quotes by construction.
+    fn conservative_earliest_slot(&self, now: f64, job: usize, jobs: &[JobView]) -> f64 {
+        let (base, deltas) = self.slot_profile(now);
+        let mut prof = Profile::new(now, base, deltas);
+        for &other in &self.queue {
+            if other == job {
+                continue;
+            }
+            if let Some(s) = self.resv[other] {
+                prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
+            }
+        }
+        prof.earliest(jobs[job].nodes, jobs[job].walltime, self.pool.nodes())
+    }
+
+    // -- Preemption (multi-site) -----------------------------------------
+
     /// Pull out every running job whose drawn preemption time has come:
     /// `(job, start, nominal seconds of work still unfinished)`. The nodes
     /// are released; the in-flight run is lost. Call after `advance(now)`.
     pub fn take_preempted(&mut self, now: f64) -> Vec<(usize, f64, f64)> {
         let mut out = Vec::new();
         let mut i = 0;
+        let mut released = false;
         while i < self.running.len() {
             if self.running[i].preempt_at.is_some_and(|p| p <= now + EPS) {
                 let r = self.running.swap_remove(i);
-                self.pool.release(&r.nodes_held);
+                self.release_run(now, &r);
+                released = true;
                 // A revoked job requeues as a fresh arrival: the promise it
                 // was quoted before it started (and ran!) is void.
                 self.reserved[r.job] = None;
@@ -509,6 +1099,9 @@ impl SiteState {
             } else {
                 i += 1;
             }
+        }
+        if released && self.engine == SchedEngine::SlotSet {
+            self.slots.merge();
         }
         out
     }
@@ -532,7 +1125,8 @@ impl SiteState {
 
 /// Free-node availability profile for conservative reservations:
 /// `(time, delta)` events prefix-summed into `(time, free-from-then-on)`
-/// breakpoints, rebuilt after each reservation.
+/// breakpoints, rebuilt after each reservation. Deltas may be negative
+/// (maintenance windows dip the profile); the earliest scan handles dips.
 struct Profile {
     now: f64,
     free_now: i64,
@@ -543,11 +1137,11 @@ struct Profile {
 }
 
 impl Profile {
-    fn new(now: f64, free_now: usize, releases: Vec<(f64, usize)>) -> Profile {
+    fn new(now: f64, free_now: i64, deltas: Vec<(f64, i64)>) -> Profile {
         let mut p = Profile {
             now,
-            free_now: free_now as i64,
-            deltas: releases.into_iter().map(|(t, n)| (t, n as i64)).collect(),
+            free_now,
+            deltas,
             points: Vec::new(),
         };
         p.rebuild();
@@ -577,28 +1171,12 @@ impl Profile {
             need <= pool_nodes,
             "job needs {need} nodes but the pool only has {pool_nodes}"
         );
-        let need = need as i64;
-        let n = self.points.len();
-        let mut i = 0;
-        while i < n {
-            let t = self.points[i].0;
-            let mut j = i;
-            let mut ok = true;
-            while j < n && self.points[j].0 < t + dur - EPS {
-                if self.points[j].1 < need {
-                    ok = false;
-                    i = j + 1;
-                    break;
-                }
-                j += 1;
-            }
-            if ok {
-                return t;
-            }
+        match earliest_fit(&self.points, need as i64, dur) {
+            Some(t) => t,
+            // All reservations and outages end, so the final level is the
+            // full pool and the scan must have landed by the last point.
+            None => unreachable!("profile never frees {need} nodes"),
         }
-        // All reservations end, so the final level is the full pool and the
-        // loop must have returned by the last breakpoint.
-        unreachable!("profile never frees {need} nodes");
     }
 
     fn reserve(&mut self, start: f64, nodes: usize, dur: f64) {
@@ -615,34 +1193,247 @@ pub struct SiteConfig {
     pub placement: PlacementPolicy,
     pub discipline: Discipline,
     pub contention: ContentionParams,
+    pub engine: SchedEngine,
+    pub calendar: Vec<Maintenance>,
+    pub quotas: Vec<QuotaRule>,
 }
 
-/// Run a job stream through one site's scheduler. Deterministic.
-pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
+impl SiteConfig {
+    pub fn new(
+        pool: NodePool,
+        placement: PlacementPolicy,
+        discipline: Discipline,
+        contention: ContentionParams,
+    ) -> SiteConfig {
+        SiteConfig {
+            pool,
+            placement,
+            discipline,
+            contention,
+            engine: SchedEngine::default(),
+            calendar: Vec::new(),
+            quotas: Vec::new(),
+        }
+    }
+
+    pub fn with_engine(mut self, engine: SchedEngine) -> SiteConfig {
+        self.engine = engine;
+        self
+    }
+
+    pub fn with_maintenance(mut self, m: Maintenance) -> SiteConfig {
+        self.calendar.push(m);
+        self
+    }
+
+    pub fn with_quota(mut self, q: QuotaRule) -> SiteConfig {
+        self.quotas.push(q);
+        self
+    }
+}
+
+fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
+    use std::cmp::Ordering;
+    // Windows must strictly increase; `partial_cmp` keeps NaN rejected.
+    let increases = |a: f64, b: f64| a.partial_cmp(&b) == Some(Ordering::Less);
+    let pool_nodes = cfg.pool.nodes();
+    let legacy = cfg.engine == SchedEngine::LegacyFreeNode;
+    for m in &cfg.calendar {
+        if !increases(m.begin, m.end) || m.begin < 0.0 {
+            return Err(SchedError::InvalidConfig {
+                reason: format!("maintenance window [{}, {}) is inverted", m.begin, m.end),
+            });
+        }
+        match &m.nodes {
+            MaintNodes::Rack(r) if *r >= cfg.pool.n_racks() => {
+                return Err(SchedError::InvalidConfig {
+                    reason: format!("maintenance names rack {r} of {}", cfg.pool.n_racks()),
+                })
+            }
+            MaintNodes::Nodes(ids) if ids.iter().any(|&n| n >= pool_nodes) => {
+                return Err(SchedError::InvalidConfig {
+                    reason: "maintenance names a node outside the pool".to_string(),
+                })
+            }
+            _ => {}
+        }
+    }
+    for q in &cfg.quotas {
+        if q.max_nodes == 0 {
+            return Err(SchedError::InvalidConfig {
+                reason: format!("zero-node quota for project {}", q.project),
+            });
+        }
+        if let Some((b, e)) = q.window {
+            if !increases(b, e) {
+                return Err(SchedError::InvalidConfig {
+                    reason: format!("quota window [{b}, {e}) is inverted"),
+                });
+            }
+        }
+    }
+    if legacy && !cfg.calendar.is_empty() {
+        return Err(SchedError::LegacyEngineUnsupported {
+            feature: "maintenance calendars",
+        });
+    }
+    if legacy && !cfg.quotas.is_empty() {
+        return Err(SchedError::LegacyEngineUnsupported {
+            feature: "per-project quotas",
+        });
+    }
+    for (i, j) in jobs.iter().enumerate() {
+        if legacy {
+            if !j.deps.is_empty() {
+                return Err(SchedError::LegacyEngineUnsupported {
+                    feature: "job dependencies",
+                });
+            }
+            if !j.shapes.is_empty() {
+                return Err(SchedError::LegacyEngineUnsupported {
+                    feature: "moldable jobs",
+                });
+            }
+            if j.start_at.is_some() {
+                return Err(SchedError::LegacyEngineUnsupported {
+                    feature: "advance reservations",
+                });
+            }
+        }
+        let widths: Vec<usize> = if j.shapes.is_empty() {
+            vec![j.nodes]
+        } else {
+            j.shapes.iter().map(|s| s.nodes).collect()
+        };
+        for &w in &widths {
+            if w == 0 {
+                return Err(SchedError::InvalidJob {
+                    job: i,
+                    reason: "zero-node shape".to_string(),
+                });
+            }
+            if w > pool_nodes {
+                return Err(SchedError::InsufficientNodes {
+                    job: i,
+                    need: w,
+                    limit: pool_nodes,
+                });
+            }
+            // RackStrict can never place a job wider than one rack.
+            if cfg.placement == PlacementPolicy::RackStrict && w > cfg.pool.hierarchy().rack_size()
+            {
+                return Err(SchedError::InsufficientNodes {
+                    job: i,
+                    need: w,
+                    limit: cfg.pool.hierarchy().rack_size(),
+                });
+            }
+            // A windowless quota is a hard ceiling.
+            if let Some(p) = j.project {
+                for q in &cfg.quotas {
+                    if q.project == p && q.window.is_none() && w > q.max_nodes {
+                        return Err(SchedError::InsufficientNodes {
+                            job: i,
+                            need: w,
+                            limit: q.max_nodes,
+                        });
+                    }
+                }
+            }
+        }
+        for s in &j.shapes {
+            if !increases(0.0, s.runtime) || s.walltime < s.runtime {
+                return Err(SchedError::InvalidJob {
+                    job: i,
+                    reason: "shape with non-positive runtime or walltime < runtime".to_string(),
+                });
+            }
+        }
+        if j.deps.iter().any(|&d| d >= jobs.len()) {
+            return Err(SchedError::InvalidJob {
+                job: i,
+                reason: "dependency on an unknown job".to_string(),
+            });
+        }
+        if let Some(t) = j.start_at {
+            if t < j.submit - EPS {
+                return Err(SchedError::InvalidJob {
+                    job: i,
+                    reason: "reservation before submission".to_string(),
+                });
+            }
+            if !j.deps.is_empty() || !j.shapes.is_empty() {
+                return Err(SchedError::InvalidJob {
+                    job: i,
+                    reason: "advance reservations cannot be dependent or moldable".to_string(),
+                });
+            }
+        }
+    }
+    // Dependency edges must form a DAG (a cycle waits on itself forever).
+    let mut color = vec![0u8; jobs.len()]; // 0 white, 1 grey, 2 black
+    fn dfs(v: usize, jobs: &[SchedJob], color: &mut [u8]) -> Result<(), SchedError> {
+        color[v] = 1;
+        for &d in &jobs[v].deps {
+            match color[d] {
+                1 => return Err(SchedError::DependencyCycle { job: d }),
+                0 => dfs(d, jobs, color)?,
+                _ => {}
+            }
+        }
+        color[v] = 2;
+        Ok(())
+    }
+    for v in 0..jobs.len() {
+        if color[v] == 0 {
+            dfs(v, jobs, &mut color)?;
+        }
+    }
+    Ok(())
+}
+
+/// Run a job stream through one site's scheduler. Deterministic. Errors
+/// are typed: fragmentation under a strict placement on the legacy engine,
+/// unsatisfiable reservations, invalid configs — never a panic.
+pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, SchedError> {
     #[derive(Clone, Copy)]
     enum Ev {
         Submit(usize),
+        /// A static calendar instant (maintenance end, quota window end,
+        /// reservation start): always valid, just re-runs the scheduler.
+        Tick,
         Wake(u64),
     }
-    for j in jobs {
-        assert!(
-            j.nodes >= 1 && j.nodes <= cfg.pool.nodes(),
-            "job {} needs {} nodes but the pool has {}",
-            j.id,
-            j.nodes,
-            cfg.pool.nodes()
-        );
-    }
-    let views: Vec<JobView> = jobs.iter().map(JobView::of).collect();
+    validate(jobs, cfg)?;
+    let mut views: Vec<JobView> = jobs.iter().map(JobView::of).collect();
     let mut st = SiteState::new(
         cfg.pool.clone(),
         cfg.placement,
         cfg.discipline,
         cfg.contention,
+        cfg.engine,
         jobs.len(),
     );
+    st.set_features(jobs, &cfg.quotas);
+    st.apply_calendar(&cfg.calendar);
     let mut q: EventQueue<Ev> = EventQueue::new();
+    // Static wake-ups: only instants that can *enable* a start need an
+    // event (window begins merely restrict, and are enforced inline).
+    if cfg.engine == SchedEngine::SlotSet {
+        for m in &cfg.calendar {
+            q.push(SimTime::from_secs_f64(m.end), Ev::Tick);
+        }
+        for rule in &cfg.quotas {
+            if let Some((_, e)) = rule.window {
+                q.push(SimTime::from_secs_f64(e), Ev::Tick);
+            }
+        }
+    }
     for (i, j) in jobs.iter().enumerate() {
+        if let Some(start) = j.start_at {
+            st.register_advance(i, start, &views[i])?;
+            q.push(SimTime::from_secs_f64(start), Ev::Tick);
+        }
         q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
     }
     let mut out: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
@@ -651,8 +1442,14 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
         match ev {
             Ev::Submit(i) => {
                 st.advance(now);
-                st.queue.push_back(i);
+                if let Some(shape) = st.choose_shape(now, &jobs[i]) {
+                    views[i].nodes = shape.nodes;
+                    views[i].runtime = shape.runtime;
+                    views[i].walltime = shape.walltime;
+                }
+                st.submit(i);
             }
+            Ev::Tick => st.advance(now),
             Ev::Wake(gen) => {
                 if gen != st.wake_gen {
                     continue;
@@ -661,9 +1458,19 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
             }
         }
         for dep in st.departures(now) {
-            let (job, start, end, completed) = match dep {
-                Departure::Completed { job, start, end } => (job, start, end, true),
-                Departure::Killed { job, start, end } => (job, start, end, false),
+            let (job, start, end, nodes, completed) = match dep {
+                Departure::Completed {
+                    job,
+                    start,
+                    end,
+                    nodes,
+                } => (job, start, end, nodes, true),
+                Departure::Killed {
+                    job,
+                    start,
+                    end,
+                    nodes,
+                } => (job, start, end, nodes, false),
             };
             out[job] = Some(JobOutcome {
                 id: jobs[job].id,
@@ -672,9 +1479,11 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
                 wait: (start - views[job].submit).max(0.0),
                 inflation: ((end - start) - views[job].runtime).max(0.0),
                 completed,
+                nodes,
             });
         }
-        st.try_start(now, &views);
+        st.start_due_advance(now, &views)?;
+        st.try_start(now, &views)?;
         st.started.clear();
         st.recompute_rates();
         st.wake_gen += 1;
@@ -689,7 +1498,7 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
     let n = outcomes.len().max(1) as f64;
     let first_submit = jobs.iter().map(|j| j.submit).fold(f64::INFINITY, f64::min);
     let last_end = outcomes.iter().map(|o| o.end).fold(0.0, f64::max);
-    SiteResult {
+    Ok(SiteResult {
         makespan: if outcomes.is_empty() {
             0.0
         } else {
@@ -700,7 +1509,7 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> SiteResult {
         head_delay_violations: st.head_delay_violations,
         reservations: st.reservations(),
         outcomes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -708,12 +1517,12 @@ mod tests {
     use super::*;
 
     fn cfg(nodes: usize, rack: usize, d: Discipline) -> SiteConfig {
-        SiteConfig {
-            pool: NodePool::new(nodes, rack),
-            placement: PlacementPolicy::Packed,
-            discipline: d,
-            contention: ContentionParams::NONE,
-        }
+        SiteConfig::new(
+            NodePool::new(nodes, rack),
+            PlacementPolicy::Packed,
+            d,
+            ContentionParams::NONE,
+        )
     }
 
     /// The canonical head-delay scenario: J0 holds 6/8 nodes until t=100;
@@ -730,7 +1539,7 @@ mod tests {
 
     #[test]
     fn easy_rejects_head_delaying_backfill() {
-        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Easy));
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Easy)).unwrap();
         // J2 must not backfill (ends at 152 > shadow 100, uses head nodes):
         // head starts exactly at the shadow.
         assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
@@ -741,7 +1550,7 @@ mod tests {
 
     #[test]
     fn naive_backfill_delays_the_head() {
-        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::NaiveBackfill));
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::NaiveBackfill)).unwrap();
         // The naive rule starts J2 at t=2 on free nodes; the head can then
         // only start when J2 ends at t=152.
         assert!((r.outcomes[2].start - 2.0).abs() < 1e-6, "{r:?}");
@@ -755,7 +1564,7 @@ mod tests {
         // A 2-node job short enough to finish before the shadow.
         jobs[2].runtime = 50.0;
         jobs[2].walltime = 50.0;
-        let r = simulate_site(&jobs, &cfg(8, 8, Discipline::Easy));
+        let r = simulate_site(&jobs, &cfg(8, 8, Discipline::Easy)).unwrap();
         assert!((r.outcomes[2].start - 2.0).abs() < 1e-6, "{r:?}");
         assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
         assert_eq!(r.head_delay_violations, 0);
@@ -763,7 +1572,7 @@ mod tests {
 
     #[test]
     fn conservative_honours_every_reservation() {
-        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Conservative));
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Conservative)).unwrap();
         assert_eq!(r.head_delay_violations, 0);
         // Conservative reserves J2 behind both: starts at 150.
         assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
@@ -772,7 +1581,7 @@ mod tests {
 
     #[test]
     fn fcfs_blocks_behind_the_head() {
-        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Fcfs));
+        let r = simulate_site(&head_delay_jobs(), &cfg(8, 8, Discipline::Fcfs)).unwrap();
         assert!((r.outcomes[1].start - 100.0).abs() < 1e-6);
         assert!((r.outcomes[2].start - 150.0).abs() < 1e-6);
     }
@@ -790,13 +1599,13 @@ mod tests {
             j.walltime = 300.0;
             j
         };
-        let cfg = SiteConfig {
-            pool: NodePool::new(4, 4),
-            placement: PlacementPolicy::Packed,
-            discipline: Discipline::Fcfs,
+        let cfg = SiteConfig::new(
+            NodePool::new(4, 4),
+            PlacementPolicy::Packed,
+            Discipline::Fcfs,
             contention,
-        };
-        let r = simulate_site(&[mk(0, 0.0), mk(1, 0.0)], &cfg);
+        );
+        let r = simulate_site(&[mk(0, 0.0), mk(1, 0.0)], &cfg).unwrap();
         // Each job: slowdown = 1 - 0.8 + 0.8 * (1 + 0.5 * 0.8) = 1.32
         // while both run; the first to finish then runs uncontended — but
         // they're symmetric, so both finish at 132.
@@ -805,7 +1614,7 @@ mod tests {
             assert!((o.inflation - 32.0).abs() < 0.5, "{o:?}");
         }
         // Solo control: no inflation.
-        let solo = simulate_site(&[mk(0, 0.0)], &cfg);
+        let solo = simulate_site(&[mk(0, 0.0)], &cfg).unwrap();
         assert!(solo.outcomes[0].inflation < 1e-6);
     }
 
@@ -824,13 +1633,10 @@ mod tests {
             j
         };
         let run = |placement| {
-            let cfg = SiteConfig {
-                pool: NodePool::new(8, 4),
-                placement,
-                discipline: Discipline::Fcfs,
-                contention,
-            };
-            simulate_site(&[mk(0), mk(1)], &cfg).total_inflation
+            let cfg = SiteConfig::new(NodePool::new(8, 4), placement, Discipline::Fcfs, contention);
+            simulate_site(&[mk(0), mk(1)], &cfg)
+                .unwrap()
+                .total_inflation
         };
         // Packed best-fits both into rack 0 -> leaf contention.
         assert!(run(PlacementPolicy::Packed) > 10.0);
@@ -844,16 +1650,16 @@ mod tests {
         j.walltime = 100.0; // no headroom at all
         let mut rival = SchedJob::new(1, 2, 0.0, 100.0, 0.9);
         rival.walltime = 400.0;
-        let cfg = SiteConfig {
-            pool: NodePool::new(4, 4),
-            placement: PlacementPolicy::Packed,
-            discipline: Discipline::Fcfs,
-            contention: ContentionParams {
+        let cfg = SiteConfig::new(
+            NodePool::new(4, 4),
+            PlacementPolicy::Packed,
+            Discipline::Fcfs,
+            ContentionParams {
                 beta: 0.5,
                 cap: 2.5,
             },
-        };
-        let r = simulate_site(&[j, rival], &cfg);
+        );
+        let r = simulate_site(&[j, rival], &cfg).unwrap();
         assert!(!r.outcomes[0].completed, "{r:?}");
         assert!((r.outcomes[0].end - 100.0).abs() < 1e-6);
         assert!(r.outcomes[1].completed);
@@ -862,8 +1668,8 @@ mod tests {
     #[test]
     fn backfill_beats_fcfs_on_mean_wait() {
         let jobs = crate::job::lublin_mix(120, 16, 1.4, 42);
-        let fcfs = simulate_site(&jobs, &cfg(16, 16, Discipline::Fcfs));
-        let easy = simulate_site(&jobs, &cfg(16, 16, Discipline::Easy));
+        let fcfs = simulate_site(&jobs, &cfg(16, 16, Discipline::Fcfs)).unwrap();
+        let easy = simulate_site(&jobs, &cfg(16, 16, Discipline::Easy)).unwrap();
         assert!(easy.head_delay_violations == 0);
         assert!(
             easy.mean_wait <= fcfs.mean_wait,
@@ -872,5 +1678,166 @@ mod tests {
             fcfs.mean_wait
         );
         assert!(easy.makespan <= fcfs.makespan + 1e-6);
+    }
+
+    // -- Engine equivalence and the new capabilities ----------------------
+
+    #[test]
+    fn slot_engine_matches_the_legacy_oracle_on_a_seeded_mix() {
+        let jobs = crate::job::lublin_mix(80, 16, 1.2, 7);
+        for d in [
+            Discipline::Fcfs,
+            Discipline::Easy,
+            Discipline::Conservative,
+            Discipline::NaiveBackfill,
+        ] {
+            let slot = simulate_site(&jobs, &cfg(16, 4, d)).unwrap();
+            let legacy = simulate_site(
+                &jobs,
+                &cfg(16, 4, d).with_engine(SchedEngine::LegacyFreeNode),
+            )
+            .unwrap();
+            assert_eq!(slot.head_delay_violations, legacy.head_delay_violations);
+            for (a, b) in slot.outcomes.iter().zip(&legacy.outcomes) {
+                assert_eq!(a.start, b.start, "{} job {}", d.name(), a.id);
+                assert_eq!(a.end, b.end, "{} job {}", d.name(), a.id);
+                assert_eq!(a.nodes, b.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_window_forces_a_wait() {
+        // All four nodes down over [10, 20): a job submitted at 5 whose
+        // walltime crosses the outage must hold until the window clears.
+        let mut j = SchedJob::new(0, 4, 5.0, 8.0, 0.0);
+        j.walltime = 8.0;
+        let c = cfg(4, 4, Discipline::Easy).with_maintenance(Maintenance {
+            begin: 10.0,
+            end: 20.0,
+            nodes: MaintNodes::All,
+        });
+        let r = simulate_site(&[j], &c).unwrap();
+        assert!((r.outcomes[0].start - 20.0).abs() < 1e-6, "{r:?}");
+        assert!(r.outcomes[0].completed);
+    }
+
+    #[test]
+    fn quota_caps_concurrent_project_nodes() {
+        // Four 2-node jobs billed to project 0 with a 4-node cap: two run,
+        // two wait for the first pair to depart.
+        let jobs: Vec<SchedJob> = (0..4)
+            .map(|i| {
+                let mut j = SchedJob::new(i, 2, 0.0, 100.0, 0.0).with_project(0);
+                j.walltime = 100.0;
+                j
+            })
+            .collect();
+        let c = cfg(8, 8, Discipline::Fcfs).with_quota(QuotaRule {
+            project: 0,
+            max_nodes: 4,
+            window: None,
+        });
+        let r = simulate_site(&jobs, &c).unwrap();
+        let early = r.outcomes.iter().filter(|o| o.start < 1e-6).count();
+        assert_eq!(early, 2, "{r:?}");
+        for o in &r.outcomes[2..] {
+            assert!(o.start >= 100.0 - 1e-6, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn dependency_gates_until_the_dep_departs() {
+        let mut j0 = SchedJob::new(0, 2, 0.0, 100.0, 0.0);
+        j0.walltime = 100.0;
+        let j1 = SchedJob::new(1, 2, 0.0, 50.0, 0.0).with_deps(&[0]);
+        let r = simulate_site(&[j0, j1], &cfg(8, 8, Discipline::Easy)).unwrap();
+        assert!((r.outcomes[1].start - 100.0).abs() < 1e-6, "{r:?}");
+        let cyclic = vec![
+            SchedJob::new(0, 1, 0.0, 10.0, 0.0).with_deps(&[1]),
+            SchedJob::new(1, 1, 0.0, 10.0, 0.0).with_deps(&[0]),
+        ];
+        assert!(matches!(
+            simulate_site(&cyclic, &cfg(8, 8, Discipline::Easy)),
+            Err(SchedError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn moldable_job_commits_to_the_earliest_finishing_shape() {
+        let j = SchedJob::new(0, 4, 0.0, 100.0, 0.0).with_shapes(&[
+            JobShape {
+                nodes: 4,
+                runtime: 100.0,
+                walltime: 100.0,
+            },
+            JobShape {
+                nodes: 8,
+                runtime: 60.0,
+                walltime: 60.0,
+            },
+        ]);
+        let r = simulate_site(&[j], &cfg(8, 8, Discipline::Easy)).unwrap();
+        assert_eq!(r.outcomes[0].nodes, 8, "{r:?}");
+        assert!((r.outcomes[0].end - 60.0).abs() < 1e-6);
+        // With half the pool held, the wide shape queues behind a long
+        // walltime while the narrow one starts immediately — narrow wins.
+        let mut blocker = SchedJob::new(0, 4, 0.0, 500.0, 0.0);
+        blocker.walltime = 500.0;
+        let mold = SchedJob::new(1, 4, 1.0, 100.0, 0.0).with_shapes(&[
+            JobShape {
+                nodes: 4,
+                runtime: 100.0,
+                walltime: 100.0,
+            },
+            JobShape {
+                nodes: 8,
+                runtime: 60.0,
+                walltime: 60.0,
+            },
+        ]);
+        let r = simulate_site(&[blocker, mold], &cfg(8, 8, Discipline::Easy)).unwrap();
+        assert_eq!(r.outcomes[1].nodes, 4, "{r:?}");
+        assert!(r.outcomes[1].start < 2.0);
+    }
+
+    #[test]
+    fn advance_reservation_starts_exactly_on_time() {
+        // A 4-node reservation at t=500 pins nodes; a 4-node batch job
+        // routes around the pin and runs immediately.
+        let mut resv = SchedJob::new(0, 4, 0.0, 200.0, 0.0).at(500.0);
+        resv.walltime = 200.0;
+        let mut batch = SchedJob::new(1, 4, 0.0, 1000.0, 0.0);
+        batch.walltime = 1000.0;
+        let r = simulate_site(&[resv, batch], &cfg(8, 8, Discipline::Easy)).unwrap();
+        assert!((r.outcomes[0].start - 500.0).abs() < 1e-6, "{r:?}");
+        assert!(r.outcomes[1].start < 1e-6, "{r:?}");
+        assert!(r.outcomes[0].completed && r.outcomes[1].completed);
+    }
+
+    #[test]
+    fn legacy_engine_rejects_the_new_capabilities() {
+        let dep = vec![
+            SchedJob::new(0, 1, 0.0, 10.0, 0.0),
+            SchedJob::new(1, 1, 0.0, 10.0, 0.0).with_deps(&[0]),
+        ];
+        let legacy = cfg(8, 8, Discipline::Easy).with_engine(SchedEngine::LegacyFreeNode);
+        assert!(matches!(
+            simulate_site(&dep, &legacy),
+            Err(SchedError::LegacyEngineUnsupported {
+                feature: "job dependencies"
+            })
+        ));
+        let quota_cfg = cfg(8, 8, Discipline::Easy)
+            .with_engine(SchedEngine::LegacyFreeNode)
+            .with_quota(QuotaRule {
+                project: 0,
+                max_nodes: 4,
+                window: None,
+            });
+        assert!(matches!(
+            simulate_site(&[SchedJob::new(0, 1, 0.0, 10.0, 0.0)], &quota_cfg),
+            Err(SchedError::LegacyEngineUnsupported { .. })
+        ));
     }
 }

@@ -54,13 +54,13 @@ fn main() {
     ];
     for cluster in [presets::vayu(), presets::dcc(), presets::ec2()] {
         for d in disciplines {
-            let cfg = SiteConfig {
-                pool: NodePool::partition_of(&cluster, POOL_NODES),
-                placement: PlacementPolicy::RackAware,
-                discipline: d,
-                contention: ContentionParams::for_fabric(&cluster.topology.inter),
-            };
-            let res = simulate_site(&jobs, &cfg);
+            let cfg = SiteConfig::new(
+                NodePool::partition_of(&cluster, POOL_NODES),
+                PlacementPolicy::RackAware,
+                d,
+                ContentionParams::for_fabric(&cluster.topology.inter),
+            );
+            let res = simulate_site(&jobs, &cfg).expect("mix is valid");
             t.row(vec![
                 cluster.name.to_string(),
                 d.name().to_string(),
@@ -80,13 +80,13 @@ fn main() {
     // Per-job attribution on the most contended cell: EASY on the DCC
     // vSwitch fabric.
     let dcc = presets::dcc();
-    let cfg = SiteConfig {
-        pool: NodePool::partition_of(&dcc, POOL_NODES),
-        placement: PlacementPolicy::RackAware,
-        discipline: Discipline::Easy,
-        contention: ContentionParams::for_fabric(&dcc.topology.inter),
-    };
-    let res = simulate_site(&jobs, &cfg);
+    let cfg = SiteConfig::new(
+        NodePool::partition_of(&dcc, POOL_NODES),
+        PlacementPolicy::RackAware,
+        Discipline::Easy,
+        ContentionParams::for_fabric(&dcc.topology.inter),
+    );
+    let res = simulate_site(&jobs, &cfg).expect("mix is valid");
     println!(
         "{}",
         sched_report("dcc (EASY, rack-aware)", &jobs, &res).to_text()

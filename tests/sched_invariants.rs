@@ -1,12 +1,14 @@
 //! Scheduler-subsystem invariants: the EASY guarantee under randomized
-//! job mixes, the naive-backfill head-delay regression, the contended
-//! ARRIVE-F rerun, engine-vs-scheduler contention agreement, and golden
-//! digests of the schedsweep figure.
+//! job mixes (on both scheduling engines), slot-set vs legacy-free-node
+//! equivalence, the naive-backfill head-delay regression, the contended
+//! ARRIVE-F rerun, slot-set capability semantics, fragmentation error
+//! surfacing, engine-vs-scheduler contention agreement, and golden digests
+//! of the schedsweep and slot-capabilities figures.
 
 use cloudsim::sim_net::ContentionParams;
 use cloudsim::sim_sched::{
     lublin_mix, simulate_burst, simulate_site, BurstPolicy, Discipline, NodePool, PlacementPolicy,
-    SchedJob, SiteConfig,
+    SchedEngine, SchedError, SchedJob, SiteConfig,
 };
 use cloudsim::{
     contended_mix, contended_sites, figures, presets, Capacities, ReproConfig, DEFAULT_SEED,
@@ -20,18 +22,19 @@ fn site(
     discipline: Discipline,
     placement: PlacementPolicy,
 ) -> SiteConfig {
-    SiteConfig {
-        pool: NodePool::partition_of(cluster, nodes),
+    SiteConfig::new(
+        NodePool::partition_of(cluster, nodes),
         placement,
         discipline,
-        contention: ContentionParams::for_fabric(&cluster.topology.inter),
-    }
+        ContentionParams::for_fabric(&cluster.topology.inter),
+    )
 }
 
 /// Randomized sweep of the EASY invariant: across seeded Lublin mixes,
-/// loads, placements and platforms, neither EASY nor conservative
-/// backfilling ever starts a job later than the reservation it was quoted
-/// when it first blocked at the head of the queue.
+/// loads, placements, platforms — and both scheduling engines — neither
+/// EASY nor conservative backfilling ever starts a job later than the
+/// reservation it was quoted when it first blocked at the head of the
+/// queue.
 #[test]
 fn easy_invariant_holds_across_seeded_mixes() {
     let disciplines = [Discipline::Easy, Discipline::Conservative];
@@ -40,40 +43,93 @@ fn easy_invariant_holds_across_seeded_mixes() {
         PlacementPolicy::Scattered,
         PlacementPolicy::RackAware,
     ];
+    let engines = [SchedEngine::SlotSet, SchedEngine::LegacyFreeNode];
     for cluster in [presets::vayu(), presets::dcc(), presets::ec2()] {
         for seed in 0..12u64 {
             let load = 0.6 + 0.25 * (seed % 5) as f64;
             let jobs = lublin_mix(60, 16, load, 0xEA51_0000 + seed);
             for d in disciplines {
                 for p in placements {
-                    let res = simulate_site(&jobs, &site(&cluster, 16, d, p));
-                    assert_eq!(
-                        res.head_delay_violations,
-                        0,
-                        "{} {} {} seed {seed}: reservation broken",
-                        cluster.name,
-                        d.name(),
-                        p.name()
-                    );
-                    // Cross-check the counter against the raw data: every
-                    // started job with a recorded reservation started at
-                    // or before it.
-                    for &(job, promised) in &res.reservations {
-                        let o = &res.outcomes[job];
-                        if o.start.is_finite() {
-                            assert!(
-                                o.start <= promised + EPS,
-                                "{} {} {} seed {seed}: job {job} started {} > promised {}",
-                                cluster.name,
-                                d.name(),
-                                p.name(),
-                                o.start,
-                                promised
-                            );
+                    for e in engines {
+                        let cfg = site(&cluster, 16, d, p).with_engine(e);
+                        let res = simulate_site(&jobs, &cfg).unwrap();
+                        assert_eq!(
+                            res.head_delay_violations,
+                            0,
+                            "{} {} {} {} seed {seed}: reservation broken",
+                            cluster.name,
+                            d.name(),
+                            p.name(),
+                            e.name()
+                        );
+                        // Cross-check the counter against the raw data:
+                        // every started job with a recorded reservation
+                        // started at or before it.
+                        for &(job, promised) in &res.reservations {
+                            let o = &res.outcomes[job];
+                            if o.start.is_finite() {
+                                assert!(
+                                    o.start <= promised + EPS,
+                                    "{} {} {} {} seed {seed}: job {job} started {} > promised {}",
+                                    cluster.name,
+                                    d.name(),
+                                    p.name(),
+                                    e.name(),
+                                    o.start,
+                                    promised
+                                );
+                            }
                         }
+                        // Conservation: every job has an outcome.
+                        assert_eq!(res.outcomes.len(), jobs.len());
                     }
-                    // Conservation: every job has an outcome.
-                    assert_eq!(res.outcomes.len(), jobs.len());
+                }
+            }
+        }
+    }
+}
+
+/// The slot-set engine is a drop-in replacement: across every discipline,
+/// placement, platform and a spread of seeds, its schedules are
+/// bit-identical to the legacy free-node engine's (starts, ends, node
+/// counts, reservations and head-delay counters).
+#[test]
+fn slot_set_engine_is_bit_identical_to_legacy() {
+    let disciplines = [
+        Discipline::Fcfs,
+        Discipline::Easy,
+        Discipline::Conservative,
+        Discipline::NaiveBackfill,
+    ];
+    let placements = [
+        PlacementPolicy::Packed,
+        PlacementPolicy::Scattered,
+        PlacementPolicy::RackAware,
+    ];
+    for cluster in [presets::vayu(), presets::dcc(), presets::ec2()] {
+        for seed in [3u64, 4, 5] {
+            let load = 0.8 + 0.3 * (seed % 3) as f64;
+            let jobs = lublin_mix(70, 16, load, 0x51_0750 + seed);
+            for d in disciplines {
+                for p in placements {
+                    let slot = simulate_site(&jobs, &site(&cluster, 16, d, p)).unwrap();
+                    let legacy = simulate_site(
+                        &jobs,
+                        &site(&cluster, 16, d, p).with_engine(SchedEngine::LegacyFreeNode),
+                    )
+                    .unwrap();
+                    let ctx = format!("{} {} {} seed {seed}", cluster.name, d.name(), p.name());
+                    assert_eq!(
+                        slot.head_delay_violations, legacy.head_delay_violations,
+                        "{ctx}"
+                    );
+                    assert_eq!(slot.reservations, legacy.reservations, "{ctx}");
+                    for (a, b) in slot.outcomes.iter().zip(&legacy.outcomes) {
+                        assert_eq!(a.start, b.start, "{ctx} job {}", a.id);
+                        assert_eq!(a.end, b.end, "{ctx} job {}", a.id);
+                        assert_eq!(a.nodes, b.nodes, "{ctx} job {}", a.id);
+                        assert_eq!(a.completed, b.completed, "{ctx} job {}", a.id);
+                    }
                 }
             }
         }
@@ -107,14 +163,15 @@ fn naive_backfill_delays_the_head_easy_does_not() {
             Discipline::NaiveBackfill,
             PlacementPolicy::Packed,
         ),
-    );
+    )
+    .unwrap();
     assert!(
         naive.head_delay_violations >= 1,
         "the naive rule must trip the head-delay detector"
     );
     assert!(naive.outcomes[1].start > 100.0 + EPS);
     for d in [Discipline::Easy, Discipline::Conservative] {
-        let ok = simulate_site(&jobs, &site(&cluster, 8, d, PlacementPolicy::Packed));
+        let ok = simulate_site(&jobs, &site(&cluster, 8, d, PlacementPolicy::Packed)).unwrap();
         assert_eq!(ok.head_delay_violations, 0, "{}", d.name());
         assert!(
             ok.outcomes[1].start <= 100.0 + EPS,
@@ -133,14 +190,15 @@ fn arrive_f_rerun_improves_mean_wait_by_25_percent_under_contention() {
     let sites = contended_sites(caps);
     for load in [1.3, 1.6] {
         let jobs = contended_mix(120, load, 11);
-        let hpc = simulate_burst(&jobs, &sites, BurstPolicy::HpcOnly, None, None);
+        let hpc = simulate_burst(&jobs, &sites, BurstPolicy::HpcOnly, None, None).unwrap();
         let burst = simulate_burst(
             &jobs,
             &sites,
             BurstPolicy::CloudBurst { threshold: 0.55 },
             None,
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(hpc.head_delay_violations, 0);
         assert_eq!(burst.head_delay_violations, 0);
         let improvement = 1.0 - burst.mean_wait / hpc.mean_wait;
@@ -158,7 +216,8 @@ fn arrive_f_rerun_improves_mean_wait_by_25_percent_under_contention() {
             BurstPolicy::CloudBurst { threshold: 0.55 },
             None,
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(burst.mean_wait, again.mean_wait);
         assert_eq!(burst.total_cost, again.total_cost);
     }
@@ -229,9 +288,117 @@ fn engine_background_agrees_with_scheduler_contention_model() {
     assert_eq!(a.elapsed, b.elapsed, "compute-only jobs must not inflate");
 }
 
+/// End-to-end semantics of the slot-set capabilities on the shared
+/// scenario: the advance reservation starts exactly on time, project 0
+/// never holds more nodes than its quota, dependents start only after
+/// their dependencies depart, and EASY keeps its guarantee throughout.
+#[test]
+fn slot_capabilities_scenario_semantics() {
+    let cluster = presets::vayu();
+    let jobs = figures::slot_capabilities_jobs(DEFAULT_SEED);
+    let cfg = figures::slot_capabilities_site(&cluster);
+    let res = simulate_site(&jobs, &cfg).unwrap();
+    assert_eq!(res.head_delay_violations, 0);
+    assert_eq!(res.outcomes.len(), jobs.len());
+
+    // Advance reservation: job 36 starts at exactly t=2500.
+    let resv = &res.outcomes[36];
+    assert!(
+        (resv.start - 2500.0).abs() < EPS,
+        "reservation started at {}",
+        resv.start
+    );
+    assert!(resv.completed);
+
+    // Quota: project 0 holds at most 8 nodes at any instant. Sweep the
+    // start/end events of its jobs.
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for (j, o) in jobs.iter().zip(&res.outcomes) {
+        if j.project == Some(0) && o.start.is_finite() {
+            events.push((o.start, o.nodes as i64));
+            events.push((o.end, -(o.nodes as i64)));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut held = 0i64;
+    for (t, delta) in events {
+        held += delta;
+        assert!(held <= 8, "project 0 held {held} nodes at t={t}");
+    }
+
+    // Dependencies: a dependent starts no earlier than every dep departs.
+    for (job, deps) in [(12usize, vec![6usize]), (24, vec![12, 18])] {
+        for dep in deps {
+            assert!(
+                res.outcomes[job].start >= res.outcomes[dep].end - EPS,
+                "job {job} started {} before dep {dep} ended {}",
+                res.outcomes[job].start,
+                res.outcomes[dep].end
+            );
+        }
+    }
+
+    // Moldable jobs committed to one of their declared shapes.
+    for &id in &[4usize, 13, 22, 31] {
+        let picked = res.outcomes[id].nodes;
+        assert!(
+            jobs[id].shapes.iter().any(|s| s.nodes == picked),
+            "job {id} ran on {picked} nodes, not a declared shape"
+        );
+    }
+}
+
+/// Fragmentation under the rack-strict policy: the legacy engine checks
+/// raw counts only and surfaces a typed error when the allocation then
+/// fails; the slot-set engine sees infeasibility up front and simply makes
+/// the job wait for a single-rack hole.
+#[test]
+fn rack_strict_fragmentation_errors_on_legacy_waits_on_slot_set() {
+    // 8 nodes in racks of 4. Two 2-node jobs land in different racks
+    // (idle-rack preference), leaving [2,3] and [6,7] free: raw capacity
+    // admits a 3-node job, no single rack does.
+    let mk = |id, nodes, submit, runtime: f64| {
+        let mut j = SchedJob::new(id, nodes, submit, runtime, 0.0);
+        j.walltime = runtime;
+        j
+    };
+    let jobs = vec![
+        mk(0, 2, 0.0, 100.0),
+        mk(1, 2, 0.0, 300.0),
+        mk(2, 3, 1.0, 10.0),
+    ];
+    let cfg = SiteConfig::new(
+        NodePool::new(8, 4),
+        PlacementPolicy::RackStrict,
+        Discipline::Fcfs,
+        ContentionParams::NONE,
+    );
+    let legacy = simulate_site(&jobs, &cfg.clone().with_engine(SchedEngine::LegacyFreeNode));
+    assert!(
+        matches!(
+            legacy,
+            Err(SchedError::PlacementUnsatisfiable {
+                need: 3,
+                policy: "rack-strict",
+                ..
+            })
+        ),
+        "legacy must surface the fragmentation as a typed error: {legacy:?}"
+    );
+    let slot = simulate_site(&jobs, &cfg).unwrap();
+    // Job 0 frees rack 0 at t=100; job 2 starts there.
+    assert!(
+        (slot.outcomes[2].start - 100.0).abs() < EPS,
+        "slot engine should wait for the hole: {:?}",
+        slot.outcomes[2]
+    );
+    assert!(slot.outcomes.iter().all(|o| o.completed));
+}
+
 // ---------------------------------------------------------------------------
-// Golden digests of the schedsweep figure: the scheduler is pure DES (no
-// engine runs), so its output is cheap to pin bit-for-bit across seeds.
+// Golden digests of the schedsweep and slot-capabilities figures: the
+// scheduler is pure DES (no engine runs), so its output is cheap to pin
+// bit-for-bit across seeds.
 // Regenerate after an *intentional* semantic change with:
 //     UPDATE_GOLDEN=1 cargo test --test sched_invariants golden -- --nocapture
 // ---------------------------------------------------------------------------
@@ -250,7 +417,7 @@ fn fnv(bytes: &[u8]) -> u64 {
 
 #[test]
 fn golden_schedsweep_digests_are_stable() {
-    let digests: Vec<(String, u64)> = [DEFAULT_SEED, 1, 2]
+    let mut digests: Vec<(String, u64)> = [DEFAULT_SEED, 1, 2]
         .iter()
         .map(|&seed| {
             let t = figures::schedsweep(&ReproConfig::quick().with_seed(seed));
@@ -260,6 +427,13 @@ fn golden_schedsweep_digests_are_stable() {
             )
         })
         .collect();
+    digests.extend([DEFAULT_SEED, 1, 2].iter().map(|&seed| {
+        let t = figures::slot_capabilities(&ReproConfig::quick().with_seed(seed));
+        (
+            format!("slotsched/seed{seed:#x}"),
+            fnv(t.to_text().as_bytes()),
+        )
+    }));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let mut s = String::from("# Golden schedsweep text digests.\n# label\tdigest\n");
         for (label, d) in &digests {

@@ -1,0 +1,165 @@
+//! Property tests for the slot-set interval algebra: `ProcSet` operations
+//! against a `BTreeSet` model, slot split/merge round trips, and the exact
+//! `earliest_fit` scan against brute force. Seeded (no external proptest
+//! dependency) — every case is deterministic and shrinks by inspection.
+
+use std::collections::BTreeSet;
+
+use cloudsim::sim_des::DetRng;
+use cloudsim::sim_sched::slot::{earliest_fit, EPS};
+use cloudsim::sim_sched::{ProcSet, SlotSet};
+
+fn random_set(rng: &mut DetRng, universe: usize, density: f64) -> (ProcSet, BTreeSet<usize>) {
+    let mut model = BTreeSet::new();
+    for id in 0..universe {
+        if rng.uniform() < density {
+            model.insert(id);
+        }
+    }
+    let ids: Vec<usize> = model.iter().copied().collect();
+    (ProcSet::from_ids(&ids), model)
+}
+
+fn assert_matches_model(ps: &ProcSet, model: &BTreeSet<usize>, ctx: &str) {
+    assert_eq!(ps.len(), model.len(), "{ctx}: len");
+    let got: Vec<usize> = ps.iter().collect();
+    let want: Vec<usize> = model.iter().copied().collect();
+    assert_eq!(got, want, "{ctx}: contents");
+    // Runs must be sorted, disjoint and maximal.
+    let runs = ps.runs();
+    for w in runs.windows(2) {
+        assert!(
+            w[0].1 + 1 < w[1].0,
+            "{ctx}: runs {:?} and {:?} should have merged",
+            w[0],
+            w[1]
+        );
+    }
+    for &(lo, hi) in runs {
+        assert!(lo <= hi, "{ctx}: inverted run");
+    }
+}
+
+#[test]
+fn procset_ops_agree_with_a_btreeset_model() {
+    let mut rng = DetRng::new(0x5107_0001, 0x51075E7);
+    for case in 0..200 {
+        let universe = 1 + rng.index(96);
+        let da = rng.uniform();
+        let (a, ma) = random_set(&mut rng, universe, da);
+        let db = rng.uniform();
+        let (b, mb) = random_set(&mut rng, universe, db);
+        let ctx = format!("case {case} universe {universe}");
+        assert_matches_model(&a.union(&b), &ma.union(&mb).copied().collect(), &ctx);
+        assert_matches_model(
+            &a.intersect(&b),
+            &ma.intersection(&mb).copied().collect(),
+            &ctx,
+        );
+        assert_matches_model(
+            &a.difference(&b),
+            &ma.difference(&mb).copied().collect(),
+            &ctx,
+        );
+        for id in 0..universe {
+            assert_eq!(a.contains(id), ma.contains(&id), "{ctx}: contains {id}");
+        }
+        let n = rng.index(ma.len() + 1);
+        let taken = a.take(n);
+        let want_taken: BTreeSet<usize> = ma.iter().copied().take(n).collect();
+        assert_matches_model(&taken, &want_taken, &format!("{ctx}: take {n}"));
+    }
+}
+
+#[test]
+fn window_subtractions_reconstruct_and_merge_restores_one_slot() {
+    let mut rng = DetRng::new(0x5107_0002, 0x51075E7);
+    for case in 0..60 {
+        let nodes = 8 + rng.index(56);
+        let mut ss = SlotSet::new(0.0, ProcSet::range(0, nodes - 1));
+        // Carve a pile of random windows out of the slot set.
+        let mut windows: Vec<(f64, f64, ProcSet)> = Vec::new();
+        for _ in 0..(1 + rng.index(12)) {
+            let begin = 1000.0 * rng.uniform();
+            let end = begin + 1.0 + 500.0 * rng.uniform();
+            let density = 0.3 + 0.4 * rng.uniform();
+            let (procs, model) = random_set(&mut rng, nodes, density);
+            if model.is_empty() {
+                continue;
+            }
+            ss.sub_window(begin, end, &procs);
+            windows.push((begin, end, procs));
+        }
+        // At any probe instant, availability == site minus the union of
+        // windows covering that instant.
+        for _ in 0..40 {
+            let t = 1600.0 * rng.uniform();
+            let mut expect = ProcSet::range(0, nodes - 1);
+            for (b, e, p) in &windows {
+                if t >= *b - EPS && t < *e - EPS {
+                    expect = expect.difference(p);
+                }
+            }
+            assert_eq!(
+                ss.avail_at(t),
+                &expect,
+                "case {case}: avail at {t} with {} windows",
+                windows.len()
+            );
+        }
+        // Add every window back in a shuffled order: merge must restore a
+        // single maximal slot holding the whole site.
+        while !windows.is_empty() {
+            let i = rng.index(windows.len());
+            let (b, e, p) = windows.swap_remove(i);
+            ss.add_window(b, e, &p);
+        }
+        ss.merge();
+        assert_eq!(ss.slots().len(), 1, "case {case}: merge left extra slots");
+        assert_eq!(ss.slots()[0].avail.len(), nodes, "case {case}");
+    }
+}
+
+#[test]
+fn earliest_fit_agrees_with_brute_force() {
+    let mut rng = DetRng::new(0x5107_0003, 0x51075E7);
+    for case in 0..200 {
+        // A random availability step profile: points (t, level).
+        let mut t = 0.0;
+        let mut points: Vec<(f64, i64)> = Vec::new();
+        let base = rng.index(16) as i64;
+        points.push((0.0, base));
+        for _ in 0..rng.index(10) {
+            t += 1.0 + 100.0 * rng.uniform();
+            points.push((t, rng.index(16) as i64));
+        }
+        let need = 1 + rng.index(16) as i64;
+        let dur = 1.0 + 200.0 * rng.uniform();
+        let got = earliest_fit(&points, need, dur);
+        // Brute force: candidate starts are exactly the profile points;
+        // a start fits when every point in [s, s+dur) has level >= need.
+        let level_at = |x: f64| {
+            points
+                .iter()
+                .rev()
+                .find(|(pt, _)| *pt <= x + EPS)
+                .map(|(_, l)| *l)
+                .unwrap_or(base)
+        };
+        let fits = |s: f64| {
+            points
+                .iter()
+                .filter(|(pt, _)| *pt >= s - EPS && *pt < s + dur - EPS)
+                .all(|(_, l)| *l >= need)
+                && level_at(s) >= need
+        };
+        let brute = points.iter().map(|(pt, _)| *pt).find(|&s| fits(s));
+        assert_eq!(
+            got, brute,
+            "case {case}: points {points:?} need {need} dur {dur}"
+        );
+        if let Some(s) = got {
+            assert!(fits(s), "case {case}: reported start does not fit");
+        }
+    }
+}
