@@ -201,6 +201,60 @@ fn main() {
     }
 
     {
+        // Fault-tolerant scheduler throughput: the same DES with a
+        // crash-heavy seeded fault feed — kills, backoff requeues,
+        // checkpoint restarts and repair-window carves all in the loop.
+        // Tracks the overhead of the fault path against plain
+        // sched_throughput.
+        use cloudsim::sim_faults::FaultModel;
+        use cloudsim::sim_net::ContentionParams;
+        use cloudsim::sim_sched::{
+            lublin_mix, simulate_site, CheckpointSpec, Discipline, NodePool, PlacementPolicy,
+            RequeuePolicy, SiteConfig, SiteFaults,
+        };
+        let dcc = presets::dcc();
+        let n_jobs = 2_000usize;
+        let jobs = lublin_mix(n_jobs, 32, 1.2, 42);
+        let model = FaultModel {
+            name: "bench-crashy",
+            scale: 1.0,
+            crash_per_node_hour: 0.05,
+            crash_mean_secs: 120.0,
+            nic_per_node_hour: 0.05,
+            nic_mean_secs: 300.0,
+            nic_factor: 4.0,
+            ..FaultModel::none()
+        };
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&dcc, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&dcc.topology.inter),
+        )
+        .with_faults(
+            SiteFaults::new(model, 42)
+                .with_mttr(1200.0)
+                .with_horizon(14.0 * 24.0 * 3600.0)
+                .with_requeue(RequeuePolicy::default().with_checkpoint(CheckpointSpec {
+                    interval: 300.0,
+                    restore_cost: 30.0,
+                })),
+        );
+        let name = "sched_faults_throughput/jobs2000";
+        let iters = 10 * scale;
+        let per_iter = bench_throughput(name, iters, n_jobs as u64, || {
+            simulate_site(&jobs, &cfg).unwrap().outcomes.len()
+        });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops: n_jobs as u64,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: n_jobs as f64 / per_iter,
+        });
+    }
+
+    {
         // Slot-set primitive throughput: jobs walked through the interval
         // algebra per second. Each job truncates history, intersects its
         // whole window, carves out a proc set and splits the slot list —
@@ -239,7 +293,8 @@ fn main() {
     let mut file = EngineBenchFile {
         fingerprint: "synthetic np8 x20000 / np64 x2000 exchange+allreduce; compute-heavy np16 \
                       x2000; cg.S np=1024 on vayu; SimConfig::default seed; sched easy+rack-aware \
-                      2000 lublin jobs on dcc/32; slotset 10000 lublin jobs on 512 procs"
+                      2000 lublin jobs on dcc/32; sched-faults same mix + crashy feed seed 42; \
+                      slotset 10000 lublin jobs on 512 procs"
             .to_string(),
         calib_ops_per_sec: calib,
         results: records,

@@ -1,7 +1,7 @@
 //! Regenerate every figure and table of the paper.
 //!
 //! ```text
-//! figures [--quick] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep schedsweep slotsched ablations arrivef arrivef-rerun | all]
+//! figures [--quick] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep schedsweep slotsched faultsched ablations arrivef arrivef-rerun | all]
 //! ```
 //!
 //! With no experiment arguments, everything runs (the paper configuration
@@ -64,7 +64,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--quick] [--plot] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep schedsweep slotsched ablations arrivef arrivef-rerun | all]"
+                    "usage: figures [--quick] [--plot] [--seed N] [--csv DIR] [fig1 fig2 fig3 fig4 tab2 fig5 fig6 tab3 fig7 faultsweep recoverysweep schedsweep slotsched faultsched ablations arrivef arrivef-rerun | all]"
                 );
                 return;
             }
@@ -101,6 +101,7 @@ fn main() {
                 tables.extend(cloudsim::all_ablations(&cfg));
                 tables.push(figures::schedsweep(&cfg));
                 tables.push(figures::slot_capabilities(&cfg));
+                tables.push(figures::faultsched(&cfg));
                 tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42));
                 tables.push(cloudsim::arrive_f_rerun_table(
                     if quick { 60 } else { 120 },
@@ -120,6 +121,7 @@ fn main() {
             "recoverysweep" => tables.push(figures::recoverysweep(&cfg)),
             "schedsweep" => tables.push(figures::schedsweep(&cfg)),
             "slotsched" => tables.push(figures::slot_capabilities(&cfg)),
+            "faultsched" => tables.push(figures::faultsched(&cfg)),
             "ablations" => tables.extend(cloudsim::all_ablations(&cfg)),
             "arrivef" => tables.push(cloudsim::arrive_f_table(if quick { 30 } else { 80 }, 42)),
             "arrivef-rerun" => tables.push(cloudsim::arrive_f_rerun_table(

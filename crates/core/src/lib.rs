@@ -43,10 +43,11 @@ pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
 pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
 pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
-    all_figures, faultsweep, faultsweep_points, fig1_osu_bandwidth, fig2_osu_latency,
-    fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance,
-    recoverysweep, recoverysweep_points, schedsweep, schedsweep_points, tab2_npb_comm, tab3_metum,
-    FaultPoint, RecoveryPoint, ReproConfig, SchedPoint, DEFAULT_SEED, FAULTSWEEP_SCALES,
+    all_figures, faultsched, faultsched_points, faultsweep, faultsweep_points, fig1_osu_bandwidth,
+    fig2_osu_latency, fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum,
+    fig7_load_balance, recoverysweep, recoverysweep_points, schedsweep, schedsweep_points,
+    tab2_npb_comm, tab3_metum, FaultPoint, FaultSchedPoint, RecoveryPoint, ReproConfig, SchedPoint,
+    DEFAULT_SEED, FAULTSCHED_CALIB, FAULTSCHED_SCALES, FAULTSWEEP_SCALES,
     RECOVERYSWEEP_SDC_PER_NODE, SCHEDSWEEP_LOADS, SCHEDSWEEP_NODES,
 };
 pub use plot::AsciiChart;

@@ -314,13 +314,17 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The deterministic instant the op finally goes through: the first
-    /// retry attempt at or after `recovery`, or `None` when the retry
-    /// budget is exhausted first.
-    pub fn first_success(&self, issued: SimTime, recovery: SimTime) -> Option<SimTime> {
-        // Sanitize the knobs so a degenerate policy (zero, negative,
-        // infinite or NaN cap/multiplier) can never explode or stall the
-        // delay sequence: the cap always wins.
+    /// The sanitized inter-attempt delay sequence, in seconds: `timeout`,
+    /// `timeout * backoff`, ... with every element clamped into
+    /// `[1e-9, max_delay]`. Degenerate knobs (zero, negative, infinite or
+    /// NaN cap/multiplier) are repaired rather than propagated, so the
+    /// sequence can never explode or stall: the cap always wins.
+    ///
+    /// This iterator is the *single* backoff implementation: both the
+    /// engine-level op retry ([`first_success`](Self::first_success)) and
+    /// the scheduler-level requeue backoff (`sim_sched`'s `RequeuePolicy`)
+    /// draw their delays from it, so the two can never drift.
+    pub fn delays(&self) -> impl Iterator<Item = f64> {
         let cap = if self.max_delay_secs.is_finite() && self.max_delay_secs > 0.0 {
             self.max_delay_secs
         } else {
@@ -331,14 +335,32 @@ impl RetryPolicy {
         } else {
             1.0
         };
+        let first = self.timeout_secs.max(1e-9).min(cap);
+        std::iter::successors(Some(first), move |&d| Some((d * growth).clamp(1e-9, cap)))
+    }
+
+    /// Delay (seconds) to wait before the `attempt`-th re-issue, 1-based:
+    /// `delay_before(1)` is the first retry's delay. Used by the scheduler
+    /// to space crash requeues on the same backoff curve as op retries.
+    pub fn delay_before(&self, attempt: u32) -> f64 {
+        let n = attempt.max(1) - 1;
+        self.delays()
+            .nth(n as usize)
+            .expect("delays() is an infinite sequence")
+    }
+
+    /// The deterministic instant the op finally goes through: the first
+    /// retry attempt at or after `recovery`, or `None` when the retry
+    /// budget is exhausted first.
+    pub fn first_success(&self, issued: SimTime, recovery: SimTime) -> Option<SimTime> {
         let mut t = issued;
-        let mut delay = self.timeout_secs.max(1e-9).min(cap);
+        let mut delays = self.delays();
         for _ in 0..=self.max_retries {
             if t >= recovery {
                 return Some(t);
             }
+            let delay = delays.next().expect("delays() is an infinite sequence");
             t += SimDur::from_secs_f64(delay);
-            delay = (delay * growth).clamp(1e-9, cap);
         }
         if t >= recovery {
             Some(t)
@@ -974,6 +996,41 @@ mod tests {
                 assert!(rates(&m).iter().all(|r| *r >= 0.0));
             }
         }
+    }
+
+    /// The shared delay sequence is the single source of backoff truth:
+    /// its prefix matches the hand-rolled recurrence bit for bit, and
+    /// `first_success` attempts land exactly on its partial sums.
+    #[test]
+    fn delays_is_the_single_backoff_source() {
+        let p = RetryPolicy::default();
+        let got: Vec<f64> = p.delays().take(8).collect();
+        let mut want = Vec::new();
+        let mut d = p.timeout_secs.max(1e-9).min(p.max_delay_secs);
+        for _ in 0..8 {
+            want.push(d);
+            d = (d * p.backoff).clamp(1e-9, p.max_delay_secs);
+        }
+        assert_eq!(got, want);
+        // 1-based delay_before indexes the same sequence.
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(p.delay_before(i as u32 + 1), w);
+        }
+        assert_eq!(p.delay_before(0), want[0], "attempt 0 clamps to 1");
+        // first_success lands on a partial sum of delays().
+        let issued = SimTime::from_secs(0);
+        let recovery = SimTime::from_secs_f64(5.0);
+        let got = p.first_success(issued, recovery).unwrap();
+        let mut t = issued;
+        let mut sums = vec![t];
+        for d in p.delays().take(6) {
+            t += SimDur::from_secs_f64(d);
+            sums.push(t);
+        }
+        assert!(
+            sums.contains(&got),
+            "{got:?} not on the delay grid {sums:?}"
+        );
     }
 
     /// Regression (satellite): the backoff cap bounds every inter-attempt

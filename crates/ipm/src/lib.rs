@@ -18,7 +18,7 @@ pub mod trace;
 
 pub use profiler::{bucket_floor, size_bucket, CallAgg, IpmCollector, IpmProfiler, Ledger};
 pub use report::{profile_run, CallRow, IpmReport, SectionReport};
-pub use sched::{SchedJobRow, SchedReport};
+pub use sched::{SchedEventRow, SchedJobRow, SchedReport};
 pub use trace::{trace_run, Span, Trace, TraceCollector};
 
 #[cfg(test)]

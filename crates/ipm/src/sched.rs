@@ -27,11 +27,30 @@ pub struct SchedJobRow {
     pub completed: bool,
 }
 
+/// One scheduler-visible fault event, for the resilience attribution
+/// section: a node crash killing a job (KILL), a killed job re-entering
+/// the queue after backoff (REQUEUE), a fail-slow node drained under its
+/// running job (DRAIN), or a crashed node returning to service (REPAIR).
+#[derive(Debug, Clone)]
+pub struct SchedEventRow {
+    /// Simulation time of the event, seconds.
+    pub t: f64,
+    /// "KILL", "REQUEUE", "DRAIN" or "REPAIR".
+    pub action: String,
+    pub node: usize,
+    /// Affected job id, when the action has one (REPAIR does not).
+    pub job: Option<usize>,
+}
+
 /// A batch-level report over one site's (or one multi-site run's) jobs.
 #[derive(Debug, Clone)]
 pub struct SchedReport {
     pub site: String,
     pub rows: Vec<SchedJobRow>,
+    /// Fault timeline (KILL/REQUEUE/DRAIN/REPAIR), in event order. Empty
+    /// for fault-free runs — and the banner then omits the section, so
+    /// zero-fault report text is byte-identical to the pre-fault format.
+    pub events: Vec<SchedEventRow>,
 }
 
 impl SchedReport {
@@ -82,6 +101,21 @@ impl SchedReport {
                 if r.completed { "done" } else { "killed" }
             );
         }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "#");
+            let _ = writeln!(out, "# fault events : {}", self.events.len());
+            let _ = writeln!(out, "# {:>12} {:<8} {:>5}  job", "t_s", "action", "node");
+            for e in &self.events {
+                let _ = writeln!(
+                    out,
+                    "# {:>12.2} {:<8} {:>5}  {}",
+                    e.t,
+                    e.action,
+                    e.node,
+                    e.job.map_or("-".to_string(), |j| j.to_string())
+                );
+            }
+        }
         let _ = writeln!(out, "{}", "#".repeat(72));
         out
     }
@@ -118,6 +152,7 @@ mod tests {
                     completed: true,
                 },
             ],
+            events: vec![],
         }
     }
 
@@ -127,6 +162,35 @@ mod tests {
         assert!((r.mean_wait() - 20.0).abs() < 1e-12);
         assert!((r.total_inflation() - 30.0).abs() < 1e-12);
         assert!((r.total_preempt_loss() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_section_appears_only_with_events() {
+        let clean = report();
+        assert!(!clean.to_text().contains("fault events"));
+        let mut faulty = report();
+        faulty.events.push(SchedEventRow {
+            t: 120.5,
+            action: "KILL".into(),
+            node: 3,
+            job: Some(1),
+        });
+        faulty.events.push(SchedEventRow {
+            t: 1020.5,
+            action: "REPAIR".into(),
+            node: 3,
+            job: None,
+        });
+        let text = faulty.to_text();
+        assert!(text.contains("fault events : 2"), "{text}");
+        assert!(text.contains("KILL"), "{text}");
+        assert!(text.contains("REPAIR"), "{text}");
+        // REPAIR has no job column entry.
+        assert!(
+            text.lines()
+                .any(|l| l.contains("REPAIR") && l.ends_with('-')),
+            "{text}"
+        );
     }
 
     #[test]

@@ -108,6 +108,19 @@ pub struct CheckpointSpec {
     pub restore_cost: f64,
 }
 
+impl CheckpointSpec {
+    /// Nominal seconds of work retained from `done` completed seconds:
+    /// the last fully completed `interval`-sized chunk. The single credit
+    /// formula shared by spot-preemption requeues and crash requeues.
+    pub fn retained(&self, done: f64) -> f64 {
+        if self.interval > 0.0 {
+            (done / self.interval).floor() * self.interval
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Final outcome of one job.
 #[derive(Debug, Clone)]
 pub struct BurstOutcome {
@@ -215,10 +228,7 @@ pub fn simulate_burst(
             *preemptions += 1;
             let nominal = views[site][job].runtime;
             let done = (nominal - remaining).max(0.0);
-            let retained = match checkpoint {
-                Some(ck) if ck.interval > 0.0 => (done / ck.interval).floor() * ck.interval,
-                _ => 0.0,
-            };
+            let retained = checkpoint.map_or(0.0, |ck| ck.retained(done));
             preempt_loss[job] += done - retained;
             // Requeue on the home partition for the unfinished fraction
             // (plus the restore cost, if any work was salvaged).

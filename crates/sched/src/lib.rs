@@ -49,12 +49,13 @@ pub use job::{lublin_burst_mix, lublin_mix, JobShape, SchedJob};
 pub use pool::{share_links, NodePool, PlacementPolicy};
 pub use pricing::PriceModel;
 pub use site::{
-    simulate_site, Discipline, JobOutcome, MaintNodes, Maintenance, QuotaRule, SchedEngine,
-    SiteConfig, SiteResult,
+    simulate_site, Discipline, FaultAction, FaultEvent, FaultStats, JobOutcome, MaintNodes,
+    Maintenance, NodeHealth, QuotaRule, RequeuePolicy, SchedEngine, SiteConfig, SiteFaults,
+    SiteResult,
 };
 pub use slot::{ProcSet, SlotSet};
 
-use sim_ipm::{SchedJobRow, SchedReport};
+use sim_ipm::{SchedEventRow, SchedJobRow, SchedReport};
 
 /// Job class tag for report attribution: reservations, moldable jobs,
 /// dependency-gated jobs and project-billed jobs are distinguishable in
@@ -86,13 +87,24 @@ pub fn sched_report(site: &str, jobs: &[SchedJob], result: &SiteResult) -> Sched
             wait: o.wait,
             runtime: (o.end - o.start).max(0.0),
             contention_inflation: o.inflation,
-            preempt_loss: 0.0,
+            preempt_loss: o.fault_loss_s,
             completed: o.completed,
+        })
+        .collect();
+    let events = result
+        .fault_events
+        .iter()
+        .map(|e| SchedEventRow {
+            t: e.t,
+            action: e.action.name().to_string(),
+            node: e.node,
+            job: e.job,
         })
         .collect();
     SchedReport {
         site: site.to_string(),
         rows,
+        events,
     }
 }
 
@@ -117,5 +129,6 @@ pub fn burst_report(sites: &[BurstSite], jobs: &[BurstJob], stats: &BurstStats) 
     SchedReport {
         site: "multi-site".to_string(),
         rows,
+        events: vec![],
     }
 }

@@ -76,12 +76,15 @@
 //! killed). That independence is what keeps the EASY invariant intact even
 //! though actual completion times move with the tenant mix.
 
+use crate::burst::CheckpointSpec;
 use crate::error::SchedError;
 use crate::job::{JobShape, SchedJob};
 use crate::pool::{share_links, NodePool, PlacementPolicy};
 use crate::slot::{earliest_fit, level_at, ProcSet, SlotSet, EPS};
-use sim_des::{EventQueue, SimTime};
+use sim_des::{EventQueue, SimDur, SimTime};
+use sim_faults::{FaultKind, FaultModel, FaultSchedule, RetryPolicy};
 use sim_net::ContentionParams;
+use sim_platform::{ClusterSpec, HypervisorKind};
 use std::collections::VecDeque;
 
 /// Queue discipline.
@@ -151,6 +154,195 @@ pub struct QuotaRule {
     pub window: Option<(f64, f64)>,
 }
 
+/// Scheduler-level recovery semantics for jobs killed by node crashes.
+///
+/// The backoff curve is the *engine's* [`RetryPolicy`] — one shared
+/// implementation ([`RetryPolicy::delays`]), so op-level retries and
+/// scheduler-level requeues can never drift apart. `max_retries` bounds
+/// how many crash kills a single job survives before it is failed for
+/// good; the n-th requeue re-enters the queue after
+/// `retry.delay_before(n)` seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequeuePolicy {
+    pub retry: RetryPolicy,
+    /// Checkpoint-aware restart: a killed job resumes from its last
+    /// completed `interval`-sized chunk of work (paying `restore_cost`)
+    /// instead of from scratch. `None` loses the whole run.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl RequeuePolicy {
+    pub fn with_checkpoint(mut self, ck: CheckpointSpec) -> RequeuePolicy {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RequeuePolicy {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Node-health lifecycle driven by the unplanned-fault feed:
+/// Healthy → Suspect → Draining → Healthy for fail-slow signals, and
+/// Healthy → Repairing → Healthy for fail-stop crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    #[default]
+    Healthy,
+    /// A degradation signal landed on an idle node: excluded from new
+    /// placements until the signal clears, nothing to drain.
+    Suspect,
+    /// Fail-slow while hosting work: no new placements; the running job
+    /// finishes out rather than being killed.
+    Draining,
+    /// Crashed: down for the repair (MTTR) window.
+    Repairing,
+}
+
+impl NodeHealth {
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Suspect => "suspect",
+            NodeHealth::Draining => "draining",
+            NodeHealth::Repairing => "repairing",
+        }
+    }
+}
+
+/// Seeded unplanned-fault feed for one site (slot-set engine only).
+///
+/// The schedule is a pure function of `(model, pool size, horizon, seed)`
+/// via [`FaultSchedule::generate`]; two runs at the same seed are
+/// bit-identical, and a null model (or `scale` 0) leaves the scheduler's
+/// zero-fault path untouched bit for bit. Only the fail-stop
+/// `NodeCrash` and fail-slow `NicDegrade` classes act at the scheduler
+/// level; steal storms, NFS brownouts, spot preemption and SDC remain
+/// engine- and burst-level concerns.
+#[derive(Debug, Clone)]
+pub struct SiteFaults {
+    pub model: FaultModel,
+    pub seed: u64,
+    /// Mean time to repair a crashed node, seconds: the node is carved
+    /// out of slot availability for at least this long after a crash
+    /// (an unscheduled maintenance window).
+    pub mttr_secs: f64,
+    /// Horizon over which fault windows are pre-generated, seconds.
+    /// Events beyond it never fire.
+    pub horizon_secs: f64,
+    pub requeue: RequeuePolicy,
+}
+
+impl SiteFaults {
+    /// A feed from an explicit model with default repair and requeue
+    /// parameters.
+    pub fn new(model: FaultModel, seed: u64) -> SiteFaults {
+        SiteFaults {
+            model,
+            seed,
+            mttr_secs: 900.0,
+            horizon_secs: 24.0 * 3600.0,
+            requeue: RequeuePolicy::default(),
+        }
+    }
+
+    /// Platform preset: the cluster's fault model plus a platform-specific
+    /// MTTR — a bare-metal HPC node waits on a hardware repair queue, a
+    /// private-cloud blade on a VM restart, a public-cloud instance on a
+    /// replacement boot.
+    pub fn preset_for(cluster: &ClusterSpec, seed: u64) -> SiteFaults {
+        let mttr = match cluster.name {
+            "vayu" => 3600.0,
+            "dcc" => 1200.0,
+            "ec2" => 300.0,
+            _ => match cluster.node.hypervisor.kind {
+                HypervisorKind::BareMetal => 3600.0,
+                HypervisorKind::Xen => 300.0,
+                HypervisorKind::VmwareEsx | HypervisorKind::Kvm => 1200.0,
+            },
+        };
+        SiteFaults {
+            mttr_secs: mttr,
+            ..SiteFaults::new(FaultModel::preset_for(cluster), seed)
+        }
+    }
+
+    pub fn with_model(mut self, model: FaultModel) -> SiteFaults {
+        self.model = model;
+        self
+    }
+
+    pub fn with_mttr(mut self, mttr_secs: f64) -> SiteFaults {
+        self.mttr_secs = mttr_secs;
+        self
+    }
+
+    pub fn with_horizon(mut self, horizon_secs: f64) -> SiteFaults {
+        self.horizon_secs = horizon_secs;
+        self
+    }
+
+    pub fn with_requeue(mut self, requeue: RequeuePolicy) -> SiteFaults {
+        self.requeue = requeue;
+        self
+    }
+}
+
+/// What a fault did to the schedule, for IPM-style attribution rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// A node crash killed this running job.
+    Kill,
+    /// A killed job re-entered the queue after its backoff delay.
+    Requeue,
+    /// A fail-slow node was drained: its running job finishes out, but
+    /// the node takes no new work until the degradation clears.
+    Drain,
+    /// A crashed node came back from its repair window.
+    Repair,
+}
+
+impl FaultAction {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Kill => "KILL",
+            FaultAction::Requeue => "REQUEUE",
+            FaultAction::Drain => "DRAIN",
+            FaultAction::Repair => "REPAIR",
+        }
+    }
+}
+
+/// One scheduler-visible fault event on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub t: f64,
+    pub action: FaultAction,
+    pub node: usize,
+    /// The affected job, when the action has one (KILL/REQUEUE/DRAIN).
+    pub job: Option<usize>,
+}
+
+/// Aggregate fault accounting for one site run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Crash windows that fired within the horizon.
+    pub crashes: usize,
+    /// Running jobs killed by crashes.
+    pub kills: usize,
+    /// Killed jobs that re-entered the queue.
+    pub requeues: usize,
+    /// Fail-slow drains of nodes hosting running work.
+    pub drains: usize,
+    /// Crashed nodes returned to service.
+    pub repairs: usize,
+    /// Nominal seconds of completed work destroyed by crash kills.
+    pub work_lost_s: f64,
+    /// Nominal seconds salvaged by checkpoint-aware restarts.
+    pub work_salvaged_s: f64,
+}
+
 /// What the site scheduler needs to know about one job. Per-site view:
 /// multi-site simulations hold one per site with site-specific runtimes,
 /// and moldable jobs overwrite their view with the committed shape.
@@ -205,10 +397,16 @@ pub struct JobOutcome {
     pub wait: f64,
     /// Actual minus nominal runtime: seconds lost to link contention.
     pub inflation: f64,
-    /// False if the job hit its walltime and was killed.
+    /// False if the job hit its walltime and was killed, or exhausted its
+    /// crash-requeue budget.
     pub completed: bool,
     /// Nodes actually held — the committed shape for moldable jobs.
     pub nodes: usize,
+    /// Times the job was killed by a node crash and requeued.
+    pub requeues: u32,
+    /// Nominal seconds of completed work destroyed by crash kills
+    /// (after checkpoint credit).
+    pub fault_loss_s: f64,
 }
 
 /// Aggregate result of [`simulate_site`].
@@ -225,6 +423,11 @@ pub struct SiteResult {
     pub head_delay_violations: usize,
     /// `(job index, reserved start)` as first quoted; for invariant tests.
     pub reservations: Vec<(usize, f64)>,
+    /// KILL/REQUEUE/DRAIN/REPAIR timeline, in event order. Empty without
+    /// a fault feed.
+    pub fault_events: Vec<FaultEvent>,
+    /// Aggregate fault accounting; all-zero without a fault feed.
+    pub fault_stats: FaultStats,
 }
 
 /// A pinned advance reservation: concrete nodes pre-split out of the slot
@@ -283,6 +486,20 @@ pub(crate) struct SiteState {
     /// Whether maintenance windows were pre-split into the slots. Sticky:
     /// once outages shape the timeline, window-fit checks stay on.
     calendar_applied: bool,
+    /// Whether an unplanned-fault feed is attached. Gates every fault
+    /// branch, so the zero-fault path stays bit-identical to the
+    /// pre-fault engine.
+    faults_active: bool,
+    /// Per-node health; sized at [`attach_faults`](Self::attach_faults).
+    health: Vec<NodeHealth>,
+    /// Per-node instant until which the node is excluded from new work
+    /// (crash repair end or degradation end); `0.0` = available.
+    unavail_until: Vec<f64>,
+    /// Per-job crash-kill count: drives the retry budget and the backoff
+    /// position.
+    pub(crate) kills: Vec<u32>,
+    pub(crate) fault_events: Vec<FaultEvent>,
+    pub(crate) fault_stats: FaultStats,
 }
 
 /// A completion or kill the caller must record.
@@ -334,7 +551,29 @@ impl SiteState {
             gated: Vec::new(),
             advance: Vec::new(),
             calendar_applied: false,
+            faults_active: false,
+            health: Vec::new(),
+            unavail_until: Vec::new(),
+            kills: vec![0; n_jobs],
+            fault_events: Vec::new(),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Arm the fault branches: allocate the per-node health vectors and
+    /// switch placement onto window-fit checks (a crash carve is a
+    /// dynamic constraint exactly like an unscheduled maintenance
+    /// window). Never called on the zero-fault path.
+    pub(crate) fn attach_faults(&mut self) {
+        self.faults_active = true;
+        self.health = vec![NodeHealth::Healthy; self.pool.nodes()];
+        self.unavail_until = vec![0.0; self.pool.nodes()];
+    }
+
+    /// Current health of `node` (Healthy when no feed is attached).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn node_health(&self, node: usize) -> NodeHealth {
+        self.health.get(node).copied().unwrap_or_default()
     }
 
     /// Install per-job capability data (projects, dependencies) and the
@@ -391,7 +630,10 @@ impl SiteState {
     /// the gate between the legacy-parity fast paths (instantaneous
     /// availability) and the full window-fit checks.
     fn constrained(&self) -> bool {
-        !self.quotas.is_empty() || !self.advance.is_empty() || self.calendar_applied
+        !self.quotas.is_empty()
+            || !self.advance.is_empty()
+            || self.calendar_applied
+            || self.faults_active
     }
 
     /// Account work done since the last advance at the current rates.
@@ -481,12 +723,33 @@ impl SiteState {
     }
 
     /// Return a departing run's nodes to the pool and to the unused tail
-    /// of its slot window.
+    /// of its slot window. A node still inside a fault exclusion (crash
+    /// repair or drain window) only returns to the timeline where the
+    /// exclusion ends — re-adding it from `now` would undo the carve.
     fn release_run(&mut self, now: f64, r: &Running) {
         self.pool.release(&r.nodes_held);
         if self.engine == SchedEngine::SlotSet && now < r.kill_at {
-            self.slots
-                .add_window(now, r.kill_at, &ProcSet::from_ids(&r.nodes_held));
+            if self.faults_active {
+                let mut plain: Vec<usize> = Vec::new();
+                for &n in &r.nodes_held {
+                    let until = self.unavail_until[n];
+                    if until > now + EPS {
+                        if until < r.kill_at - EPS {
+                            self.slots
+                                .add_window(until, r.kill_at, &ProcSet::from_ids(&[n]));
+                        }
+                    } else {
+                        plain.push(n);
+                    }
+                }
+                if !plain.is_empty() {
+                    self.slots
+                        .add_window(now, r.kill_at, &ProcSet::from_ids(&plain));
+                }
+            } else {
+                self.slots
+                    .add_window(now, r.kill_at, &ProcSet::from_ids(&r.nodes_held));
+            }
         }
     }
 
@@ -549,20 +812,20 @@ impl SiteState {
         prof
     }
 
-    /// EASY reservation for a job needing `need` nodes: `(shadow, extra)`.
-    fn easy_reservation(&self, need: usize, jobs: &[JobView]) -> (f64, usize) {
+    /// EASY reservation for a job needing `need` nodes: `(shadow, extra)`,
+    /// or `None` when the release profile never frees enough nodes (the
+    /// caller surfaces that as a typed [`SchedError`]; validation makes it
+    /// unreachable for well-formed inputs).
+    fn easy_reservation(&self, need: usize, jobs: &[JobView]) -> Option<(f64, usize)> {
         let mut free = self.pool.free_count();
         debug_assert!(free < need, "head would have started");
         for (end, n) in self.release_profile(jobs) {
             free += n;
             if free >= need {
-                return (end, free - need);
+                return Some((end, free - need));
             }
         }
-        panic!(
-            "job needs {need} nodes but the pool only has {}",
-            self.pool.nodes()
-        );
+        None
     }
 
     // -- Slot-set primitives ---------------------------------------------
@@ -588,7 +851,7 @@ impl SiteState {
     /// head's whole walltime window fits, plus the spare level there. On an
     /// unconstrained (monotone) profile this is exactly the legacy
     /// release-walk crossing.
-    fn easy_reservation_slot(&self, now: f64, need: usize, walltime: f64) -> (f64, i64) {
+    fn easy_reservation_slot(&self, now: f64, need: usize, walltime: f64) -> Option<(f64, i64)> {
         let slots = self.slots.slots();
         let i = self.slots.index_at(now);
         let mut points = Vec::with_capacity(slots.len() - i);
@@ -596,9 +859,8 @@ impl SiteState {
         for s in &slots[i + 1..] {
             points.push((s.begin, s.effective()));
         }
-        let shadow = earliest_fit(&points, need as i64, walltime)
-            .unwrap_or_else(|| panic!("job needs {need} nodes but the site never frees them"));
-        (shadow, level_at(&points, shadow) - need as i64)
+        let shadow = earliest_fit(&points, need as i64, walltime)?;
+        Some((shadow, level_at(&points, shadow) - need as i64))
     }
 
     /// The procs a job starting now may be placed on, or `None` when the
@@ -655,15 +917,25 @@ impl SiteState {
     /// Commit a moldable job to the shape with the earliest estimated
     /// finish against the current slot profile (ties: fewer nodes, then
     /// declaration order). Called once, at submission.
-    pub(crate) fn choose_shape(&self, now: f64, j: &SchedJob) -> Option<JobShape> {
+    pub(crate) fn choose_shape(
+        &self,
+        now: f64,
+        j: &SchedJob,
+    ) -> Result<Option<JobShape>, SchedError> {
         if j.shapes.is_empty() {
-            return None;
+            return Ok(None);
         }
         let (base, deltas) = self.slot_profile(now);
         let prof = Profile::new(now, base, deltas);
         let mut best: Option<(f64, usize, JobShape)> = None;
         for shape in &j.shapes {
-            let start = prof.earliest(shape.nodes, shape.walltime, self.pool.nodes());
+            let start = prof.earliest(shape.nodes, shape.walltime).ok_or(
+                SchedError::InsufficientNodes {
+                    job: j.id,
+                    need: shape.nodes,
+                    limit: self.pool.nodes(),
+                },
+            )?;
             let finish = start + shape.runtime;
             let better = match &best {
                 None => true,
@@ -675,7 +947,7 @@ impl SiteState {
                 best = Some((finish, shape.nodes, *shape));
             }
         }
-        best.map(|(_, _, s)| s)
+        Ok(best.map(|(_, _, s)| s))
     }
 
     /// Start every pinned advance reservation whose time has come, on
@@ -833,7 +1105,13 @@ impl SiteState {
                 continue;
             }
             // Head blocked: quote (and pin) its reservation.
-            let (shadow, extra) = self.easy_reservation(jobs[head].nodes, jobs);
+            let (shadow, extra) = self.easy_reservation(jobs[head].nodes, jobs).ok_or(
+                SchedError::InsufficientNodes {
+                    job: head,
+                    need: jobs[head].nodes,
+                    limit: self.pool.nodes(),
+                },
+            )?;
             if self.reserved[head].is_none() {
                 self.reserved[head] = Some(shadow);
             }
@@ -878,7 +1156,7 @@ impl SiteState {
                 if self.resv[job].is_some() {
                     continue;
                 }
-                let s = self.conservative_earliest(now, job, jobs);
+                let s = self.conservative_earliest(now, job, jobs)?;
                 self.resv[job] = Some(s);
                 if self.reserved[job].is_none() {
                     self.reserved[job] = Some(s);
@@ -889,7 +1167,7 @@ impl SiteState {
             // the window set is preserved and no window ever moves later.
             for pos in 0..self.queue.len() {
                 let job = self.queue[pos];
-                let s = self.conservative_earliest(now, job, jobs);
+                let s = self.conservative_earliest(now, job, jobs)?;
                 if s < self.resv[job].expect("quoted above") - EPS {
                     self.resv[job] = Some(s);
                 }
@@ -924,7 +1202,12 @@ impl SiteState {
 
     /// Earliest feasible start for `job` against the running set's walltime
     /// profile plus every *other* queued job's current reservation window.
-    fn conservative_earliest(&self, now: f64, job: usize, jobs: &[JobView]) -> f64 {
+    fn conservative_earliest(
+        &self,
+        now: f64,
+        job: usize,
+        jobs: &[JobView],
+    ) -> Result<f64, SchedError> {
         let releases = self
             .release_profile(jobs)
             .into_iter()
@@ -939,7 +1222,12 @@ impl SiteState {
                 prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
             }
         }
-        prof.earliest(jobs[job].nodes, jobs[job].walltime, self.pool.nodes())
+        prof.earliest(jobs[job].nodes, jobs[job].walltime)
+            .ok_or(SchedError::InsufficientNodes {
+                job,
+                need: jobs[job].nodes,
+                limit: self.pool.nodes(),
+            })
     }
 
     // -- Slot-set disciplines --------------------------------------------
@@ -980,8 +1268,13 @@ impl SiteState {
             // pins a promise — an admission (quota) block is not the
             // scheduler's to promise around, and the quote below still
             // bounds what may backfill safely.
-            let (shadow, extra) =
-                self.easy_reservation_slot(now, jobs[head].nodes, jobs[head].walltime);
+            let (shadow, extra) = self
+                .easy_reservation_slot(now, jobs[head].nodes, jobs[head].walltime)
+                .ok_or(SchedError::InsufficientNodes {
+                    job: head,
+                    need: jobs[head].nodes,
+                    limit: self.pool.nodes(),
+                })?;
             if head_fit.is_none() && self.reserved[head].is_none() {
                 self.reserved[head] = Some(shadow);
             }
@@ -1018,7 +1311,7 @@ impl SiteState {
                 if self.resv[job].is_some() {
                     continue;
                 }
-                let s = self.conservative_earliest_slot(now, job, jobs);
+                let s = self.conservative_earliest_slot(now, job, jobs)?;
                 self.resv[job] = Some(s);
                 if self.reserved[job].is_none() {
                     self.reserved[job] = Some(s);
@@ -1026,7 +1319,7 @@ impl SiteState {
             }
             for pos in 0..self.queue.len() {
                 let job = self.queue[pos];
-                let s = self.conservative_earliest_slot(now, job, jobs);
+                let s = self.conservative_earliest_slot(now, job, jobs)?;
                 if s < self.resv[job].expect("quoted above") - EPS {
                     self.resv[job] = Some(s);
                 }
@@ -1063,7 +1356,12 @@ impl SiteState {
 
     /// [`Self::conservative_earliest`] fed from the slot walk instead of
     /// the running list — byte-identical quotes by construction.
-    fn conservative_earliest_slot(&self, now: f64, job: usize, jobs: &[JobView]) -> f64 {
+    fn conservative_earliest_slot(
+        &self,
+        now: f64,
+        job: usize,
+        jobs: &[JobView],
+    ) -> Result<f64, SchedError> {
         let (base, deltas) = self.slot_profile(now);
         let mut prof = Profile::new(now, base, deltas);
         for &other in &self.queue {
@@ -1074,7 +1372,12 @@ impl SiteState {
                 prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
             }
         }
-        prof.earliest(jobs[job].nodes, jobs[job].walltime, self.pool.nodes())
+        prof.earliest(jobs[job].nodes, jobs[job].walltime)
+            .ok_or(SchedError::InsufficientNodes {
+                job,
+                need: jobs[job].nodes,
+                limit: self.pool.nodes(),
+            })
     }
 
     // -- Preemption (multi-site) -----------------------------------------
@@ -1104,6 +1407,113 @@ impl SiteState {
             self.slots.merge();
         }
         out
+    }
+
+    // -- Unplanned faults (slot-set engine only) --------------------------
+
+    /// An unplanned `NodeCrash` at `now`: carve the node out of slot
+    /// availability until `repair_end` (a dynamic pre-split, like
+    /// maintenance but unscheduled), kill whatever was running on it, and
+    /// void every queued job's quote — the capacity the quotes were
+    /// computed against no longer exists. Returns the killed runs as
+    /// `(job, start, nominal seconds unfinished, nodes held)`.
+    pub(crate) fn crash_node(
+        &mut self,
+        now: f64,
+        repair_end: f64,
+        node: usize,
+    ) -> Vec<(usize, f64, f64, usize)> {
+        debug_assert!(self.faults_active && self.engine == SchedEngine::SlotSet);
+        self.fault_stats.crashes += 1;
+        self.slots
+            .sub_window(now, repair_end, &ProcSet::from_ids(&[node]));
+        self.unavail_until[node] = self.unavail_until[node].max(repair_end);
+        self.health[node] = NodeHealth::Repairing;
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut released = false;
+        while i < self.running.len() {
+            if self.running[i].nodes_held.contains(&node) {
+                let r = self.running.swap_remove(i);
+                self.release_run(now, &r);
+                released = true;
+                out.push((r.job, r.start, r.remaining.max(0.0), r.nodes_held.len()));
+            } else {
+                i += 1;
+            }
+        }
+        if released {
+            self.slots.merge();
+        }
+        // Void quotes: a promise computed against pre-crash capacity is
+        // not a promise the scheduler broke when the node died, and a
+        // stale conservative reservation would pin the re-quote loop to a
+        // window that may no longer exist.
+        for &j in &self.queue {
+            self.reserved[j] = None;
+            self.resv[j] = None;
+        }
+        for (j, _, _, _) in &out {
+            self.reserved[*j] = None;
+            self.resv[*j] = None;
+        }
+        out
+    }
+
+    /// A fail-slow signal (`NicDegrade`) on `node` lasting until `end`:
+    /// the node is excluded from new placements and marked Suspect; when
+    /// it hosts running work it escalates to Draining — the job finishes
+    /// out rather than being killed. A node already down for repair stays
+    /// Repairing (the crash dominates), but the exclusion still extends.
+    pub(crate) fn degrade_node(&mut self, now: f64, end: f64, node: usize) {
+        debug_assert!(self.faults_active && self.engine == SchedEngine::SlotSet);
+        self.slots.sub_window(now, end, &ProcSet::from_ids(&[node]));
+        self.unavail_until[node] = self.unavail_until[node].max(end);
+        if self.health[node] == NodeHealth::Repairing {
+            return;
+        }
+        let hosted = self
+            .running
+            .iter()
+            .find(|r| r.nodes_held.contains(&node))
+            .map(|r| r.job);
+        match hosted {
+            Some(job) => {
+                self.health[node] = NodeHealth::Draining;
+                self.fault_stats.drains += 1;
+                self.fault_events.push(FaultEvent {
+                    t: now,
+                    action: FaultAction::Drain,
+                    node,
+                    job: Some(job),
+                });
+            }
+            None => self.health[node] = NodeHealth::Suspect,
+        }
+    }
+
+    /// Return every node whose exclusion has expired to Healthy. Crash
+    /// repairs get a REPAIR attribution row; fail-slow nodes recover
+    /// silently (nothing was killed, nothing to attribute).
+    pub(crate) fn heal(&mut self, now: f64) {
+        if !self.faults_active {
+            return;
+        }
+        for n in 0..self.health.len() {
+            if self.health[n] != NodeHealth::Healthy && self.unavail_until[n] <= now + EPS {
+                if self.health[n] == NodeHealth::Repairing {
+                    self.fault_stats.repairs += 1;
+                    self.fault_events.push(FaultEvent {
+                        t: now,
+                        action: FaultAction::Repair,
+                        node: n,
+                        job: None,
+                    });
+                }
+                self.health[n] = NodeHealth::Healthy;
+                self.unavail_until[n] = 0.0;
+            }
+        }
     }
 
     /// Arm the spot-revocation timer on a just-started job.
@@ -1163,20 +1573,13 @@ impl Profile {
         }
     }
 
-    /// Earliest start at which `need` nodes stay free for `dur` seconds.
-    /// Candidate starts are breakpoints; on a violation inside the window
-    /// the candidate jumps past the violating breakpoint.
-    fn earliest(&self, need: usize, dur: f64, pool_nodes: usize) -> f64 {
-        assert!(
-            need <= pool_nodes,
-            "job needs {need} nodes but the pool only has {pool_nodes}"
-        );
-        match earliest_fit(&self.points, need as i64, dur) {
-            Some(t) => t,
-            // All reservations and outages end, so the final level is the
-            // full pool and the scan must have landed by the last point.
-            None => unreachable!("profile never frees {need} nodes"),
-        }
+    /// Earliest start at which `need` nodes stay free for `dur` seconds,
+    /// or `None` when the profile never frees them. All reservations and
+    /// outages end, so for validated inputs (width <= pool) the scan
+    /// always lands; callers turn `None` into a typed [`SchedError`]
+    /// instead of the historical panic.
+    fn earliest(&self, need: usize, dur: f64) -> Option<f64> {
+        earliest_fit(&self.points, need as i64, dur)
     }
 
     fn reserve(&mut self, start: f64, nodes: usize, dur: f64) {
@@ -1196,6 +1599,9 @@ pub struct SiteConfig {
     pub engine: SchedEngine,
     pub calendar: Vec<Maintenance>,
     pub quotas: Vec<QuotaRule>,
+    /// Seeded unplanned-fault feed; `None` (the default) keeps the
+    /// zero-fault path bit-identical to the pre-fault engine.
+    pub faults: Option<SiteFaults>,
 }
 
 impl SiteConfig {
@@ -1213,6 +1619,7 @@ impl SiteConfig {
             engine: SchedEngine::default(),
             calendar: Vec::new(),
             quotas: Vec::new(),
+            faults: None,
         }
     }
 
@@ -1228,6 +1635,11 @@ impl SiteConfig {
 
     pub fn with_quota(mut self, q: QuotaRule) -> SiteConfig {
         self.quotas.push(q);
+        self
+    }
+
+    pub fn with_faults(mut self, f: SiteFaults) -> SiteConfig {
+        self.faults = Some(f);
         self
     }
 }
@@ -1282,6 +1694,28 @@ fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
             feature: "per-project quotas",
         });
     }
+    if let Some(f) = &cfg.faults {
+        if !f.model.is_null() {
+            if legacy {
+                return Err(SchedError::LegacyEngineUnsupported {
+                    feature: "fault injection",
+                });
+            }
+            if !f.mttr_secs.is_finite() || f.mttr_secs < 0.0 {
+                return Err(SchedError::InvalidConfig {
+                    reason: format!("fault MTTR {} is not a finite duration", f.mttr_secs),
+                });
+            }
+            if !f.horizon_secs.is_finite() || f.horizon_secs <= 0.0 {
+                return Err(SchedError::InvalidConfig {
+                    reason: format!(
+                        "fault horizon {} is not a positive duration",
+                        f.horizon_secs
+                    ),
+                });
+            }
+        }
+    }
     for (i, j) in jobs.iter().enumerate() {
         if legacy {
             if !j.deps.is_empty() {
@@ -1299,6 +1733,34 @@ fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
                     feature: "advance reservations",
                 });
             }
+        }
+        // Field sanity for the rigid view: every downstream `expect` on
+        // finite event times, walltimes and reservations leans on these
+        // rejections — a NaN or infinite time entering the event queue
+        // would otherwise panic deep inside a discipline.
+        if !j.runtime.is_finite() || j.runtime <= 0.0 {
+            return Err(SchedError::InvalidJob {
+                job: i,
+                reason: format!("runtime {} is not a positive finite duration", j.runtime),
+            });
+        }
+        if !j.walltime.is_finite() || j.walltime <= 0.0 {
+            return Err(SchedError::InvalidJob {
+                job: i,
+                reason: format!("walltime {} is not a positive finite duration", j.walltime),
+            });
+        }
+        if !j.submit.is_finite() || j.submit < 0.0 {
+            return Err(SchedError::InvalidJob {
+                job: i,
+                reason: format!("submit time {} is not finite and non-negative", j.submit),
+            });
+        }
+        if !j.comm_fraction.is_finite() || !(0.0..=1.0).contains(&j.comm_fraction) {
+            return Err(SchedError::InvalidJob {
+                job: i,
+                reason: format!("communication fraction {} outside [0, 1]", j.comm_fraction),
+            });
         }
         let widths: Vec<usize> = if j.shapes.is_empty() {
             vec![j.nodes]
@@ -1342,10 +1804,15 @@ fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
             }
         }
         for s in &j.shapes {
-            if !increases(0.0, s.runtime) || s.walltime < s.runtime {
+            if !s.runtime.is_finite()
+                || !s.walltime.is_finite()
+                || !increases(0.0, s.runtime)
+                || s.walltime < s.runtime
+            {
                 return Err(SchedError::InvalidJob {
                     job: i,
-                    reason: "shape with non-positive runtime or walltime < runtime".to_string(),
+                    reason: "shape with non-finite or non-positive runtime, or walltime < runtime"
+                        .to_string(),
                 });
             }
         }
@@ -1356,6 +1823,12 @@ fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
             });
         }
         if let Some(t) = j.start_at {
+            if !t.is_finite() {
+                return Err(SchedError::InvalidJob {
+                    job: i,
+                    reason: format!("reservation start {t} is not finite"),
+                });
+            }
             if t < j.submit - EPS {
                 return Err(SchedError::InvalidJob {
                     job: i,
@@ -1400,9 +1873,17 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
     enum Ev {
         Submit(usize),
         /// A static calendar instant (maintenance end, quota window end,
-        /// reservation start): always valid, just re-runs the scheduler.
+        /// reservation start, fault-window end): always valid, just
+        /// re-runs the scheduler.
         Tick,
         Wake(u64),
+        /// Unplanned `NodeCrash` window `k` of the pre-generated plan
+        /// begins: kill co-located work, carve out the repair window.
+        Crash(usize),
+        /// Fail-slow `NicDegrade` window `k` begins: drain, don't kill.
+        Degrade(usize),
+        /// `(job, node)`: a killed job's backoff delay has elapsed.
+        Requeue(usize, usize),
     }
     validate(jobs, cfg)?;
     let mut views: Vec<JobView> = jobs.iter().map(JobView::of).collect();
@@ -1429,6 +1910,42 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
             }
         }
     }
+    // Pre-generate the unplanned-fault plan: a pure function of
+    // (model, pool, horizon, seed), so two runs at the same seed replay
+    // the identical timeline. A null model leaves `faults_active` off and
+    // every fault branch below dead — the zero-fault path is the old path
+    // bit for bit.
+    let mut crashes: Vec<(f64, f64, usize)> = Vec::new();
+    let mut degrades: Vec<(f64, f64, usize)> = Vec::new();
+    let mut requeue = RequeuePolicy::default();
+    if let Some(f) = cfg.faults.as_ref().filter(|f| !f.model.is_null()) {
+        st.attach_faults();
+        requeue = f.requeue;
+        let plan = FaultSchedule::generate(
+            &f.model,
+            cfg.pool.nodes(),
+            SimDur::from_secs_f64(f.horizon_secs),
+            f.seed,
+        );
+        for w in plan.windows() {
+            let (start, end) = (w.start.as_secs_f64(), w.end.as_secs_f64());
+            match w.kind {
+                FaultKind::NodeCrash => crashes.push((start, end.max(start + f.mttr_secs), w.node)),
+                FaultKind::NicDegrade { .. } => degrades.push((start, end, w.node)),
+                // Steal storms, brownouts, spot revocation and SDC act at
+                // the engine/burst level, not on the slot timeline.
+                _ => {}
+            }
+        }
+        for (k, &(start, repair_end, _)) in crashes.iter().enumerate() {
+            q.push(SimTime::from_secs_f64(start), Ev::Crash(k));
+            q.push(SimTime::from_secs_f64(repair_end), Ev::Tick);
+        }
+        for (k, &(start, end, _)) in degrades.iter().enumerate() {
+            q.push(SimTime::from_secs_f64(start), Ev::Degrade(k));
+            q.push(SimTime::from_secs_f64(end), Ev::Tick);
+        }
+    }
     for (i, j) in jobs.iter().enumerate() {
         if let Some(start) = j.start_at {
             st.register_advance(i, start, &views[i])?;
@@ -1437,12 +1954,13 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
         q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
     }
     let mut out: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let mut fault_loss: Vec<f64> = vec![0.0; jobs.len()];
     while let Some((t, ev)) = q.pop() {
         let now = t.as_secs_f64();
         match ev {
             Ev::Submit(i) => {
                 st.advance(now);
-                if let Some(shape) = st.choose_shape(now, &jobs[i]) {
+                if let Some(shape) = st.choose_shape(now, &jobs[i])? {
                     views[i].nodes = shape.nodes;
                     views[i].runtime = shape.runtime;
                     views[i].walltime = shape.walltime;
@@ -1455,6 +1973,72 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                     continue;
                 }
                 st.advance(now);
+            }
+            Ev::Crash(k) => {
+                st.advance(now);
+                let (_, repair_end, node) = crashes[k];
+                for (job, start, remaining, nodes) in st.crash_node(now, repair_end, node) {
+                    st.fault_stats.kills += 1;
+                    st.fault_events.push(FaultEvent {
+                        t: now,
+                        action: FaultAction::Kill,
+                        node,
+                        job: Some(job),
+                    });
+                    let v = views[job];
+                    let done = (v.runtime - remaining).max(0.0);
+                    let retained = requeue.checkpoint.map_or(0.0, |ck| ck.retained(done));
+                    let lost = (done - retained).max(0.0);
+                    fault_loss[job] += lost;
+                    st.fault_stats.work_lost_s += lost;
+                    st.fault_stats.work_salvaged_s += retained;
+                    st.kills[job] += 1;
+                    let attempt = st.kills[job];
+                    if attempt > requeue.retry.max_retries {
+                        // Retry budget exhausted: the job fails for good.
+                        st.dep_done[job] = true;
+                        out[job] = Some(JobOutcome {
+                            id: jobs[job].id,
+                            start,
+                            end: now,
+                            wait: (start - v.submit).max(0.0),
+                            inflation: ((now - start) - v.runtime).max(0.0),
+                            completed: false,
+                            nodes,
+                            requeues: attempt,
+                            fault_loss_s: fault_loss[job],
+                        });
+                    } else {
+                        if retained > 0.0 {
+                            // Checkpoint credit: the rerun owes only the
+                            // un-checkpointed remainder plus the restore
+                            // cost. The walltime is a static upper bound
+                            // and never shrinks with it.
+                            let restore = requeue.checkpoint.map_or(0.0, |ck| ck.restore_cost);
+                            views[job].runtime = (v.runtime - retained + restore).max(EPS);
+                        }
+                        let delay = requeue.retry.delay_before(attempt);
+                        q.push(SimTime::from_secs_f64(now + delay), Ev::Requeue(job, node));
+                    }
+                }
+            }
+            Ev::Degrade(k) => {
+                st.advance(now);
+                let (_, end, node) = degrades[k];
+                st.degrade_node(now, end, node);
+            }
+            Ev::Requeue(job, node) => {
+                st.advance(now);
+                st.fault_stats.requeues += 1;
+                st.fault_events.push(FaultEvent {
+                    t: now,
+                    action: FaultAction::Requeue,
+                    node,
+                    job: Some(job),
+                });
+                // Deps were already satisfied when the job first started;
+                // it re-enters the queue as a fresh arrival at the tail.
+                st.queue.push_back(job);
             }
         }
         for dep in st.departures(now) {
@@ -1480,8 +2064,11 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                 inflation: ((end - start) - views[job].runtime).max(0.0),
                 completed,
                 nodes,
+                requeues: st.kills[job],
+                fault_loss_s: fault_loss[job],
             });
         }
+        st.heal(now);
         st.start_due_advance(now, &views)?;
         st.try_start(now, &views)?;
         st.started.clear();
@@ -1508,6 +2095,8 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
         total_inflation: outcomes.iter().map(|o| o.inflation).sum(),
         head_delay_violations: st.head_delay_violations,
         reservations: st.reservations(),
+        fault_events: std::mem::take(&mut st.fault_events),
+        fault_stats: st.fault_stats,
         outcomes,
     })
 }
@@ -1838,6 +2427,201 @@ mod tests {
         assert!(matches!(
             simulate_site(&[SchedJob::new(0, 1, 0.0, 10.0, 0.0)], &quota_cfg),
             Err(SchedError::LegacyEngineUnsupported { .. })
+        ));
+    }
+
+    // -- Unplanned faults -------------------------------------------------
+
+    /// A fail-stop-only model hot enough that an hour-long batch on a
+    /// small pool is guaranteed several crash windows.
+    fn crashy_model() -> sim_faults::FaultModel {
+        sim_faults::FaultModel {
+            name: "test-crashy",
+            scale: 1.0,
+            crash_per_node_hour: 2.0,
+            crash_mean_secs: 60.0,
+            ..sim_faults::FaultModel::none()
+        }
+    }
+
+    fn fault_jobs(n: usize) -> Vec<SchedJob> {
+        (0..n)
+            .map(|i| {
+                let mut j = SchedJob::new(i, 2, (i as f64) * 30.0, 600.0, 0.0);
+                j.walltime = 1e5; // generous: only crashes can kill
+                j
+            })
+            .collect()
+    }
+
+    #[test]
+    fn null_fault_model_is_bitwise_inert() {
+        let jobs = head_delay_jobs();
+        let base = simulate_site(&jobs, &cfg(8, 8, Discipline::Easy)).unwrap();
+        let nulled = cfg(8, 8, Discipline::Easy)
+            .with_faults(SiteFaults::new(sim_faults::FaultModel::none(), 42));
+        let r = simulate_site(&jobs, &nulled).unwrap();
+        for (a, b) in base.outcomes.iter().zip(&r.outcomes) {
+            assert_eq!(a.start.to_bits(), b.start.to_bits());
+            assert_eq!(a.end.to_bits(), b.end.to_bits());
+            assert_eq!(a.wait.to_bits(), b.wait.to_bits());
+        }
+        assert!(r.fault_events.is_empty());
+        assert_eq!(r.fault_stats, FaultStats::default());
+    }
+
+    #[test]
+    fn fault_runs_are_bit_identical_per_seed() {
+        let jobs = fault_jobs(12);
+        let mk = || {
+            cfg(8, 4, Discipline::Easy)
+                .with_faults(SiteFaults::new(crashy_model(), 7).with_mttr(300.0))
+        };
+        let a = simulate_site(&jobs, &mk()).unwrap();
+        let b = simulate_site(&jobs, &mk()).unwrap();
+        assert!(a.fault_stats.crashes > 0, "model not hot enough: {a:?}");
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.fault_events, b.fault_events);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.start.to_bits(), y.start.to_bits());
+            assert_eq!(x.end.to_bits(), y.end.to_bits());
+        }
+    }
+
+    #[test]
+    fn crash_kills_requeue_and_eventually_finish() {
+        let jobs = fault_jobs(8);
+        let f = SiteFaults::new(crashy_model(), 3).with_mttr(120.0);
+        let r = simulate_site(&jobs, &cfg(8, 4, Discipline::Easy).with_faults(f)).unwrap();
+        assert!(r.fault_stats.kills > 0, "{:?}", r.fault_stats);
+        // Every kill is either requeued or a terminal failure.
+        let failed = r
+            .outcomes
+            .iter()
+            .filter(|o| !o.completed && o.requeues > 0)
+            .count();
+        assert_eq!(r.fault_stats.requeues + failed, r.fault_stats.kills);
+        // Attribution rows match the counters.
+        let count = |a: FaultAction| r.fault_events.iter().filter(|e| e.action == a).count();
+        assert_eq!(count(FaultAction::Kill), r.fault_stats.kills);
+        assert_eq!(count(FaultAction::Requeue), r.fault_stats.requeues);
+        assert_eq!(count(FaultAction::Repair), r.fault_stats.repairs);
+        assert!(r.fault_stats.repairs <= r.fault_stats.crashes);
+        // With a 16-retry default budget everything still completes.
+        assert!(r.outcomes.iter().all(|o| o.completed), "{:?}", r.outcomes);
+        assert!(r.outcomes.iter().any(|o| o.requeues > 0));
+        assert!(r.fault_stats.work_lost_s > 0.0);
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_killed_jobs_for_good() {
+        let jobs = fault_jobs(8);
+        let retry = sim_faults::RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let f = SiteFaults::new(crashy_model(), 3)
+            .with_mttr(120.0)
+            .with_requeue(RequeuePolicy::default().with_retry(retry));
+        let r = simulate_site(&jobs, &cfg(8, 4, Discipline::Easy).with_faults(f)).unwrap();
+        assert!(r.fault_stats.kills > 0);
+        assert_eq!(r.fault_stats.requeues, 0);
+        for o in &r.outcomes {
+            if o.requeues > 0 {
+                assert!(!o.completed, "{o:?}");
+                assert_eq!(o.requeues, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_salvage_work_lost_to_crashes() {
+        let jobs = fault_jobs(8);
+        let mk = |ck: Option<CheckpointSpec>| {
+            let rq = RequeuePolicy {
+                checkpoint: ck,
+                ..Default::default()
+            };
+            let f = SiteFaults::new(crashy_model(), 5)
+                .with_mttr(120.0)
+                .with_requeue(rq);
+            simulate_site(&jobs, &cfg(8, 4, Discipline::Easy).with_faults(f)).unwrap()
+        };
+        let plain = mk(None);
+        assert!(plain.fault_stats.kills > 0);
+        assert_eq!(plain.fault_stats.work_salvaged_s, 0.0);
+        let ck = mk(Some(CheckpointSpec {
+            interval: 30.0,
+            restore_cost: 5.0,
+        }));
+        assert!(ck.fault_stats.work_salvaged_s > 0.0, "{:?}", ck.fault_stats);
+    }
+
+    #[test]
+    fn degrade_drains_rather_than_kills() {
+        let nic_model = sim_faults::FaultModel {
+            name: "test-nicky",
+            scale: 1.0,
+            nic_per_node_hour: 2.0,
+            nic_mean_secs: 300.0,
+            nic_factor: 4.0,
+            ..sim_faults::FaultModel::none()
+        };
+        let jobs = fault_jobs(8);
+        let f = SiteFaults::new(nic_model, 11);
+        let r = simulate_site(&jobs, &cfg(8, 4, Discipline::Easy).with_faults(f)).unwrap();
+        // Fail-slow never kills; jobs all finish, some drains attributed.
+        assert_eq!(r.fault_stats.kills, 0);
+        assert_eq!(r.fault_stats.crashes, 0);
+        assert!(r.outcomes.iter().all(|o| o.completed));
+        assert!(r.fault_stats.drains > 0, "{:?}", r.fault_stats);
+        assert!(r
+            .fault_events
+            .iter()
+            .all(|e| e.action == FaultAction::Drain));
+    }
+
+    #[test]
+    fn node_health_lifecycle_transitions() {
+        let mut st = SiteState::new(
+            NodePool::new(4, 4),
+            PlacementPolicy::Packed,
+            Discipline::Easy,
+            ContentionParams::NONE,
+            SchedEngine::SlotSet,
+            0,
+        );
+        st.attach_faults();
+        assert_eq!(st.node_health(0), NodeHealth::Healthy);
+        // Degrade an idle node: Suspect, then Healthy once it expires.
+        st.degrade_node(0.0, 50.0, 1);
+        assert_eq!(st.node_health(1), NodeHealth::Suspect);
+        st.heal(49.0);
+        assert_eq!(st.node_health(1), NodeHealth::Suspect);
+        st.heal(50.0);
+        assert_eq!(st.node_health(1), NodeHealth::Healthy);
+        // Crash: Repairing until the repair window ends; a degrade signal
+        // during repair does not demote the state.
+        st.crash_node(60.0, 200.0, 2);
+        assert_eq!(st.node_health(2), NodeHealth::Repairing);
+        st.degrade_node(70.0, 100.0, 2);
+        assert_eq!(st.node_health(2), NodeHealth::Repairing);
+        st.heal(200.0);
+        assert_eq!(st.node_health(2), NodeHealth::Healthy);
+        assert_eq!(st.fault_stats.crashes, 1);
+        assert_eq!(st.fault_stats.repairs, 1);
+    }
+
+    #[test]
+    fn faults_on_legacy_engine_are_rejected() {
+        let c = cfg(8, 8, Discipline::Easy)
+            .with_engine(SchedEngine::LegacyFreeNode)
+            .with_faults(SiteFaults::new(crashy_model(), 1));
+        assert!(matches!(
+            simulate_site(&fault_jobs(2), &c),
+            Err(SchedError::LegacyEngineUnsupported {
+                feature: "fault injection"
+            })
         ));
     }
 }

@@ -1,0 +1,93 @@
+//! Fault-tolerant scheduling end to end: a seeded Lublin mix runs on
+//! ec2's 32-node partition while the platform's fault preset crashes and
+//! degrades nodes under it. Crashes kill co-located jobs and carve the
+//! node out for an MTTR repair window; killed jobs requeue with
+//! exponential backoff and checkpoint-aware restart; fail-slow nodes are
+//! drained rather than crashed. The IPM-style report ends with the
+//! KILL/REQUEUE/DRAIN/REPAIR attribution timeline.
+//!
+//! ```text
+//! cargo run --release --example fault_sched [seed]
+//! ```
+
+use cloudsim::sim_net::ContentionParams;
+use cloudsim::sim_sched::{
+    lublin_mix, sched_report, simulate_site, CheckpointSpec, Discipline, NodePool, PlacementPolicy,
+    RequeuePolicy, SiteConfig, SiteFaults,
+};
+use cloudsim::{figures, presets};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed"))
+        .unwrap_or(figures::DEFAULT_SEED);
+
+    let cluster = presets::ec2();
+    let nodes = figures::SCHEDSWEEP_NODES;
+    let jobs = lublin_mix(40, nodes, 1.1, seed);
+
+    // Calibrate the preset against the fault-free makespan so the demo
+    // reliably shows crashes (the raw per-node-hour rates are tuned for
+    // datacenter-year horizons, not a one-hour synthetic batch).
+    let site = || {
+        SiteConfig::new(
+            NodePool::partition_of(&cluster, nodes),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&cluster.topology.inter),
+        )
+    };
+    let t0 = simulate_site(&jobs, &site())
+        .expect("mix is valid")
+        .makespan
+        .max(1.0);
+    let faults = SiteFaults::preset_for(&cluster, seed)
+        .with_model(
+            cloudsim::sim_faults::FaultModel::preset_for(&cluster)
+                .with_rates_scaled(figures::FAULTSCHED_CALIB * 3600.0 / t0),
+        )
+        .with_horizon(4.0 * t0)
+        .with_requeue(RequeuePolicy::default().with_checkpoint(CheckpointSpec {
+            interval: 300.0,
+            restore_cost: 30.0,
+        }));
+    println!(
+        "{} jobs on a {nodes}-node ec2 partition (seed {seed:#x}), EASY + rack-aware:",
+        jobs.len()
+    );
+    println!("  - fault-free makespan {t0:.0} s; fault rates calibrated to it");
+    println!(
+        "  - crashes carve the node out for MTTR {:.0} s; killed jobs requeue with backoff",
+        faults.mttr_secs
+    );
+    println!("  - checkpoint every 300 s (restore 30 s): reruns owe only un-checkpointed work\n");
+
+    let res = simulate_site(&jobs, &site().with_faults(faults)).expect("fault run is valid");
+    println!(
+        "{}",
+        sched_report("ec2 (EASY, rack-aware, faults on)", &jobs, &res).to_text()
+    );
+
+    let s = res.fault_stats;
+    println!(
+        "faults: {} crashes -> {} kills, {} requeues, {} drains, {} repairs",
+        s.crashes, s.kills, s.requeues, s.drains, s.repairs
+    );
+    println!(
+        "work: {:.0} s lost to crashes, {:.0} s salvaged by checkpoints",
+        s.work_lost_s, s.work_salvaged_s
+    );
+    let failed = res.outcomes.iter().filter(|o| !o.completed).count();
+    println!(
+        "batch: makespan {:.0} s ({:+.1}% vs fault-free), mean wait {:.0} s, {} terminal failures",
+        res.makespan,
+        100.0 * (res.makespan / t0 - 1.0),
+        res.mean_wait,
+        failed
+    );
+    assert!(
+        res.outcomes.iter().all(|o| o.completed),
+        "the default retry budget should finish every job in this demo"
+    );
+}

@@ -1,0 +1,171 @@
+//! Fault-tolerant scheduling invariants: the zero-fault path stays
+//! bit-identical to the committed goldens even with a (null) fault feed
+//! attached, same-seed fault runs replay bit for bit, and requeued jobs
+//! are never starved — every crash-killed job with budget left restarts
+//! and finishes within the batch under EASY.
+
+use cloudsim::sim_faults::{FaultModel, RetryPolicy};
+use cloudsim::sim_net::ContentionParams;
+use cloudsim::sim_sched::{
+    lublin_mix, sched_report, simulate_site, CheckpointSpec, Discipline, FaultAction, NodePool,
+    PlacementPolicy, RequeuePolicy, SiteConfig, SiteFaults,
+};
+use cloudsim::{figures, presets, DEFAULT_SEED};
+
+/// FNV-1a, 64-bit — same digest as `tests/sched_invariants.rs`.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A fail-stop-heavy model: enough crash windows over a synthetic batch
+/// that kills and requeues certainly occur on a 32-node partition.
+fn crashy() -> FaultModel {
+    FaultModel {
+        name: "test-crashy",
+        scale: 1.0,
+        crash_per_node_hour: 1.0,
+        crash_mean_secs: 120.0,
+        ..FaultModel::none()
+    }
+}
+
+/// Attaching a null fault feed must leave the slot-capabilities scenario
+/// byte-identical to its committed golden digest: the fault machinery
+/// never arms, so report text and outcome bits cannot move.
+#[test]
+fn null_fault_feed_matches_the_committed_golden() {
+    let cluster = presets::vayu();
+    let jobs = figures::slot_capabilities_jobs(DEFAULT_SEED);
+    let plain_site = figures::slot_capabilities_site(&cluster);
+    let nulled = plain_site
+        .clone()
+        .with_faults(SiteFaults::new(FaultModel::none(), DEFAULT_SEED));
+    let plain = simulate_site(&jobs, &plain_site).unwrap();
+    let with_null = simulate_site(&jobs, &nulled).unwrap();
+    for (a, b) in plain.outcomes.iter().zip(&with_null.outcomes) {
+        assert_eq!(a.start.to_bits(), b.start.to_bits());
+        assert_eq!(a.end.to_bits(), b.end.to_bits());
+    }
+    assert_eq!(
+        sched_report(cluster.name, &jobs, &plain).to_text(),
+        sched_report(cluster.name, &jobs, &with_null).to_text(),
+        "a null feed must not change a single report byte"
+    );
+    // And the table this scenario feeds still matches the committed pin.
+    let committed = std::fs::read_to_string("tests/golden_sched.txt").unwrap();
+    let want = committed
+        .lines()
+        .find_map(|l| l.strip_prefix("slotsched/seed0x5eed0000\t"))
+        .expect("slotsched golden entry present");
+    let t = figures::slot_capabilities(&cloudsim::ReproConfig::quick());
+    assert_eq!(
+        format!("{:016x}", fnv(t.to_text().as_bytes())),
+        want,
+        "zero-fault slot-engine schedule drifted from the committed golden"
+    );
+}
+
+/// Property, across seeds: under EASY with an ample retry budget and
+/// checkpointed restarts (each rerun owes strictly less work), a
+/// crash-killed job is requeued and finishes — no job is starved out of
+/// the batch, every kill is eventually answered by a completion after it,
+/// and waits stay bounded by the batch makespan.
+#[test]
+fn requeued_jobs_are_never_starved_under_easy() {
+    for seed in [DEFAULT_SEED, 1, 2, 3, 4] {
+        let cluster = presets::dcc();
+        let jobs = lublin_mix(40, 32, 1.1, seed);
+        let requeue = RequeuePolicy::default()
+            .with_retry(RetryPolicy {
+                max_retries: 10_000,
+                ..Default::default()
+            })
+            .with_checkpoint(CheckpointSpec {
+                interval: 120.0,
+                restore_cost: 10.0,
+            });
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&cluster, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&cluster.topology.inter),
+        )
+        .with_faults(
+            SiteFaults::new(crashy(), seed)
+                .with_mttr(300.0)
+                .with_requeue(requeue),
+        );
+        let r = simulate_site(&jobs, &cfg).unwrap();
+        assert!(
+            r.fault_stats.kills > 0,
+            "seed {seed}: model not hot enough to exercise the property"
+        );
+        // Nobody starves: every job (requeued or not) completes...
+        assert!(
+            r.outcomes.iter().all(|o| o.completed),
+            "seed {seed}: a job never finished: {:?}",
+            r.outcomes.iter().find(|o| !o.completed)
+        );
+        assert!(r.outcomes.iter().any(|o| o.requeues > 0), "seed {seed}");
+        // ...every kill is followed by that job's final completion...
+        for e in &r.fault_events {
+            if e.action == FaultAction::Kill {
+                let job = e.job.expect("kills carry a job");
+                let o = r.outcomes.iter().find(|o| o.id == job).unwrap();
+                assert!(
+                    o.end > e.t,
+                    "seed {seed}: job {job} killed at {} but last departed at {}",
+                    e.t,
+                    o.end
+                );
+            }
+        }
+        // ...and no wait exceeds the batch makespan (bounded delay).
+        for o in &r.outcomes {
+            assert!(
+                o.wait <= r.makespan + 1e-6,
+                "seed {seed}: job {} waited {} s in a {} s batch",
+                o.id,
+                o.wait,
+                r.makespan
+            );
+        }
+    }
+}
+
+/// Two runs at the same seed replay the identical fault timeline and
+/// schedule; a different seed moves the fault noise.
+#[test]
+fn fault_runs_replay_bit_identically_per_seed() {
+    let cluster = presets::ec2();
+    let jobs = lublin_mix(40, 32, 1.1, DEFAULT_SEED);
+    let mk = |seed| {
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&cluster, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Conservative,
+            ContentionParams::for_fabric(&cluster.topology.inter),
+        )
+        .with_faults(SiteFaults::new(crashy(), seed).with_mttr(120.0));
+        simulate_site(&jobs, &cfg).unwrap()
+    };
+    let a = mk(7);
+    let b = mk(7);
+    assert_eq!(a.fault_events, b.fault_events);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.start.to_bits(), y.start.to_bits());
+        assert_eq!(x.end.to_bits(), y.end.to_bits());
+        assert_eq!(x.requeues, y.requeues);
+    }
+    let c = mk(8);
+    assert_ne!(
+        a.fault_events, c.fault_events,
+        "different seeds must move the fault noise"
+    );
+}

@@ -434,6 +434,13 @@ fn golden_schedsweep_digests_are_stable() {
             fnv(t.to_text().as_bytes()),
         )
     }));
+    digests.extend([DEFAULT_SEED, 1, 2].iter().map(|&seed| {
+        let t = figures::faultsched(&ReproConfig::quick().with_seed(seed));
+        (
+            format!("faultsched/seed{seed:#x}"),
+            fnv(t.to_text().as_bytes()),
+        )
+    }));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let mut s = String::from("# Golden schedsweep text digests.\n# label\tdigest\n");
         for (label, d) in &digests {
