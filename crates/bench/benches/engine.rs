@@ -288,13 +288,97 @@ fn main() {
         });
     }
 
+    {
+        // Streaming scheduler throughput at trace scale: the same EASY +
+        // rack-aware + contention site, fed by the lazy LublinMix source
+        // through `simulate_site_stream` — flat memory, so the trace size
+        // can grow to a million jobs. Load 0.7 keeps the queue bounded:
+        // per-job cost is then size-independent and the three entries
+        // gate O(n)-ness directly (ops/sec should stay flat with n).
+        use cloudsim::sim_net::ContentionParams;
+        use cloudsim::sim_sched::{
+            simulate_site_stream, Discipline, LublinMix, NodePool, PlacementPolicy, SiteConfig,
+        };
+        let dcc = presets::dcc();
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&dcc, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&dcc.topology.inter),
+        );
+        // Iteration counts shrink with the trace: a 1M-job run takes
+        // seconds, so best-of-3 is all the repetition the budget buys.
+        for (n_jobs, iters) in [(10_000usize, 10 * scale), (100_000, 6), (1_000_000, 3)] {
+            let name = format!("sched_stream_throughput/jobs{}k", n_jobs / 1000);
+            let per_iter = bench_throughput(&name, iters, n_jobs as u64, || {
+                simulate_site_stream(LublinMix::new(n_jobs, 32, 0.7, 42), &cfg, |_| {})
+                    .unwrap()
+                    .completed
+            });
+            records.push(BenchRecord {
+                name,
+                total_ops: n_jobs as u64,
+                iters,
+                sec_per_iter: per_iter,
+                ops_per_sec: n_jobs as f64 / per_iter,
+            });
+        }
+    }
+
+    {
+        // Sweep harness throughput: grid cells evaluated per second with
+        // the worker count pinned to 2 (runner-independent), each cell a
+        // 400-job streaming simulation digested into the order-independent
+        // combiner — the exact shape `examples/sweep_grid.rs` ships.
+        use cloudsim::sim_net::ContentionParams;
+        use cloudsim::sim_sched::{
+            simulate_site_stream, Discipline, LublinMix, NodePool, PlacementPolicy, SiteConfig,
+        };
+        use cloudsim::sim_sweep::{cell_seed, sweep, MergedDigest, SweepOpts};
+        let dcc = presets::dcc();
+        let cfg = SiteConfig::new(
+            NodePool::partition_of(&dcc, 32),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&dcc.topology.inter),
+        );
+        let n_cells = 48usize;
+        let opts = SweepOpts::default().with_threads(2);
+        let name = "sweep_cells_per_sec/cells48x2t";
+        let iters = 10 * scale;
+        let per_iter = bench_throughput(name, iters, n_cells as u64, || {
+            let digest = sweep(
+                n_cells,
+                &opts,
+                MergedDigest::new,
+                |cell, acc: &mut MergedDigest| {
+                    let load = 0.6 + 0.1 * (cell % 5) as f64;
+                    let jobs = LublinMix::new(400, 32, load, cell_seed(0xBE7C, cell as u64));
+                    let stats = simulate_site_stream(jobs, &cfg, |_| {}).unwrap();
+                    acc.absorb(cell as u64, stats.makespan.to_bits());
+                },
+                |total, part| total.merge(part),
+            );
+            digest.value() as usize
+        });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops: n_cells as u64,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: n_cells as f64 / per_iter,
+        });
+    }
+
     let calib = calibrate();
     println!("{:<48} {calib:>12.0} calib-iters/s", "machine_calibration");
     let mut file = EngineBenchFile {
         fingerprint: "synthetic np8 x20000 / np64 x2000 exchange+allreduce; compute-heavy np16 \
                       x2000; cg.S np=1024 on vayu; SimConfig::default seed; sched easy+rack-aware \
                       2000 lublin jobs on dcc/32; sched-faults same mix + crashy feed seed 42; \
-                      slotset 10000 lublin jobs on 512 procs"
+                      slotset 10000 lublin jobs on 512 procs; sched-stream 1e4/1e5/1e6 lublin \
+                      jobs load 0.7 seed 42 on dcc/32; sweep 48-cell x400-job stream grid, 2 \
+                      threads"
             .to_string(),
         calib_ops_per_sec: calib,
         results: records,

@@ -16,6 +16,7 @@ use sim_sched::{
     Maintenance, NodePool, PlacementPolicy, PriceModel, QuotaRule, RequeuePolicy, SchedJob,
     SiteConfig, SiteFaults,
 };
+use sim_sweep::{sweep, SweepOpts};
 use workloads::metum::warmed_secs;
 use workloads::osu::{osu_sizes, run_bandwidth, run_latency};
 use workloads::{
@@ -602,6 +603,40 @@ pub fn faultsweep_points(
 /// EC2: spot preemptions on top), rate-calibrated to each job's fault-free
 /// runtime so every platform sees a comparable event budget.
 pub fn faultsweep(cfg: &ReproConfig) -> Table {
+    faultsweep_with(cfg, &SweepOpts::default())
+}
+
+/// The (workload, platform) grid shared by [`faultsweep_with`] and
+/// [`recoverysweep_with`]: each cell rebuilds its workload from the config
+/// (the trait objects don't cross threads; the constructors are cheap and
+/// deterministic) and `eval` maps the cell's points to table rows.
+fn fault_grid_rows<F>(cfg: &ReproConfig, opts: &SweepOpts, eval: F) -> Vec<Vec<String>>
+where
+    F: Fn(&dyn Workload, &ClusterSpec) -> Vec<Vec<String>> + Sync,
+{
+    const WORKLOADS: usize = 2;
+    sweep(
+        WORKLOADS * platforms().len(),
+        opts,
+        Vec::new,
+        |cell, acc: &mut Vec<Vec<String>>| {
+            let c = &platforms()[cell % platforms().len()];
+            let rows = if cell / platforms().len() == 0 {
+                eval(&Npb::new(Kernel::Cg, cfg.npb_class), c)
+            } else {
+                let metum = MetUm {
+                    timesteps: cfg.metum_steps,
+                };
+                eval(&metum, c)
+            };
+            acc.extend(rows);
+        },
+        |total, part| total.extend(part),
+    )
+}
+
+/// [`faultsweep`] with explicit sweep options (thread pinning in tests).
+pub fn faultsweep_with(cfg: &ReproConfig, opts: &SweepOpts) -> Table {
     let mut t = Table::new(
         "Faultsweep — time-to-solution vs fault intensity at 16 ranks (plain vs checkpointed)",
         vec![
@@ -615,28 +650,25 @@ pub fn faultsweep(cfg: &ReproConfig) -> Table {
             "ckpt_fault_pct",
         ],
     );
-    let cg = Npb::new(Kernel::Cg, cfg.npb_class);
-    let metum = MetUm {
-        timesteps: cfg.metum_steps,
-    };
-    let workloads: [&dyn Workload; 2] = [&cg, &metum];
-    for w in workloads {
-        for c in platforms() {
-            let points = faultsweep_points(cfg, w, &c, 16, &FAULTSWEEP_SCALES);
-            let plat = c.name;
-            for p in points {
-                t.row(vec![
+    let rows = fault_grid_rows(cfg, opts, |w, c| {
+        faultsweep_points(cfg, w, c, 16, &FAULTSWEEP_SCALES)
+            .into_iter()
+            .map(|p| {
+                vec![
                     w.name(),
-                    plat.to_string(),
+                    c.name.to_string(),
                     format!("{:.1}", p.scale),
                     fmt_secs(p.plain_s),
                     fmt_secs(p.ckpt_s),
                     p.plain_restarts.to_string(),
                     p.ckpt_restarts.to_string(),
                     fmt_pct(p.ckpt_fault_pct),
-                ]);
-            }
-        }
+                ]
+            })
+            .collect()
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("scale 0.0 is bit-identical to the fault-free run; schedules nest across scales, so TTS is monotone in the fault rate");
     t.note("checkpointing pays its overhead at low rates and wins once preemptions force restarts (EC2 spot)");
@@ -782,6 +814,11 @@ pub fn recoverysweep_points(
 /// silent corruption and preemptions bite (EC2 spot), rolling live ranks
 /// back to a verified cut beats relaunching, and a spare pool beats both.
 pub fn recoverysweep(cfg: &ReproConfig) -> Table {
+    recoverysweep_with(cfg, &SweepOpts::default())
+}
+
+/// [`recoverysweep`] with explicit sweep options (thread pinning in tests).
+pub fn recoverysweep_with(cfg: &ReproConfig, opts: &SweepOpts) -> Table {
     let mut t = Table::new(
         "Recoverysweep — TTS vs fault intensity at 16 ranks (restart vs ABFT rollback vs shrink+spare)",
         vec![
@@ -798,19 +835,13 @@ pub fn recoverysweep(cfg: &ReproConfig) -> Table {
             "sdc_undet",
         ],
     );
-    let cg = Npb::new(Kernel::Cg, cfg.npb_class);
-    let metum = MetUm {
-        timesteps: cfg.metum_steps,
-    };
-    let workloads: [&dyn Workload; 2] = [&cg, &metum];
-    for w in workloads {
-        for c in platforms() {
-            let points = recoverysweep_points(cfg, w, &c, 16, &FAULTSWEEP_SCALES);
-            let plat = c.name;
-            for p in points {
-                t.row(vec![
+    let rows = fault_grid_rows(cfg, opts, |w, c| {
+        recoverysweep_points(cfg, w, c, 16, &FAULTSWEEP_SCALES)
+            .into_iter()
+            .map(|p| {
+                vec![
                     w.name(),
-                    plat.to_string(),
+                    c.name.to_string(),
                     format!("{:.1}", p.scale),
                     fmt_secs(p.restart_s),
                     fmt_secs(p.abft_s),
@@ -820,9 +851,12 @@ pub fn recoverysweep(cfg: &ReproConfig) -> Table {
                     p.shrinks.to_string(),
                     p.sdc_detected.to_string(),
                     p.sdc_undetected.to_string(),
-                ]);
-            }
-        }
+                ]
+            })
+            .collect()
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("scale 0.0 is bit-identical to the fault-free checkpointed run; verification cuts are pure overhead there");
     t.note("under load the ABFT runs trade relaunches for in-place rollbacks; shrink+spare additionally absorbs fatal preemptions");
@@ -903,6 +937,14 @@ pub fn schedsweep_points(
 /// and rack-aware placement buys back most of the contention inflation
 /// that scattered placement pays on the cloud fabrics.
 pub fn schedsweep(cfg: &ReproConfig) -> Table {
+    schedsweep_with(cfg, &SweepOpts::default())
+}
+
+/// [`schedsweep`] with explicit sweep options (thread pinning in tests).
+/// The grid fans out on [`sim_sweep::sweep`]; row order is the historical
+/// nested-loop order (platform, then discipline, then placement, then
+/// load) and the table text is bit-identical for every thread count.
+pub fn schedsweep_with(cfg: &ReproConfig, opts: &SweepOpts) -> Table {
     let mut t = Table::new(
         "Schedsweep — makespan / mean wait / contention / cost vs load (discipline x placement)",
         vec![
@@ -923,25 +965,32 @@ pub fn schedsweep(cfg: &ReproConfig) -> Table {
         PlacementPolicy::Scattered,
         PlacementPolicy::RackAware,
     ];
-    for c in platforms() {
-        for d in disciplines {
-            for p in placements {
-                let points = schedsweep_points(cfg, &c, 80, d, p, &SCHEDSWEEP_LOADS);
-                for pt in points {
-                    t.row(vec![
-                        c.name.to_string(),
-                        d.name().to_string(),
-                        p.name().to_string(),
-                        fmt_ratio(pt.load),
-                        fmt_secs(pt.makespan_s),
-                        fmt_secs(pt.mean_wait_s),
-                        fmt_secs(pt.inflation_s),
-                        format!("{:.2}", pt.cost_dollars),
-                        pt.head_delay_violations.to_string(),
-                    ]);
-                }
+    let rows = sweep(
+        platforms().len() * disciplines.len() * placements.len(),
+        opts,
+        Vec::new,
+        |cell, acc: &mut Vec<Vec<String>>| {
+            let c = &platforms()[cell / (disciplines.len() * placements.len())];
+            let d = disciplines[(cell / placements.len()) % disciplines.len()];
+            let p = placements[cell % placements.len()];
+            for pt in schedsweep_points(cfg, c, 80, d, p, &SCHEDSWEEP_LOADS) {
+                acc.push(vec![
+                    c.name.to_string(),
+                    d.name().to_string(),
+                    p.name().to_string(),
+                    fmt_ratio(pt.load),
+                    fmt_secs(pt.makespan_s),
+                    fmt_secs(pt.mean_wait_s),
+                    fmt_secs(pt.inflation_s),
+                    format!("{:.2}", pt.cost_dollars),
+                    pt.head_delay_violations.to_string(),
+                ]);
             }
-        }
+        },
+        |total, part| total.extend(part),
+    );
+    for row in rows {
+        t.row(row);
     }
     t.note("EASY and conservative backfilling never delay the queue head (head_delays stays 0)");
     t.note("scattered placement maximizes shared links: inflation_s is its contention bill");
@@ -1139,6 +1188,13 @@ pub fn faultsched_points(
 /// failures at zero even at 4x intensity, and the short-MTTR cloud
 /// absorbs crashes that cost the HPC platform an hour of repair each.
 pub fn faultsched(cfg: &ReproConfig) -> Table {
+    faultsched_with(cfg, &SweepOpts::default())
+}
+
+/// [`faultsched`] with explicit sweep options (thread pinning in tests).
+/// Fans the (platform x discipline) grid out on [`sim_sweep::sweep`];
+/// rows stay in the historical nested-loop order for every thread count.
+pub fn faultsched_with(cfg: &ReproConfig, opts: &SweepOpts) -> Table {
     let mut t = Table::new(
         "Faultsched — crash/requeue/drain behaviour vs fault intensity (discipline x platform)",
         vec![
@@ -1157,10 +1213,15 @@ pub fn faultsched(cfg: &ReproConfig) -> Table {
         ],
     );
     let disciplines = [Discipline::Fcfs, Discipline::Easy, Discipline::Conservative];
-    for c in platforms() {
-        for d in disciplines {
-            for pt in faultsched_points(cfg, &c, d, &FAULTSCHED_SCALES) {
-                t.row(vec![
+    let rows = sweep(
+        platforms().len() * disciplines.len(),
+        opts,
+        Vec::new,
+        |cell, acc: &mut Vec<Vec<String>>| {
+            let c = &platforms()[cell / disciplines.len()];
+            let d = disciplines[cell % disciplines.len()];
+            for pt in faultsched_points(cfg, c, d, &FAULTSCHED_SCALES) {
+                acc.push(vec![
                     c.name.to_string(),
                     d.name().to_string(),
                     fmt_ratio(pt.scale),
@@ -1175,7 +1236,11 @@ pub fn faultsched(cfg: &ReproConfig) -> Table {
                     fmt_secs(pt.work_salvaged_s),
                 ]);
             }
-        }
+        },
+        |total, part| total.extend(part),
+    );
+    for row in rows {
+        t.row(row);
     }
     t.note("scale 0.0 is bit-identical to the fault-free scheduler path (pinned by the golden digests)");
     t.note("rates calibrated so scale 1.0 expects ~16 scheduler-visible events per fault-free makespan");

@@ -43,9 +43,10 @@ pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
 pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
 pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
-    all_figures, faultsched, faultsched_points, faultsweep, faultsweep_points, fig1_osu_bandwidth,
-    fig2_osu_latency, fig3_npb_serial, fig4_kernel, fig4_npb_speedups, fig5_chaste, fig6_metum,
-    fig7_load_balance, recoverysweep, recoverysweep_points, schedsweep, schedsweep_points,
+    all_figures, faultsched, faultsched_points, faultsched_with, faultsweep, faultsweep_points,
+    faultsweep_with, fig1_osu_bandwidth, fig2_osu_latency, fig3_npb_serial, fig4_kernel,
+    fig4_npb_speedups, fig5_chaste, fig6_metum, fig7_load_balance, recoverysweep,
+    recoverysweep_points, recoverysweep_with, schedsweep, schedsweep_points, schedsweep_with,
     tab2_npb_comm, tab3_metum, FaultPoint, FaultSchedPoint, RecoveryPoint, ReproConfig, SchedPoint,
     DEFAULT_SEED, FAULTSCHED_CALIB, FAULTSCHED_SCALES, FAULTSWEEP_SCALES,
     RECOVERYSWEEP_SDC_PER_NODE, SCHEDSWEEP_LOADS, SCHEDSWEEP_NODES,
@@ -69,6 +70,7 @@ pub use sim_net;
 pub use sim_platform;
 pub use sim_platform::presets;
 pub use sim_sched;
+pub use sim_sweep;
 pub use workloads;
 
 /// Everything most programs need.

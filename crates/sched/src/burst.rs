@@ -14,6 +14,7 @@
 //! the conservative recovery, since the home site can always run it. The
 //! wait clock keeps running from the original submission.
 
+use crate::arena::JobRec;
 use crate::error::SchedError;
 use crate::pool::{NodePool, PlacementPolicy};
 use crate::pricing::PriceModel;
@@ -168,34 +169,30 @@ pub fn simulate_burst(
         Submit(usize),
         Wake { site: usize, gen: u64 },
     }
-    // Per-site views of every job (site-specific runtimes/walltimes);
-    // requeues after a preemption rewrite the home-site view.
-    let mut views: Vec<Vec<JobView>> = sites
+    // Each site's arena holds a per-site view of every job (site-specific
+    // runtimes/walltimes); requeues after a preemption rewrite the
+    // home-site view.
+    let mut states: Vec<SiteState> = sites
         .iter()
         .enumerate()
         .map(|(s, site)| {
-            jobs.iter()
-                .map(|j| JobView {
+            let mut st = SiteState::new(
+                NodePool::new(site.nodes, site.rack_size),
+                site.placement,
+                site.discipline,
+                site.contention,
+                site.engine,
+            );
+            for j in jobs {
+                st.jobs.insert(JobRec::new(JobView {
                     nodes: j.nodes,
                     runtime: j.runtime[s],
                     walltime: j.runtime[s] * site.walltime_factor,
                     comm_fraction: j.comm_fraction,
                     submit: j.submit,
-                })
-                .collect()
-        })
-        .collect();
-    let mut states: Vec<SiteState> = sites
-        .iter()
-        .map(|s| {
-            SiteState::new(
-                NodePool::new(s.nodes, s.rack_size),
-                s.placement,
-                s.discipline,
-                s.contention,
-                s.engine,
-                jobs.len(),
-            )
+                }));
+            }
+            st
         })
         .collect();
     let mut q: EventQueue<Ev> = EventQueue::new();
@@ -213,20 +210,18 @@ pub fn simulate_burst(
     let step = |site: usize,
                 now: f64,
                 states: &mut Vec<SiteState>,
-                views: &mut Vec<Vec<JobView>>,
                 out: &mut Vec<Option<BurstOutcome>>,
                 preempt_loss: &mut Vec<f64>,
                 preemptions: &mut usize,
                 q: &mut EventQueue<Ev>|
      -> Result<Vec<usize>, SchedError> {
-        let st = &mut states[site];
         // Spot revocations first: a preempted run never completes
         // (matching the historical model, where a drawn preemption
         // replaced the completion event outright).
         let mut requeue = Vec::new();
-        for (job, _start, remaining) in st.take_preempted(now) {
+        for (job, _start, remaining) in states[site].take_preempted(now) {
             *preemptions += 1;
-            let nominal = views[site][job].runtime;
+            let nominal = states[site].jobs[job].view.runtime;
             let done = (nominal - remaining).max(0.0);
             let retained = checkpoint.map_or(0.0, |ck| ck.retained(done));
             preempt_loss[job] += done - retained;
@@ -243,11 +238,12 @@ pub fn simulate_burst(
                 } else {
                     0.0
                 };
-            views[0][job].runtime = home_nominal;
-            views[0][job].walltime = home_nominal * sites[0].walltime_factor;
+            states[0].jobs[job].view.runtime = home_nominal;
+            states[0].jobs[job].view.walltime = home_nominal * sites[0].walltime_factor;
             out[job] = None;
             requeue.push(job);
         }
+        let st = &mut states[site];
         for dep in st.departures(now) {
             let (job, start, end, completed) = match dep {
                 Departure::Completed {
@@ -257,21 +253,21 @@ pub fn simulate_burst(
                     job, start, end, ..
                 } => (job, start, end, false),
             };
-            let v = &views[site][job];
+            let nominal = st.jobs[job].view.runtime;
             let elapsed = end - start;
             out[job] = Some(BurstOutcome {
                 id: jobs[job].id,
                 site,
                 wait: (start - jobs[job].submit).max(0.0),
-                runtime: v.runtime,
-                inflation: (elapsed - v.runtime).max(0.0),
+                runtime: nominal,
+                inflation: (elapsed - nominal).max(0.0),
                 preempt_loss: preempt_loss[job],
                 cost: sites[site].price.spot_cost(jobs[job].nodes, elapsed),
                 completed,
             });
         }
         st.started.clear();
-        st.try_start(now, &views[site])?;
+        st.try_start(now)?;
         let started = std::mem::take(&mut st.started);
         for &(job, start, _wait) in &started {
             // Revocable capacity: draw the instance's time-to-preempt; if
@@ -282,7 +278,7 @@ pub fn simulate_burst(
                     let mut rng = DetRng::new(p.seed, PREEMPT_STREAM ^ job as u64);
                     let mean = 3600.0 / (rate * jobs[job].nodes as f64);
                     let t = rng.exponential(mean);
-                    if t < views[site][job].runtime {
+                    if t < st.jobs[job].view.runtime {
                         st.set_preempt_at(job, start + t);
                     }
                 }
@@ -360,7 +356,6 @@ pub fn simulate_burst(
             site,
             now,
             &mut states,
-            &mut views,
             &mut out,
             &mut preempt_loss,
             &mut preemptions,
@@ -375,7 +370,6 @@ pub fn simulate_burst(
                 0,
                 now,
                 &mut states,
-                &mut views,
                 &mut out,
                 &mut preempt_loss,
                 &mut preemptions,

@@ -101,45 +101,105 @@ impl SchedJob {
 /// (Lublin & Feitelson's workload model is the standard synthetic stand-in
 /// for production batch traces; we keep its qualitative shape — many small
 /// short jobs, few wide long ones — without the full hyper-Gamma fit.)
+///
+/// This materialises the whole trace; [`LublinMix`] is the same sequence
+/// as a streaming iterator for traces too long to hold.
 pub fn lublin_mix(n_jobs: usize, pool_nodes: usize, load: f64, seed: u64) -> Vec<SchedJob> {
-    assert!(pool_nodes >= 1 && load > 0.0);
-    let mut rng = DetRng::new(seed, 0x0010_B114);
-    // Widest job: a quarter of the pool (power of two), at least 1 node.
-    let max_pow = (pool_nodes / 4).max(1).ilog2();
-    // Shape pass: sample sizes and service times first so the arrival rate
-    // can be scaled to the mix's actual mean demand.
-    let shapes: Vec<(usize, f64, f64)> = (0..n_jobs)
-        .map(|_| {
-            // Power-of-two bias: exponent uniform, so each doubling is
-            // equally likely and small jobs dominate node-count mass.
-            let pow = rng.index(max_pow as usize + 1) as u32;
-            let nodes = (1usize << pow).min(pool_nodes);
-            // Log-uniform service time over 30 s .. 3000 s.
-            let runtime = 30.0 * (100.0_f64).powf(rng.uniform());
-            // Wide jobs lean communication-heavy (halo exchanges grow with
-            // the process grid); narrow ones compute-bound.
-            let cf = (0.05 + 0.5 * rng.uniform() + 0.05 * pow as f64).min(0.85);
-            (nodes, runtime, cf)
-        })
-        .collect();
-    let mean_node_secs =
-        shapes.iter().map(|(n, r, _)| *n as f64 * r).sum::<f64>() / n_jobs.max(1) as f64;
-    let mean_interarrival = mean_node_secs / (pool_nodes as f64 * load);
-
-    let mut t = 0.0;
-    shapes
-        .into_iter()
-        .enumerate()
-        .map(|(id, (nodes, runtime, cf))| {
-            t += rng.exponential(mean_interarrival);
-            let mut job = SchedJob::new(id, nodes, t, runtime, cf);
-            // Walltime pad: 2.5x (the contention cap) plus user
-            // sloppiness — real estimates are notoriously loose.
-            job.walltime = runtime * (2.5 + 1.5 * rng.uniform());
-            job
-        })
-        .collect()
+    LublinMix::new(n_jobs, pool_nodes, load, seed).collect()
 }
+
+/// Streaming form of [`lublin_mix`]: yields the bit-identical job sequence
+/// in O(1) memory, however long the trace.
+///
+/// The batch constructor needs the mix's mean node-seconds demand *before*
+/// the first arrival can be drawn (the Poisson rate is calibrated to it),
+/// which is why it materialised the shape pass. The stream instead runs
+/// the calibration pass over a second generator seeded identically: the
+/// batch version draws all `3 * n_jobs` shape values first and then the
+/// arrival values from the same generator, so after the calibration pass
+/// consumes exactly the shape draws, `arrival_rng` sits precisely where
+/// the batch arrival pass began — and a fresh `shape_rng` replays the
+/// shape draws job by job during iteration.
+#[derive(Debug, Clone)]
+pub struct LublinMix {
+    shape_rng: DetRng,
+    arrival_rng: DetRng,
+    max_pow: u32,
+    pool_nodes: usize,
+    mean_interarrival: f64,
+    t: f64,
+    next_id: usize,
+    n_jobs: usize,
+}
+
+impl LublinMix {
+    pub fn new(n_jobs: usize, pool_nodes: usize, load: f64, seed: u64) -> LublinMix {
+        assert!(pool_nodes >= 1 && load > 0.0);
+        let shape_rng = DetRng::new(seed, 0x0010_B114);
+        let mut arrival_rng = DetRng::new(seed, 0x0010_B114);
+        // Widest job: a quarter of the pool (power of two), at least 1 node.
+        let max_pow = (pool_nodes / 4).max(1).ilog2();
+        // Calibration pass: consume the shape draws to find the mean
+        // demand the arrival rate is scaled against. Same summation
+        // order as the batch pass, so the rate is bit-identical.
+        let mut node_secs = 0.0;
+        for _ in 0..n_jobs {
+            let (nodes, runtime, _) = draw_shape(&mut arrival_rng, max_pow, pool_nodes);
+            node_secs += nodes as f64 * runtime;
+        }
+        let mean_node_secs = node_secs / n_jobs.max(1) as f64;
+        LublinMix {
+            shape_rng,
+            arrival_rng,
+            max_pow,
+            pool_nodes,
+            mean_interarrival: mean_node_secs / (pool_nodes as f64 * load),
+            t: 0.0,
+            next_id: 0,
+            n_jobs,
+        }
+    }
+}
+
+/// One job's shape draws, in the draw order both passes replay.
+fn draw_shape(rng: &mut DetRng, max_pow: u32, pool_nodes: usize) -> (usize, f64, f64) {
+    // Power-of-two bias: exponent uniform, so each doubling is equally
+    // likely and small jobs dominate node-count mass.
+    let pow = rng.index(max_pow as usize + 1) as u32;
+    let nodes = (1usize << pow).min(pool_nodes);
+    // Log-uniform service time over 30 s .. 3000 s.
+    let runtime = 30.0 * (100.0_f64).powf(rng.uniform());
+    // Wide jobs lean communication-heavy (halo exchanges grow with the
+    // process grid); narrow ones compute-bound.
+    let cf = (0.05 + 0.5 * rng.uniform() + 0.05 * pow as f64).min(0.85);
+    (nodes, runtime, cf)
+}
+
+impl Iterator for LublinMix {
+    type Item = SchedJob;
+
+    fn next(&mut self) -> Option<SchedJob> {
+        if self.next_id >= self.n_jobs {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let (nodes, runtime, cf) = draw_shape(&mut self.shape_rng, self.max_pow, self.pool_nodes);
+        self.t += self.arrival_rng.exponential(self.mean_interarrival);
+        let mut job = SchedJob::new(id, nodes, self.t, runtime, cf);
+        // Walltime pad: 2.5x (the contention cap) plus user sloppiness —
+        // real estimates are notoriously loose.
+        job.walltime = runtime * (2.5 + 1.5 * self.arrival_rng.uniform());
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n_jobs - self.next_id;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for LublinMix {}
 
 /// The same seeded Lublin mix lifted to multi-site burst jobs: one
 /// runtime per site, where `cloud_slowdowns[s] = (base, per_cf)` stretches
@@ -157,28 +217,62 @@ pub fn lublin_burst_mix(
     seed: u64,
     cloud_slowdowns: &[(f64, f64)],
 ) -> Vec<BurstJob> {
-    lublin_mix(n_jobs, pool_nodes, load, seed)
-        .into_iter()
-        .map(|j| {
-            let cf = j.comm_fraction;
-            let mut runtime = vec![j.runtime];
-            runtime.extend(
-                cloud_slowdowns
-                    .iter()
-                    .map(|&(base, per_cf)| j.runtime * (base + per_cf * cf)),
-            );
-            BurstJob {
-                id: j.id,
-                name: j.name,
-                nodes: j.nodes,
-                submit: j.submit,
-                runtime,
-                comm_fraction: cf,
-                friendliness: (1.0 - cf).clamp(0.0, 1.0),
-            }
-        })
-        .collect()
+    LublinBurstMix::new(n_jobs, pool_nodes, load, seed, cloud_slowdowns).collect()
 }
+
+/// Streaming form of [`lublin_burst_mix`]: the [`LublinMix`] source lifted
+/// job-by-job to multi-site [`BurstJob`]s. The lift is a pure per-job map,
+/// so the stream is bit-identical to the batch vector by construction.
+#[derive(Debug, Clone)]
+pub struct LublinBurstMix {
+    inner: LublinMix,
+    cloud_slowdowns: Vec<(f64, f64)>,
+}
+
+impl LublinBurstMix {
+    pub fn new(
+        n_jobs: usize,
+        pool_nodes: usize,
+        load: f64,
+        seed: u64,
+        cloud_slowdowns: &[(f64, f64)],
+    ) -> LublinBurstMix {
+        LublinBurstMix {
+            inner: LublinMix::new(n_jobs, pool_nodes, load, seed),
+            cloud_slowdowns: cloud_slowdowns.to_vec(),
+        }
+    }
+}
+
+impl Iterator for LublinBurstMix {
+    type Item = BurstJob;
+
+    fn next(&mut self) -> Option<BurstJob> {
+        let j = self.inner.next()?;
+        let cf = j.comm_fraction;
+        let mut runtime = vec![j.runtime];
+        runtime.extend(
+            self.cloud_slowdowns
+                .iter()
+                .map(|&(base, per_cf)| j.runtime * (base + per_cf * cf)),
+        );
+        Some(BurstJob {
+            id: j.id,
+            name: j.name,
+            nodes: j.nodes,
+            submit: j.submit,
+            runtime,
+            comm_fraction: cf,
+            friendliness: (1.0 - cf).clamp(0.0, 1.0),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for LublinBurstMix {}
 
 #[cfg(test)]
 mod tests {
@@ -211,6 +305,24 @@ mod tests {
     }
 
     #[test]
+    fn streaming_mix_matches_batch_and_knows_its_length() {
+        let mut stream = LublinMix::new(300, 64, 1.1, 17);
+        assert_eq!(stream.len(), 300);
+        let batch = lublin_mix(300, 64, 1.1, 17);
+        for (i, want) in batch.iter().enumerate() {
+            let got = stream.next().expect("stream ends with the batch");
+            assert_eq!(stream.len(), 300 - i - 1);
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.nodes, want.nodes);
+            assert_eq!(got.submit.to_bits(), want.submit.to_bits());
+            assert_eq!(got.runtime.to_bits(), want.runtime.to_bits());
+            assert_eq!(got.walltime.to_bits(), want.walltime.to_bits());
+            assert_eq!(got.comm_fraction.to_bits(), want.comm_fraction.to_bits());
+        }
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
     fn higher_load_packs_arrivals_tighter() {
         let lo = lublin_mix(200, 32, 0.5, 3);
         let hi = lublin_mix(200, 32, 2.0, 3);
@@ -231,6 +343,26 @@ mod tests {
             assert_eq!(b.runtime[2], j.runtime * (1.10 + 1.3 * j.comm_fraction));
             assert_eq!(b.friendliness, (1.0 - j.comm_fraction).clamp(0.0, 1.0));
         }
+    }
+
+    #[test]
+    fn streaming_burst_mix_matches_batch() {
+        let slow = [(1.05, 0.9), (1.10, 1.3)];
+        let batch = lublin_burst_mix(50, 16, 1.2, 9, &slow);
+        let mut stream = LublinBurstMix::new(50, 16, 1.2, 9, &slow);
+        assert_eq!(stream.len(), batch.len());
+        for want in &batch {
+            let got = stream.next().expect("stream ends with the batch");
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.nodes, want.nodes);
+            assert_eq!(got.submit.to_bits(), want.submit.to_bits());
+            assert_eq!(got.runtime.len(), want.runtime.len());
+            for (g, w) in got.runtime.iter().zip(&want.runtime) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+            assert_eq!(got.friendliness.to_bits(), want.friendliness.to_bits());
+        }
+        assert!(stream.next().is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! Per-job attribution (queue wait, contention inflation, preemption loss)
 //! feeds the IPM-style [`sim_ipm::SchedReport`] via [`sched_report`].
 
+pub(crate) mod arena;
 pub mod burst;
 pub mod error;
 pub mod hierarchy;
@@ -38,6 +39,7 @@ pub mod pool;
 pub mod pricing;
 pub mod site;
 pub mod slot;
+pub mod stream;
 
 pub use burst::{
     simulate_burst, BurstJob, BurstOutcome, BurstPolicy, BurstSite, BurstStats, CheckpointSpec,
@@ -45,7 +47,7 @@ pub use burst::{
 };
 pub use error::SchedError;
 pub use hierarchy::Hierarchy;
-pub use job::{lublin_burst_mix, lublin_mix, JobShape, SchedJob};
+pub use job::{lublin_burst_mix, lublin_mix, JobShape, LublinBurstMix, LublinMix, SchedJob};
 pub use pool::{share_links, NodePool, PlacementPolicy};
 pub use pricing::PriceModel;
 pub use site::{
@@ -54,6 +56,7 @@ pub use site::{
     SiteResult,
 };
 pub use slot::{ProcSet, SlotSet};
+pub use stream::{simulate_site_stream, StreamStats};
 
 use sim_ipm::{SchedEventRow, SchedJobRow, SchedReport};
 

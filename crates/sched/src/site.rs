@@ -76,6 +76,7 @@
 //! killed). That independence is what keeps the EASY invariant intact even
 //! though actual completion times move with the tenant mix.
 
+use crate::arena::{JobArena, JobRec};
 use crate::burst::CheckpointSpec;
 use crate::error::SchedError;
 use crate::job::{JobShape, SchedJob};
@@ -450,18 +451,17 @@ pub(crate) struct SiteState {
     pub engine: SchedEngine,
     pub queue: VecDeque<usize>,
     pub running: Vec<Running>,
+    /// Every admitted job's record: view, project, deps, reservations
+    /// (conservative `resv` is persistent — once granted it only ever
+    /// moves *earlier*; recomputing from scratch at each event is not
+    /// monotone and breaks the no-delay guarantee), kill counts, fault
+    /// loss. ID-indexed; the streaming driver retires records as outcomes
+    /// are reported so memory tracks live jobs, not trace length.
+    pub(crate) jobs: JobArena,
     /// Simulation time of the last work-accounting advance.
     clock: f64,
     /// Wake-event generation; stale wakes are dropped.
     pub wake_gen: u64,
-    /// First-quoted reservation per job (None = never quoted).
-    pub reserved: Vec<Option<f64>>,
-    /// Current reservation per queued job (conservative only). Persistent:
-    /// once granted it only ever moves *earlier* (compression). Recomputing
-    /// all reservations from scratch at each event is not monotone — an
-    /// early completion can re-pack the greedy profile so that a job's
-    /// fresh quote lands *later* than its pin, breaking the guarantee.
-    resv: Vec<Option<f64>>,
     pub head_delay_violations: usize,
     /// Jobs started this step: `(job, start, wait)`.
     pub started: Vec<(usize, f64, f64)>,
@@ -472,14 +472,22 @@ pub(crate) struct SiteState {
     /// reservation assumed — which is exactly the head-delay cascade the
     /// discipline promises away.
     next_due: Option<f64>,
+    /// Queue positions below this were scanned by the last backfill pass
+    /// and found unstartable. Valid only while nothing frees capacity:
+    /// between scans, time passing shrinks the shadow window and submits
+    /// only append, so a failed candidate re-fails — the next scan may
+    /// start at the watermark. Reset to 0 whenever capacity is released
+    /// (departure, preemption, crash, heal). Never consulted in
+    /// constrained mode, where window-fit checks slide with `now`.
+    scan_watermark: usize,
+    /// Whether capacity was released since the last conservative
+    /// compression sweep. While clean, the profile only tightened (time
+    /// advanced, reservations were added), so a fresh quote can never
+    /// beat a pinned one and the O(queue²)-per-event sweep is skipped.
+    resv_dirty: bool,
     /// The availability timeline (slot-set engine only).
     slots: SlotSet,
     quotas: Vec<QuotaRule>,
-    /// Per-job accounting project (indexes parallel the job list).
-    project: Vec<Option<u32>>,
-    /// Per-job dependency edges; a job is eligible once every dep departed.
-    deps: Vec<Vec<usize>>,
-    dep_done: Vec<bool>,
     /// Submitted jobs still gated on dependencies, in submission order.
     gated: Vec<usize>,
     advance: Vec<Advance>,
@@ -495,9 +503,6 @@ pub(crate) struct SiteState {
     /// Per-node instant until which the node is excluded from new work
     /// (crash repair end or degradation end); `0.0` = available.
     unavail_until: Vec<f64>,
-    /// Per-job crash-kill count: drives the retry budget and the backoff
-    /// position.
-    pub(crate) kills: Vec<u32>,
     pub(crate) fault_events: Vec<FaultEvent>,
     pub(crate) fault_stats: FaultStats,
 }
@@ -525,7 +530,6 @@ impl SiteState {
         discipline: Discipline,
         contention: ContentionParams,
         engine: SchedEngine,
-        n_jobs: usize,
     ) -> SiteState {
         let slots = SlotSet::new(0.0, pool.hierarchy().site());
         SiteState {
@@ -536,28 +540,35 @@ impl SiteState {
             engine,
             queue: VecDeque::new(),
             running: Vec::new(),
+            jobs: JobArena::default(),
             clock: 0.0,
             wake_gen: 0,
-            reserved: vec![None; n_jobs],
-            resv: vec![None; n_jobs],
             head_delay_violations: 0,
             started: Vec::new(),
             next_due: None,
+            scan_watermark: 0,
+            resv_dirty: true,
             slots,
             quotas: Vec::new(),
-            project: vec![None; n_jobs],
-            deps: vec![Vec::new(); n_jobs],
-            dep_done: vec![false; n_jobs],
             gated: Vec::new(),
             advance: Vec::new(),
             calendar_applied: false,
             faults_active: false,
             health: Vec::new(),
             unavail_until: Vec::new(),
-            kills: vec![0; n_jobs],
             fault_events: Vec::new(),
             fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Admit one job into the arena; returns its id. Batch drivers admit
+    /// everything up front (ids == input indices); the streaming driver
+    /// admits on arrival and retires on outcome.
+    pub(crate) fn admit(&mut self, j: &SchedJob) -> usize {
+        let mut rec = JobRec::new(JobView::of(j));
+        rec.project = j.project;
+        rec.deps = j.deps.clone();
+        self.jobs.insert(rec)
     }
 
     /// Arm the fault branches: allocate the per-node health vectors and
@@ -576,14 +587,9 @@ impl SiteState {
         self.health.get(node).copied().unwrap_or_default()
     }
 
-    /// Install per-job capability data (projects, dependencies) and the
-    /// site's quota rules. Single-site drivers call this; the burst driver
-    /// leaves everything default (its jobs carry no capability features).
-    pub(crate) fn set_features(&mut self, jobs: &[SchedJob], quotas: &[QuotaRule]) {
-        for (i, j) in jobs.iter().enumerate() {
-            self.project[i] = j.project;
-            self.deps[i] = j.deps.clone();
-        }
+    /// Install the site's quota rules. Single-site drivers call this; the
+    /// burst driver leaves them empty.
+    pub(crate) fn set_quotas(&mut self, quotas: &[QuotaRule]) {
         self.quotas = quotas.to_vec();
     }
 
@@ -656,11 +662,15 @@ impl SiteState {
         if self.advance.iter().any(|a| a.job == job) {
             return;
         }
-        if self.deps[job].iter().all(|&d| self.dep_done[d]) {
+        if self.deps_done(job) {
             self.queue.push_back(job);
         } else {
             self.gated.push(job);
         }
+    }
+
+    fn deps_done(&self, job: usize) -> bool {
+        self.jobs[job].deps.iter().all(|&d| self.jobs[d].departed)
     }
 
     /// Move every gated job whose dependencies have all departed into the
@@ -669,7 +679,7 @@ impl SiteState {
         let mut i = 0;
         while i < self.gated.len() {
             let job = self.gated[i];
-            if self.deps[job].iter().all(|&d| self.dep_done[d]) {
+            if self.deps_done(job) {
                 self.gated.remove(i);
                 self.queue.push_back(job);
             } else {
@@ -710,14 +720,17 @@ impl SiteState {
                 i += 1;
             }
         }
-        if released && self.engine == SchedEngine::SlotSet {
-            self.slots.merge();
+        if released {
+            self.capacity_released();
+            if self.engine == SchedEngine::SlotSet {
+                self.slots.merge();
+            }
         }
         for d in &out {
             let job = match d {
                 Departure::Completed { job, .. } | Departure::Killed { job, .. } => *job,
             };
-            self.dep_done[job] = true;
+            self.jobs[job].departed = true;
         }
         out
     }
@@ -802,11 +815,11 @@ impl SiteState {
 
     /// Walltime-based release profile of the running set: `(end, nodes)`
     /// sorted by end. Static upper bounds — never moved by contention.
-    fn release_profile(&self, jobs: &[JobView]) -> Vec<(f64, usize)> {
+    fn release_profile(&self) -> Vec<(f64, usize)> {
         let mut prof: Vec<(f64, usize)> = self
             .running
             .iter()
-            .map(|r| (r.kill_at, jobs[r.job].nodes))
+            .map(|r| (r.kill_at, self.jobs[r.job].view.nodes))
             .collect();
         prof.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite walltimes"));
         prof
@@ -816,10 +829,10 @@ impl SiteState {
     /// or `None` when the release profile never frees enough nodes (the
     /// caller surfaces that as a typed [`SchedError`]; validation makes it
     /// unreachable for well-formed inputs).
-    fn easy_reservation(&self, need: usize, jobs: &[JobView]) -> Option<(f64, usize)> {
+    fn easy_reservation(&self, need: usize) -> Option<(f64, usize)> {
         let mut free = self.pool.free_count();
         debug_assert!(free < need, "head would have started");
-        for (end, n) in self.release_profile(jobs) {
+        for (end, n) in self.release_profile() {
             free += n;
             if free >= need {
                 return Some((end, free - need));
@@ -889,7 +902,7 @@ impl SiteState {
     /// Admission gate: would starting `need` more nodes for `job`'s
     /// project break an active quota rule?
     fn quota_ok(&self, now: f64, job: usize, need: usize) -> bool {
-        let Some(p) = self.project.get(job).copied().flatten() else {
+        let Some(p) = self.jobs[job].project else {
             return true;
         };
         for q in &self.quotas {
@@ -904,7 +917,7 @@ impl SiteState {
             let usage: usize = self
                 .running
                 .iter()
-                .filter(|r| self.project.get(r.job).copied().flatten() == Some(p))
+                .filter(|r| self.jobs[r.job].project == Some(p))
                 .map(|r| r.nodes_held.len())
                 .sum();
             if usage + need > q.max_nodes {
@@ -952,11 +965,7 @@ impl SiteState {
 
     /// Start every pinned advance reservation whose time has come, on
     /// exactly its pre-split nodes.
-    pub(crate) fn start_due_advance(
-        &mut self,
-        now: f64,
-        jobs: &[JobView],
-    ) -> Result<(), SchedError> {
+    pub(crate) fn start_due_advance(&mut self, now: f64) -> Result<(), SchedError> {
         for i in 0..self.advance.len() {
             let (job, start, walltime, done) = {
                 let a = &self.advance[i];
@@ -966,7 +975,7 @@ impl SiteState {
                 continue;
             }
             let procs = self.advance[i].procs.clone();
-            let v = jobs[job];
+            let v = self.jobs[job].view;
             let held = self
                 .pool
                 .alloc_from(v.nodes, self.placement, &procs)
@@ -982,9 +991,9 @@ impl SiteState {
     // -- Starting jobs ----------------------------------------------------
 
     /// Legacy path: allocate from the whole free pool.
-    fn start_job(&mut self, pos: usize, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+    fn start_job(&mut self, pos: usize, now: f64) -> Result<(), SchedError> {
         let job = self.queue.remove(pos).expect("valid queue position");
-        let v = jobs[job];
+        let v = self.jobs[job].view;
         let nodes_held = self.pool.alloc(v.nodes, self.placement)?;
         self.commence(job, now, &v, nodes_held, now + v.walltime, false);
         Ok(())
@@ -992,15 +1001,9 @@ impl SiteState {
 
     /// Slot path: allocate from the window's candidate procs and split the
     /// placement out of the slots over `[now, now + walltime)`.
-    fn start_job_slot(
-        &mut self,
-        pos: usize,
-        now: f64,
-        jobs: &[JobView],
-        cand: &ProcSet,
-    ) -> Result<(), SchedError> {
+    fn start_job_slot(&mut self, pos: usize, now: f64, cand: &ProcSet) -> Result<(), SchedError> {
         let job = self.queue.remove(pos).expect("valid queue position");
-        let v = jobs[job];
+        let v = self.jobs[job].view;
         let nodes_held = self.pool.alloc_from(v.nodes, self.placement, cand)?;
         self.commence(job, now, &v, nodes_held, now + v.walltime, false);
         Ok(())
@@ -1022,7 +1025,7 @@ impl SiteState {
             self.slots
                 .sub_window(now, kill_at, &ProcSet::from_ids(&nodes_held));
         }
-        if let Some(promised) = self.reserved[job] {
+        if let Some(promised) = self.jobs[job].reserved {
             if now > promised + EPS {
                 self.head_delay_violations += 1;
             }
@@ -1051,90 +1054,115 @@ impl SiteState {
 
     /// Start every job the discipline allows at `now`. Starts are recorded
     /// in `self.started`; the caller recomputes rates afterwards.
-    pub fn try_start(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+    pub fn try_start(&mut self, now: f64) -> Result<(), SchedError> {
         self.release_gated();
         match (self.engine, self.discipline) {
-            (SchedEngine::LegacyFreeNode, Discipline::Fcfs) => self.try_start_fcfs(now, jobs),
-            (SchedEngine::LegacyFreeNode, Discipline::Easy) => {
-                self.try_start_backfill(now, jobs, true)
-            }
+            (SchedEngine::LegacyFreeNode, Discipline::Fcfs) => self.try_start_fcfs(now),
+            (SchedEngine::LegacyFreeNode, Discipline::Easy) => self.try_start_backfill(now, true),
             (SchedEngine::LegacyFreeNode, Discipline::NaiveBackfill) => {
-                self.try_start_backfill(now, jobs, false)
+                self.try_start_backfill(now, false)
             }
             (SchedEngine::LegacyFreeNode, Discipline::Conservative) => {
-                self.try_start_conservative(now, jobs)
+                self.try_start_conservative(now)
             }
-            (SchedEngine::SlotSet, Discipline::Fcfs) => self.try_start_fcfs_slot(now, jobs),
-            (SchedEngine::SlotSet, Discipline::Easy) => {
-                self.try_start_backfill_slot(now, jobs, true)
-            }
+            (SchedEngine::SlotSet, Discipline::Fcfs) => self.try_start_fcfs_slot(now),
+            (SchedEngine::SlotSet, Discipline::Easy) => self.try_start_backfill_slot(now, true),
             (SchedEngine::SlotSet, Discipline::NaiveBackfill) => {
-                self.try_start_backfill_slot(now, jobs, false)
+                self.try_start_backfill_slot(now, false)
             }
             (SchedEngine::SlotSet, Discipline::Conservative) => {
-                self.try_start_conservative_slot(now, jobs)
+                self.try_start_conservative_slot(now)
             }
         }
     }
 
-    fn try_start_fcfs(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+    fn try_start_fcfs(&mut self, now: f64) -> Result<(), SchedError> {
         while let Some(&head) = self.queue.front() {
-            if jobs[head].nodes > self.pool.free_count() {
+            if self.jobs[head].view.nodes > self.pool.free_count() {
                 break;
             }
-            self.start_job(0, now, jobs)?;
+            self.start_job(0, now)?;
         }
         Ok(())
     }
 
     /// EASY (`respect_shadow`) and the naive foil (`!respect_shadow`) share
     /// a skeleton: start the head while it fits; otherwise reserve for the
-    /// head and scan the rest of the queue for backfills.
-    fn try_start_backfill(
-        &mut self,
-        now: f64,
-        jobs: &[JobView],
-        respect_shadow: bool,
-    ) -> Result<(), SchedError> {
-        'sched: loop {
-            let Some(&head) = self.queue.front() else {
-                return Ok(());
-            };
-            if jobs[head].nodes <= self.pool.free_count() {
-                self.start_job(0, now, jobs)?;
-                continue;
-            }
-            // Head blocked: quote (and pin) its reservation.
-            let (shadow, extra) = self.easy_reservation(jobs[head].nodes, jobs).ok_or(
-                SchedError::InsufficientNodes {
-                    job: head,
-                    need: jobs[head].nodes,
-                    limit: self.pool.nodes(),
-                },
-            )?;
-            if self.reserved[head].is_none() {
-                self.reserved[head] = Some(shadow);
-            }
-            for pos in 1..self.queue.len() {
-                let cand = self.queue[pos];
-                let v = &jobs[cand];
-                if v.nodes > self.pool.free_count() {
-                    continue;
-                }
-                let fits_window = now + v.walltime <= shadow + EPS;
-                let fits_extra = v.nodes <= extra;
-                if respect_shadow && !fits_window && !fits_extra {
-                    continue;
-                }
-                self.start_job(pos, now, jobs)?;
-                // Queue indices and the profile both changed; rescan (a
-                // start that consumed extra nodes shrinks the recomputed
-                // extra automatically: its walltime now sits in the
-                // profile past the shadow).
-                continue 'sched;
-            }
+    /// head and scan the rest of the queue for backfills — one pass, with
+    /// starts taken in place. A start only removes capacity (free nodes
+    /// shrink, `extra` shrinks or holds, the shadow holds: a window-fit
+    /// start completes before it, an extra-fit start leaves the level at
+    /// the shadow at or above the head's need), so every candidate that
+    /// already failed re-fails and the historical restart-from-the-front
+    /// rescan visits no new starts — this is the same schedule without the
+    /// O(queue²) re-walk.
+    fn try_start_backfill(&mut self, now: f64, respect_shadow: bool) -> Result<(), SchedError> {
+        if self.backfill_fast_path() {
             return Ok(());
         }
+        // Start the head while it fits.
+        while let Some(&head) = self.queue.front() {
+            if self.jobs[head].view.nodes > self.pool.free_count() {
+                break;
+            }
+            self.start_job(0, now)?;
+            self.scan_watermark = 0;
+        }
+        let Some(&head) = self.queue.front() else {
+            self.scan_watermark = 0;
+            return Ok(());
+        };
+        // Head blocked: quote (and pin) its reservation.
+        let head_nodes = self.jobs[head].view.nodes;
+        let quote = |st: &SiteState| {
+            st.easy_reservation(head_nodes)
+                .ok_or(SchedError::InsufficientNodes {
+                    job: head,
+                    need: head_nodes,
+                    limit: st.pool.nodes(),
+                })
+        };
+        let (mut shadow, mut extra) = quote(self)?;
+        if self.jobs[head].reserved.is_none() {
+            self.jobs[head].reserved = Some(shadow);
+        }
+        let mut pos = self.scan_watermark.max(1);
+        while pos < self.queue.len() {
+            let cand = self.queue[pos];
+            let v = self.jobs[cand].view;
+            if v.nodes > self.pool.free_count() {
+                pos += 1;
+                continue;
+            }
+            let fits_window = now + v.walltime <= shadow + EPS;
+            let fits_extra = v.nodes <= extra;
+            if respect_shadow && !fits_window && !fits_extra {
+                pos += 1;
+                continue;
+            }
+            self.start_job(pos, now)?;
+            // The removal shifted the next candidate into `pos`; requote
+            // against the new release profile (a start that consumed
+            // extra nodes shrinks the recomputed extra automatically: its
+            // walltime now sits in the profile past the shadow).
+            (shadow, extra) = quote(self)?;
+        }
+        self.scan_watermark = self.queue.len();
+        Ok(())
+    }
+
+    /// True when the last backfill scan covered the whole queue, nothing
+    /// has released capacity since, and the blocked head already holds its
+    /// pinned quote — every check would come out the same, so the pass is
+    /// skipped outright. Only sound unconstrained: window-fit placement
+    /// and quota windows move with `now` even without a release.
+    fn backfill_fast_path(&self) -> bool {
+        !self.constrained()
+            && self.scan_watermark >= self.queue.len()
+            && match self.queue.front() {
+                Some(&head) => self.jobs[head].reserved.is_some(),
+                None => true,
+            }
     }
 
     /// Conservative backfilling with *persistent* reservations. A fresh
@@ -1146,30 +1174,37 @@ impl SiteState {
     /// silently breaks the no-delay guarantee: an early completion lets a
     /// predecessor re-pack earlier, and the re-flowed greedy profile can
     /// push a later job's window past its first quote.
-    fn try_start_conservative(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+    fn try_start_conservative(&mut self, now: f64) -> Result<(), SchedError> {
         self.next_due = None;
+        let mut compress = self.resv_dirty;
+        let mut any_start = false;
         loop {
             // Quote new arrivals in FCFS order, each against the running
             // set plus every reservation granted so far.
             for pos in 0..self.queue.len() {
                 let job = self.queue[pos];
-                if self.resv[job].is_some() {
+                if self.jobs[job].resv.is_some() {
                     continue;
                 }
-                let s = self.conservative_earliest(now, job, jobs)?;
-                self.resv[job] = Some(s);
-                if self.reserved[job].is_none() {
-                    self.reserved[job] = Some(s);
+                let s = self.conservative_earliest(now, job)?;
+                self.jobs[job].resv = Some(s);
+                if self.jobs[job].reserved.is_none() {
+                    self.jobs[job].reserved = Some(s);
                 }
             }
             // Compression sweep: each job may move earlier while all
             // other reservations stay fixed, so the mutual feasibility of
             // the window set is preserved and no window ever moves later.
-            for pos in 0..self.queue.len() {
-                let job = self.queue[pos];
-                let s = self.conservative_earliest(now, job, jobs)?;
-                if s < self.resv[job].expect("quoted above") - EPS {
-                    self.resv[job] = Some(s);
+            // Skipped while no capacity has been released since the last
+            // sweep: the profile only tightened (time advanced, quotes
+            // were added), so no fresh quote can beat a pinned one.
+            if compress {
+                for pos in 0..self.queue.len() {
+                    let job = self.queue[pos];
+                    let s = self.conservative_earliest(now, job)?;
+                    if s < self.jobs[job].resv.expect("quoted above") - EPS {
+                        self.jobs[job].resv = Some(s);
+                    }
                 }
             }
             // Start the first job whose reservation has come due. Starting
@@ -1177,24 +1212,33 @@ impl SiteState {
             // stays feasible; loop in case the compaction cascades.
             let due = (0..self.queue.len()).find(|&pos| {
                 let job = self.queue[pos];
-                self.resv[job].expect("quoted above") <= now + EPS
-                    && jobs[job].nodes <= self.pool.free_count()
+                self.jobs[job].resv.expect("quoted above") <= now + EPS
+                    && self.jobs[job].view.nodes <= self.pool.free_count()
             });
             match due {
                 Some(pos) => {
-                    self.resv[self.queue[pos]] = None;
-                    self.start_job(pos, now, jobs)?;
+                    self.jobs[self.queue[pos]].resv = None;
+                    self.start_job(pos, now)?;
+                    // A start replaces a reservation window with real
+                    // occupancy; keep the historical sweep-after-start.
+                    compress = true;
+                    any_start = true;
                 }
                 None => break,
             }
         }
+        // A due start can shift a breakpoint by a sub-EPS residue (the
+        // quote may sit up to EPS past `now`); leave the flag dirty so
+        // the next event sweeps once more. Starts are rare, so the skip
+        // still removes the O(queue²) cost from the common event.
+        self.resv_dirty = any_start;
         // A reservation coming due must be a simulation event: a due job
         // that waited for the next departure would start after its quoted
         // time, sliding its occupancy past what every other window assumed.
         self.next_due = self
             .queue
             .iter()
-            .filter_map(|&j| self.resv[j])
+            .filter_map(|&j| self.jobs[j].resv)
             .filter(|&s| s > now + EPS)
             .min_by(|a, b| a.partial_cmp(b).expect("finite reservations"));
         Ok(())
@@ -1202,65 +1246,157 @@ impl SiteState {
 
     /// Earliest feasible start for `job` against the running set's walltime
     /// profile plus every *other* queued job's current reservation window.
-    fn conservative_earliest(
-        &self,
-        now: f64,
-        job: usize,
-        jobs: &[JobView],
-    ) -> Result<f64, SchedError> {
-        let releases = self
-            .release_profile(jobs)
+    fn conservative_earliest(&self, now: f64, job: usize) -> Result<f64, SchedError> {
+        let mut deltas: Vec<(f64, i64)> = self
+            .release_profile()
             .into_iter()
             .map(|(t, n)| (t, n as i64))
             .collect();
-        let mut prof = Profile::new(now, self.pool.free_count() as i64, releases);
-        for &other in &self.queue {
-            if other == job {
-                continue;
-            }
-            if let Some(s) = self.resv[other] {
-                prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
-            }
-        }
-        prof.earliest(jobs[job].nodes, jobs[job].walltime)
+        self.push_resv_deltas(now, job, &mut deltas);
+        let prof = Profile::new(now, self.pool.free_count() as i64, deltas);
+        let v = self.jobs[job].view;
+        prof.earliest(v.nodes, v.walltime)
             .ok_or(SchedError::InsufficientNodes {
                 job,
-                need: jobs[job].nodes,
+                need: v.nodes,
                 limit: self.pool.nodes(),
             })
     }
 
+    /// Append every *other* queued job's current reservation window to a
+    /// profile's delta list. Batched: the [`Profile`] is built (and its
+    /// deltas sorted) exactly once per quote — the historical
+    /// reserve-and-rebuild per window produced the identical final
+    /// breakpoints from the same delta list, minus O(queue) redundant
+    /// intermediate sorts nobody read.
+    fn push_resv_deltas(&self, now: f64, job: usize, deltas: &mut Vec<(f64, i64)>) {
+        for &other in &self.queue {
+            if other == job {
+                continue;
+            }
+            if let Some(s) = self.jobs[other].resv {
+                let ov = self.jobs[other].view;
+                let start = s.max(now);
+                deltas.push((start, -(ov.nodes as i64)));
+                deltas.push((start + ov.walltime, ov.nodes as i64));
+            }
+        }
+    }
+
     // -- Slot-set disciplines --------------------------------------------
 
-    fn try_start_fcfs_slot(&mut self, now: f64, jobs: &[JobView]) -> Result<(), SchedError> {
+    fn try_start_fcfs_slot(&mut self, now: f64) -> Result<(), SchedError> {
         while let Some(&head) = self.queue.front() {
-            let v = jobs[head];
+            let v = self.jobs[head].view;
             let Some(cand) = self.placement_fit(now, &v) else {
                 break;
             };
             if !self.quota_ok(now, head, v.nodes) {
                 break;
             }
-            self.start_job_slot(0, now, jobs, &cand)?;
+            self.start_job_slot(0, now, &cand)?;
         }
         Ok(())
     }
 
+    /// Unconstrained slot-set backfill: the same single-pass scan as the
+    /// legacy skeleton (availability is instantaneous and monotone under
+    /// starts, so in-place continuation and the cross-event watermark are
+    /// bit-identical to the restart-scan). Constrained runs take the
+    /// windowed re-scan below.
     fn try_start_backfill_slot(
         &mut self,
         now: f64,
-        jobs: &[JobView],
+        respect_shadow: bool,
+    ) -> Result<(), SchedError> {
+        if self.constrained() {
+            return self.try_start_backfill_slot_windowed(now, respect_shadow);
+        }
+        if self.backfill_fast_path() {
+            return Ok(());
+        }
+        // Start the head while it fits.
+        loop {
+            let Some(&head) = self.queue.front() else {
+                self.scan_watermark = 0;
+                return Ok(());
+            };
+            let hv = self.jobs[head].view;
+            match self.placement_fit(now, &hv) {
+                Some(cand) => {
+                    self.start_job_slot(0, now, &cand)?;
+                    self.scan_watermark = 0;
+                }
+                None => break,
+            }
+        }
+        let head = *self.queue.front().expect("checked above");
+        let hv = self.jobs[head].view;
+        // Head blocked: quote (and pin) its reservation. Unconstrained,
+        // a placement miss is the only block, so the pin is unconditional
+        // (cf. the quota-blocked case in the windowed scan).
+        let quote = |st: &SiteState| {
+            st.easy_reservation_slot(now, hv.nodes, hv.walltime).ok_or(
+                SchedError::InsufficientNodes {
+                    job: head,
+                    need: hv.nodes,
+                    limit: st.pool.nodes(),
+                },
+            )
+        };
+        let (mut shadow, mut extra) = quote(self)?;
+        if self.jobs[head].reserved.is_none() {
+            self.jobs[head].reserved = Some(shadow);
+        }
+        // Width against the instantaneous free set bounds every placement:
+        // no policy can carve `nodes` out of fewer procs. Checking it (and
+        // the pure window tests) before the feasibility walk is
+        // outcome-neutral — all checks must pass to start.
+        let mut free_len = self.slots.avail_at(now).len();
+        let mut pos = self.scan_watermark.max(1);
+        while pos < self.queue.len() {
+            let cand_job = self.queue[pos];
+            let v = self.jobs[cand_job].view;
+            if v.nodes > free_len {
+                pos += 1;
+                continue;
+            }
+            let fits_window = now + v.walltime <= shadow + EPS;
+            let fits_extra = v.nodes as i64 <= extra;
+            if respect_shadow && !fits_window && !fits_extra {
+                pos += 1;
+                continue;
+            }
+            let Some(cand) = self.placement_fit(now, &v) else {
+                pos += 1;
+                continue;
+            };
+            self.start_job_slot(pos, now, &cand)?;
+            (shadow, extra) = quote(self)?;
+            free_len = self.slots.avail_at(now).len();
+        }
+        self.scan_watermark = self.queue.len();
+        Ok(())
+    }
+
+    /// Constrained (quota / calendar / advance / fault) backfill: every
+    /// check is a window fit that slides with `now`, so each pass re-scans
+    /// from the front and nothing is cached across events.
+    fn try_start_backfill_slot_windowed(
+        &mut self,
+        now: f64,
         respect_shadow: bool,
     ) -> Result<(), SchedError> {
         'sched: loop {
             let Some(&head) = self.queue.front() else {
                 return Ok(());
             };
-            let head_fit = self.placement_fit(now, &jobs[head]);
+            let hv = self.jobs[head].view;
+            let head_fit = self.placement_fit(now, &hv);
             if let Some(cand) = &head_fit {
-                if self.quota_ok(now, head, jobs[head].nodes) {
+                if self.quota_ok(now, head, hv.nodes) {
                     let cand = cand.clone();
-                    self.start_job_slot(0, now, jobs, &cand)?;
+                    self.start_job_slot(0, now, &cand)?;
                     continue;
                 }
             }
@@ -1269,18 +1405,18 @@ impl SiteState {
             // scheduler's to promise around, and the quote below still
             // bounds what may backfill safely.
             let (shadow, extra) = self
-                .easy_reservation_slot(now, jobs[head].nodes, jobs[head].walltime)
+                .easy_reservation_slot(now, hv.nodes, hv.walltime)
                 .ok_or(SchedError::InsufficientNodes {
                     job: head,
-                    need: jobs[head].nodes,
+                    need: hv.nodes,
                     limit: self.pool.nodes(),
                 })?;
-            if head_fit.is_none() && self.reserved[head].is_none() {
-                self.reserved[head] = Some(shadow);
+            if head_fit.is_none() && self.jobs[head].reserved.is_none() {
+                self.jobs[head].reserved = Some(shadow);
             }
             for pos in 1..self.queue.len() {
                 let cand_job = self.queue[pos];
-                let v = jobs[cand_job];
+                let v = self.jobs[cand_job].view;
                 let Some(cand) = self.placement_fit(now, &v) else {
                     continue;
                 };
@@ -1292,36 +1428,39 @@ impl SiteState {
                 if respect_shadow && !fits_window && !fits_extra {
                     continue;
                 }
-                self.start_job_slot(pos, now, jobs, &cand)?;
+                self.start_job_slot(pos, now, &cand)?;
                 continue 'sched;
             }
             return Ok(());
         }
     }
 
-    fn try_start_conservative_slot(
-        &mut self,
-        now: f64,
-        jobs: &[JobView],
-    ) -> Result<(), SchedError> {
+    fn try_start_conservative_slot(&mut self, now: f64) -> Result<(), SchedError> {
         self.next_due = None;
+        let mut compress = self.resv_dirty;
+        let mut any_start = false;
         loop {
             for pos in 0..self.queue.len() {
                 let job = self.queue[pos];
-                if self.resv[job].is_some() {
+                if self.jobs[job].resv.is_some() {
                     continue;
                 }
-                let s = self.conservative_earliest_slot(now, job, jobs)?;
-                self.resv[job] = Some(s);
-                if self.reserved[job].is_none() {
-                    self.reserved[job] = Some(s);
+                let s = self.conservative_earliest_slot(now, job)?;
+                self.jobs[job].resv = Some(s);
+                if self.jobs[job].reserved.is_none() {
+                    self.jobs[job].reserved = Some(s);
                 }
             }
-            for pos in 0..self.queue.len() {
-                let job = self.queue[pos];
-                let s = self.conservative_earliest_slot(now, job, jobs)?;
-                if s < self.resv[job].expect("quoted above") - EPS {
-                    self.resv[job] = Some(s);
+            // Same release-gated compression skip as the legacy loop; a
+            // degrade only *restricts* the slot timeline, so it cannot
+            // open an earlier window either.
+            if compress {
+                for pos in 0..self.queue.len() {
+                    let job = self.queue[pos];
+                    let s = self.conservative_earliest_slot(now, job)?;
+                    if s < self.jobs[job].resv.expect("quoted above") - EPS {
+                        self.jobs[job].resv = Some(s);
+                    }
                 }
             }
             // A due job must also clear the admission gate and the window
@@ -1329,26 +1468,29 @@ impl SiteState {
             // quoted start — admission control trumps the quote).
             let due = (0..self.queue.len()).find(|&pos| {
                 let job = self.queue[pos];
-                self.resv[job].expect("quoted above") <= now + EPS
-                    && self.quota_ok(now, job, jobs[job].nodes)
-                    && self.placement_fit(now, &jobs[job]).is_some()
+                self.jobs[job].resv.expect("quoted above") <= now + EPS
+                    && self.quota_ok(now, job, self.jobs[job].view.nodes)
+                    && self.placement_fit(now, &self.jobs[job].view).is_some()
             });
             match due {
                 Some(pos) => {
                     let job = self.queue[pos];
-                    self.resv[job] = None;
+                    self.jobs[job].resv = None;
                     let cand = self
-                        .placement_fit(now, &jobs[job])
+                        .placement_fit(now, &self.jobs[job].view)
                         .expect("checked in the due scan");
-                    self.start_job_slot(pos, now, jobs, &cand)?;
+                    self.start_job_slot(pos, now, &cand)?;
+                    compress = true;
+                    any_start = true;
                 }
                 None => break,
             }
         }
+        self.resv_dirty = any_start;
         self.next_due = self
             .queue
             .iter()
-            .filter_map(|&j| self.resv[j])
+            .filter_map(|&j| self.jobs[j].resv)
             .filter(|&s| s > now + EPS)
             .min_by(|a, b| a.partial_cmp(b).expect("finite reservations"));
         Ok(())
@@ -1356,26 +1498,15 @@ impl SiteState {
 
     /// [`Self::conservative_earliest`] fed from the slot walk instead of
     /// the running list — byte-identical quotes by construction.
-    fn conservative_earliest_slot(
-        &self,
-        now: f64,
-        job: usize,
-        jobs: &[JobView],
-    ) -> Result<f64, SchedError> {
-        let (base, deltas) = self.slot_profile(now);
-        let mut prof = Profile::new(now, base, deltas);
-        for &other in &self.queue {
-            if other == job {
-                continue;
-            }
-            if let Some(s) = self.resv[other] {
-                prof.reserve(s.max(now), jobs[other].nodes, jobs[other].walltime);
-            }
-        }
-        prof.earliest(jobs[job].nodes, jobs[job].walltime)
+    fn conservative_earliest_slot(&self, now: f64, job: usize) -> Result<f64, SchedError> {
+        let (base, mut deltas) = self.slot_profile(now);
+        self.push_resv_deltas(now, job, &mut deltas);
+        let prof = Profile::new(now, base, deltas);
+        let v = self.jobs[job].view;
+        prof.earliest(v.nodes, v.walltime)
             .ok_or(SchedError::InsufficientNodes {
                 job,
-                need: jobs[job].nodes,
+                need: v.nodes,
                 limit: self.pool.nodes(),
             })
     }
@@ -1396,17 +1527,27 @@ impl SiteState {
                 released = true;
                 // A revoked job requeues as a fresh arrival: the promise it
                 // was quoted before it started (and ran!) is void.
-                self.reserved[r.job] = None;
-                self.resv[r.job] = None;
+                self.jobs[r.job].reserved = None;
+                self.jobs[r.job].resv = None;
                 out.push((r.job, r.start, r.remaining.max(0.0)));
             } else {
                 i += 1;
             }
         }
-        if released && self.engine == SchedEngine::SlotSet {
-            self.slots.merge();
+        if released {
+            self.capacity_released();
+            if self.engine == SchedEngine::SlotSet {
+                self.slots.merge();
+            }
         }
         out
+    }
+
+    /// Capacity came back (departure, preemption, crash kill, heal): every
+    /// cached "nothing fits" verdict is void.
+    fn capacity_released(&mut self) {
+        self.scan_watermark = 0;
+        self.resv_dirty = true;
     }
 
     // -- Unplanned faults (slot-set engine only) --------------------------
@@ -1424,6 +1565,7 @@ impl SiteState {
         node: usize,
     ) -> Vec<(usize, f64, f64, usize)> {
         debug_assert!(self.faults_active && self.engine == SchedEngine::SlotSet);
+        self.capacity_released();
         self.fault_stats.crashes += 1;
         self.slots
             .sub_window(now, repair_end, &ProcSet::from_ids(&[node]));
@@ -1449,13 +1591,14 @@ impl SiteState {
         // not a promise the scheduler broke when the node died, and a
         // stale conservative reservation would pin the re-quote loop to a
         // window that may no longer exist.
-        for &j in &self.queue {
-            self.reserved[j] = None;
-            self.resv[j] = None;
+        for k in 0..self.queue.len() {
+            let j = self.queue[k];
+            self.jobs[j].reserved = None;
+            self.jobs[j].resv = None;
         }
-        for (j, _, _, _) in &out {
-            self.reserved[*j] = None;
-            self.resv[*j] = None;
+        for &(j, ..) in &out {
+            self.jobs[j].reserved = None;
+            self.jobs[j].resv = None;
         }
         out
     }
@@ -1501,6 +1644,7 @@ impl SiteState {
         }
         for n in 0..self.health.len() {
             if self.health[n] != NodeHealth::Healthy && self.unavail_until[n] <= now + EPS {
+                self.capacity_released();
                 if self.health[n] == NodeHealth::Repairing {
                     self.fault_stats.repairs += 1;
                     self.fault_events.push(FaultEvent {
@@ -1525,52 +1669,40 @@ impl SiteState {
 
     /// First-quoted reservations, for invariant checks.
     pub fn reservations(&self) -> Vec<(usize, f64)> {
-        self.reserved
+        self.jobs
             .iter()
-            .enumerate()
-            .filter_map(|(j, r)| r.map(|t| (j, t)))
+            .filter_map(|(j, r)| r.reserved.map(|t| (j, t)))
             .collect()
     }
 }
 
 /// Free-node availability profile for conservative reservations:
 /// `(time, delta)` events prefix-summed into `(time, free-from-then-on)`
-/// breakpoints, rebuilt after each reservation. Deltas may be negative
-/// (maintenance windows dip the profile); the earliest scan handles dips.
+/// breakpoints. Built from the complete delta list in one (stable) sort —
+/// the breakpoints depend only on the delta multiset, so batching every
+/// reservation before construction yields the bytes the historical
+/// rebuild-per-reservation produced. Deltas may be negative (maintenance
+/// windows dip the profile); the earliest scan handles dips.
 struct Profile {
-    now: f64,
-    free_now: i64,
-    deltas: Vec<(f64, i64)>,
     /// Sorted breakpoints; `points[i].1` is the free count from
     /// `points[i].0` until the next breakpoint. `points[0].0 == now`.
     points: Vec<(f64, i64)>,
 }
 
 impl Profile {
-    fn new(now: f64, free_now: i64, deltas: Vec<(f64, i64)>) -> Profile {
-        let mut p = Profile {
-            now,
-            free_now,
-            deltas,
-            points: Vec::new(),
-        };
-        p.rebuild();
-        p
-    }
-
-    fn rebuild(&mut self) {
-        let mut sorted = self.deltas.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-        self.points.clear();
-        self.points.push((self.now, self.free_now));
-        let mut free = self.free_now;
-        for (t, d) in sorted {
+    fn new(now: f64, free_now: i64, mut deltas: Vec<(f64, i64)>) -> Profile {
+        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut points = Vec::with_capacity(deltas.len() + 1);
+        points.push((now, free_now));
+        let mut free = free_now;
+        for (t, d) in deltas {
             free += d;
-            match self.points.last_mut() {
+            match points.last_mut() {
                 Some(last) if (t - last.0).abs() <= EPS => last.1 = free,
-                _ => self.points.push((t, free)),
+                _ => points.push((t, free)),
             }
         }
+        Profile { points }
     }
 
     /// Earliest start at which `need` nodes stay free for `dur` seconds,
@@ -1580,12 +1712,6 @@ impl Profile {
     /// instead of the historical panic.
     fn earliest(&self, need: usize, dur: f64) -> Option<f64> {
         earliest_fit(&self.points, need as i64, dur)
-    }
-
-    fn reserve(&mut self, start: f64, nodes: usize, dur: f64) {
-        self.deltas.push((start, -(nodes as i64)));
-        self.deltas.push((start + dur, nodes as i64));
-        self.rebuild();
     }
 }
 
@@ -1644,7 +1770,7 @@ impl SiteConfig {
     }
 }
 
-fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
+pub(crate) fn validate(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<(), SchedError> {
     use std::cmp::Ordering;
     // Windows must strictly increase; `partial_cmp` keeps NaN rejected.
     let increases = |a: f64, b: f64| a.partial_cmp(&b) == Some(Ordering::Less);
@@ -1886,16 +2012,17 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
         Requeue(usize, usize),
     }
     validate(jobs, cfg)?;
-    let mut views: Vec<JobView> = jobs.iter().map(JobView::of).collect();
     let mut st = SiteState::new(
         cfg.pool.clone(),
         cfg.placement,
         cfg.discipline,
         cfg.contention,
         cfg.engine,
-        jobs.len(),
     );
-    st.set_features(jobs, &cfg.quotas);
+    for j in jobs {
+        st.admit(j);
+    }
+    st.set_quotas(&cfg.quotas);
     st.apply_calendar(&cfg.calendar);
     let mut q: EventQueue<Ev> = EventQueue::new();
     // Static wake-ups: only instants that can *enable* a start need an
@@ -1948,22 +2075,22 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
     }
     for (i, j) in jobs.iter().enumerate() {
         if let Some(start) = j.start_at {
-            st.register_advance(i, start, &views[i])?;
+            let v = st.jobs[i].view;
+            st.register_advance(i, start, &v)?;
             q.push(SimTime::from_secs_f64(start), Ev::Tick);
         }
         q.push(SimTime::from_secs_f64(j.submit), Ev::Submit(i));
     }
     let mut out: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
-    let mut fault_loss: Vec<f64> = vec![0.0; jobs.len()];
     while let Some((t, ev)) = q.pop() {
         let now = t.as_secs_f64();
         match ev {
             Ev::Submit(i) => {
                 st.advance(now);
                 if let Some(shape) = st.choose_shape(now, &jobs[i])? {
-                    views[i].nodes = shape.nodes;
-                    views[i].runtime = shape.runtime;
-                    views[i].walltime = shape.walltime;
+                    st.jobs[i].view.nodes = shape.nodes;
+                    st.jobs[i].view.runtime = shape.runtime;
+                    st.jobs[i].view.walltime = shape.walltime;
                 }
                 st.submit(i);
             }
@@ -1985,18 +2112,18 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                         node,
                         job: Some(job),
                     });
-                    let v = views[job];
+                    let v = st.jobs[job].view;
                     let done = (v.runtime - remaining).max(0.0);
                     let retained = requeue.checkpoint.map_or(0.0, |ck| ck.retained(done));
                     let lost = (done - retained).max(0.0);
-                    fault_loss[job] += lost;
+                    st.jobs[job].fault_loss += lost;
                     st.fault_stats.work_lost_s += lost;
                     st.fault_stats.work_salvaged_s += retained;
-                    st.kills[job] += 1;
-                    let attempt = st.kills[job];
+                    st.jobs[job].kills += 1;
+                    let attempt = st.jobs[job].kills;
                     if attempt > requeue.retry.max_retries {
                         // Retry budget exhausted: the job fails for good.
-                        st.dep_done[job] = true;
+                        st.jobs[job].departed = true;
                         out[job] = Some(JobOutcome {
                             id: jobs[job].id,
                             start,
@@ -2006,7 +2133,7 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                             completed: false,
                             nodes,
                             requeues: attempt,
-                            fault_loss_s: fault_loss[job],
+                            fault_loss_s: st.jobs[job].fault_loss,
                         });
                     } else {
                         if retained > 0.0 {
@@ -2015,7 +2142,7 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                             // cost. The walltime is a static upper bound
                             // and never shrinks with it.
                             let restore = requeue.checkpoint.map_or(0.0, |ck| ck.restore_cost);
-                            views[job].runtime = (v.runtime - retained + restore).max(EPS);
+                            st.jobs[job].view.runtime = (v.runtime - retained + restore).max(EPS);
                         }
                         let delay = requeue.retry.delay_before(attempt);
                         q.push(SimTime::from_secs_f64(now + delay), Ev::Requeue(job, node));
@@ -2060,17 +2187,17 @@ pub fn simulate_site(jobs: &[SchedJob], cfg: &SiteConfig) -> Result<SiteResult, 
                 id: jobs[job].id,
                 start,
                 end,
-                wait: (start - views[job].submit).max(0.0),
-                inflation: ((end - start) - views[job].runtime).max(0.0),
+                wait: (start - st.jobs[job].view.submit).max(0.0),
+                inflation: ((end - start) - st.jobs[job].view.runtime).max(0.0),
                 completed,
                 nodes,
-                requeues: st.kills[job],
-                fault_loss_s: fault_loss[job],
+                requeues: st.jobs[job].kills,
+                fault_loss_s: st.jobs[job].fault_loss,
             });
         }
         st.heal(now);
-        st.start_due_advance(now, &views)?;
-        st.try_start(now, &views)?;
+        st.start_due_advance(now)?;
+        st.try_start(now)?;
         st.started.clear();
         st.recompute_rates();
         st.wake_gen += 1;
@@ -2589,7 +2716,6 @@ mod tests {
             Discipline::Easy,
             ContentionParams::NONE,
             SchedEngine::SlotSet,
-            0,
         );
         st.attach_faults();
         assert_eq!(st.node_health(0), NodeHealth::Healthy);

@@ -1,0 +1,85 @@
+//! Deterministic parallel sweep demo: a (seed x load) grid of streaming
+//! scheduler simulations fanned over worker threads, plus the schedsweep
+//! figure, each reduced to a digest that is bit-identical for every
+//! thread count.
+//!
+//! CI runs this twice — `RAYON_NUM_THREADS=2` and `=nproc` — and diffs
+//! the stdout: any thread-count-dependent byte is a build failure.
+//! Timings go to stderr so the diffed output stays pure.
+
+use cloudsim::sim_net::ContentionParams;
+use cloudsim::sim_sched::{
+    simulate_site_stream, Discipline, LublinMix, NodePool, PlacementPolicy, SiteConfig,
+};
+use cloudsim::sim_sweep::{cell_seed, fnv64, sweep, MergedDigest, SweepOpts};
+use cloudsim::{figures, presets, ReproConfig};
+use std::time::Instant;
+
+const SEEDS: usize = 16;
+const LOADS: [f64; 3] = [0.7, 1.0, 1.3];
+const JOBS_PER_CELL: usize = 400;
+
+fn main() {
+    let opts = SweepOpts::default();
+    eprintln!("workers: {}", opts.resolved_threads());
+
+    // Part 1: the schedsweep figure through the harness — the table text
+    // (and so its digest) must not depend on the worker count.
+    let t0 = Instant::now();
+    let table = figures::schedsweep_with(&ReproConfig::quick(), &opts);
+    eprintln!("schedsweep: {:.2?}", t0.elapsed());
+    println!(
+        "schedsweep digest: {:016x}",
+        fnv64(table.to_text().as_bytes())
+    );
+
+    // Part 2: a (seed x load) grid over the streaming simulator. Each cell
+    // derives its own seed from (base, cell), runs a 400-job Lublin mix
+    // through `simulate_site_stream`, digests every outcome, and folds the
+    // digest into an order-independent MergedDigest.
+    let n_cells = SEEDS * LOADS.len();
+    let t1 = Instant::now();
+    let (digest, completed) = sweep(
+        n_cells,
+        &opts,
+        || (MergedDigest::new(), 0u64),
+        |cell, acc: &mut (MergedDigest, u64)| {
+            let cluster = presets::dcc();
+            let load = LOADS[cell % LOADS.len()];
+            let site = SiteConfig::new(
+                NodePool::partition_of(&cluster, 32),
+                PlacementPolicy::RackAware,
+                Discipline::Easy,
+                ContentionParams::for_fabric(&cluster.topology.inter),
+            );
+            let jobs = LublinMix::new(JOBS_PER_CELL, 32, load, cell_seed(0x5EED_C311, cell as u64));
+            let mut text = String::new();
+            let stats = simulate_site_stream(jobs, &site, |o| {
+                text.push_str(&format!(
+                    "{} {:x} {:x} {} {}\n",
+                    o.id,
+                    o.start.to_bits(),
+                    o.end.to_bits(),
+                    o.nodes,
+                    o.completed
+                ));
+            })
+            .expect("grid mixes are valid");
+            acc.0.absorb(cell as u64, fnv64(text.as_bytes()));
+            acc.1 += stats.completed as u64;
+        },
+        |total, part| {
+            total.0.merge(part.0);
+            total.1 += part.1;
+        },
+    );
+    let dt = t1.elapsed();
+    eprintln!(
+        "stream grid: {n_cells} cells, {:.2?} ({:.0} cells/s)",
+        dt,
+        n_cells as f64 / dt.as_secs_f64()
+    );
+    println!("stream grid cells: {n_cells}");
+    println!("stream grid completed jobs: {completed}");
+    println!("stream grid digest: {:016x}", digest.value());
+}

@@ -1,0 +1,128 @@
+//! The deterministic-parallelism contract of the sweep harness: every
+//! figure sweep and every custom grid must produce bit-identical output
+//! for every worker-thread count, across repeated runs, and — for the
+//! figure sweeps — identical to the serially-recorded golden digests in
+//! `tests/golden_sched.txt`.
+
+use cloudsim::sim_net::ContentionParams;
+use cloudsim::sim_sched::{
+    simulate_site_stream, Discipline, LublinMix, NodePool, PlacementPolicy, SiteConfig,
+};
+use cloudsim::sim_sweep::{cell_seed, fnv64, sweep, MergedDigest, SweepOpts};
+use cloudsim::{figures, presets, ReproConfig};
+
+/// The committed golden digest for one label in `tests/golden_sched.txt`.
+fn committed_golden(label: &str) -> u64 {
+    let committed = std::fs::read_to_string("tests/golden_sched.txt")
+        .expect("tests/golden_sched.txt missing — run sched_invariants with UPDATE_GOLDEN=1");
+    for line in committed.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split('\t');
+        if it.next() == Some(label) {
+            return u64::from_str_radix(it.next().unwrap(), 16).unwrap();
+        }
+    }
+    panic!("no golden entry for {label}");
+}
+
+/// Parallel figure sweeps reproduce the committed (serially recorded)
+/// golden digests bit-for-bit at 1, 2 and 8 worker threads.
+#[test]
+fn figure_sweeps_match_goldens_at_every_thread_count() {
+    let cfg = ReproConfig::quick();
+    let sched_golden = committed_golden("schedsweep/seed0x5eed0000");
+    let fault_golden = committed_golden("faultsched/seed0x5eed0000");
+    for threads in [1usize, 2, 8] {
+        let opts = SweepOpts::default().with_threads(threads);
+        let sched = figures::schedsweep_with(&cfg, &opts).to_text();
+        assert_eq!(
+            fnv64(sched.as_bytes()),
+            sched_golden,
+            "schedsweep text drifted at {threads} threads"
+        );
+        let fault = figures::faultsched_with(&cfg, &opts).to_text();
+        assert_eq!(
+            fnv64(fault.as_bytes()),
+            fault_golden,
+            "faultsched text drifted at {threads} threads"
+        );
+    }
+}
+
+/// Back-to-back runs of the same parallel sweep are bit-identical: no
+/// wall-clock, thread-identity or allocation-order leakage.
+#[test]
+fn repeated_parallel_runs_are_bit_identical() {
+    let cfg = ReproConfig::quick().with_seed(7);
+    let opts = SweepOpts::default().with_threads(8);
+    let a = figures::schedsweep_with(&cfg, &opts).to_text();
+    let b = figures::schedsweep_with(&cfg, &opts).to_text();
+    assert_eq!(a, b);
+}
+
+/// A seed-axis grid over the streaming simulator: per-cell seeds derived
+/// with [`cell_seed`], per-cell outcome digests folded into a
+/// [`MergedDigest`]. One digest definition, three claims: the value is
+/// identical across thread counts, identical to a plain serial loop that
+/// never touches the harness, and stable across repeated runs.
+#[test]
+fn stream_grid_digest_is_thread_count_invariant_and_matches_serial() {
+    const CELLS: usize = 24;
+    const BASE: u64 = 0x00D1_6E57;
+    let eval_cell = |cell: usize| -> u64 {
+        let cluster = presets::dcc();
+        let load = 0.6 + 0.1 * (cell % 5) as f64;
+        let site = SiteConfig::new(
+            NodePool::partition_of(&cluster, 16),
+            PlacementPolicy::RackAware,
+            Discipline::Easy,
+            ContentionParams::for_fabric(&cluster.topology.inter),
+        );
+        let jobs = LublinMix::new(200, 16, load, cell_seed(BASE, cell as u64));
+        let mut text = String::new();
+        let stats = simulate_site_stream(jobs, &site, |o| {
+            text.push_str(&format!(
+                "{} {:x} {:x} {} {}\n",
+                o.id,
+                o.start.to_bits(),
+                o.end.to_bits(),
+                o.nodes,
+                o.completed
+            ));
+        })
+        .unwrap();
+        text.push_str(&format!("{:x}\n", stats.makespan.to_bits()));
+        fnv64(text.as_bytes())
+    };
+
+    // Serial reference: a plain in-order loop, no harness involved.
+    let mut serial = MergedDigest::new();
+    for cell in 0..CELLS {
+        serial.absorb(cell as u64, eval_cell(cell));
+    }
+
+    for threads in [1usize, 2, 8] {
+        let opts = SweepOpts::default().with_threads(threads);
+        let run = || {
+            sweep(
+                CELLS,
+                &opts,
+                MergedDigest::new,
+                |cell, acc: &mut MergedDigest| acc.absorb(cell as u64, eval_cell(cell)),
+                |total, part| total.merge(part),
+            )
+        };
+        assert_eq!(
+            run().value(),
+            serial.value(),
+            "parallel digest != serial at {threads} threads"
+        );
+        assert_eq!(
+            run().value(),
+            run().value(),
+            "unstable at {threads} threads"
+        );
+    }
+}
