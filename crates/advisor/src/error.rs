@@ -1,0 +1,92 @@
+//! Typed errors for every public advisor-service path.
+//!
+//! The service is a front-end other code calls at interactive rates; a bad
+//! query, a stale snapshot or an I/O hiccup must surface as a value the
+//! caller can match on, never as a panic.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the advisor service.
+#[derive(Debug)]
+pub enum AdvisorError {
+    /// The query itself is malformed (zero ranks, rank count the workload
+    /// cannot build, ...). The string names the offending field.
+    InvalidQuery(String),
+    /// The underlying simulation failed.
+    Sim(sim_mpi::SimError),
+    /// A snapshot file could not be read or written.
+    Io(std::io::Error),
+    /// Snapshot bytes are structurally broken: bad magic, truncated
+    /// length prefix, checksum mismatch, undecodable query record.
+    SnapshotCorrupt(String),
+    /// The snapshot schema version is one this build does not speak.
+    SnapshotVersion { found: u32, supported: u32 },
+    /// The snapshot was produced by an engine whose calibration
+    /// fingerprint differs from this build's — its cached verdicts could
+    /// silently disagree with what re-simulation would produce, so the
+    /// load is refused.
+    FingerprintMismatch { expected: u64, found: u64 },
+}
+
+impl fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdvisorError::InvalidQuery(what) => write!(f, "invalid query: {what}"),
+            AdvisorError::Sim(e) => write!(f, "simulation failed: {e}"),
+            AdvisorError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            AdvisorError::SnapshotCorrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            AdvisorError::SnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} not supported (this build speaks {supported})"
+            ),
+            AdvisorError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot calibration fingerprint {found:#018x} does not match \
+                 this engine's {expected:#018x}; refusing stale verdicts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdvisorError::Sim(e) => Some(e),
+            AdvisorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sim_mpi::SimError> for AdvisorError {
+    fn from(e: sim_mpi::SimError) -> Self {
+        AdvisorError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for AdvisorError {
+    fn from(e: std::io::Error) -> Self {
+        AdvisorError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AdvisorError::FingerprintMismatch {
+            expected: 1,
+            found: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fingerprint"), "{s}");
+        assert!(s.contains("refusing"), "{s}");
+        let v = AdvisorError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9'));
+    }
+}

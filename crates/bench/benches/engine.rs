@@ -370,6 +370,93 @@ fn main() {
         });
     }
 
+    {
+        // Advisor query latency: the cold path (full cache-miss
+        // simulation through the service) vs the warm path (content-
+        // addressed cache hit) — per-query latency p50/p99 across a
+        // 48-query set, best-of-N passes per query. Warm hits are
+        // sub-microsecond, so each warm sample times a 64-call loop and
+        // divides. ISSUE-10 acceptance gates warm_p99 >= 50x faster
+        // than cold_p99.
+        use cloudsim::sim_advisor::{AdvisorService, PlatformId, Query, WorkloadId};
+        use std::time::Instant;
+        let mut queries = Vec::new();
+        for kernel in [Kernel::Cg, Kernel::Mg, Kernel::Ep, Kernel::Is] {
+            for class in [Class::S, Class::W] {
+                for np in [4u32, 8] {
+                    for platform in PlatformId::ALL {
+                        queries.push(Query::new(WorkloadId::Npb { kernel, class }, platform, np));
+                    }
+                }
+            }
+        }
+        let svc = AdvisorService::new();
+        for q in &queries {
+            svc.evaluate(q).expect("advisor warm-up evaluates");
+        }
+        let passes = 5 * scale;
+        let mut cold = vec![f64::INFINITY; queries.len()];
+        let mut warm = vec![f64::INFINITY; queries.len()];
+        for _ in 0..passes {
+            for (i, q) in queries.iter().enumerate() {
+                let t = Instant::now();
+                std::hint::black_box(svc.evaluate_uncached(q).expect("cold evaluate"));
+                cold[i] = cold[i].min(t.elapsed().as_secs_f64());
+            }
+            for (i, q) in queries.iter().enumerate() {
+                const K: u32 = 64;
+                let t = Instant::now();
+                for _ in 0..K {
+                    std::hint::black_box(svc.evaluate(q).expect("warm evaluate"));
+                }
+                warm[i] = warm[i].min(t.elapsed().as_secs_f64() / f64::from(K));
+            }
+        }
+        let pct = |xs: &[f64], p: f64| {
+            let mut xs = xs.to_vec();
+            xs.sort_by(f64::total_cmp);
+            xs[((xs.len() - 1) as f64 * p).round() as usize]
+        };
+        for (label, secs) in [
+            ("cold_p50", pct(&cold, 0.50)),
+            ("cold_p99", pct(&cold, 0.99)),
+            ("warm_p50", pct(&warm, 0.50)),
+            ("warm_p99", pct(&warm, 0.99)),
+        ] {
+            let name = format!("advisor_query_latency/{label}");
+            println!("{name:<48} {:>12.3} us/query best", secs * 1e6);
+            records.push(BenchRecord {
+                name,
+                total_ops: 1,
+                iters: passes,
+                sec_per_iter: secs,
+                ops_per_sec: 1.0 / secs,
+            });
+        }
+
+        // Batched what-if throughput: the same 48 queries as a cold fleet
+        // through the deterministic sweep harness, 2 workers (runner-
+        // independent), fresh service each iteration.
+        use cloudsim::sim_sweep::SweepOpts;
+        let opts = SweepOpts::default().with_threads(2);
+        let name = "advisor_fleet_throughput/q48x2t";
+        let iters = 10 * scale;
+        let n = queries.len() as u64;
+        let per_iter = bench_throughput(name, iters, n, || {
+            AdvisorService::new()
+                .evaluate_fleet(&queries, &opts)
+                .expect("fleet evaluates")
+                .digest
+        });
+        records.push(BenchRecord {
+            name: name.to_string(),
+            total_ops: n,
+            iters,
+            sec_per_iter: per_iter,
+            ops_per_sec: n as f64 / per_iter,
+        });
+    }
+
     let calib = calibrate();
     println!("{:<48} {calib:>12.0} calib-iters/s", "machine_calibration");
     let mut file = EngineBenchFile {
@@ -378,7 +465,8 @@ fn main() {
                       2000 lublin jobs on dcc/32; sched-faults same mix + crashy feed seed 42; \
                       slotset 10000 lublin jobs on 512 procs; sched-stream 1e4/1e5/1e6 lublin \
                       jobs load 0.7 seed 42 on dcc/32; sweep 48-cell x400-job stream grid, 2 \
-                      threads"
+                      threads; advisor 48-query npb S/W np4/8 x3 platforms, warm loop K=64, \
+                      fleet cold x2t"
             .to_string(),
         calib_ops_per_sec: calib,
         results: records,

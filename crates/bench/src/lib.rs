@@ -138,7 +138,7 @@ pub mod perfjson {
                 for (i, r) in results.iter().enumerate() {
                     s.push_str(&format!(
                         "{indent}{{\"name\": \"{}\", \"total_ops\": {}, \"iters\": {}, \
-                         \"sec_per_iter\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+                         \"sec_per_iter\": {:.9}, \"ops_per_sec\": {:.1}}}{}\n",
                         r.name,
                         r.total_ops,
                         r.iters,

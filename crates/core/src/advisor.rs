@@ -149,8 +149,60 @@ fn strategy_for(w: &dyn Workload, cluster: &ClusterSpec, np: usize) -> Strategy 
     }
 }
 
+/// The process-wide advisor service the facade delegates to. Sharing one
+/// instance means repeated `advise()` calls (and anything else going
+/// through the service) amortize both the verdict cache and the pooled op
+/// programs.
+pub fn advisor_service() -> &'static sim_advisor::AdvisorService {
+    static SERVICE: std::sync::OnceLock<sim_advisor::AdvisorService> = std::sync::OnceLock::new();
+    SERVICE.get_or_init(sim_advisor::AdvisorService::new)
+}
+
 /// Profile `workload` at `np` ranks and forecast all three platforms.
+///
+/// Deprecated-by-delegation: describable workloads (NPB, MetUM, Chaste)
+/// route through the [`sim_advisor::AdvisorService`] query cache — the
+/// numbers are bit-identical to the original direct implementation
+/// (pinned by the `tests/golden_advisor.txt` golden), repeats are cache
+/// hits. Workloads without a canonical descriptor (wrappers,
+/// micro-benchmarks) keep the original direct path.
 pub fn advise(workload: &dyn Workload, np: usize) -> Recommendation {
+    match workload.describe() {
+        Some(desc) => {
+            let advice = advisor_service()
+                .recommend(desc.into(), np as u32)
+                .expect("advisor run");
+            let by_time = advice
+                .ranked
+                .iter()
+                .map(|f| PlatformForecast {
+                    platform: f.platform.name(),
+                    elapsed_secs: f.verdict.elapsed_secs,
+                    nodes: f.verdict.nodes as usize,
+                    on_demand_cost: f.verdict.on_demand_cost,
+                    spot_cost: f.verdict.spot_cost,
+                    comm_pct: f.verdict.comm_pct,
+                })
+                .collect();
+            Recommendation {
+                profile: WorkloadProfile {
+                    comm_frac: advice.profile.comm_frac,
+                    collective_frac: advice.profile.collective_frac,
+                    io_frac: advice.profile.io_frac,
+                    imbalance: advice.profile.imbalance,
+                },
+                by_time,
+                cheapest: advice.cheapest,
+                fastest: advice.fastest,
+            }
+        }
+        None => advise_direct(workload, np),
+    }
+}
+
+/// The original in-place implementation, kept for workloads the service
+/// cannot content-address.
+fn advise_direct(workload: &dyn Workload, np: usize) -> Recommendation {
     let clusters = [presets::vayu(), presets::dcc(), presets::ec2()];
     let mut forecasts = Vec::new();
     let mut profile: Option<WorkloadProfile> = None;
@@ -246,6 +298,29 @@ mod tests {
         let t = rec.to_table("advice: mg.S @ 8");
         assert_eq!(t.rows.len(), 3);
         assert!(t.to_text().contains("profile:"));
+    }
+
+    #[test]
+    fn delegated_advise_is_bit_identical_to_direct() {
+        // The service-backed path must reproduce the original direct
+        // implementation exactly — elapsed, dollars, ordering, indices.
+        for (kernel, np) in [(Kernel::Cg, 16usize), (Kernel::Ep, 8), (Kernel::Is, 32)] {
+            let w = Npb::new(kernel, Class::S);
+            let via_service = advise(&w, np);
+            let direct = advise_direct(&w, np);
+            assert_eq!(via_service.cheapest, direct.cheapest, "{kernel:?}");
+            assert_eq!(via_service.fastest, direct.fastest);
+            assert_eq!(via_service.profile, direct.profile);
+            assert_eq!(via_service.by_time.len(), direct.by_time.len());
+            for (a, b) in via_service.by_time.iter().zip(&direct.by_time) {
+                assert_eq!(a.platform, b.platform);
+                assert_eq!(a.elapsed_secs.to_bits(), b.elapsed_secs.to_bits());
+                assert_eq!(a.nodes, b.nodes);
+                assert_eq!(a.on_demand_cost.to_bits(), b.on_demand_cost.to_bits());
+                assert_eq!(a.spot_cost.to_bits(), b.spot_cost.to_bits());
+                assert_eq!(a.comm_pct.to_bits(), b.comm_pct.to_bits());
+            }
+        }
     }
 
     #[test]

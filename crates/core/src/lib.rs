@@ -40,7 +40,7 @@ pub mod table;
 pub use sim_sched::pricing;
 
 pub use ablations::{ablation_dcc_variants, ablation_ht_packing, all_ablations};
-pub use advisor::{advise, PlatformForecast, Recommendation, WorkloadProfile};
+pub use advisor::{advise, advisor_service, PlatformForecast, Recommendation, WorkloadProfile};
 pub use experiment::{parallel_map, Experiment, PAPER_REPEATS};
 pub use figures::{
     all_figures, faultsched, faultsched_points, faultsched_with, faultsweep, faultsweep_points,
@@ -62,6 +62,7 @@ pub use table::{fmt_pct, fmt_ratio, fmt_secs, Table};
 
 // Re-export the component crates under stable names.
 pub use numerics;
+pub use sim_advisor;
 pub use sim_des;
 pub use sim_faults;
 pub use sim_ipm;

@@ -83,6 +83,13 @@ impl Workload for Chaste {
         format!("chaste.rabbit.{}steps", self.timesteps)
     }
 
+    fn describe(&self) -> Option<crate::WorkloadDesc> {
+        Some(crate::WorkloadDesc::Chaste {
+            timesteps: self.timesteps as u32,
+            cg_iters: self.cg_iters as u32,
+        })
+    }
+
     /// Paper: "rather surprisingly, its memory usage is slightly greater
     /// than that of the MetUM benchmark".
     fn memory_per_rank_bytes(&self, np: usize) -> u64 {

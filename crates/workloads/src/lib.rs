@@ -27,6 +27,17 @@ pub use npb::{Class, Kernel, Npb};
 pub use osu::{OsuBandwidth, OsuLatency};
 pub use verify::{Verified, VerifyPolicy};
 
+/// A canonical, value-typed description of a workload — everything needed
+/// to rebuild it. Content-addressed consumers (the advisor service's query
+/// cache) key on this rather than on the display name, which for some
+/// workloads does not encode every build parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadDesc {
+    Npb { kernel: Kernel, class: Class },
+    MetUm { timesteps: u32 },
+    Chaste { timesteps: u32, cg_iters: u32 },
+}
+
 /// A benchmark that can be compiled to per-rank op programs.
 pub trait Workload {
     /// Name used in reports ("cg.B", "metum.n320l70.18steps", ...).
@@ -39,6 +50,14 @@ pub trait Workload {
     /// memory-aware placement (MetUM on EC2's 20 GB nodes).
     fn memory_per_rank_bytes(&self, _np: usize) -> u64 {
         0
+    }
+
+    /// Canonical descriptor, if this workload has one. `None` (the
+    /// default) means the workload cannot be content-addressed — wrappers
+    /// like [`Checkpointed`]/[`Verified`] and micro-benchmarks return
+    /// `None` and callers fall back to direct simulation.
+    fn describe(&self) -> Option<WorkloadDesc> {
+        None
     }
 }
 

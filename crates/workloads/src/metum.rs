@@ -114,6 +114,12 @@ impl Workload for MetUm {
         format!("metum.n320l70.{}steps", self.timesteps)
     }
 
+    fn describe(&self) -> Option<crate::WorkloadDesc> {
+        Some(crate::WorkloadDesc::MetUm {
+            timesteps: self.timesteps as u32,
+        })
+    }
+
     /// Per-rank resident footprint: replicated tables plus the grid share.
     /// With EC2's 20 GB nodes this forces >= 2 nodes at every rank count
     /// the paper ran, as observed ("memory constraints meant that it could

@@ -257,6 +257,13 @@ impl Workload for Npb {
         format!("{}.{}", self.kernel.name(), self.class.letter())
     }
 
+    fn describe(&self) -> Option<crate::WorkloadDesc> {
+        Some(crate::WorkloadDesc::Npb {
+            kernel: self.kernel,
+            class: self.class,
+        })
+    }
+
     fn build(&self, np: usize) -> JobSpec {
         assert!(
             self.kernel.valid_np(np),

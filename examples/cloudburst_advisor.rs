@@ -6,11 +6,20 @@
 //! including the EC2 spot pricing the paper's future work planned to
 //! integrate into the ANUPBS scheduler.
 //!
+//! Since the advisor became a service (`sim-advisor`), every `advise()`
+//! call below routes through the content-addressed query cache, and the
+//! second half of this example exercises the service layer directly:
+//! batched what-if fleets, cache statistics, and a snapshot round-trip.
+//! All output is deterministic — CI diffs two runs (and two thread
+//! counts) of this example byte for byte.
+//!
 //! ```text
 //! cargo run --release --example cloudburst_advisor
 //! ```
 
 use cloudsim::prelude::*;
+use cloudsim::sim_advisor::{AdvisorService, PlatformId, Query, QueryPolicy, WorkloadId};
+use cloudsim::sim_sweep::SweepOpts;
 use cloudsim::{advise, PriceModel};
 
 fn main() {
@@ -53,4 +62,121 @@ fn main() {
     println!(
         "daily 4-node 2h run: EC2 spot ${yearly_spot:.0}/yr vs private cloud ${yearly_dcc:.0}/yr"
     );
+
+    // ---- the service layer: batched what-if fleets -------------------
+    println!("\n== what-if fleet through the advisor service ==\n");
+    let svc = AdvisorService::new();
+    let fleet = build_fleet();
+    let opts = SweepOpts::default();
+    let cold = svc.evaluate_fleet(&fleet, &opts).expect("fleet evaluates");
+    let s = svc.stats();
+    println!(
+        "cold fleet: {} queries, digest {:#018x}, cache {} hits / {} misses / {} entries",
+        fleet.len(),
+        cold.digest,
+        s.hits,
+        s.misses,
+        s.len
+    );
+    let warm = svc.evaluate_fleet(&fleet, &opts).expect("fleet evaluates");
+    let s = svc.stats();
+    println!(
+        "warm fleet: {} queries, digest {:#018x}, cache {} hits / {} misses / {} entries",
+        fleet.len(),
+        warm.digest,
+        s.hits,
+        s.misses,
+        s.len
+    );
+    println!(
+        "digests identical across cold/warm: {}",
+        cold.digest == warm.digest
+    );
+
+    // The burst question, fleet-style: for every cached CG verdict, which
+    // platform wins on time and which on dollars?
+    let burst = |platform: PlatformId, np: u32| {
+        svc.evaluate(&Query::new(
+            WorkloadId::Npb {
+                kernel: Kernel::Cg,
+                class: Class::W,
+            },
+            platform,
+            np,
+        ))
+        .expect("query evaluates")
+    };
+    for np in [8u32, 16, 32] {
+        let picks: Vec<(PlatformId, _)> =
+            PlatformId::ALL.iter().map(|&p| (p, burst(p, np))).collect();
+        let fastest = picks
+            .iter()
+            .min_by(|a, b| a.1.elapsed_secs.total_cmp(&b.1.elapsed_secs))
+            .expect("three platforms");
+        let cheapest = picks
+            .iter()
+            .min_by(|a, b| a.1.on_demand_cost.total_cmp(&b.1.on_demand_cost))
+            .expect("three platforms");
+        println!(
+            "cg.W @ {np:>2} ranks: fastest {} ({:.3}s), cheapest {} (${:.2})",
+            fastest.0.name(),
+            fastest.1.elapsed_secs,
+            cheapest.0.name(),
+            cheapest.1.on_demand_cost
+        );
+    }
+
+    // ---- snapshot round-trip -----------------------------------------
+    println!("\n== snapshot: ship the warmed cache ==\n");
+    let bytes = svc.snapshot_bytes();
+    let restored = AdvisorService::new();
+    let loaded = restored
+        .load_snapshot_bytes(&bytes)
+        .expect("snapshot loads");
+    let requeried = restored
+        .evaluate_fleet(&fleet, &opts)
+        .expect("fleet evaluates");
+    println!(
+        "snapshot: {} bytes, {} verdicts; reloaded fleet digest {:#018x}, byte-identical: {}",
+        bytes.len(),
+        loaded,
+        requeried.digest,
+        requeried.digest == cold.digest
+    );
+    let rs = restored.stats();
+    println!(
+        "restored service: {} hits, {} misses — the warmed cache answered everything",
+        rs.hits, rs.misses
+    );
+}
+
+/// A deterministic what-if fleet: every NPB kernel that accepts the rank
+/// count, classes S and W, three rank counts, all three platforms.
+fn build_fleet() -> Vec<Query> {
+    let mut fleet = Vec::new();
+    for kernel in [
+        Kernel::Bt,
+        Kernel::Cg,
+        Kernel::Ep,
+        Kernel::Ft,
+        Kernel::Is,
+        Kernel::Lu,
+        Kernel::Mg,
+        Kernel::Sp,
+    ] {
+        for class in [Class::S, Class::W] {
+            for np in [4u32, 16, 64] {
+                if !kernel.valid_np(np as usize) {
+                    continue;
+                }
+                for platform in PlatformId::ALL {
+                    fleet.push(
+                        Query::new(WorkloadId::Npb { kernel, class }, platform, np)
+                            .with_policy(QueryPolicy::Auto),
+                    );
+                }
+            }
+        }
+    }
+    fleet
 }
